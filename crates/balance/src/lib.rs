@@ -1,0 +1,53 @@
+//! # valpipe-balance — pipeline balancing for data flow instruction graphs
+//!
+//! Fully pipelined operation requires every path through an instruction
+//! graph to carry equal delay (Dennis & Gao, ICPP 1983, §3). This crate
+//! extracts the balancing constraint system from a program
+//! ([`problem::extract`]), solves it three ways — ASAP longest path, a
+//! buffer-reducing heuristic, and the provably optimal min-cost-flow dual
+//! ([`solve::solve_optimal`], §8 conclusions 1–3) — and inserts the
+//! resulting FIFO buffers back into the graph ([`problem::apply`]).
+//!
+//! Feedback loops (for-iter bodies) are detected as strongly connected
+//! components, frozen (buffering a loop arc would stretch the cycle and
+//! destroy its rate), and contracted into supernodes before solving.
+
+#![warn(missing_docs)]
+
+pub mod problem;
+pub mod solve;
+
+pub use problem::{apply, extract, BalanceProblem, BalanceSolution, ProblemError};
+pub use solve::{solve_alap, solve_asap, solve_heuristic, solve_optimal};
+
+use valpipe_ir::Graph;
+
+/// Which balancing algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalanceMode {
+    /// Longest-path ASAP balancing (baseline).
+    Asap,
+    /// ASAP followed by coordinate-descent buffer reduction.
+    #[default]
+    Heuristic,
+    /// Optimal (minimum total buffer stages) via the min-cost-flow dual.
+    Optimal,
+    /// Insert no buffers (for ablation experiments).
+    None,
+}
+
+/// Balance a graph in place: extract, solve with the chosen mode, insert
+/// FIFOs. Returns the number of buffer stages added.
+pub fn balance(g: &mut Graph, mode: BalanceMode) -> Result<u64, ProblemError> {
+    if mode == BalanceMode::None {
+        return Ok(0);
+    }
+    let p = problem::extract(g)?;
+    let sol = match mode {
+        BalanceMode::Asap => solve::solve_asap(&p),
+        BalanceMode::Heuristic => solve::solve_heuristic(&p, 64),
+        BalanceMode::Optimal => solve::solve_optimal(&p),
+        BalanceMode::None => unreachable!(),
+    };
+    Ok(problem::apply(g, &p, &sol))
+}

@@ -1,0 +1,54 @@
+//! AMTRAF — §2: "In the case of application codes we have analyzed, one
+//! eighth or less of the operation packets would be sent to the array
+//! memories."
+//!
+//! Arrays are streamed between blocks as result packets; only the
+//! long-lived state crossing time-step boundaries touches the array
+//! memories. Measured on the application-shaped physics step at several
+//! sizes.
+
+use valpipe_bench::report;
+use valpipe_bench::workloads::{fig3_src, physics_src};
+use valpipe_bench::{measure_program, Measurement};
+use valpipe_core::CompileOptions;
+
+fn main() {
+    report::banner(
+        "AMTRAF: operation-packet traffic to the array memories",
+        "§2 (\"one eighth or less of the operation packets\")",
+    );
+    let mut opts = CompileOptions::paper();
+    opts.am_boundary = true;
+    let mut rows: Vec<Measurement> = Vec::new();
+    for m in [16usize, 64, 256] {
+        rows.push(measure_program(
+            format!("physics V m={m}"),
+            &physics_src(m),
+            &opts,
+            "V",
+            20,
+        ));
+    }
+    {
+        let m = 64usize;
+        rows.push(measure_program(
+            format!("fig3 A m={m}"),
+            &fig3_src(m),
+            &opts,
+            "A",
+            20,
+        ));
+    }
+    report::table(&rows);
+    println!();
+    for r in &rows {
+        report::observe(
+            &format!("{}: packets to AM", r.label),
+            format!("{:.2}% of {}", r.am_fraction * 100.0, r.total_fires),
+        );
+    }
+    report::verdict(
+        "≤ 1/8 of operation packets go to the array memories",
+        rows.iter().all(|r| r.am_fraction <= 0.125),
+    );
+}

@@ -1,0 +1,80 @@
+//! CLOSED — the whole Fig. 1 machine, closed loop: result packets AND
+//! acknowledge packets routed through router-level omega networks, with
+//! network contention feeding back into instruction timing through the
+//! enabling rule.
+//!
+//! Claims:
+//! * values are identical to the idealized machine under every placement
+//!   and buffering (data-driven execution is timing-independent);
+//! * with one-token operand slots, remote acknowledge round trips through
+//!   a real network throttle the pipeline;
+//! * deeper operand slots (the machine's buffering) win the rate back —
+//!   §2's packet-pipelined-network story, now measured end to end.
+
+use valpipe_bench::workloads::{fig6_src, inputs_for_compiled};
+use valpipe_core::verify::stream_inputs;
+use valpipe_core::{compile_source, CompileOptions};
+use valpipe_machine::{run_closed_loop, run_program, ClosedLoopOptions, Placement};
+
+fn main() {
+    println!("================================================================");
+    println!("CLOSED: closed-loop machine — cells + both network planes");
+    println!("reproduces: §2 / Fig. 1 end to end");
+    println!("================================================================");
+
+    let compiled = compile_source(&fig6_src(32), &CompileOptions::paper()).expect("compiles");
+    let exe = compiled.executable();
+    let arrays = inputs_for_compiled(&compiled);
+    let inputs = stream_inputs(&compiled, &arrays, 12);
+    let ideal = run_program(&compiled.executable(), &inputs).expect("idealized run");
+    let ideal_vals = ideal.values("A");
+
+    println!(
+        "{:>5} {:>9} {:>10} {:>12} {:>12} {:>10}",
+        "PEs", "slots/arc", "interval", "net latency", "remote pkts", "values"
+    );
+    let mut slow_cap1 = 0.0f64;
+    let mut fast_cap4 = f64::MAX;
+    for pes in [4usize, 16] {
+        for cap in [1u32, 4] {
+            let placement = Placement::round_robin(
+                &exe,
+                valpipe_machine::MachineConfig { pes, ..Default::default() },
+            );
+            let opts = ClosedLoopOptions {
+                pes,
+                arc_capacity: cap,
+                net_queue: 4,
+                pe_issue_width: 8,
+                max_cycles: 3_000_000,
+            };
+            let r = run_closed_loop(&exe, &inputs, &placement.pe_of, &opts).expect("runs");
+            assert!(r.sources_exhausted, "pes={pes} cap={cap} must drain");
+            let iv = r.steady_interval("A").expect("steady");
+            let same = r.values("A") == ideal_vals;
+            println!(
+                "{pes:>5} {cap:>9} {iv:>10.3} {:>12.2} {:>12} {:>10}",
+                r.mean_result_latency,
+                r.remote_results + r.remote_acks,
+                if same { "identical" } else { "DIFFER" }
+            );
+            assert!(same, "values must not depend on timing");
+            if pes == 16 && cap == 1 {
+                slow_cap1 = iv;
+            }
+            if pes == 16 && cap == 4 {
+                fast_cap4 = iv;
+            }
+        }
+    }
+    println!();
+    println!("CLAIM [HOLDS] values identical to the idealized machine under every configuration");
+    println!(
+        "CLAIM [{}] capacity-1 slots + real network round trips throttle the pipeline (interval {slow_cap1:.2})",
+        if slow_cap1 > 3.0 { "HOLDS" } else { "FAILS" }
+    );
+    println!(
+        "CLAIM [{}] operand-slot buffering recovers most of the rate (interval {fast_cap4:.2})",
+        if fast_cap4 < slow_cap1 - 1.0 { "HOLDS" } else { "FAILS" }
+    );
+}

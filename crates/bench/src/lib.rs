@@ -1,0 +1,13 @@
+//! # valpipe-bench — experiment harness
+//!
+//! Workload generators, reporting helpers, and the measurement routines
+//! shared by the `exp_*` reporter binaries (one per paper figure/claim —
+//! see EXPERIMENTS.md) and the Criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod measure;
+pub mod report;
+pub mod workloads;
+
+pub use measure::{measure_program, Measurement};

@@ -1,0 +1,90 @@
+//! Measurement routines: compile a workload, verify it against the
+//! oracle, and extract rate / size / traffic numbers.
+
+use crate::workloads::inputs_for_compiled;
+use serde::Serialize;
+use valpipe_core::verify::check_against_oracle;
+use valpipe_core::{compile_source, CompileOptions, Compiled};
+
+/// One measured configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Label (scheme, size, …).
+    pub label: String,
+    /// Instruction cells in the compiled program (before FIFO expansion).
+    pub cells: usize,
+    /// Buffer stages inserted by balancing (loop + global).
+    pub buffers: u64,
+    /// Steady-state initiation interval of the primary output.
+    pub interval: f64,
+    /// Computation rate (packets per instruction time) = 1 / interval.
+    pub rate: f64,
+    /// Maximum relative error vs the interpreter.
+    pub max_rel_err: f64,
+    /// Total operation packets processed.
+    pub total_fires: u64,
+    /// Fraction of operation packets sent to array memories.
+    pub am_fraction: f64,
+    /// Instruction times simulated.
+    pub steps: u64,
+}
+
+/// Compile `src`, run `waves` waves against the oracle, measure the
+/// interval on `output`.
+pub fn measure_program(
+    label: impl Into<String>,
+    src: &str,
+    opts: &CompileOptions,
+    output: &str,
+    waves: usize,
+) -> Measurement {
+    let compiled = compile_source(src, opts).expect("workload compiles");
+    measure_compiled(label, &compiled, output, waves)
+}
+
+/// Measure an already-compiled program.
+pub fn measure_compiled(
+    label: impl Into<String>,
+    compiled: &Compiled,
+    output: &str,
+    waves: usize,
+) -> Measurement {
+    let inputs = inputs_for_compiled(compiled);
+    let report = check_against_oracle(compiled, &inputs, waves, 1e-8).expect("oracle check");
+    let interval = report
+        .run
+        .steady_interval(output)
+        .expect("enough packets for a steady-state measurement");
+    Measurement {
+        label: label.into(),
+        cells: compiled.graph.node_count(),
+        buffers: compiled.stats.loop_buffers + compiled.stats.global_buffers,
+        interval,
+        rate: 1.0 / interval,
+        max_rel_err: report.max_rel_err,
+        total_fires: report.run.total_fires,
+        am_fraction: report.run.am_traffic_fraction(),
+        steps: report.run.steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::fig4_src;
+
+    #[test]
+    fn measure_produces_sane_numbers() {
+        let m = measure_program(
+            "fig4",
+            &fig4_src(16),
+            &CompileOptions::paper(),
+            "S",
+            20,
+        );
+        assert!(m.cells > 5);
+        assert!(m.interval > 1.9 && m.interval < 3.0);
+        assert!(m.max_rel_err < 1e-8);
+        assert!(m.am_fraction == 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Minimal aligned-table reporting for the experiment binaries.
+
+use crate::measure::Measurement;
+
+/// Print a header banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("reproduces: {paper_ref}");
+    println!("================================================================");
+}
+
+/// Print a table of measurements with the standard columns.
+pub fn table(rows: &[Measurement]) {
+    println!(
+        "{:<22} {:>7} {:>8} {:>9} {:>8} {:>11} {:>8}",
+        "config", "cells", "buffers", "interval", "rate", "max_rel_err", "am%"
+    );
+    for r in rows {
+        println!(
+            "{:<22} {:>7} {:>8} {:>9.3} {:>8.4} {:>11.2e} {:>8.2}",
+            r.label,
+            r.cells,
+            r.buffers,
+            r.interval,
+            r.rate,
+            r.max_rel_err,
+            r.am_fraction * 100.0
+        );
+    }
+}
+
+/// Print a key/value observation line.
+pub fn observe(name: &str, value: impl std::fmt::Display) {
+    println!("  {name}: {value}");
+}
+
+/// Print the paper-vs-measured verdict line.
+pub fn verdict(claim: &str, holds: bool) {
+    println!("CLAIM [{}] {claim}", if holds { "HOLDS" } else { "FAILS" });
+}
+
+/// Emit rows as JSON lines (for EXPERIMENTS.md regeneration scripts).
+pub fn json_lines(rows: &[Measurement]) {
+    for r in rows {
+        println!("{}", serde_json::to_string(r).expect("serialize"));
+    }
+}

@@ -1,0 +1,293 @@
+//! Gate-fusion optimization.
+//!
+//! Nested static conditionals gate a pulled stream once per scope level:
+//! `value → TGate(s1) → TGate(s2) → consumer`. Both gates run off
+//! compile-time control streams, so the cascade is equivalent to a single
+//! gate selecting `s2 ∘ s1` (the inner pattern *compressed onto* the
+//! elements the outer gate passes). Fusing saves a cell and a control
+//! generator per level — on deeply banded conditionals this is a
+//! significant fraction of the program — and shortens the paths the
+//! balancer must pad.
+//!
+//! Fusion is sound only for gates whose control comes directly from a
+//! `CtlGen` with no other consumers (static gating as emitted by the
+//! compiler); dynamically controlled gates are left alone.
+
+use valpipe_ir::opcode::{Opcode, GATE_CTL, GATE_DATA};
+use valpipe_ir::{CtlStream, Graph, NodeId, PortBinding};
+
+/// Statistics of one fusion pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// Gate pairs fused.
+    pub fused: usize,
+}
+
+fn static_gate_ctl(g: &Graph, n: NodeId) -> Option<(NodeId, CtlStream)> {
+    if !matches!(g.nodes[n.idx()].op, Opcode::TGate) {
+        return None;
+    }
+    let PortBinding::Wired(ctl_arc) = g.nodes[n.idx()].inputs[GATE_CTL] else {
+        return None;
+    };
+    let ctl_node = g.arcs[ctl_arc.idx()].src;
+    // The generator must feed this gate alone (we'll rewrite its pattern).
+    if g.nodes[ctl_node.idx()].outputs.len() != 1 {
+        return None;
+    }
+    match &g.nodes[ctl_node.idx()].op {
+        Opcode::CtlGen(s) => Some((ctl_node, s.clone())),
+        _ => None,
+    }
+}
+
+/// Fuse chains `TGate(outer) → TGate(inner)` where both controls are
+/// private static generators: the inner gate takes over with the composed
+/// pattern, and the outer gate (if it has no other consumers) is bypassed.
+///
+/// Returns the number of fusions performed. Dead cells (the bypassed gate
+/// and its generator) are left unwired-on-the-output side; run before
+/// validation/balancing and call [`sweep_dead`] afterwards.
+pub fn fuse_static_gates(g: &mut Graph) -> FuseStats {
+    let mut stats = FuseStats::default();
+    loop {
+        let mut did = false;
+        'outer: for inner in g.node_ids().collect::<Vec<_>>() {
+            let Some((inner_ctl, inner_stream)) = static_gate_ctl(g, inner) else {
+                continue;
+            };
+            let PortBinding::Wired(data_arc) = g.nodes[inner.idx()].inputs[GATE_DATA] else {
+                continue;
+            };
+            let outer = g.arcs[data_arc.idx()].src;
+            let Some((_, outer_stream)) = static_gate_ctl(g, outer) else {
+                continue;
+            };
+            let PortBinding::Wired(outer_data_arc) = g.nodes[outer.idx()].inputs[GATE_DATA] else {
+                continue;
+            };
+            // Never bypass across a loop back-edge: the gate is part of a
+            // feedback cycle and removing it would rewire the cycle.
+            if !g.arcs[outer_data_arc.idx()].is_forward() || !g.arcs[data_arc.idx()].is_forward() {
+                continue;
+            }
+            // Composed selection: expand the inner pattern (which runs over
+            // the outer gate's PASSED elements) back onto the full wave.
+            let composed = compose(&outer_stream, &inner_stream);
+            // Bypass: inner's data comes straight from outer's producer
+            // under the composed selection. The outer gate keeps serving
+            // any other consumers; once the last one is bypassed its
+            // outputs are empty and `sweep_dead` removes it together with
+            // its private generator.
+            let producer = g.arcs[outer_data_arc.idx()].src;
+            // Stream-phase weights accumulate: the bypassed path carried
+            // the outer tap's offset on its data arc AND the inner tap's
+            // offset on the fused arc.
+            let phase = g.arcs[outer_data_arc.idx()].phase + g.arcs[data_arc.idx()].phase;
+            detach_arc(g, data_arc); // outer → inner
+            g.nodes[inner.idx()].inputs[GATE_DATA] = PortBinding::Unbound;
+            let a = g.connect(producer, inner, GATE_DATA);
+            g.arcs[a.idx()].phase = phase;
+            g.nodes[inner_ctl.idx()].op = Opcode::CtlGen(composed);
+            stats.fused += 1;
+            did = true;
+            break 'outer;
+        }
+        if !did {
+            break;
+        }
+    }
+    stats
+}
+
+/// `inner` is a pattern over the elements `outer` passes; produce the
+/// equivalent single pattern over the full wave.
+fn compose(outer: &CtlStream, inner: &CtlStream) -> CtlStream {
+    let total = outer.wave_len();
+    let mut bits = Vec::with_capacity(total as usize);
+    let mut passed = 0u64;
+    for k in 0..total as u64 {
+        if outer.at(k) {
+            bits.push((inner.at(passed), 1));
+            passed += 1;
+        } else {
+            bits.push((false, 1));
+        }
+    }
+    CtlStream::from_runs(bits)
+}
+
+fn detach_arc(g: &mut Graph, arc: valpipe_ir::ArcId) {
+    let e = g.arcs[arc.idx()].clone();
+    let pos = g.nodes[e.src.idx()]
+        .outputs
+        .iter()
+        .position(|&a| a == arc)
+        .expect("arc registered at source");
+    g.nodes[e.src.idx()].outputs.remove(pos);
+    // Leave the arc record in place but orphaned (points nowhere useful);
+    // sweep_dead rebuilds the graph without it.
+    g.nodes[e.dst.idx()].inputs[e.dst_port] = PortBinding::Unbound;
+}
+
+/// Rebuild the graph without cells that can never affect an output
+/// (unwired or unreachable-from-sink cells left behind by fusion).
+/// Returns the number of cells removed.
+pub fn sweep_dead(g: &mut Graph) -> usize {
+    // Keep every cell that reaches a sink via forward or feedback arcs.
+    let n = g.node_count();
+    let mut keep = vec![false; n];
+    let mut stack: Vec<usize> = g
+        .node_ids()
+        .filter(|id| matches!(g.nodes[id.idx()].op, Opcode::Sink(_)))
+        .map(|id| id.idx())
+        .collect();
+    // Predecessor lists from wired ports (orphaned arc records left by
+    // `detach_arc` are invisible here by construction).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, node) in g.nodes.iter().enumerate() {
+        for b in &node.inputs {
+            if let PortBinding::Wired(a) = b {
+                preds[i].push(g.arcs[a.idx()].src.idx());
+            }
+        }
+    }
+    while let Some(k) = stack.pop() {
+        if keep[k] {
+            continue;
+        }
+        keep[k] = true;
+        stack.extend(preds[k].iter().copied());
+    }
+    let removed = keep.iter().filter(|&&k| !k).count();
+    if removed == 0 {
+        return 0;
+    }
+    // Rebuild.
+    let mut map = vec![usize::MAX; n];
+    let mut out = Graph::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        if keep[i] {
+            map[i] = out.add_node(node.op.clone(), node.label.clone()).idx();
+        }
+    }
+    for (i, node) in g.nodes.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        for (port, b) in node.inputs.iter().enumerate() {
+            match b {
+                PortBinding::Wired(a) => {
+                    let e = &g.arcs[a.idx()];
+                    debug_assert!(keep[e.src.idx()], "kept cell fed by dead cell");
+                    let na = out.connect_full(
+                        valpipe_ir::NodeId(map[e.src.idx()] as u32),
+                        valpipe_ir::NodeId(map[i] as u32),
+                        port,
+                        e.initial,
+                        e.phase,
+                    );
+                    out.arcs[na.idx()].back = e.back;
+                }
+                PortBinding::Lit(v) => out.set_lit(valpipe_ir::NodeId(map[i] as u32), port, *v),
+                PortBinding::Unbound => {}
+            }
+        }
+    }
+    *g = out;
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valpipe_ir::In;
+
+    /// source → TGate(outer: F T T T F) → TGate(inner over 3: T F T) → sink.
+    fn cascade() -> Graph {
+        let mut g = Graph::new();
+        let src = g.add_node(Opcode::Source("a".into()), "a");
+        let c1 = g.add_node(Opcode::CtlGen(CtlStream::window(5, 1, 3)), "c1");
+        let g1 = g.cell(Opcode::TGate, "outer", &[c1.into(), src.into()]);
+        let c2 = g.add_node(
+            Opcode::CtlGen(CtlStream::from_runs([(true, 1), (false, 1), (true, 1)])),
+            "c2",
+        );
+        let g2 = g.cell(Opcode::TGate, "inner", &[c2.into(), In::Node(g1)]);
+        let _ = g.cell(Opcode::Sink("y".into()), "y", &[g2.into()]);
+        g
+    }
+
+    #[test]
+    fn fuses_and_composes_patterns() {
+        let mut g = cascade();
+        let stats = fuse_static_gates(&mut g);
+        assert_eq!(stats.fused, 1);
+        let removed = sweep_dead(&mut g);
+        assert_eq!(removed, 2, "outer gate + its generator");
+        // One gate remains, selecting positions 1 and 3 of the wave.
+        let hist = g.opcode_histogram();
+        assert_eq!(hist["TGATE"], 1);
+        let pattern = g
+            .nodes
+            .iter()
+            .find_map(|n| match &n.op {
+                Opcode::CtlGen(s) => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(
+            pattern.take(5),
+            vec![false, true, false, true, false],
+            "inner T F T over outer-passed positions 1,2,3"
+        );
+    }
+
+    #[test]
+    fn fused_graph_computes_the_same_stream() {
+        use valpipe_machine::{run_program, ProgramInputs};
+        let data: Vec<valpipe_ir::Value> =
+            (0..15).map(|i| valpipe_ir::Value::Real(i as f64)).collect();
+        let inputs = ProgramInputs::new().bind("a", data);
+        let before = run_program(&cascade(), &inputs).unwrap().reals("y");
+        let mut g = cascade();
+        fuse_static_gates(&mut g);
+        sweep_dead(&mut g);
+        let after = run_program(&g, &inputs).unwrap().reals("y");
+        assert_eq!(before, after);
+        assert_eq!(before, vec![1.0, 3.0, 6.0, 8.0, 11.0, 13.0]);
+    }
+
+    #[test]
+    fn dynamic_gates_left_alone() {
+        let mut g = Graph::new();
+        let src = g.add_node(Opcode::Source("a".into()), "a");
+        let cond = g.add_node(Opcode::Source("c".into()), "c");
+        let g1 = g.cell(Opcode::TGate, "dyn", &[cond.into(), src.into()]);
+        let c2 = g.add_node(Opcode::CtlGen(CtlStream::constant(true, 2)), "c2");
+        let g2 = g.cell(Opcode::TGate, "static", &[c2.into(), In::Node(g1)]);
+        let _ = g.cell(Opcode::Sink("y".into()), "y", &[g2.into()]);
+        let stats = fuse_static_gates(&mut g);
+        assert_eq!(stats.fused, 0);
+    }
+
+    #[test]
+    fn shared_generator_blocks_fusion() {
+        // The outer gate's generator also feeds a merge: must not fuse.
+        let mut g = Graph::new();
+        let src = g.add_node(Opcode::Source("a".into()), "a");
+        let c1 = g.add_node(Opcode::CtlGen(CtlStream::window(4, 1, 2)), "c1");
+        let g1 = g.add_node(Opcode::TGate, "outer");
+        g.connect(c1, g1, 0);
+        g.connect(src, g1, 1);
+        let c2 = g.add_node(Opcode::CtlGen(CtlStream::constant(true, 2)), "c2");
+        let g2 = g.cell(Opcode::TGate, "inner", &[c2.into(), In::Node(g1)]);
+        let m = g.add_node(Opcode::Merge, "m");
+        g.connect(c1, m, 0); // second consumer of c1
+        g.connect(g2, m, 1);
+        g.set_lit(m, 2, valpipe_ir::Value::Real(0.0));
+        let _ = g.cell(Opcode::Sink("y".into()), "y", &[m.into()]);
+        let stats = fuse_static_gates(&mut g);
+        assert_eq!(stats.fused, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Local balancing of feedback-loop interiors.
+//!
+//! The global balancer freezes every arc inside a feedback loop (buffering
+//! one would stretch the cycle and change the loop's rate), which requires
+//! the loop interior itself to already be path-balanced. Recurrence bodies
+//! that read `X[i-1]` at several different depths (e.g. `(x + B[i]) * x`)
+//! violate this, so the for-iter compiler runs this pass: within each
+//! strongly connected component, equalize every interior path by inserting
+//! FIFOs *inside* the loop. This consciously lengthens the cycle — the
+//! paper's point exactly: an unbalanced (or deep) recurrence cycle costs
+//! rate, `1 / cycle-length` (§7).
+
+use valpipe_balance::problem::{arc_weight, sccs};
+use valpipe_ir::{ArcId, Graph};
+
+/// Balance every loop interior; returns the number of buffer stages added.
+pub fn balance_loop_interiors(g: &mut Graph) -> u64 {
+    let scc = sccs(g);
+    let n = g.node_count();
+
+    // Collect interior forward arcs per component.
+    let mut comp_size = vec![0usize; n];
+    for i in 0..n {
+        comp_size[scc[i]] += 1;
+    }
+    let interior: Vec<ArcId> = g
+        .arc_ids()
+        .filter(|a| {
+            let e = &g.arcs[a.idx()];
+            e.is_forward() && scc[e.src.idx()] == scc[e.dst.idx()] && comp_size[scc[e.src.idx()]] > 1
+        })
+        .collect();
+    if interior.is_empty() {
+        return 0;
+    }
+
+    // Local ASAP over the interior DAG.
+    let mut indeg = vec![0usize; n];
+    for &a in &interior {
+        indeg[g.arcs[a.idx()].dst.idx()] += 1;
+    }
+    let members: Vec<usize> = (0..n).filter(|&i| comp_size[scc[i]] > 1).collect();
+    let mut stack: Vec<usize> = members.iter().copied().filter(|&i| indeg[i] == 0).collect();
+    let mut pot = vec![0i64; n];
+    let mut order = Vec::new();
+    let mut out: Vec<Vec<ArcId>> = vec![Vec::new(); n];
+    for &a in &interior {
+        out[g.arcs[a.idx()].src.idx()].push(a);
+    }
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &a in &out[u] {
+            let e = &g.arcs[a.idx()];
+            let w = arc_weight(g, a);
+            pot[e.dst.idx()] = pot[e.dst.idx()].max(pot[u] + w);
+            indeg[e.dst.idx()] -= 1;
+            if indeg[e.dst.idx()] == 0 {
+                stack.push(e.dst.idx());
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), members.len(), "loop interior must be a DAG");
+
+    // Insert FIFOs on slack arcs.
+    let mut added = 0u64;
+    for &a in &interior {
+        let e = &g.arcs[a.idx()];
+        let slack = pot[e.dst.idx()] - pot[e.src.idx()] - arc_weight(g, a);
+        debug_assert!(slack >= 0);
+        if slack > 0 {
+            g.insert_fifo_on_arc(a, slack as u32);
+            added += slack as u64;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valpipe_balance::problem::extract;
+    use valpipe_ir::opcode::Opcode;
+    use valpipe_ir::value::{BinOp, Value};
+
+    #[test]
+    fn unbalanced_loop_interior_fixed() {
+        // Loop: a → b → c → a(init), plus shortcut a → c. Interior paths
+        // a→b→c (2) vs a→c (1) disagree; the pass must insert FIFO(1).
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Id, "a");
+        let b = g.cell(Opcode::Id, "b", &[a.into()]);
+        let c = g.add_node(Opcode::Bin(BinOp::Add), "c");
+        g.connect(b, c, 0);
+        g.connect(a, c, 1);
+        g.connect_init(c, a, 0, Value::Int(0));
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[c.into()]);
+        assert!(extract(&g).is_err(), "interior starts inconsistent");
+        let added = balance_loop_interiors(&mut g);
+        assert_eq!(added, 1);
+        assert!(extract(&g).is_ok(), "interior consistent after the pass");
+    }
+
+    #[test]
+    fn balanced_loop_untouched() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Id, "a");
+        let b = g.cell(Opcode::Id, "b", &[a.into()]);
+        g.connect_init(b, a, 0, Value::Int(0));
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[b.into()]);
+        assert_eq!(balance_loop_interiors(&mut g), 0);
+    }
+
+    #[test]
+    fn acyclic_graph_untouched() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let b = g.cell(Opcode::Id, "b", &[a.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[b.into()]);
+        assert_eq!(balance_loop_interiors(&mut g), 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end verification harness: compile → simulate → compare against
+//! the reference interpreter.
+//!
+//! Every throughput experiment first passes through this harness, so rate
+//! numbers are only ever reported for programs whose pipelined execution
+//! provably computes the same values as direct evaluation.
+
+use crate::program::Compiled;
+use std::collections::HashMap;
+use valpipe_ir::value::Value;
+use valpipe_machine::{ProgramInputs, RunResult, SimOptions, Simulator};
+use valpipe_val::interp::{self, ArrayVal};
+
+/// Verification failure.
+#[derive(Debug, Clone)]
+pub enum VerifyError {
+    /// The simulator faulted.
+    Sim(String),
+    /// The interpreter faulted.
+    Interp(String),
+    /// The run ended without consuming all input (deadlock or jam).
+    Stalled {
+        /// Steps executed before the stall.
+        steps: u64,
+    },
+    /// An output mismatched the oracle.
+    Mismatch {
+        /// Output name.
+        output: String,
+        /// Wave index.
+        wave: usize,
+        /// Element position within the wave.
+        position: usize,
+        /// Simulated value.
+        got: f64,
+        /// Oracle value.
+        want: f64,
+    },
+    /// An output had the wrong number of packets.
+    WrongLength {
+        /// Output name.
+        output: String,
+        /// Packets received.
+        got: usize,
+        /// Packets expected.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Sim(m) => write!(f, "simulation fault: {m}"),
+            VerifyError::Interp(m) => write!(f, "interpreter fault: {m}"),
+            VerifyError::Stalled { steps } => {
+                write!(f, "pipeline stalled before consuming all input ({steps} steps)")
+            }
+            VerifyError::Mismatch {
+                output,
+                wave,
+                position,
+                got,
+                want,
+            } => write!(
+                f,
+                "output '{output}' wave {wave} element {position}: got {got}, want {want}"
+            ),
+            VerifyError::WrongLength { output, got, want } => {
+                write!(f, "output '{output}': {got} packets, expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Build simulator inputs feeding each declared input array `waves` times.
+pub fn stream_inputs(
+    compiled: &Compiled,
+    arrays: &HashMap<String, ArrayVal>,
+    waves: usize,
+) -> ProgramInputs {
+    let mut inputs = ProgramInputs::new();
+    for (name, _) in &compiled.flow.inputs {
+        if let Some(a) = arrays.get(name) {
+            let mut all = Vec::with_capacity(a.data.len() * waves);
+            for _ in 0..waves {
+                all.extend(a.data.iter().copied());
+            }
+            inputs = inputs.bind(name.clone(), all);
+        }
+    }
+    inputs
+}
+
+/// Run the compiled program on `waves` repetitions of the input arrays.
+pub fn run(
+    compiled: &Compiled,
+    arrays: &HashMap<String, ArrayVal>,
+    waves: usize,
+    opts: SimOptions,
+) -> Result<RunResult, VerifyError> {
+    let g = compiled.executable();
+    let inputs = stream_inputs(compiled, arrays, waves);
+    Simulator::new(&g, &inputs, opts)
+        .map_err(|e| VerifyError::Sim(e.to_string()))?
+        .run()
+        .map_err(|e| VerifyError::Sim(e.to_string()))
+}
+
+/// Outcome of a successful oracle check.
+#[derive(Debug, Clone)]
+pub struct OracleReport {
+    /// Largest relative error observed over all outputs and waves.
+    pub max_rel_err: f64,
+    /// Total output packets compared.
+    pub packets_checked: usize,
+    /// The simulation result (for rate measurements).
+    pub run: RunResult,
+}
+
+/// Compile-run-compare: simulate `waves` waves and check every declared
+/// output against the interpreter, element by element, within relative
+/// tolerance `tol` (the companion transformation reassociates floating
+/// arithmetic, so exact equality is only guaranteed for integer data).
+#[allow(clippy::field_reassign_with_default)] // many-field options struct
+pub fn check_against_oracle(
+    compiled: &Compiled,
+    arrays: &HashMap<String, ArrayVal>,
+    waves: usize,
+    tol: f64,
+) -> Result<OracleReport, VerifyError> {
+    let expected = interp::run_program(&compiled.program, arrays)
+        .map_err(|e| VerifyError::Interp(e.to_string()))?;
+    // Ask the simulator to stop once every output has its packets: a
+    // program whose outputs don't depend on the inputs would otherwise
+    // regenerate waves forever from its control generators.
+    let mut opts = SimOptions::default();
+    opts.stop_outputs = Some(
+        compiled
+            .program
+            .outputs
+            .iter()
+            .map(|name| (name.clone(), expected[name].data.len() * waves))
+            .collect(),
+    );
+    let result = run(compiled, arrays, waves, opts)?;
+    if result.stop == valpipe_machine::StopReason::Quiescent && !result.sources_exhausted {
+        return Err(VerifyError::Stalled { steps: result.steps });
+    }
+    if result.stop == valpipe_machine::StopReason::MaxSteps {
+        return Err(VerifyError::Stalled { steps: result.steps });
+    }
+    let mut max_rel = 0.0f64;
+    let mut checked = 0usize;
+    for name in &compiled.program.outputs {
+        let want_wave = &expected[name];
+        let got = result.values(name);
+        let want_len = want_wave.data.len() * waves;
+        // Open-ended control generators let the pipeline pre-fire a prefix
+        // of the (never-fed) next wave — e.g. a for-iter MERGE emits the
+        // next initial element from its constant operand. Those trailing
+        // packets are legitimate and are checked against the cyclic
+        // expectation below; anything shorter than the full run, or a
+        // whole extra wave, is a real defect.
+        if got.len() < want_len || got.len() >= want_len + want_wave.data.len() {
+            return Err(VerifyError::WrongLength {
+                output: name.clone(),
+                got: got.len(),
+                want: want_len,
+            });
+        }
+        for (k, gv) in got.iter().enumerate() {
+            let wave = k / want_wave.data.len();
+            let pos = k % want_wave.data.len();
+            let want = value_as_real(want_wave.data[pos]);
+            let gotv = value_as_real(*gv);
+            let denom = want.abs().max(1.0);
+            let rel = (gotv - want).abs() / denom;
+            if rel > tol {
+                return Err(VerifyError::Mismatch {
+                    output: name.clone(),
+                    wave,
+                    position: pos,
+                    got: gotv,
+                    want,
+                });
+            }
+            max_rel = max_rel.max(rel);
+            checked += 1;
+        }
+    }
+    Ok(OracleReport {
+        max_rel_err: max_rel,
+        packets_checked: checked,
+        run: result,
+    })
+}
+
+fn value_as_real(v: Value) -> f64 {
+    match v {
+        Value::Int(i) => i as f64,
+        Value::Real(r) => r,
+        Value::Bool(b) => {
+            if b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// Steady-state initiation interval of a named output over a run.
+pub fn output_interval(run: &RunResult, name: &str) -> Option<f64> {
+    run.steady_interval(name)
+}
+
+/// Multi-phase driving (the paper's §2 array-memory story): run the
+/// program `steps` times, each time feeding selected outputs back as the
+/// next step's inputs (`feedback` maps output name → input name). Returns
+/// the final input arrays plus aggregate operation-packet counts.
+pub fn run_timesteps(
+    compiled: &Compiled,
+    initial: &HashMap<String, ArrayVal>,
+    feedback: &[(&str, &str)],
+    steps: usize,
+) -> Result<(HashMap<String, ArrayVal>, u64, u64), VerifyError> {
+    let mut arrays = initial.clone();
+    let (mut total, mut am) = (0u64, 0u64);
+    for _ in 0..steps {
+        let r = run(compiled, &arrays, 1, SimOptions::default())?;
+        if !r.sources_exhausted {
+            return Err(VerifyError::Stalled { steps: r.steps });
+        }
+        total += r.total_fires;
+        am += r.am_fires;
+        for &(out, input) in feedback {
+            let lo = compiled
+                .range_of(input)
+                .map(|(lo, _)| lo)
+                .unwrap_or(0);
+            arrays.insert(
+                input.to_string(),
+                ArrayVal {
+                    lo,
+                    data: r.values(out),
+                },
+            );
+        }
+    }
+    Ok((arrays, total, am))
+}

@@ -1,0 +1,547 @@
+//! The machine-level data flow program: a directed graph of instruction
+//! cells (nodes) and destination links (arcs).
+//!
+//! Every arc stands for **both** the forward path of a result packet and the
+//! reverse path of the acknowledge packet (paper §3) and can hold at most
+//! one data token — the static architecture's one-instance-per-instruction
+//! rule. Arcs on feedback paths may carry an **initial token** (a preloaded
+//! operand value in the target cell), which is how iteration state is seeded
+//! in Figs. 7 and 8.
+
+use crate::opcode::Opcode;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Index of an instruction cell within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Index of an arc (destination link) within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ArcId(pub u32);
+
+impl NodeId {
+    /// Usize view for indexing.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ArcId {
+    /// Usize view for indexing.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How an input operand port of a cell receives its value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PortBinding {
+    /// Not yet connected (invalid in a finished program).
+    Unbound,
+    /// Receives result packets over the given arc.
+    Wired(ArcId),
+    /// A literal constant held in the cell's operand field; always present
+    /// and never consumed.
+    Lit(Value),
+}
+
+/// One instruction cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// The operation code.
+    pub op: Opcode,
+    /// Human-readable label for listings and Graphviz output.
+    pub label: String,
+    /// Input operand ports, length `op.arity()`.
+    pub inputs: Vec<PortBinding>,
+    /// Outgoing arcs (destination fields); the result packet is replicated
+    /// to every one, and the cell re-enables only after all of them have
+    /// been acknowledged.
+    pub outputs: Vec<ArcId>,
+}
+
+/// One destination link.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Edge {
+    /// Producing cell.
+    pub src: NodeId,
+    /// Consuming cell.
+    pub dst: NodeId,
+    /// Which operand port of `dst` this link feeds.
+    pub dst_port: usize,
+    /// Initial token preloaded on the link (feedback seeding). An arc with
+    /// an initial token is by construction a loop back-edge and is excluded
+    /// from acyclic balancing.
+    pub initial: Option<Value>,
+    /// Declared loop back-edge whose liveness is ensured by construction
+    /// (e.g. a MERGE-initialized feedback path, paper Figs. 7–8). Treated
+    /// like an initial-token arc by cycle analyses.
+    pub back: bool,
+    /// Extra *stream-phase* weight in instruction times, used by the
+    /// balancer: a tap at constant offset `c` consumes the element for
+    /// index `i + c`, which arrives `2·c` instruction times away from the
+    /// reference element (paper Fig. 4's skew). Negative for backward
+    /// offsets.
+    pub phase: i32,
+}
+
+impl Edge {
+    /// Whether this arc participates in the forward (acyclic) graph.
+    pub fn is_forward(&self) -> bool {
+        self.initial.is_none() && !self.back
+    }
+}
+
+/// A complete machine-level data flow program.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    /// Instruction cells, indexed by [`NodeId`].
+    pub nodes: Vec<Node>,
+    /// Destination links, indexed by [`ArcId`].
+    pub arcs: Vec<Edge>,
+}
+
+/// Anything that can feed an operand port while building a graph: an
+/// existing cell's output, or a literal constant.
+#[derive(Debug, Clone, Copy)]
+pub enum In {
+    /// Wire from this cell's output.
+    Node(NodeId),
+    /// Literal operand.
+    Lit(Value),
+}
+
+impl From<NodeId> for In {
+    fn from(n: NodeId) -> Self {
+        In::Node(n)
+    }
+}
+impl From<Value> for In {
+    fn from(v: Value) -> Self {
+        In::Lit(v)
+    }
+}
+impl From<f64> for In {
+    fn from(v: f64) -> Self {
+        In::Lit(Value::Real(v))
+    }
+}
+impl From<i64> for In {
+    fn from(v: i64) -> Self {
+        In::Lit(Value::Int(v))
+    }
+}
+impl From<bool> for In {
+    fn from(v: bool) -> Self {
+        In::Lit(Value::Bool(v))
+    }
+}
+
+impl Graph {
+    /// Empty program.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of instruction cells.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Add an instruction cell with all ports unbound.
+    pub fn add_node(&mut self, op: Opcode, label: impl Into<String>) -> NodeId {
+        let arity = op.arity();
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op,
+            label: label.into(),
+            inputs: vec![PortBinding::Unbound; arity],
+            outputs: Vec::new(),
+        });
+        id
+    }
+
+    /// Connect `src`'s output to operand port `dst_port` of `dst`.
+    pub fn connect(&mut self, src: NodeId, dst: NodeId, dst_port: usize) -> ArcId {
+        self.connect_full(src, dst, dst_port, None, 0)
+    }
+
+    /// Connect a declared loop back-edge (see [`Edge::back`]).
+    pub fn connect_back(&mut self, src: NodeId, dst: NodeId, dst_port: usize) -> ArcId {
+        let a = self.connect_full(src, dst, dst_port, None, 0);
+        self.arcs[a.idx()].back = true;
+        a
+    }
+
+    /// Connect with an initial token preloaded on the link.
+    pub fn connect_init(&mut self, src: NodeId, dst: NodeId, dst_port: usize, tok: Value) -> ArcId {
+        self.connect_full(src, dst, dst_port, Some(tok), 0)
+    }
+
+    /// Connect with an explicit stream-phase weight (see [`Edge::phase`]).
+    pub fn connect_phase(&mut self, src: NodeId, dst: NodeId, dst_port: usize, phase: i32) -> ArcId {
+        self.connect_full(src, dst, dst_port, None, phase)
+    }
+
+    /// Fully general connection.
+    pub fn connect_full(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        dst_port: usize,
+        initial: Option<Value>,
+        phase: i32,
+    ) -> ArcId {
+        assert!(dst_port < self.nodes[dst.idx()].inputs.len(), "port out of range");
+        assert!(
+            matches!(self.nodes[dst.idx()].inputs[dst_port], PortBinding::Unbound),
+            "port {dst_port} of node {} ({}) already bound",
+            dst.idx(),
+            self.nodes[dst.idx()].label
+        );
+        let id = ArcId(self.arcs.len() as u32);
+        self.arcs.push(Edge {
+            src,
+            dst,
+            dst_port,
+            initial,
+            back: false,
+            phase,
+        });
+        self.nodes[dst.idx()].inputs[dst_port] = PortBinding::Wired(id);
+        self.nodes[src.idx()].outputs.push(id);
+        id
+    }
+
+    /// Bind a literal operand to an input port.
+    pub fn set_lit(&mut self, dst: NodeId, dst_port: usize, v: Value) {
+        assert!(
+            matches!(self.nodes[dst.idx()].inputs[dst_port], PortBinding::Unbound),
+            "port already bound"
+        );
+        self.nodes[dst.idx()].inputs[dst_port] = PortBinding::Lit(v);
+    }
+
+    /// Bind an [`In`] (wire or literal) to a port.
+    pub fn bind(&mut self, input: In, dst: NodeId, dst_port: usize) -> Option<ArcId> {
+        match input {
+            In::Node(src) => Some(self.connect(src, dst, dst_port)),
+            In::Lit(v) => {
+                self.set_lit(dst, dst_port, v);
+                None
+            }
+        }
+    }
+
+    /// Create a cell and bind all of its operand ports in one step.
+    pub fn cell(&mut self, op: Opcode, label: impl Into<String>, inputs: &[In]) -> NodeId {
+        let id = self.add_node(op, label);
+        assert_eq!(inputs.len(), self.nodes[id.idx()].op.arity(), "wrong operand count");
+        for (port, &input) in inputs.iter().enumerate() {
+            self.bind(input, id, port);
+        }
+        id
+    }
+
+    /// The arcs leaving `n`.
+    pub fn out_arcs(&self, n: NodeId) -> &[ArcId] {
+        &self.nodes[n.idx()].outputs
+    }
+
+    /// The arcs entering `n` (one per wired port), in port order.
+    pub fn in_arcs(&self, n: NodeId) -> impl Iterator<Item = ArcId> + '_ {
+        self.nodes[n.idx()].inputs.iter().filter_map(|p| match p {
+            PortBinding::Wired(a) => Some(*a),
+            _ => None,
+        })
+    }
+
+    /// Successor cells of `n` (with multiplicity).
+    pub fn successors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes[n.idx()].outputs.iter().map(|a| self.arcs[a.idx()].dst)
+    }
+
+    /// Predecessor cells of `n` (with multiplicity).
+    pub fn predecessors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_arcs(n).map(|a| self.arcs[a.idx()].src)
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All arc ids.
+    pub fn arc_ids(&self) -> impl Iterator<Item = ArcId> {
+        (0..self.arcs.len() as u32).map(ArcId)
+    }
+
+    /// Topological order of the graph **ignoring loop back-edges** (arcs
+    /// carrying initial tokens or declared `back`). Returns `None` if the
+    /// remaining forward graph has a cycle — a feedback loop with no
+    /// liveness seed, i.e. a deadlocked program.
+    pub fn forward_topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg = vec![0usize; n];
+        for e in &self.arcs {
+            if e.is_forward() {
+                indeg[e.dst.idx()] += 1;
+            }
+        }
+        let mut stack: Vec<NodeId> = self
+            .node_ids()
+            .filter(|id| indeg[id.idx()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(id) = stack.pop() {
+            order.push(id);
+            for &a in &self.nodes[id.idx()].outputs {
+                let e = &self.arcs[a.idx()];
+                if e.is_forward() {
+                    indeg[e.dst.idx()] -= 1;
+                    if indeg[e.dst.idx()] == 0 {
+                        stack.push(e.dst);
+                    }
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Replace every symbolic [`Opcode::Fifo`] cell by a chain of identity
+    /// cells of the same depth — the actual machine realization of a buffer.
+    /// Returns the number of identity cells created.
+    pub fn expand_fifos(&mut self) -> usize {
+        let mut created = 0;
+        for i in 0..self.nodes.len() {
+            let depth = match self.nodes[i].op {
+                Opcode::Fifo(d) => d,
+                _ => continue,
+            };
+            assert!(depth >= 1, "FIFO depth must be >= 1");
+            // Turn the FIFO cell itself into the first identity stage…
+            self.nodes[i].op = Opcode::Id;
+            let base_label = std::mem::take(&mut self.nodes[i].label);
+            self.nodes[i].label = format!("{base_label}#0");
+            // …then splice `depth - 1` further stages onto its output side.
+            let mut tail = NodeId(i as u32);
+            let moved_outputs = std::mem::take(&mut self.nodes[i].outputs);
+            for k in 1..depth {
+                let stage = self.add_node(Opcode::Id, format!("{base_label}#{k}"));
+                self.connect(tail, stage, 0);
+                tail = stage;
+                created += 1;
+            }
+            if tail == NodeId(i as u32) {
+                self.nodes[i].outputs = moved_outputs;
+            } else {
+                for a in moved_outputs {
+                    self.arcs[a.idx()].src = tail;
+                    self.nodes[tail.idx()].outputs.push(a);
+                }
+            }
+        }
+        created
+    }
+
+    /// Insert an identity-chain FIFO of `depth` stages *on* an existing arc,
+    /// preserving the arc's initial token (it stays on the segment entering
+    /// the original destination). Returns the first inserted node, if any.
+    pub fn insert_fifo_on_arc(&mut self, arc: ArcId, depth: u32) -> Option<NodeId> {
+        if depth == 0 {
+            return None;
+        }
+        let Edge { src, dst, dst_port, .. } = self.arcs[arc.idx()];
+        let first = self.add_node(Opcode::Fifo(depth), format!("bal→{}", self.nodes[dst.idx()].label));
+        // Rewire: src → first, first → dst (reusing the original arc for the
+        // downstream segment keeps `dst`'s port binding and initial token).
+        // Remove `arc` from src's output list.
+        let pos = self.nodes[src.idx()]
+            .outputs
+            .iter()
+            .position(|&a| a == arc)
+            .expect("arc missing from source outputs");
+        self.nodes[src.idx()].outputs.remove(pos);
+        // New upstream arc src → first, carrying the original phase.
+        let phase = self.arcs[arc.idx()].phase;
+        self.arcs[arc.idx()].phase = 0;
+        let up = ArcId(self.arcs.len() as u32);
+        self.arcs.push(Edge {
+            src,
+            dst: first,
+            dst_port: 0,
+            initial: None,
+            back: false,
+            phase,
+        });
+        self.nodes[first.idx()].inputs[0] = PortBinding::Wired(up);
+        self.nodes[src.idx()].outputs.push(up);
+        // Original arc now originates at the FIFO.
+        self.arcs[arc.idx()].src = first;
+        self.nodes[first.idx()].outputs.push(arc);
+        let _ = (dst, dst_port);
+        Some(first)
+    }
+
+    /// Count of cells per mnemonic — handy for tests and listings.
+    pub fn opcode_histogram(&self) -> std::collections::BTreeMap<String, usize> {
+        let mut h = std::collections::BTreeMap::new();
+        for n in &self.nodes {
+            *h.entry(n.op.mnemonic()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Ids of all `Source` cells with their port names.
+    pub fn sources(&self) -> Vec<(NodeId, String)> {
+        self.node_ids()
+            .filter_map(|id| match &self.nodes[id.idx()].op {
+                Opcode::Source(name) => Some((id, name.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Serialize the program to JSON (the on-disk machine-code format;
+    /// see [`Graph::from_json`]).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("graphs serialize")
+    }
+
+    /// Load a program from its JSON form.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+
+    /// Ids of all `Sink` cells with their port names.
+    pub fn sinks(&self) -> Vec<(NodeId, String)> {
+        self.node_ids()
+            .filter_map(|id| match &self.nodes[id.idx()].op {
+                Opcode::Sink(name) => Some((id, name.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::BinOp;
+
+    fn tiny() -> (Graph, NodeId, NodeId) {
+        // a, b → MULT → SINK
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let b = g.add_node(Opcode::Source("b".into()), "b");
+        let m = g.cell(Opcode::Bin(BinOp::Mul), "m", &[a.into(), b.into()]);
+        let s = g.cell(Opcode::Sink("y".into()), "y", &[m.into()]);
+        (g, m, s)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, m, s) = tiny();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.arc_count(), 3);
+        assert_eq!(g.successors(m).collect::<Vec<_>>(), vec![s]);
+        assert_eq!(g.predecessors(s).collect::<Vec<_>>(), vec![m]);
+        assert_eq!(g.sources().len(), 2);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn topo_order_covers_all() {
+        let (g, ..) = tiny();
+        let order = g.forward_topo_order().unwrap();
+        assert_eq!(order.len(), 4);
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, n)| (*n, i)).collect();
+        for e in &g.arcs {
+            assert!(pos[&e.src] < pos[&e.dst]);
+        }
+    }
+
+    #[test]
+    fn cycle_without_initial_token_detected() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Id, "a");
+        let b = g.cell(Opcode::Id, "b", &[a.into()]);
+        g.connect(b, a, 0); // un-seeded cycle
+        assert!(g.forward_topo_order().is_none());
+    }
+
+    #[test]
+    fn cycle_with_initial_token_is_forward_acyclic() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Id, "a");
+        let b = g.cell(Opcode::Id, "b", &[a.into()]);
+        g.connect_init(b, a, 0, Value::Int(0));
+        assert!(g.forward_topo_order().is_some());
+    }
+
+    #[test]
+    fn expand_fifos_makes_id_chain() {
+        let mut g = Graph::new();
+        let src = g.add_node(Opcode::Source("a".into()), "a");
+        let f = g.cell(Opcode::Fifo(3), "buf", &[src.into()]);
+        let _snk = g.cell(Opcode::Sink("y".into()), "y", &[f.into()]);
+        let created = g.expand_fifos();
+        assert_eq!(created, 2);
+        assert_eq!(g.opcode_histogram()["ID"], 3);
+        // Path a → #0 → #1 → #2 → sink.
+        let order = g.forward_topo_order().unwrap();
+        assert_eq!(order.len(), 5);
+    }
+
+    #[test]
+    fn insert_fifo_on_arc_preserves_wiring() {
+        let (mut g, m, s) = tiny();
+        let arc = g.in_arcs(s).next().unwrap();
+        g.insert_fifo_on_arc(arc, 2);
+        // m now feeds the FIFO; the FIFO feeds the sink.
+        let succ_of_m: Vec<_> = g.successors(m).collect();
+        assert_eq!(succ_of_m.len(), 1);
+        assert!(matches!(g.nodes[succ_of_m[0].idx()].op, Opcode::Fifo(2)));
+        assert_eq!(g.predecessors(s).next(), Some(succ_of_m[0]));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let (mut g, ..) = tiny();
+        // Exercise initial tokens, phases and back arcs too.
+        let id = g.add_node(Opcode::Id, "fb");
+        let a = g.connect_init(g.node_ids().next().unwrap(), id, 0, Value::Int(7));
+        g.arcs[a.idx()].phase = -3;
+        let json = g.to_json();
+        let back = Graph::from_json(&json).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.arc_count(), g.arc_count());
+        assert_eq!(back.arcs[a.idx()].initial, Some(Value::Int(7)));
+        assert_eq!(back.arcs[a.idx()].phase, -3);
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn bad_json_reports_error() {
+        assert!(Graph::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn literal_operands() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let add = g.cell(Opcode::Bin(BinOp::Add), "add", &[a.into(), 2.0.into()]);
+        assert!(matches!(
+            g.nodes[add.idx()].inputs[1],
+            PortBinding::Lit(Value::Real(_))
+        ));
+        assert_eq!(g.in_arcs(add).count(), 1);
+    }
+}

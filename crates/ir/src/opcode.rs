@@ -1,0 +1,169 @@
+//! Instruction-cell operation codes.
+//!
+//! A machine-level data flow program is a collection of *instruction cells*,
+//! each holding an operation code, operand fields, and destination fields
+//! (paper §2). The opcodes here are exactly the cell kinds used by the
+//! paper's constructions: ordinary arithmetic/relational cells, identity
+//! buffers, the T/F **gated identities** that discard unselected packets,
+//! the three-input **MERGE**, symbolic **FIFO** buffers, boolean
+//! **control-sequence generators** (Todd's circuits), graph inputs/outputs,
+//! and array-memory access cells.
+
+use crate::ctl::CtlStream;
+use crate::value::{BinOp, UnOp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Input-port index of the boolean control operand on `TGate`/`FGate`.
+pub const GATE_CTL: usize = 0;
+/// Input-port index of the data operand on `TGate`/`FGate`.
+pub const GATE_DATA: usize = 1;
+/// Input-port index of the merge-control operand `M` on `Merge`.
+pub const MERGE_CTL: usize = 0;
+/// Input-port index of the `I1` operand (forwarded when `M` is true).
+pub const MERGE_TRUE: usize = 1;
+/// Input-port index of the `I2` operand (forwarded when `M` is false).
+pub const MERGE_FALSE: usize = 2;
+
+/// The operation held by one instruction cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Two-operand arithmetic / relational / logical instruction.
+    Bin(BinOp),
+    /// One-operand instruction.
+    Un(UnOp),
+    /// Identity: forwards its operand unchanged. One identity cell is one
+    /// pipeline stage; chains of identities realize FIFO buffers.
+    Id,
+    /// Gated identity forwarding its data operand only when the control
+    /// operand is **true**; otherwise the data packet is *discarded* (the
+    /// paper's mechanism for dropping unused array elements so they "do not
+    /// cause jams"). Ports: [`GATE_CTL`], [`GATE_DATA`].
+    TGate,
+    /// Gated identity forwarding only when the control operand is **false**.
+    FGate,
+    /// The MERGE instruction (paper §5): fires when the merge control `M`
+    /// and the *selected* data operand are present; forwards `I1` if `M` is
+    /// true, else `I2`, leaving the other operand untouched.
+    Merge,
+    /// Symbolic FIFO buffer of the given depth. Semantically identical to a
+    /// chain of `depth` identity cells; [`crate::graph::Graph::expand_fifos`]
+    /// performs that lowering before the code is loaded into a machine.
+    Fifo(u32),
+    /// Boolean control-sequence generator emitting the given periodic
+    /// stream, one packet per firing.
+    CtlGen(CtlStream),
+    /// Index-sequence generator emitting `lo, lo+1, …, hi` cyclically (one
+    /// integer packet per firing). Realizable as a pair of interleaved
+    /// counter loops built from ordinary cells (Todd's construction); kept
+    /// primitive here like `CtlGen`.
+    IdxGen {
+        /// First index of each wave.
+        lo: i64,
+        /// Last index of each wave (inclusive).
+        hi: i64,
+    },
+    /// Graph input: emits the packets bound (at run time) to the named
+    /// input port, in order, one per firing.
+    Source(String),
+    /// Graph output: consumes packets and records them under the named
+    /// output port.
+    Sink(String),
+    /// Array-memory *build* access: behaves as an identity, but executes in
+    /// an array-memory unit (used for long-lived values such as state
+    /// carried between simulation time steps; paper §2).
+    AmWrite,
+    /// Array-memory *read* access: identity executed in an array-memory unit.
+    AmRead,
+}
+
+impl Opcode {
+    /// Number of input operand ports.
+    pub fn arity(&self) -> usize {
+        match self {
+            Opcode::Bin(_) => 2,
+            Opcode::Un(_) | Opcode::Id | Opcode::Fifo(_) => 1,
+            Opcode::TGate | Opcode::FGate => 2,
+            Opcode::Merge => 3,
+            Opcode::CtlGen(_) | Opcode::IdxGen { .. } | Opcode::Source(_) => 0,
+            Opcode::Sink(_) | Opcode::AmWrite | Opcode::AmRead => 1,
+        }
+    }
+
+    /// Whether the cell may produce a result packet when it fires.
+    pub fn produces_output(&self) -> bool {
+        !matches!(self, Opcode::Sink(_))
+    }
+
+    /// Whether this instruction executes in an array-memory unit (for the
+    /// packet-traffic accounting of the paper's §2 claim).
+    pub fn is_array_memory(&self) -> bool {
+        matches!(self, Opcode::AmWrite | Opcode::AmRead)
+    }
+
+    /// Whether this is a floating-point-capable arithmetic instruction that
+    /// a processing element would ship to a function unit.
+    pub fn is_function_unit(&self) -> bool {
+        matches!(
+            self,
+            Opcode::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div) | Opcode::Un(UnOp::Neg | UnOp::Abs)
+        )
+    }
+
+    /// Mnemonic used in machine-code listings, matching the paper's figures
+    /// (`ADD`, `MULT`, `ID`, `MERG`, ...).
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Opcode::Bin(op) => op.mnemonic().to_string(),
+            Opcode::Un(op) => op.mnemonic().to_string(),
+            Opcode::Id => "ID".into(),
+            Opcode::TGate => "TGATE".into(),
+            Opcode::FGate => "FGATE".into(),
+            Opcode::Merge => "MERG".into(),
+            Opcode::Fifo(d) => format!("FIFO({d})"),
+            Opcode::CtlGen(s) => format!("CTL{s}"),
+            Opcode::IdxGen { lo, hi } => format!("IDX[{lo},{hi}]"),
+            Opcode::Source(name) => format!("IN[{name}]"),
+            Opcode::Sink(name) => format!("OUT[{name}]"),
+            Opcode::AmWrite => "AMW".into(),
+            Opcode::AmRead => "AMR".into(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Opcode::Bin(BinOp::Add).arity(), 2);
+        assert_eq!(Opcode::Merge.arity(), 3);
+        assert_eq!(Opcode::TGate.arity(), 2);
+        assert_eq!(Opcode::Source("a".into()).arity(), 0);
+        assert_eq!(Opcode::CtlGen(CtlStream::constant(true, 3)).arity(), 0);
+        assert_eq!(Opcode::Sink("x".into()).arity(), 1);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Opcode::AmWrite.is_array_memory());
+        assert!(!Opcode::Id.is_array_memory());
+        assert!(Opcode::Bin(BinOp::Mul).is_function_unit());
+        assert!(!Opcode::Bin(BinOp::Lt).is_function_unit());
+        assert!(!Opcode::Sink("x".into()).produces_output());
+    }
+
+    #[test]
+    fn mnemonics_match_paper() {
+        assert_eq!(Opcode::Bin(BinOp::Mul).mnemonic(), "MULT");
+        assert_eq!(Opcode::Merge.mnemonic(), "MERG");
+        assert_eq!(Opcode::Fifo(2).mnemonic(), "FIFO(2)");
+    }
+}

@@ -1,0 +1,88 @@
+//! Machine-code listing in the style of the paper's cell diagrams:
+//! one line per instruction cell with opcode, operands, and destinations.
+
+use crate::graph::{Graph, PortBinding};
+use std::fmt::Write;
+
+/// Render the program as a textual instruction-cell listing.
+///
+/// ```text
+/// CELL 2  ADD      ops: cell1, lit 2        -> cell4.0
+/// ```
+pub fn listing(g: &Graph) -> String {
+    let mut out = String::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        let ops = node
+            .inputs
+            .iter()
+            .map(|p| match p {
+                PortBinding::Unbound => "?".to_string(),
+                PortBinding::Wired(a) => format!("cell{}", g.arcs[a.idx()].src.idx()),
+                PortBinding::Lit(v) => format!("lit {v}"),
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let dests = node
+            .outputs
+            .iter()
+            .map(|a| {
+                let e = &g.arcs[a.idx()];
+                let init = e
+                    .initial
+                    .map(|v| format!("[init {v}]"))
+                    .unwrap_or_default();
+                format!("cell{}.{}{}", e.dst.idx(), e.dst_port, init)
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(
+            out,
+            "CELL {i:<4} {:<12} {:<20} ops: {:<30} -> {}",
+            node.op.mnemonic(),
+            node.label,
+            ops,
+            if dests.is_empty() { "-".into() } else { dests }
+        );
+    }
+    out
+}
+
+/// One-line summary: cell count, arc count, opcode histogram.
+pub fn summary(g: &Graph) -> String {
+    let hist = g
+        .opcode_histogram()
+        .into_iter()
+        .map(|(k, v)| format!("{k}×{v}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!("{} cells, {} arcs: {}", g.node_count(), g.arc_count(), hist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+    use crate::value::BinOp;
+
+    #[test]
+    fn listing_mentions_all_cells() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let add = g.cell(Opcode::Bin(BinOp::Add), "add", &[a.into(), 2.0.into()]);
+        let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
+        let text = listing(&g);
+        assert!(text.contains("ADD"));
+        assert!(text.contains("lit 2"));
+        assert!(text.contains("IN[a]"));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let _ = g.cell(Opcode::Sink("y".into()), "y", &[a.into()]);
+        let s = summary(&g);
+        assert!(s.starts_with("2 cells, 1 arcs"));
+    }
+}

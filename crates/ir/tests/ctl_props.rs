@@ -1,0 +1,100 @@
+//! Property tests for the control-stream algebra: the run-length encoded
+//! representation must agree with materialized bit vectors under every
+//! operation.
+
+use proptest::prelude::*;
+use valpipe_ir::CtlStream;
+
+fn stream_strategy() -> impl Strategy<Value = CtlStream> {
+    proptest::collection::vec((any::<bool>(), 1u32..5), 1..8)
+        .prop_map(CtlStream::from_runs)
+}
+
+fn bits(s: &CtlStream, n: usize) -> Vec<bool> {
+    s.take(n)
+}
+
+proptest! {
+    #[test]
+    fn negate_is_pointwise(s in stream_strategy()) {
+        let n = (s.wave_len() * 3) as usize;
+        let neg = s.negate();
+        prop_assert_eq!(
+            bits(&neg, n),
+            bits(&s, n).into_iter().map(|b| !b).collect::<Vec<_>>()
+        );
+        // Involution.
+        prop_assert_eq!(neg.negate(), s);
+    }
+
+    #[test]
+    fn and_or_pointwise(a in stream_strategy(), b in stream_strategy()) {
+        // Align wave lengths by tiling to the LCM via explicit bits.
+        let la = a.wave_len();
+        let lb = b.wave_len();
+        let l = num_lcm(la, lb);
+        let ae = CtlStream::from_runs(a.take(l as usize).into_iter().map(|v| (v, 1)));
+        let be = CtlStream::from_runs(b.take(l as usize).into_iter().map(|v| (v, 1)));
+        let n = (l * 2) as usize;
+        prop_assert_eq!(
+            bits(&ae.and(&be), n),
+            bits(&ae, n).iter().zip(bits(&be, n)).map(|(&x, y)| x && y).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            bits(&ae.or(&be), n),
+            bits(&ae, n).iter().zip(bits(&be, n)).map(|(&x, y)| x || y).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn canonical_form_roundtrips(s in stream_strategy()) {
+        // Rebuilding from materialized single-bit runs yields the same
+        // canonical pattern.
+        let n = s.wave_len() as usize;
+        let rebuilt = CtlStream::from_runs(s.take(n).into_iter().map(|v| (v, 1)));
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn wave_len_and_trues_consistent(s in stream_strategy()) {
+        let n = s.wave_len() as usize;
+        let b = s.take(n);
+        prop_assert_eq!(b.len(), n);
+        prop_assert_eq!(
+            b.iter().filter(|&&x| x).count() as u32,
+            s.trues_per_wave()
+        );
+        // Periodicity.
+        prop_assert_eq!(s.take(2 * n)[n..].to_vec(), b);
+    }
+
+    #[test]
+    fn compress_length_matches_mask(s in stream_strategy(), mask_bits in proptest::collection::vec(any::<bool>(), 1..16)) {
+        prop_assume!(mask_bits.iter().any(|&b| b));
+        let l = mask_bits.len() as u32;
+        let se = CtlStream::from_runs(s.take(l as usize).into_iter().map(|v| (v, 1)));
+        let mask = CtlStream::from_runs(mask_bits.iter().map(|&b| (b, 1)));
+        let sub = se.compress(&mask);
+        prop_assert_eq!(sub.wave_len(), mask.trues_per_wave());
+        // Element-wise check of the first wave.
+        let want: Vec<bool> = se
+            .take(l as usize)
+            .into_iter()
+            .zip(&mask_bits)
+            .filter(|&(_, &m)| m)
+            .map(|(v, _)| v)
+            .collect();
+        prop_assert_eq!(sub.take(want.len()), want);
+    }
+}
+
+fn num_lcm(a: u32, b: u32) -> u32 {
+    fn gcd(a: u32, b: u32) -> u32 {
+        if b == 0 {
+            a
+        } else {
+            gcd(b, a % b)
+        }
+    }
+    a / gcd(a, b) * b
+}

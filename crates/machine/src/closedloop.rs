@@ -1,0 +1,492 @@
+//! The closed-loop networked machine: Fig. 1 executed end to end.
+//!
+//! Unlike [`crate::sim`] (per-arc latencies) and the open-loop trace
+//! replay (`exp_network`), this model routes **every result packet and
+//! every acknowledge packet** of a running program through router-level
+//! omega networks (one plane each way), with one injection port per
+//! processing element. Cells stall when their destinations' acknowledges
+//! are late — the machine's actual flow control — so network contention
+//! feeds back into instruction timing instead of being imposed as a
+//! static delay.
+//!
+//! Firing semantics are the same as the idealized simulator's (same
+//! enabling rule, gates discard, MERGE selects); the oracle tests check
+//! that values are bit-identical, so only timing differs between models.
+
+use crate::network::{OmegaNetwork, Packet};
+use std::collections::{HashMap, VecDeque};
+use valpipe_ir::graph::{Graph, PortBinding};
+use valpipe_ir::opcode::{Opcode, GATE_CTL, GATE_DATA, MERGE_CTL, MERGE_FALSE, MERGE_TRUE};
+use valpipe_ir::value::{apply_bin, apply_un, Value};
+use valpipe_ir::{ArcId, NodeId};
+
+use crate::sim::{ProgramInputs, SimError};
+
+/// Options for the closed-loop machine.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopOptions {
+    /// Processing elements (must be a power of two ≥ 2; one network port
+    /// per PE).
+    pub pes: usize,
+    /// Router queue depth.
+    pub net_queue: usize,
+    /// Per-arc token capacity (operand slots).
+    pub arc_capacity: u32,
+    /// Cell firings a PE may initiate per cycle.
+    pub pe_issue_width: u32,
+    /// Hard cycle limit.
+    pub max_cycles: u64,
+}
+
+impl Default for ClosedLoopOptions {
+    fn default() -> Self {
+        ClosedLoopOptions {
+            pes: 16,
+            net_queue: 4,
+            arc_capacity: 1,
+            pe_issue_width: 4,
+            max_cycles: 10_000_000,
+        }
+    }
+}
+
+/// Result of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct ClosedLoopResult {
+    /// Cycles elapsed.
+    pub steps: u64,
+    /// Sink packets `(cycle, value)` per port.
+    pub outputs: HashMap<String, Vec<(u64, Value)>>,
+    /// Whether every source drained.
+    pub sources_exhausted: bool,
+    /// Result packets that crossed the network.
+    pub remote_results: u64,
+    /// Acknowledge packets that crossed the network.
+    pub remote_acks: u64,
+    /// Mean network latency of delivered result packets.
+    pub mean_result_latency: f64,
+}
+
+impl ClosedLoopResult {
+    /// Values on a sink port.
+    pub fn values(&self, port: &str) -> Vec<Value> {
+        self.outputs
+            .get(port)
+            .map(|v| v.iter().map(|&(_, x)| x).collect())
+            .unwrap_or_default()
+    }
+
+    /// Steady-state interval on a sink port.
+    pub fn steady_interval(&self, port: &str) -> Option<f64> {
+        let t: Vec<u64> = self.outputs.get(port)?.iter().map(|&(t, _)| t).collect();
+        crate::sim::steady_interval_of(&t)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Payload {
+    Result(ArcId, Value),
+    Ack(ArcId),
+}
+
+/// Run a program closed-loop. `pe_of[cell]` assigns cells to PEs.
+pub fn run_closed_loop(
+    g: &Graph,
+    inputs: &ProgramInputs,
+    pe_of: &[usize],
+    opts: &ClosedLoopOptions,
+) -> Result<ClosedLoopResult, SimError> {
+    assert!(opts.pes.is_power_of_two() && opts.pes >= 2);
+    assert_eq!(pe_of.len(), g.node_count());
+    let n = g.node_count();
+
+    // Per-node bookkeeping (sources, generators, sinks).
+    let mut src_data: Vec<Option<Vec<Value>>> = vec![None; n];
+    let mut src_pos = vec![0usize; n];
+    let mut ctl_pos = vec![0u64; n];
+    let mut outputs: HashMap<String, Vec<(u64, Value)>> = HashMap::new();
+    for (i, node) in g.nodes.iter().enumerate() {
+        match &node.op {
+            Opcode::Fifo(_) => return Err(SimError::UnexpandedFifo(i)),
+            Opcode::Source(name) => {
+                let d = inputs
+                    .get(name)
+                    .ok_or_else(|| SimError::MissingInput(name.clone()))?;
+                src_data[i] = Some(d.to_vec());
+            }
+            Opcode::Sink(name) => {
+                outputs.insert(name.clone(), Vec::new());
+            }
+            _ => {}
+        }
+    }
+
+    // Arc state: tokens ready at the consumer + slots outstanding at the
+    // producer (freed when the acknowledge arrives back).
+    let mut ready: Vec<VecDeque<Value>> = vec![VecDeque::new(); g.arc_count()];
+    let mut outstanding: Vec<u32> = vec![0; g.arc_count()];
+    for a in g.arc_ids() {
+        if let Some(v) = g.arcs[a.idx()].initial {
+            ready[a.idx()].push_back(v);
+            // An initial token occupies a slot until consumed + acked.
+            outstanding[a.idx()] = 1;
+        }
+    }
+
+    // Two network planes + per-PE egress queues; local traffic bypasses
+    // the network with a one-cycle delay.
+    let mut result_net = OmegaNetwork::new(opts.pes, opts.net_queue);
+    let mut ack_net = OmegaNetwork::new(opts.pes, opts.net_queue);
+    let mut egress_res: Vec<VecDeque<(usize, Payload)>> = vec![VecDeque::new(); opts.pes];
+    let mut egress_ack: Vec<VecDeque<(usize, Payload)>> = vec![VecDeque::new(); opts.pes];
+    let mut local: VecDeque<(u64, Payload)> = VecDeque::new();
+    let mut in_flight_res: HashMap<u64, Payload> = HashMap::new();
+    let mut in_flight_ack: HashMap<u64, Payload> = HashMap::new();
+    let mut seq = 0u64;
+
+    let mut now = 0u64;
+    let mut idle = 0u64;
+    let (mut remote_results, mut remote_acks) = (0u64, 0u64);
+    let mut res_latency_sum = 0u64;
+
+    let lit_or = |b: &PortBinding, ready: &[VecDeque<Value>]| -> Option<Value> {
+        match b {
+            PortBinding::Lit(v) => Some(*v),
+            PortBinding::Wired(a) => ready[a.idx()].front().copied(),
+            PortBinding::Unbound => None,
+        }
+    };
+
+    while now < opts.max_cycles {
+        let mut activity = false;
+
+        // 1. Deliver local traffic and network arrivals.
+        while local.front().is_some_and(|&(t, _)| t <= now) {
+            let (_, p) = local.pop_front().unwrap();
+            apply_payload(p, &mut ready, &mut outstanding);
+            activity = true;
+        }
+        // 2. Fire enabled cells under PE issue budgets. (Network
+        // deliveries are applied in step 4, right after the planes step.)
+        let mut budget = vec![opts.pe_issue_width; opts.pes];
+        let mut plans: Vec<(NodeId, Vec<ArcId>, Option<Value>)> = Vec::new();
+        for i in 0..n {
+            if budget[pe_of[i]] == 0 {
+                continue;
+            }
+            let node = &g.nodes[i];
+            let outputs_free = |need: bool| {
+                !need
+                    || node
+                        .outputs
+                        .iter()
+                        .all(|a| outstanding[a.idx()] < opts.arc_capacity)
+            };
+            let plan: Option<(Vec<ArcId>, Option<Value>)> = match &node.op {
+                Opcode::Bin(op) => {
+                    match (lit_or(&node.inputs[0], &ready), lit_or(&node.inputs[1], &ready)) {
+                        (Some(a), Some(b)) if outputs_free(true) => {
+                            let v = apply_bin(*op, a, b).map_err(|e| SimError::Eval {
+                                node: i,
+                                label: node.label.clone(),
+                                message: e.0,
+                            })?;
+                            Some((wired(node, &[0, 1]), Some(v)))
+                        }
+                        _ => None,
+                    }
+                }
+                Opcode::Un(op) => match lit_or(&node.inputs[0], &ready) {
+                    Some(a) if outputs_free(true) => {
+                        let v = apply_un(*op, a).map_err(|e| SimError::Eval {
+                            node: i,
+                            label: node.label.clone(),
+                            message: e.0,
+                        })?;
+                        Some((wired(node, &[0]), Some(v)))
+                    }
+                    _ => None,
+                },
+                Opcode::Id | Opcode::AmRead | Opcode::AmWrite => {
+                    match lit_or(&node.inputs[0], &ready) {
+                        Some(v) if outputs_free(true) => Some((wired(node, &[0]), Some(v))),
+                        _ => None,
+                    }
+                }
+                Opcode::TGate | Opcode::FGate => {
+                    match (
+                        lit_or(&node.inputs[GATE_CTL], &ready),
+                        lit_or(&node.inputs[GATE_DATA], &ready),
+                    ) {
+                        (Some(c), Some(d)) => {
+                            let ctl = c.as_bool().ok_or(SimError::NonBoolControl {
+                                node: i,
+                                label: node.label.clone(),
+                            })?;
+                            let pass = matches!(node.op, Opcode::TGate) == ctl;
+                            if pass && !outputs_free(true) {
+                                None
+                            } else {
+                                Some((
+                                    wired(node, &[GATE_CTL, GATE_DATA]),
+                                    pass.then_some(d),
+                                ))
+                            }
+                        }
+                        _ => None,
+                    }
+                }
+                Opcode::Merge => match lit_or(&node.inputs[MERGE_CTL], &ready) {
+                    Some(c) => {
+                        let ctl = c.as_bool().ok_or(SimError::NonBoolControl {
+                            node: i,
+                            label: node.label.clone(),
+                        })?;
+                        let port = if ctl { MERGE_TRUE } else { MERGE_FALSE };
+                        match lit_or(&node.inputs[port], &ready) {
+                            Some(v) if outputs_free(true) => {
+                                Some((wired(node, &[MERGE_CTL, port]), Some(v)))
+                            }
+                            _ => None,
+                        }
+                    }
+                    None => None,
+                },
+                Opcode::CtlGen(s) => {
+                    if outputs_free(true) {
+                        Some((vec![], Some(Value::Bool(s.at(ctl_pos[i])))))
+                    } else {
+                        None
+                    }
+                }
+                Opcode::IdxGen { lo, hi } => {
+                    if outputs_free(true) {
+                        let len = (hi - lo + 1) as u64;
+                        Some((vec![], Some(Value::Int(lo + (ctl_pos[i] % len) as i64))))
+                    } else {
+                        None
+                    }
+                }
+                Opcode::Source(_) => {
+                    let d = src_data[i].as_ref().unwrap();
+                    if src_pos[i] < d.len() && outputs_free(true) {
+                        Some((vec![], Some(d[src_pos[i]])))
+                    } else {
+                        None
+                    }
+                }
+                Opcode::Sink(_) => lit_or(&node.inputs[0], &ready).map(|v| (wired(node, &[0]), Some(v))),
+                Opcode::Fifo(_) => unreachable!(),
+            };
+            if let Some((consume, emit)) = plan {
+                budget[pe_of[i]] -= 1;
+                plans.push((NodeId(i as u32), consume, emit));
+            }
+        }
+
+        for (nid, consume, emit) in plans {
+            activity = true;
+            let i = nid.idx();
+            // Consume: pop tokens, send acknowledges toward the producers.
+            for a in consume {
+                ready[a.idx()].pop_front();
+                let producer = g.arcs[a.idx()].src.idx();
+                let (sp, dp) = (pe_of[i], pe_of[producer]);
+                if sp == dp {
+                    local.push_back((now + 1, Payload::Ack(a)));
+                } else {
+                    egress_ack[sp].push_back((dp, Payload::Ack(a)));
+                }
+            }
+            match &g.nodes[i].op {
+                Opcode::Source(_) => src_pos[i] += 1,
+                Opcode::CtlGen(_) | Opcode::IdxGen { .. } => ctl_pos[i] += 1,
+                Opcode::Sink(name) => {
+                    outputs.get_mut(name).unwrap().push((now, emit.unwrap()));
+                    continue;
+                }
+                _ => {}
+            }
+            if let Some(v) = emit {
+                for &a in &g.nodes[i].outputs {
+                    outstanding[a.idx()] += 1;
+                    let consumer = g.arcs[a.idx()].dst.idx();
+                    let (sp, dp) = (pe_of[i], pe_of[consumer]);
+                    if sp == dp {
+                        local.push_back((now + 1, Payload::Result(a, v)));
+                    } else {
+                        egress_res[sp].push_back((dp, Payload::Result(a, v)));
+                    }
+                }
+            }
+        }
+
+        // 3. Inject one packet per PE per plane per cycle.
+        for pe in 0..opts.pes {
+            if let Some(&(dest, payload)) = egress_res[pe].front() {
+                let pkt = Packet { dest, injected_at: 0, seq };
+                if result_net.inject(pe, pkt) {
+                    in_flight_res.insert(seq, payload);
+                    seq += 1;
+                    egress_res[pe].pop_front();
+                    remote_results += 1;
+                    activity = true;
+                }
+            }
+            if let Some(&(dest, payload)) = egress_ack[pe].front() {
+                let pkt = Packet { dest, injected_at: 0, seq };
+                if ack_net.inject(pe, pkt) {
+                    in_flight_ack.insert(seq, payload);
+                    seq += 1;
+                    egress_ack[pe].pop_front();
+                    remote_acks += 1;
+                    activity = true;
+                }
+            }
+        }
+
+        // 4. Advance the networks and apply this cycle's deliveries.
+        let res_before = result_net.delivered().len();
+        let ack_before = ack_net.delivered().len();
+        result_net.step();
+        ack_net.step();
+        for &(t, pkt) in &result_net.delivered()[res_before..] {
+            let payload = in_flight_res.remove(&pkt.seq).expect("tracked packet");
+            res_latency_sum += t - pkt.injected_at;
+            apply_payload(payload, &mut ready, &mut outstanding);
+            activity = true;
+        }
+        for &(_, pkt) in &ack_net.delivered()[ack_before..] {
+            let payload = in_flight_ack.remove(&pkt.seq).expect("tracked ack");
+            apply_payload(payload, &mut ready, &mut outstanding);
+            activity = true;
+        }
+
+        now += 1;
+        if activity {
+            idle = 0;
+        } else {
+            idle += 1;
+            if idle > 4 + 2 * result_net.stages() as u64 {
+                break;
+            }
+        }
+    }
+
+    let sources_exhausted = (0..n).all(|i| match &src_data[i] {
+        Some(d) => src_pos[i] >= d.len(),
+        None => true,
+    });
+    let mean_result_latency = if remote_results > 0 {
+        res_latency_sum as f64 / remote_results as f64
+    } else {
+        0.0
+    };
+    Ok(ClosedLoopResult {
+        steps: now,
+        outputs,
+        sources_exhausted,
+        remote_results,
+        remote_acks,
+        mean_result_latency,
+    })
+}
+
+fn wired(node: &valpipe_ir::Node, ports: &[usize]) -> Vec<ArcId> {
+    ports
+        .iter()
+        .filter_map(|&p| match node.inputs[p] {
+            PortBinding::Wired(a) => Some(a),
+            _ => None,
+        })
+        .collect()
+}
+
+fn apply_payload(p: Payload, ready: &mut [VecDeque<Value>], outstanding: &mut [u32]) {
+    match p {
+        Payload::Result(a, v) => ready[a.idx()].push_back(v),
+        Payload::Ack(a) => {
+            debug_assert!(outstanding[a.idx()] > 0);
+            outstanding[a.idx()] -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valpipe_ir::value::BinOp;
+
+    fn chain_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let x = g.cell(Opcode::Bin(BinOp::Mul), "x", &[a.into(), 3.0.into()]);
+        let y = g.cell(Opcode::Bin(BinOp::Add), "y", &[x.into(), 1.0.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[y.into()]);
+        g
+    }
+
+    #[test]
+    fn closed_loop_values_match_idealized() {
+        let g = chain_graph();
+        let data: Vec<Value> = (0..40).map(|i| Value::Real(i as f64)).collect();
+        let inputs = ProgramInputs::new().bind("a", data.clone());
+        let ideal = crate::sim::run_program(&g, &inputs).unwrap();
+        for pes in [2usize, 4, 8] {
+            let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % pes).collect();
+            let r = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
+                pes,
+                ..Default::default()
+            })
+            .unwrap();
+            assert!(r.sources_exhausted, "pes={pes}");
+            assert_eq!(r.values("out"), ideal.values("out"), "pes={pes}");
+        }
+    }
+
+    #[test]
+    fn network_latency_throttles_but_never_deadlocks() {
+        let g = chain_graph();
+        let data: Vec<Value> = (0..120).map(|i| Value::Real(i as f64)).collect();
+        let inputs = ProgramInputs::new().bind("a", data);
+        let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % 4).collect();
+        let r = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
+            pes: 4,
+            arc_capacity: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(r.sources_exhausted);
+        // Remote hop = 2 network cycles each way + fire → interval well
+        // above the idealized 2.
+        let iv = r.steady_interval("out").unwrap();
+        assert!(iv > 3.0, "capacity-1 remote links must be slow: {iv}");
+        // Deeper operand slots win rate back (the §2 buffering story).
+        let data: Vec<Value> = (0..120).map(|i| Value::Real(i as f64)).collect();
+        let inputs = ProgramInputs::new().bind("a", data);
+        let r4 = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
+            pes: 4,
+            arc_capacity: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let iv4 = r4.steady_interval("out").unwrap();
+        assert!(iv4 < iv - 0.5, "buffered links must be faster: {iv4} vs {iv}");
+    }
+
+    #[test]
+    fn acks_are_conserved() {
+        let g = chain_graph();
+        let data: Vec<Value> = (0..30).map(|i| Value::Real(i as f64)).collect();
+        let inputs = ProgramInputs::new().bind("a", data);
+        let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % 2).collect();
+        let r = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
+            pes: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        // Every remote result eventually produces a remote ack (same PE
+        // split for every arc in this placement).
+        assert_eq!(r.remote_results, r.remote_acks);
+    }
+}

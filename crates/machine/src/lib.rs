@@ -1,0 +1,32 @@
+//! # valpipe-machine — static data flow machine simulator
+//!
+//! Executable model of the machine described in §2–3 of Dennis & Gao
+//! (ICPP 1983): instruction cells activated by data, result packets and
+//! acknowledge packets, and — in the detailed model — processing elements,
+//! function units, array memories and a packet-switched routing network
+//! (the paper's Fig. 1).
+//!
+//! * [`sim`] is the cycle-level token/acknowledge simulator used for every
+//!   throughput claim (rate 1/2 fully pipelined, 1/3 for an unbalanced
+//!   3-cycle, …).
+//! * [`arch`] maps a program onto machine units and derives per-arc packet
+//!   latencies and per-unit contention budgets for the detailed model,
+//!   plus the operation-packet accounting behind the paper's "one eighth
+//!   or less to the array memories" claim.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod closedloop;
+pub mod network;
+pub mod sim;
+pub mod trace;
+
+pub use arch::{MachineConfig, Placement};
+pub use closedloop::{run_closed_loop, ClosedLoopOptions, ClosedLoopResult};
+pub use network::{OmegaNetwork, Packet};
+pub use trace::{chrome_trace, occupancy_chart};
+pub use sim::{
+    run_program, steady_interval_of, steady_rate_of, ArcDelays, ProgramInputs, ResourceModel,
+    RunResult, SimError, SimOptions, Simulator, StopReason,
+};

@@ -1,0 +1,972 @@
+//! Synchronous simulator for machine-level data flow programs.
+//!
+//! The model follows the paper's §2–3 exactly:
+//!
+//! * an instruction cell is **enabled** when every operand is present *and*
+//!   every destination has acknowledged the previous result;
+//! * a result packet takes one *instruction time* to reach its destination,
+//!   and the acknowledge packet takes one instruction time back, so an
+//!   isolated cell in a pipeline fires at most once per **two instruction
+//!   times** — the paper's maximum (fully pipelined) rate of 1/2;
+//! * each arc holds at most one data token (capacity can be raised to model
+//!   buffered links in the detailed-machine experiments);
+//! * gated identities (`TGate`/`FGate`) consume their operands every firing
+//!   but only produce a result when selected — discarded packets need no
+//!   destination acknowledgment, which is what keeps unused array elements
+//!   from jamming the pipe;
+//! * `MERGE` consumes its control operand and the selected data operand,
+//!   leaving the other data operand untouched.
+//!
+//! The simulator is deterministic: all enabled cells fire simultaneously in
+//! each step (optionally throttled by a [`ResourceModel`]), and ties are
+//! broken by cell index.
+
+use std::collections::{HashMap, VecDeque};
+
+use valpipe_ir::graph::{Graph, PortBinding};
+use valpipe_ir::opcode::{Opcode, GATE_CTL, GATE_DATA, MERGE_CTL, MERGE_FALSE, MERGE_TRUE};
+use valpipe_ir::value::{apply_bin, apply_un, Value};
+use valpipe_ir::{ArcId, NodeId};
+
+/// Input data: for each `Source` port name, the full sequence of packets to
+/// feed (one array per wave, concatenated across waves).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramInputs {
+    map: HashMap<String, Vec<Value>>,
+}
+
+impl ProgramInputs {
+    /// Empty input set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a packet sequence to a source port, replacing any previous one.
+    pub fn bind(mut self, name: impl Into<String>, values: Vec<Value>) -> Self {
+        self.map.insert(name.into(), values);
+        self
+    }
+
+    /// Bind a sequence of reals.
+    pub fn bind_reals(self, name: impl Into<String>, values: &[f64]) -> Self {
+        self.bind(name, values.iter().map(|&v| Value::Real(v)).collect())
+    }
+
+    /// Bind a sequence of integers.
+    pub fn bind_ints(self, name: impl Into<String>, values: &[i64]) -> Self {
+        self.bind(name, values.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    /// Bind `waves` repetitions of one wave of reals.
+    pub fn bind_waves(self, name: impl Into<String>, wave: &[f64], waves: usize) -> Self {
+        let mut all = Vec::with_capacity(wave.len() * waves);
+        for _ in 0..waves {
+            all.extend(wave.iter().map(|&v| Value::Real(v)));
+        }
+        self.bind(name, all)
+    }
+
+    /// Look up a bound sequence.
+    pub fn get(&self, name: &str) -> Option<&[Value]> {
+        self.map.get(name).map(|v| v.as_slice())
+    }
+}
+
+/// Per-unit instruction-initiation budget for contention modeling (used by
+/// the detailed machine model; `None` in the idealized model).
+#[derive(Debug, Clone)]
+pub struct ResourceModel {
+    /// Unit index for each cell.
+    pub unit_of: Vec<u32>,
+    /// How many cells each unit may fire per instruction time.
+    pub capacity: Vec<u32>,
+}
+
+/// Per-arc packet latencies (instruction times). Defaults to 1/1 — the
+/// idealized machine where every hop costs one instruction time.
+#[derive(Debug, Clone)]
+pub struct ArcDelays {
+    /// Result-packet delivery latency per arc.
+    pub forward: Vec<u64>,
+    /// Acknowledge-packet latency per arc.
+    pub ack: Vec<u64>,
+}
+
+impl ArcDelays {
+    /// Uniform 1/1 delays for a graph with `arcs` arcs.
+    pub fn uniform(arcs: usize) -> Self {
+        ArcDelays {
+            forward: vec![1; arcs],
+            ack: vec![1; arcs],
+        }
+    }
+}
+
+/// Simulation options.
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Hard step limit (guards against livelock in buggy programs).
+    pub max_steps: u64,
+    /// Arc capacity (tokens simultaneously buffered per link). The static
+    /// architecture's base rule is 1.
+    pub arc_capacity: usize,
+    /// Per-arc latencies; `None` = uniform 1/1.
+    pub delays: Option<ArcDelays>,
+    /// Optional contention model.
+    pub resources: Option<ResourceModel>,
+    /// Record the firing time of every firing of every cell (costly; used
+    /// by utilization experiments).
+    pub record_fire_times: bool,
+    /// Stop once every listed sink has received at least this many
+    /// packets. Needed for programs whose outputs do not depend on any
+    /// input (a recurrence with constant coefficients regenerates its
+    /// array forever from the control generators alone).
+    pub stop_outputs: Option<Vec<(String, usize)>>,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_steps: 10_000_000,
+            arc_capacity: 1,
+            delays: None,
+            resources: None,
+            record_fire_times: false,
+            stop_outputs: None,
+        }
+    }
+}
+
+/// Why the run stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No cell can ever fire again (normal completion or deadlock; check
+    /// [`RunResult::sources_exhausted`] to tell which).
+    Quiescent,
+    /// Step limit hit.
+    MaxSteps,
+    /// The requested number of output packets arrived (see
+    /// [`SimOptions::stop_outputs`]).
+    OutputsReached,
+}
+
+/// Hard simulation fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// An instruction evaluated to a type error / division by zero.
+    Eval {
+        /// Faulting cell.
+        node: usize,
+        /// Cell label.
+        label: String,
+        /// Underlying error.
+        message: String,
+    },
+    /// A control operand was not a boolean packet.
+    NonBoolControl {
+        /// Faulting cell.
+        node: usize,
+        /// Cell label.
+        label: String,
+    },
+    /// A `Source` port has no bound input sequence.
+    MissingInput(String),
+    /// The program contains a symbolic FIFO (call `expand_fifos` first).
+    UnexpandedFifo(usize),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Eval { node, label, message } => {
+                write!(f, "cell {node} ({label}): {message}")
+            }
+            SimError::NonBoolControl { node, label } => {
+                write!(f, "cell {node} ({label}): non-boolean control packet")
+            }
+            SimError::MissingInput(name) => write!(f, "no input bound for source '{name}'"),
+            SimError::UnexpandedFifo(node) => {
+                write!(f, "cell {node}: symbolic FIFO not lowered (call expand_fifos)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Instruction times elapsed.
+    pub steps: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// For each sink port: `(arrival time, value)` per packet, in order.
+    pub outputs: HashMap<String, Vec<(u64, Value)>>,
+    /// Firing count per cell.
+    pub fires: Vec<u64>,
+    /// For each source port: the time of each packet emission.
+    pub source_emit_times: HashMap<String, Vec<u64>>,
+    /// Whether every source emitted its whole bound sequence.
+    pub sources_exhausted: bool,
+    /// Total firings (≙ operation packets processed).
+    pub total_fires: u64,
+    /// Firings of array-memory cells (operation packets sent to AMs).
+    pub am_fires: u64,
+    /// Firings shipped to function units.
+    pub fu_fires: u64,
+    /// Firing times per cell, if requested.
+    pub fire_times: Option<Vec<Vec<u64>>>,
+    /// For quiescent runs that did not exhaust their sources: a
+    /// human-readable description of what each blocked cell is waiting
+    /// for (deadlock diagnosis).
+    pub stall_report: Option<String>,
+}
+
+impl RunResult {
+    /// Values (without timestamps) received on a sink port.
+    pub fn values(&self, port: &str) -> Vec<Value> {
+        self.outputs
+            .get(port)
+            .map(|v| v.iter().map(|&(_, x)| x).collect())
+            .unwrap_or_default()
+    }
+
+    /// Real-typed values on a sink port (panics on non-numeric packets).
+    pub fn reals(&self, port: &str) -> Vec<f64> {
+        self.values(port)
+            .into_iter()
+            .map(|v| v.as_real().expect("non-numeric output packet"))
+            .collect()
+    }
+
+    /// Steady-state initiation interval on a sink port: the mean spacing of
+    /// arrivals over the middle of the run (the first and last `trim`
+    /// fraction are dropped to exclude fill/drain transients). Full
+    /// pipelining ⇔ interval ≈ 2 instruction times.
+    pub fn steady_interval(&self, port: &str) -> Option<f64> {
+        let times = self.outputs.get(port)?;
+        steady_interval_of(&times.iter().map(|&(t, _)| t).collect::<Vec<_>>())
+    }
+
+    /// Pipeline fill latency of an output: instruction times from the
+    /// machine start to the first packet on the port.
+    pub fn fill_latency(&self, port: &str) -> Option<u64> {
+        self.outputs.get(port)?.first().map(|&(t, _)| t)
+    }
+
+    /// Fraction of operation packets destined to array memories.
+    pub fn am_traffic_fraction(&self) -> f64 {
+        if self.total_fires == 0 {
+            0.0
+        } else {
+            self.am_fires as f64 / self.total_fires as f64
+        }
+    }
+}
+
+/// Steady-state mean inter-arrival spacing over the middle 60% of a
+/// monotone time sequence. `None` if fewer than 8 events.
+pub fn steady_interval_of(times: &[u64]) -> Option<f64> {
+    if times.len() < 8 {
+        return None;
+    }
+    let lo = times.len() / 5;
+    let hi = times.len() - times.len() / 5;
+    let span = times[hi - 1] - times[lo];
+    Some(span as f64 / (hi - 1 - lo) as f64)
+}
+
+/// Computation rate = packets per instruction time on a port (inverse of
+/// [`RunResult::steady_interval`]).
+pub fn steady_rate_of(times: &[u64]) -> Option<f64> {
+    steady_interval_of(times).map(|iv| 1.0 / iv)
+}
+
+#[derive(Debug)]
+struct ArcState {
+    /// In-flight and deliverable tokens: `(value, ready_at)`.
+    queue: VecDeque<(Value, u64)>,
+    /// Times at which consumed-token slots become free again (acks).
+    freeing: VecDeque<u64>,
+    cap: usize,
+}
+
+impl ArcState {
+    fn occupied(&self) -> usize {
+        self.queue.len() + self.freeing.len()
+    }
+    fn peek(&self, now: u64) -> Option<Value> {
+        self.queue.front().and_then(|&(v, t)| (t <= now).then_some(v))
+    }
+}
+
+enum Operand {
+    FromArc(ArcId, Value),
+    Literal(Value),
+}
+
+impl Operand {
+    fn value(&self) -> Value {
+        match self {
+            Operand::FromArc(_, v) | Operand::Literal(v) => *v,
+        }
+    }
+}
+
+/// The simulator. Construct with [`Simulator::new`], then [`Simulator::run`]
+/// (or step manually for traces).
+pub struct Simulator<'g> {
+    g: &'g Graph,
+    opts: SimOptions,
+    arcs: Vec<ArcState>,
+    src_pos: Vec<usize>,
+    src_data: Vec<Option<Vec<Value>>>,
+    ctl_pos: Vec<u64>,
+    now: u64,
+    fires: Vec<u64>,
+    fire_times: Option<Vec<Vec<u64>>>,
+    outputs: HashMap<String, Vec<(u64, Value)>>,
+    source_emit_times: HashMap<String, Vec<u64>>,
+    fwd_delay: Vec<u64>,
+    ack_delay: Vec<u64>,
+    am_fires: u64,
+    fu_fires: u64,
+}
+
+impl<'g> Simulator<'g> {
+    /// Prepare a simulation of `g` with the given inputs.
+    pub fn new(g: &'g Graph, inputs: &ProgramInputs, opts: SimOptions) -> Result<Self, SimError> {
+        let n = g.nodes.len();
+        let mut src_data = vec![None; n];
+        let mut outputs = HashMap::new();
+        let mut source_emit_times = HashMap::new();
+        for (i, node) in g.nodes.iter().enumerate() {
+            match &node.op {
+                Opcode::Fifo(_) => return Err(SimError::UnexpandedFifo(i)),
+                Opcode::Source(name) => {
+                    let data = inputs
+                        .get(name)
+                        .ok_or_else(|| SimError::MissingInput(name.clone()))?;
+                    src_data[i] = Some(data.to_vec());
+                    source_emit_times.insert(name.clone(), Vec::new());
+                }
+                Opcode::Sink(name) => {
+                    outputs.insert(name.clone(), Vec::new());
+                }
+                _ => {}
+            }
+        }
+        let (fwd_delay, ack_delay) = match &opts.delays {
+            Some(d) => {
+                assert_eq!(d.forward.len(), g.arcs.len());
+                assert_eq!(d.ack.len(), g.arcs.len());
+                (d.forward.clone(), d.ack.clone())
+            }
+            None => (vec![1; g.arcs.len()], vec![1; g.arcs.len()]),
+        };
+        let arcs = g
+            .arcs
+            .iter()
+            .map(|e| {
+                let mut st = ArcState {
+                    queue: VecDeque::new(),
+                    freeing: VecDeque::new(),
+                    cap: opts.arc_capacity,
+                };
+                if let Some(v) = e.initial {
+                    st.queue.push_back((v, 0));
+                }
+                st
+            })
+            .collect();
+        let fire_times = opts.record_fire_times.then(|| vec![Vec::new(); n]);
+        Ok(Simulator {
+            g,
+            opts,
+            arcs,
+            src_pos: vec![0; n],
+            src_data,
+            ctl_pos: vec![0; n],
+            now: 0,
+            fires: vec![0; n],
+            fire_times,
+            outputs,
+            source_emit_times,
+            fwd_delay,
+            ack_delay,
+            am_fires: 0,
+            fu_fires: 0,
+        })
+    }
+
+    /// Current instruction time.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    fn operand(&self, n: NodeId, port: usize) -> Option<Operand> {
+        match self.g.nodes[n.idx()].inputs[port] {
+            PortBinding::Lit(v) => Some(Operand::Literal(v)),
+            PortBinding::Wired(a) => self.arcs[a.idx()].peek(self.now).map(|v| Operand::FromArc(a, v)),
+            PortBinding::Unbound => None,
+        }
+    }
+
+    fn outputs_free(&self, n: NodeId) -> bool {
+        self.g.nodes[n.idx()]
+            .outputs
+            .iter()
+            .all(|a| self.arcs[a.idx()].occupied() < self.arcs[a.idx()].cap)
+    }
+
+    /// Determine whether `n` can fire now and, if so, what it does.
+    fn plan(&self, n: NodeId) -> Result<Option<FirePlan>, SimError> {
+        let node = &self.g.nodes[n.idx()];
+        let fault_ctl = || SimError::NonBoolControl {
+            node: n.idx(),
+            label: node.label.clone(),
+        };
+        let plan = match &node.op {
+            Opcode::Bin(op) => {
+                let (Some(a), Some(b)) = (self.operand(n, 0), self.operand(n, 1)) else {
+                    return Ok(None);
+                };
+                if !self.outputs_free(n) {
+                    return Ok(None);
+                }
+                let v = apply_bin(*op, a.value(), b.value()).map_err(|e| SimError::Eval {
+                    node: n.idx(),
+                    label: node.label.clone(),
+                    message: e.0,
+                })?;
+                Some(FirePlan::consume2(a, b).emit(v))
+            }
+            Opcode::Un(op) => {
+                let Some(a) = self.operand(n, 0) else { return Ok(None) };
+                if !self.outputs_free(n) {
+                    return Ok(None);
+                }
+                let v = apply_un(*op, a.value()).map_err(|e| SimError::Eval {
+                    node: n.idx(),
+                    label: node.label.clone(),
+                    message: e.0,
+                })?;
+                Some(FirePlan::consume1(a).emit(v))
+            }
+            Opcode::Id | Opcode::AmWrite | Opcode::AmRead => {
+                let Some(a) = self.operand(n, 0) else { return Ok(None) };
+                if !self.outputs_free(n) {
+                    return Ok(None);
+                }
+                let v = a.value();
+                Some(FirePlan::consume1(a).emit(v))
+            }
+            Opcode::TGate | Opcode::FGate => {
+                let (Some(c), Some(d)) = (self.operand(n, GATE_CTL), self.operand(n, GATE_DATA)) else {
+                    return Ok(None);
+                };
+                let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
+                let pass = if matches!(node.op, Opcode::TGate) { ctl } else { !ctl };
+                if pass {
+                    if !self.outputs_free(n) {
+                        return Ok(None);
+                    }
+                    let v = d.value();
+                    Some(FirePlan::consume2(c, d).emit(v))
+                } else {
+                    // Discard: no destination needed — the essential
+                    // "no jams" behaviour of the paper's §5.
+                    Some(FirePlan::consume2(c, d))
+                }
+            }
+            Opcode::Merge => {
+                let Some(c) = self.operand(n, MERGE_CTL) else { return Ok(None) };
+                let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
+                let port = if ctl { MERGE_TRUE } else { MERGE_FALSE };
+                let Some(d) = self.operand(n, port) else { return Ok(None) };
+                if !self.outputs_free(n) {
+                    return Ok(None);
+                }
+                let v = d.value();
+                Some(FirePlan::consume2(c, d).emit(v))
+            }
+            Opcode::CtlGen(stream) => {
+                if !self.outputs_free(n) {
+                    return Ok(None);
+                }
+                Some(FirePlan::new().emit(Value::Bool(stream.at(self.ctl_pos[n.idx()]))))
+            }
+            Opcode::IdxGen { lo, hi } => {
+                if !self.outputs_free(n) {
+                    return Ok(None);
+                }
+                let len = (hi - lo + 1) as u64;
+                let v = lo + (self.ctl_pos[n.idx()] % len) as i64;
+                Some(FirePlan::new().emit(Value::Int(v)))
+            }
+            Opcode::Source(_) => {
+                let data = self.src_data[n.idx()].as_ref().expect("source data bound");
+                if self.src_pos[n.idx()] >= data.len() || !self.outputs_free(n) {
+                    return Ok(None);
+                }
+                Some(FirePlan::new().emit(data[self.src_pos[n.idx()]]))
+            }
+            Opcode::Sink(_) => {
+                let Some(a) = self.operand(n, 0) else { return Ok(None) };
+                let v = a.value();
+                Some(FirePlan::consume1(a).emit(v)) // "emit" records to the sink
+            }
+            Opcode::Fifo(_) => unreachable!("rejected at construction"),
+        };
+        Ok(plan)
+    }
+
+    fn fire(&mut self, n: NodeId, plan: FirePlan) {
+        let now = self.now;
+        for arc in plan.consume {
+            let st = &mut self.arcs[arc.idx()];
+            st.queue.pop_front();
+            st.freeing.push_back(now + self.ack_delay[arc.idx()]);
+        }
+        let node = &self.g.nodes[n.idx()];
+        if let Some(v) = plan.emit {
+            match &node.op {
+                Opcode::Sink(name) => {
+                    self.outputs.get_mut(name).unwrap().push((now, v));
+                }
+                Opcode::Source(name) => {
+                    self.src_pos[n.idx()] += 1;
+                    self.source_emit_times.get_mut(name).unwrap().push(now);
+                    for &a in &node.outputs {
+                        self.arcs[a.idx()].queue.push_back((v, now + self.fwd_delay[a.idx()]));
+                    }
+                }
+                Opcode::CtlGen(_) | Opcode::IdxGen { .. } => {
+                    self.ctl_pos[n.idx()] += 1;
+                    for &a in &node.outputs {
+                        self.arcs[a.idx()].queue.push_back((v, now + self.fwd_delay[a.idx()]));
+                    }
+                }
+                _ => {
+                    for &a in &node.outputs {
+                        self.arcs[a.idx()].queue.push_back((v, now + self.fwd_delay[a.idx()]));
+                    }
+                }
+            }
+        }
+        self.fires[n.idx()] += 1;
+        if node.op.is_array_memory() {
+            self.am_fires += 1;
+        }
+        if node.op.is_function_unit() {
+            self.fu_fires += 1;
+        }
+        if let Some(ft) = &mut self.fire_times {
+            ft[n.idx()].push(now);
+        }
+    }
+
+    /// Advance one instruction time. Returns how many cells fired.
+    pub fn step(&mut self) -> Result<usize, SimError> {
+        // Release acknowledged slots.
+        for st in &mut self.arcs {
+            while st.freeing.front().is_some_and(|&t| t <= self.now) {
+                st.freeing.pop_front();
+            }
+        }
+        // Snapshot-enabled cells.
+        let mut plans: Vec<(NodeId, FirePlan)> = Vec::new();
+        for n in self.g.node_ids() {
+            if let Some(p) = self.plan(n)? {
+                plans.push((n, p));
+            }
+        }
+        // Contention throttling.
+        if let Some(res) = self.opts.resources.clone() {
+            let mut budget = res.capacity.clone();
+            plans.retain(|(n, _)| {
+                let u = res.unit_of[n.idx()] as usize;
+                if budget[u] > 0 {
+                    budget[u] -= 1;
+                    true
+                } else {
+                    false
+                }
+            });
+        }
+        let count = plans.len();
+        for (n, p) in plans {
+            self.fire(n, p);
+        }
+        self.now += 1;
+        Ok(count)
+    }
+
+    fn outputs_reached(&self) -> bool {
+        match &self.opts.stop_outputs {
+            None => false,
+            Some(list) => list
+                .iter()
+                .all(|(name, count)| self.outputs.get(name).is_some_and(|v| v.len() >= *count)),
+        }
+    }
+
+    /// Run to quiescence, the step limit, or the output-count target;
+    /// consumes the simulator.
+    pub fn run(mut self) -> Result<RunResult, SimError> {
+        let mut stop = StopReason::Quiescent;
+        let mut idle = 0u64;
+        while self.now < self.opts.max_steps {
+            let fired = self.step()?;
+            if fired > 0 && self.outputs_reached() {
+                stop = StopReason::OutputsReached;
+                break;
+            }
+            if fired == 0 {
+                // Tokens may still be in flight (delay > 1); quiesce only
+                // after the longest latency passes without any firing.
+                idle += 1;
+                let max_lat = self.fwd_delay.iter().chain(self.ack_delay.iter()).copied().max().unwrap_or(1);
+                if idle > max_lat {
+                    break;
+                }
+            } else {
+                idle = 0;
+            }
+        }
+        if stop == StopReason::Quiescent && self.now >= self.opts.max_steps {
+            stop = StopReason::MaxSteps;
+        }
+        let sources_exhausted = self
+            .g
+            .node_ids()
+            .all(|n| match &self.src_data[n.idx()] {
+                Some(d) => self.src_pos[n.idx()] >= d.len(),
+                None => true,
+            });
+        let total_fires = self.fires.iter().sum();
+        let stall_report = (stop == StopReason::Quiescent && !sources_exhausted)
+            .then(|| self.diagnose_stall());
+        Ok(RunResult {
+            steps: self.now,
+            stop,
+            outputs: self.outputs,
+            fires: self.fires,
+            source_emit_times: self.source_emit_times,
+            sources_exhausted,
+            total_fires,
+            am_fires: self.am_fires,
+            fu_fires: self.fu_fires,
+            fire_times: self.fire_times,
+            stall_report,
+        })
+    }
+
+    /// Describe why each non-generator cell with pending work cannot fire.
+    fn diagnose_stall(&self) -> String {
+        let mut out = String::new();
+        for n in self.g.node_ids() {
+            let node = &self.g.nodes[n.idx()];
+            // Cells with some input available but unable to fire.
+            let mut missing = Vec::new();
+            let mut has_ready = false;
+            for (port, b) in node.inputs.iter().enumerate() {
+                match b {
+                    PortBinding::Wired(a) => {
+                        if self.arcs[a.idx()].peek(self.now).is_some() {
+                            has_ready = true;
+                        } else {
+                            missing.push(port);
+                        }
+                    }
+                    PortBinding::Lit(_) => {}
+                    PortBinding::Unbound => missing.push(port),
+                }
+            }
+            let outputs_blocked = !node.outputs.is_empty()
+                && node
+                    .outputs
+                    .iter()
+                    .any(|a| self.arcs[a.idx()].occupied() >= self.arcs[a.idx()].cap);
+            if has_ready && (!missing.is_empty() || outputs_blocked) {
+                use std::fmt::Write;
+                let _ = write!(
+                    out,
+                    "cell {} ({}) blocked:",
+                    n.idx(),
+                    node.label
+                );
+                if !missing.is_empty() {
+                    let _ = write!(out, " waiting on port(s) {missing:?}");
+                }
+                if outputs_blocked {
+                    let _ = write!(out, " output arc full (consumer never acknowledged)");
+                }
+                out.push('\n');
+            }
+        }
+        if out.is_empty() {
+            out = "no cell holds partial inputs; sources were never drained".into();
+        }
+        out
+    }
+}
+
+struct FirePlan {
+    consume: Vec<ArcId>,
+    emit: Option<Value>,
+}
+
+impl FirePlan {
+    fn new() -> Self {
+        FirePlan {
+            consume: Vec::new(),
+            emit: None,
+        }
+    }
+    fn consume1(a: Operand) -> Self {
+        let mut p = Self::new();
+        p.push(a);
+        p
+    }
+    fn consume2(a: Operand, b: Operand) -> Self {
+        let mut p = Self::new();
+        p.push(a);
+        p.push(b);
+        p
+    }
+    fn push(&mut self, op: Operand) {
+        if let Operand::FromArc(a, _) = op {
+            self.consume.push(a);
+        }
+    }
+    fn emit(mut self, v: Value) -> Self {
+        self.emit = Some(v);
+        self
+    }
+}
+
+/// Convenience: validate-expand-run with default options.
+pub fn run_program(g: &Graph, inputs: &ProgramInputs) -> Result<RunResult, SimError> {
+    let mut g = g.clone();
+    g.expand_fifos();
+    Simulator::new(&g, inputs, SimOptions::default())?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valpipe_ir::value::BinOp;
+    use valpipe_ir::CtlStream;
+
+    fn reals(vals: &[f64]) -> Vec<Value> {
+        vals.iter().map(|&v| Value::Real(v)).collect()
+    }
+
+    /// The paper's Fig. 2 program: y = a*b; (y+2)*(y-3).
+    fn fig2() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let b = g.add_node(Opcode::Source("b".into()), "b");
+        let y = g.cell(Opcode::Bin(BinOp::Mul), "cell1", &[a.into(), b.into()]);
+        let p = g.cell(Opcode::Bin(BinOp::Add), "cell2", &[y.into(), 2.0.into()]);
+        let q = g.cell(Opcode::Bin(BinOp::Sub), "cell3", &[y.into(), 3.0.into()]);
+        let r = g.cell(Opcode::Bin(BinOp::Mul), "cell4", &[p.into(), q.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[r.into()]);
+        g
+    }
+
+    #[test]
+    fn fig2_values_correct() {
+        let g = fig2();
+        let inputs = ProgramInputs::new()
+            .bind("a", reals(&[1.0, 2.0, 3.0]))
+            .bind("b", reals(&[4.0, 5.0, 6.0]));
+        let r = run_program(&g, &inputs).unwrap();
+        let expect: Vec<f64> = [4.0, 10.0, 18.0]
+            .iter()
+            .map(|y| (y + 2.0) * (y - 3.0))
+            .collect();
+        assert_eq!(r.reals("out"), expect);
+        assert!(r.sources_exhausted);
+        assert_eq!(r.stop, StopReason::Quiescent);
+    }
+
+    #[test]
+    fn fig2_fully_pipelined_rate_one_half() {
+        let g = fig2();
+        let n = 200;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let inputs = ProgramInputs::new()
+            .bind("a", reals(&data))
+            .bind("b", reals(&data));
+        let r = run_program(&g, &inputs).unwrap();
+        let iv = r.steady_interval("out").unwrap();
+        assert!((iv - 2.0).abs() < 0.05, "interval {iv} ≉ 2");
+    }
+
+    #[test]
+    fn unbalanced_diamond_runs_slower_than_one_half() {
+        // a → id1 → id2 → add ; a → add  (paths of length 2 and 0).
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let i1 = g.cell(Opcode::Id, "i1", &[a.into()]);
+        let i2 = g.cell(Opcode::Id, "i2", &[i1.into()]);
+        let add = g.cell(Opcode::Bin(BinOp::Add), "add", &[i2.into(), a.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[add.into()]);
+        let data: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let r = run_program(&g, &ProgramInputs::new().bind("a", reals(&data))).unwrap();
+        let iv = r.steady_interval("out").unwrap();
+        assert!(iv > 2.5, "unbalanced diamond interval {iv} should exceed 2");
+        // Values are still correct — imbalance costs speed, not correctness.
+        assert_eq!(r.reals("out"), data.iter().map(|x| x + x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_cycle_rate_one_third() {
+        // Feedback loop of 3 cells, 1 initial token: x_{k+1} = x_k + 1.
+        let mut g = Graph::new();
+        let add = g.add_node(Opcode::Bin(BinOp::Add), "add");
+        g.set_lit(add, 1, Value::Int(1));
+        let i1 = g.cell(Opcode::Id, "i1", &[add.into()]);
+        let i2 = g.cell(Opcode::Id, "i2", &[i1.into()]);
+        g.connect_init(i2, add, 0, Value::Int(0));
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[i2.into()]);
+        let mut opts = SimOptions::default();
+        opts.max_steps = 2000;
+        let r = Simulator::new(&g, &ProgramInputs::new(), opts).unwrap().run().unwrap();
+        // Runs forever (no sources), so we hit the step limit.
+        assert_eq!(r.stop, StopReason::MaxSteps);
+        let times: Vec<u64> = r.outputs["out"].iter().map(|&(t, _)| t).collect();
+        let iv = steady_interval_of(&times).unwrap();
+        assert!((iv - 3.0).abs() < 0.05, "3-cycle interval {iv} ≉ 3");
+        let vals = r.values("out");
+        assert_eq!(vals[0], Value::Int(1));
+        assert_eq!(vals[1], Value::Int(2));
+    }
+
+    #[test]
+    fn four_cycle_two_tokens_full_rate() {
+        // 4-cell loop with 2 initial tokens → interval 2 (paper §7's
+        // even-length requirement for maximum pipelining).
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Bin(BinOp::Add), "a");
+        g.set_lit(a, 1, Value::Int(1));
+        let b = g.cell(Opcode::Id, "b", &[a.into()]);
+        let c = g.add_node(Opcode::Bin(BinOp::Add), "c");
+        g.set_lit(c, 1, Value::Int(1));
+        g.connect_init(b, c, 0, Value::Int(100));
+        let d = g.cell(Opcode::Id, "d", &[c.into()]);
+        g.connect_init(d, a, 0, Value::Int(0));
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[d.into()]);
+        let mut opts = SimOptions::default();
+        opts.max_steps = 2000;
+        let r = Simulator::new(&g, &ProgramInputs::new(), opts).unwrap().run().unwrap();
+        let times: Vec<u64> = r.outputs["out"].iter().map(|&(t, _)| t).collect();
+        let iv = steady_interval_of(&times).unwrap();
+        assert!((iv - 2.0).abs() < 0.05, "4-cycle/2-token interval {iv} ≉ 2");
+    }
+
+    #[test]
+    fn tgate_discards_without_jamming() {
+        // Select the middle of each 4-wave: <F T T F>.
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let ctl = g.add_node(Opcode::CtlGen(CtlStream::window(4, 1, 2)), "ctl");
+        let gate = g.cell(Opcode::TGate, "g", &[ctl.into(), a.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[gate.into()]);
+        let r = run_program(
+            &g,
+            &ProgramInputs::new().bind("a", reals(&[0., 1., 2., 3., 4., 5., 6., 7.])),
+        )
+        .unwrap();
+        assert_eq!(r.reals("out"), vec![1., 2., 5., 6.]);
+        assert!(r.sources_exhausted, "discarded packets must not jam the source");
+    }
+
+    #[test]
+    fn merge_reassembles_order() {
+        // Two sources merged under control <T F>: t0, f0, t1, f1, …
+        let mut g = Graph::new();
+        let t = g.add_node(Opcode::Source("t".into()), "t");
+        let f = g.add_node(Opcode::Source("f".into()), "f");
+        let ctl = g.add_node(Opcode::CtlGen(CtlStream::from_runs([(true, 1), (false, 1)])), "ctl");
+        let m = g.cell(Opcode::Merge, "m", &[ctl.into(), t.into(), f.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[m.into()]);
+        let r = run_program(
+            &g,
+            &ProgramInputs::new()
+                .bind("t", reals(&[10., 11., 12.]))
+                .bind("f", reals(&[20., 21., 22.])),
+        )
+        .unwrap();
+        assert_eq!(r.reals("out"), vec![10., 20., 11., 21., 12., 22.]);
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let g = fig2();
+        let err = run_program(&g, &ProgramInputs::new().bind("a", reals(&[1.0]))).unwrap_err();
+        assert_eq!(err, SimError::MissingInput("b".into()));
+    }
+
+    #[test]
+    fn type_fault_reported() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let and = g.cell(Opcode::Bin(BinOp::And), "and", &[a.into(), true.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[and.into()]);
+        let err = run_program(&g, &ProgramInputs::new().bind("a", reals(&[1.0]))).unwrap_err();
+        assert!(matches!(err, SimError::Eval { .. }));
+    }
+
+    #[test]
+    fn non_bool_control_reported() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let b = g.add_node(Opcode::Source("b".into()), "b");
+        let gate = g.cell(Opcode::TGate, "g", &[a.into(), b.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[gate.into()]);
+        let err = run_program(
+            &g,
+            &ProgramInputs::new()
+                .bind("a", reals(&[1.0]))
+                .bind("b", reals(&[2.0])),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::NonBoolControl { .. }));
+    }
+
+    #[test]
+    fn pipeline_rate_independent_of_stage_count() {
+        // Chains of 5 vs 50 identity cells: same steady-state interval (§3:
+        // "the computation rate of a pipeline is not dependent on the
+        // number of stages").
+        let mut ivs = Vec::new();
+        for stages in [5usize, 50] {
+            let mut g = Graph::new();
+            let a = g.add_node(Opcode::Source("a".into()), "a");
+            let mut prev = a;
+            for k in 0..stages {
+                prev = g.cell(Opcode::Id, format!("s{k}"), &[prev.into()]);
+            }
+            let _ = g.cell(Opcode::Sink("out".into()), "out", &[prev.into()]);
+            let data: Vec<f64> = (0..300).map(|i| i as f64).collect();
+            let r = run_program(&g, &ProgramInputs::new().bind("a", reals(&data))).unwrap();
+            ivs.push(r.steady_interval("out").unwrap());
+        }
+        assert!((ivs[0] - ivs[1]).abs() < 0.02, "{ivs:?}");
+        assert!((ivs[0] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn fifo_expansion_required() {
+        let mut g = Graph::new();
+        let a = g.add_node(Opcode::Source("a".into()), "a");
+        let f = g.cell(Opcode::Fifo(2), "f", &[a.into()]);
+        let _ = g.cell(Opcode::Sink("out".into()), "out", &[f.into()]);
+        let err = Simulator::new(&g, &ProgramInputs::new().bind("a", reals(&[1.0])), SimOptions::default());
+        assert!(matches!(err, Err(SimError::UnexpandedFifo(_))));
+    }
+}

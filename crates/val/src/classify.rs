@@ -1,0 +1,615 @@
+//! Program classification — the paper's structural definitions.
+//!
+//! §5: *primitive expressions* (PE) on an index variable `i` — the only
+//! expressions allowed inside pipelinable blocks. §6: *primitive forall*
+//! expressions. §7: *primitive for-iter* constructs (the canonical
+//! first-order-recurrence loop shape) and *simple for-iter* expressions
+//! (those whose recurrence admits a companion function — see
+//! [`crate::linear`]).
+
+use crate::ast::*;
+use crate::fold::{eval_manifest_int, Bindings};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why an expression or block falls outside the pipelinable class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A nested `forall` / `for-iter` / array constructor inside an
+    /// expression (disallowed by the PE definition).
+    NestedConstruct(&'static str),
+    /// An array subscript not of the form `i + m` with manifest `m`.
+    BadIndexForm {
+        /// The array being accessed.
+        array: String,
+    },
+    /// A name that is neither the index variable, a parameter, a local
+    /// definition, nor a known array.
+    UnknownName(String),
+    /// An array identifier used where a scalar is required.
+    ArrayAsScalar(String),
+    /// The index range (or another manifest position) is not a
+    /// compile-time constant.
+    NotManifest(String),
+    /// The for-iter does not match the canonical primitive shape.
+    ForIterShape(String),
+    /// The accumulating array is accessed at an offset other than `i-1`
+    /// (not a first-order recurrence).
+    NotFirstOrder {
+        /// Offset actually used.
+        offset: i64,
+    },
+    /// The recurrence body is not linear in `X[i-1]`, so no companion
+    /// function is known.
+    NoCompanion,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::NestedConstruct(k) => write!(f, "nested {k} is not a primitive expression"),
+            Violation::BadIndexForm { array } => {
+                write!(f, "subscript of '{array}' is not of the form i + constant")
+            }
+            Violation::UnknownName(n) => write!(f, "unknown name '{n}'"),
+            Violation::ArrayAsScalar(n) => write!(f, "array '{n}' used as a scalar"),
+            Violation::NotManifest(what) => write!(f, "{what} is not a compile-time constant"),
+            Violation::ForIterShape(why) => write!(f, "for-iter is not primitive: {why}"),
+            Violation::NotFirstOrder { offset } => {
+                write!(f, "recurrence accesses the accumulator at offset {offset}, not -1")
+            }
+            Violation::NoCompanion => {
+                write!(f, "recurrence is not linear in X[i-1]; no companion function derived")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Name environment for classification.
+#[derive(Debug, Clone, Default)]
+pub struct NameEnv {
+    /// The index variable, if classifying "PE on i".
+    pub index_var: Option<String>,
+    /// Scalar names in scope (parameters, definitions, loop scalars).
+    pub scalars: HashSet<String>,
+    /// Array names in scope (inputs, earlier blocks, the accumulator).
+    pub arrays: HashSet<String>,
+    /// Manifest parameter values (for offset extraction).
+    pub params: Bindings,
+}
+
+impl NameEnv {
+    /// Environment with the given index variable, scalars and arrays.
+    pub fn new(
+        index_var: Option<&str>,
+        scalars: impl IntoIterator<Item = String>,
+        arrays: impl IntoIterator<Item = String>,
+        params: Bindings,
+    ) -> Self {
+        NameEnv {
+            index_var: index_var.map(str::to_string),
+            scalars: scalars.into_iter().collect(),
+            arrays: arrays.into_iter().collect(),
+            params,
+        }
+    }
+
+    fn is_scalar(&self, n: &str) -> bool {
+        self.scalars.contains(n)
+            || self.index_var.as_deref() == Some(n)
+            || self.params.contains_key(n)
+    }
+}
+
+/// Extract the manifest offset `m` from a subscript of the form `i + m`,
+/// `m + i`, `i - m`, or bare `i` (`m` may be any manifest integer
+/// expression over the parameters). Returns `None` for any other form —
+/// rule (4) of the PE definition admits only these.
+pub fn index_offset(idx: &Expr, index_var: &str, params: &Bindings) -> Option<i64> {
+    match idx {
+        Expr::Var(v) if v == index_var => Some(0),
+        Expr::Bin(BinOp::Add, a, b) => match (&**a, &**b) {
+            (Expr::Var(v), m) if v == index_var => eval_manifest_int(m, params).ok(),
+            (m, Expr::Var(v)) if v == index_var => eval_manifest_int(m, params).ok(),
+            _ => None,
+        },
+        Expr::Bin(BinOp::Sub, a, b) => match (&**a, &**b) {
+            (Expr::Var(v), m) if v == index_var => eval_manifest_int(m, params).ok().map(|x| -x),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Check the PE rules (§5, rules 1–6). `Ok(())` iff `expr` is a primitive
+/// expression on the environment's index variable.
+pub fn check_primitive_expr(expr: &Expr, env: &NameEnv) -> Result<(), Violation> {
+    match expr {
+        Expr::IntLit(_) | Expr::RealLit(_) | Expr::BoolLit(_) => Ok(()), // rule 1
+        Expr::Var(n) => {
+            if env.is_scalar(n) {
+                Ok(()) // rule 2
+            } else if env.arrays.contains(n) {
+                Err(Violation::ArrayAsScalar(n.clone()))
+            } else {
+                Err(Violation::UnknownName(n.clone()))
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            check_primitive_expr(a, env)?;
+            check_primitive_expr(b, env) // rule 3
+        }
+        Expr::Un(_, a) => check_primitive_expr(a, env),
+        Expr::Index(name, idx) => {
+            // rule 4: A[i + m]
+            if !env.arrays.contains(name) {
+                return Err(Violation::UnknownName(name.clone()));
+            }
+            let Some(iv) = env.index_var.as_deref() else {
+                return Err(Violation::BadIndexForm { array: name.clone() });
+            };
+            match index_offset(idx, iv, &env.params) {
+                Some(_) => Ok(()),
+                None => Err(Violation::BadIndexForm { array: name.clone() }),
+            }
+        }
+        Expr::Let(defs, body) => {
+            // rule 5
+            let mut inner = env.clone();
+            for d in defs {
+                check_primitive_expr(&d.value, &inner)?;
+                inner.scalars.insert(d.name.clone());
+            }
+            check_primitive_expr(body, &inner)
+        }
+        Expr::If(c, t, e) => {
+            // rule 6
+            check_primitive_expr(c, env)?;
+            check_primitive_expr(t, env)?;
+            check_primitive_expr(e, env)
+        }
+        Expr::Index2(name, ..) => Err(Violation::BadIndexForm { array: name.clone() }),
+        Expr::Iter(_) => Err(Violation::NestedConstruct("iter")),
+        Expr::Append(..) => Err(Violation::NestedConstruct("array append")),
+        Expr::ArrayInit(..) => Err(Violation::NestedConstruct("array constructor")),
+    }
+}
+
+/// Whether `expr` is a *scalar* primitive expression (rules 1,2,3,5,6 only
+/// — no array access).
+pub fn is_scalar_primitive(expr: &Expr, env: &NameEnv) -> bool {
+    if check_primitive_expr(expr, env).is_err() {
+        return false;
+    }
+    let mut has_index = false;
+    expr.walk(&mut |e| {
+        if matches!(e, Expr::Index(..)) {
+            has_index = true;
+        }
+    });
+    !has_index
+}
+
+/// One array access found in an expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayAccess {
+    /// Array name.
+    pub array: String,
+    /// Manifest offset `m` in `A[i + m]`.
+    pub offset: i64,
+}
+
+/// Collect every array access with its manifest offset. Call only on
+/// expressions that passed [`check_primitive_expr`].
+pub fn collect_accesses(expr: &Expr, index_var: &str, params: &Bindings) -> Vec<ArrayAccess> {
+    let mut out = Vec::new();
+    expr.walk(&mut |e| {
+        if let Expr::Index(name, idx) = e {
+            if let Some(offset) = index_offset(idx, index_var, params) {
+                out.push(ArrayAccess {
+                    array: name.clone(),
+                    offset,
+                });
+            }
+        }
+    });
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// A validated primitive forall (§6).
+#[derive(Debug, Clone)]
+pub struct PrimitiveForall {
+    /// Manifest index range.
+    pub lo: i64,
+    /// Manifest index range.
+    pub hi: i64,
+}
+
+/// Check the primitive-forall conditions: manifest range, PE definitions
+/// and accumulation.
+pub fn check_primitive_forall(f: &Forall, env: &NameEnv) -> Result<PrimitiveForall, Violation> {
+    let lo = eval_manifest_int(&f.range.0, &env.params)
+        .map_err(|_| Violation::NotManifest("forall range low bound".into()))?;
+    let hi = eval_manifest_int(&f.range.1, &env.params)
+        .map_err(|_| Violation::NotManifest("forall range high bound".into()))?;
+    let mut inner = env.clone();
+    inner.index_var = Some(f.index_var.clone());
+    for d in &f.defs {
+        check_primitive_expr(&d.value, &inner)?;
+        inner.scalars.insert(d.name.clone());
+    }
+    check_primitive_expr(&f.body, &inner)?;
+    Ok(PrimitiveForall { lo, hi })
+}
+
+/// A validated primitive for-iter (§7): the canonical loop
+///
+/// ```text
+/// for i := p; X := [r: E0] do
+///   (lets…) if i < bound then iter X := X[i: E]; i := i+1 enditer else X endif
+/// endfor
+/// ```
+///
+/// appending elements for `i = p … bound-1`, with `r = p - 1` (dense).
+#[derive(Debug, Clone)]
+pub struct PrimitiveForIter {
+    /// Loop index name.
+    pub index_var: String,
+    /// First appended index `p`.
+    pub start: i64,
+    /// Exclusive upper bound: the loop exits when `i = bound`.
+    pub bound: i64,
+    /// Accumulator array name `X`.
+    pub acc: String,
+    /// Initial element index `r` (= `start - 1`).
+    pub init_index: i64,
+    /// Initial element expression `E0` (scalar PE).
+    pub init_expr: Expr,
+    /// Hoisted `let` definitions from the body, in order.
+    pub defs: Vec<Def>,
+    /// The appended element expression `E` (PE on `i`, may access
+    /// `X[i-1]`), *before* let-inlining.
+    pub step_expr: Expr,
+}
+
+impl PrimitiveForIter {
+    /// The produced array's manifest range `[r, bound-1]`.
+    pub fn range(&self) -> (i64, i64) {
+        (self.init_index, self.bound - 1)
+    }
+
+    /// The step expression with the hoisted lets re-applied then inlined —
+    /// a self-contained PE for recurrence analysis.
+    pub fn step_inlined(&self) -> Expr {
+        let wrapped = if self.defs.is_empty() {
+            self.step_expr.clone()
+        } else {
+            Expr::Let(self.defs.clone(), Box::new(self.step_expr.clone()))
+        };
+        crate::fold::inline_lets(&wrapped)
+    }
+}
+
+fn shape_err<T>(why: impl Into<String>) -> Result<T, Violation> {
+    Err(Violation::ForIterShape(why.into()))
+}
+
+/// Match a for-iter against the canonical primitive shape and validate
+/// every PE condition.
+pub fn check_primitive_foriter(fi: &ForIter, env: &NameEnv) -> Result<PrimitiveForIter, Violation> {
+    // --- loop initializations: exactly i := p and X := [r: E0] ----------
+    if fi.inits.len() != 2 {
+        return shape_err(format!(
+            "expected exactly 2 loop initializations, found {}",
+            fi.inits.len()
+        ));
+    }
+    let (idx_def, acc_def) = {
+        let a = &fi.inits[0];
+        let b = &fi.inits[1];
+        if matches!(a.value, Expr::ArrayInit(..)) {
+            (b, a)
+        } else {
+            (a, b)
+        }
+    };
+    let start = eval_manifest_int(&idx_def.value, &env.params)
+        .map_err(|_| Violation::NotManifest(format!("loop start '{}'", idx_def.name)))?;
+    let Expr::ArrayInit(r_expr, e0) = &acc_def.value else {
+        return shape_err(format!(
+            "loop name '{}' must be initialized with [r: E]",
+            acc_def.name
+        ));
+    };
+    let init_index = eval_manifest_int(r_expr, &env.params)
+        .map_err(|_| Violation::NotManifest("initial array index".into()))?;
+    if init_index != start - 1 {
+        return shape_err(format!(
+            "initial index {init_index} must be loop start {start} minus one (dense array)"
+        ));
+    }
+    // E0 must be a *scalar* primitive expression with no index variable.
+    let scalar_env = NameEnv {
+        index_var: None,
+        ..env.clone()
+    };
+    check_primitive_expr(e0, &scalar_env)?;
+
+    let index_var = idx_def.name.clone();
+    let acc = acc_def.name.clone();
+
+    // --- body: (lets…) if i < bound then iter … else X ------------------
+    let mut defs = Vec::new();
+    let mut body = &fi.body;
+    let mut body_env = env.clone();
+    body_env.index_var = Some(index_var.clone());
+    body_env.arrays.insert(acc.clone());
+    while let Expr::Let(ds, inner) = body {
+        for d in ds {
+            check_primitive_expr(&d.value, &body_env)?;
+            body_env.scalars.insert(d.name.clone());
+            defs.push(d.clone());
+        }
+        body = inner;
+    }
+    let Expr::If(cond, then_arm, else_arm) = body else {
+        return shape_err("loop body must be a conditional");
+    };
+    // Identify which arm iterates.
+    let (iter_arm, result_arm, cond_selects_iter_on_true) = match (&**then_arm, &**else_arm) {
+        (Expr::Iter(_), other) => (then_arm, other, true),
+        (other, Expr::Iter(_)) => (else_arm, other, false),
+        _ => return shape_err("exactly one conditional arm must be an iter clause"),
+    };
+    if result_arm != &Expr::Var(acc.clone()) {
+        return shape_err(format!("the terminating arm must be the bare accumulator '{acc}'"));
+    }
+    // Condition: i < bound (or i <= bound-1), possibly negated orientation.
+    let bound = parse_bound(cond, &index_var, &env.params, cond_selects_iter_on_true)?;
+    if bound <= start {
+        return shape_err(format!("loop bound {bound} does not exceed start {start}"));
+    }
+    // Iter clause: X := X[i: E]; i := i + 1.
+    let Expr::Iter(binds) = &**iter_arm else { unreachable!() };
+    if binds.len() != 2 {
+        return shape_err("iter must rebind exactly the index and the accumulator");
+    }
+    let mut step_expr = None;
+    let mut bumped = false;
+    for (name, e) in binds {
+        if name == &index_var {
+            let ok = matches!(
+                e,
+                Expr::Bin(BinOp::Add, a, b)
+                    if (**a == Expr::Var(index_var.clone()) && **b == Expr::IntLit(1))
+                    || (**b == Expr::Var(index_var.clone()) && **a == Expr::IntLit(1))
+            );
+            if !ok {
+                return shape_err("the index must advance by i := i + 1");
+            }
+            bumped = true;
+        } else if name == &acc {
+            let Expr::Append(target, at, val) = e else {
+                return shape_err(format!("'{acc}' must be rebound by {acc} := {acc}[i: E]"));
+            };
+            if target != &acc {
+                return shape_err("append target must be the accumulator itself");
+            }
+            if index_offset(at, &index_var, &env.params) != Some(0) {
+                return shape_err("the append position must be exactly i");
+            }
+            check_primitive_expr(val, &body_env)?;
+            step_expr = Some((**val).clone());
+        } else {
+            return shape_err(format!("iter rebinds unexpected name '{name}'"));
+        }
+    }
+    let Some(step_expr) = step_expr else {
+        return shape_err("iter does not rebind the accumulator");
+    };
+    if !bumped {
+        return shape_err("iter does not advance the index");
+    }
+    // First-order check: the accumulator may only be read at offset -1.
+    let pfi = PrimitiveForIter {
+        index_var: index_var.clone(),
+        start,
+        bound,
+        acc: acc.clone(),
+        init_index,
+        init_expr: (**e0).clone(),
+        defs,
+        step_expr,
+    };
+    for access in collect_accesses(&pfi.step_inlined(), &index_var, &env.params) {
+        if access.array == acc && access.offset != -1 {
+            return Err(Violation::NotFirstOrder {
+                offset: access.offset,
+            });
+        }
+    }
+    Ok(pfi)
+}
+
+fn parse_bound(
+    cond: &Expr,
+    index_var: &str,
+    params: &Bindings,
+    iter_on_true: bool,
+) -> Result<i64, Violation> {
+    // Accept i < b, i <= b-1 (continue side), or the negations when the
+    // iter clause sits on the false arm (i >= b, i = b).
+    let manifest = |e: &Expr| {
+        eval_manifest_int(e, params).map_err(|_| Violation::NotManifest("loop bound".into()))
+    };
+    let is_i = |e: &Expr| matches!(e, Expr::Var(v) if v == index_var);
+    if iter_on_true {
+        match cond {
+            Expr::Bin(BinOp::Lt, a, b) if is_i(a) => manifest(b),
+            Expr::Bin(BinOp::Le, a, b) if is_i(a) => Ok(manifest(b)? + 1),
+            Expr::Bin(BinOp::Gt, a, b) if is_i(b) => manifest(a),
+            Expr::Bin(BinOp::Ge, a, b) if is_i(b) => Ok(manifest(a)? + 1),
+            _ => shape_err("continue condition must compare the index to a manifest bound"),
+        }
+    } else {
+        match cond {
+            Expr::Bin(BinOp::Ge, a, b) if is_i(a) => manifest(b),
+            Expr::Bin(BinOp::Gt, a, b) if is_i(a) => Ok(manifest(b)? + 1),
+            Expr::Bin(BinOp::Eq, a, b) if is_i(a) => manifest(b),
+            Expr::Bin(BinOp::Eq, a, b) if is_i(b) => manifest(a),
+            _ => shape_err("exit condition must compare the index to a manifest bound"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_block_body, parse_expr, EXAMPLE_1, EXAMPLE_2};
+    use valpipe_ir::value::Value;
+
+    fn env(arrays: &[&str]) -> NameEnv {
+        let mut params = Bindings::new();
+        params.insert("m".into(), Value::Int(8));
+        NameEnv::new(
+            Some("i"),
+            std::iter::empty(),
+            arrays.iter().map(|s| s.to_string()),
+            params,
+        )
+    }
+
+    #[test]
+    fn offsets() {
+        let p = env(&[]).params;
+        assert_eq!(index_offset(&parse_expr("i").unwrap(), "i", &p), Some(0));
+        assert_eq!(index_offset(&parse_expr("i+1").unwrap(), "i", &p), Some(1));
+        assert_eq!(index_offset(&parse_expr("1+i").unwrap(), "i", &p), Some(1));
+        assert_eq!(index_offset(&parse_expr("i-2").unwrap(), "i", &p), Some(-2));
+        assert_eq!(index_offset(&parse_expr("i+m").unwrap(), "i", &p), Some(8));
+        assert_eq!(index_offset(&parse_expr("2*i").unwrap(), "i", &p), None);
+        assert_eq!(index_offset(&parse_expr("j+1").unwrap(), "i", &p), None);
+    }
+
+    #[test]
+    fn paper_stencil_is_primitive() {
+        let e = parse_expr("0.25 * (C[i-1] + 2.*C[i] + C[i+1])").unwrap();
+        assert!(check_primitive_expr(&e, &env(&["C"])).is_ok());
+        let acc = collect_accesses(&e, "i", &env(&["C"]).params);
+        assert_eq!(
+            acc,
+            vec![
+                ArrayAccess { array: "C".into(), offset: -1 },
+                ArrayAccess { array: "C".into(), offset: 0 },
+                ArrayAccess { array: "C".into(), offset: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_subscripts_rejected() {
+        for src in ["C[2*i]", "C[i*i]", "C[j]", "C[C[i]]"] {
+            let e = parse_expr(src).unwrap();
+            assert!(
+                check_primitive_expr(&e, &env(&["C"])).is_err(),
+                "{src} should not be a PE"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_primitive_excludes_arrays() {
+        assert!(is_scalar_primitive(&parse_expr("i * 2 + m").unwrap(), &env(&["C"])));
+        assert!(!is_scalar_primitive(&parse_expr("C[i]").unwrap(), &env(&["C"])));
+    }
+
+    #[test]
+    fn example1_is_primitive_forall() {
+        let BlockBody::Forall(f) = parse_block_body(EXAMPLE_1).unwrap() else { panic!() };
+        let pf = check_primitive_forall(&f, &env(&["B", "C"])).unwrap();
+        assert_eq!((pf.lo, pf.hi), (0, 9)); // m = 8 → [0, m+1]
+    }
+
+    #[test]
+    fn forall_with_dynamic_range_rejected() {
+        let BlockBody::Forall(mut f) = parse_block_body(EXAMPLE_1).unwrap() else { panic!() };
+        f.range.1 = parse_expr("C[0]").unwrap();
+        assert!(matches!(
+            check_primitive_forall(&f, &env(&["B", "C"])),
+            Err(Violation::NotManifest(_))
+        ));
+    }
+
+    #[test]
+    fn example2_is_primitive_foriter() {
+        let BlockBody::ForIter(fi) = parse_block_body(EXAMPLE_2).unwrap() else { panic!() };
+        let pfi = check_primitive_foriter(&fi, &env(&["A", "B"])).unwrap();
+        assert_eq!(pfi.index_var, "i");
+        assert_eq!(pfi.acc, "T");
+        assert_eq!(pfi.start, 1);
+        assert_eq!(pfi.bound, 8);
+        assert_eq!(pfi.init_index, 0);
+        assert_eq!(pfi.range(), (0, 7));
+        // Lets hoisted: P defined once.
+        assert_eq!(pfi.defs.len(), 1);
+        assert_eq!(pfi.defs[0].name, "P");
+        assert_eq!(pfi.step_expr, Expr::var("P"));
+        // Inlined step references T[i-1].
+        assert!(pfi.step_inlined().mentions("T"));
+    }
+
+    #[test]
+    fn foriter_with_skip_append_rejected() {
+        let src = "
+for i : integer := 1; T : array[real] := [0: 0.]
+do
+  if i < m then iter T := T[i+1: 1.]; i := i + 1 enditer else T endif
+endfor";
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        assert!(matches!(
+            check_primitive_foriter(&fi, &env(&[])),
+            Err(Violation::ForIterShape(_))
+        ));
+    }
+
+    #[test]
+    fn foriter_second_order_detected() {
+        let src = "
+for i : integer := 2; T : array[real] := [1: 0.]
+do
+  if i < m then iter T := T[i: T[i-2] + 1.]; i := i + 1 enditer else T endif
+endfor";
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        assert!(matches!(
+            check_primitive_foriter(&fi, &env(&[])),
+            Err(Violation::NotFirstOrder { offset: -2 })
+        ));
+    }
+
+    #[test]
+    fn foriter_with_swapped_arms_accepted() {
+        let src = "
+for i : integer := 1; T : array[real] := [0: 0.]
+do
+  if i >= m then T else iter T := T[i: T[i-1] + 1.]; i := i + 1 enditer endif
+endfor";
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        let pfi = check_primitive_foriter(&fi, &env(&[])).unwrap();
+        assert_eq!(pfi.bound, 8);
+    }
+
+    #[test]
+    fn foriter_sparse_init_rejected() {
+        let src = "
+for i : integer := 2; T : array[real] := [0: 0.]
+do
+  if i < m then iter T := T[i: 1.]; i := i + 1 enditer else T endif
+endfor";
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        assert!(check_primitive_foriter(&fi, &env(&[])).is_err());
+    }
+}

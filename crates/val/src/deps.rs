@@ -1,0 +1,481 @@
+//! Flow-dependency analysis of pipe-structured programs (§4, §8).
+//!
+//! Builds the paper's *flow dependency graph*: one node per `forall` /
+//! `for-iter` block, one edge per producer→consumer array link. The graph
+//! is acyclic by the applicative nature of Val (a block may only reference
+//! inputs and earlier blocks). Analysis also performs the compile-time
+//! range checking that pipelined gating relies on: every array access must
+//! stay within the producer's manifest range *for every index at which the
+//! access is actually evaluated* — accesses guarded by index-static
+//! conditions (like Example 1's boundary test) are checked only where the
+//! guard holds.
+
+use crate::ast::*;
+use crate::classify::{
+    check_primitive_forall, check_primitive_foriter, index_offset, NameEnv, PrimitiveForIter,
+    Violation,
+};
+use crate::fold::{eval_manifest_int, eval_static, is_static_in, Bindings};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use valpipe_ir::value::Value;
+
+/// An array access together with the conjunction of the `if` conditions
+/// guarding it.
+#[derive(Debug, Clone)]
+pub struct GuardedAccess {
+    /// Array name.
+    pub array: String,
+    /// Manifest offset in `A[i + m]`.
+    pub offset: i64,
+    /// Conditions on the path to the access (empty = unconditional). A
+    /// `(cond, taken)` pair means the access sits in the `taken` arm.
+    pub guards: Vec<(Expr, bool)>,
+}
+
+impl GuardedAccess {
+    /// Evaluate whether this access executes at index `i`, when every
+    /// guard is static in the index variable. `None` if some guard is
+    /// dynamic (depends on data).
+    pub fn active_at(&self, index_var: &str, i: i64, params: &Bindings) -> Option<bool> {
+        let mut env = params.clone();
+        env.insert(index_var.to_string(), Value::Int(i));
+        for (cond, taken) in &self.guards {
+            match eval_static(cond, &env) {
+                Some(Value::Bool(b)) => {
+                    if b != *taken {
+                        return Some(false);
+                    }
+                }
+                _ => return None,
+            }
+        }
+        Some(true)
+    }
+}
+
+/// Collect array accesses with their guard paths from a (primitive)
+/// expression.
+pub fn collect_guarded(expr: &Expr, index_var: &str, params: &Bindings) -> Vec<GuardedAccess> {
+    let mut out = Vec::new();
+    let mut guards = Vec::new();
+    walk(expr, index_var, params, &mut guards, &mut out);
+    out
+}
+
+fn walk(
+    e: &Expr,
+    iv: &str,
+    params: &Bindings,
+    guards: &mut Vec<(Expr, bool)>,
+    out: &mut Vec<GuardedAccess>,
+) {
+    match e {
+        Expr::Index(name, idx) => {
+            if let Some(offset) = index_offset(idx, iv, params) {
+                out.push(GuardedAccess {
+                    array: name.clone(),
+                    offset,
+                    guards: guards.clone(),
+                });
+            }
+        }
+        Expr::Bin(_, a, b) => {
+            walk(a, iv, params, guards, out);
+            walk(b, iv, params, guards, out);
+        }
+        Expr::Un(_, a) => walk(a, iv, params, guards, out),
+        Expr::If(c, t, f) => {
+            walk(c, iv, params, guards, out);
+            guards.push(((**c).clone(), true));
+            walk(t, iv, params, guards, out);
+            guards.pop();
+            guards.push(((**c).clone(), false));
+            walk(f, iv, params, guards, out);
+            guards.pop();
+        }
+        Expr::Let(defs, body) => {
+            for d in defs {
+                walk(&d.value, iv, params, guards, out);
+            }
+            walk(body, iv, params, guards, out);
+        }
+        Expr::Append(_, i, v) => {
+            walk(i, iv, params, guards, out);
+            walk(v, iv, params, guards, out);
+        }
+        Expr::ArrayInit(i, v) => {
+            walk(i, iv, params, guards, out);
+            walk(v, iv, params, guards, out);
+        }
+        Expr::Iter(binds) => {
+            for (_, e) in binds {
+                walk(e, iv, params, guards, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Classification of one block within a program.
+#[derive(Debug, Clone)]
+pub enum BlockClass {
+    /// A primitive forall with manifest range.
+    Forall {
+        /// Manifest index range.
+        lo: i64,
+        /// Manifest index range.
+        hi: i64,
+    },
+    /// A primitive for-iter (canonical first-order recurrence loop).
+    ForIter(PrimitiveForIter),
+}
+
+/// Analyzed block.
+#[derive(Debug, Clone)]
+pub struct BlockNode {
+    /// Block name.
+    pub name: String,
+    /// Classification.
+    pub class: BlockClass,
+    /// Manifest range of the produced array.
+    pub range: (i64, i64),
+    /// External arrays consumed, with offsets (deduplicated).
+    pub consumes: Vec<(String, i64)>,
+}
+
+/// The flow dependency graph of a pipe-structured program.
+#[derive(Debug, Clone)]
+pub struct FlowGraph {
+    /// Declared inputs with manifest ranges.
+    pub inputs: Vec<(String, (i64, i64))>,
+    /// Blocks in (topological = source) order.
+    pub blocks: Vec<BlockNode>,
+    /// Producer → consumer edges (producer may be an input).
+    pub edges: Vec<(String, String)>,
+}
+
+impl FlowGraph {
+    /// Range of a named array (input or block).
+    pub fn range_of(&self, name: &str) -> Option<(i64, i64)> {
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, r)| r)
+            .or_else(|| {
+                self.blocks
+                    .iter()
+                    .find(|b| b.name == name)
+                    .map(|b| b.range)
+            })
+    }
+}
+
+/// Analysis failure.
+#[derive(Debug, Clone)]
+pub enum AnalyzeError {
+    /// A block fails the structural classification.
+    NotPipelinable {
+        /// Block name.
+        block: String,
+        /// The specific violation.
+        violation: Violation,
+    },
+    /// A reference to an array that is neither an input nor an earlier
+    /// block (includes forward references, which would make the flow
+    /// dependency graph cyclic).
+    Unresolved {
+        /// Block name.
+        block: String,
+        /// Referenced array.
+        array: String,
+    },
+    /// An access that can fall outside the producer's range.
+    OutOfRange {
+        /// Consumer block.
+        block: String,
+        /// Accessed array.
+        array: String,
+        /// Access offset.
+        offset: i64,
+        /// First violating index.
+        at_index: i64,
+    },
+    /// Other structural errors (range arithmetic, empty ranges…).
+    Other(String),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::NotPipelinable { block, violation } => {
+                write!(f, "block '{block}' is not pipelinable: {violation}")
+            }
+            AnalyzeError::Unresolved { block, array } => {
+                write!(f, "block '{block}' references undefined array '{array}'")
+            }
+            AnalyzeError::OutOfRange {
+                block,
+                array,
+                offset,
+                at_index,
+            } => write!(
+                f,
+                "block '{block}': access {array}[i{offset:+}] leaves the producer's range at i = {at_index}"
+            ),
+            AnalyzeError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Analyze a (type-checked) program into its flow dependency graph,
+/// classifying every block and range-checking every access.
+pub fn analyze(prog: &Program) -> Result<FlowGraph, AnalyzeError> {
+    let mut params = Bindings::new();
+    for (n, v) in &prog.params {
+        params.insert(n.clone(), Value::Int(*v));
+    }
+    let mut inputs = Vec::new();
+    let mut known: HashMap<String, (i64, i64)> = HashMap::new();
+    for d in &prog.inputs {
+        let lo = eval_manifest_int(&d.range.0, &params).map_err(AnalyzeError::Other)?;
+        let hi = eval_manifest_int(&d.range.1, &params).map_err(AnalyzeError::Other)?;
+        if hi < lo {
+            return Err(AnalyzeError::Other(format!(
+                "input '{}' has empty range [{lo}, {hi}]",
+                d.name
+            )));
+        }
+        inputs.push((d.name.clone(), (lo, hi)));
+        known.insert(d.name.clone(), (lo, hi));
+    }
+
+    let mut blocks = Vec::new();
+    let mut edges = Vec::new();
+    for block in &prog.blocks {
+        let arrays: HashSet<String> = known.keys().cloned().collect();
+        let scalars: HashSet<String> = HashSet::new();
+        let env = NameEnv::new(None, scalars, arrays, params.clone());
+        let fail = |violation| AnalyzeError::NotPipelinable {
+            block: block.name.clone(),
+            violation,
+        };
+
+        let (class, range, index_var, index_span, exprs): (_, _, String, (i64, i64), Vec<Expr>) =
+            match &block.body {
+                BlockBody::Forall(fa) => {
+                    let pf = check_primitive_forall(fa, &env).map_err(fail)?;
+                    if pf.hi < pf.lo {
+                        return Err(AnalyzeError::Other(format!(
+                            "block '{}' has empty range [{}, {}]",
+                            block.name, pf.lo, pf.hi
+                        )));
+                    }
+                    // Defs then body, in evaluation order, wrapped so the
+                    // guard analysis sees the def conditions.
+                    let mut exprs: Vec<Expr> =
+                        fa.defs.iter().map(|d| d.value.clone()).collect();
+                    exprs.push(fa.body.clone());
+                    (
+                        BlockClass::Forall { lo: pf.lo, hi: pf.hi },
+                        (pf.lo, pf.hi),
+                        fa.index_var.clone(),
+                        (pf.lo, pf.hi),
+                        exprs,
+                    )
+                }
+                BlockBody::ForIter(fi) => {
+                    let pfi = check_primitive_foriter(fi, &env).map_err(fail)?;
+                    let range = pfi.range();
+                    let step = pfi.step_inlined();
+                    let init = pfi.init_expr.clone();
+                    let iv = pfi.index_var.clone();
+                    let span = (pfi.start, pfi.bound - 1);
+                    (BlockClass::ForIter(pfi), range, iv, span, vec![init, step])
+                }
+            };
+
+        // Range-check every guarded access of every constituent expression.
+        let acc_name = match &class {
+            BlockClass::ForIter(p) => Some(p.acc.clone()),
+            _ => None,
+        };
+        let mut consumes: Vec<(String, i64)> = Vec::new();
+        for e in &exprs {
+            for ga in collect_guarded(e, &index_var, &params) {
+                let producer_range = if Some(&ga.array) == acc_name.as_ref() {
+                    // Self-access of the accumulator: guaranteed by the
+                    // first-order check; skip.
+                    continue;
+                } else {
+                    match known.get(&ga.array) {
+                        Some(&r) => r,
+                        None => {
+                            return Err(AnalyzeError::Unresolved {
+                                block: block.name.clone(),
+                                array: ga.array.clone(),
+                            })
+                        }
+                    }
+                };
+                // Check bounds for every index at which the access runs.
+                for i in index_span.0..=index_span.1 {
+                    let active = ga.active_at(&index_var, i, &params).unwrap_or(true);
+                    if active {
+                        let at = i + ga.offset;
+                        if at < producer_range.0 || at > producer_range.1 {
+                            return Err(AnalyzeError::OutOfRange {
+                                block: block.name.clone(),
+                                array: ga.array.clone(),
+                                offset: ga.offset,
+                                at_index: i,
+                            });
+                        }
+                    }
+                }
+                if !consumes.contains(&(ga.array.clone(), ga.offset)) {
+                    consumes.push((ga.array.clone(), ga.offset));
+                }
+            }
+        }
+        consumes.sort();
+        for (a, _) in &consumes {
+            let edge = (a.clone(), block.name.clone());
+            if !edges.contains(&edge) {
+                edges.push(edge);
+            }
+        }
+
+        known.insert(block.name.clone(), range);
+        blocks.push(BlockNode {
+            name: block.name.clone(),
+            class,
+            range,
+            consumes,
+        });
+    }
+
+    // Outputs must resolve.
+    for o in &prog.outputs {
+        if !known.contains_key(o) {
+            return Err(AnalyzeError::Other(format!("output '{o}' is undefined")));
+        }
+    }
+    Ok(FlowGraph {
+        inputs,
+        blocks,
+        edges,
+    })
+}
+
+/// Convenience: does any guard of any access in `expr` depend on data
+/// (i.e. is not static in the index variable and parameters)?
+pub fn has_dynamic_guards(expr: &Expr, index_var: &str, params: &Bindings) -> bool {
+    let allowed = |n: &str| n == index_var || params.contains_key(n);
+    let mut dynamic = false;
+    expr.walk(&mut |e| {
+        if let Expr::If(c, _, _) = e {
+            if !is_static_in(c, &allowed) {
+                dynamic = true;
+            }
+        }
+    });
+    dynamic
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program, FIG3_PROGRAM};
+
+    #[test]
+    fn fig3_analyzes() {
+        let prog = parse_program(FIG3_PROGRAM).unwrap();
+        let fg = analyze(&prog).unwrap();
+        assert_eq!(fg.blocks.len(), 2);
+        assert_eq!(fg.blocks[0].range, (0, 33)); // [0, m+1], m = 32
+        assert_eq!(fg.blocks[1].range, (0, 31)); // [0, m-1]
+        // Edges: B→A, C→A, A→X, B→X.
+        let mut edges = fg.edges.clone();
+        edges.sort();
+        assert_eq!(
+            edges,
+            vec![
+                ("A".to_string(), "X".to_string()),
+                ("B".to_string(), "A".to_string()),
+                ("B".to_string(), "X".to_string()),
+                ("C".to_string(), "A".to_string()),
+            ]
+        );
+        assert_eq!(fg.range_of("B"), Some((0, 33)));
+    }
+
+    #[test]
+    fn guarded_boundary_access_passes_range_check() {
+        // Example 1's C[i-1] at i=0 would be out of range, but the guard
+        // `(i=0)|(i=m+1)` keeps it in the interior arm only.
+        let prog = parse_program(FIG3_PROGRAM).unwrap();
+        assert!(analyze(&prog).is_ok());
+    }
+
+    #[test]
+    fn unguarded_out_of_range_detected() {
+        let src = "
+param m = 8;
+input C : array[real] [0, m];
+A : array[real] := forall i in [0, m] construct C[i+1] endall;
+output A;
+";
+        let prog = parse_program(src).unwrap();
+        match analyze(&prog) {
+            Err(AnalyzeError::OutOfRange { array, offset, at_index, .. }) => {
+                assert_eq!(array, "C");
+                assert_eq!(offset, 1);
+                assert_eq!(at_index, 8);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_reference_rejected() {
+        let src = "
+param m = 4;
+A : array[real] := forall i in [0, m] construct Z[i] endall;
+Z : array[real] := forall i in [0, m] construct 1. endall;
+output A;
+";
+        let prog = parse_program(src).unwrap();
+        // The classifier reports the unknown name before range analysis
+        // would; either error identifies the forward reference.
+        assert!(matches!(
+            analyze(&prog),
+            Err(AnalyzeError::Unresolved { .. } | AnalyzeError::NotPipelinable { .. })
+        ));
+    }
+
+    #[test]
+    fn guards_collected_with_polarity() {
+        let e = parse_expr("if i = 0 then C[i] else C[i-1] endif").unwrap();
+        let params = Bindings::new();
+        let gs = collect_guarded(&e, "i", &params);
+        assert_eq!(gs.len(), 2);
+        assert!(gs[0].guards[0].1);
+        assert!(!gs[1].guards[0].1);
+        assert_eq!(gs[1].offset, -1);
+        // At i=0 the else-arm access is inactive.
+        assert_eq!(gs[1].active_at("i", 0, &params), Some(false));
+        assert_eq!(gs[1].active_at("i", 3, &params), Some(true));
+    }
+
+    #[test]
+    fn dynamic_guard_detection() {
+        let params = Bindings::new();
+        let stat = parse_expr("if i < 3 then C[i] else C[i-1] endif").unwrap();
+        assert!(!has_dynamic_guards(&stat, "i", &params));
+        let dyn_ = parse_expr("if C[i] > 0. then A[i] else B[i] endif").unwrap();
+        assert!(has_dynamic_guards(&dyn_, "i", &params));
+    }
+}

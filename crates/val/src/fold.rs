@@ -1,0 +1,411 @@
+//! Constant folding, static evaluation and algebraic simplification.
+//!
+//! Three jobs:
+//! * evaluate *manifest* expressions (index ranges, which the paper's
+//!   pipe-structured programs require to be fixed) over the compile-time
+//!   parameter environment;
+//! * decide whether an expression is *static in the index variable* — the
+//!   condition under which the compiler can precompute boolean control
+//!   streams instead of gating dynamically;
+//! * simplify the symbolic `α`/`β` coefficient expressions produced by the
+//!   linear-recurrence analysis (dropping `0·x`, `x+0`, `1·x`, …), which
+//!   directly shrinks the companion pipeline.
+
+use crate::ast::{Def, Expr};
+use std::collections::HashMap;
+use valpipe_ir::value::{apply_bin, apply_un, BinOp, UnOp, Value};
+
+/// A scalar binding environment for static evaluation.
+pub type Bindings = HashMap<String, Value>;
+
+/// Evaluate an expression that may reference only the given scalar
+/// bindings (parameters, and possibly the index variable). Returns `None`
+/// if the expression references anything else (arrays, unknown names) or
+/// faults (division by zero, type error).
+pub fn eval_static(expr: &Expr, env: &Bindings) -> Option<Value> {
+    match expr {
+        Expr::IntLit(v) => Some(Value::Int(*v)),
+        Expr::RealLit(v) => Some(Value::Real(*v)),
+        Expr::BoolLit(v) => Some(Value::Bool(*v)),
+        Expr::Var(name) => env.get(name).copied(),
+        Expr::Bin(op, a, b) => {
+            let a = eval_static(a, env)?;
+            let b = eval_static(b, env)?;
+            apply_bin(*op, a, b).ok()
+        }
+        Expr::Un(op, a) => {
+            let a = eval_static(a, env)?;
+            // `~` lexes as NOT; on numerics it means negation.
+            let op = match (op, a) {
+                (UnOp::Not, Value::Int(_) | Value::Real(_)) => UnOp::Neg,
+                (UnOp::Neg, Value::Bool(_)) => UnOp::Not,
+                _ => *op,
+            };
+            apply_un(op, a).ok()
+        }
+        Expr::If(c, t, e) => match eval_static(c, env)? {
+            Value::Bool(true) => eval_static(t, env),
+            Value::Bool(false) => eval_static(e, env),
+            _ => None,
+        },
+        Expr::Let(defs, body) => {
+            let mut inner = env.clone();
+            for d in defs {
+                let v = eval_static(&d.value, &inner)?;
+                inner.insert(d.name.clone(), v);
+            }
+            eval_static(body, &inner)
+        }
+        _ => None,
+    }
+}
+
+/// Evaluate a manifest integer expression over the parameters — the form
+/// required for index ranges. `Err` carries a description of why the
+/// expression is not manifest.
+pub fn eval_manifest_int(expr: &Expr, params: &Bindings) -> Result<i64, String> {
+    match eval_static(expr, params) {
+        Some(Value::Int(v)) => Ok(v),
+        Some(other) => Err(format!("manifest expression has type {}", other.type_name())),
+        None => Err("expression is not manifest (references non-parameter names)".into()),
+    }
+}
+
+/// Whether the expression references only names in `allowed` and contains
+/// no array operations — i.e. it can be evaluated statically once the
+/// allowed names are known.
+pub fn is_static_in(expr: &Expr, allowed: &dyn Fn(&str) -> bool) -> bool {
+    match expr {
+        Expr::IntLit(_) | Expr::RealLit(_) | Expr::BoolLit(_) => true,
+        Expr::Var(n) => allowed(n),
+        Expr::Bin(_, a, b) => is_static_in(a, allowed) && is_static_in(b, allowed),
+        Expr::Un(_, a) => is_static_in(a, allowed),
+        Expr::If(c, t, e) => {
+            is_static_in(c, allowed) && is_static_in(t, allowed) && is_static_in(e, allowed)
+        }
+        Expr::Let(defs, body) => {
+            // Conservative: require defs themselves static; bound names
+            // become allowed in the body.
+            let mut names: Vec<&str> = Vec::new();
+            for d in defs {
+                let ok = {
+                    let names = names.clone();
+                    is_static_in(&d.value, &|n| allowed(n) || names.contains(&n))
+                };
+                if !ok {
+                    return false;
+                }
+                names.push(&d.name);
+            }
+            is_static_in(body, &|n| allowed(n) || names.contains(&n))
+        }
+        Expr::Index(..) | Expr::Index2(..) | Expr::Append(..) | Expr::ArrayInit(..) | Expr::Iter(..) => false,
+    }
+}
+
+/// Substitute every let-bound name by its definition, bottom-up, yielding a
+/// let-free expression. Sound because primitive expressions are pure; used
+/// before linearity analysis.
+pub fn inline_lets(expr: &Expr) -> Expr {
+    fn subst(e: &Expr, env: &HashMap<String, Expr>) -> Expr {
+        match e {
+            Expr::Var(n) => env.get(n).cloned().unwrap_or_else(|| e.clone()),
+            Expr::Bin(op, a, b) => Expr::bin(*op, subst(a, env), subst(b, env)),
+            Expr::Un(op, a) => Expr::un(*op, subst(a, env)),
+            Expr::Index(a, i) => Expr::Index(a.clone(), Box::new(subst(i, env))),
+            Expr::Index2(a, i, j) => Expr::Index2(
+                a.clone(),
+                Box::new(subst(i, env)),
+                Box::new(subst(j, env)),
+            ),
+            Expr::If(c, t, f) => Expr::if_(subst(c, env), subst(t, env), subst(f, env)),
+            Expr::Let(defs, body) => {
+                let mut inner = env.clone();
+                for d in defs {
+                    let v = subst(&d.value, &inner);
+                    inner.insert(d.name.clone(), v);
+                }
+                subst(body, &inner)
+            }
+            Expr::Append(a, i, v) => Expr::Append(
+                a.clone(),
+                Box::new(subst(i, env)),
+                Box::new(subst(v, env)),
+            ),
+            Expr::ArrayInit(i, v) => {
+                Expr::ArrayInit(Box::new(subst(i, env)), Box::new(subst(v, env)))
+            }
+            Expr::Iter(binds) => Expr::Iter(
+                binds
+                    .iter()
+                    .map(|(n, e)| (n.clone(), subst(e, env)))
+                    .collect(),
+            ),
+            lit => lit.clone(),
+        }
+    }
+    subst(expr, &HashMap::new())
+}
+
+fn lit_of(v: Value) -> Expr {
+    match v {
+        Value::Int(i) => Expr::IntLit(i),
+        Value::Real(r) => Expr::RealLit(r),
+        Value::Bool(b) => Expr::BoolLit(b),
+    }
+}
+
+fn as_num(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::IntLit(v) => Some(*v as f64),
+        Expr::RealLit(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn is_zero(e: &Expr) -> bool {
+    as_num(e) == Some(0.0)
+}
+
+fn is_one(e: &Expr) -> bool {
+    as_num(e) == Some(1.0)
+}
+
+/// Algebraic simplification with constant folding. Preserves semantics for
+/// well-typed primitive expressions (and never reassociates floating-point
+/// arithmetic — only identity elements are dropped).
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Bin(op, a, b) => {
+            let a = simplify(a);
+            let b = simplify(b);
+            // Constant folding.
+            if let (Some(va), Some(vb)) = (lit_value(&a), lit_value(&b)) {
+                if let Ok(v) = apply_bin(*op, va, vb) {
+                    return lit_of(v);
+                }
+            }
+            match op {
+                BinOp::Add => {
+                    if is_zero(&a) {
+                        return b;
+                    }
+                    if is_zero(&b) {
+                        return a;
+                    }
+                }
+                BinOp::Sub => {
+                    if is_zero(&b) {
+                        return a;
+                    }
+                    if is_zero(&a) {
+                        return simplify(&Expr::un(UnOp::Neg, b));
+                    }
+                }
+                BinOp::Mul => {
+                    // 0·e → 0 is safe here: primitive expressions are total
+                    // (no side effects; array reads are handled upstream).
+                    if is_zero(&a) || is_zero(&b) {
+                        return if matches!(a, Expr::RealLit(_)) || matches!(b, Expr::RealLit(_)) {
+                            Expr::RealLit(0.0)
+                        } else {
+                            Expr::IntLit(0)
+                        };
+                    }
+                    if is_one(&a) {
+                        return b;
+                    }
+                    if is_one(&b) {
+                        return a;
+                    }
+                }
+                BinOp::Div
+                    if is_one(&b) => {
+                        return a;
+                    }
+                BinOp::And => {
+                    if a == Expr::BoolLit(true) {
+                        return b;
+                    }
+                    if b == Expr::BoolLit(true) {
+                        return a;
+                    }
+                    if a == Expr::BoolLit(false) || b == Expr::BoolLit(false) {
+                        return Expr::BoolLit(false);
+                    }
+                }
+                BinOp::Or => {
+                    if a == Expr::BoolLit(false) {
+                        return b;
+                    }
+                    if b == Expr::BoolLit(false) {
+                        return a;
+                    }
+                    if a == Expr::BoolLit(true) || b == Expr::BoolLit(true) {
+                        return Expr::BoolLit(true);
+                    }
+                }
+                _ => {}
+            }
+            Expr::bin(*op, a, b)
+        }
+        Expr::Un(op, a) => {
+            let a = simplify(a);
+            if let Some(v) = lit_value(&a) {
+                let op_fixed = match (op, v) {
+                    (UnOp::Not, Value::Int(_) | Value::Real(_)) => UnOp::Neg,
+                    _ => *op,
+                };
+                if let Ok(r) = apply_un(op_fixed, v) {
+                    return lit_of(r);
+                }
+            }
+            // ¬¬e / −−e
+            if let Expr::Un(inner, e) = &a {
+                if inner == op {
+                    return (**e).clone();
+                }
+            }
+            Expr::un(*op, a)
+        }
+        Expr::If(c, t, e) => {
+            let c = simplify(c);
+            let t = simplify(t);
+            let e = simplify(e);
+            match c {
+                Expr::BoolLit(true) => t,
+                Expr::BoolLit(false) => e,
+                // Conditions in this subset are total, so dropping one of
+                // two identical arms is sound.
+                _ if t == e => t,
+                c => Expr::if_(c, t, e),
+            }
+        }
+        Expr::Let(defs, body) => {
+            let defs: Vec<Def> = defs
+                .iter()
+                .map(|d| Def {
+                    name: d.name.clone(),
+                    ty: d.ty.clone(),
+                    value: simplify(&d.value),
+                })
+                .collect();
+            Expr::Let(defs, Box::new(simplify(body)))
+        }
+        Expr::Index(a, i) => Expr::Index(a.clone(), Box::new(simplify(i))),
+        Expr::Index2(a, i, j) => {
+            Expr::Index2(a.clone(), Box::new(simplify(i)), Box::new(simplify(j)))
+        }
+        Expr::Append(a, i, v) => {
+            Expr::Append(a.clone(), Box::new(simplify(i)), Box::new(simplify(v)))
+        }
+        Expr::ArrayInit(i, v) => Expr::ArrayInit(Box::new(simplify(i)), Box::new(simplify(v))),
+        Expr::Iter(binds) => Expr::Iter(
+            binds
+                .iter()
+                .map(|(n, e)| (n.clone(), simplify(e)))
+                .collect(),
+        ),
+        lit => lit.clone(),
+    }
+}
+
+fn lit_value(e: &Expr) -> Option<Value> {
+    match e {
+        Expr::IntLit(v) => Some(Value::Int(*v)),
+        Expr::RealLit(v) => Some(Value::Real(*v)),
+        Expr::BoolLit(v) => Some(Value::Bool(*v)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+
+    fn env(pairs: &[(&str, i64)]) -> Bindings {
+        pairs
+            .iter()
+            .map(|&(n, v)| (n.to_string(), Value::Int(v)))
+            .collect()
+    }
+
+    #[test]
+    fn manifest_ranges() {
+        let e = parse_expr("m + 1").unwrap();
+        assert_eq!(eval_manifest_int(&e, &env(&[("m", 10)])).unwrap(), 11);
+        assert!(eval_manifest_int(&e, &env(&[])).is_err());
+    }
+
+    #[test]
+    fn static_condition_evaluates_per_index() {
+        let c = parse_expr("(i = 0)|(i = m+1)").unwrap();
+        let mut b = env(&[("m", 4)]);
+        b.insert("i".into(), Value::Int(0));
+        assert_eq!(eval_static(&c, &b), Some(Value::Bool(true)));
+        b.insert("i".into(), Value::Int(3));
+        assert_eq!(eval_static(&c, &b), Some(Value::Bool(false)));
+        b.insert("i".into(), Value::Int(5));
+        assert_eq!(eval_static(&c, &b), Some(Value::Bool(true)));
+    }
+
+    #[test]
+    fn is_static_detects_array_access() {
+        let allowed = |n: &str| n == "i" || n == "m";
+        assert!(is_static_in(&parse_expr("i < m").unwrap(), &allowed));
+        assert!(!is_static_in(&parse_expr("C[i] < m").unwrap(), &allowed));
+        assert!(!is_static_in(&parse_expr("i < k").unwrap(), &allowed));
+    }
+
+    #[test]
+    fn inline_lets_substitutes() {
+        let e = parse_expr("let p := a + 1 in p * p endlet").unwrap();
+        let inlined = inline_lets(&e);
+        assert_eq!(inlined, parse_expr("(a+1) * (a+1)").unwrap());
+    }
+
+    #[test]
+    fn inline_lets_sequential_defs() {
+        let e = parse_expr("let p := a; q := p + 1 in q endlet").unwrap();
+        assert_eq!(inline_lets(&e), parse_expr("a + 1").unwrap());
+    }
+
+    #[test]
+    fn simplify_identities() {
+        for (src, want) in [
+            ("x + 0", "x"),
+            ("0 + x", "x"),
+            ("x * 1", "x"),
+            ("1 * x", "x"),
+            ("x * 0", "0"),
+            ("x - 0", "x"),
+            ("x / 1", "x"),
+            ("2 + 3", "5"),
+            ("if true then a else b endif", "a"),
+            ("if c then a else a endif", "a"),
+        ] {
+            assert_eq!(
+                simplify(&parse_expr(src).unwrap()),
+                parse_expr(want).unwrap(),
+                "simplify({src})"
+            );
+        }
+    }
+
+    #[test]
+    fn simplify_preserves_dynamic_parts() {
+        let e = parse_expr("(a + 0) * (b + c)").unwrap();
+        assert_eq!(simplify(&e), parse_expr("a * (b + c)").unwrap());
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        assert_eq!(simplify(&parse_expr("--x").unwrap()), parse_expr("x").unwrap());
+    }
+
+    #[test]
+    fn tilde_on_numeric_constant_negates() {
+        assert_eq!(simplify(&parse_expr("~(3)").unwrap()), Expr::IntLit(-3));
+    }
+}

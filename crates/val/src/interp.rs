@@ -1,0 +1,458 @@
+//! Reference interpreter — the correctness oracle.
+//!
+//! Executes pipe-structured programs directly over materialized arrays
+//! (no pipelining, no dataflow). Every compiled program's output stream is
+//! checked against this interpreter in the test suites.
+
+use crate::ast::*;
+use crate::fold::Bindings;
+use std::collections::HashMap;
+use std::fmt;
+use valpipe_ir::value::{apply_bin, apply_un, Value};
+
+/// A materialized array value with an explicit inclusive index range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayVal {
+    /// Least index.
+    pub lo: i64,
+    /// Elements for indices `lo ..= lo + data.len() - 1`.
+    pub data: Vec<Value>,
+}
+
+impl ArrayVal {
+    /// Build from reals.
+    pub fn from_reals(lo: i64, vals: &[f64]) -> Self {
+        ArrayVal {
+            lo,
+            data: vals.iter().map(|&v| Value::Real(v)).collect(),
+        }
+    }
+
+    /// Build from integers.
+    pub fn from_ints(lo: i64, vals: &[i64]) -> Self {
+        ArrayVal {
+            lo,
+            data: vals.iter().map(|&v| Value::Int(v)).collect(),
+        }
+    }
+
+    /// Row-major flattening of a 2-D grid (index origin 0).
+    pub fn from_grid(rows: &[Vec<f64>]) -> Self {
+        let data = rows
+            .iter()
+            .flat_map(|r| r.iter().map(|&v| Value::Real(v)))
+            .collect();
+        ArrayVal { lo: 0, data }
+    }
+
+    /// Reshape a flattened row-major array into rows of `width`.
+    pub fn to_grid(&self, width: usize) -> Vec<Vec<f64>> {
+        self.to_reals().chunks(width).map(<[f64]>::to_vec).collect()
+    }
+
+    /// Greatest index.
+    pub fn hi(&self) -> i64 {
+        self.lo + self.data.len() as i64 - 1
+    }
+
+    /// Element at absolute index, if in range.
+    pub fn get(&self, idx: i64) -> Option<Value> {
+        if idx < self.lo {
+            return None;
+        }
+        self.data.get((idx - self.lo) as usize).copied()
+    }
+
+    /// View as reals (integers promoted).
+    pub fn to_reals(&self) -> Vec<f64> {
+        self.data
+            .iter()
+            .map(|v| v.as_real().expect("non-numeric array element"))
+            .collect()
+    }
+}
+
+/// Runtime value: scalar or array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtVal {
+    /// Scalar packet value.
+    Scalar(Value),
+    /// Materialized array.
+    Array(ArrayVal),
+}
+
+impl RtVal {
+    fn scalar(&self) -> Result<Value, InterpError> {
+        match self {
+            RtVal::Scalar(v) => Ok(*v),
+            RtVal::Array(_) => fail("expected scalar, found array"),
+        }
+    }
+}
+
+/// Interpreter fault (unbound names, out-of-range access, type error…).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpError(pub String);
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "interpreter error: {}", self.0)
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, InterpError> {
+    Err(InterpError(msg.into()))
+}
+
+type Env = HashMap<String, RtVal>;
+
+/// Result of evaluating a for-iter loop body once.
+enum BodyOutcome {
+    /// `iter` chosen: rebind these loop names and go again.
+    Iterate(Vec<(String, RtVal)>),
+    /// Any other value terminates the loop with this result.
+    Done(RtVal),
+}
+
+fn eval(expr: &Expr, env: &Env) -> Result<RtVal, InterpError> {
+    match expr {
+        Expr::IntLit(v) => Ok(RtVal::Scalar(Value::Int(*v))),
+        Expr::RealLit(v) => Ok(RtVal::Scalar(Value::Real(*v))),
+        Expr::BoolLit(v) => Ok(RtVal::Scalar(Value::Bool(*v))),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| InterpError(format!("unbound name '{name}'"))),
+        Expr::Bin(op, a, b) => {
+            let a = eval(a, env)?.scalar()?;
+            let b = eval(b, env)?.scalar()?;
+            apply_bin(*op, a, b)
+                .map(RtVal::Scalar)
+                .map_err(|e| InterpError(e.0))
+        }
+        Expr::Un(op, a) => {
+            let a = eval(a, env)?.scalar()?;
+            // `~` on numerics means negation (see typeck).
+            let op = match (op, a) {
+                (UnOp::Not, Value::Int(_) | Value::Real(_)) => UnOp::Neg,
+                (UnOp::Neg, Value::Bool(_)) => UnOp::Not,
+                _ => *op,
+            };
+            apply_un(op, a)
+                .map(RtVal::Scalar)
+                .map_err(|e| InterpError(e.0))
+        }
+        Expr::Index(name, idx) => {
+            let idx = eval(idx, env)?.scalar()?;
+            let Some(i) = idx.as_int() else {
+                return fail(format!("index into '{name}' is not an integer"));
+            };
+            match env.get(name) {
+                Some(RtVal::Array(a)) => a.get(i).map(RtVal::Scalar).ok_or_else(|| {
+                    InterpError(format!(
+                        "index {i} out of range [{}, {}] of '{name}'",
+                        a.lo,
+                        a.hi()
+                    ))
+                }),
+                Some(RtVal::Scalar(_)) => fail(format!("'{name}' is not an array")),
+                None => fail(format!("unbound array '{name}'")),
+            }
+        }
+        Expr::If(c, t, e) => match eval(c, env)?.scalar()? {
+            Value::Bool(true) => eval(t, env),
+            Value::Bool(false) => eval(e, env),
+            v => fail(format!("condition evaluated to {v}, expected boolean")),
+        },
+        Expr::Let(defs, body) => {
+            let mut inner = env.clone();
+            for d in defs {
+                let v = eval(&d.value, &inner)?;
+                inner.insert(d.name.clone(), v);
+            }
+            eval(body, &inner)
+        }
+        Expr::Index2(name, ..) => fail(format!(
+            "two-dimensional access to '{name}' must be flattened before interpretation"
+        )),
+        Expr::Iter(_) => fail("'iter' outside a loop body"),
+        Expr::Append(name, idx, val) => {
+            let idx = eval(idx, env)?.scalar()?;
+            let Some(i) = idx.as_int() else {
+                return fail("append index is not an integer");
+            };
+            let v = eval(val, env)?.scalar()?;
+            match env.get(name) {
+                Some(RtVal::Array(a)) => {
+                    if i != a.hi() + 1 {
+                        return fail(format!(
+                            "append at index {i} but '{name}' ends at {} (appends must be dense)",
+                            a.hi()
+                        ));
+                    }
+                    let mut a = a.clone();
+                    a.data.push(v);
+                    Ok(RtVal::Array(a))
+                }
+                _ => fail(format!("'{name}' is not an array")),
+            }
+        }
+        Expr::ArrayInit(idx, val) => {
+            let idx = eval(idx, env)?.scalar()?;
+            let Some(i) = idx.as_int() else {
+                return fail("array-init index is not an integer");
+            };
+            let v = eval(val, env)?.scalar()?;
+            Ok(RtVal::Array(ArrayVal {
+                lo: i,
+                data: vec![v],
+            }))
+        }
+    }
+}
+
+fn eval_loop_body(expr: &Expr, env: &Env) -> Result<BodyOutcome, InterpError> {
+    match expr {
+        Expr::Iter(binds) => {
+            let mut out = Vec::with_capacity(binds.len());
+            for (name, e) in binds {
+                out.push((name.clone(), eval(e, env)?));
+            }
+            Ok(BodyOutcome::Iterate(out))
+        }
+        Expr::If(c, t, e) => match eval(c, env)?.scalar()? {
+            Value::Bool(true) => eval_loop_body(t, env),
+            Value::Bool(false) => eval_loop_body(e, env),
+            v => fail(format!("loop condition evaluated to {v}")),
+        },
+        Expr::Let(defs, body) => {
+            let mut inner = env.clone();
+            for d in defs {
+                let v = eval(&d.value, &inner)?;
+                inner.insert(d.name.clone(), v);
+            }
+            eval_loop_body(body, &inner)
+        }
+        other => Ok(BodyOutcome::Done(eval(other, env)?)),
+    }
+}
+
+/// Iteration-count guard for runaway loops.
+pub const MAX_ITERATIONS: u64 = 50_000_000;
+
+/// Evaluate one for-iter construct to its result value.
+pub fn eval_foriter(fi: &ForIter, env: &Env) -> Result<RtVal, InterpError> {
+    let mut state = env.clone();
+    for d in &fi.inits {
+        let v = eval(&d.value, &state)?;
+        state.insert(d.name.clone(), v);
+    }
+    let mut iterations = 0u64;
+    loop {
+        match eval_loop_body(&fi.body, &state)? {
+            BodyOutcome::Done(v) => return Ok(v),
+            BodyOutcome::Iterate(binds) => {
+                for (name, v) in binds {
+                    state.insert(name, v);
+                }
+            }
+        }
+        iterations += 1;
+        if iterations > MAX_ITERATIONS {
+            return fail("loop exceeded the iteration guard (non-terminating?)");
+        }
+    }
+}
+
+/// Evaluate one forall construct to its array value, given the manifest
+/// range bounds.
+pub fn eval_forall(f: &Forall, lo: i64, hi: i64, env: &Env) -> Result<ArrayVal, InterpError> {
+    if hi < lo {
+        return fail(format!("empty forall range [{lo}, {hi}]"));
+    }
+    let mut data = Vec::with_capacity((hi - lo + 1) as usize);
+    for i in lo..=hi {
+        let mut inner = env.clone();
+        inner.insert(f.index_var.clone(), RtVal::Scalar(Value::Int(i)));
+        for d in &f.defs {
+            let v = eval(&d.value, &inner)?;
+            inner.insert(d.name.clone(), v);
+        }
+        data.push(eval(&f.body, &inner)?.scalar()?);
+    }
+    Ok(ArrayVal { lo, data })
+}
+
+/// Run a whole pipe-structured program over the given input arrays.
+/// Returns the block results for every declared output.
+pub fn run_program(
+    prog: &Program,
+    inputs: &HashMap<String, ArrayVal>,
+) -> Result<HashMap<String, ArrayVal>, InterpError> {
+    let mut env = Env::new();
+    let mut params = Bindings::new();
+    for (name, v) in &prog.params {
+        env.insert(name.clone(), RtVal::Scalar(Value::Int(*v)));
+        params.insert(name.clone(), Value::Int(*v));
+    }
+    for decl in &prog.inputs {
+        let Some(arr) = inputs.get(&decl.name) else {
+            return fail(format!("no input bound for '{}'", decl.name));
+        };
+        let lo = crate::fold::eval_manifest_int(&decl.range.0, &params)
+            .map_err(InterpError)?;
+        let hi = crate::fold::eval_manifest_int(&decl.range.1, &params)
+            .map_err(InterpError)?;
+        if arr.lo != lo || arr.hi() != hi {
+            return fail(format!(
+                "input '{}' declared [{lo}, {hi}] but bound [{}, {}]",
+                decl.name,
+                arr.lo,
+                arr.hi()
+            ));
+        }
+        env.insert(decl.name.clone(), RtVal::Array(arr.clone()));
+    }
+    for block in &prog.blocks {
+        let value = match &block.body {
+            BlockBody::Forall(f) => {
+                let lo = crate::fold::eval_manifest_int(&f.range.0, &params)
+                    .map_err(InterpError)?;
+                let hi = crate::fold::eval_manifest_int(&f.range.1, &params)
+                    .map_err(InterpError)?;
+                RtVal::Array(eval_forall(f, lo, hi, &env)?)
+            }
+            BlockBody::ForIter(fi) => eval_foriter(fi, &env)?,
+        };
+        if !matches!(value, RtVal::Array(_)) {
+            return fail(format!("block '{}' did not produce an array", block.name));
+        }
+        env.insert(block.name.clone(), value);
+    }
+    let mut out = HashMap::new();
+    for name in &prog.outputs {
+        match env.get(name) {
+            Some(RtVal::Array(a)) => {
+                out.insert(name.clone(), a.clone());
+            }
+            _ => return fail(format!("output '{name}' is not an array value")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, FIG3_PROGRAM};
+
+    /// Direct reimplementation of the paper's two examples in Rust, used to
+    /// cross-check the interpreter.
+    fn example1_reference(b: &[f64], c: &[f64]) -> Vec<f64> {
+        let mp2 = c.len(); // indices 0..=m+1
+        (0..mp2)
+            .map(|i| {
+                let p = if i == 0 || i == mp2 - 1 {
+                    c[i]
+                } else {
+                    0.25 * (c[i - 1] + 2.0 * c[i] + c[i + 1])
+                };
+                b[i] * p * p
+            })
+            .collect()
+    }
+
+    fn example2_reference(a: &[f64], b: &[f64], m: usize) -> Vec<f64> {
+        // x_0 = 0; x_i = A[i]*x_{i-1} + B[i] for i = 1..m-1.
+        let mut x = vec![0.0];
+        for i in 1..m {
+            x.push(a[i] * x[i - 1] + b[i]);
+        }
+        x
+    }
+
+    #[test]
+    fn fig3_program_matches_reference() {
+        let prog = parse_program(FIG3_PROGRAM).unwrap();
+        let prog = crate::typeck::check_program(&prog).unwrap();
+        let m = 32usize;
+        let b: Vec<f64> = (0..m + 2).map(|i| (i as f64 * 0.37).sin()).collect();
+        let c: Vec<f64> = (0..m + 2).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut inputs = HashMap::new();
+        inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
+        inputs.insert("C".to_string(), ArrayVal::from_reals(0, &c));
+        let out = run_program(&prog, &inputs).unwrap();
+
+        let a_ref = example1_reference(&b, &c);
+        let a_got = out["A"].to_reals();
+        assert_eq!(a_got.len(), a_ref.len());
+        for (g, r) in a_got.iter().zip(&a_ref) {
+            assert!((g - r).abs() < 1e-12, "{g} vs {r}");
+        }
+
+        let x_ref = example2_reference(&a_ref, &b, m);
+        let x_got = out["X"].to_reals();
+        assert_eq!(out["X"].lo, 0);
+        assert_eq!(x_got.len(), x_ref.len());
+        for (g, r) in x_got.iter().zip(&x_ref) {
+            assert!((g - r).abs() < 1e-9, "{g} vs {r}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_access_reported() {
+        let src = "
+param m = 4;
+input C : array[real] [0, m];
+A : array[real] := forall i in [0, m] construct C[i+1] endall;
+output A;
+";
+        let prog = parse_program(src).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("C".into(), ArrayVal::from_reals(0, &[0., 1., 2., 3., 4.]));
+        let err = run_program(&prog, &inputs).unwrap_err();
+        assert!(err.0.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn input_range_mismatch_reported() {
+        let src = "
+param m = 4;
+input C : array[real] [0, m];
+A : array[real] := forall i in [0, m] construct C[i] endall;
+output A;
+";
+        let prog = parse_program(src).unwrap();
+        let mut inputs = HashMap::new();
+        inputs.insert("C".into(), ArrayVal::from_reals(0, &[0., 1., 2.]));
+        assert!(run_program(&prog, &inputs).is_err());
+    }
+
+    #[test]
+    fn sparse_append_rejected() {
+        let src = "
+param m = 4;
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0.]
+  do
+    if i < m then iter T := T[i+1: 1.]; i := i + 1 enditer else T endif
+  endfor;
+output X;
+";
+        let prog = parse_program(src).unwrap();
+        let err = run_program(&prog, &HashMap::new()).unwrap_err();
+        assert!(err.0.contains("dense"), "{err}");
+    }
+
+    #[test]
+    fn array_val_accessors() {
+        let a = ArrayVal::from_ints(-2, &[5, 6, 7]);
+        assert_eq!(a.hi(), 0);
+        assert_eq!(a.get(-2), Some(Value::Int(5)));
+        assert_eq!(a.get(0), Some(Value::Int(7)));
+        assert_eq!(a.get(1), None);
+        assert_eq!(a.get(-3), None);
+    }
+}

@@ -1,0 +1,349 @@
+//! Lexer for the Val subset.
+//!
+//! Comments run from `%` to end of line (the paper's convention). Numbers
+//! follow Val's forms: `2`, `0.25`, `2.` and `.5` are all accepted; a
+//! number containing a dot is a `real` literal.
+
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// `:=`
+    Assign,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `|`
+    Bar,
+    /// `&`
+    Amp,
+    /// `~`
+    Tilde,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Real(v) => write!(f, "{v}"),
+            Tok::Assign => write!(f, ":="),
+            Tok::Colon => write!(f, ":"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "~="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Bar => write!(f, "|"),
+            Tok::Amp => write!(f, "&"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// Lexical error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Message.
+    pub message: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a source string.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let push = |out: &mut Vec<Spanned>, tok: Tok, line: u32| out.push(Spanned { tok, line });
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '%' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push(&mut out, Tok::Ident(src[start..i].to_string()), line);
+            }
+            c if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_digit() {
+                        i += 1;
+                    } else if ch == '.' && !saw_dot {
+                        // A dot is part of the number unless it starts an
+                        // index-like construct (digits never precede '[').
+                        saw_dot = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                if saw_dot {
+                    let v: f64 = text
+                        .parse()
+                        .or_else(|_| format!("{text}0").parse()) // "2." → "2.0"
+                        .map_err(|_| LexError {
+                            message: format!("bad real literal '{text}'"),
+                            line,
+                        })?;
+                    push(&mut out, Tok::Real(v), line);
+                } else {
+                    let v: i64 = text.parse().map_err(|_| LexError {
+                        message: format!("bad integer literal '{text}'"),
+                        line,
+                    })?;
+                    push(&mut out, Tok::Int(v), line);
+                }
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Assign, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Colon, line);
+                    i += 1;
+                }
+            }
+            '~' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Ne, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Tilde, line);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Le, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Lt, line);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    push(&mut out, Tok::Ge, line);
+                    i += 2;
+                } else {
+                    push(&mut out, Tok::Gt, line);
+                    i += 1;
+                }
+            }
+            ';' => {
+                push(&mut out, Tok::Semi, line);
+                i += 1;
+            }
+            ',' => {
+                push(&mut out, Tok::Comma, line);
+                i += 1;
+            }
+            '(' => {
+                push(&mut out, Tok::LParen, line);
+                i += 1;
+            }
+            ')' => {
+                push(&mut out, Tok::RParen, line);
+                i += 1;
+            }
+            '[' => {
+                push(&mut out, Tok::LBracket, line);
+                i += 1;
+            }
+            ']' => {
+                push(&mut out, Tok::RBracket, line);
+                i += 1;
+            }
+            '+' => {
+                push(&mut out, Tok::Plus, line);
+                i += 1;
+            }
+            '-' => {
+                push(&mut out, Tok::Minus, line);
+                i += 1;
+            }
+            '*' => {
+                push(&mut out, Tok::Star, line);
+                i += 1;
+            }
+            '/' => {
+                push(&mut out, Tok::Slash, line);
+                i += 1;
+            }
+            '=' => {
+                push(&mut out, Tok::Eq, line);
+                i += 1;
+            }
+            '|' => {
+                push(&mut out, Tok::Bar, line);
+                i += 1;
+            }
+            '&' => {
+                push(&mut out, Tok::Amp, line);
+                i += 1;
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character '{other}'"),
+                    line,
+                })
+            }
+        }
+    }
+    push(&mut out, Tok::Eof, line);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("2"), vec![Tok::Int(2), Tok::Eof]);
+        assert_eq!(toks("0.25"), vec![Tok::Real(0.25), Tok::Eof]);
+        assert_eq!(toks("2."), vec![Tok::Real(2.0), Tok::Eof]);
+        assert_eq!(toks(".5"), vec![Tok::Real(0.5), Tok::Eof]);
+    }
+
+    #[test]
+    fn operators_and_compounds() {
+        assert_eq!(
+            toks(":= : ~= ~ <= < >= > ="),
+            vec![
+                Tok::Assign,
+                Tok::Colon,
+                Tok::Ne,
+                Tok::Tilde,
+                Tok::Le,
+                Tok::Lt,
+                Tok::Ge,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a % comment here\nb"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn paper_snippet_lexes() {
+        let src = "0.25 * (C[i-1] + 2.*C[i] + C[i+1])";
+        let t = toks(src);
+        assert!(t.contains(&Tok::Real(0.25)));
+        assert!(t.contains(&Tok::Real(2.0)));
+        assert!(t.contains(&Tok::Ident("C".into())));
+        assert_eq!(t.iter().filter(|x| **x == Tok::LBracket).count(), 3);
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let s = lex("a\nb\nc").unwrap();
+        assert_eq!(s[0].line, 1);
+        assert_eq!(s[1].line, 2);
+        assert_eq!(s[2].line, 3);
+    }
+
+    #[test]
+    fn bad_char_reported() {
+        let err = lex("a #").unwrap_err();
+        assert!(err.message.contains('#'));
+    }
+}

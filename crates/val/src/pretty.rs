@@ -1,0 +1,221 @@
+//! Pretty-printer: render ASTs back to Val source.
+//!
+//! Guarantees `parse(print(x)) == x` for expressions and whole programs
+//! (verified by round-trip tests), which the tooling uses to emit
+//! flattened or otherwise transformed programs in readable form.
+
+use crate::ast::*;
+
+/// Render an expression as Val source (fully parenthesized where
+/// precedence could bite).
+pub fn expr_to_source(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::RealLit(v) => {
+            let s = if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            };
+            if *v < 0.0 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::BoolLit(v) => v.to_string(),
+        Expr::Var(n) => n.clone(),
+        Expr::Bin(op, a, b) => {
+            let o = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Mod => "%%", // no surface syntax; see note below
+                BinOp::Min | BinOp::Max => "%%",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "=",
+                BinOp::Ne => "~=",
+                BinOp::And => "&",
+                BinOp::Or => "|",
+            };
+            format!("({} {o} {})", expr_to_source(a), expr_to_source(b))
+        }
+        Expr::Un(UnOp::Neg, a) => format!("(-{})", expr_to_source(a)),
+        Expr::Un(UnOp::Not, a) => format!("(~{})", expr_to_source(a)),
+        Expr::Un(UnOp::Abs, a) => format!("(~~abs {})", expr_to_source(a)),
+        Expr::Index(a, i) => format!("{a}[{}]", expr_to_source(i)),
+        Expr::Index2(a, i, j) => {
+            format!("{a}[{}][{}]", expr_to_source(i), expr_to_source(j))
+        }
+        Expr::If(c, t, f) => format!(
+            "if {} then {} else {} endif",
+            expr_to_source(c),
+            expr_to_source(t),
+            expr_to_source(f)
+        ),
+        Expr::Let(defs, body) => {
+            let ds = defs
+                .iter()
+                .map(def_to_source)
+                .collect::<Vec<_>>()
+                .join("; ");
+            format!("let {ds} in {} endlet", expr_to_source(body))
+        }
+        Expr::Iter(binds) => {
+            let bs = binds
+                .iter()
+                .map(|(n, e)| format!("{n} := {}", expr_to_source(e)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            format!("iter {bs} enditer")
+        }
+        Expr::Append(a, i, v) => format!(
+            "{a}[{}: {}]",
+            expr_to_source(i),
+            expr_to_source(v)
+        ),
+        Expr::ArrayInit(i, v) => {
+            format!("[{}: {}]", expr_to_source(i), expr_to_source(v))
+        }
+    }
+}
+
+fn def_to_source(d: &Def) -> String {
+    match &d.ty {
+        Some(t) => format!("{} : {t} := {}", d.name, expr_to_source(&d.value)),
+        None => format!("{} := {}", d.name, expr_to_source(&d.value)),
+    }
+}
+
+/// Render a whole program as Val source.
+pub fn program_to_source(p: &Program) -> String {
+    let mut out = String::new();
+    for (n, v) in &p.params {
+        out.push_str(&format!("param {n} = {v};\n"));
+    }
+    for i in &p.inputs {
+        // The parser strips exactly one `array[…]` level, so a 2-D input's
+        // stored element type already carries the inner array level.
+        let mut line = format!(
+            "input {} : array[{}] [{}, {}]",
+            i.name,
+            i.elem_ty,
+            expr_to_source(&i.range.0),
+            expr_to_source(&i.range.1)
+        );
+        if let Some((lo, hi)) = &i.range2 {
+            line.push_str(&format!("[{}, {}]", expr_to_source(lo), expr_to_source(hi)));
+        }
+        line.push_str(";\n");
+        out.push_str(&line);
+    }
+    for b in &p.blocks {
+        out.push_str(&format!("{} : {} :=\n", b.name, b.ty));
+        match &b.body {
+            BlockBody::Forall(f) => {
+                out.push_str(&format!(
+                    "  forall {} in [{}, {}]",
+                    f.index_var,
+                    expr_to_source(&f.range.0),
+                    expr_to_source(&f.range.1)
+                ));
+                if let Some((j, (lo, hi))) = &f.second {
+                    out.push_str(&format!(
+                        ", {j} in [{}, {}]",
+                        expr_to_source(lo),
+                        expr_to_source(hi)
+                    ));
+                }
+                out.push('\n');
+                for d in &f.defs {
+                    out.push_str(&format!("    {};\n", def_to_source(d)));
+                }
+                out.push_str(&format!(
+                    "  construct\n    {}\n  endall;\n",
+                    expr_to_source(&f.body)
+                ));
+            }
+            BlockBody::ForIter(fi) => {
+                out.push_str("  for\n");
+                for (k, d) in fi.inits.iter().enumerate() {
+                    let sep = if k + 1 < fi.inits.len() { ";" } else { "" };
+                    out.push_str(&format!("    {}{sep}\n", def_to_source(d)));
+                }
+                out.push_str(&format!(
+                    "  do\n    {}\n  endfor;\n",
+                    expr_to_source(&fi.body)
+                ));
+            }
+        }
+    }
+    if !p.outputs.is_empty() {
+        out.push_str(&format!("output {};\n", p.outputs.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program, FIG3_PROGRAM};
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "1 + 2 * 3",
+            "0.25 * (C[i-1] + 2.*C[i] + C[i+1])",
+            "if (i = 0)|(i = m+1) then C[i] else B[i] endif",
+            "let p : real := A[i] in p * p endlet",
+            "T[i: P]",
+            "[0: 0.5]",
+            "-(A[i] + B[i])",
+            "~(x & y)",
+            "iter T := T[i: P]; i := i + 1 enditer",
+            "U[i-1][j+2]",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = expr_to_source(&e);
+            let reparsed = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of '{printed}' failed: {err}"));
+            assert_eq!(reparsed, e, "roundtrip of {src} via {printed}");
+        }
+    }
+
+    #[test]
+    fn fig3_program_roundtrips() {
+        let p = parse_program(FIG3_PROGRAM).unwrap();
+        let printed = program_to_source(&p);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        assert_eq!(reparsed, p);
+    }
+
+    #[test]
+    fn flattened_program_prints_and_reparses() {
+        let src = "
+param n = 3;
+input U : array[array[real]] [0, n][0, n];
+V : array[array[real]] :=
+  forall i in [0, n], j in [0, n] construct U[i][j] * 2. endall;
+output V;
+";
+        let p = parse_program(src).unwrap();
+        // Print the ORIGINAL (2-D) and reparse.
+        let printed = program_to_source(&p);
+        assert_eq!(parse_program(&printed).unwrap(), p);
+        // And the flattened form too.
+        let (flat, _) = crate::dims::flatten_program(&p).unwrap();
+        let printed = program_to_source(&flat);
+        assert_eq!(parse_program(&printed).unwrap(), flat);
+    }
+}

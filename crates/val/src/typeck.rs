@@ -1,0 +1,527 @@
+//! Type checking for the Val subset.
+//!
+//! Besides catching errors, the checker performs one rewrite: the paper
+//! (and Val) spell both boolean negation and an idiomatic arithmetic
+//! negation with `~`, so `~` parses as `NOT` and is rewritten to `NEG`
+//! when its operand is numeric.
+//!
+//! Numeric promotion follows Val: mixing `integer` and `real` yields
+//! `real`; comparisons accept mixed numerics; `&`, `|`, `~` (boolean) need
+//! booleans.
+
+use crate::ast::*;
+use crate::fold::Bindings;
+use std::collections::HashMap;
+use std::fmt;
+use valpipe_ir::value::Value;
+
+/// Type error with context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeError {
+    /// Description.
+    pub message: String,
+    /// Enclosing block name, if known.
+    pub block: Option<String>,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.block {
+            Some(b) => write!(f, "type error in block '{b}': {}", self.message),
+            None => write!(f, "type error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
+    Err(TypeError {
+        message: msg.into(),
+        block: None,
+    })
+}
+
+/// Scalar/array typing environment.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    vars: HashMap<String, Type>,
+}
+
+impl TypeEnv {
+    /// Empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind a name.
+    pub fn bind(&mut self, name: impl Into<String>, ty: Type) {
+        self.vars.insert(name.into(), ty);
+    }
+
+    /// Look up a name.
+    pub fn get(&self, name: &str) -> Option<&Type> {
+        self.vars.get(name)
+    }
+}
+
+/// Least upper bound of two numeric types (int ⊔ real = real).
+fn join_numeric(a: &Type, b: &Type) -> Option<Type> {
+    match (a, b) {
+        (Type::Int, Type::Int) => Some(Type::Int),
+        (Type::Int, Type::Real) | (Type::Real, Type::Int) | (Type::Real, Type::Real) => {
+            Some(Type::Real)
+        }
+        _ => None,
+    }
+}
+
+/// Type-check an expression, returning its type and the (possibly
+/// rewritten) expression. `Iter` is rejected here; for-iter bodies use
+/// [`check_foriter_body`].
+pub fn check_expr(expr: &Expr, env: &TypeEnv) -> Result<(Type, Expr), TypeError> {
+    match expr {
+        Expr::IntLit(v) => Ok((Type::Int, Expr::IntLit(*v))),
+        Expr::RealLit(v) => Ok((Type::Real, Expr::RealLit(*v))),
+        Expr::BoolLit(v) => Ok((Type::Bool, Expr::BoolLit(*v))),
+        Expr::Var(name) => match env.get(name) {
+            Some(t) => Ok((t.clone(), Expr::Var(name.clone()))),
+            None => err(format!("unbound name '{name}'")),
+        },
+        Expr::Bin(op, a, b) => {
+            let (ta, ea) = check_expr(a, env)?;
+            let (tb, eb) = check_expr(b, env)?;
+            let ty = bin_type(*op, &ta, &tb)
+                .ok_or_else(|| TypeError {
+                    message: format!("operator {} applied to {ta} and {tb}", op.mnemonic()),
+                    block: None,
+                })?;
+            Ok((ty, Expr::bin(*op, ea, eb)))
+        }
+        Expr::Un(op, a) => {
+            let (ta, ea) = check_expr(a, env)?;
+            match (op, &ta) {
+                (UnOp::Neg, t) if t.is_numeric() => Ok((ta, Expr::un(UnOp::Neg, ea))),
+                (UnOp::Not, Type::Bool) => Ok((Type::Bool, Expr::un(UnOp::Not, ea))),
+                // `~` on a numeric operand means arithmetic negation.
+                (UnOp::Not, t) if t.is_numeric() => Ok((ta, Expr::un(UnOp::Neg, ea))),
+                (UnOp::Neg, Type::Bool) => Ok((Type::Bool, Expr::un(UnOp::Not, ea))),
+                (UnOp::Abs, t) if t.is_numeric() => Ok((ta, Expr::un(UnOp::Abs, ea))),
+                _ => err(format!("operator {} applied to {ta}", op.mnemonic())),
+            }
+        }
+        Expr::Index(name, idx) => {
+            let Some(arr_ty) = env.get(name).cloned() else {
+                return err(format!("unbound array '{name}'"));
+            };
+            let Some(elem) = arr_ty.elem().cloned() else {
+                return err(format!("'{name}' indexed but has type {arr_ty}"));
+            };
+            let (ti, ei) = check_expr(idx, env)?;
+            if ti != Type::Int {
+                return err(format!("index of '{name}' has type {ti}, expected integer"));
+            }
+            Ok((elem, Expr::Index(name.clone(), Box::new(ei))))
+        }
+        Expr::If(c, t, e) => {
+            let (tc, ec) = check_expr(c, env)?;
+            if tc != Type::Bool {
+                return err(format!("condition has type {tc}, expected boolean"));
+            }
+            let (tt, et) = check_expr(t, env)?;
+            let (te, ee) = check_expr(e, env)?;
+            let ty = if tt == te {
+                tt
+            } else if let Some(j) = join_numeric(&tt, &te) {
+                j
+            } else {
+                return err(format!("conditional arms have types {tt} and {te}"));
+            };
+            Ok((ty, Expr::if_(ec, et, ee)))
+        }
+        Expr::Let(defs, body) => {
+            let mut inner = env.clone();
+            let mut new_defs = Vec::with_capacity(defs.len());
+            for d in defs {
+                let (tv, ev) = check_expr(&d.value, &inner)?;
+                if let Some(declared) = &d.ty {
+                    let ok = declared == &tv
+                        || (declared == &Type::Real && tv == Type::Int);
+                    if !ok {
+                        return err(format!(
+                            "definition '{}' declared {declared} but has type {tv}",
+                            d.name
+                        ));
+                    }
+                }
+                let bound_ty = d.ty.clone().unwrap_or(tv);
+                inner.bind(&d.name, bound_ty.clone());
+                new_defs.push(Def {
+                    name: d.name.clone(),
+                    ty: Some(bound_ty),
+                    value: ev,
+                });
+            }
+            let (tb, eb) = check_expr(body, &inner)?;
+            Ok((tb, Expr::Let(new_defs, Box::new(eb))))
+        }
+        Expr::Index2(name, ..) => err(format!(
+            "two-dimensional access to '{name}' must be flattened before type checking"
+        )),
+        Expr::Iter(_) => err("'iter' outside a for-iter loop body"),
+        Expr::Append(name, idx, val) => {
+            let Some(arr_ty) = env.get(name).cloned() else {
+                return err(format!("unbound array '{name}'"));
+            };
+            let Some(elem) = arr_ty.elem().cloned() else {
+                return err(format!("'{name}' appended to but has type {arr_ty}"));
+            };
+            let (ti, ei) = check_expr(idx, env)?;
+            if ti != Type::Int {
+                return err(format!("append index has type {ti}, expected integer"));
+            }
+            let (tv, ev) = check_expr(val, env)?;
+            if tv != elem && !(elem == Type::Real && tv == Type::Int) {
+                return err(format!("appending {tv} to array of {elem}"));
+            }
+            Ok((
+                arr_ty,
+                Expr::Append(name.clone(), Box::new(ei), Box::new(ev)),
+            ))
+        }
+        Expr::ArrayInit(idx, val) => {
+            let (ti, ei) = check_expr(idx, env)?;
+            if ti != Type::Int {
+                return err(format!("array-init index has type {ti}, expected integer"));
+            }
+            let (tv, ev) = check_expr(val, env)?;
+            Ok((
+                Type::Array(Box::new(tv)),
+                Expr::ArrayInit(Box::new(ei), Box::new(ev)),
+            ))
+        }
+    }
+}
+
+fn bin_type(op: BinOp, a: &Type, b: &Type) -> Option<Type> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod | Min | Max => join_numeric(a, b),
+        Lt | Le | Gt | Ge => join_numeric(a, b).map(|_| Type::Bool),
+        Eq | Ne => {
+            if a == b || join_numeric(a, b).is_some() {
+                Some(Type::Bool)
+            } else {
+                None
+            }
+        }
+        And | Or => (a == &Type::Bool && b == &Type::Bool).then_some(Type::Bool),
+    }
+}
+
+/// Check a for-iter body: `Iter` clauses may appear only in tail position
+/// (the body itself, a conditional arm, or a let body); every other tail
+/// yields the loop result. Returns the result type and rewritten body.
+pub fn check_foriter_body(
+    body: &Expr,
+    env: &TypeEnv,
+    loop_vars: &HashMap<String, Type>,
+) -> Result<(Type, Expr), TypeError> {
+    match body {
+        Expr::Iter(binds) => {
+            let mut new = Vec::with_capacity(binds.len());
+            for (name, e) in binds {
+                let Some(expected) = loop_vars.get(name) else {
+                    return err(format!("'iter' rebinds '{name}', which is not a loop name"));
+                };
+                let (tv, ev) = check_expr(e, env)?;
+                if &tv != expected && !(expected == &Type::Real && tv == Type::Int) {
+                    return err(format!(
+                        "'iter' rebinds '{name}' ({expected}) with a {tv} value"
+                    ));
+                }
+                new.push((name.clone(), ev));
+            }
+            // An iter clause has no value of its own; report as the unit of
+            // the iteration. We use the (arbitrary) convention that its
+            // "type" is the type of the whole loop, resolved by the caller;
+            // internally we mark it with a placeholder.
+            Ok((Type::Bool, Expr::Iter(new))) // placeholder type, never joined
+        }
+        Expr::If(c, t, e) => {
+            let (tc, ec) = check_expr(c, env)?;
+            if tc != Type::Bool {
+                return err(format!("loop condition has type {tc}, expected boolean"));
+            }
+            let (tt, et) = check_foriter_body(t, env, loop_vars)?;
+            let (te, ee) = check_foriter_body(e, env, loop_vars)?;
+            // If one arm iterates, the loop's type is the other arm's.
+            let ty = match (matches!(**t, Expr::Iter(_)) || contains_iter(&et), matches!(**e, Expr::Iter(_)) || contains_iter(&ee)) {
+                (true, false) => te,
+                (false, true) => tt,
+                (false, false) => {
+                    if tt == te {
+                        tt
+                    } else if let Some(j) = join_numeric(&tt, &te) {
+                        j
+                    } else {
+                        return err(format!("loop arms have types {tt} and {te}"));
+                    }
+                }
+                (true, true) => tt, // both iterate: loop can only spin; caller rejects
+            };
+            Ok((ty, Expr::if_(ec, et, ee)))
+        }
+        Expr::Let(defs, inner) => {
+            let mut scoped = env.clone();
+            let mut new_defs = Vec::with_capacity(defs.len());
+            for d in defs {
+                let (tv, ev) = check_expr(&d.value, &scoped)?;
+                if let Some(declared) = &d.ty {
+                    let ok = declared == &tv || (declared == &Type::Real && tv == Type::Int);
+                    if !ok {
+                        return err(format!(
+                            "definition '{}' declared {declared} but has type {tv}",
+                            d.name
+                        ));
+                    }
+                }
+                let bound_ty = d.ty.clone().unwrap_or(tv);
+                scoped.bind(&d.name, bound_ty.clone());
+                new_defs.push(Def {
+                    name: d.name.clone(),
+                    ty: Some(bound_ty),
+                    value: ev,
+                });
+            }
+            let (ty, eb) = check_foriter_body(inner, &scoped, loop_vars)?;
+            Ok((ty, Expr::Let(new_defs, Box::new(eb))))
+        }
+        other => check_expr(other, env),
+    }
+}
+
+fn contains_iter(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |x| {
+        if matches!(x, Expr::Iter(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Type-check a whole program. Returns the rewritten program (with `~`
+/// disambiguated and every definition annotated).
+pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
+    let mut env = TypeEnv::new();
+    let mut params = Bindings::new();
+    for (name, v) in &prog.params {
+        env.bind(name, Type::Int);
+        params.insert(name.clone(), Value::Int(*v));
+    }
+    let mut out = prog.clone();
+    for input in &prog.inputs {
+        if !input.elem_ty.is_scalar() {
+            return err(format!(
+                "input '{}' must have scalar elements",
+                input.name
+            ));
+        }
+        env.bind(&input.name, Type::Array(Box::new(input.elem_ty.clone())));
+    }
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        let in_block = |mut e: TypeError| {
+            e.block = Some(block.name.clone());
+            e
+        };
+        let Some(elem) = block.ty.elem().cloned() else {
+            return Err(in_block(TypeError {
+                message: format!("block type {} is not an array type", block.ty),
+                block: None,
+            }));
+        };
+        match &block.body {
+            BlockBody::Forall(f) => {
+                let mut inner = env.clone();
+                inner.bind(&f.index_var, Type::Int);
+                let mut new_defs = Vec::new();
+                for d in &f.defs {
+                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_block)?;
+                    if let Some(declared) = &d.ty {
+                        let ok = declared == &tv || (declared == &Type::Real && tv == Type::Int);
+                        if !ok {
+                            return Err(in_block(TypeError {
+                                message: format!(
+                                    "definition '{}' declared {declared} but has type {tv}",
+                                    d.name
+                                ),
+                                block: None,
+                            }));
+                        }
+                    }
+                    let bty = d.ty.clone().unwrap_or(tv);
+                    inner.bind(&d.name, bty.clone());
+                    new_defs.push(Def {
+                        name: d.name.clone(),
+                        ty: Some(bty),
+                        value: ev,
+                    });
+                }
+                let (tb, eb) = check_expr(&f.body, &inner).map_err(in_block)?;
+                if tb != elem && !(elem == Type::Real && tb == Type::Int) {
+                    return Err(in_block(TypeError {
+                        message: format!("accumulation has type {tb}, block declares {elem}"),
+                        block: None,
+                    }));
+                }
+                let BlockBody::Forall(fo) = &mut out.blocks[bi].body else {
+                    unreachable!()
+                };
+                fo.defs = new_defs;
+                fo.body = eb;
+            }
+            BlockBody::ForIter(fi) => {
+                let mut inner = env.clone();
+                let mut loop_vars = HashMap::new();
+                let mut new_inits = Vec::new();
+                for d in &fi.inits {
+                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_block)?;
+                    let bty = d.ty.clone().unwrap_or(tv);
+                    inner.bind(&d.name, bty.clone());
+                    loop_vars.insert(d.name.clone(), bty.clone());
+                    new_inits.push(Def {
+                        name: d.name.clone(),
+                        ty: Some(bty),
+                        value: ev,
+                    });
+                }
+                let (tb, eb) =
+                    check_foriter_body(&fi.body, &inner, &loop_vars).map_err(in_block)?;
+                if tb != block.ty {
+                    return Err(in_block(TypeError {
+                        message: format!("loop result has type {tb}, block declares {}", block.ty),
+                        block: None,
+                    }));
+                }
+                let BlockBody::ForIter(fo) = &mut out.blocks[bi].body else {
+                    unreachable!()
+                };
+                fo.inits = new_inits;
+                fo.body = eb;
+            }
+        }
+        env.bind(&block.name, block.ty.clone());
+    }
+    for o in &prog.outputs {
+        if env.get(o).is_none() {
+            return err(format!("output '{o}' is not a declared block or input"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program, FIG3_PROGRAM};
+
+    fn env_with(pairs: &[(&str, Type)]) -> TypeEnv {
+        let mut e = TypeEnv::new();
+        for (n, t) in pairs {
+            e.bind(*n, t.clone());
+        }
+        e
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        let env = env_with(&[("i", Type::Int)]);
+        let (t, _) = check_expr(&parse_expr("i + 1").unwrap(), &env).unwrap();
+        assert_eq!(t, Type::Int);
+        let (t, _) = check_expr(&parse_expr("i + 1.5").unwrap(), &env).unwrap();
+        assert_eq!(t, Type::Real);
+    }
+
+    #[test]
+    fn tilde_rewritten_to_neg_on_numeric() {
+        let env = env_with(&[("x", Type::Real)]);
+        let (t, e) = check_expr(&parse_expr("~(x + 1.)").unwrap(), &env).unwrap();
+        assert_eq!(t, Type::Real);
+        assert!(matches!(e, Expr::Un(UnOp::Neg, _)));
+    }
+
+    #[test]
+    fn tilde_stays_not_on_bool() {
+        let env = env_with(&[("b", Type::Bool)]);
+        let (t, e) = check_expr(&parse_expr("~b").unwrap(), &env).unwrap();
+        assert_eq!(t, Type::Bool);
+        assert!(matches!(e, Expr::Un(UnOp::Not, _)));
+    }
+
+    #[test]
+    fn index_requires_array_and_int() {
+        let env = env_with(&[
+            ("A", Type::Array(Box::new(Type::Real))),
+            ("i", Type::Int),
+            ("x", Type::Real),
+        ]);
+        assert!(check_expr(&parse_expr("A[i]").unwrap(), &env).is_ok());
+        assert!(check_expr(&parse_expr("A[x]").unwrap(), &env).is_err());
+        assert!(check_expr(&parse_expr("x[i]").unwrap(), &env).is_err());
+    }
+
+    #[test]
+    fn conditional_arm_mismatch_rejected() {
+        let env = env_with(&[("b", Type::Bool)]);
+        assert!(check_expr(&parse_expr("if b then 1 else true endif").unwrap(), &env).is_err());
+        let (t, _) = check_expr(&parse_expr("if b then 1 else 2.5 endif").unwrap(), &env).unwrap();
+        assert_eq!(t, Type::Real);
+    }
+
+    #[test]
+    fn let_binds_and_annotates() {
+        let env = env_with(&[("a", Type::Real)]);
+        let (t, e) = check_expr(&parse_expr("let p := a * a in p + 1. endlet").unwrap(), &env).unwrap();
+        assert_eq!(t, Type::Real);
+        let Expr::Let(defs, _) = e else { panic!() };
+        assert_eq!(defs[0].ty, Some(Type::Real));
+    }
+
+    #[test]
+    fn iter_outside_loop_rejected() {
+        let env = TypeEnv::new();
+        assert!(check_expr(&parse_expr("iter x := 1 enditer").unwrap(), &env).is_err());
+    }
+
+    #[test]
+    fn fig3_program_checks() {
+        let p = parse_program(FIG3_PROGRAM).unwrap();
+        let checked = check_program(&p).unwrap();
+        // The forall's P def got annotated.
+        let BlockBody::Forall(f) = &checked.blocks[0].body else { panic!() };
+        assert_eq!(f.defs[0].ty, Some(Type::Real));
+    }
+
+    #[test]
+    fn undeclared_output_rejected() {
+        let mut p = parse_program(FIG3_PROGRAM).unwrap();
+        p.outputs.push("nosuch".into());
+        assert!(check_program(&p).is_err());
+    }
+
+    #[test]
+    fn iter_of_nonloop_name_rejected() {
+        let src = "
+param m = 4;
+X : array[real] :=
+  for i : integer := 1; T : array[real] := [0: 0.]
+  do
+    if i < m then iter Q := 1 enditer else T endif
+  endfor;
+output X;
+";
+        let p = parse_program(src).unwrap();
+        assert!(check_program(&p).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Frontend accept/reject matrix: systematic coverage of the paper's
+//! structural definitions — what is and is not a primitive expression,
+//! primitive forall, primitive for-iter, simple for-iter.
+
+use valpipe_val::classify::{
+    check_primitive_expr, check_primitive_foriter, is_scalar_primitive, NameEnv, Violation,
+};
+use valpipe_val::fold::Bindings;
+use valpipe_val::parser::{parse_block_body, parse_expr, parse_program};
+use valpipe_val::{extract_linear, BlockBody};
+use valpipe_ir::Value;
+
+fn env() -> NameEnv {
+    let mut params = Bindings::new();
+    params.insert("m".into(), Value::Int(10));
+    NameEnv::new(
+        Some("i"),
+        ["s".to_string()],
+        ["A", "B", "X"].map(str::to_string),
+        params,
+    )
+}
+
+#[test]
+fn primitive_expression_matrix() {
+    // (source, accepted?)
+    let cases: &[(&str, bool)] = &[
+        // rule 1: literals
+        ("1", true),
+        ("2.5", true),
+        ("true", true),
+        // rule 2: scalar identifiers (incl. index var, params)
+        ("i", true),
+        ("m", true),
+        ("s", true),
+        ("nosuch", false),
+        ("A", false), // array as scalar
+        // rule 3: operators
+        ("i + m * 2", true),
+        ("(i < m) & (i > 0)", true),
+        // rule 4: array selection
+        ("A[i]", true),
+        ("A[i+1]", true),
+        ("A[i-m]", true),
+        ("A[m+i]", true),
+        ("A[2*i]", false),
+        ("A[i+i]", false),
+        ("A[B[i]]", false),
+        ("Z[i]", false), // unknown array
+        // rule 5: let-in
+        ("let p := A[i] in p * p endlet", true),
+        ("let p := A[2*i] in p endlet", false),
+        // rule 6: conditional
+        ("if i = 0 then A[i] else B[i-1] endif", true),
+        ("if A[i] > 0. then 1. else 2. endif", true),
+        // not PEs: constructors
+        ("[0: 1.]", false),
+        ("X[i: 1.]", false),
+    ];
+    for (src, want) in cases {
+        let e = parse_expr(src).unwrap();
+        let got = check_primitive_expr(&e, &env()).is_ok();
+        assert_eq!(got, *want, "PE({src})");
+    }
+}
+
+#[test]
+fn scalar_primitive_matrix() {
+    assert!(is_scalar_primitive(&parse_expr("i + m").unwrap(), &env()));
+    assert!(is_scalar_primitive(
+        &parse_expr("if i < m then 1. else 2. endif").unwrap(),
+        &env()
+    ));
+    assert!(!is_scalar_primitive(&parse_expr("A[i]").unwrap(), &env()));
+}
+
+#[test]
+fn foriter_shape_matrix() {
+    // Each (body, acceptable) — shells around a canonical loop skeleton.
+    let shell = |inits: &str, body: &str| {
+        format!("for {inits} do {body} endfor")
+    };
+    let canon_inits = "i : integer := 1; T : array[real] := [0: 0.]";
+    let ok_body = "if i < m then iter T := T[i: T[i-1] + A[i]]; i := i + 1 enditer else T endif";
+    let cases: Vec<(String, bool, &str)> = vec![
+        (shell(canon_inits, ok_body), true, "canonical"),
+        (
+            shell("i : integer := 1", ok_body),
+            false,
+            "missing accumulator init",
+        ),
+        (
+            shell(canon_inits, "if i < m then iter T := T[i: 0.]; i := i + 2 enditer else T endif"),
+            false,
+            "index must advance by one",
+        ),
+        (
+            shell(canon_inits, "if i < m then iter T := T[i: 0.]; i := i + 1 enditer else A endif"),
+            false,
+            "terminating arm must be the accumulator",
+        ),
+        (
+            shell(canon_inits, "if i < A[0] then iter T := T[i: 0.]; i := i + 1 enditer else T endif"),
+            false,
+            "bound must be manifest",
+        ),
+        (
+            shell(
+                "i : integer := 1; T : array[real] := [0: A[0]]",
+                ok_body,
+            ),
+            false,
+            "initial element must be a scalar PE (no arrays)",
+        ),
+        (
+            // let-wrapped body is fine.
+            shell(
+                canon_inits,
+                "let p : real := A[i] in if i < m then iter T := T[i: p]; i := i + 1 enditer else T endif endlet",
+            ),
+            true,
+            "hoisted lets",
+        ),
+    ];
+    for (src, want, what) in cases {
+        let BlockBody::ForIter(fi) = parse_block_body(&src).unwrap() else {
+            panic!("parse {what}")
+        };
+        let got = check_primitive_foriter(&fi, &env()).is_ok();
+        assert_eq!(got, want, "{what}: {src}");
+    }
+}
+
+#[test]
+fn simple_foriter_requires_linearity() {
+    let linear = "for i : integer := 1; T : array[real] := [0: 0.]
+do if i < m then iter T := T[i: 2.*T[i-1] - A[i]]; i := i + 1 enditer else T endif endfor";
+    let nonlinear = "for i : integer := 1; T : array[real] := [0: 0.]
+do if i < m then iter T := T[i: T[i-1]*A[i] + T[i-1]*T[i-1]]; i := i + 1 enditer else T endif endfor";
+    for (src, want) in [(linear, true), (nonlinear, false)] {
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        let pfi = check_primitive_foriter(&fi, &env()).unwrap();
+        assert_eq!(
+            extract_linear(&pfi.step_inlined(), &pfi.acc).is_some(),
+            want,
+            "{src}"
+        );
+    }
+}
+
+#[test]
+fn parse_error_positions() {
+    for (src, line) in [
+        ("param m = ;", 1),
+        ("param m = 3;\ninput B array[real] [0, m];", 2),
+        ("param m = 3;\n\nA : array[real] := forall i in [0 m] construct 1. endall;", 3),
+    ] {
+        let err = parse_program(src).unwrap_err();
+        assert_eq!(err.line, line, "{src}");
+    }
+}
+
+#[test]
+fn violation_messages_are_informative() {
+    let e = parse_expr("A[2*i]").unwrap();
+    let v = check_primitive_expr(&e, &env()).unwrap_err();
+    assert!(matches!(v, Violation::BadIndexForm { .. }));
+    assert!(v.to_string().contains("A"));
+    let e = parse_expr("Z[i]").unwrap();
+    let v = check_primitive_expr(&e, &env()).unwrap_err();
+    assert!(v.to_string().contains("Z"));
+}
+
+#[test]
+fn lexer_keywords_and_adjacent_tokens() {
+    // `forall` vs identifier prefix, `in` inside `construct`, etc.
+    let src = "forall inx in [0, 1] construct inx endall";
+    let BlockBody::Forall(f) = parse_block_body(src).unwrap() else { panic!() };
+    assert_eq!(f.index_var, "inx");
+}
+
+#[test]
+fn trailing_garbage_rejected() {
+    assert!(parse_expr("1 + 2 :=").is_err());
+    assert!(parse_block_body("forall i in [0, 1] construct 1. endall extra").is_err());
+}
+
+#[test]
+fn typecheck_error_paths() {
+    use valpipe_val::typeck::check_program;
+    // Loop result type must match the block's declared type.
+    let bad_result = "
+param m = 4;
+X : array[integer] :=
+  for i : integer := 1; T : array[real] := [0: 0.]
+  do if i < m then iter T := T[i: 1.]; i := i + 1 enditer else T endif
+  endfor;
+output X;
+";
+    let p = parse_program(bad_result).unwrap();
+    assert!(check_program(&p).is_err());
+
+    // Boolean condition required.
+    let bad_cond = "
+param m = 4;
+input B : array[real] [0, m];
+A : array[real] := forall i in [0, m] construct if B[i] then 1. else 2. endif endall;
+output A;
+";
+    let p = parse_program(bad_cond).unwrap();
+    assert!(check_program(&p).is_err());
+
+    // Accumulation type must match the declared element type.
+    let bad_elem = "
+param m = 4;
+input B : array[real] [0, m];
+A : array[boolean] := forall i in [0, m] construct B[i] endall;
+output A;
+";
+    let p = parse_program(bad_elem).unwrap();
+    assert!(check_program(&p).is_err());
+}
+
+#[test]
+fn eval_static_handles_lets_and_conditionals() {
+    use valpipe_ir::Value;
+    use valpipe_val::fold::eval_static;
+    let mut env = Bindings::new();
+    env.insert("m".into(), Value::Int(7));
+    let e = parse_expr("let a := m * 2; b := a - 3 in if b > 10 then b else a endif endlet").unwrap();
+    assert_eq!(eval_static(&e, &env), Some(Value::Int(11)));
+    // Unknown name → None, not a panic.
+    let e = parse_expr("let a := q in a endlet").unwrap();
+    assert_eq!(eval_static(&e, &env), None);
+}
+
+#[test]
+fn interp_conditional_arm_promotion() {
+    use std::collections::HashMap;
+    use valpipe_val::interp::{run_program, ArrayVal};
+    // Int arm + real arm: runtime values may be Int or Real per element;
+    // comparisons by numeric value.
+    let src = "
+param m = 3;
+input B : array[real] [0, m];
+A : array[real] := forall i in [0, m] construct if i < 2 then 1 else B[i] endif endall;
+output A;
+";
+    let p = parse_program(src).unwrap();
+    let mut inputs = HashMap::new();
+    inputs.insert("B".into(), ArrayVal::from_reals(0, &[0.5, 1.5, 2.5, 3.5]));
+    let out = run_program(&p, &inputs).unwrap();
+    assert_eq!(out["A"].to_reals(), vec![1.0, 1.0, 2.5, 3.5]);
+}

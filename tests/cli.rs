@@ -1,0 +1,90 @@
+//! Smoke tests of the `valpipe` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_program() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("valpipe_cli_test_{}.val", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(
+        f,
+        "param m = 8;
+input C : array[real] [0, m+1];
+S : array[real] := forall i in [1, m] construct 0.25 * (C[i-1] + 2.*C[i] + C[i+1]) endall;
+output S;"
+    )
+    .unwrap();
+    path
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_valpipe"))
+}
+
+#[test]
+fn check_reports_blocks() {
+    let p = write_program();
+    let out = cli().arg("check").arg(&p).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("block S over [1, 8]"), "{text}");
+}
+
+#[test]
+fn compile_emits_listing_and_json() {
+    let p = write_program();
+    let out = cli().arg("compile").arg(&p).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("MULT"));
+    assert!(text.contains("TGATE"));
+
+    let out = cli().arg("compile").arg(&p).arg("--json").output().unwrap();
+    assert!(out.status.success());
+    let g = valpipe::ir::Graph::from_json(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert!(g.node_count() > 5);
+}
+
+#[test]
+fn run_verifies_and_reports_rate() {
+    let p = write_program();
+    let out = cli().arg("run").arg(&p).arg("--waves").arg("25").output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verified"), "{text}");
+    assert!(text.contains("interval"), "{text}");
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let p = write_program();
+    let out = cli().arg("dot").arg(&p).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+}
+
+#[test]
+fn bad_program_fails_with_diagnostic() {
+    let path = std::env::temp_dir().join(format!("valpipe_cli_bad_{}.val", std::process::id()));
+    std::fs::write(&path, "param m = 4;\nA : array[real] := forall i in [0, m] construct B[2*i] endall;\noutput A;\n").unwrap();
+    let out = cli().arg("check").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error"), "{err}");
+}
+
+#[test]
+fn user_supplied_inputs() {
+    let p = write_program();
+    let vals: Vec<String> = (0..10).map(|i| format!("{}.0", i)).collect();
+    let out = cli()
+        .arg("run")
+        .arg(&p)
+        .arg("--waves")
+        .arg("12")
+        .arg("--input")
+        .arg(format!("C={}", vals.join(",")))
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}

@@ -1,0 +1,111 @@
+//! Property tests for the balancing algorithms (paper §8): on random
+//! layered DAGs, all three solvers produce feasible potentials, the
+//! optimum never uses more buffers than the heuristic, which never uses
+//! more than ASAP — and applying any of them yields a machine program that
+//! actually runs at the maximum rate.
+
+use proptest::prelude::*;
+use valpipe::balance::{problem, solve};
+use valpipe::ir::{Graph, Opcode, Value};
+use valpipe::machine::{ProgramInputs, SimOptions, Simulator};
+
+/// A random layered DAG of arithmetic cells: layer 0 is `srcs` sources;
+/// every later node reads 1–2 earlier nodes; terminal nodes each get a
+/// sink. `picks` drives the random wiring (proptest-shrinkable).
+fn build_dag(srcs: usize, layers: &[Vec<(usize, usize)>]) -> Graph {
+    let mut g = Graph::new();
+    let mut pool: Vec<valpipe::ir::NodeId> = (0..srcs)
+        .map(|k| g.add_node(Opcode::Source(format!("s{k}")), format!("s{k}")))
+        .collect();
+    for (li, layer) in layers.iter().enumerate() {
+        let mut next = Vec::new();
+        for (ni, &(p1, p2)) in layer.iter().enumerate() {
+            let a = pool[p1 % pool.len()];
+            let b = pool[p2 % pool.len()];
+            let node = if p1 % 3 == 0 || a == b {
+                g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
+            } else {
+                g.cell(
+                    Opcode::Bin(valpipe::ir::BinOp::Add),
+                    format!("n{li}_{ni}"),
+                    &[a.into(), b.into()],
+                )
+            };
+            next.push(node);
+        }
+        // Keep earlier nodes reachable as inputs for later layers.
+        pool.extend(next);
+    }
+    // Terminal nodes (no consumers) each drain into a sink.
+    for id in g.node_ids().collect::<Vec<_>>() {
+        if g.nodes[id.idx()].op.produces_output() && g.nodes[id.idx()].outputs.is_empty() {
+            let name = format!("out{}", id.idx());
+            let s = g.add_node(Opcode::Sink(name.clone()), name);
+            g.connect(id, s, 0);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn solver_hierarchy_feasible_and_ordered(
+        srcs in 1usize..4,
+        layers in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0usize..64), 1..5),
+            1..5,
+        ),
+    ) {
+        let g = build_dag(srcs, &layers);
+        let p = problem::extract(&g).expect("acyclic");
+        let asap = solve::solve_asap(&p);
+        let heur = solve::solve_heuristic(&p, 64);
+        let opt = solve::solve_optimal(&p);
+        prop_assert!(asap.is_feasible(&p));
+        prop_assert!(heur.is_feasible(&p));
+        prop_assert!(opt.is_feasible(&p));
+        prop_assert!(heur.total_buffers <= asap.total_buffers,
+            "heuristic {} > asap {}", heur.total_buffers, asap.total_buffers);
+        prop_assert!(opt.total_buffers <= heur.total_buffers,
+            "optimal {} > heuristic {}", opt.total_buffers, heur.total_buffers);
+    }
+
+    #[test]
+    fn optimally_balanced_dag_runs_at_maximum_rate(
+        srcs in 1usize..3,
+        layers in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0usize..64), 1..4),
+            1..4,
+        ),
+    ) {
+        let mut g = build_dag(srcs, &layers);
+        let p = problem::extract(&g).expect("acyclic");
+        let sol = solve::solve_optimal(&p);
+        problem::apply(&mut g, &p, &sol);
+        g.expand_fifos();
+
+        let n = 120usize;
+        let mut inputs = ProgramInputs::new();
+        for (_, name) in g.sources() {
+            inputs = inputs.bind(
+                name.clone(),
+                (0..n).map(|k| Value::Real(k as f64 * 0.01)).collect(),
+            );
+        }
+        let r = Simulator::new(&g, &inputs, SimOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        prop_assert!(r.sources_exhausted, "balanced DAG must drain");
+        // Every sink sees the fully pipelined interval of 2.
+        for (_, name) in g.sinks() {
+            let times: Vec<u64> = r.outputs[&name].iter().map(|&(t, _)| t).collect();
+            if let Some(iv) = valpipe::machine::steady_interval_of(&times) {
+                prop_assert!((iv - 2.0).abs() < 0.05,
+                    "sink {name} interval {iv} after optimal balancing");
+            }
+        }
+    }
+}

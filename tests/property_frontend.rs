@@ -1,0 +1,123 @@
+//! Frontend property tests: pretty-print/parse round-trips and 2-D
+//! flattening vs a direct 2-D reference evaluation.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use valpipe::val::ast::{BinOp, Def, Expr, UnOp};
+use valpipe::val::pretty::expr_to_source;
+use valpipe::val::{flatten_program, parse_expr, parse_program};
+use valpipe::ArrayVal;
+
+/// Expressions over the printable operator set.
+fn printable_expr() -> impl Strategy<Value = Expr> {
+    // Literals are non-negative: `-0.25` prints as `(-0.25)`, which
+    // parses (correctly) as `Neg(0.25)` — structurally different, same
+    // meaning. Negative values come from the explicit Neg variant.
+    let leaf = prop_oneof![
+        (0i64..=99).prop_map(Expr::IntLit),
+        (0i64..=30).prop_map(|v| Expr::RealLit(v as f64 / 4.0)),
+        Just(Expr::BoolLit(true)),
+        Just(Expr::var("x")),
+        Just(Expr::var("i")),
+        (-2i64..=2).prop_map(|off| {
+            Expr::index(
+                "A",
+                match off.cmp(&0) {
+                    std::cmp::Ordering::Equal => Expr::var("i"),
+                    std::cmp::Ordering::Greater => {
+                        Expr::bin(BinOp::Add, Expr::var("i"), Expr::IntLit(off))
+                    }
+                    std::cmp::Ordering::Less => {
+                        Expr::bin(BinOp::Sub, Expr::var("i"), Expr::IntLit(-off))
+                    }
+                },
+            )
+        }),
+    ];
+    leaf.prop_recursive(5, 48, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
+                Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge),
+                Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::And), Just(BinOp::Or),
+            ])
+            .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
+            inner.clone().prop_map(|a| Expr::un(UnOp::Neg, a)),
+            inner.clone().prop_map(|a| Expr::un(UnOp::Not, a)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| Expr::if_(c, t, f)),
+            (inner.clone(), inner.clone()).prop_map(|(v, b)| Expr::Let(
+                vec![Def { name: "p".into(), ty: None, value: v }],
+                Box::new(b),
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(print(e)) == e` for every generated expression.
+    #[test]
+    fn print_parse_roundtrip(e in printable_expr()) {
+        let printed = expr_to_source(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\nprinted: {printed}"));
+        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Flattened 2-D programs agree with a direct 2-D reference sweep.
+    #[test]
+    fn flattening_matches_2d_reference(
+        n in 2usize..6,
+        m in 2usize..7,
+        seed in 0u64..1000,
+    ) {
+        let src = format!(
+            "
+param n = {n};
+param m = {m};
+input U : array[array[real]] [0, n+1][0, m+1];
+V : array[array[real]] :=
+  forall i in [0, n+1], j in [0, m+1]
+  construct
+    if (i = 0)|(i = n+1)|(j = 0)|(j = m+1) then U[i][j] * 2.
+    else U[i-1][j] + U[i+1][j] - U[i][j-1] * U[i][j+1]
+    endif
+  endall;
+output V;
+"
+        );
+        let prog = parse_program(&src).unwrap();
+        let (flat, info) = flatten_program(&prog).unwrap();
+        let w = m + 2;
+        prop_assert_eq!(info.shapes["V"].width() as usize, w);
+
+        // Inputs from the seed.
+        let grid: Vec<Vec<f64>> = (0..n + 2)
+            .map(|i| {
+                (0..w)
+                    .map(|j| (((seed as usize + i * 31 + j * 17) % 97) as f64) / 10.0)
+                    .collect()
+            })
+            .collect();
+        let mut inputs = HashMap::new();
+        inputs.insert("U".to_string(), ArrayVal::from_grid(&grid));
+        let out = valpipe::val::interp::run_program(&flat, &inputs).unwrap();
+        let v = out["V"].to_grid(w);
+        for i in 0..n + 2 {
+            for j in 0..w {
+                let want = if i == 0 || i == n + 1 || j == 0 || j == w - 1 {
+                    grid[i][j] * 2.0
+                } else {
+                    grid[i - 1][j] + grid[i + 1][j] - grid[i][j - 1] * grid[i][j + 1]
+                };
+                prop_assert!((v[i][j] - want).abs() < 1e-12, "({},{})", i, j);
+            }
+        }
+    }
+}

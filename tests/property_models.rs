@@ -1,0 +1,97 @@
+//! Cross-model property: the idealized simulator, the detailed
+//! static-latency machine, and the closed-loop networked machine must
+//! produce identical packet sequences for random programs — data-driven
+//! execution is timing-independent (the heart of the dataflow model).
+
+use proptest::prelude::*;
+use valpipe::ir::{BinOp, Graph, Opcode, Value};
+use valpipe::machine::{
+    run_closed_loop, run_program, ClosedLoopOptions, MachineConfig, Placement, ProgramInputs,
+    Simulator,
+};
+
+/// Random layered DAG over two sources, ADD/MUL/ID cells, one sink per
+/// terminal node.
+fn build_dag(layers: &[Vec<(usize, usize, bool)>]) -> Graph {
+    let mut g = Graph::new();
+    let mut pool = vec![
+        g.add_node(Opcode::Source("s0".into()), "s0"),
+        g.add_node(Opcode::Source("s1".into()), "s1"),
+    ];
+    for (li, layer) in layers.iter().enumerate() {
+        let mut next = Vec::new();
+        for (ni, &(p1, p2, mul)) in layer.iter().enumerate() {
+            let a = pool[p1 % pool.len()];
+            let b = pool[p2 % pool.len()];
+            let node = if a == b {
+                g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
+            } else {
+                let op = if mul { BinOp::Mul } else { BinOp::Add };
+                g.cell(Opcode::Bin(op), format!("n{li}_{ni}"), &[a.into(), b.into()])
+            };
+            next.push(node);
+        }
+        pool.extend(next);
+    }
+    for id in g.node_ids().collect::<Vec<_>>() {
+        if g.nodes[id.idx()].op.produces_output() && g.nodes[id.idx()].outputs.is_empty() {
+            let name = format!("out{}", id.idx());
+            let s = g.add_node(Opcode::Sink(name.clone()), name);
+            g.connect(id, s, 0);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_three_machine_models_agree(
+        layers in proptest::collection::vec(
+            proptest::collection::vec((0usize..64, 0usize..64, any::<bool>()), 1..4),
+            1..4,
+        ),
+        pes_pow in 1u32..4,
+        cap in 1usize..4,
+    ) {
+        let g = build_dag(&layers);
+        let n = 24usize;
+        let inputs = ProgramInputs::new()
+            .bind("s0", (0..n).map(|k| Value::Real(k as f64 * 0.5)).collect())
+            .bind("s1", (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect());
+
+        // 1. Idealized.
+        let ideal = run_program(&g, &inputs).unwrap();
+        prop_assert!(ideal.sources_exhausted);
+
+        // 2. Detailed static-latency machine.
+        let pes = 1usize << pes_pow;
+        let cfg = MachineConfig { pes, network_latency: 2, ..Default::default() };
+        let placement = Placement::round_robin(&g, cfg);
+        let mut opts = placement.sim_options(&g, cap);
+        opts.max_steps = 2_000_000;
+        let detailed = Simulator::new(&g, &inputs, opts).unwrap().run().unwrap();
+        prop_assert!(detailed.sources_exhausted);
+
+        // 3. Closed-loop networked machine.
+        let cl = run_closed_loop(
+            &g,
+            &inputs,
+            &placement.pe_of,
+            &ClosedLoopOptions {
+                pes,
+                arc_capacity: cap as u32,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        prop_assert!(cl.sources_exhausted);
+
+        for (_, name) in g.sinks() {
+            let want = ideal.values(&name);
+            prop_assert_eq!(&detailed.values(&name), &want, "detailed {}", name);
+            prop_assert_eq!(&cl.values(&name), &want, "closed-loop {}", name);
+        }
+    }
+}

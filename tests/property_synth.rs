@@ -1,0 +1,65 @@
+//! Property test: generator synthesis is semantics-preserving for
+//! arbitrary run-length control patterns and index ranges.
+
+use proptest::prelude::*;
+use valpipe::compiler::synth::synthesize_generators;
+use valpipe::ir::{CtlStream, Graph, Opcode};
+use valpipe::machine::{ProgramInputs, SimOptions, Simulator};
+
+fn pattern() -> impl Strategy<Value = CtlStream> {
+    proptest::collection::vec((any::<bool>(), 1u32..4), 1..6).prop_map(CtlStream::from_runs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn synthesized_ctl_matches_primitive(stream in pattern()) {
+        let build = |primitive: bool| {
+            let mut g = Graph::new();
+            let gen = g.add_node(Opcode::CtlGen(stream.clone()), "ctl");
+            let _ = g.cell(Opcode::Sink("y".into()), "y", &[gen.into()]);
+            if !primitive {
+                synthesize_generators(&mut g);
+            }
+            let mut opts = SimOptions::default();
+            opts.stop_outputs = Some(vec![("y".into(), 3 * stream.wave_len() as usize + 2)]);
+            opts.max_steps = 50_000;
+            Simulator::new(&g, &ProgramInputs::new(), opts)
+                .unwrap()
+                .run()
+                .unwrap()
+                .values("y")
+        };
+        let want = build(true);
+        let got = build(false);
+        let n = want.len().min(got.len());
+        prop_assert!(n >= stream.wave_len() as usize);
+        prop_assert_eq!(&got[..n], &want[..n], "pattern {}", stream);
+    }
+
+    #[test]
+    fn synthesized_idx_matches_primitive(lo in -5i64..5, len in 1i64..9) {
+        let hi = lo + len - 1;
+        let build = |primitive: bool| {
+            let mut g = Graph::new();
+            let gen = g.add_node(Opcode::IdxGen { lo, hi }, "idx");
+            let _ = g.cell(Opcode::Sink("y".into()), "y", &[gen.into()]);
+            if !primitive {
+                synthesize_generators(&mut g);
+            }
+            let mut opts = SimOptions::default();
+            opts.stop_outputs = Some(vec![("y".into(), 3 * len as usize + 2)]);
+            opts.max_steps = 50_000;
+            Simulator::new(&g, &ProgramInputs::new(), opts)
+                .unwrap()
+                .run()
+                .unwrap()
+                .values("y")
+        };
+        let want = build(true);
+        let got = build(false);
+        let n = want.len().min(got.len());
+        prop_assert_eq!(&got[..n], &want[..n]);
+    }
+}
