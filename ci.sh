@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 gate: release build, full test suite, and a warning-free clippy
+# pass. Run from the repository root; fails fast on the first error.
+set -eu
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

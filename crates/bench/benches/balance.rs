@@ -1,16 +1,14 @@
-//! Criterion bench: balancing-solver scaling (§8's polynomial-time
-//! claim) — ASAP, heuristic, and the min-cost-flow-dual optimum on
-//! growing random DAGs.
+//! Bench: balancing-solver scaling (§8's polynomial-time claim) — ASAP,
+//! heuristic, and the min-cost-flow-dual optimum on growing random DAGs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use valpipe_balance::{problem, solve};
+use valpipe_bench::timing::bench;
 use valpipe_ir::value::BinOp;
 use valpipe_ir::{Graph, Opcode};
+use valpipe_util::Rng;
 
 fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let mut g = Graph::new();
     let mut pool: Vec<valpipe_ir::NodeId> = (0..width)
         .map(|k| g.add_node(Opcode::Source(format!("s{k}")), format!("s{k}")))
@@ -18,9 +16,9 @@ fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
     for li in 0..layers {
         let mut next = Vec::new();
         for ni in 0..width {
-            let a = pool[rng.gen_range(0..pool.len())];
-            let b = pool[rng.gen_range(0..pool.len())];
-            let node = if a == b || rng.gen_bool(0.3) {
+            let a = pool[rng.below(pool.len())];
+            let b = pool[rng.below(pool.len())];
+            let node = if a == b || rng.chance(0.3) {
                 g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
             } else {
                 g.cell(Opcode::Bin(BinOp::Add), format!("n{li}_{ni}"), &[a.into(), b.into()])
@@ -39,38 +37,22 @@ fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
     g
 }
 
-fn bench_balance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("balance");
-    group.sample_size(10);
+fn main() {
     for (width, layers) in [(4usize, 8usize), (8, 12), (12, 24)] {
         let g = random_dag(width, layers, 7);
         let p = problem::extract(&g).unwrap();
         let n = g.node_count();
-        group.bench_with_input(BenchmarkId::new("asap", n), &p, |b, p| {
-            b.iter(|| solve::solve_asap(p))
-        });
-        group.bench_with_input(BenchmarkId::new("heuristic", n), &p, |b, p| {
-            b.iter(|| solve::solve_heuristic(p, 64))
-        });
+        bench(&format!("balance/asap/{n}"), 10, || solve::solve_asap(&p));
+        bench(&format!("balance/heuristic/{n}"), 10, || solve::solve_heuristic(&p, 64));
         // The MCMF optimum is the slow one — keep its instances modest.
-        group.bench_with_input(BenchmarkId::new("optimal_mcmf", n), &p, |b, p| {
-            b.iter(|| solve::solve_optimal(p))
-        });
+        bench(&format!("balance/optimal_mcmf/{n}"), 10, || solve::solve_optimal(&p));
     }
     // Larger instances for the polynomial-scaling picture, cheap solvers only.
     for (width, layers) in [(16usize, 50usize), (24, 80)] {
         let g = random_dag(width, layers, 7);
         let p = problem::extract(&g).unwrap();
         let n = g.node_count();
-        group.bench_with_input(BenchmarkId::new("asap_large", n), &p, |b, p| {
-            b.iter(|| solve::solve_asap(p))
-        });
-        group.bench_with_input(BenchmarkId::new("heuristic_large", n), &p, |b, p| {
-            b.iter(|| solve::solve_heuristic(p, 64))
-        });
+        bench(&format!("balance/asap_large/{n}"), 10, || solve::solve_asap(&p));
+        bench(&format!("balance/heuristic_large/{n}"), 10, || solve::solve_heuristic(&p, 64));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_balance);
-criterion_main!(benches);

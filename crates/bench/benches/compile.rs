@@ -1,36 +1,29 @@
-//! Criterion bench: compiler wall time — frontend + classification +
-//! graph construction + balancing — across workloads and sizes.
+//! Bench: compiler wall time — frontend + classification + graph
+//! construction + balancing — across workloads and sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use valpipe_bench::timing::bench;
 use valpipe_bench::workloads::{chain_src, fig3_src, fig6_src};
 use valpipe_core::{compile_source, CompileOptions, ForIterScheme};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn main() {
     for m in [32usize, 256, 1024] {
-        group.bench_with_input(BenchmarkId::new("fig6_forall", m), &m, |b, &m| {
-            let src = fig6_src(m);
-            b.iter(|| compile_source(&src, &CompileOptions::paper()).unwrap())
+        let src = fig6_src(m);
+        bench(&format!("compile/fig6_forall/{m}"), 20, || {
+            compile_source(&src, &CompileOptions::paper()).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("fig3_program", m), &m, |b, &m| {
-            let src = fig3_src(m);
-            b.iter(|| compile_source(&src, &CompileOptions::paper()).unwrap())
+        let src = fig3_src(m);
+        bench(&format!("compile/fig3_program/{m}"), 20, || {
+            compile_source(&src, &CompileOptions::paper()).unwrap()
         });
     }
     for blocks in [10usize, 40] {
-        group.bench_with_input(BenchmarkId::new("chain_blocks", blocks), &blocks, |b, &blocks| {
-            let src = chain_src(2 * blocks + 16, blocks);
-            b.iter(|| compile_source(&src, &CompileOptions::paper()).unwrap())
+        let src = chain_src(2 * blocks + 16, blocks);
+        bench(&format!("compile/chain_blocks/{blocks}"), 20, || {
+            compile_source(&src, &CompileOptions::paper()).unwrap()
         });
     }
     let mut todd = CompileOptions::paper();
     todd.scheme = ForIterScheme::Todd;
-    group.bench_function("fig3_todd_m256", |b| {
-        let src = fig3_src(256);
-        b.iter(|| compile_source(&src, &todd).unwrap())
-    });
-    group.finish();
+    let src = fig3_src(256);
+    bench("compile/fig3_todd_m256", 20, || compile_source(&src, &todd).unwrap());
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

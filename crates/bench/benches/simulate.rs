@@ -1,14 +1,13 @@
-//! Criterion bench: simulator throughput (instruction times and packets
-//! per wall second) on the paper's workloads.
+//! Bench: simulator throughput (instruction times and packets per wall
+//! second) on the paper's workloads.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use valpipe_bench::timing::bench_throughput;
 use valpipe_bench::workloads::{example2_src, fig3_src, fig6_src, inputs_for_compiled};
 use valpipe_core::verify::{run, stream_inputs};
 use valpipe_core::{compile_source, CompileOptions, ForIterScheme};
 use valpipe_machine::{SimOptions, Simulator};
 
-fn bench_simulate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate");
+fn main() {
     let waves = 10usize;
     for (name, src, opts) in [
         ("fig6", fig6_src(64), CompileOptions::paper()),
@@ -30,18 +29,11 @@ fn bench_simulate(c: &mut Criterion) {
         let inputs = stream_inputs(&compiled, &arrays, waves);
         // Packets processed per run (measure once for throughput units).
         let probe = run(&compiled, &arrays, waves, SimOptions::default()).unwrap();
-        group.throughput(Throughput::Elements(probe.total_fires));
-        group.bench_with_input(BenchmarkId::new(name, 64), &(), |b, _| {
-            b.iter(|| {
-                Simulator::new(&exe, &inputs, SimOptions::default())
-                    .unwrap()
-                    .run()
-                    .unwrap()
-            })
+        bench_throughput(&format!("simulate/{name}/64"), 10, probe.total_fires, || {
+            Simulator::new(&exe, &inputs, SimOptions::default())
+                .unwrap()
+                .run()
+                .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_simulate);
-criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 use valpipe_bench::report;
 use valpipe_bench::workloads::{fig3_src, physics_src};
-use valpipe_bench::{measure_program, Measurement};
+use valpipe_bench::{FaultArgs, Measurement};
 use valpipe_core::CompileOptions;
 
 fn main() {
@@ -17,12 +17,13 @@ fn main() {
         "AMTRAF: operation-packet traffic to the array memories",
         "§2 (\"one eighth or less of the operation packets\")",
     );
+    let fault_args = FaultArgs::parse_env();
     let mut opts = CompileOptions::paper();
     opts.am_boundary = true;
     let mut rows: Vec<Measurement> = Vec::new();
     for m in [16usize, 64, 256] {
-        rows.push(measure_program(
-            format!("physics V m={m}"),
+        rows.extend(fault_args.measure(
+            &format!("physics V m={m}"),
             &physics_src(m),
             &opts,
             "V",
@@ -31,8 +32,8 @@ fn main() {
     }
     {
         let m = 64usize;
-        rows.push(measure_program(
-            format!("fig3 A m={m}"),
+        rows.extend(fault_args.measure(
+            &format!("fig3 A m={m}"),
             &fig3_src(m),
             &opts,
             "A",
@@ -46,6 +47,9 @@ fn main() {
             &format!("{}: packets to AM", r.label),
             format!("{:.2}% of {}", r.am_fraction * 100.0, r.total_fires),
         );
+    }
+    if fault_args.claims_skipped() {
+        return;
     }
     report::verdict(
         "≤ 1/8 of operation packets go to the array memories",

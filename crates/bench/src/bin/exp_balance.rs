@@ -10,9 +10,9 @@
 //!    canceling optimum is never beaten, and its LP feasibility /
 //!    complementary-slackness invariants hold).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use valpipe_bench::FaultArgs;
+use valpipe_util::Rng;
 use valpipe_balance::{problem, solve};
 use valpipe_ir::value::BinOp;
 use valpipe_ir::{Graph, Opcode};
@@ -20,7 +20,7 @@ use valpipe_ir::{Graph, Opcode};
 /// Random layered DAG: `width` cells per layer, `layers` layers, each cell
 /// reading 1–2 uniformly random earlier cells.
 fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed(seed);
     let mut g = Graph::new();
     let mut pool: Vec<valpipe_ir::NodeId> = (0..width)
         .map(|k| g.add_node(Opcode::Source(format!("s{k}")), format!("s{k}")))
@@ -28,9 +28,9 @@ fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
     for li in 0..layers {
         let mut next = Vec::new();
         for ni in 0..width {
-            let a = pool[rng.gen_range(0..pool.len())];
-            let b = pool[rng.gen_range(0..pool.len())];
-            let node = if a == b || rng.gen_bool(0.3) {
+            let a = pool[rng.below(pool.len())];
+            let b = pool[rng.below(pool.len())];
+            let node = if a == b || rng.chance(0.3) {
                 g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
             } else {
                 g.cell(Opcode::Bin(BinOp::Add), format!("n{li}_{ni}"), &[a.into(), b.into()])
@@ -50,6 +50,11 @@ fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
 }
 
 fn main() {
+    // Flags are accepted for interface uniformity with the other
+    // reporters, but this experiment never simulates the machine.
+    if FaultArgs::parse_env().active() {
+        println!("(this reporter is purely analytic: fault flags have no effect)");
+    }
     println!("================================================================");
     println!("BAL: balancing algorithms on random flow-dependency DAGs");
     println!("reproduces: §8 conclusions (1) polynomial balancing,");

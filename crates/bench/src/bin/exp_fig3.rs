@@ -4,7 +4,7 @@
 
 use valpipe_bench::report;
 use valpipe_bench::workloads::fig3_src;
-use valpipe_bench::{measure_program, Measurement};
+use valpipe_bench::{FaultArgs, Measurement};
 use valpipe_core::{compile_source, CompileOptions, ForIterScheme};
 
 fn main() {
@@ -12,17 +12,18 @@ fn main() {
         "FIG3: whole pipe-structured program",
         "Fig. 3 + Theorem 4 (§4, §8)",
     );
+    let fault_args = FaultArgs::parse_env();
     let mut rows: Vec<Measurement> = Vec::new();
     for m in [16usize, 64, 256] {
-        rows.push(measure_program(
-            format!("fig3 A m={m}"),
+        rows.extend(fault_args.measure(
+            &format!("fig3 A m={m}"),
             &fig3_src(m),
             &CompileOptions::paper(),
             "A",
             24,
         ));
-        rows.push(measure_program(
-            format!("fig3 X m={m}"),
+        rows.extend(fault_args.measure(
+            &format!("fig3 X m={m}"),
             &fig3_src(m),
             &CompileOptions::paper(),
             "X",
@@ -32,7 +33,7 @@ fn main() {
     // Ablation: force Todd to show the loop throttling the whole pipe.
     let mut todd = CompileOptions::paper();
     todd.scheme = ForIterScheme::Todd;
-    rows.push(measure_program("fig3 A m=64 (todd)", &fig3_src(64), &todd, "A", 24));
+    rows.extend(fault_args.measure("fig3 A m=64 (todd)", &fig3_src(64), &todd, "A", 24));
     report::table(&rows);
 
     let compiled = compile_source(&fig3_src(64), &CompileOptions::paper()).unwrap();
@@ -43,6 +44,9 @@ fn main() {
         compiled.stats.global_buffers,
     );
 
+    if fault_args.claims_skipped() {
+        return;
+    }
     let a_ok = rows
         .iter()
         .filter(|r| r.label.contains("A m=") && !r.label.contains("todd"))

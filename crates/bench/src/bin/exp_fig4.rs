@@ -9,7 +9,7 @@
 use valpipe_balance::BalanceMode;
 use valpipe_bench::report;
 use valpipe_bench::workloads::fig4_src;
-use valpipe_bench::{measure_program, Measurement};
+use valpipe_bench::{FaultArgs, Measurement};
 use valpipe_core::{compile_source, CompileOptions};
 
 fn main() {
@@ -17,10 +17,11 @@ fn main() {
         "FIG4: array selection with window gates and skew FIFOs",
         "Fig. 4 + Theorem 1 (§5)",
     );
+    let fault_args = FaultArgs::parse_env();
     let mut rows: Vec<Measurement> = Vec::new();
     for m in [8usize, 64, 512] {
-        rows.push(measure_program(
-            format!("balanced m={m}"),
+        rows.extend(fault_args.measure(
+            &format!("balanced m={m}"),
             &fig4_src(m),
             &CompileOptions::paper(),
             "S",
@@ -31,8 +32,8 @@ fn main() {
     ablate.balance = BalanceMode::None;
     {
         let m = 64usize;
-        rows.push(measure_program(
-            format!("UNBALANCED m={m}"),
+        rows.extend(fault_args.measure(
+            &format!("UNBALANCED m={m}"),
             &fig4_src(m),
             &ablate,
             "S",
@@ -45,6 +46,9 @@ fn main() {
     let compiled = compile_source(&fig4_src(8), &CompileOptions::paper()).unwrap();
     println!("\ncompiled cell mix (m=8): {}", valpipe_ir::pretty::summary(&compiled.graph));
 
+    if fault_args.claims_skipped() {
+        return;
+    }
     let expected = |m: f64| 2.0 * (m + 2.0) / m; // m outputs per m+2 inputs
     let ok = rows[..3]
         .iter()

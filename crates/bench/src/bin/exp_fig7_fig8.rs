@@ -12,7 +12,7 @@
 
 use valpipe_bench::report;
 use valpipe_bench::workloads::example2_src;
-use valpipe_bench::{measure_program, Measurement};
+use valpipe_bench::{FaultArgs, Measurement};
 use valpipe_core::{CompileOptions, ForIterScheme};
 
 fn main() {
@@ -20,13 +20,14 @@ fn main() {
         "FIG7 vs FIG8: for-iter recurrence schemes",
         "Figs. 7–8, Theorem 3 (§7)",
     );
+    let fault_args = FaultArgs::parse_env();
     let mut rows: Vec<Measurement> = Vec::new();
     for m in [8usize, 32, 128] {
         for (name, scheme) in [("todd", ForIterScheme::Todd), ("companion", ForIterScheme::Companion)] {
             let mut opts = CompileOptions::paper();
             opts.scheme = scheme;
-            rows.push(measure_program(
-                format!("{name} m={m}"),
+            rows.extend(fault_args.measure(
+                &format!("{name} m={m}"),
                 &example2_src(m),
                 &opts,
                 "X",
@@ -35,6 +36,9 @@ fn main() {
         }
     }
     report::table(&rows);
+    if fault_args.claims_skipped() {
+        return;
+    }
 
     // Per-size speedups.
     println!();

@@ -9,11 +9,13 @@
 //! pipelines.
 
 use valpipe_bench::workloads::{fig6_src, inputs_for_compiled};
+use valpipe_bench::FaultArgs;
 use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions};
 use valpipe_machine::{MachineConfig, Placement, Simulator};
 
 fn main() {
+    let fault_args = FaultArgs::parse_env();
     println!("================================================================");
     println!("LAT: detailed machine (PE/FU/AM/RN) — latency vs buffering");
     println!("reproduces: §2 / Fig. 1 architecture behaviour");
@@ -42,7 +44,13 @@ fn main() {
             let placement = Placement::round_robin(&exe, cfg);
             let mut opts = placement.sim_options(&exe, cap);
             opts.max_steps = 3_000_000;
+            fault_args.apply(&mut opts);
             let r = Simulator::new(&exe, &inputs, opts).unwrap().run().unwrap();
+            if let Some(report) = &r.stall_report {
+                println!("net={net} cap={cap}: stalled after {} steps", r.steps);
+                print!("{report}");
+                continue;
+            }
             assert!(r.sources_exhausted, "net={net} cap={cap} must drain");
             let iv = r.steady_interval("A").expect("steady");
             println!("{:<12} {:>12} {:>10.3} {:>10.4}", net, cap, iv, 1.0 / iv);
@@ -50,6 +58,12 @@ fn main() {
         }
     }
     println!();
+    if fault_args.active() {
+        // Under injected faults the paper's clean-machine claims do not
+        // apply; the table and stall reports above are the deliverable.
+        println!("(fault plan active: claims skipped)");
+        return;
+    }
     let base = results.iter().find(|&&(n, c, _)| n == 1 && c == 1).unwrap().2;
     let buffered = results.iter().find(|&&(n, c, _)| n == 1 && c == 4).unwrap().2;
     println!(

@@ -14,12 +14,14 @@
 
 use std::collections::VecDeque;
 use valpipe_bench::workloads::{fig6_src, inputs_for_compiled};
+use valpipe_bench::FaultArgs;
 use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions};
 use valpipe_machine::network::{uniform_load, OmegaNetwork, Packet};
-use valpipe_machine::{MachineConfig, Placement, SimOptions, Simulator};
+use valpipe_machine::{MachineConfig, Placement, Simulator};
 
 fn main() {
+    let fault_args = FaultArgs::parse_env();
     println!("================================================================");
     println!("NET: packet-switched routing network (2x2 routers, omega)");
     println!("reproduces: §2 + [2] (packet networks at low cost)");
@@ -46,9 +48,14 @@ fn main() {
     let exe = compiled.executable();
     let arrays = inputs_for_compiled(&compiled);
     let inputs = stream_inputs(&compiled, &arrays, 12);
-    let mut opts = SimOptions::default();
+    let mut opts = fault_args.sim_options();
     opts.record_fire_times = true;
     let run = Simulator::new(&exe, &inputs, opts).unwrap().run().unwrap();
+    if let Some(report) = &run.stall_report {
+        println!("\ntrace run stalled after {} steps; no replay possible", run.steps);
+        print!("{report}");
+        return;
+    }
     let fire_times = run.fire_times.clone().unwrap();
     let horizon = run.steps;
 
@@ -86,6 +93,13 @@ fn main() {
     let mut clean_when_under = false;
     for dilation in [1u64, 2, 4] {
         let mut net = OmegaNetwork::new(pes, 4);
+        // `link=` faults from the plan apply to the replay network.
+        if let Some(plan) = &fault_args.fault_plan {
+            for lf in &plan.link_faults {
+                net.fail_link(lf.stage, lf.port, lf.from, lf.until)
+                    .expect("link fault out of range for the replay network");
+            }
+        }
         let mut pending: Vec<VecDeque<Packet>> = vec![VecDeque::new(); pes];
         let (mut idx, mut seq) = (0usize, 0u64);
         let dilated_horizon = horizon * dilation;
@@ -119,6 +133,9 @@ fn main() {
         }
     }
     println!();
+    if fault_args.claims_skipped() {
+        return;
+    }
     println!(
         "CLAIM [{}] random traffic saturates the network at high load (packet switching is doing real work)",
         if sat_ok { "HOLDS" } else { "FAILS" }

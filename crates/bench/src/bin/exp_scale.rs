@@ -8,11 +8,12 @@
 
 use valpipe_bench::report;
 use valpipe_bench::workloads::{chain_src, inputs_for_compiled};
+use valpipe_bench::FaultArgs;
 use valpipe_core::verify::{run, stream_inputs};
 use valpipe_core::{compile_source, CompileOptions};
-use valpipe_machine::SimOptions;
 
 fn main() {
+    let fault_args = FaultArgs::parse_env();
     report::banner(
         "SCALE: hundreds of blocks, thousands of concurrent instructions",
         "§3 (\"thousands of instructions in hundreds of stages\"), §4",
@@ -28,8 +29,20 @@ fn main() {
         let compiled = compile_source(&src, &CompileOptions::paper()).expect("chain compiles");
         let arrays = inputs_for_compiled(&compiled);
         let _ = stream_inputs(&compiled, &arrays, 1); // warm the builder
-        let r = run(&compiled, &arrays, 14, SimOptions::default()).expect("runs");
-        assert!(r.sources_exhausted);
+        let r = match run(&compiled, &arrays, 14, fault_args.sim_options()) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("blocks={blocks}: {e}");
+                continue;
+            }
+        };
+        if !r.sources_exhausted {
+            println!("blocks={blocks}: stalled after {} steps", r.steps);
+            if let Some(report) = &r.stall_report {
+                print!("{report}");
+            }
+            continue;
+        }
         let out = format!("S{blocks}");
         let iv = r.steady_interval(&out).expect("steady");
         let avg_fires = r.total_fires as f64 / r.steps as f64;
@@ -45,6 +58,9 @@ fn main() {
         ivs.push((blocks, iv, compiled.graph.node_count(), avg_fires));
     }
     println!();
+    if fault_args.claims_skipped() {
+        return;
+    }
     // Output wave shrinks by 2 per block; normalize rate per input wave.
     let ok = ivs.iter().all(|&(blocks, iv, _, _)| {
         let m = 2 * blocks + 16;

@@ -1,0 +1,114 @@
+//! Shared command-line flags for the `exp_*` reporter binaries.
+//!
+//! Every reporter accepts:
+//!
+//! * `--fault-plan <spec>` — inject faults into the simulated machine;
+//!   the spec grammar is [`FaultPlan::parse`]'s (e.g.
+//!   `seed=42,drop_ack=0.001,freeze=5@100..200`);
+//! * `--step-budget <n>` — bound the run with a watchdog that turns an
+//!   unproductive run into a structured stall report instead of letting
+//!   it spin to the hard step limit.
+
+use crate::measure::{measure_program_with, Measurement};
+use valpipe_core::CompileOptions;
+use valpipe_machine::{FaultPlan, SimOptions, WatchdogConfig};
+
+/// Robustness flags parsed from the process arguments.
+#[derive(Debug, Clone, Default)]
+pub struct FaultArgs {
+    /// Parsed `--fault-plan`, if given.
+    pub fault_plan: Option<FaultPlan>,
+    /// Parsed `--step-budget`, if given.
+    pub step_budget: Option<u64>,
+}
+
+impl FaultArgs {
+    /// Parse the process arguments. Exits with a usage message on an
+    /// unknown flag or a malformed value, so reporters fail loudly
+    /// rather than silently measuring the wrong machine.
+    pub fn parse_env() -> FaultArgs {
+        let mut out = FaultArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--fault-plan" => {
+                    let spec = args.next().unwrap_or_else(|| usage("--fault-plan needs a spec"));
+                    match FaultPlan::parse(&spec) {
+                        Ok(p) => out.fault_plan = Some(p),
+                        Err(e) => usage(&e),
+                    }
+                }
+                "--step-budget" => {
+                    let v = args.next().unwrap_or_else(|| usage("--step-budget needs a number"));
+                    match v.parse::<u64>() {
+                        Ok(n) if n > 0 => out.step_budget = Some(n),
+                        _ => usage(&format!("bad step budget '{v}'")),
+                    }
+                }
+                other => usage(&format!("unknown flag '{other}'")),
+            }
+        }
+        out
+    }
+
+    /// Whether any robustness flag was given.
+    pub fn active(&self) -> bool {
+        self.fault_plan.is_some() || self.step_budget.is_some()
+    }
+
+    /// Apply the flags to simulator options: install the fault plan and,
+    /// if a budget was given, a watchdog with that budget.
+    pub fn apply(&self, opts: &mut SimOptions) {
+        if let Some(p) = &self.fault_plan {
+            opts.fault_plan = Some(p.clone());
+        }
+        if let Some(budget) = self.step_budget {
+            opts.watchdog = Some(WatchdogConfig { step_budget: budget, ..Default::default() });
+        }
+    }
+
+    /// Default simulator options with the flags applied.
+    pub fn sim_options(&self) -> SimOptions {
+        let mut opts = SimOptions::default();
+        self.apply(&mut opts);
+        opts
+    }
+
+    /// Oracle-checked measurement under the active flags. A stalled run
+    /// prints the machine's stall diagnosis and returns `None`, so
+    /// reporters degrade to a partial table instead of panicking.
+    pub fn measure(
+        &self,
+        label: &str,
+        src: &str,
+        opts: &CompileOptions,
+        output: &str,
+        waves: usize,
+    ) -> Option<Measurement> {
+        match measure_program_with(label, src, opts, output, waves, self.sim_options()) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                println!("{label}: {e}");
+                None
+            }
+        }
+    }
+
+    /// When a fault plan is active the paper's clean-machine claims do
+    /// not apply; print a note and return true so the reporter skips its
+    /// claim lines.
+    pub fn claims_skipped(&self) -> bool {
+        if self.active() {
+            println!("(fault plan active: claims skipped)");
+        }
+        self.active()
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: exp_* [--fault-plan <spec>] [--step-budget <n>]");
+    eprintln!("  spec: comma-separated key=value, e.g. seed=42,drop_ack=0.001,\\");
+    eprintln!("        delay_result=0.05:4,freeze=7@100..200,link=1.3@50..60");
+    std::process::exit(2)
+}

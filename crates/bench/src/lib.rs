@@ -2,12 +2,15 @@
 //!
 //! Workload generators, reporting helpers, and the measurement routines
 //! shared by the `exp_*` reporter binaries (one per paper figure/claim —
-//! see EXPERIMENTS.md) and the Criterion benches.
+//! see EXPERIMENTS.md) and the wall-clock benches.
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod measure;
 pub mod report;
+pub mod timing;
 pub mod workloads;
 
+pub use cli::FaultArgs;
 pub use measure::{measure_program, Measurement};

@@ -2,12 +2,12 @@
 //! oracle, and extract rate / size / traffic numbers.
 
 use crate::workloads::inputs_for_compiled;
-use serde::Serialize;
-use valpipe_core::verify::check_against_oracle;
+use valpipe_core::verify::{check_against_oracle_with, VerifyError};
 use valpipe_core::{compile_source, CompileOptions, Compiled};
+use valpipe_machine::SimOptions;
 
 /// One measured configuration.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     /// Label (scheme, size, …).
     pub label: String,
@@ -38,8 +38,23 @@ pub fn measure_program(
     output: &str,
     waves: usize,
 ) -> Measurement {
+    measure_program_with(label, src, opts, output, waves, SimOptions::default())
+        .expect("oracle check")
+}
+
+/// [`measure_program`] on caller-supplied simulator options; a stalled
+/// or mismatched run comes back as an error instead of a panic, so
+/// reporters can print the stall diagnosis under an active fault plan.
+pub fn measure_program_with(
+    label: impl Into<String>,
+    src: &str,
+    opts: &CompileOptions,
+    output: &str,
+    waves: usize,
+    sim: SimOptions,
+) -> Result<Measurement, VerifyError> {
     let compiled = compile_source(src, opts).expect("workload compiles");
-    measure_compiled(label, &compiled, output, waves)
+    measure_compiled_with(label, &compiled, output, waves, sim)
 }
 
 /// Measure an already-compiled program.
@@ -49,13 +64,25 @@ pub fn measure_compiled(
     output: &str,
     waves: usize,
 ) -> Measurement {
+    measure_compiled_with(label, compiled, output, waves, SimOptions::default())
+        .expect("oracle check")
+}
+
+/// [`measure_compiled`] on caller-supplied simulator options.
+pub fn measure_compiled_with(
+    label: impl Into<String>,
+    compiled: &Compiled,
+    output: &str,
+    waves: usize,
+    sim: SimOptions,
+) -> Result<Measurement, VerifyError> {
     let inputs = inputs_for_compiled(compiled);
-    let report = check_against_oracle(compiled, &inputs, waves, 1e-8).expect("oracle check");
+    let report = check_against_oracle_with(compiled, &inputs, waves, 1e-8, sim)?;
     let interval = report
         .run
         .steady_interval(output)
         .expect("enough packets for a steady-state measurement");
-    Measurement {
+    Ok(Measurement {
         label: label.into(),
         cells: compiled.graph.node_count(),
         buffers: compiled.stats.loop_buffers + compiled.stats.global_buffers,
@@ -65,6 +92,25 @@ pub fn measure_compiled(
         total_fires: report.run.total_fires,
         am_fraction: report.run.am_traffic_fraction(),
         steps: report.run.steps,
+    })
+}
+
+impl Measurement {
+    /// One-line JSON rendering (for EXPERIMENTS.md regeneration scripts).
+    pub fn to_json(&self) -> String {
+        use valpipe_util::Json;
+        Json::obj([
+            ("label", Json::Str(self.label.clone())),
+            ("cells", Json::Int(self.cells as i64)),
+            ("buffers", Json::Int(self.buffers as i64)),
+            ("interval", Json::Float(self.interval)),
+            ("rate", Json::Float(self.rate)),
+            ("max_rel_err", Json::Float(self.max_rel_err)),
+            ("total_fires", Json::Int(self.total_fires as i64)),
+            ("am_fraction", Json::Float(self.am_fraction)),
+            ("steps", Json::Int(self.steps as i64)),
+        ])
+        .to_compact()
     }
 }
 

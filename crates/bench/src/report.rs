@@ -43,6 +43,6 @@ pub fn verdict(claim: &str, holds: bool) {
 /// Emit rows as JSON lines (for EXPERIMENTS.md regeneration scripts).
 pub fn json_lines(rows: &[Measurement]) {
     for r in rows {
-        println!("{}", serde_json::to_string(r).expect("serialize"));
+        println!("{}", r.to_json());
     }
 }

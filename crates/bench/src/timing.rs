@@ -1,0 +1,70 @@
+//! A tiny wall-clock micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace builds with no external crates, so the benches cannot use
+//! Criterion; this gives them the 20% they need — warmup, repeated timed
+//! runs, and median/min reporting — with `harness = false` plain mains.
+
+use std::time::Instant;
+
+/// Run `f` repeatedly and print a one-line summary.
+///
+/// `f` is called once for warmup, then `iters` timed times. The median and
+/// minimum per-iteration wall times are printed; the return value of `f` is
+/// folded into a black-box sink so the compiler cannot elide the work.
+pub fn bench<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "bench needs at least one iteration");
+    sink(&f()); // warmup
+    let mut times: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        sink(&f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    println!(
+        "{label:<40} {:>10} median   {:>10} min   ({iters} iters)",
+        human(median),
+        human(times[0])
+    );
+}
+
+/// Like [`bench`], but also prints a throughput figure for `elements`
+/// items processed per call.
+pub fn bench_throughput<T>(label: &str, iters: usize, elements: u64, mut f: impl FnMut() -> T) {
+    assert!(iters > 0, "bench needs at least one iteration");
+    sink(&f());
+    let mut times: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        sink(&f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.total_cmp(b));
+    let median = times[times.len() / 2];
+    println!(
+        "{label:<40} {:>10} median   {:>12.0} elems/s   ({iters} iters)",
+        human(median),
+        elements as f64 / median
+    );
+}
+
+fn human(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1}ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{secs:.3}s")
+    }
+}
+
+/// Opaque value sink: reads the value through a volatile pointer so the
+/// optimizer must treat it as used.
+fn sink<T>(v: &T) {
+    unsafe {
+        std::ptr::read_volatile(&(v as *const T));
+    }
+}

@@ -22,6 +22,10 @@ pub enum VerifyError {
     Stalled {
         /// Steps executed before the stall.
         steps: u64,
+        /// The machine's stall diagnosis (blocked cells, held arcs, wait
+        /// cycle), rendered; `None` when the run stopped on a bare step
+        /// limit with nothing visibly blocked.
+        report: Option<String>,
     },
     /// An output mismatched the oracle.
     Mismatch {
@@ -52,8 +56,12 @@ impl std::fmt::Display for VerifyError {
         match self {
             VerifyError::Sim(m) => write!(f, "simulation fault: {m}"),
             VerifyError::Interp(m) => write!(f, "interpreter fault: {m}"),
-            VerifyError::Stalled { steps } => {
-                write!(f, "pipeline stalled before consuming all input ({steps} steps)")
+            VerifyError::Stalled { steps, report } => {
+                write!(f, "pipeline stalled before consuming all input ({steps} steps)")?;
+                if let Some(r) = report {
+                    write!(f, "\n{r}")?;
+                }
+                Ok(())
             }
             VerifyError::Mismatch {
                 output,
@@ -123,19 +131,32 @@ pub struct OracleReport {
 /// output against the interpreter, element by element, within relative
 /// tolerance `tol` (the companion transformation reassociates floating
 /// arithmetic, so exact equality is only guaranteed for integer data).
-#[allow(clippy::field_reassign_with_default)] // many-field options struct
 pub fn check_against_oracle(
     compiled: &Compiled,
     arrays: &HashMap<String, ArrayVal>,
     waves: usize,
     tol: f64,
 ) -> Result<OracleReport, VerifyError> {
+    check_against_oracle_with(compiled, arrays, waves, tol, SimOptions::default())
+}
+
+/// [`check_against_oracle`] on caller-supplied simulator options — the
+/// hook the experiment reporters use to thread fault plans and watchdog
+/// budgets through an oracle-checked measurement. The stop condition is
+/// still managed here (`base.stop_outputs` is overwritten).
+pub fn check_against_oracle_with(
+    compiled: &Compiled,
+    arrays: &HashMap<String, ArrayVal>,
+    waves: usize,
+    tol: f64,
+    base: SimOptions,
+) -> Result<OracleReport, VerifyError> {
     let expected = interp::run_program(&compiled.program, arrays)
         .map_err(|e| VerifyError::Interp(e.to_string()))?;
     // Ask the simulator to stop once every output has its packets: a
     // program whose outputs don't depend on the inputs would otherwise
     // regenerate waves forever from its control generators.
-    let mut opts = SimOptions::default();
+    let mut opts = base;
     opts.stop_outputs = Some(
         compiled
             .program
@@ -145,11 +166,15 @@ pub fn check_against_oracle(
             .collect(),
     );
     let result = run(compiled, arrays, waves, opts)?;
-    if result.stop == valpipe_machine::StopReason::Quiescent && !result.sources_exhausted {
-        return Err(VerifyError::Stalled { steps: result.steps });
-    }
-    if result.stop == valpipe_machine::StopReason::MaxSteps {
-        return Err(VerifyError::Stalled { steps: result.steps });
+    let stalled = (result.stop == valpipe_machine::StopReason::Quiescent
+        && !result.sources_exhausted)
+        || result.stop == valpipe_machine::StopReason::MaxSteps
+        || result.stop == valpipe_machine::StopReason::Stalled;
+    if stalled {
+        return Err(VerifyError::Stalled {
+            steps: result.steps,
+            report: result.stall_report.as_ref().map(|r| r.to_string()),
+        });
     }
     let mut max_rel = 0.0f64;
     let mut checked = 0usize;
@@ -231,7 +256,10 @@ pub fn run_timesteps(
     for _ in 0..steps {
         let r = run(compiled, &arrays, 1, SimOptions::default())?;
         if !r.sources_exhausted {
-            return Err(VerifyError::Stalled { steps: r.steps });
+            return Err(VerifyError::Stalled {
+                steps: r.steps,
+                report: r.stall_report.as_ref().map(|rep| rep.to_string()),
+            });
         }
         total += r.total_fires;
         am += r.am_fires;

@@ -8,11 +8,10 @@
 //! encoded pattern that repeats once per wave** (one wave = one array value
 //! flowing through the pipe), which is what the generator circuits emit.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A maximal run of equal boolean values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Run {
     /// The boolean value repeated throughout the run.
     pub value: bool,
@@ -26,7 +25,7 @@ pub struct Run {
 /// The canonical form has no zero-length runs and no two adjacent runs with
 /// equal value (runs at the pattern boundary may still match, since the
 /// boundary is semantically meaningful: it separates waves).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CtlStream {
     pattern: Vec<Run>,
 }

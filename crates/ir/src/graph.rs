@@ -10,14 +10,13 @@
 
 use crate::opcode::Opcode;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 
 /// Index of an instruction cell within a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 /// Index of an arc (destination link) within a [`Graph`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ArcId(pub u32);
 
 impl NodeId {
@@ -35,7 +34,7 @@ impl ArcId {
 }
 
 /// How an input operand port of a cell receives its value.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PortBinding {
     /// Not yet connected (invalid in a finished program).
     Unbound,
@@ -47,7 +46,7 @@ pub enum PortBinding {
 }
 
 /// One instruction cell.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// The operation code.
     pub op: Opcode,
@@ -62,7 +61,7 @@ pub struct Node {
 }
 
 /// One destination link.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Edge {
     /// Producing cell.
     pub src: NodeId,
@@ -94,7 +93,7 @@ impl Edge {
 }
 
 /// A complete machine-level data flow program.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     /// Instruction cells, indexed by [`NodeId`].
     pub nodes: Vec<Node>,
@@ -411,12 +410,13 @@ impl Graph {
     /// Serialize the program to JSON (the on-disk machine-code format;
     /// see [`Graph::from_json`]).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("graphs serialize")
+        crate::serialize::graph_to_json(self).to_pretty()
     }
 
     /// Load a program from its JSON form.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
+        let j = valpipe_util::Json::parse(s).map_err(|e| e.to_string())?;
+        crate::serialize::graph_from_json(&j)
     }
 
     /// Ids of all `Sink` cells with their port names.

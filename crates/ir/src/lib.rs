@@ -25,6 +25,7 @@ pub mod dot;
 pub mod graph;
 pub mod opcode;
 pub mod pretty;
+mod serialize;
 pub mod validate;
 pub mod value;
 

@@ -11,7 +11,6 @@
 
 use crate::ctl::CtlStream;
 use crate::value::{BinOp, UnOp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Input-port index of the boolean control operand on `TGate`/`FGate`.
@@ -26,7 +25,7 @@ pub const MERGE_TRUE: usize = 1;
 pub const MERGE_FALSE: usize = 2;
 
 /// The operation held by one instruction cell.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Opcode {
     /// Two-operand arithmetic / relational / logical instruction.
     Bin(BinOp),

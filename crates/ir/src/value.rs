@@ -6,11 +6,10 @@
 //! never exist as machine values — an array is a *sequence* of scalar result
 //! packets (paper §3).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A scalar value carried by a single result packet.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Value {
     /// Val `integer`.
     Int(i64),
@@ -97,7 +96,7 @@ impl fmt::Display for EvalError {
 impl std::error::Error for EvalError {}
 
 /// Binary operators available as instruction-cell operation codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants are the operators themselves
 pub enum BinOp {
     Add,
@@ -150,7 +149,7 @@ impl BinOp {
 }
 
 /// Unary operators available as instruction-cell operation codes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)] // variants are the operators themselves
 pub enum UnOp {
     Neg,

@@ -1,81 +1,105 @@
-//! Property tests for the control-stream algebra: the run-length encoded
-//! representation must agree with materialized bit vectors under every
-//! operation.
+//! Randomized property tests for the control-stream algebra: the run-length
+//! encoded representation must agree with materialized bit vectors under
+//! every operation. Cases are generated with the workspace's deterministic
+//! PRNG, so every run checks the same cases.
 
-use proptest::prelude::*;
 use valpipe_ir::CtlStream;
+use valpipe_util::Rng;
 
-fn stream_strategy() -> impl Strategy<Value = CtlStream> {
-    proptest::collection::vec((any::<bool>(), 1u32..5), 1..8)
-        .prop_map(CtlStream::from_runs)
+const CASES: u64 = 256;
+
+fn random_stream(r: &mut Rng) -> CtlStream {
+    let n_runs = r.range(1, 8);
+    CtlStream::from_runs((0..n_runs).map(|_| (r.flip(), r.range(1, 5) as u32)))
 }
 
 fn bits(s: &CtlStream, n: usize) -> Vec<bool> {
     s.take(n)
 }
 
-proptest! {
-    #[test]
-    fn negate_is_pointwise(s in stream_strategy()) {
+#[test]
+fn negate_is_pointwise() {
+    for case in 0..CASES {
+        let mut r = Rng::seed(0x1001).fork(case);
+        let s = random_stream(&mut r);
         let n = (s.wave_len() * 3) as usize;
         let neg = s.negate();
-        prop_assert_eq!(
+        assert_eq!(
             bits(&neg, n),
             bits(&s, n).into_iter().map(|b| !b).collect::<Vec<_>>()
         );
         // Involution.
-        prop_assert_eq!(neg.negate(), s);
+        assert_eq!(neg.negate(), s);
     }
+}
 
-    #[test]
-    fn and_or_pointwise(a in stream_strategy(), b in stream_strategy()) {
+#[test]
+fn and_or_pointwise() {
+    for case in 0..CASES {
+        let mut r = Rng::seed(0x1002).fork(case);
+        let a = random_stream(&mut r);
+        let b = random_stream(&mut r);
         // Align wave lengths by tiling to the LCM via explicit bits.
-        let la = a.wave_len();
-        let lb = b.wave_len();
-        let l = num_lcm(la, lb);
+        let l = num_lcm(a.wave_len(), b.wave_len());
         let ae = CtlStream::from_runs(a.take(l as usize).into_iter().map(|v| (v, 1)));
         let be = CtlStream::from_runs(b.take(l as usize).into_iter().map(|v| (v, 1)));
         let n = (l * 2) as usize;
-        prop_assert_eq!(
+        assert_eq!(
             bits(&ae.and(&be), n),
             bits(&ae, n).iter().zip(bits(&be, n)).map(|(&x, y)| x && y).collect::<Vec<_>>()
         );
-        prop_assert_eq!(
+        assert_eq!(
             bits(&ae.or(&be), n),
             bits(&ae, n).iter().zip(bits(&be, n)).map(|(&x, y)| x || y).collect::<Vec<_>>()
         );
     }
+}
 
-    #[test]
-    fn canonical_form_roundtrips(s in stream_strategy()) {
+#[test]
+fn canonical_form_roundtrips() {
+    for case in 0..CASES {
+        let mut r = Rng::seed(0x1003).fork(case);
+        let s = random_stream(&mut r);
         // Rebuilding from materialized single-bit runs yields the same
         // canonical pattern.
         let n = s.wave_len() as usize;
         let rebuilt = CtlStream::from_runs(s.take(n).into_iter().map(|v| (v, 1)));
-        prop_assert_eq!(rebuilt, s);
+        assert_eq!(rebuilt, s);
     }
+}
 
-    #[test]
-    fn wave_len_and_trues_consistent(s in stream_strategy()) {
+#[test]
+fn wave_len_and_trues_consistent() {
+    for case in 0..CASES {
+        let mut r = Rng::seed(0x1004).fork(case);
+        let s = random_stream(&mut r);
         let n = s.wave_len() as usize;
         let b = s.take(n);
-        prop_assert_eq!(b.len(), n);
-        prop_assert_eq!(
-            b.iter().filter(|&&x| x).count() as u32,
-            s.trues_per_wave()
-        );
+        assert_eq!(b.len(), n);
+        assert_eq!(b.iter().filter(|&&x| x).count() as u32, s.trues_per_wave());
         // Periodicity.
-        prop_assert_eq!(s.take(2 * n)[n..].to_vec(), b);
+        assert_eq!(s.take(2 * n)[n..].to_vec(), b);
     }
+}
 
-    #[test]
-    fn compress_length_matches_mask(s in stream_strategy(), mask_bits in proptest::collection::vec(any::<bool>(), 1..16)) {
-        prop_assume!(mask_bits.iter().any(|&b| b));
+#[test]
+fn compress_length_matches_mask() {
+    let mut done = 0;
+    let mut case = 0u64;
+    while done < CASES {
+        let mut r = Rng::seed(0x1005).fork(case);
+        case += 1;
+        let s = random_stream(&mut r);
+        let mask_bits: Vec<bool> = (0..r.range(1, 16)).map(|_| r.flip()).collect();
+        if !mask_bits.iter().any(|&b| b) {
+            continue; // an all-false mask selects nothing; not a valid stream
+        }
+        done += 1;
         let l = mask_bits.len() as u32;
         let se = CtlStream::from_runs(s.take(l as usize).into_iter().map(|v| (v, 1)));
         let mask = CtlStream::from_runs(mask_bits.iter().map(|&b| (b, 1)));
         let sub = se.compress(&mask);
-        prop_assert_eq!(sub.wave_len(), mask.trues_per_wave());
+        assert_eq!(sub.wave_len(), mask.trues_per_wave());
         // Element-wise check of the first wave.
         let want: Vec<bool> = se
             .take(l as usize)
@@ -84,7 +108,7 @@ proptest! {
             .filter(|&(_, &m)| m)
             .map(|(v, _)| v)
             .collect();
-        prop_assert_eq!(sub.take(want.len()), want);
+        assert_eq!(sub.take(want.len()), want);
     }
 }
 

@@ -10,7 +10,7 @@
 //! accesses shipped to array memories, the unit's service latency.
 
 use crate::sim::{ArcDelays, ResourceModel, SimOptions};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use valpipe_ir::graph::Graph;
 
 /// Which unit class executes a cell.
@@ -198,7 +198,9 @@ impl TrafficTally {
 
     /// Add one run's counts.
     pub fn add(&self, total: u64, am: u64, fu: u64) {
-        let mut c = self.inner.lock();
+        // A poisoned lock only means another sweep thread panicked; the
+        // counters themselves are always in a consistent state.
+        let mut c = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         c.total += total;
         c.am += am;
         c.fu += fu;
@@ -206,7 +208,7 @@ impl TrafficTally {
 
     /// Snapshot the aggregate.
     pub fn snapshot(&self) -> TrafficCounts {
-        *self.inner.lock()
+        *self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Aggregate AM fraction of operation packets.

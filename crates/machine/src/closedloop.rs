@@ -36,6 +36,10 @@ pub struct ClosedLoopOptions {
     pub pe_issue_width: u32,
     /// Hard cycle limit.
     pub max_cycles: u64,
+    /// Router links to take down for windows of cycles (applied to both
+    /// the result and the acknowledge plane). Packets stall but are
+    /// never lost, so throughput degrades and recovers with the window.
+    pub link_faults: Vec<crate::fault::LinkFault>,
 }
 
 impl Default for ClosedLoopOptions {
@@ -46,6 +50,7 @@ impl Default for ClosedLoopOptions {
             arc_capacity: 1,
             pe_issue_width: 4,
             max_cycles: 10_000_000,
+            link_faults: Vec::new(),
         }
     }
 }
@@ -96,8 +101,25 @@ pub fn run_closed_loop(
     pe_of: &[usize],
     opts: &ClosedLoopOptions,
 ) -> Result<ClosedLoopResult, SimError> {
-    assert!(opts.pes.is_power_of_two() && opts.pes >= 2);
-    assert_eq!(pe_of.len(), g.node_count());
+    if !opts.pes.is_power_of_two() || opts.pes < 2 {
+        return Err(SimError::InvalidConfig(format!(
+            "closed-loop machine needs a power-of-two PE count >= 2, got {}",
+            opts.pes
+        )));
+    }
+    if pe_of.len() != g.node_count() {
+        return Err(SimError::InvalidConfig(format!(
+            "placement table covers {} cells but the graph has {}",
+            pe_of.len(),
+            g.node_count()
+        )));
+    }
+    if let Some(&pe) = pe_of.iter().find(|&&pe| pe >= opts.pes) {
+        return Err(SimError::InvalidConfig(format!(
+            "placement assigns a cell to PE {pe} but the machine has {} PEs",
+            opts.pes
+        )));
+    }
     let n = g.node_count();
 
     // Per-node bookkeeping (sources, generators, sinks).
@@ -137,6 +159,14 @@ pub fn run_closed_loop(
     // the network with a one-cycle delay.
     let mut result_net = OmegaNetwork::new(opts.pes, opts.net_queue);
     let mut ack_net = OmegaNetwork::new(opts.pes, opts.net_queue);
+    for lf in &opts.link_faults {
+        result_net
+            .fail_link(lf.stage, lf.port, lf.from, lf.until)
+            .map_err(SimError::InvalidConfig)?;
+        ack_net
+            .fail_link(lf.stage, lf.port, lf.from, lf.until)
+            .map_err(SimError::InvalidConfig)?;
+    }
     let mut egress_res: Vec<VecDeque<(usize, Payload)>> = vec![VecDeque::new(); opts.pes];
     let mut egress_ack: Vec<VecDeque<(usize, Payload)>> = vec![VecDeque::new(); opts.pes];
     let mut local: VecDeque<(u64, Payload)> = VecDeque::new();
@@ -268,7 +298,12 @@ pub fn run_closed_loop(
                     }
                 }
                 Opcode::Source(_) => {
-                    let d = src_data[i].as_ref().unwrap();
+                    let d = src_data[i].as_ref().unwrap_or_else(|| {
+                        panic!(
+                            "cell {i} ({}): source data unbound at cycle {now} despite construction check",
+                            node.label
+                        )
+                    });
                     if src_pos[i] < d.len() && outputs_free(true) {
                         Some((vec![], Some(d[src_pos[i]])))
                     } else {
@@ -302,7 +337,15 @@ pub fn run_closed_loop(
                 Opcode::Source(_) => src_pos[i] += 1,
                 Opcode::CtlGen(_) | Opcode::IdxGen { .. } => ctl_pos[i] += 1,
                 Opcode::Sink(name) => {
-                    outputs.get_mut(name).unwrap().push((now, emit.unwrap()));
+                    let v = emit.unwrap_or_else(|| {
+                        panic!("cell {i} ({name}): sink fired without a value at cycle {now}")
+                    });
+                    outputs
+                        .get_mut(name)
+                        .unwrap_or_else(|| {
+                            panic!("cell {i} ({name}): sink port vanished at cycle {now}")
+                        })
+                        .push((now, v));
                     continue;
                 }
                 _ => {}
@@ -351,13 +394,23 @@ pub fn run_closed_loop(
         result_net.step();
         ack_net.step();
         for &(t, pkt) in &result_net.delivered()[res_before..] {
-            let payload = in_flight_res.remove(&pkt.seq).expect("tracked packet");
+            let payload = in_flight_res.remove(&pkt.seq).unwrap_or_else(|| {
+                panic!(
+                    "result packet seq {} delivered at cycle {now} was never injected",
+                    pkt.seq
+                )
+            });
             res_latency_sum += t - pkt.injected_at;
             apply_payload(payload, &mut ready, &mut outstanding);
             activity = true;
         }
         for &(_, pkt) in &ack_net.delivered()[ack_before..] {
-            let payload = in_flight_ack.remove(&pkt.seq).expect("tracked ack");
+            let payload = in_flight_ack.remove(&pkt.seq).unwrap_or_else(|| {
+                panic!(
+                    "acknowledge packet seq {} delivered at cycle {now} was never injected",
+                    pkt.seq
+                )
+            });
             apply_payload(payload, &mut ready, &mut outstanding);
             activity = true;
         }
@@ -367,7 +420,15 @@ pub fn run_closed_loop(
             idle = 0;
         } else {
             idle += 1;
-            if idle > 4 + 2 * result_net.stages() as u64 {
+            // A downed link can hold packets motionless for its whole
+            // window (stage-to-stage movement does not count as
+            // activity), so quiescence also requires both planes empty.
+            let fault_end = opts.link_faults.iter().map(|lf| lf.until).max().unwrap_or(0);
+            if idle > 4 + 2 * result_net.stages() as u64
+                && now >= fault_end
+                && result_net.is_empty()
+                && ack_net.is_empty()
+            {
                 break;
             }
         }
@@ -472,6 +533,59 @@ mod tests {
         .unwrap();
         let iv4 = r4.steady_interval("out").unwrap();
         assert!(iv4 < iv - 0.5, "buffered links must be faster: {iv4} vs {iv}");
+    }
+
+    #[test]
+    fn bad_configurations_are_reported_not_panicked() {
+        let g = chain_graph();
+        let inputs = ProgramInputs::new().bind("a", vec![Value::Real(1.0)]);
+        let pe_of: Vec<usize> = vec![0; g.node_count()];
+        let err = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
+            pes: 3,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        let err = run_closed_loop(&g, &inputs, &pe_of[1..], &ClosedLoopOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+        let err = run_closed_loop(&g, &inputs, &vec![99; g.node_count()], &ClosedLoopOptions {
+            pes: 4,
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn link_fault_slows_but_preserves_values() {
+        let g = chain_graph();
+        let data: Vec<Value> = (0..60).map(|i| Value::Real(i as f64)).collect();
+        let inputs = ProgramInputs::new().bind("a", data);
+        let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % 4).collect();
+        let clean = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
+            pes: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut faulty_opts = ClosedLoopOptions { pes: 4, ..Default::default() };
+        for port in 0..4 {
+            faulty_opts.link_faults.push(crate::fault::LinkFault {
+                stage: 0,
+                port,
+                from: 10,
+                until: 60,
+            });
+        }
+        let faulty = run_closed_loop(&g, &inputs, &pe_of, &faulty_opts).unwrap();
+        assert!(faulty.sources_exhausted, "stalled links must recover");
+        assert_eq!(faulty.values("out"), clean.values("out"));
+        assert!(
+            faulty.steps > clean.steps,
+            "downed links must cost cycles: {} vs {}",
+            faulty.steps,
+            clean.steps
+        );
     }
 
     #[test]

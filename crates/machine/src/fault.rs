@@ -1,0 +1,424 @@
+//! Deterministic fault injection for the machine simulators.
+//!
+//! A [`FaultPlan`] describes which perturbations to apply to a run: result
+//! packets can be dropped, delayed, or duplicated; acknowledge packets can
+//! be dropped or delayed; individual cells can be frozen for a window of
+//! instruction times; and routing-network links can be taken down (see
+//! [`crate::network::OmegaNetwork::fail_link`]).
+//!
+//! Every decision is **position-keyed**: whether the packet on arc `a` at
+//! step `t` is perturbed depends only on `(seed, kind, a, t)` via
+//! [`valpipe_util::hash_mix`], never on event iteration order. Two runs
+//! with the same plan perturb exactly the same packets, which is what makes
+//! fault experiments reproducible and shrinkable.
+//!
+//! The empty plan ([`FaultPlan::default`]) injects nothing; the simulator
+//! special-cases it so that a run with `fault_plan: None` and a run with
+//! an empty plan are bit-identical.
+
+use valpipe_util::hash_mix;
+
+/// A window of instruction times during which one cell may not fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellFreeze {
+    /// Frozen cell index.
+    pub node: usize,
+    /// First frozen instruction time (inclusive).
+    pub from: u64,
+    /// First instruction time at which the cell thaws (exclusive bound).
+    pub until: u64,
+}
+
+/// A window of instruction times during which one network link is down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Network stage of the failed link.
+    pub stage: usize,
+    /// Output-port index within the stage.
+    pub port: usize,
+    /// First failed cycle (inclusive).
+    pub from: u64,
+    /// First cycle at which the link recovers (exclusive bound).
+    pub until: u64,
+}
+
+/// A seeded, deterministic fault-injection plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every position-keyed decision.
+    pub seed: u64,
+    /// Probability that a result packet is lost in the network. The
+    /// producer's destination slot is then never acknowledged — one
+    /// dropped result wedges its arc, which is exactly the failure mode
+    /// the watchdog's stall report attributes.
+    pub drop_result: f64,
+    /// Probability that a result packet is duplicated. The duplicate is
+    /// delivered only if the destination arc has a free slot (a full
+    /// link discards it), so arc capacity is never exceeded.
+    pub dup_result: f64,
+    /// Probability that a result packet is delayed.
+    pub delay_result: f64,
+    /// Maximum extra instruction times for a delayed result (uniform in
+    /// `1..=max`).
+    pub delay_result_max: u64,
+    /// Probability that an acknowledge packet is lost. The producer's
+    /// slot then never frees.
+    pub drop_ack: f64,
+    /// Probability that an acknowledge packet is delayed.
+    pub delay_ack: f64,
+    /// Maximum extra instruction times for a delayed acknowledge.
+    pub delay_ack_max: u64,
+    /// Cells frozen for windows of instruction times.
+    pub freezes: Vec<CellFreeze>,
+    /// Routing-network links taken down for windows of cycles (consumed
+    /// by the closed-loop machine / network experiments).
+    pub link_faults: Vec<LinkFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_result: 0.0,
+            dup_result: 0.0,
+            delay_result: 0.0,
+            delay_result_max: 4,
+            drop_ack: 0.0,
+            delay_ack: 0.0,
+            delay_ack_max: 4,
+            freezes: Vec::new(),
+            link_faults: Vec::new(),
+        }
+    }
+}
+
+/// What happens to one result packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost; the destination slot is never acknowledged.
+    Drop,
+    /// Delivered with the given extra latency.
+    Delay(u64),
+    /// Delivered twice (second copy only if the arc has room).
+    Duplicate,
+}
+
+/// What happens to one acknowledge packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckFate {
+    /// Delivered normally.
+    Deliver,
+    /// Lost; the producer's slot never frees.
+    Drop,
+    /// Delivered with the given extra latency.
+    Delay(u64),
+}
+
+// Salts separating the decision streams; arbitrary distinct constants.
+const SALT_DROP_RESULT: u64 = 0xD0;
+const SALT_DUP_RESULT: u64 = 0xD1;
+const SALT_DELAY_RESULT: u64 = 0xD2;
+const SALT_DELAY_RESULT_AMT: u64 = 0xD3;
+const SALT_DROP_ACK: u64 = 0xA0;
+const SALT_DELAY_ACK: u64 = 0xA1;
+const SALT_DELAY_ACK_AMT: u64 = 0xA2;
+
+/// Uniform `[0, 1)` draw keyed by position.
+fn u01(seed: u64, salt: u64, arc: u64, step: u64) -> f64 {
+    (hash_mix(&[seed, salt, arc, step]) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform `1..=max` draw keyed by position.
+fn amount(seed: u64, salt: u64, arc: u64, step: u64, max: u64) -> u64 {
+    1 + hash_mix(&[seed, salt, arc, step]) % max.max(1)
+}
+
+impl FaultPlan {
+    /// The plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.drop_result == 0.0
+            && self.dup_result == 0.0
+            && self.delay_result == 0.0
+            && self.drop_ack == 0.0
+            && self.delay_ack == 0.0
+            && self.freezes.is_empty()
+            && self.link_faults.is_empty()
+    }
+
+    /// Whether the plan contains any cell- or packet-level fault (i.e.
+    /// anything beyond network link outages). Consumers that only model
+    /// the network planes use this to warn about knobs they ignore.
+    pub fn has_cell_faults(&self) -> bool {
+        let mut links_stripped = self.clone();
+        links_stripped.link_faults.clear();
+        !links_stripped.is_empty()
+    }
+
+    /// Fate of the result packet emitted onto `arc` at instruction time
+    /// `step`. Deterministic in `(seed, arc, step)`.
+    pub fn result_fate(&self, arc: usize, step: u64) -> ResultFate {
+        let a = arc as u64;
+        if self.drop_result > 0.0 && u01(self.seed, SALT_DROP_RESULT, a, step) < self.drop_result {
+            return ResultFate::Drop;
+        }
+        if self.dup_result > 0.0 && u01(self.seed, SALT_DUP_RESULT, a, step) < self.dup_result {
+            return ResultFate::Duplicate;
+        }
+        if self.delay_result > 0.0 && u01(self.seed, SALT_DELAY_RESULT, a, step) < self.delay_result
+        {
+            return ResultFate::Delay(amount(
+                self.seed,
+                SALT_DELAY_RESULT_AMT,
+                a,
+                step,
+                self.delay_result_max,
+            ));
+        }
+        ResultFate::Deliver
+    }
+
+    /// Fate of the acknowledge packet for a token consumed from `arc` at
+    /// instruction time `step`.
+    pub fn ack_fate(&self, arc: usize, step: u64) -> AckFate {
+        let a = arc as u64;
+        if self.drop_ack > 0.0 && u01(self.seed, SALT_DROP_ACK, a, step) < self.drop_ack {
+            return AckFate::Drop;
+        }
+        if self.delay_ack > 0.0 && u01(self.seed, SALT_DELAY_ACK, a, step) < self.delay_ack {
+            return AckFate::Delay(amount(
+                self.seed,
+                SALT_DELAY_ACK_AMT,
+                a,
+                step,
+                self.delay_ack_max,
+            ));
+        }
+        AckFate::Deliver
+    }
+
+    /// Whether `node` is frozen at instruction time `step`.
+    pub fn frozen(&self, node: usize, step: u64) -> bool {
+        self.freezes
+            .iter()
+            .any(|fz| fz.node == node && fz.from <= step && step < fz.until)
+    }
+
+    /// Parse a command-line fault specification: comma-separated
+    /// `key=value` pairs.
+    ///
+    /// ```text
+    /// seed=42,drop_ack=0.001,delay_result=0.05:4,freeze=7@100..200
+    /// ```
+    ///
+    /// Keys: `seed`, `drop_result`, `dup_result`, `drop_ack` (probability),
+    /// `delay_result`, `delay_ack` (`probability[:max_extra]`),
+    /// `freeze` (`node@from..until`, repeatable),
+    /// `link` (`stage.port@from..until`, repeatable).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec '{part}': expected key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("fault spec '{part}': bad probability '{v}'"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("fault spec '{part}': probability {p} outside [0, 1]"));
+                }
+                Ok(p)
+            };
+            let prob_max = |v: &str| -> Result<(f64, Option<u64>), String> {
+                match v.split_once(':') {
+                    None => Ok((prob(v)?, None)),
+                    Some((p, m)) => {
+                        let max = m
+                            .parse::<u64>()
+                            .map_err(|_| format!("fault spec '{part}': bad max delay '{m}'"))?;
+                        if max == 0 {
+                            return Err(format!("fault spec '{part}': max delay must be ≥ 1"));
+                        }
+                        Ok((prob(p)?, Some(max)))
+                    }
+                }
+            };
+            let window = |v: &str| -> Result<(u64, std::ops::Range<u64>), String> {
+                let (id, range) = v
+                    .split_once('@')
+                    .ok_or_else(|| format!("fault spec '{part}': expected id@from..until"))?;
+                let (from, until) = range
+                    .split_once("..")
+                    .ok_or_else(|| format!("fault spec '{part}': expected from..until"))?;
+                let id = id
+                    .parse()
+                    .map_err(|_| format!("fault spec '{part}': bad id '{id}'"))?;
+                let from: u64 = from
+                    .parse()
+                    .map_err(|_| format!("fault spec '{part}': bad start '{from}'"))?;
+                let until: u64 = until
+                    .parse()
+                    .map_err(|_| format!("fault spec '{part}': bad end '{until}'"))?;
+                if from >= until {
+                    return Err(format!("fault spec '{part}': empty window {from}..{until}"));
+                }
+                Ok((id, from..until))
+            };
+            match key {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| format!("fault spec '{part}': bad seed '{value}'"))?;
+                }
+                "drop_result" => plan.drop_result = prob(value)?,
+                "dup_result" => plan.dup_result = prob(value)?,
+                "drop_ack" => plan.drop_ack = prob(value)?,
+                "delay_result" => {
+                    let (p, max) = prob_max(value)?;
+                    plan.delay_result = p;
+                    if let Some(m) = max {
+                        plan.delay_result_max = m;
+                    }
+                }
+                "delay_ack" => {
+                    let (p, max) = prob_max(value)?;
+                    plan.delay_ack = p;
+                    if let Some(m) = max {
+                        plan.delay_ack_max = m;
+                    }
+                }
+                "freeze" => {
+                    let (node, w) = window(value)?;
+                    plan.freezes.push(CellFreeze {
+                        node: node as usize,
+                        from: w.start,
+                        until: w.end,
+                    });
+                }
+                "link" => {
+                    // stage.port@from..until
+                    let (addr, rest) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("fault spec '{part}': expected stage.port@from..until"))?;
+                    let (stage, port) = addr
+                        .split_once('.')
+                        .ok_or_else(|| format!("fault spec '{part}': expected stage.port"))?;
+                    let (_, w) = window(&format!("0@{rest}"))?;
+                    plan.link_faults.push(LinkFault {
+                        stage: stage
+                            .parse()
+                            .map_err(|_| format!("fault spec '{part}': bad stage '{stage}'"))?,
+                        port: port
+                            .parse()
+                            .map_err(|_| format!("fault spec '{part}': bad port '{port}'"))?,
+                        from: w.start,
+                        until: w.end,
+                    });
+                }
+                other => return Err(format!("fault spec: unknown key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        for arc in 0..16 {
+            for step in 0..64 {
+                assert_eq!(plan.result_fate(arc, step), ResultFate::Deliver);
+                assert_eq!(plan.ack_fate(arc, step), AckFate::Deliver);
+            }
+        }
+        assert!(!plan.frozen(0, 0));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_position_keyed() {
+        let plan = FaultPlan { seed: 7, drop_result: 0.3, ..Default::default() };
+        let a: Vec<ResultFate> = (0..200).map(|t| plan.result_fate(3, t)).collect();
+        let b: Vec<ResultFate> = (0..200).map(|t| plan.result_fate(3, t)).collect();
+        assert_eq!(a, b, "same position → same fate");
+        let dropped = a.iter().filter(|f| **f == ResultFate::Drop).count();
+        assert!((30..=90).contains(&dropped), "≈30% of 200 dropped, got {dropped}");
+        // A different arc sees a different (but equally deterministic) pattern.
+        let c: Vec<ResultFate> = (0..200).map(|t| plan.result_fate(4, t)).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn delay_amounts_bounded() {
+        let plan = FaultPlan {
+            seed: 1,
+            delay_result: 1.0,
+            delay_result_max: 3,
+            ..Default::default()
+        };
+        for t in 0..100 {
+            match plan.result_fate(0, t) {
+                ResultFate::Delay(d) => assert!((1..=3).contains(&d), "delay {d}"),
+                f => panic!("expected delay, got {f:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn freeze_windows() {
+        let plan = FaultPlan {
+            freezes: vec![CellFreeze { node: 2, from: 10, until: 20 }],
+            ..Default::default()
+        };
+        assert!(!plan.frozen(2, 9));
+        assert!(plan.frozen(2, 10));
+        assert!(plan.frozen(2, 19));
+        assert!(!plan.frozen(2, 20));
+        assert!(!plan.frozen(3, 15));
+    }
+
+    #[test]
+    fn parses_full_spec() {
+        let plan = FaultPlan::parse(
+            "seed=42,drop_result=0.01,dup_result=0.02,delay_result=0.05:7,drop_ack=0.003,delay_ack=0.04:2,freeze=7@100..200,link=1.3@50..60",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.drop_result, 0.01);
+        assert_eq!(plan.dup_result, 0.02);
+        assert_eq!(plan.delay_result, 0.05);
+        assert_eq!(plan.delay_result_max, 7);
+        assert_eq!(plan.drop_ack, 0.003);
+        assert_eq!(plan.delay_ack, 0.04);
+        assert_eq!(plan.delay_ack_max, 2);
+        assert_eq!(plan.freezes, vec![CellFreeze { node: 7, from: 100, until: 200 }]);
+        assert_eq!(plan.link_faults, vec![LinkFault { stage: 1, port: 3, from: 50, until: 60 }]);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "drop_result=1.5",
+            "nonsense=1",
+            "freeze=7",
+            "freeze=7@9..3",
+            "delay_ack=0.1:0",
+            "drop_result",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad}");
+        }
+    }
+}

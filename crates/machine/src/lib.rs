@@ -18,15 +18,21 @@
 
 pub mod arch;
 pub mod closedloop;
+pub mod error;
+pub mod fault;
 pub mod network;
 pub mod sim;
 pub mod trace;
+pub mod watchdog;
 
 pub use arch::{MachineConfig, Placement};
 pub use closedloop::{run_closed_loop, ClosedLoopOptions, ClosedLoopResult};
+pub use error::{MachineError, SimError};
+pub use fault::{CellFreeze, FaultPlan, LinkFault};
 pub use network::{OmegaNetwork, Packet};
 pub use trace::{chrome_trace, occupancy_chart};
 pub use sim::{
     run_program, steady_interval_of, steady_rate_of, ArcDelays, ProgramInputs, ResourceModel,
-    RunResult, SimError, SimOptions, Simulator, StopReason,
+    RunResult, SimOptions, Simulator, StopReason,
 };
+pub use watchdog::{BlockedCell, HeldArc, StallKind, StallReport, WatchdogConfig};

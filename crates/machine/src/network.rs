@@ -19,6 +19,8 @@
 
 use std::collections::VecDeque;
 
+use crate::fault::LinkFault;
+
 /// A packet in flight through the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet {
@@ -40,6 +42,12 @@ pub struct OmegaNetwork {
     now: u64,
     delivered: Vec<(u64, Packet)>,
     dropped_injections: u64,
+    /// Link-down windows (fault injection): while a window is active the
+    /// named router output forwards nothing, so packets stall in place
+    /// and backpressure propagates — the network loses no packets.
+    link_faults: Vec<LinkFault>,
+    /// Forwarding opportunities refused because the link was down.
+    link_stall_cycles: u64,
 }
 
 impl OmegaNetwork {
@@ -66,7 +74,43 @@ impl OmegaNetwork {
             now: 0,
             delivered: Vec::new(),
             dropped_injections: 0,
+            link_faults: Vec::new(),
+            link_stall_cycles: 0,
         }
+    }
+
+    /// Take the router output at `(stage, port)` down for cycles
+    /// `from..until` (`port` is the global line number leaving the stage,
+    /// `0..ports`). A downed link stalls its packets in place — nothing
+    /// is lost, but backpressure spreads upstream. Returns `Err` if the
+    /// address is outside the network.
+    pub fn fail_link(
+        &mut self,
+        stage: usize,
+        port: usize,
+        from: u64,
+        until: u64,
+    ) -> Result<(), String> {
+        if stage >= self.k as usize {
+            return Err(format!("link fault stage {stage} >= {} stages", self.k));
+        }
+        if port >= self.ports() {
+            return Err(format!("link fault port {port} >= {} ports", self.ports()));
+        }
+        self.link_faults.push(LinkFault { stage, port, from, until });
+        Ok(())
+    }
+
+    /// Cycles in which a packet was ready to advance but its link was
+    /// down.
+    pub fn link_stall_cycles(&self) -> u64 {
+        self.link_stall_cycles
+    }
+
+    fn link_down(&self, stage: usize, port: usize) -> bool {
+        self.link_faults
+            .iter()
+            .any(|lf| lf.stage == stage && lf.port == port && lf.from <= self.now && self.now < lf.until)
     }
 
     /// Number of ports.
@@ -92,6 +136,13 @@ impl OmegaNetwork {
     /// Injections refused because the first-stage queue was full.
     pub fn dropped_injections(&self) -> u64 {
         self.dropped_injections
+    }
+
+    /// Whether no packet is anywhere in the network.
+    pub fn is_empty(&self) -> bool {
+        self.queues
+            .iter()
+            .all(|stage| stage.iter().all(|r| r[0].is_empty() && r[1].is_empty()))
     }
 
     /// The perfect shuffle: which (router, port) of stage `s+1` receives
@@ -140,6 +191,11 @@ impl OmegaNetwork {
                         }
                     }
                     let Some(side) = chosen else { continue };
+                    if self.link_down(s, 2 * r + out) {
+                        // Downed link: the packet waits in place.
+                        self.link_stall_cycles += 1;
+                        continue;
+                    }
                     // Space downstream?
                     let (nr, nside) = if s + 1 == k {
                         // Delivery row: infinite sink.
@@ -316,6 +372,23 @@ mod tests {
             .collect();
         assert!(!seqs.is_empty());
         assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+    }
+
+    #[test]
+    fn downed_link_delays_but_never_drops() {
+        let mut net = OmegaNetwork::new(4, 4);
+        net.fail_link(0, 1, 0, 20).unwrap();
+        // Port 1 → dest 3 routes over line 1 out of stage 0.
+        assert!(net.inject(1, Packet { dest: 3, injected_at: 0, seq: 0 }));
+        net.drain(1000);
+        assert_eq!(net.delivered().len(), 1);
+        let (t, p) = net.delivered()[0];
+        assert_eq!(p.dest, 3);
+        assert!(t >= 21, "delivery at {t} must wait out the fault window");
+        assert!(net.link_stall_cycles() >= 19, "{}", net.link_stall_cycles());
+        // Addresses outside the network are rejected.
+        assert!(net.fail_link(9, 0, 0, 1).is_err());
+        assert!(net.fail_link(0, 99, 0, 1).is_err());
     }
 
     #[test]

@@ -28,6 +28,13 @@ use valpipe_ir::opcode::{Opcode, GATE_CTL, GATE_DATA, MERGE_CTL, MERGE_FALSE, ME
 use valpipe_ir::value::{apply_bin, apply_un, Value};
 use valpipe_ir::{ArcId, NodeId};
 
+use crate::error::MachineError;
+pub use crate::error::SimError;
+use crate::fault::{AckFate, FaultPlan, ResultFate};
+use crate::watchdog::{
+    shortest_cycle, BlockedCell, HeldArc, StallKind, StallReport, WatchdogConfig,
+};
+
 /// Input data: for each `Source` port name, the full sequence of packets to
 /// feed (one array per wave, concatenated across waves).
 #[derive(Debug, Clone, Default)]
@@ -122,6 +129,18 @@ pub struct SimOptions {
     /// input (a recurrence with constant coefficients regenerates its
     /// array forever from the control generators alone).
     pub stop_outputs: Option<Vec<(String, usize)>>,
+    /// Optional fault-injection plan. `None` (or an empty plan) leaves
+    /// the simulation bit-identical to the fault-free machine.
+    pub fault_plan: Option<FaultPlan>,
+    /// Optional watchdog: bounds the run with a step budget and detects
+    /// livelock (firings without progress), producing a structured
+    /// [`StallReport`] instead of a bare step-limit stop.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Verify runtime invariants (token conservation, arc capacity,
+    /// acknowledge accounting, gate discard accounting) after every
+    /// step; violations surface as
+    /// [`MachineError::InvariantViolation`].
+    pub check_invariants: bool,
 }
 
 impl Default for SimOptions {
@@ -133,6 +152,9 @@ impl Default for SimOptions {
             resources: None,
             record_fire_times: false,
             stop_outputs: None,
+            fault_plan: None,
+            watchdog: None,
+            check_invariants: false,
         }
     }
 }
@@ -148,51 +170,10 @@ pub enum StopReason {
     /// The requested number of output packets arrived (see
     /// [`SimOptions::stop_outputs`]).
     OutputsReached,
+    /// The watchdog declared the run stalled (livelock or budget
+    /// exhaustion); [`RunResult::stall_report`] says why.
+    Stalled,
 }
-
-/// Hard simulation fault.
-#[derive(Debug, Clone, PartialEq)]
-pub enum SimError {
-    /// An instruction evaluated to a type error / division by zero.
-    Eval {
-        /// Faulting cell.
-        node: usize,
-        /// Cell label.
-        label: String,
-        /// Underlying error.
-        message: String,
-    },
-    /// A control operand was not a boolean packet.
-    NonBoolControl {
-        /// Faulting cell.
-        node: usize,
-        /// Cell label.
-        label: String,
-    },
-    /// A `Source` port has no bound input sequence.
-    MissingInput(String),
-    /// The program contains a symbolic FIFO (call `expand_fifos` first).
-    UnexpandedFifo(usize),
-}
-
-impl std::fmt::Display for SimError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SimError::Eval { node, label, message } => {
-                write!(f, "cell {node} ({label}): {message}")
-            }
-            SimError::NonBoolControl { node, label } => {
-                write!(f, "cell {node} ({label}): non-boolean control packet")
-            }
-            SimError::MissingInput(name) => write!(f, "no input bound for source '{name}'"),
-            SimError::UnexpandedFifo(node) => {
-                write!(f, "cell {node}: symbolic FIFO not lowered (call expand_fifos)")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SimError {}
 
 /// Result of a simulation run.
 #[derive(Debug, Clone)]
@@ -217,10 +198,12 @@ pub struct RunResult {
     pub fu_fires: u64,
     /// Firing times per cell, if requested.
     pub fire_times: Option<Vec<Vec<u64>>>,
-    /// For quiescent runs that did not exhaust their sources: a
-    /// human-readable description of what each blocked cell is waiting
-    /// for (deadlock diagnosis).
-    pub stall_report: Option<String>,
+    /// For runs that stalled (quiescence before the sources drained, a
+    /// watchdog livelock, or an exhausted step budget): a structured
+    /// diagnosis naming the blocked cells, the arcs holding
+    /// unacknowledged tokens, and the wait cycle if one exists. Render
+    /// with `Display` for a human-readable report.
+    pub stall_report: Option<StallReport>,
 }
 
 impl RunResult {
@@ -288,13 +271,28 @@ struct ArcState {
     /// In-flight and deliverable tokens: `(value, ready_at)`.
     queue: VecDeque<(Value, u64)>,
     /// Times at which consumed-token slots become free again (acks).
-    freeing: VecDeque<u64>,
+    /// Kept as an unordered list: injected acknowledge delays break the
+    /// monotonicity a front-pop queue would rely on.
+    freeing: Vec<u64>,
     cap: usize,
+    /// Tokens that entered the arc (queued or lost in transit).
+    sent: u64,
+    /// Tokens consumed off the queue by the destination cell.
+    consumed: u64,
+    /// Consumed-token slots whose acknowledge completed.
+    acked: u64,
+    /// Result packets lost to injected faults. The producer's slot is
+    /// never acknowledged, so each loss permanently occupies capacity —
+    /// the realistic wedge a lost packet causes on this architecture.
+    lost_result: u64,
+    /// Acknowledge packets lost to injected faults; each permanently
+    /// occupies the slot it should have freed.
+    lost_ack: u64,
 }
 
 impl ArcState {
     fn occupied(&self) -> usize {
-        self.queue.len() + self.freeing.len()
+        self.queue.len() + self.freeing.len() + (self.lost_result + self.lost_ack) as usize
     }
     fn peek(&self, now: u64) -> Option<Value> {
         self.queue.front().and_then(|&(v, t)| (t <= now).then_some(v))
@@ -332,6 +330,14 @@ pub struct Simulator<'g> {
     ack_delay: Vec<u64>,
     am_fires: u64,
     fu_fires: u64,
+    /// Normalized fault plan: `None` when no plan was given *or* the
+    /// given plan is empty, so the empty plan shares the exact fault-free
+    /// code path (bit-identical runs).
+    fault: Option<FaultPlan>,
+    /// Per-cell gate pass/discard counts (zero for non-gates); feeds the
+    /// gate-accounting invariant and the stall report.
+    gate_passes: Vec<u64>,
+    gate_discards: Vec<u64>,
 }
 
 impl<'g> Simulator<'g> {
@@ -359,8 +365,18 @@ impl<'g> Simulator<'g> {
         }
         let (fwd_delay, ack_delay) = match &opts.delays {
             Some(d) => {
-                assert_eq!(d.forward.len(), g.arcs.len());
-                assert_eq!(d.ack.len(), g.arcs.len());
+                if d.forward.len() != g.arcs.len() {
+                    return Err(MachineError::DelayTableMismatch {
+                        expected: g.arcs.len(),
+                        got: d.forward.len(),
+                    });
+                }
+                if d.ack.len() != g.arcs.len() {
+                    return Err(MachineError::DelayTableMismatch {
+                        expected: g.arcs.len(),
+                        got: d.ack.len(),
+                    });
+                }
                 (d.forward.clone(), d.ack.clone())
             }
             None => (vec![1; g.arcs.len()], vec![1; g.arcs.len()]),
@@ -371,15 +387,33 @@ impl<'g> Simulator<'g> {
             .map(|e| {
                 let mut st = ArcState {
                     queue: VecDeque::new(),
-                    freeing: VecDeque::new(),
+                    freeing: Vec::new(),
                     cap: opts.arc_capacity,
+                    sent: 0,
+                    consumed: 0,
+                    acked: 0,
+                    lost_result: 0,
+                    lost_ack: 0,
                 };
                 if let Some(v) = e.initial {
                     st.queue.push_back((v, 0));
+                    st.sent += 1;
                 }
                 st
             })
             .collect();
+        if let Some(fz) = opts
+            .fault_plan
+            .iter()
+            .flat_map(|p| p.freezes.iter())
+            .find(|fz| fz.node >= n)
+        {
+            return Err(MachineError::InvalidConfig(format!(
+                "fault plan freezes cell {} but the graph has {} cells",
+                fz.node, n
+            )));
+        }
+        let fault = opts.fault_plan.clone().filter(|p| !p.is_empty());
         let fire_times = opts.record_fire_times.then(|| vec![Vec::new(); n]);
         Ok(Simulator {
             g,
@@ -397,6 +431,9 @@ impl<'g> Simulator<'g> {
             ack_delay,
             am_fires: 0,
             fu_fires: 0,
+            fault,
+            gate_passes: vec![0; n],
+            gate_discards: vec![0; n],
         })
     }
 
@@ -506,7 +543,14 @@ impl<'g> Simulator<'g> {
                 Some(FirePlan::new().emit(Value::Int(v)))
             }
             Opcode::Source(_) => {
-                let data = self.src_data[n.idx()].as_ref().expect("source data bound");
+                let data = self.src_data[n.idx()].as_ref().unwrap_or_else(|| {
+                    panic!(
+                        "cell {} ({}): source data unbound at step {} despite construction check",
+                        n.idx(),
+                        node.label,
+                        self.now
+                    )
+                });
                 if self.src_pos[n.idx()] >= data.len() || !self.outputs_free(n) {
                     return Ok(None);
                 }
@@ -522,35 +566,90 @@ impl<'g> Simulator<'g> {
         Ok(plan)
     }
 
+    /// Launch a result packet onto `a`, consulting the fault plan for
+    /// its fate.
+    fn emit_on(&mut self, a: ArcId, v: Value) {
+        let ready = self.now + self.fwd_delay[a.idx()];
+        let fate = match &self.fault {
+            Some(f) => f.result_fate(a.idx(), self.now),
+            None => ResultFate::Deliver,
+        };
+        let st = &mut self.arcs[a.idx()];
+        st.sent += 1;
+        match fate {
+            ResultFate::Deliver => st.queue.push_back((v, ready)),
+            // A dropped result leaves its slot permanently occupied: the
+            // destination never consumes it, so it is never acknowledged.
+            ResultFate::Drop => st.lost_result += 1,
+            // A delayed packet still holds its place in FIFO order, so a
+            // slow packet blocks the ones behind it (head-of-line).
+            ResultFate::Delay(extra) => st.queue.push_back((v, ready + extra)),
+            ResultFate::Duplicate => {
+                st.queue.push_back((v, ready));
+                // The duplicate is delivered only if the link has a free
+                // slot; capacity is a physical property of the arc and
+                // must hold even under faults.
+                if st.occupied() < st.cap {
+                    st.queue.push_back((v, ready));
+                    st.sent += 1;
+                }
+            }
+        }
+    }
+
     fn fire(&mut self, n: NodeId, plan: FirePlan) {
         let now = self.now;
         for arc in plan.consume {
+            let ack_at = now + self.ack_delay[arc.idx()];
+            let fate = match &self.fault {
+                Some(f) => f.ack_fate(arc.idx(), now),
+                None => AckFate::Deliver,
+            };
             let st = &mut self.arcs[arc.idx()];
             st.queue.pop_front();
-            st.freeing.push_back(now + self.ack_delay[arc.idx()]);
+            st.consumed += 1;
+            match fate {
+                AckFate::Deliver => st.freeing.push(ack_at),
+                AckFate::Delay(extra) => st.freeing.push(ack_at + extra),
+                // A lost acknowledge never frees the producer's slot.
+                AckFate::Drop => st.lost_ack += 1,
+            }
         }
         let node = &self.g.nodes[n.idx()];
+        if matches!(node.op, Opcode::TGate | Opcode::FGate) {
+            if plan.emit.is_some() {
+                self.gate_passes[n.idx()] += 1;
+            } else {
+                self.gate_discards[n.idx()] += 1;
+            }
+        }
         if let Some(v) = plan.emit {
             match &node.op {
                 Opcode::Sink(name) => {
-                    self.outputs.get_mut(name).unwrap().push((now, v));
+                    let sink = self.outputs.get_mut(name).unwrap_or_else(|| {
+                        panic!("cell {} ({name}): sink port vanished at step {now}", n.idx())
+                    });
+                    sink.push((now, v));
                 }
                 Opcode::Source(name) => {
                     self.src_pos[n.idx()] += 1;
-                    self.source_emit_times.get_mut(name).unwrap().push(now);
+                    let times = self.source_emit_times.get_mut(name).unwrap_or_else(|| {
+                        panic!("cell {} ({name}): source port vanished at step {now}", n.idx())
+                    });
+                    times.push(now);
                     for &a in &node.outputs {
-                        self.arcs[a.idx()].queue.push_back((v, now + self.fwd_delay[a.idx()]));
+                        self.emit_on(a, v);
                     }
                 }
                 Opcode::CtlGen(_) | Opcode::IdxGen { .. } => {
                     self.ctl_pos[n.idx()] += 1;
                     for &a in &node.outputs {
-                        self.arcs[a.idx()].queue.push_back((v, now + self.fwd_delay[a.idx()]));
+                        self.emit_on(a, v);
                     }
                 }
                 _ => {
                     for &a in &node.outputs {
-                        self.arcs[a.idx()].queue.push_back((v, now + self.fwd_delay[a.idx()]));
+                        self.emit_on(a, v);
                     }
                 }
             }
@@ -569,15 +668,23 @@ impl<'g> Simulator<'g> {
 
     /// Advance one instruction time. Returns how many cells fired.
     pub fn step(&mut self) -> Result<usize, SimError> {
-        // Release acknowledged slots.
+        // Release acknowledged slots. The list is unordered (injected
+        // acknowledge delays can overtake each other), so filter rather
+        // than front-pop.
+        let now = self.now;
         for st in &mut self.arcs {
-            while st.freeing.front().is_some_and(|&t| t <= self.now) {
-                st.freeing.pop_front();
-            }
+            let before = st.freeing.len();
+            st.freeing.retain(|&t| t > now);
+            st.acked += (before - st.freeing.len()) as u64;
         }
         // Snapshot-enabled cells.
         let mut plans: Vec<(NodeId, FirePlan)> = Vec::new();
         for n in self.g.node_ids() {
+            if let Some(f) = &self.fault {
+                if f.frozen(n.idx(), now) {
+                    continue;
+                }
+            }
             if let Some(p) = self.plan(n)? {
                 plans.push((n, p));
             }
@@ -612,31 +719,97 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    /// Run to quiescence, the step limit, or the output-count target;
-    /// consumes the simulator.
+    /// Packets that have visibly moved through the machine: source
+    /// emissions plus sink arrivals. The watchdog's livelock detector
+    /// watches this count.
+    fn progress_count(&self) -> u64 {
+        let outs: usize = self.outputs.values().map(|v| v.len()).sum();
+        let srcs: usize = self.src_pos.iter().sum();
+        (outs + srcs) as u64
+    }
+
+    /// Run to quiescence, the step limit, the output-count target, or a
+    /// watchdog stall; consumes the simulator.
     pub fn run(mut self) -> Result<RunResult, SimError> {
+        let wd = self.opts.watchdog;
+        let step_limit = match wd {
+            Some(w) => self.opts.max_steps.min(w.step_budget),
+            None => self.opts.max_steps,
+        };
+        // Injected delays and freeze windows extend how long a token can
+        // legitimately stay in flight; widen the quiescence test to match.
+        let (delay_slack, freeze_end) = match &self.fault {
+            Some(f) => {
+                let mut slack = 0u64;
+                if f.delay_result > 0.0 {
+                    slack = slack.max(f.delay_result_max);
+                }
+                if f.delay_ack > 0.0 {
+                    slack = slack.max(f.delay_ack_max);
+                }
+                (slack, f.freezes.iter().map(|z| z.until).max().unwrap_or(0))
+            }
+            None => (0, 0),
+        };
+        let max_lat = self
+            .fwd_delay
+            .iter()
+            .chain(self.ack_delay.iter())
+            .copied()
+            .max()
+            .unwrap_or(1)
+            + delay_slack;
         let mut stop = StopReason::Quiescent;
+        let mut stall_kind: Option<StallKind> = None;
         let mut idle = 0u64;
-        while self.now < self.opts.max_steps {
+        let mut last_progress = self.progress_count();
+        let mut last_progress_step = 0u64;
+        let mut fires_since_progress = 0u64;
+        while self.now < step_limit {
             let fired = self.step()?;
+            if self.opts.check_invariants {
+                self.check_invariants()?;
+            }
             if fired > 0 && self.outputs_reached() {
                 stop = StopReason::OutputsReached;
                 break;
             }
+            let progress = self.progress_count();
+            if progress != last_progress {
+                last_progress = progress;
+                last_progress_step = self.now;
+                fires_since_progress = 0;
+            } else {
+                fires_since_progress += fired as u64;
+            }
+            if let Some(w) = wd {
+                if fires_since_progress > 0 && self.now - last_progress_step >= w.progress_window {
+                    stop = StopReason::Stalled;
+                    stall_kind = Some(StallKind::Livelock);
+                    break;
+                }
+            }
             if fired == 0 {
                 // Tokens may still be in flight (delay > 1); quiesce only
-                // after the longest latency passes without any firing.
+                // after the longest latency passes without any firing —
+                // counted strictly after the last freeze window ends, or a
+                // thawing cell would be declared dead at the instant it
+                // wakes.
                 idle += 1;
-                let max_lat = self.fwd_delay.iter().chain(self.ack_delay.iter()).copied().max().unwrap_or(1);
-                if idle > max_lat {
+                if idle > max_lat && self.now > freeze_end + max_lat {
                     break;
                 }
             } else {
                 idle = 0;
             }
         }
-        if stop == StopReason::Quiescent && self.now >= self.opts.max_steps {
-            stop = StopReason::MaxSteps;
+        if stop == StopReason::Quiescent && self.now >= step_limit {
+            if wd.is_some() {
+                stop = StopReason::Stalled;
+                stall_kind = Some(StallKind::BudgetExhausted);
+            } else {
+                stop = StopReason::MaxSteps;
+            }
         }
         let sources_exhausted = self
             .g
@@ -645,9 +818,38 @@ impl<'g> Simulator<'g> {
                 Some(d) => self.src_pos[n.idx()] >= d.len(),
                 None => true,
             });
+        if stop == StopReason::Quiescent && !sources_exhausted {
+            stall_kind = Some(StallKind::Deadlock);
+        }
+        if self.opts.check_invariants {
+            // Complete any in-flight acknowledges before the final audit.
+            let now = self.now;
+            for st in &mut self.arcs {
+                let before = st.freeing.len();
+                st.freeing.retain(|&t| t > now);
+                st.acked += (before - st.freeing.len()) as u64;
+            }
+            self.check_invariants()?;
+            if stop == StopReason::Quiescent && sources_exhausted && self.fault.is_none() {
+                // A cleanly completed fault-free run must have settled
+                // every acknowledge.
+                for (i, st) in self.arcs.iter().enumerate() {
+                    if !st.freeing.is_empty() || st.lost_result != 0 || st.lost_ack != 0 {
+                        return Err(MachineError::InvariantViolation {
+                            step: self.now,
+                            detail: format!(
+                                "completed run left arc {i} with {} unsettled acknowledge slot(s)",
+                                st.freeing.len()
+                                    + (st.lost_result + st.lost_ack) as usize
+                            ),
+                        });
+                    }
+                }
+            }
+        }
         let total_fires = self.fires.iter().sum();
-        let stall_report = (stop == StopReason::Quiescent && !sources_exhausted)
-            .then(|| self.diagnose_stall());
+        let stall_report =
+            stall_kind.map(|kind| self.build_stall_report(kind, fires_since_progress));
         Ok(RunResult {
             steps: self.now,
             stop,
@@ -663,12 +865,18 @@ impl<'g> Simulator<'g> {
         })
     }
 
-    /// Describe why each non-generator cell with pending work cannot fire.
-    fn diagnose_stall(&self) -> String {
-        let mut out = String::new();
+    /// Diagnose a stalled machine: which cells hold pending work they
+    /// cannot complete, which arcs still hold tokens or unfreed slots,
+    /// and the shortest circular wait, if any.
+    fn build_stall_report(&self, kind: StallKind, fires_in_window: u64) -> StallReport {
+        let n_cells = self.g.nodes.len();
+        let mut blocked_cells = Vec::new();
+        // Wait-for graph: cell -> cells it is waiting on (the producer of
+        // a missing operand, or the consumer that has not acknowledged a
+        // full output arc).
+        let mut waits: Vec<Vec<usize>> = vec![Vec::new(); n_cells];
         for n in self.g.node_ids() {
             let node = &self.g.nodes[n.idx()];
-            // Cells with some input available but unable to fire.
             let mut missing = Vec::new();
             let mut has_ready = false;
             for (port, b) in node.inputs.iter().enumerate() {
@@ -678,38 +886,126 @@ impl<'g> Simulator<'g> {
                             has_ready = true;
                         } else {
                             missing.push(port);
+                            waits[n.idx()].push(self.g.arcs[a.idx()].src.idx());
                         }
                     }
                     PortBinding::Lit(_) => {}
                     PortBinding::Unbound => missing.push(port),
                 }
             }
-            let outputs_blocked = !node.outputs.is_empty()
-                && node
-                    .outputs
-                    .iter()
-                    .any(|a| self.arcs[a.idx()].occupied() >= self.arcs[a.idx()].cap);
-            if has_ready && (!missing.is_empty() || outputs_blocked) {
-                use std::fmt::Write;
-                let _ = write!(
-                    out,
-                    "cell {} ({}) blocked:",
-                    n.idx(),
-                    node.label
-                );
-                if !missing.is_empty() {
-                    let _ = write!(out, " waiting on port(s) {missing:?}");
-                }
-                if outputs_blocked {
-                    let _ = write!(out, " output arc full (consumer never acknowledged)");
-                }
-                out.push('\n');
+            let full_output_arcs: Vec<usize> = node
+                .outputs
+                .iter()
+                .filter(|a| self.arcs[a.idx()].occupied() >= self.arcs[a.idx()].cap)
+                .map(|a| a.idx())
+                .collect();
+            for &a in &full_output_arcs {
+                waits[n.idx()].push(self.g.arcs[a].dst.idx());
+            }
+            if has_ready && (!missing.is_empty() || !full_output_arcs.is_empty()) {
+                blocked_cells.push(BlockedCell {
+                    node: n.idx(),
+                    label: node.label.clone(),
+                    opcode: format!("{:?}", node.op),
+                    missing_ports: missing,
+                    full_output_arcs,
+                });
             }
         }
-        if out.is_empty() {
-            out = "no cell holds partial inputs; sources were never drained".into();
+        for w in &mut waits {
+            w.sort_unstable();
+            w.dedup();
         }
-        out
+        let held_arcs = self
+            .g
+            .arcs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| {
+                let st = &self.arcs[i];
+                (st.occupied() > 0).then(|| HeldArc {
+                    arc: i,
+                    src: e.src.idx(),
+                    dst: e.dst.idx(),
+                    tokens: st.queue.len(),
+                    unacked: st.freeing.len() + (st.lost_result + st.lost_ack) as usize,
+                })
+            })
+            .collect();
+        StallReport {
+            step: self.now,
+            kind,
+            blocked_cells,
+            held_arcs,
+            cycle: shortest_cycle(&waits),
+            fires_in_window,
+        }
+    }
+
+    /// Verify the machine's conservation invariants. Called after every
+    /// step when [`SimOptions::check_invariants`] is set; these hold by
+    /// construction today and exist to catch future regressions in the
+    /// firing rules.
+    fn check_invariants(&self) -> Result<(), SimError> {
+        let step = self.now;
+        for (i, st) in self.arcs.iter().enumerate() {
+            let e = &self.g.arcs[i];
+            let loc = format!("arc {i} (cell {} -> cell {})", e.src.idx(), e.dst.idx());
+            if st.occupied() > st.cap {
+                return Err(MachineError::InvariantViolation {
+                    step,
+                    detail: format!(
+                        "{loc} holds {} token slot(s), capacity {}",
+                        st.occupied(),
+                        st.cap
+                    ),
+                });
+            }
+            if st.sent != st.queue.len() as u64 + st.consumed + st.lost_result {
+                return Err(MachineError::InvariantViolation {
+                    step,
+                    detail: format!(
+                        "token conservation broken on {loc}: sent {} != queued {} + consumed {} + lost {}",
+                        st.sent,
+                        st.queue.len(),
+                        st.consumed,
+                        st.lost_result
+                    ),
+                });
+            }
+            if st.consumed != st.acked + st.freeing.len() as u64 + st.lost_ack {
+                return Err(MachineError::InvariantViolation {
+                    step,
+                    detail: format!(
+                        "acknowledge conservation broken on {loc}: consumed {} != acked {} + pending {} + lost {}",
+                        st.consumed,
+                        st.acked,
+                        st.freeing.len(),
+                        st.lost_ack
+                    ),
+                });
+            }
+        }
+        for n in self.g.node_ids() {
+            let node = &self.g.nodes[n.idx()];
+            if matches!(node.op, Opcode::TGate | Opcode::FGate) {
+                let (p, d) = (self.gate_passes[n.idx()], self.gate_discards[n.idx()]);
+                if p + d != self.fires[n.idx()] {
+                    return Err(MachineError::InvariantViolation {
+                        step,
+                        detail: format!(
+                            "gate accounting broken on cell {} ({}): {} firings != {} passes + {} discards",
+                            n.idx(),
+                            node.label,
+                            self.fires[n.idx()],
+                            p,
+                            d
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 

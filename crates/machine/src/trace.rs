@@ -104,8 +104,8 @@ mod tests {
     fn chrome_trace_is_valid_json_with_all_events() {
         let (g, r) = traced_run();
         let json = chrome_trace(&g, &r).unwrap();
-        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
-        let events = parsed.as_array().unwrap();
+        let parsed = valpipe_util::Json::parse(&json).expect("valid JSON");
+        let events = parsed.as_arr().unwrap();
         // 3 metadata rows + one slice per firing.
         let fires: u64 = r.fires.iter().sum();
         assert_eq!(events.len() as u64, 3 + fires);

@@ -1,0 +1,251 @@
+//! Watchdog and deadlock diagnosis for simulation runs.
+//!
+//! The static architecture has a classic failure mode: because every
+//! result must be acknowledged before its producer can fire again, one
+//! lost acknowledge (or an unbalanced conditional missing its FIFO)
+//! wedges an arc, the wedge propagates backwards through the
+//! acknowledge chain, and the whole pipe quietly stops. A raw "hit the
+//! step limit" tells the user nothing. The watchdog turns that into a
+//! [`StallReport`] naming the blocked cells, the arcs still holding
+//! unacknowledged tokens, and — when one exists — the shortest cycle in
+//! the wait-for graph, which is the smallest set of cells that are all
+//! waiting on each other.
+//!
+//! Three stall kinds are distinguished:
+//!
+//! * [`StallKind::Deadlock`] — no cell can ever fire again, but the
+//!   sources still hold undelivered packets;
+//! * [`StallKind::Livelock`] — cells keep firing (generators spinning,
+//!   gates discarding) but no packet has reached a sink and no source
+//!   has advanced for a full progress window;
+//! * [`StallKind::BudgetExhausted`] — the configured step budget ran
+//!   out before the run completed or visibly stalled.
+
+use std::fmt;
+
+/// Watchdog configuration (see `SimOptions::watchdog`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Hard step budget: the run is declared stalled (kind
+    /// [`StallKind::BudgetExhausted`]) when this many instruction times
+    /// elapse, even if cells are still firing.
+    pub step_budget: u64,
+    /// Livelock window: if cells fire for this many consecutive
+    /// instruction times without any source emission or sink arrival,
+    /// the run is declared stalled (kind [`StallKind::Livelock`]).
+    pub progress_window: u64,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig {
+            step_budget: 1_000_000,
+            progress_window: 10_000,
+        }
+    }
+}
+
+/// How the run stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallKind {
+    /// No cell can ever fire again but sources are not exhausted.
+    Deadlock,
+    /// Cells fire but nothing reaches a sink and no source advances.
+    Livelock,
+    /// The step budget elapsed first.
+    BudgetExhausted,
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StallKind::Deadlock => write!(f, "deadlock"),
+            StallKind::Livelock => write!(f, "livelock"),
+            StallKind::BudgetExhausted => write!(f, "step budget exhausted"),
+        }
+    }
+}
+
+/// A cell that holds at least one ready operand but cannot fire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedCell {
+    /// Cell index.
+    pub node: usize,
+    /// Cell label.
+    pub label: String,
+    /// Opcode (rendered), so the report reads without the graph at hand.
+    pub opcode: String,
+    /// Input ports with no deliverable token.
+    pub missing_ports: Vec<usize>,
+    /// Output arcs that are full (the consumer never acknowledged).
+    pub full_output_arcs: Vec<usize>,
+}
+
+/// An arc still occupied when the run stalled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeldArc {
+    /// Arc index.
+    pub arc: usize,
+    /// Producer cell.
+    pub src: usize,
+    /// Consumer cell.
+    pub dst: usize,
+    /// Data tokens queued on the arc.
+    pub tokens: usize,
+    /// Slots consumed but never freed: in-flight acknowledges plus
+    /// packets lost to injected faults.
+    pub unacked: usize,
+}
+
+/// Structured diagnosis of a stalled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallReport {
+    /// Instruction time at which the stall was declared.
+    pub step: u64,
+    /// Stall classification.
+    pub kind: StallKind,
+    /// Cells with pending work that cannot fire, in cell order.
+    pub blocked_cells: Vec<BlockedCell>,
+    /// Arcs still holding tokens or unfreed slots.
+    pub held_arcs: Vec<HeldArc>,
+    /// Shortest cycle in the wait-for graph (cell indices, each waiting
+    /// on the next, last waits on first), if the stall is circular.
+    pub cycle: Option<Vec<usize>>,
+    /// Firings observed in the final progress window (0 for a true
+    /// deadlock, positive for a livelock).
+    pub fires_in_window: u64,
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} at step {} ({} firings in final window)",
+            self.kind, self.step, self.fires_in_window
+        )?;
+        for c in &self.blocked_cells {
+            write!(f, "cell {} ({}, {}) blocked:", c.node, c.label, c.opcode)?;
+            if !c.missing_ports.is_empty() {
+                write!(f, " waiting on port(s) {:?}", c.missing_ports)?;
+            }
+            if !c.full_output_arcs.is_empty() {
+                write!(
+                    f,
+                    " output arc(s) {:?} full (consumer never acknowledged)",
+                    c.full_output_arcs
+                )?;
+            }
+            writeln!(f)?;
+        }
+        if self.blocked_cells.is_empty() {
+            writeln!(f, "no cell holds partial inputs; sources were never drained")?;
+        }
+        for a in &self.held_arcs {
+            writeln!(
+                f,
+                "arc {} (cell {} -> cell {}): {} token(s) queued, {} slot(s) unacknowledged",
+                a.arc, a.src, a.dst, a.tokens, a.unacked
+            )?;
+        }
+        if let Some(cycle) = &self.cycle {
+            let path: Vec<String> = cycle.iter().map(|n| n.to_string()).collect();
+            writeln!(f, "wait cycle: {} -> {}", path.join(" -> "), cycle[0])?;
+        }
+        Ok(())
+    }
+}
+
+/// Shortest cycle in a directed graph given as adjacency lists. Returns
+/// the cycle's vertices in order (each waits on the next). Used on the
+/// wait-for graph of a stalled machine; BFS from every vertex is fine at
+/// program-graph sizes.
+pub fn shortest_cycle(adj: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = adj.len();
+    let mut best: Option<Vec<usize>> = None;
+    for start in 0..n {
+        // BFS for the shortest path back to `start`.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        let mut seen = vec![false; n];
+        let mut q = std::collections::VecDeque::new();
+        seen[start] = true;
+        q.push_back(start);
+        'bfs: while let Some(u) = q.pop_front() {
+            for &v in &adj[u] {
+                if v == start {
+                    // Reconstruct start -> ... -> u, which closes at start.
+                    let mut path = vec![u];
+                    let mut cur = u;
+                    while let Some(p) = parent[cur] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    if cur != start {
+                        path.push(start);
+                    }
+                    path.reverse();
+                    if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+                        best = Some(path);
+                    }
+                    break 'bfs;
+                }
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        if best.as_ref().is_some_and(|b| b.len() == 1) {
+            break; // cannot beat a self-loop
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_shortest_cycle() {
+        // 0 -> 1 -> 2 -> 0 and 1 -> 3 -> 1 (shorter).
+        let adj = vec![vec![1], vec![2, 3], vec![0], vec![1]];
+        let cycle = shortest_cycle(&adj).unwrap();
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&1) && cycle.contains(&3), "{cycle:?}");
+    }
+
+    #[test]
+    fn no_cycle_in_dag() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        assert_eq!(shortest_cycle(&adj), None);
+    }
+
+    #[test]
+    fn self_loop() {
+        let adj = vec![vec![], vec![1]];
+        assert_eq!(shortest_cycle(&adj), Some(vec![1]));
+    }
+
+    #[test]
+    fn report_display_names_blocked_cells() {
+        let report = StallReport {
+            step: 120,
+            kind: StallKind::Deadlock,
+            blocked_cells: vec![BlockedCell {
+                node: 3,
+                label: "join".into(),
+                opcode: "Bin(Add)".into(),
+                missing_ports: vec![1],
+                full_output_arcs: vec![],
+            }],
+            held_arcs: vec![HeldArc { arc: 2, src: 1, dst: 3, tokens: 1, unacked: 0 }],
+            cycle: None,
+            fires_in_window: 0,
+        };
+        let text = report.to_string();
+        assert!(text.contains("deadlock at step 120"));
+        assert!(text.contains("cell 3 (join, Bin(Add)) blocked: waiting on port(s) [1]"));
+        assert!(text.contains("arc 2 (cell 1 -> cell 3)"));
+    }
+}

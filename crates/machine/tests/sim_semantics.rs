@@ -239,8 +239,16 @@ fn stall_report_names_the_blocked_join() {
     .unwrap();
     assert!(!r.sources_exhausted);
     let report = r.stall_report.expect("stalled run must carry a report");
-    assert!(report.contains("the_join"), "{report}");
-    assert!(report.contains("port(s) [1]"), "{report}");
+    assert_eq!(report.kind, valpipe_machine::StallKind::Deadlock);
+    let join = report
+        .blocked_cells
+        .iter()
+        .find(|c| c.label == "the_join")
+        .expect("report must name the blocked join");
+    assert_eq!(join.missing_ports, vec![1]);
+    let text = report.to_string();
+    assert!(text.contains("the_join"), "{text}");
+    assert!(text.contains("port(s) [1]"), "{text}");
 }
 
 #[test]

@@ -1,0 +1,25 @@
+//! # valpipe-util — zero-dependency workspace utilities
+//!
+//! The build environment for this repository has **no registry access**, so
+//! the workspace carries no external crates at all. This crate supplies the
+//! two pieces of infrastructure the rest of the workspace would otherwise
+//! pull from crates.io:
+//!
+//! * [`rng`] — a small, fast, deterministic PRNG (SplitMix64) used by the
+//!   fault-injection engine, the randomized property tests, and the
+//!   random-DAG experiment generators. Determinism is load-bearing: a
+//!   `FaultPlan` seeded with the same value must perturb exactly the same
+//!   packets on every run.
+//! * [`json`] — a minimal JSON value type with a parser and printer, used
+//!   for the on-disk machine-code format ([`Graph::to_json`]) and the
+//!   experiment/trace JSON emitters.
+//!
+//! [`Graph::to_json`]: https://docs.rs/valpipe-ir
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod rng;
+
+pub use json::{Json, JsonError};
+pub use rng::{hash_mix, Rng};

@@ -1,0 +1,166 @@
+//! Deterministic pseudo-random numbers (SplitMix64).
+//!
+//! SplitMix64 passes BigCrush for the purposes we need (test-case
+//! generation, fault sampling, synthetic traffic) and its entire state is
+//! one `u64`, which makes seeding and forking trivial. It is **not** a
+//! cryptographic generator and is not meant to be.
+
+/// One SplitMix64 mixing round: maps any 64-bit input to a well-scrambled
+/// 64-bit output. Also usable as a standalone hash finalizer.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Mix an arbitrary sequence of words into one scrambled word. Used to
+/// derive *position-keyed* random values (e.g. "should the packet on arc
+/// `a` at step `t` be dropped?") that do not depend on event ordering.
+pub fn hash_mix(words: &[u64]) -> u64 {
+    let mut acc = 0x6A09E667F3BCC909u64; // fractional bits of sqrt(2)
+    for &w in words {
+        acc = splitmix64(acc ^ w);
+    }
+    splitmix64(acc)
+}
+
+/// A deterministic PRNG with a single `u64` of state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Create a generator from a seed. Equal seeds give equal streams.
+    pub fn seed(seed: u64) -> Self {
+        // Scramble once so that small consecutive seeds (0, 1, 2, …) do
+        // not produce visibly correlated first outputs.
+        Rng { state: splitmix64(seed ^ 0x5851F42D4C957F2D) }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0, "Rng::below(0)");
+        // Multiply-shift bounded sampling (Lemire); the slight modulo bias
+        // of the plain approach is irrelevant here, but this is just as
+        // cheap and unbiased enough for bounds far below 2^64.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)` (half-open). Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::range({lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `i64` in `[lo, hi)` (half-open). Panics if `lo >= hi`.
+    #[inline]
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "Rng::range_i64({lo}, {hi})");
+        lo + ((self.next_u64() as u128 * (hi - lo) as u128) >> 64) as i64
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Fair coin.
+    #[inline]
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Fork an independent generator keyed by `salt`. The child stream is
+    /// uncorrelated with both the parent stream and forks at other salts.
+    pub fn fork(&self, salt: u64) -> Rng {
+        Rng { state: hash_mix(&[self.state, salt]) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed(42);
+        let mut b = Rng::seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = Rng::seed(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.range(3, 13);
+            assert!((3..13).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..1000 {
+            let v = r.range_i64(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_is_calibrated() {
+        let mut r = Rng::seed(99);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let freq = hits as f64 / 100_000.0;
+        assert!((freq - 0.25).abs() < 0.01, "observed {freq}");
+    }
+
+    #[test]
+    fn hash_mix_is_order_sensitive_and_stable() {
+        assert_eq!(hash_mix(&[1, 2, 3]), hash_mix(&[1, 2, 3]));
+        assert_ne!(hash_mix(&[1, 2, 3]), hash_mix(&[3, 2, 1]));
+        assert_ne!(hash_mix(&[0]), hash_mix(&[0, 0]));
+    }
+
+    #[test]
+    fn forks_are_independent() {
+        let base = Rng::seed(5);
+        let mut f1 = base.fork(1);
+        let mut f2 = base.fork(2);
+        let a: Vec<u64> = (0..8).map(|_| f1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| f2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

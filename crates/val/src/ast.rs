@@ -7,12 +7,11 @@
 //! `X[i: E]`, and a small program wrapper declaring compile-time
 //! parameters, input arrays, blocks and outputs.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 pub use valpipe_ir::value::{BinOp, UnOp};
 
 /// Val types in the subset.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Type {
     /// `integer`
     Int,
@@ -56,7 +55,7 @@ impl fmt::Display for Type {
 }
 
 /// A definition `name : type := value` (type optional inside `iter`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Def {
     /// Defined name.
     pub name: String,
@@ -67,7 +66,7 @@ pub struct Def {
 }
 
 /// Expressions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Integer literal.
     IntLit(i64),
@@ -196,7 +195,7 @@ impl Expr {
 }
 
 /// A `forall` block (paper §4, Example 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Forall {
     /// The (first) index variable.
     pub index_var: String,
@@ -212,7 +211,7 @@ pub struct Forall {
 }
 
 /// A `for-iter` block (paper §4, Example 2).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForIter {
     /// Loop-name initializations.
     pub inits: Vec<Def>,
@@ -225,7 +224,7 @@ pub struct ForIter {
 // Forall is larger than ForIter; blocks are few and long-lived, so the
 // size skew is irrelevant and boxing would only complicate matching.
 #[allow(clippy::large_enum_variant)]
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum BlockBody {
     /// `forall … endall`
     Forall(Forall),
@@ -234,7 +233,7 @@ pub enum BlockBody {
 }
 
 /// A top-level block `NAME : type := body`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BlockDecl {
     /// Name of the array value the block produces.
     pub name: String,
@@ -245,7 +244,7 @@ pub struct BlockDecl {
 }
 
 /// An input array declaration `input NAME : array[T] [lo, hi];`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputDecl {
     /// Array name.
     pub name: String,
@@ -258,7 +257,7 @@ pub struct InputDecl {
 }
 
 /// A complete pipe-structured program.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Program {
     /// Compile-time integer parameters (`param m = 100;`), in order.
     pub params: Vec<(String, i64)>,

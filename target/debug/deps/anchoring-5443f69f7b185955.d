@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/anchoring-5443f69f7b185955.d: crates/balance/tests/anchoring.rs
+
+/root/repo/target/debug/deps/anchoring-5443f69f7b185955: crates/balance/tests/anchoring.rs
+
+crates/balance/tests/anchoring.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/anchoring-8c3af4d8ad4c2d33.d: crates/balance/tests/anchoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanchoring-8c3af4d8ad4c2d33.rmeta: crates/balance/tests/anchoring.rs Cargo.toml
+
+crates/balance/tests/anchoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/balance-04e9d324788c4144.d: crates/bench/benches/balance.rs
+
+/root/repo/target/debug/deps/balance-04e9d324788c4144: crates/bench/benches/balance.rs
+
+crates/bench/benches/balance.rs:

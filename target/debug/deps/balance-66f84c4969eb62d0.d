@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/balance-66f84c4969eb62d0.d: crates/bench/benches/balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbalance-66f84c4969eb62d0.rmeta: crates/bench/benches/balance.rs Cargo.toml
+
+crates/bench/benches/balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-0f3d0d9fa69f8711.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-0f3d0d9fa69f8711: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_valpipe=/root/repo/target/debug/valpipe

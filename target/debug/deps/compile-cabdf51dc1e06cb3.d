@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile-cabdf51dc1e06cb3.d: crates/bench/benches/compile.rs
+
+/root/repo/target/debug/deps/compile-cabdf51dc1e06cb3: crates/bench/benches/compile.rs
+
+crates/bench/benches/compile.rs:

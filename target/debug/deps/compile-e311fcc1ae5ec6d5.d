@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile-e311fcc1ae5ec6d5.d: crates/bench/benches/compile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile-e311fcc1ae5ec6d5.rmeta: crates/bench/benches/compile.rs Cargo.toml
+
+crates/bench/benches/compile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ctl_props-adaa31d9468f2626.d: crates/ir/tests/ctl_props.rs
+
+/root/repo/target/debug/deps/ctl_props-adaa31d9468f2626: crates/ir/tests/ctl_props.rs
+
+crates/ir/tests/ctl_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ctl_props-f8d2471af0e8f379.d: crates/ir/tests/ctl_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libctl_props-f8d2471af0e8f379.rmeta: crates/ir/tests/ctl_props.rs Cargo.toml
+
+crates/ir/tests/ctl_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

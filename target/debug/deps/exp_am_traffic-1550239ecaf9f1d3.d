@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_am_traffic-1550239ecaf9f1d3.d: crates/bench/src/bin/exp_am_traffic.rs
+
+/root/repo/target/debug/deps/exp_am_traffic-1550239ecaf9f1d3: crates/bench/src/bin/exp_am_traffic.rs
+
+crates/bench/src/bin/exp_am_traffic.rs:

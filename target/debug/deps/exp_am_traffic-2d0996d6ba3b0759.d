@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_am_traffic-2d0996d6ba3b0759.d: crates/bench/src/bin/exp_am_traffic.rs
+
+/root/repo/target/debug/deps/exp_am_traffic-2d0996d6ba3b0759: crates/bench/src/bin/exp_am_traffic.rs
+
+crates/bench/src/bin/exp_am_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_am_traffic-a59aeee3a5f4291b.d: crates/bench/src/bin/exp_am_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_am_traffic-a59aeee3a5f4291b.rmeta: crates/bench/src/bin/exp_am_traffic.rs Cargo.toml
+
+crates/bench/src/bin/exp_am_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_am_traffic-e59679817fdc8652.d: crates/bench/src/bin/exp_am_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_am_traffic-e59679817fdc8652.rmeta: crates/bench/src/bin/exp_am_traffic.rs Cargo.toml
+
+crates/bench/src/bin/exp_am_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_balance-9738e5edaeb29df6.d: crates/bench/src/bin/exp_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_balance-9738e5edaeb29df6.rmeta: crates/bench/src/bin/exp_balance.rs Cargo.toml
+
+crates/bench/src/bin/exp_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_balance-b9a6e3bb141200ee.d: crates/bench/src/bin/exp_balance.rs
+
+/root/repo/target/debug/deps/exp_balance-b9a6e3bb141200ee: crates/bench/src/bin/exp_balance.rs
+
+crates/bench/src/bin/exp_balance.rs:

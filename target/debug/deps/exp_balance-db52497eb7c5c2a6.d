@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_balance-db52497eb7c5c2a6.d: crates/bench/src/bin/exp_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_balance-db52497eb7c5c2a6.rmeta: crates/bench/src/bin/exp_balance.rs Cargo.toml
+
+crates/bench/src/bin/exp_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

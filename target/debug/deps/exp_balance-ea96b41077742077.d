@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_balance-ea96b41077742077.d: crates/bench/src/bin/exp_balance.rs
+
+/root/repo/target/debug/deps/exp_balance-ea96b41077742077: crates/bench/src/bin/exp_balance.rs
+
+crates/bench/src/bin/exp_balance.rs:

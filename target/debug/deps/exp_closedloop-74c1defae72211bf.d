@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_closedloop-74c1defae72211bf.d: crates/bench/src/bin/exp_closedloop.rs
+
+/root/repo/target/debug/deps/exp_closedloop-74c1defae72211bf: crates/bench/src/bin/exp_closedloop.rs
+
+crates/bench/src/bin/exp_closedloop.rs:

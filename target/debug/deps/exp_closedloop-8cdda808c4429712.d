@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_closedloop-8cdda808c4429712.d: crates/bench/src/bin/exp_closedloop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_closedloop-8cdda808c4429712.rmeta: crates/bench/src/bin/exp_closedloop.rs Cargo.toml
+
+crates/bench/src/bin/exp_closedloop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

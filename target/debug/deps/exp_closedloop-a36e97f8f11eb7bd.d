@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_closedloop-a36e97f8f11eb7bd.d: crates/bench/src/bin/exp_closedloop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_closedloop-a36e97f8f11eb7bd.rmeta: crates/bench/src/bin/exp_closedloop.rs Cargo.toml
+
+crates/bench/src/bin/exp_closedloop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_closedloop-c75d080c17839bcf.d: crates/bench/src/bin/exp_closedloop.rs
+
+/root/repo/target/debug/deps/exp_closedloop-c75d080c17839bcf: crates/bench/src/bin/exp_closedloop.rs
+
+crates/bench/src/bin/exp_closedloop.rs:

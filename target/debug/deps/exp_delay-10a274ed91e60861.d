@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_delay-10a274ed91e60861.d: crates/bench/src/bin/exp_delay.rs
+
+/root/repo/target/debug/deps/exp_delay-10a274ed91e60861: crates/bench/src/bin/exp_delay.rs
+
+crates/bench/src/bin/exp_delay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_delay-7a64f73c6e622d29.d: crates/bench/src/bin/exp_delay.rs
+
+/root/repo/target/debug/deps/exp_delay-7a64f73c6e622d29: crates/bench/src/bin/exp_delay.rs
+
+crates/bench/src/bin/exp_delay.rs:

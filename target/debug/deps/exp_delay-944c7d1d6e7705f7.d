@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_delay-944c7d1d6e7705f7.d: crates/bench/src/bin/exp_delay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_delay-944c7d1d6e7705f7.rmeta: crates/bench/src/bin/exp_delay.rs Cargo.toml
+
+crates/bench/src/bin/exp_delay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

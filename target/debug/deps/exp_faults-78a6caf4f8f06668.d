@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_faults-78a6caf4f8f06668.d: crates/bench/src/bin/exp_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_faults-78a6caf4f8f06668.rmeta: crates/bench/src/bin/exp_faults.rs Cargo.toml
+
+crates/bench/src/bin/exp_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_faults-9fbffffd8b199737.d: crates/bench/src/bin/exp_faults.rs
+
+/root/repo/target/debug/deps/exp_faults-9fbffffd8b199737: crates/bench/src/bin/exp_faults.rs
+
+crates/bench/src/bin/exp_faults.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_faults-b53e73dcb7a0f778.d: crates/bench/src/bin/exp_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_faults-b53e73dcb7a0f778.rmeta: crates/bench/src/bin/exp_faults.rs Cargo.toml
+
+crates/bench/src/bin/exp_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_faults-e130c9f0481b039d.d: crates/bench/src/bin/exp_faults.rs
+
+/root/repo/target/debug/deps/exp_faults-e130c9f0481b039d: crates/bench/src/bin/exp_faults.rs
+
+crates/bench/src/bin/exp_faults.rs:

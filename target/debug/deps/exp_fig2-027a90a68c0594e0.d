@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-027a90a68c0594e0.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-027a90a68c0594e0: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig2-b9ac2b0c61104684.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/debug/deps/exp_fig2-b9ac2b0c61104684: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

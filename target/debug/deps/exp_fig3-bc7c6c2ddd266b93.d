@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3-bc7c6c2ddd266b93.d: crates/bench/src/bin/exp_fig3.rs
+
+/root/repo/target/debug/deps/exp_fig3-bc7c6c2ddd266b93: crates/bench/src/bin/exp_fig3.rs
+
+crates/bench/src/bin/exp_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig3-edb00a8c60e04987.d: crates/bench/src/bin/exp_fig3.rs
+
+/root/repo/target/debug/deps/exp_fig3-edb00a8c60e04987: crates/bench/src/bin/exp_fig3.rs
+
+crates/bench/src/bin/exp_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4-76fdea6eea52ca70.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/debug/deps/exp_fig4-76fdea6eea52ca70: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

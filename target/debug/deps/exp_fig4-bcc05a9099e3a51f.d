@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig4-bcc05a9099e3a51f.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/debug/deps/exp_fig4-bcc05a9099e3a51f: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

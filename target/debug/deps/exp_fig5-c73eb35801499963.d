@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig5-c73eb35801499963.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/debug/deps/exp_fig5-c73eb35801499963: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

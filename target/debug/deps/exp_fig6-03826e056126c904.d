@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-03826e056126c904.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-03826e056126c904: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig6-8da3cbb9abd61fde.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/debug/deps/exp_fig6-8da3cbb9abd61fde: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

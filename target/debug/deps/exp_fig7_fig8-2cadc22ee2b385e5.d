@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_fig7_fig8-2cadc22ee2b385e5.d: crates/bench/src/bin/exp_fig7_fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_fig7_fig8-2cadc22ee2b385e5.rmeta: crates/bench/src/bin/exp_fig7_fig8.rs Cargo.toml
+
+crates/bench/src/bin/exp_fig7_fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7_fig8-45a0daf3d3694573.d: crates/bench/src/bin/exp_fig7_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig7_fig8-45a0daf3d3694573: crates/bench/src/bin/exp_fig7_fig8.rs
+
+crates/bench/src/bin/exp_fig7_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_fig7_fig8-a53dae8cb48ee0d7.d: crates/bench/src/bin/exp_fig7_fig8.rs
+
+/root/repo/target/debug/deps/exp_fig7_fig8-a53dae8cb48ee0d7: crates/bench/src/bin/exp_fig7_fig8.rs
+
+crates/bench/src/bin/exp_fig7_fig8.rs:

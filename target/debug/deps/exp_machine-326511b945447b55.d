@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_machine-326511b945447b55.d: crates/bench/src/bin/exp_machine.rs
+
+/root/repo/target/debug/deps/exp_machine-326511b945447b55: crates/bench/src/bin/exp_machine.rs
+
+crates/bench/src/bin/exp_machine.rs:

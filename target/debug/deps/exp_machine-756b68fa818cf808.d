@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_machine-756b68fa818cf808.d: crates/bench/src/bin/exp_machine.rs
+
+/root/repo/target/debug/deps/exp_machine-756b68fa818cf808: crates/bench/src/bin/exp_machine.rs
+
+crates/bench/src/bin/exp_machine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_machine-c92749bc0e769ac9.d: crates/bench/src/bin/exp_machine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_machine-c92749bc0e769ac9.rmeta: crates/bench/src/bin/exp_machine.rs Cargo.toml
+
+crates/bench/src/bin/exp_machine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

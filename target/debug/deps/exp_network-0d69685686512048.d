@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_network-0d69685686512048.d: crates/bench/src/bin/exp_network.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_network-0d69685686512048.rmeta: crates/bench/src/bin/exp_network.rs Cargo.toml
+
+crates/bench/src/bin/exp_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_network-36f9d4d6dd5fde4b.d: crates/bench/src/bin/exp_network.rs
+
+/root/repo/target/debug/deps/exp_network-36f9d4d6dd5fde4b: crates/bench/src/bin/exp_network.rs
+
+crates/bench/src/bin/exp_network.rs:

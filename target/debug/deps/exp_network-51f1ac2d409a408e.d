@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_network-51f1ac2d409a408e.d: crates/bench/src/bin/exp_network.rs
+
+/root/repo/target/debug/deps/exp_network-51f1ac2d409a408e: crates/bench/src/bin/exp_network.rs
+
+crates/bench/src/bin/exp_network.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_predict-066fd5107469837b.d: crates/bench/src/bin/exp_predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_predict-066fd5107469837b.rmeta: crates/bench/src/bin/exp_predict.rs Cargo.toml
+
+crates/bench/src/bin/exp_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_predict-56b31924a18598b6.d: crates/bench/src/bin/exp_predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_predict-56b31924a18598b6.rmeta: crates/bench/src/bin/exp_predict.rs Cargo.toml
+
+crates/bench/src/bin/exp_predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_predict-a3733264b489ed77.d: crates/bench/src/bin/exp_predict.rs
+
+/root/repo/target/debug/deps/exp_predict-a3733264b489ed77: crates/bench/src/bin/exp_predict.rs
+
+crates/bench/src/bin/exp_predict.rs:

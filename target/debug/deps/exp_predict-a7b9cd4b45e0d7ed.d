@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_predict-a7b9cd4b45e0d7ed.d: crates/bench/src/bin/exp_predict.rs
+
+/root/repo/target/debug/deps/exp_predict-a7b9cd4b45e0d7ed: crates/bench/src/bin/exp_predict.rs
+
+crates/bench/src/bin/exp_predict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scale-0565d6ffd1cdb44a.d: crates/bench/src/bin/exp_scale.rs
+
+/root/repo/target/debug/deps/exp_scale-0565d6ffd1cdb44a: crates/bench/src/bin/exp_scale.rs
+
+crates/bench/src/bin/exp_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_scale-711219fec767a86c.d: crates/bench/src/bin/exp_scale.rs
+
+/root/repo/target/debug/deps/exp_scale-711219fec767a86c: crates/bench/src/bin/exp_scale.rs
+
+crates/bench/src/bin/exp_scale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_scale-aa5839b2765a83af.d: crates/bench/src/bin/exp_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_scale-aa5839b2765a83af.rmeta: crates/bench/src/bin/exp_scale.rs Cargo.toml
+
+crates/bench/src/bin/exp_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

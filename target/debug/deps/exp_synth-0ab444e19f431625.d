@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_synth-0ab444e19f431625.d: crates/bench/src/bin/exp_synth.rs
+
+/root/repo/target/debug/deps/exp_synth-0ab444e19f431625: crates/bench/src/bin/exp_synth.rs
+
+crates/bench/src/bin/exp_synth.rs:

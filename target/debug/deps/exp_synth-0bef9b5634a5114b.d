@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exp_synth-0bef9b5634a5114b.d: crates/bench/src/bin/exp_synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexp_synth-0bef9b5634a5114b.rmeta: crates/bench/src/bin/exp_synth.rs Cargo.toml
+
+crates/bench/src/bin/exp_synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exp_synth-9c0b06d11f7054c0.d: crates/bench/src/bin/exp_synth.rs
+
+/root/repo/target/debug/deps/exp_synth-9c0b06d11f7054c0: crates/bench/src/bin/exp_synth.rs
+
+crates/bench/src/bin/exp_synth.rs:

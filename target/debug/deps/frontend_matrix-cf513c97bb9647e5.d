@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_matrix-cf513c97bb9647e5.d: crates/val/tests/frontend_matrix.rs
+
+/root/repo/target/debug/deps/frontend_matrix-cf513c97bb9647e5: crates/val/tests/frontend_matrix.rs
+
+crates/val/tests/frontend_matrix.rs:

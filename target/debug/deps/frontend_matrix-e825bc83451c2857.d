@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_matrix-e825bc83451c2857.d: crates/val/tests/frontend_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_matrix-e825bc83451c2857.rmeta: crates/val/tests/frontend_matrix.rs Cargo.toml
+
+crates/val/tests/frontend_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

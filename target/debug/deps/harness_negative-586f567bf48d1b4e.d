@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness_negative-586f567bf48d1b4e.d: tests/harness_negative.rs
+
+/root/repo/target/debug/deps/harness_negative-586f567bf48d1b4e: tests/harness_negative.rs
+
+tests/harness_negative.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness_negative-a0fe3b397acf2c95.d: tests/harness_negative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness_negative-a0fe3b397acf2c95.rmeta: tests/harness_negative.rs Cargo.toml
+
+tests/harness_negative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-c4d941abdf04d74b.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-c4d941abdf04d74b: tests/paper_examples.rs
+
+tests/paper_examples.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_balance-4fe8842a17b20ec9.d: tests/property_balance.rs
+
+/root/repo/target/debug/deps/property_balance-4fe8842a17b20ec9: tests/property_balance.rs
+
+tests/property_balance.rs:

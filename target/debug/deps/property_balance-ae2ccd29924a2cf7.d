@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_balance-ae2ccd29924a2cf7.d: tests/property_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_balance-ae2ccd29924a2cf7.rmeta: tests/property_balance.rs Cargo.toml
+
+tests/property_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

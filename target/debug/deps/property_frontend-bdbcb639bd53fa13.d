@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_frontend-bdbcb639bd53fa13.d: tests/property_frontend.rs
+
+/root/repo/target/debug/deps/property_frontend-bdbcb639bd53fa13: tests/property_frontend.rs
+
+tests/property_frontend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_frontend-dced3f342ccfb333.d: tests/property_frontend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_frontend-dced3f342ccfb333.rmeta: tests/property_frontend.rs Cargo.toml
+
+tests/property_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_models-205aec3574b87420.d: tests/property_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_models-205aec3574b87420.rmeta: tests/property_models.rs Cargo.toml
+
+tests/property_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

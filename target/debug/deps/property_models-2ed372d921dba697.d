@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_models-2ed372d921dba697.d: tests/property_models.rs
+
+/root/repo/target/debug/deps/property_models-2ed372d921dba697: tests/property_models.rs
+
+tests/property_models.rs:

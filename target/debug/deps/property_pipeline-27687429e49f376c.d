@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_pipeline-27687429e49f376c.d: tests/property_pipeline.rs
+
+/root/repo/target/debug/deps/property_pipeline-27687429e49f376c: tests/property_pipeline.rs
+
+tests/property_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_pipeline-4a4642162c66659e.d: tests/property_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_pipeline-4a4642162c66659e.rmeta: tests/property_pipeline.rs Cargo.toml
+
+tests/property_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

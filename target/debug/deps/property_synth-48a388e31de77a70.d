@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_synth-48a388e31de77a70.d: tests/property_synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_synth-48a388e31de77a70.rmeta: tests/property_synth.rs Cargo.toml
+
+tests/property_synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_synth-73c875ab99ca4059.d: tests/property_synth.rs
+
+/root/repo/target/debug/deps/property_synth-73c875ab99ca4059: tests/property_synth.rs
+
+tests/property_synth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness-3339e4384c8402b6.d: crates/machine/tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-3339e4384c8402b6: crates/machine/tests/robustness.rs
+
+crates/machine/tests/robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness-5dba0c19273174ad.d: crates/machine/tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-5dba0c19273174ad.rmeta: crates/machine/tests/robustness.rs Cargo.toml
+
+crates/machine/tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_semantics-5035ccfe46667127.d: crates/machine/tests/sim_semantics.rs
+
+/root/repo/target/debug/deps/sim_semantics-5035ccfe46667127: crates/machine/tests/sim_semantics.rs
+
+crates/machine/tests/sim_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_semantics-f0321b3ae07ee620.d: crates/machine/tests/sim_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_semantics-f0321b3ae07ee620.rmeta: crates/machine/tests/sim_semantics.rs Cargo.toml
+
+crates/machine/tests/sim_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

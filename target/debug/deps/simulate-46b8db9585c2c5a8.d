@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simulate-46b8db9585c2c5a8.d: crates/bench/benches/simulate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulate-46b8db9585c2c5a8.rmeta: crates/bench/benches/simulate.rs Cargo.toml
+
+crates/bench/benches/simulate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/simulate-8a98e0f506b0a2aa.d: crates/bench/benches/simulate.rs
+
+/root/repo/target/debug/deps/simulate-8a98e0f506b0a2aa: crates/bench/benches/simulate.rs
+
+crates/bench/benches/simulate.rs:

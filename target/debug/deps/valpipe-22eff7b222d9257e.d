@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/valpipe-22eff7b222d9257e.d: src/bin/valpipe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe-22eff7b222d9257e.rmeta: src/bin/valpipe.rs Cargo.toml
+
+src/bin/valpipe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/valpipe-254fa83d08e17e1c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe-254fa83d08e17e1c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/valpipe-3405af0202957b02.d: src/bin/valpipe.rs
+
+/root/repo/target/debug/deps/valpipe-3405af0202957b02: src/bin/valpipe.rs
+
+src/bin/valpipe.rs:

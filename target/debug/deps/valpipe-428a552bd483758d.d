@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/valpipe-428a552bd483758d.d: src/lib.rs
+
+/root/repo/target/debug/deps/valpipe-428a552bd483758d: src/lib.rs
+
+src/lib.rs:

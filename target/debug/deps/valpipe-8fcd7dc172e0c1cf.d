@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/valpipe-8fcd7dc172e0c1cf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libvalpipe-8fcd7dc172e0c1cf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libvalpipe-8fcd7dc172e0c1cf.rmeta: src/lib.rs
+
+src/lib.rs:

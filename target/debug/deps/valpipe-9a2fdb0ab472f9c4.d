@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/valpipe-9a2fdb0ab472f9c4.d: src/bin/valpipe.rs
+
+/root/repo/target/debug/deps/valpipe-9a2fdb0ab472f9c4: src/bin/valpipe.rs
+
+src/bin/valpipe.rs:

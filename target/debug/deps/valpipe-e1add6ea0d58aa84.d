@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/valpipe-e1add6ea0d58aa84.d: src/bin/valpipe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe-e1add6ea0d58aa84.rmeta: src/bin/valpipe.rs Cargo.toml
+
+src/bin/valpipe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/valpipe_balance-918de37e76fdb6df.d: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+/root/repo/target/debug/deps/valpipe_balance-918de37e76fdb6df: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+crates/balance/src/lib.rs:
+crates/balance/src/problem.rs:
+crates/balance/src/solve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/valpipe_balance-cc3185d6a8fcbd5d.d: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+/root/repo/target/debug/deps/libvalpipe_balance-cc3185d6a8fcbd5d.rlib: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+/root/repo/target/debug/deps/libvalpipe_balance-cc3185d6a8fcbd5d.rmeta: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+crates/balance/src/lib.rs:
+crates/balance/src/problem.rs:
+crates/balance/src/solve.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/valpipe_balance-ebd94fd86bf155cc.d: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_balance-ebd94fd86bf155cc.rmeta: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs Cargo.toml
+
+crates/balance/src/lib.rs:
+crates/balance/src/problem.rs:
+crates/balance/src/solve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/valpipe_bench-48cb56d50ff1255f.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_bench-48cb56d50ff1255f.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/valpipe_bench-8f926d58a73d519e.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libvalpipe_bench-8f926d58a73d519e.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libvalpipe_bench-8f926d58a73d519e.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/valpipe_bench-a80c31ea29b2ed3f.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/valpipe_bench-a80c31ea29b2ed3f: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/valpipe_core-8e4327217eccb3e2.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_core-8e4327217eccb3e2.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/error.rs:
+crates/core/src/forall.rs:
+crates/core/src/fuse.rs:
+crates/core/src/foriter.rs:
+crates/core/src/loops.rs:
+crates/core/src/options.rs:
+crates/core/src/predict.rs:
+crates/core/src/program.rs:
+crates/core/src/synth.rs:
+crates/core/src/timestep.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/valpipe_core-a9a083e63d487870.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libvalpipe_core-a9a083e63d487870.rlib: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/libvalpipe_core-a9a083e63d487870.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/error.rs:
+crates/core/src/forall.rs:
+crates/core/src/fuse.rs:
+crates/core/src/foriter.rs:
+crates/core/src/loops.rs:
+crates/core/src/options.rs:
+crates/core/src/predict.rs:
+crates/core/src/program.rs:
+crates/core/src/synth.rs:
+crates/core/src/timestep.rs:
+crates/core/src/verify.rs:

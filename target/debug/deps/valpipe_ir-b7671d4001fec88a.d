@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/valpipe_ir-b7671d4001fec88a.d: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/debug/deps/libvalpipe_ir-b7671d4001fec88a.rlib: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/debug/deps/libvalpipe_ir-b7671d4001fec88a.rmeta: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/ctl.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/opcode.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:

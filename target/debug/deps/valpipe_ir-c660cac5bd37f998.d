@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/valpipe_ir-c660cac5bd37f998.d: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_ir-c660cac5bd37f998.rmeta: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs Cargo.toml
+
+crates/ir/src/lib.rs:
+crates/ir/src/ctl.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/opcode.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

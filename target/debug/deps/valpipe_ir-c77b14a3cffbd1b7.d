@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/valpipe_ir-c77b14a3cffbd1b7.d: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/debug/deps/valpipe_ir-c77b14a3cffbd1b7: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/ctl.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/opcode.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/valpipe_machine-819e8b7620b4b732.d: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_machine-819e8b7620b4b732.rmeta: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/arch.rs:
+crates/machine/src/closedloop.rs:
+crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/network.rs:
+crates/machine/src/sim.rs:
+crates/machine/src/trace.rs:
+crates/machine/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/valpipe_machine-c6199b582921a60d.d: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/debug/deps/libvalpipe_machine-c6199b582921a60d.rlib: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/debug/deps/libvalpipe_machine-c6199b582921a60d.rmeta: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/arch.rs:
+crates/machine/src/closedloop.rs:
+crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/network.rs:
+crates/machine/src/sim.rs:
+crates/machine/src/trace.rs:
+crates/machine/src/watchdog.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/valpipe_machine-f7a02dbc78d98cfb.d: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_machine-f7a02dbc78d98cfb.rmeta: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs Cargo.toml
+
+crates/machine/src/lib.rs:
+crates/machine/src/arch.rs:
+crates/machine/src/closedloop.rs:
+crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/network.rs:
+crates/machine/src/sim.rs:
+crates/machine/src/trace.rs:
+crates/machine/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/valpipe_util-0c36c8404560cab0.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_util-0c36c8404560cab0.rmeta: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs Cargo.toml
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/valpipe_util-35acdd1833809d3f.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/valpipe_util-35acdd1833809d3f: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

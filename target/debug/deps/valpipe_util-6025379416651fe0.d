@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/valpipe_util-6025379416651fe0.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/libvalpipe_util-6025379416651fe0.rlib: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/debug/deps/libvalpipe_util-6025379416651fe0.rmeta: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

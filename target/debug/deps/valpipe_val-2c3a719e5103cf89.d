@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/valpipe_val-2c3a719e5103cf89.d: crates/val/src/lib.rs crates/val/src/ast.rs crates/val/src/classify.rs crates/val/src/deps.rs crates/val/src/dims.rs crates/val/src/fold.rs crates/val/src/interp.rs crates/val/src/lexer.rs crates/val/src/linear.rs crates/val/src/parser.rs crates/val/src/pretty.rs crates/val/src/typeck.rs
+
+/root/repo/target/debug/deps/valpipe_val-2c3a719e5103cf89: crates/val/src/lib.rs crates/val/src/ast.rs crates/val/src/classify.rs crates/val/src/deps.rs crates/val/src/dims.rs crates/val/src/fold.rs crates/val/src/interp.rs crates/val/src/lexer.rs crates/val/src/linear.rs crates/val/src/parser.rs crates/val/src/pretty.rs crates/val/src/typeck.rs
+
+crates/val/src/lib.rs:
+crates/val/src/ast.rs:
+crates/val/src/classify.rs:
+crates/val/src/deps.rs:
+crates/val/src/dims.rs:
+crates/val/src/fold.rs:
+crates/val/src/interp.rs:
+crates/val/src/lexer.rs:
+crates/val/src/linear.rs:
+crates/val/src/parser.rs:
+crates/val/src/pretty.rs:
+crates/val/src/typeck.rs:

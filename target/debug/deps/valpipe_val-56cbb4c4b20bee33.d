@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/valpipe_val-56cbb4c4b20bee33.d: crates/val/src/lib.rs crates/val/src/ast.rs crates/val/src/classify.rs crates/val/src/deps.rs crates/val/src/dims.rs crates/val/src/fold.rs crates/val/src/interp.rs crates/val/src/lexer.rs crates/val/src/linear.rs crates/val/src/parser.rs crates/val/src/pretty.rs crates/val/src/typeck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalpipe_val-56cbb4c4b20bee33.rmeta: crates/val/src/lib.rs crates/val/src/ast.rs crates/val/src/classify.rs crates/val/src/deps.rs crates/val/src/dims.rs crates/val/src/fold.rs crates/val/src/interp.rs crates/val/src/lexer.rs crates/val/src/linear.rs crates/val/src/parser.rs crates/val/src/pretty.rs crates/val/src/typeck.rs Cargo.toml
+
+crates/val/src/lib.rs:
+crates/val/src/ast.rs:
+crates/val/src/classify.rs:
+crates/val/src/deps.rs:
+crates/val/src/dims.rs:
+crates/val/src/fold.rs:
+crates/val/src/interp.rs:
+crates/val/src/lexer.rs:
+crates/val/src/linear.rs:
+crates/val/src/parser.rs:
+crates/val/src/pretty.rs:
+crates/val/src/typeck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iir_filter_bank-751fcaabbee84ebf.d: examples/iir_filter_bank.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiir_filter_bank-751fcaabbee84ebf.rmeta: examples/iir_filter_bank.rs Cargo.toml
+
+examples/iir_filter_bank.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iir_filter_bank-dc2b028ffc15b676.d: examples/iir_filter_bank.rs
+
+/root/repo/target/debug/examples/iir_filter_bank-dc2b028ffc15b676: examples/iir_filter_bank.rs
+
+examples/iir_filter_bank.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/jacobi2d-7d5250ab675131f8.d: examples/jacobi2d.rs Cargo.toml
+
+/root/repo/target/debug/examples/libjacobi2d-7d5250ab675131f8.rmeta: examples/jacobi2d.rs Cargo.toml
+
+examples/jacobi2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

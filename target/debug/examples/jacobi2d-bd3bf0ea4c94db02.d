@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/jacobi2d-bd3bf0ea4c94db02.d: examples/jacobi2d.rs
+
+/root/repo/target/debug/examples/jacobi2d-bd3bf0ea4c94db02: examples/jacobi2d.rs
+
+examples/jacobi2d.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/physics_step-91b71bb8eb5d873d.d: examples/physics_step.rs
+
+/root/repo/target/debug/examples/physics_step-91b71bb8eb5d873d: examples/physics_step.rs
+
+examples/physics_step.rs:

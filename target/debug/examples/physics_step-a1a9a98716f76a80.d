@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/physics_step-a1a9a98716f76a80.d: examples/physics_step.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphysics_step-a1a9a98716f76a80.rmeta: examples/physics_step.rs Cargo.toml
+
+examples/physics_step.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

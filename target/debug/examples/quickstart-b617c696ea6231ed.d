@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b617c696ea6231ed.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b617c696ea6231ed: examples/quickstart.rs
+
+examples/quickstart.rs:

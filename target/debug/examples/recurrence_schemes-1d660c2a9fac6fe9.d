@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/recurrence_schemes-1d660c2a9fac6fe9.d: examples/recurrence_schemes.rs Cargo.toml
+
+/root/repo/target/debug/examples/librecurrence_schemes-1d660c2a9fac6fe9.rmeta: examples/recurrence_schemes.rs Cargo.toml
+
+examples/recurrence_schemes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

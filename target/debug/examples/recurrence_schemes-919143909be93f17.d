@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/recurrence_schemes-919143909be93f17.d: examples/recurrence_schemes.rs
+
+/root/repo/target/debug/examples/recurrence_schemes-919143909be93f17: examples/recurrence_schemes.rs
+
+examples/recurrence_schemes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smoothing_pipeline-5be493631aa20750.d: examples/smoothing_pipeline.rs
+
+/root/repo/target/debug/examples/smoothing_pipeline-5be493631aa20750: examples/smoothing_pipeline.rs
+
+examples/smoothing_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smoothing_pipeline-7bff4089810f93db.d: examples/smoothing_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmoothing_pipeline-7bff4089810f93db.rmeta: examples/smoothing_pipeline.rs Cargo.toml
+
+examples/smoothing_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

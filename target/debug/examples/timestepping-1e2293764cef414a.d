@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timestepping-1e2293764cef414a.d: examples/timestepping.rs
+
+/root/repo/target/debug/examples/timestepping-1e2293764cef414a: examples/timestepping.rs
+
+examples/timestepping.rs:

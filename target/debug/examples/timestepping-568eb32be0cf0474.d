@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timestepping-568eb32be0cf0474.d: examples/timestepping.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimestepping-568eb32be0cf0474.rmeta: examples/timestepping.rs Cargo.toml
+
+examples/timestepping.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

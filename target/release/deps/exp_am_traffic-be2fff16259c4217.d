@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_am_traffic-be2fff16259c4217.d: crates/bench/src/bin/exp_am_traffic.rs
+
+/root/repo/target/release/deps/exp_am_traffic-be2fff16259c4217: crates/bench/src/bin/exp_am_traffic.rs
+
+crates/bench/src/bin/exp_am_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_balance-a61622f213b1d23c.d: crates/bench/src/bin/exp_balance.rs
+
+/root/repo/target/release/deps/exp_balance-a61622f213b1d23c: crates/bench/src/bin/exp_balance.rs
+
+crates/bench/src/bin/exp_balance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_closedloop-ce0e435fda79c78a.d: crates/bench/src/bin/exp_closedloop.rs
+
+/root/repo/target/release/deps/exp_closedloop-ce0e435fda79c78a: crates/bench/src/bin/exp_closedloop.rs
+
+crates/bench/src/bin/exp_closedloop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_delay-c2e15cea607ccc6c.d: crates/bench/src/bin/exp_delay.rs
+
+/root/repo/target/release/deps/exp_delay-c2e15cea607ccc6c: crates/bench/src/bin/exp_delay.rs
+
+crates/bench/src/bin/exp_delay.rs:

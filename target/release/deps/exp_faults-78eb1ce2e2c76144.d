@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_faults-78eb1ce2e2c76144.d: crates/bench/src/bin/exp_faults.rs
+
+/root/repo/target/release/deps/exp_faults-78eb1ce2e2c76144: crates/bench/src/bin/exp_faults.rs
+
+crates/bench/src/bin/exp_faults.rs:

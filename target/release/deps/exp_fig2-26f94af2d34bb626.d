@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig2-26f94af2d34bb626.d: crates/bench/src/bin/exp_fig2.rs
+
+/root/repo/target/release/deps/exp_fig2-26f94af2d34bb626: crates/bench/src/bin/exp_fig2.rs
+
+crates/bench/src/bin/exp_fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig3-616cee4117823c65.d: crates/bench/src/bin/exp_fig3.rs
+
+/root/repo/target/release/deps/exp_fig3-616cee4117823c65: crates/bench/src/bin/exp_fig3.rs
+
+crates/bench/src/bin/exp_fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig4-0b6f8259934562e2.d: crates/bench/src/bin/exp_fig4.rs
+
+/root/repo/target/release/deps/exp_fig4-0b6f8259934562e2: crates/bench/src/bin/exp_fig4.rs
+
+crates/bench/src/bin/exp_fig4.rs:

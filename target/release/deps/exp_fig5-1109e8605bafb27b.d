@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig5-1109e8605bafb27b.d: crates/bench/src/bin/exp_fig5.rs
+
+/root/repo/target/release/deps/exp_fig5-1109e8605bafb27b: crates/bench/src/bin/exp_fig5.rs
+
+crates/bench/src/bin/exp_fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig6-9a7b15268e81c058.d: crates/bench/src/bin/exp_fig6.rs
+
+/root/repo/target/release/deps/exp_fig6-9a7b15268e81c058: crates/bench/src/bin/exp_fig6.rs
+
+crates/bench/src/bin/exp_fig6.rs:

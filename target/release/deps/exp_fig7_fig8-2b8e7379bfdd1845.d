@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_fig7_fig8-2b8e7379bfdd1845.d: crates/bench/src/bin/exp_fig7_fig8.rs
+
+/root/repo/target/release/deps/exp_fig7_fig8-2b8e7379bfdd1845: crates/bench/src/bin/exp_fig7_fig8.rs
+
+crates/bench/src/bin/exp_fig7_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_machine-21b9938846229c27.d: crates/bench/src/bin/exp_machine.rs
+
+/root/repo/target/release/deps/exp_machine-21b9938846229c27: crates/bench/src/bin/exp_machine.rs
+
+crates/bench/src/bin/exp_machine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_network-5a2ec4011d98cc5a.d: crates/bench/src/bin/exp_network.rs
+
+/root/repo/target/release/deps/exp_network-5a2ec4011d98cc5a: crates/bench/src/bin/exp_network.rs
+
+crates/bench/src/bin/exp_network.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_predict-4f52f9a275c8651c.d: crates/bench/src/bin/exp_predict.rs
+
+/root/repo/target/release/deps/exp_predict-4f52f9a275c8651c: crates/bench/src/bin/exp_predict.rs
+
+crates/bench/src/bin/exp_predict.rs:

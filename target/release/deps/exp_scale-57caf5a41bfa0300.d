@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_scale-57caf5a41bfa0300.d: crates/bench/src/bin/exp_scale.rs
+
+/root/repo/target/release/deps/exp_scale-57caf5a41bfa0300: crates/bench/src/bin/exp_scale.rs
+
+crates/bench/src/bin/exp_scale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/exp_synth-a25c405594ea8d31.d: crates/bench/src/bin/exp_synth.rs
+
+/root/repo/target/release/deps/exp_synth-a25c405594ea8d31: crates/bench/src/bin/exp_synth.rs
+
+crates/bench/src/bin/exp_synth.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/valpipe-00cbe3ce83637e0d.d: src/lib.rs
+
+/root/repo/target/release/deps/libvalpipe-00cbe3ce83637e0d.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libvalpipe-00cbe3ce83637e0d.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/valpipe-357b5fef45539772.d: src/bin/valpipe.rs
+
+/root/repo/target/release/deps/valpipe-357b5fef45539772: src/bin/valpipe.rs
+
+src/bin/valpipe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/valpipe_balance-380791fa80f05477.d: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+/root/repo/target/release/deps/libvalpipe_balance-380791fa80f05477.rlib: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+/root/repo/target/release/deps/libvalpipe_balance-380791fa80f05477.rmeta: crates/balance/src/lib.rs crates/balance/src/problem.rs crates/balance/src/solve.rs
+
+crates/balance/src/lib.rs:
+crates/balance/src/problem.rs:
+crates/balance/src/solve.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/valpipe_bench-668be096d100c525.d: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvalpipe_bench-668be096d100c525.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libvalpipe_bench-668be096d100c525.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/timing.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/timing.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/valpipe_core-39ebad2839595ac2.d: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libvalpipe_core-39ebad2839595ac2.rlib: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs
+
+/root/repo/target/release/deps/libvalpipe_core-39ebad2839595ac2.rmeta: crates/core/src/lib.rs crates/core/src/builder.rs crates/core/src/error.rs crates/core/src/forall.rs crates/core/src/fuse.rs crates/core/src/foriter.rs crates/core/src/loops.rs crates/core/src/options.rs crates/core/src/predict.rs crates/core/src/program.rs crates/core/src/synth.rs crates/core/src/timestep.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/builder.rs:
+crates/core/src/error.rs:
+crates/core/src/forall.rs:
+crates/core/src/fuse.rs:
+crates/core/src/foriter.rs:
+crates/core/src/loops.rs:
+crates/core/src/options.rs:
+crates/core/src/predict.rs:
+crates/core/src/program.rs:
+crates/core/src/synth.rs:
+crates/core/src/timestep.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/valpipe_ir-143c14164d5d2b59.d: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/release/deps/libvalpipe_ir-143c14164d5d2b59.rlib: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+/root/repo/target/release/deps/libvalpipe_ir-143c14164d5d2b59.rmeta: crates/ir/src/lib.rs crates/ir/src/ctl.rs crates/ir/src/dot.rs crates/ir/src/graph.rs crates/ir/src/opcode.rs crates/ir/src/pretty.rs crates/ir/src/serialize.rs crates/ir/src/validate.rs crates/ir/src/value.rs
+
+crates/ir/src/lib.rs:
+crates/ir/src/ctl.rs:
+crates/ir/src/dot.rs:
+crates/ir/src/graph.rs:
+crates/ir/src/opcode.rs:
+crates/ir/src/pretty.rs:
+crates/ir/src/serialize.rs:
+crates/ir/src/validate.rs:
+crates/ir/src/value.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/valpipe_machine-dcfcdcf1541d907f.d: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/release/deps/libvalpipe_machine-dcfcdcf1541d907f.rlib: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs
+
+/root/repo/target/release/deps/libvalpipe_machine-dcfcdcf1541d907f.rmeta: crates/machine/src/lib.rs crates/machine/src/arch.rs crates/machine/src/closedloop.rs crates/machine/src/error.rs crates/machine/src/fault.rs crates/machine/src/network.rs crates/machine/src/sim.rs crates/machine/src/trace.rs crates/machine/src/watchdog.rs
+
+crates/machine/src/lib.rs:
+crates/machine/src/arch.rs:
+crates/machine/src/closedloop.rs:
+crates/machine/src/error.rs:
+crates/machine/src/fault.rs:
+crates/machine/src/network.rs:
+crates/machine/src/sim.rs:
+crates/machine/src/trace.rs:
+crates/machine/src/watchdog.rs:

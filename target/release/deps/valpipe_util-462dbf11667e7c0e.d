@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/valpipe_util-462dbf11667e7c0e.d: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/libvalpipe_util-462dbf11667e7c0e.rlib: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+/root/repo/target/release/deps/libvalpipe_util-462dbf11667e7c0e.rmeta: crates/util/src/lib.rs crates/util/src/json.rs crates/util/src/rng.rs
+
+crates/util/src/lib.rs:
+crates/util/src/json.rs:
+crates/util/src/rng.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/valpipe_val-0d0cca5bb6bbb3be.d: crates/val/src/lib.rs crates/val/src/ast.rs crates/val/src/classify.rs crates/val/src/deps.rs crates/val/src/dims.rs crates/val/src/fold.rs crates/val/src/interp.rs crates/val/src/lexer.rs crates/val/src/linear.rs crates/val/src/parser.rs crates/val/src/pretty.rs crates/val/src/typeck.rs
+
+/root/repo/target/release/deps/libvalpipe_val-0d0cca5bb6bbb3be.rlib: crates/val/src/lib.rs crates/val/src/ast.rs crates/val/src/classify.rs crates/val/src/deps.rs crates/val/src/dims.rs crates/val/src/fold.rs crates/val/src/interp.rs crates/val/src/lexer.rs crates/val/src/linear.rs crates/val/src/parser.rs crates/val/src/pretty.rs crates/val/src/typeck.rs
+
+/root/repo/target/release/deps/libvalpipe_val-0d0cca5bb6bbb3be.rmeta: crates/val/src/lib.rs crates/val/src/ast.rs crates/val/src/classify.rs crates/val/src/deps.rs crates/val/src/dims.rs crates/val/src/fold.rs crates/val/src/interp.rs crates/val/src/lexer.rs crates/val/src/linear.rs crates/val/src/parser.rs crates/val/src/pretty.rs crates/val/src/typeck.rs
+
+crates/val/src/lib.rs:
+crates/val/src/ast.rs:
+crates/val/src/classify.rs:
+crates/val/src/deps.rs:
+crates/val/src/dims.rs:
+crates/val/src/fold.rs:
+crates/val/src/interp.rs:
+crates/val/src/lexer.rs:
+crates/val/src/linear.rs:
+crates/val/src/parser.rs:
+crates/val/src/pretty.rs:
+crates/val/src/typeck.rs:

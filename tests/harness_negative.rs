@@ -129,5 +129,9 @@ output S;
     )
     .unwrap();
     let report = run.stall_report.expect("jammed run carries a report");
-    assert!(report.contains("blocked"), "{report}");
+    assert_eq!(report.kind, valpipe::machine::StallKind::Deadlock);
+    assert!(!report.blocked_cells.is_empty());
+    assert!(!report.held_arcs.is_empty());
+    let text = report.to_string();
+    assert!(text.contains("blocked"), "{text}");
 }

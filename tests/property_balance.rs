@@ -4,14 +4,14 @@
 //! more than ASAP — and applying any of them yields a machine program that
 //! actually runs at the maximum rate.
 
-use proptest::prelude::*;
 use valpipe::balance::{problem, solve};
 use valpipe::ir::{Graph, Opcode, Value};
 use valpipe::machine::{ProgramInputs, SimOptions, Simulator};
+use valpipe_util::Rng;
 
 /// A random layered DAG of arithmetic cells: layer 0 is `srcs` sources;
 /// every later node reads 1–2 earlier nodes; terminal nodes each get a
-/// sink. `picks` drives the random wiring (proptest-shrinkable).
+/// sink. `picks` drives the random wiring.
 fn build_dag(srcs: usize, layers: &[Vec<(usize, usize)>]) -> Graph {
     let mut g = Graph::new();
     let mut pool: Vec<valpipe::ir::NodeId> = (0..srcs)
@@ -47,39 +47,51 @@ fn build_dag(srcs: usize, layers: &[Vec<(usize, usize)>]) -> Graph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn random_layers(r: &mut Rng, max_layers: usize, max_width: usize) -> Vec<Vec<(usize, usize)>> {
+    (0..r.range(1, max_layers))
+        .map(|_| {
+            (0..r.range(1, max_width))
+                .map(|_| (r.below(64), r.below(64)))
+                .collect()
+        })
+        .collect()
+}
 
-    #[test]
-    fn solver_hierarchy_feasible_and_ordered(
-        srcs in 1usize..4,
-        layers in proptest::collection::vec(
-            proptest::collection::vec((0usize..64, 0usize..64), 1..5),
-            1..5,
-        ),
-    ) {
+#[test]
+fn solver_hierarchy_feasible_and_ordered() {
+    for case in 0..40u64 {
+        let mut r = Rng::seed(0x3001).fork(case);
+        let srcs = r.range(1, 4);
+        let layers = random_layers(&mut r, 5, 5);
         let g = build_dag(srcs, &layers);
         let p = problem::extract(&g).expect("acyclic");
         let asap = solve::solve_asap(&p);
         let heur = solve::solve_heuristic(&p, 64);
         let opt = solve::solve_optimal(&p);
-        prop_assert!(asap.is_feasible(&p));
-        prop_assert!(heur.is_feasible(&p));
-        prop_assert!(opt.is_feasible(&p));
-        prop_assert!(heur.total_buffers <= asap.total_buffers,
-            "heuristic {} > asap {}", heur.total_buffers, asap.total_buffers);
-        prop_assert!(opt.total_buffers <= heur.total_buffers,
-            "optimal {} > heuristic {}", opt.total_buffers, heur.total_buffers);
+        assert!(asap.is_feasible(&p));
+        assert!(heur.is_feasible(&p));
+        assert!(opt.is_feasible(&p));
+        assert!(
+            heur.total_buffers <= asap.total_buffers,
+            "heuristic {} > asap {}",
+            heur.total_buffers,
+            asap.total_buffers
+        );
+        assert!(
+            opt.total_buffers <= heur.total_buffers,
+            "optimal {} > heuristic {}",
+            opt.total_buffers,
+            heur.total_buffers
+        );
     }
+}
 
-    #[test]
-    fn optimally_balanced_dag_runs_at_maximum_rate(
-        srcs in 1usize..3,
-        layers in proptest::collection::vec(
-            proptest::collection::vec((0usize..64, 0usize..64), 1..4),
-            1..4,
-        ),
-    ) {
+#[test]
+fn optimally_balanced_dag_runs_at_maximum_rate() {
+    for case in 0..40u64 {
+        let mut r = Rng::seed(0x3002).fork(case);
+        let srcs = r.range(1, 3);
+        let layers = random_layers(&mut r, 4, 4);
         let mut g = build_dag(srcs, &layers);
         let p = problem::extract(&g).expect("acyclic");
         let sol = solve::solve_optimal(&p);
@@ -94,17 +106,19 @@ proptest! {
                 (0..n).map(|k| Value::Real(k as f64 * 0.01)).collect(),
             );
         }
-        let r = Simulator::new(&g, &inputs, SimOptions::default())
+        let run = Simulator::new(&g, &inputs, SimOptions::default())
             .unwrap()
             .run()
             .unwrap();
-        prop_assert!(r.sources_exhausted, "balanced DAG must drain");
+        assert!(run.sources_exhausted, "balanced DAG must drain");
         // Every sink sees the fully pipelined interval of 2.
         for (_, name) in g.sinks() {
-            let times: Vec<u64> = r.outputs[&name].iter().map(|&(t, _)| t).collect();
+            let times: Vec<u64> = run.outputs[&name].iter().map(|&(t, _)| t).collect();
             if let Some(iv) = valpipe::machine::steady_interval_of(&times) {
-                prop_assert!((iv - 2.0).abs() < 0.05,
-                    "sink {name} interval {iv} after optimal balancing");
+                assert!(
+                    (iv - 2.0).abs() < 0.05,
+                    "sink {name} interval {iv} after optimal balancing"
+                );
             }
         }
     }

@@ -1,82 +1,100 @@
 //! Frontend property tests: pretty-print/parse round-trips and 2-D
 //! flattening vs a direct 2-D reference evaluation.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use valpipe::val::ast::{BinOp, Def, Expr, UnOp};
 use valpipe::val::pretty::expr_to_source;
 use valpipe::val::{flatten_program, parse_expr, parse_program};
 use valpipe::ArrayVal;
+use valpipe_util::Rng;
 
-/// Expressions over the printable operator set.
-fn printable_expr() -> impl Strategy<Value = Expr> {
+/// Expressions over the printable operator set, recursion bounded by
+/// `depth`.
+fn printable_expr(r: &mut Rng, depth: usize) -> Expr {
     // Literals are non-negative: `-0.25` prints as `(-0.25)`, which
     // parses (correctly) as `Neg(0.25)` — structurally different, same
     // meaning. Negative values come from the explicit Neg variant.
-    let leaf = prop_oneof![
-        (0i64..=99).prop_map(Expr::IntLit),
-        (0i64..=30).prop_map(|v| Expr::RealLit(v as f64 / 4.0)),
-        Just(Expr::BoolLit(true)),
-        Just(Expr::var("x")),
-        Just(Expr::var("i")),
-        (-2i64..=2).prop_map(|off| {
-            Expr::index(
-                "A",
-                match off.cmp(&0) {
-                    std::cmp::Ordering::Equal => Expr::var("i"),
-                    std::cmp::Ordering::Greater => {
-                        Expr::bin(BinOp::Add, Expr::var("i"), Expr::IntLit(off))
-                    }
-                    std::cmp::Ordering::Less => {
-                        Expr::bin(BinOp::Sub, Expr::var("i"), Expr::IntLit(-off))
-                    }
-                },
+    if depth == 0 || r.chance(0.3) {
+        return match r.below(6) {
+            0 => Expr::IntLit(r.range_i64(0, 100)),
+            1 => Expr::RealLit(r.range_i64(0, 31) as f64 / 4.0),
+            2 => Expr::BoolLit(true),
+            3 => Expr::var("x"),
+            4 => Expr::var("i"),
+            _ => {
+                let off = r.range_i64(-2, 3);
+                Expr::index(
+                    "A",
+                    match off.cmp(&0) {
+                        std::cmp::Ordering::Equal => Expr::var("i"),
+                        std::cmp::Ordering::Greater => {
+                            Expr::bin(BinOp::Add, Expr::var("i"), Expr::IntLit(off))
+                        }
+                        std::cmp::Ordering::Less => {
+                            Expr::bin(BinOp::Sub, Expr::var("i"), Expr::IntLit(-off))
+                        }
+                    },
+                )
+            }
+        };
+    }
+    match r.below(5) {
+        0 => {
+            let ops = [
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Lt,
+                BinOp::Le,
+                BinOp::Gt,
+                BinOp::Ge,
+                BinOp::Eq,
+                BinOp::Ne,
+                BinOp::And,
+                BinOp::Or,
+            ];
+            Expr::bin(
+                ops[r.below(ops.len())],
+                printable_expr(r, depth - 1),
+                printable_expr(r, depth - 1),
             )
-        }),
-    ];
-    leaf.prop_recursive(5, 48, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div),
-                Just(BinOp::Lt), Just(BinOp::Le), Just(BinOp::Gt), Just(BinOp::Ge),
-                Just(BinOp::Eq), Just(BinOp::Ne), Just(BinOp::And), Just(BinOp::Or),
-            ])
-            .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
-            inner.clone().prop_map(|a| Expr::un(UnOp::Neg, a)),
-            inner.clone().prop_map(|a| Expr::un(UnOp::Not, a)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| Expr::if_(c, t, f)),
-            (inner.clone(), inner.clone()).prop_map(|(v, b)| Expr::Let(
-                vec![Def { name: "p".into(), ty: None, value: v }],
-                Box::new(b),
-            )),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// `parse(print(e)) == e` for every generated expression.
-    #[test]
-    fn print_parse_roundtrip(e in printable_expr()) {
-        let printed = expr_to_source(&e);
-        let reparsed = parse_expr(&printed)
-            .unwrap_or_else(|err| panic!("reparse failed: {err}\nprinted: {printed}"));
-        prop_assert_eq!(reparsed, e, "printed: {}", printed);
+        }
+        1 => Expr::un(UnOp::Neg, printable_expr(r, depth - 1)),
+        2 => Expr::un(UnOp::Not, printable_expr(r, depth - 1)),
+        3 => Expr::if_(
+            printable_expr(r, depth - 1),
+            printable_expr(r, depth - 1),
+            printable_expr(r, depth - 1),
+        ),
+        _ => Expr::Let(
+            vec![Def { name: "p".into(), ty: None, value: printable_expr(r, depth - 1) }],
+            Box::new(printable_expr(r, depth - 1)),
+        ),
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// `parse(print(e)) == e` for every generated expression.
+#[test]
+fn print_parse_roundtrip() {
+    for case in 0..256u64 {
+        let mut r = Rng::seed(0x5001).fork(case);
+        let e = printable_expr(&mut r, 5);
+        let printed = expr_to_source(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\nprinted: {printed}"));
+        assert_eq!(reparsed, e, "printed: {printed}");
+    }
+}
 
-    /// Flattened 2-D programs agree with a direct 2-D reference sweep.
-    #[test]
-    fn flattening_matches_2d_reference(
-        n in 2usize..6,
-        m in 2usize..7,
-        seed in 0u64..1000,
-    ) {
+/// Flattened 2-D programs agree with a direct 2-D reference sweep.
+#[test]
+fn flattening_matches_2d_reference() {
+    for case in 0..24u64 {
+        let mut r = Rng::seed(0x5002).fork(case);
+        let n = r.range(2, 6);
+        let m = r.range(2, 7);
+        let seed = r.below(1000) as u64;
         let src = format!(
             "
 param n = {n};
@@ -95,7 +113,7 @@ output V;
         let prog = parse_program(&src).unwrap();
         let (flat, info) = flatten_program(&prog).unwrap();
         let w = m + 2;
-        prop_assert_eq!(info.shapes["V"].width() as usize, w);
+        assert_eq!(info.shapes["V"].width() as usize, w);
 
         // Inputs from the seed.
         let grid: Vec<Vec<f64>> = (0..n + 2)
@@ -116,7 +134,7 @@ output V;
                 } else {
                     grid[i - 1][j] + grid[i + 1][j] - grid[i][j - 1] * grid[i][j + 1]
                 };
-                prop_assert!((v[i][j] - want).abs() < 1e-12, "({},{})", i, j);
+                assert!((v[i][j] - want).abs() < 1e-12, "({i},{j})");
             }
         }
     }

@@ -3,12 +3,12 @@
 //! produce identical packet sequences for random programs — data-driven
 //! execution is timing-independent (the heart of the dataflow model).
 
-use proptest::prelude::*;
 use valpipe::ir::{BinOp, Graph, Opcode, Value};
 use valpipe::machine::{
     run_closed_loop, run_program, ClosedLoopOptions, MachineConfig, Placement, ProgramInputs,
     Simulator,
 };
+use valpipe_util::Rng;
 
 /// Random layered DAG over two sources, ADD/MUL/ID cells, one sink per
 /// terminal node.
@@ -43,18 +43,20 @@ fn build_dag(layers: &[Vec<(usize, usize, bool)>]) -> Graph {
     g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn all_three_machine_models_agree() {
+    for case in 0..24u64 {
+        let mut r = Rng::seed(0x4001).fork(case);
+        let layers: Vec<Vec<(usize, usize, bool)>> = (0..r.range(1, 4))
+            .map(|_| {
+                (0..r.range(1, 4))
+                    .map(|_| (r.below(64), r.below(64), r.flip()))
+                    .collect()
+            })
+            .collect();
+        let pes_pow = r.range(1, 4) as u32;
+        let cap = r.range(1, 4);
 
-    #[test]
-    fn all_three_machine_models_agree(
-        layers in proptest::collection::vec(
-            proptest::collection::vec((0usize..64, 0usize..64, any::<bool>()), 1..4),
-            1..4,
-        ),
-        pes_pow in 1u32..4,
-        cap in 1usize..4,
-    ) {
         let g = build_dag(&layers);
         let n = 24usize;
         let inputs = ProgramInputs::new()
@@ -63,7 +65,7 @@ proptest! {
 
         // 1. Idealized.
         let ideal = run_program(&g, &inputs).unwrap();
-        prop_assert!(ideal.sources_exhausted);
+        assert!(ideal.sources_exhausted);
 
         // 2. Detailed static-latency machine.
         let pes = 1usize << pes_pow;
@@ -72,7 +74,7 @@ proptest! {
         let mut opts = placement.sim_options(&g, cap);
         opts.max_steps = 2_000_000;
         let detailed = Simulator::new(&g, &inputs, opts).unwrap().run().unwrap();
-        prop_assert!(detailed.sources_exhausted);
+        assert!(detailed.sources_exhausted);
 
         // 3. Closed-loop networked machine.
         let cl = run_closed_loop(
@@ -86,12 +88,12 @@ proptest! {
             },
         )
         .unwrap();
-        prop_assert!(cl.sources_exhausted);
+        assert!(cl.sources_exhausted);
 
         for (_, name) in g.sinks() {
             let want = ideal.values(&name);
-            prop_assert_eq!(&detailed.values(&name), &want, "detailed {}", name);
-            prop_assert_eq!(&cl.values(&name), &want, "closed-loop {}", name);
+            assert_eq!(&detailed.values(&name), &want, "detailed {name}");
+            assert_eq!(&cl.values(&name), &want, "closed-loop {name}");
         }
     }
 }

@@ -1,12 +1,13 @@
 //! Property tests: randomly generated programs in the paper's pipelinable
 //! class compile, run fully pipelined, and agree with the reference
-//! interpreter on every packet.
+//! interpreter on every packet. Cases come from the workspace's
+//! deterministic PRNG, so every run checks the same programs.
 
-use proptest::prelude::*;
 use std::collections::HashMap;
 use valpipe::compiler::verify::check_against_oracle;
 use valpipe::val::ast::{BinOp, Expr, UnOp};
 use valpipe::{compile_source, ArrayVal, CompileOptions, ForIterScheme};
+use valpipe_util::Rng;
 
 const M: usize = 10;
 
@@ -72,39 +73,60 @@ fn idx(off: i64) -> Expr {
     }
 }
 
-/// Numeric primitive expressions on `i` over arrays P and Q.
-fn num_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-15i64..=15).prop_map(|v| Expr::RealLit(v as f64 / 10.0)),
-        (-1i64..=1).prop_map(|off| Expr::index("P", idx(off))),
-        (-1i64..=1).prop_map(|off| Expr::index("Q", idx(off))),
-        Just(Expr::var("i")),
-    ];
-    leaf.prop_recursive(4, 24, 3, |inner| {
-        prop_oneof![
-            4 => (inner.clone(), inner.clone(), prop_oneof![
-                    Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul)
-                ])
-                .prop_map(|(a, b, op)| Expr::bin(op, a, b)),
-            1 => inner.clone().prop_map(|a| Expr::un(UnOp::Neg, a)),
-            1 => (inner.clone(), 2i64..=8)
-                .prop_map(|(a, d)| Expr::bin(BinOp::Div, a, Expr::RealLit(d as f64))),
-            // Static condition (index-only): exercises control-stream gating.
-            2 => (1i64..M as i64, inner.clone(), inner.clone())
-                .prop_map(|(k, a, b)| Expr::if_(
-                    Expr::bin(BinOp::Lt, Expr::var("i"), Expr::IntLit(k)), a, b)),
-            // Dynamic condition (data-dependent): exercises Fig. 5 gating.
-            2 => (inner.clone(), inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(x, y, a, b)| Expr::if_(
-                    Expr::bin(BinOp::Lt, x, y), a, b)),
-            // Let sharing: the bound stream fans out to two consumers.
-            1 => (inner.clone(), inner.clone()).prop_map(|(e1, e2)| Expr::Let(
-                vec![valpipe::val::Def { name: "p".into(), ty: None, value: e1 }],
-                Box::new(Expr::bin(BinOp::Add,
-                    Expr::bin(BinOp::Mul, Expr::var("p"), Expr::var("p")), e2)),
+fn leaf(r: &mut Rng) -> Expr {
+    match r.below(4) {
+        0 => Expr::RealLit(r.range_i64(-15, 16) as f64 / 10.0),
+        1 => Expr::index("P", idx(r.range_i64(-1, 2))),
+        2 => Expr::index("Q", idx(r.range_i64(-1, 2))),
+        _ => Expr::var("i"),
+    }
+}
+
+/// Numeric primitive expressions on `i` over arrays P and Q, recursion
+/// bounded by `depth`. The weighted cases mirror the original generator:
+/// arithmetic (4), negation (1), division by a constant (1), static
+/// condition (2), dynamic condition (2), let sharing (1).
+fn num_expr(r: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || r.chance(0.25) {
+        return leaf(r);
+    }
+    match r.below(11) {
+        0..=3 => {
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][r.below(3)];
+            Expr::bin(op, num_expr(r, depth - 1), num_expr(r, depth - 1))
+        }
+        4 => Expr::un(UnOp::Neg, num_expr(r, depth - 1)),
+        5 => Expr::bin(
+            BinOp::Div,
+            num_expr(r, depth - 1),
+            Expr::RealLit(r.range_i64(2, 9) as f64),
+        ),
+        // Static condition (index-only): exercises control-stream gating.
+        6 | 7 => Expr::if_(
+            Expr::bin(BinOp::Lt, Expr::var("i"), Expr::IntLit(r.range_i64(1, M as i64))),
+            num_expr(r, depth - 1),
+            num_expr(r, depth - 1),
+        ),
+        // Dynamic condition (data-dependent): exercises Fig. 5 gating.
+        8 | 9 => Expr::if_(
+            Expr::bin(BinOp::Lt, num_expr(r, depth - 1), num_expr(r, depth - 1)),
+            num_expr(r, depth - 1),
+            num_expr(r, depth - 1),
+        ),
+        // Let sharing: the bound stream fans out to two consumers.
+        _ => Expr::Let(
+            vec![valpipe::val::Def {
+                name: "p".into(),
+                ty: None,
+                value: num_expr(r, depth - 1),
+            }],
+            Box::new(Expr::bin(
+                BinOp::Add,
+                Expr::bin(BinOp::Mul, Expr::var("p"), Expr::var("p")),
+                num_expr(r, depth - 1),
             )),
-        ]
-    })
+        ),
+    }
 }
 
 fn inputs() -> HashMap<String, ArrayVal> {
@@ -116,13 +138,13 @@ fn inputs() -> HashMap<String, ArrayVal> {
     h
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Theorem 1/2 as a property: every random primitive forall compiles,
-    /// drains, matches the oracle, and streams at the maximum rate.
-    #[test]
-    fn random_primitive_forall_fully_pipelined(body in num_expr()) {
+/// Theorem 1/2 as a property: every random primitive forall compiles,
+/// drains, matches the oracle, and streams at the maximum rate.
+#[test]
+fn random_primitive_forall_fully_pipelined() {
+    for case in 0..48u64 {
+        let mut r = Rng::seed(0x2001).fork(case);
+        let body = num_expr(&mut r, 4);
         let src = format!(
             "param m = {M};
 input P : array[real] [0, m+1];
@@ -142,30 +164,32 @@ output Y;",
         // (Bodies whose array reads are pruned by always-false static
         // conditions free-run at exactly 2.0.)
         let upper = 2.0 * (M as f64 + 2.0) / M as f64 + 0.25;
-        prop_assert!(
+        assert!(
             iv > 1.9 && iv < upper,
             "interval {iv} outside [1.9, {upper}] for:\n{src}"
         );
     }
+}
 
-    /// Theorem 3 as a property: every random *linear* recurrence matches
-    /// the oracle under both schemes, and the companion scheme is at least
-    /// as fast as Todd's.
-    #[test]
-    fn random_linear_recurrence_schemes_agree(
-        alpha in prop_oneof![
-            (50i64..99).prop_map(|v| Expr::RealLit(v as f64 / 100.0)),
-            Just(Expr::bin(BinOp::Mul, Expr::index("P", idx(0)), Expr::RealLit(0.5))),
-            Just(Expr::index("P", idx(-1))),
-            Just(Expr::IntLit(1)),
-        ],
-        beta in prop_oneof![
-            (-20i64..20).prop_map(|v| Expr::RealLit(v as f64 / 10.0)),
-            Just(Expr::index("Q", idx(0))),
-            Just(Expr::bin(BinOp::Add, Expr::index("Q", idx(1)), Expr::RealLit(0.25))),
-        ],
-        flip in any::<bool>(),
-    ) {
+/// Theorem 3 as a property: every random *linear* recurrence matches
+/// the oracle under both schemes, and the companion scheme is at least
+/// as fast as Todd's.
+#[test]
+fn random_linear_recurrence_schemes_agree() {
+    for case in 0..48u64 {
+        let mut r = Rng::seed(0x2002).fork(case);
+        let alpha = match r.below(4) {
+            0 => Expr::RealLit(r.range_i64(50, 99) as f64 / 100.0),
+            1 => Expr::bin(BinOp::Mul, Expr::index("P", idx(0)), Expr::RealLit(0.5)),
+            2 => Expr::index("P", idx(-1)),
+            _ => Expr::IntLit(1),
+        };
+        let beta = match r.below(3) {
+            0 => Expr::RealLit(r.range_i64(-20, 20) as f64 / 10.0),
+            1 => Expr::index("Q", idx(0)),
+            _ => Expr::bin(BinOp::Add, Expr::index("Q", idx(1)), Expr::RealLit(0.25)),
+        };
+        let flip = r.flip();
         // Body: α·T[i-1] + β, sometimes written β + T[i-1]·α to exercise
         // the linearity analyzer's structural cases.
         let t = "T[i-1]".to_string();
@@ -195,7 +219,7 @@ output X;"
                 .unwrap_or_else(|e| panic!("oracle ({scheme:?}) failed: {e}\n{src}"));
             ivs.push(report.run.steady_interval("X").expect("steady state"));
         }
-        prop_assert!(
+        assert!(
             ivs[1] <= ivs[0] + 0.05,
             "companion ({}) slower than Todd ({}) for:\n{src}",
             ivs[1],

@@ -1,20 +1,21 @@
 //! Property test: generator synthesis is semantics-preserving for
 //! arbitrary run-length control patterns and index ranges.
 
-use proptest::prelude::*;
 use valpipe::compiler::synth::synthesize_generators;
 use valpipe::ir::{CtlStream, Graph, Opcode};
 use valpipe::machine::{ProgramInputs, SimOptions, Simulator};
+use valpipe_util::Rng;
 
-fn pattern() -> impl Strategy<Value = CtlStream> {
-    proptest::collection::vec((any::<bool>(), 1u32..4), 1..6).prop_map(CtlStream::from_runs)
+fn random_pattern(r: &mut Rng) -> CtlStream {
+    let n_runs = r.range(1, 6);
+    CtlStream::from_runs((0..n_runs).map(|_| (r.flip(), r.range(1, 4) as u32)))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn synthesized_ctl_matches_primitive(stream in pattern()) {
+#[test]
+fn synthesized_ctl_matches_primitive() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed(0x6001).fork(case);
+        let stream = random_pattern(&mut r);
         let build = |primitive: bool| {
             let mut g = Graph::new();
             let gen = g.add_node(Opcode::CtlGen(stream.clone()), "ctl");
@@ -34,12 +35,17 @@ proptest! {
         let want = build(true);
         let got = build(false);
         let n = want.len().min(got.len());
-        prop_assert!(n >= stream.wave_len() as usize);
-        prop_assert_eq!(&got[..n], &want[..n], "pattern {}", stream);
+        assert!(n >= stream.wave_len() as usize);
+        assert_eq!(&got[..n], &want[..n], "pattern {stream}");
     }
+}
 
-    #[test]
-    fn synthesized_idx_matches_primitive(lo in -5i64..5, len in 1i64..9) {
+#[test]
+fn synthesized_idx_matches_primitive() {
+    for case in 0..64u64 {
+        let mut r = Rng::seed(0x6002).fork(case);
+        let lo = r.range_i64(-5, 5);
+        let len = r.range_i64(1, 9);
         let hi = lo + len - 1;
         let build = |primitive: bool| {
             let mut g = Graph::new();
@@ -60,6 +66,6 @@ proptest! {
         let want = build(true);
         let got = build(false);
         let n = want.len().min(got.len());
-        prop_assert_eq!(&got[..n], &want[..n]);
+        assert_eq!(&got[..n], &want[..n]);
     }
 }
