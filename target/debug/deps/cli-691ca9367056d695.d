@@ -6,5 +6,5 @@ tests/cli.rs:
 Cargo.toml:
 
 # env-dep:CARGO_BIN_EXE_valpipe=placeholder:valpipe
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR
