@@ -3,8 +3,24 @@
 # pass. Run from the repository root; fails fast on the first error.
 set -eu
 
+# Build artifacts must never be committed.
+if [ -n "$(git ls-files target/)" ]; then
+    echo "ci: FAIL — build artifacts are tracked under target/" >&2
+    exit 1
+fi
+
 cargo build --release
 cargo test -q
+
+# The two step-loop kernels must agree bit-for-bit; run the dedicated
+# equivalence and property suites explicitly so a regression names them.
+cargo test -q -p valpipe-machine --test kernel_equivalence
+cargo test -q --test property_kernels
+
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Benchmarks must at least run: smoke mode shrinks workloads and skips
+# the wall-clock speedup assertion (meaningless on shared CI machines).
+cargo bench -p valpipe-bench -- --test
 
 echo "ci: all gates passed"

@@ -2,7 +2,7 @@
 //! heuristic, and the min-cost-flow-dual optimum on growing random DAGs.
 
 use valpipe_balance::{problem, solve};
-use valpipe_bench::timing::bench;
+use valpipe_bench::timing::{bench, iters};
 use valpipe_ir::value::BinOp;
 use valpipe_ir::{Graph, Opcode};
 use valpipe_util::Rng;
@@ -42,17 +42,17 @@ fn main() {
         let g = random_dag(width, layers, 7);
         let p = problem::extract(&g).unwrap();
         let n = g.node_count();
-        bench(&format!("balance/asap/{n}"), 10, || solve::solve_asap(&p));
-        bench(&format!("balance/heuristic/{n}"), 10, || solve::solve_heuristic(&p, 64));
+        bench(&format!("balance/asap/{n}"), iters(10), || solve::solve_asap(&p));
+        bench(&format!("balance/heuristic/{n}"), iters(10), || solve::solve_heuristic(&p, 64));
         // The MCMF optimum is the slow one — keep its instances modest.
-        bench(&format!("balance/optimal_mcmf/{n}"), 10, || solve::solve_optimal(&p));
+        bench(&format!("balance/optimal_mcmf/{n}"), iters(10), || solve::solve_optimal(&p));
     }
     // Larger instances for the polynomial-scaling picture, cheap solvers only.
     for (width, layers) in [(16usize, 50usize), (24, 80)] {
         let g = random_dag(width, layers, 7);
         let p = problem::extract(&g).unwrap();
         let n = g.node_count();
-        bench(&format!("balance/asap_large/{n}"), 10, || solve::solve_asap(&p));
-        bench(&format!("balance/heuristic_large/{n}"), 10, || solve::solve_heuristic(&p, 64));
+        bench(&format!("balance/asap_large/{n}"), iters(10), || solve::solve_asap(&p));
+        bench(&format!("balance/heuristic_large/{n}"), iters(10), || solve::solve_heuristic(&p, 64));
     }
 }

@@ -1,29 +1,29 @@
 //! Bench: compiler wall time — frontend + classification + graph
 //! construction + balancing — across workloads and sizes.
 
-use valpipe_bench::timing::bench;
+use valpipe_bench::timing::{bench, iters};
 use valpipe_bench::workloads::{chain_src, fig3_src, fig6_src};
 use valpipe_core::{compile_source, CompileOptions, ForIterScheme};
 
 fn main() {
     for m in [32usize, 256, 1024] {
         let src = fig6_src(m);
-        bench(&format!("compile/fig6_forall/{m}"), 20, || {
+        bench(&format!("compile/fig6_forall/{m}"), iters(20), || {
             compile_source(&src, &CompileOptions::paper()).unwrap()
         });
         let src = fig3_src(m);
-        bench(&format!("compile/fig3_program/{m}"), 20, || {
+        bench(&format!("compile/fig3_program/{m}"), iters(20), || {
             compile_source(&src, &CompileOptions::paper()).unwrap()
         });
     }
     for blocks in [10usize, 40] {
         let src = chain_src(2 * blocks + 16, blocks);
-        bench(&format!("compile/chain_blocks/{blocks}"), 20, || {
+        bench(&format!("compile/chain_blocks/{blocks}"), iters(20), || {
             compile_source(&src, &CompileOptions::paper()).unwrap()
         });
     }
     let mut todd = CompileOptions::paper();
     todd.scheme = ForIterScheme::Todd;
     let src = fig3_src(256);
-    bench("compile/fig3_todd_m256", 20, || compile_source(&src, &todd).unwrap());
+    bench("compile/fig3_todd_m256", iters(20), || compile_source(&src, &todd).unwrap());
 }

@@ -1,0 +1,140 @@
+//! Bench: scan vs event-driven step-loop kernels.
+//!
+//! The scan kernel pays O(cells) every instruction time; the event-driven
+//! kernel pays O(fired + woken). On a dense, fully pipelined workload the
+//! two are close (most cells fire most steps). The separation shows on
+//! *sparse-activity* workloads — a long pipeline carrying a handful of
+//! packets, where the scan kernel re-examines thousands of idle cells per
+//! step. That is the acceptance workload: the event kernel must beat the
+//! scan kernel by at least 3× there (asserted, not just printed).
+//!
+//! Both kernels must also agree bit-for-bit on every workload; the bench
+//! asserts that too, so a timing win can never hide a semantics drift.
+
+use std::time::Instant;
+use valpipe_bench::timing::{bench, iters, smoke_mode};
+use valpipe_bench::workloads::{fig6_src, inputs_for_compiled};
+use valpipe_core::verify::stream_inputs;
+use valpipe_core::{compile_source, CompileOptions};
+use valpipe_ir::value::Value;
+use valpipe_ir::{Graph, Opcode};
+use valpipe_machine::{Kernel, ProgramInputs, RunResult, Simulator};
+
+/// An identity chain of `stages` cells: with only a few packets in
+/// flight, almost every cell is idle at almost every step.
+fn sparse_chain(stages: usize) -> Graph {
+    let mut g = Graph::new();
+    let a = g.add_node(Opcode::Source("a".into()), "a");
+    let mut prev = a;
+    for k in 0..stages {
+        prev = g.cell(Opcode::Id, format!("s{k}"), &[prev.into()]);
+    }
+    let _ = g.cell(Opcode::Sink("out".into()), "out", &[prev.into()]);
+    g
+}
+
+fn run_kernel(g: &Graph, inputs: &ProgramInputs, kernel: Kernel) -> RunResult {
+    Simulator::builder(g)
+        .inputs(inputs.clone())
+        .kernel(kernel)
+        .run()
+        .unwrap()
+}
+
+/// Median wall time of `n` runs.
+fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|x, y| x.total_cmp(y));
+    times[times.len() / 2]
+}
+
+fn main() {
+    // 1. Sparse-activity acceptance workload: a deep pipe, few packets.
+    let stages = if smoke_mode() { 400 } else { 4000 };
+    let g = sparse_chain(stages);
+    let packets: Vec<f64> = (0..8).map(|i| i as f64).collect();
+    let inputs = ProgramInputs::new().bind_reals("a", &packets);
+
+    let scan = run_kernel(&g, &inputs, Kernel::Scan);
+    let event = run_kernel(&g, &inputs, Kernel::EventDriven);
+    assert_eq!(scan, event, "kernels disagree on the sparse chain");
+
+    let n = iters(10);
+    let t_scan = median_secs(n, || {
+        let _ = run_kernel(&g, &inputs, Kernel::Scan);
+    });
+    let t_event = median_secs(n, || {
+        let _ = run_kernel(&g, &inputs, Kernel::EventDriven);
+    });
+    let speedup = t_scan / t_event;
+    println!(
+        "kernels/sparse_chain/{stages}x8pkts       scan {:>10.3}ms   event {:>10.3}ms   speedup {speedup:>6.2}x",
+        t_scan * 1e3,
+        t_event * 1e3,
+    );
+    if !smoke_mode() {
+        assert!(
+            speedup >= 3.0,
+            "event kernel must be >= 3x faster than scan on the sparse workload, got {speedup:.2}x"
+        );
+    }
+
+    // 2. A cyclic sparse workload: one token circulating a long ring.
+    let ring_len = if smoke_mode() { 200 } else { 2000 };
+    let mut rg = Graph::new();
+    let first = rg.add_node(Opcode::Id, "r0");
+    let mut prev = first;
+    for k in 1..ring_len {
+        prev = rg.cell(Opcode::Id, format!("r{k}"), &[prev.into()]);
+    }
+    rg.connect_init(prev, first, 0, Value::Int(1));
+    let _ = rg.cell(Opcode::Sink("out".into()), "out", &[prev.into()]);
+    let ring_run = |kernel: Kernel| {
+        Simulator::builder(&rg)
+            .max_steps(if smoke_mode() { 20_000 } else { 200_000 })
+            .kernel(kernel)
+            .run()
+            .unwrap()
+    };
+    assert_eq!(
+        ring_run(Kernel::Scan),
+        ring_run(Kernel::EventDriven),
+        "kernels disagree on the ring"
+    );
+    let t_scan = median_secs(n, || {
+        let _ = ring_run(Kernel::Scan);
+    });
+    let t_event = median_secs(n, || {
+        let _ = ring_run(Kernel::EventDriven);
+    });
+    println!(
+        "kernels/ring/{ring_len}x1token            scan {:>10.3}ms   event {:>10.3}ms   speedup {:>6.2}x",
+        t_scan * 1e3,
+        t_event * 1e3,
+        t_scan / t_event,
+    );
+
+    // 3. Dense paper workload: both kernels on fig6, for the honest
+    // "what does it cost when everything fires" number.
+    let compiled = compile_source(&fig6_src(64), &CompileOptions::paper()).unwrap();
+    let exe = compiled.executable();
+    let arrays = inputs_for_compiled(&compiled);
+    let dense_inputs = stream_inputs(&compiled, &arrays, 10);
+    assert_eq!(
+        run_kernel(&exe, &dense_inputs, Kernel::Scan),
+        run_kernel(&exe, &dense_inputs, Kernel::EventDriven),
+        "kernels disagree on fig6"
+    );
+    for kernel in [Kernel::Scan, Kernel::EventDriven] {
+        bench(&format!("kernels/fig6_dense/{kernel:?}"), n, || {
+            run_kernel(&exe, &dense_inputs, kernel)
+        });
+    }
+}

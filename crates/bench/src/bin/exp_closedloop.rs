@@ -15,7 +15,7 @@ use valpipe_bench::workloads::{fig6_src, inputs_for_compiled};
 use valpipe_bench::FaultArgs;
 use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions};
-use valpipe_machine::{run_closed_loop, run_program, ClosedLoopOptions, Placement};
+use valpipe_machine::{run_closed_loop, ClosedLoopOptions, Placement, Simulator};
 
 fn main() {
     let fault_args = FaultArgs::parse_env();
@@ -33,7 +33,11 @@ fn main() {
     let exe = compiled.executable();
     let arrays = inputs_for_compiled(&compiled);
     let inputs = stream_inputs(&compiled, &arrays, 12);
-    let ideal = run_program(&compiled.executable(), &inputs).expect("idealized run");
+    let ideal_exe = compiled.executable();
+    let ideal = Simulator::builder(&ideal_exe)
+        .inputs(inputs.clone())
+        .run()
+        .expect("idealized run");
     let ideal_vals = ideal.values("A");
 
     println!(
@@ -65,7 +69,7 @@ fn main() {
                 println!("pes={pes} cap={cap}: stalled after {} cycles", r.steps);
                 continue;
             }
-            let iv = r.steady_interval("A").expect("steady");
+            let iv = r.timing("A").interval().expect("steady");
             let same = r.values("A") == ideal_vals;
             println!(
                 "{pes:>5} {cap:>9} {iv:>10.3} {:>12.2} {:>12} {:>10}",

@@ -14,22 +14,22 @@
 use valpipe_bench::FaultArgs;
 use valpipe_core::timestep::build_timestep_loop;
 use valpipe_ir::Value;
-use valpipe_machine::{steady_interval_of, ProgramInputs, Simulator};
+use valpipe_machine::Simulator;
 
 fn run(n: usize, delay: usize, fault_args: &FaultArgs) -> Option<(f64, usize)> {
     let initial: Vec<Value> = (0..n).map(|i| Value::Real(i as f64 * 0.1)).collect();
     let g = build_timestep_loop(&initial, 0.5, 1.0, 2, delay);
     let cells = g.node_count() - 1; // minus the sink
-    let mut opts = fault_args.sim_options();
-    opts.max_steps = 40_000;
-    let r = Simulator::new(&g, &ProgramInputs::new(), opts).unwrap().run().unwrap();
+    let r = Simulator::builder(&g)
+        .config(fault_args.sim_config().max_steps(40_000))
+        .run()
+        .unwrap();
     if let Some(report) = &r.stall_report {
         println!("n={n} delay={delay}: stalled after {} steps", r.steps);
         print!("{report}");
         return None;
     }
-    let times: Vec<u64> = r.outputs["x"].iter().map(|&(t, _)| t).collect();
-    Some((steady_interval_of(&times)?, cells))
+    Some((r.timing("x").interval()?, cells))
 }
 
 fn main() {

@@ -25,17 +25,21 @@ use valpipe_bench::FaultArgs;
 use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions};
 use valpipe_machine::{
-    FaultPlan, ProgramInputs, RunResult, SimOptions, Simulator, WatchdogConfig,
+    FaultPlan, ProgramInputs, RunResult, SimConfig, Simulator, WatchdogConfig,
 };
 use valpipe_ir::Graph;
 
 fn run_plan(exe: &Graph, inputs: &ProgramInputs, plan: Option<FaultPlan>) -> RunResult {
-    let mut opts = SimOptions::default();
-    opts.max_steps = 3_000_000;
-    opts.fault_plan = plan;
-    opts.watchdog = Some(WatchdogConfig { step_budget: 2_000_000, ..Default::default() });
-    opts.check_invariants = true;
-    Simulator::new(exe, inputs, opts).unwrap().run().unwrap()
+    let cfg = SimConfig::new()
+        .max_steps(3_000_000)
+        .fault_plan_opt(plan)
+        .watchdog(WatchdogConfig { step_budget: 2_000_000, ..Default::default() })
+        .check_invariants(true);
+    Simulator::builder(exe)
+        .inputs(inputs.clone())
+        .config(cfg)
+        .run()
+        .unwrap()
 }
 
 fn main() {
@@ -52,21 +56,24 @@ fn main() {
     let clean = run_plan(&exe, &inputs, None);
     assert!(clean.sources_exhausted, "clean run must drain");
     let clean_vals = clean.values("A");
-    let clean_iv = clean.steady_interval("A").expect("steady");
+    let clean_iv = clean.timing("A").interval().expect("steady");
 
     if fault_args.active() {
         // User-specified plan: one diagnostic run.
-        let mut opts = SimOptions::default();
-        opts.max_steps = 3_000_000;
-        fault_args.apply(&mut opts);
-        opts.check_invariants = true;
-        let r = Simulator::new(&exe, &inputs, opts).unwrap().run().unwrap();
+        let cfg = fault_args
+            .apply(SimConfig::new().max_steps(3_000_000))
+            .check_invariants(true);
+        let r = Simulator::builder(&exe)
+            .inputs(inputs.clone())
+            .config(cfg)
+            .run()
+            .unwrap();
         println!("steps {}   packets on A: {}   sources drained: {}", r.steps, r.values("A").len(), r.sources_exhausted);
         match &r.stall_report {
             Some(report) => print!("{report}"),
             None => println!(
                 "run completed; interval {:.3} (clean {:.3}), values {}",
-                r.steady_interval("A").unwrap_or(f64::NAN),
+                r.timing("A").interval().unwrap_or(f64::NAN),
                 clean_iv,
                 if r.values("A") == clean_vals { "identical" } else { "DIFFER" },
             ),
@@ -90,7 +97,7 @@ fn main() {
         };
         let r = run_plan(&exe, &inputs, Some(plan));
         assert!(r.sources_exhausted, "delays must never wedge the pipe (p={prob})");
-        let iv = r.steady_interval("A").expect("steady");
+        let iv = r.timing("A").interval().expect("steady");
         let same = r.values("A") == clean_vals;
         println!("{prob:<12} {iv:>10.3} {:>10.4} {:>10}", 1.0 / iv, if same { "identical" } else { "DIFFER" });
         // Small tolerance: position-keyed draws are not nested across

@@ -42,17 +42,19 @@ fn main() {
                 ..Default::default()
             };
             let placement = Placement::round_robin(&exe, cfg);
-            let mut opts = placement.sim_options(&exe, cap);
-            opts.max_steps = 3_000_000;
-            fault_args.apply(&mut opts);
-            let r = Simulator::new(&exe, &inputs, opts).unwrap().run().unwrap();
+            let cfg = fault_args.apply(placement.sim_config(&exe, cap).max_steps(3_000_000));
+            let r = Simulator::builder(&exe)
+                .inputs(inputs.clone())
+                .config(cfg)
+                .run()
+                .unwrap();
             if let Some(report) = &r.stall_report {
                 println!("net={net} cap={cap}: stalled after {} steps", r.steps);
                 print!("{report}");
                 continue;
             }
             assert!(r.sources_exhausted, "net={net} cap={cap} must drain");
-            let iv = r.steady_interval("A").expect("steady");
+            let iv = r.timing("A").interval().expect("steady");
             println!("{:<12} {:>12} {:>10.3} {:>10.4}", net, cap, iv, 1.0 / iv);
             results.push((net, cap, iv));
         }

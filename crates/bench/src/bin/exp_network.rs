@@ -48,9 +48,11 @@ fn main() {
     let exe = compiled.executable();
     let arrays = inputs_for_compiled(&compiled);
     let inputs = stream_inputs(&compiled, &arrays, 12);
-    let mut opts = fault_args.sim_options();
-    opts.record_fire_times = true;
-    let run = Simulator::new(&exe, &inputs, opts).unwrap().run().unwrap();
+    let run = Simulator::builder(&exe)
+        .inputs(inputs.clone())
+        .config(fault_args.sim_config().record_fire_times(true))
+        .run()
+        .unwrap();
     if let Some(report) = &run.stall_report {
         println!("\ntrace run stalled after {} steps; no replay possible", run.steps);
         print!("{report}");

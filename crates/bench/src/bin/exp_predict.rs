@@ -57,7 +57,7 @@ fn main() {
         let predicted = predict_compiled(&compiled)[out];
         let inputs = inputs_for_compiled(&compiled);
         let report =
-            match check_against_oracle_with(&compiled, &inputs, 30, 1e-8, fault_args.sim_options())
+            match check_against_oracle_with(&compiled, &inputs, 30, 1e-8, fault_args.sim_config())
             {
                 Ok(r) => r,
                 Err(e) => {
@@ -65,7 +65,7 @@ fn main() {
                     continue;
                 }
             };
-        let measured = report.run.steady_interval(out).expect("steady");
+        let measured = report.run.timing(out).interval().expect("steady");
         let err = (predicted - measured).abs() / measured * 100.0;
         worst = worst.max(err);
         println!("{label:<28} {predicted:>10.3} {measured:>10.3} {err:>7.2}%");

@@ -29,7 +29,7 @@ fn main() {
         let compiled = compile_source(&src, &CompileOptions::paper()).expect("chain compiles");
         let arrays = inputs_for_compiled(&compiled);
         let _ = stream_inputs(&compiled, &arrays, 1); // warm the builder
-        let r = match run(&compiled, &arrays, 14, fault_args.sim_options()) {
+        let r = match run(&compiled, &arrays, 14, fault_args.sim_config()) {
             Ok(r) => r,
             Err(e) => {
                 println!("blocks={blocks}: {e}");
@@ -44,7 +44,7 @@ fn main() {
             continue;
         }
         let out = format!("S{blocks}");
-        let iv = r.steady_interval(&out).expect("steady");
+        let iv = r.timing(&out).interval().expect("steady");
         let avg_fires = r.total_fires as f64 / r.steps as f64;
         println!(
             "{:<10} {:>7} {:>9.3} {:>10.4} {:>12.1} {:>14}",

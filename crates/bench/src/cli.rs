@@ -11,7 +11,7 @@
 
 use crate::measure::{measure_program_with, Measurement};
 use valpipe_core::CompileOptions;
-use valpipe_machine::{FaultPlan, SimOptions, WatchdogConfig};
+use valpipe_machine::{FaultPlan, SimConfig, WatchdogConfig};
 
 /// Robustness flags parsed from the process arguments.
 #[derive(Debug, Clone, Default)]
@@ -56,22 +56,24 @@ impl FaultArgs {
         self.fault_plan.is_some() || self.step_budget.is_some()
     }
 
-    /// Apply the flags to simulator options: install the fault plan and,
-    /// if a budget was given, a watchdog with that budget.
-    pub fn apply(&self, opts: &mut SimOptions) {
-        if let Some(p) = &self.fault_plan {
-            opts.fault_plan = Some(p.clone());
-        }
-        if let Some(budget) = self.step_budget {
-            opts.watchdog = Some(WatchdogConfig { step_budget: budget, ..Default::default() });
+    /// Apply the flags to a simulator config: install the fault plan
+    /// and, if a budget was given, a watchdog with that budget.
+    pub fn apply(&self, cfg: SimConfig) -> SimConfig {
+        let cfg = match &self.fault_plan {
+            Some(p) => cfg.fault_plan(p.clone()),
+            None => cfg,
+        };
+        match self.step_budget {
+            Some(budget) => {
+                cfg.watchdog(WatchdogConfig { step_budget: budget, ..Default::default() })
+            }
+            None => cfg,
         }
     }
 
-    /// Default simulator options with the flags applied.
-    pub fn sim_options(&self) -> SimOptions {
-        let mut opts = SimOptions::default();
-        self.apply(&mut opts);
-        opts
+    /// The default simulator config with the flags applied.
+    pub fn sim_config(&self) -> SimConfig {
+        self.apply(SimConfig::new())
     }
 
     /// Oracle-checked measurement under the active flags. A stalled run
@@ -85,7 +87,7 @@ impl FaultArgs {
         output: &str,
         waves: usize,
     ) -> Option<Measurement> {
-        match measure_program_with(label, src, opts, output, waves, self.sim_options()) {
+        match measure_program_with(label, src, opts, output, waves, self.sim_config()) {
             Ok(m) => Some(m),
             Err(e) => {
                 println!("{label}: {e}");

@@ -4,7 +4,7 @@
 use crate::workloads::inputs_for_compiled;
 use valpipe_core::verify::{check_against_oracle_with, VerifyError};
 use valpipe_core::{compile_source, CompileOptions, Compiled};
-use valpipe_machine::SimOptions;
+use valpipe_machine::SimConfig;
 
 /// One measured configuration.
 #[derive(Debug, Clone)]
@@ -38,11 +38,11 @@ pub fn measure_program(
     output: &str,
     waves: usize,
 ) -> Measurement {
-    measure_program_with(label, src, opts, output, waves, SimOptions::default())
+    measure_program_with(label, src, opts, output, waves, SimConfig::new())
         .expect("oracle check")
 }
 
-/// [`measure_program`] on caller-supplied simulator options; a stalled
+/// [`measure_program`] on a caller-supplied simulator config; a stalled
 /// or mismatched run comes back as an error instead of a panic, so
 /// reporters can print the stall diagnosis under an active fault plan.
 pub fn measure_program_with(
@@ -51,7 +51,7 @@ pub fn measure_program_with(
     opts: &CompileOptions,
     output: &str,
     waves: usize,
-    sim: SimOptions,
+    sim: SimConfig,
 ) -> Result<Measurement, VerifyError> {
     let compiled = compile_source(src, opts).expect("workload compiles");
     measure_compiled_with(label, &compiled, output, waves, sim)
@@ -64,23 +64,24 @@ pub fn measure_compiled(
     output: &str,
     waves: usize,
 ) -> Measurement {
-    measure_compiled_with(label, compiled, output, waves, SimOptions::default())
+    measure_compiled_with(label, compiled, output, waves, SimConfig::new())
         .expect("oracle check")
 }
 
-/// [`measure_compiled`] on caller-supplied simulator options.
+/// [`measure_compiled`] on a caller-supplied simulator config.
 pub fn measure_compiled_with(
     label: impl Into<String>,
     compiled: &Compiled,
     output: &str,
     waves: usize,
-    sim: SimOptions,
+    sim: SimConfig,
 ) -> Result<Measurement, VerifyError> {
     let inputs = inputs_for_compiled(compiled);
     let report = check_against_oracle_with(compiled, &inputs, waves, 1e-8, sim)?;
     let interval = report
         .run
-        .steady_interval(output)
+        .timing(output)
+        .interval()
         .expect("enough packets for a steady-state measurement");
     Ok(Measurement {
         label: label.into(),

@@ -6,6 +6,24 @@
 
 use std::time::Instant;
 
+/// Whether the benches run in smoke mode: `cargo bench -- --test` passes
+/// `--test` through to every `harness = false` main. Smoke mode is the
+/// CI hook — each bench executes its workloads once to prove they still
+/// run, without spending wall time on stable statistics.
+pub fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Iteration count honoring smoke mode: `full` normally, 1 under
+/// `--test`.
+pub fn iters(full: usize) -> usize {
+    if smoke_mode() {
+        1
+    } else {
+        full
+    }
+}
+
 /// Run `f` repeatedly and print a one-line summary.
 ///
 /// `f` is called once for warmup, then `iters` timed times. The median and

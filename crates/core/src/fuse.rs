@@ -245,15 +245,20 @@ mod tests {
 
     #[test]
     fn fused_graph_computes_the_same_stream() {
-        use valpipe_machine::{run_program, ProgramInputs};
+        use valpipe_machine::{ProgramInputs, Simulator};
         let data: Vec<valpipe_ir::Value> =
             (0..15).map(|i| valpipe_ir::Value::Real(i as f64)).collect();
         let inputs = ProgramInputs::new().bind("a", data);
-        let before = run_program(&cascade(), &inputs).unwrap().reals("y");
+        let cascade_g = cascade();
+        let before = Simulator::builder(&cascade_g)
+            .inputs(inputs.clone())
+            .run()
+            .unwrap()
+            .reals("y");
         let mut g = cascade();
         fuse_static_gates(&mut g);
         sweep_dead(&mut g);
-        let after = run_program(&g, &inputs).unwrap().reals("y");
+        let after = Simulator::builder(&g).inputs(inputs).run().unwrap().reals("y");
         assert_eq!(before, after);
         assert_eq!(before, vec![1.0, 3.0, 6.0, 8.0, 11.0, 13.0]);
     }

@@ -194,7 +194,7 @@ mod tests {
             inputs.insert(name.clone(), ArrayVal::from_reals(*lo, &vals));
         }
         let report = check_against_oracle(&compiled, &inputs, 30, 1e-8).unwrap();
-        let measured = report.run.steady_interval(out).unwrap();
+        let measured = report.run.timing(out).interval().unwrap();
         let predicted = predict_compiled(&compiled)[out];
         (predicted, measured)
     }

@@ -87,7 +87,7 @@ output S;
     let mut inputs = HashMap::new();
     inputs.insert("C".to_string(), ArrayVal::from_reals(0, &c));
     let report = check_against_oracle(&compiled, &inputs, 30, 1e-12).unwrap();
-    let iv = report.run.steady_interval("S").expect("enough packets");
+    let iv = report.run.timing("S").interval().expect("enough packets");
     // 16 useful elements per 18-element input wave → interval 18/16 · 2.
     let expected = 2.0 * 18.0 / 16.0;
     assert!(
@@ -102,7 +102,7 @@ fn fig6_example1_forall_correct_and_pipelined() {
     let compiled = compile_source(&example1_src(m), &CompileOptions::paper()).unwrap();
     let report = check_against_oracle(&compiled, &arrays(m), 30, 1e-12).unwrap();
     // Output has m+2 elements per wave of m+2 inputs → full rate 1/2.
-    let iv = report.run.steady_interval("A").unwrap();
+    let iv = report.run.timing("A").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.1, "Example 1 interval {iv} ≉ 2");
 }
 
@@ -115,7 +115,7 @@ fn fig6_example1_unbalanced_ablation_is_slower() {
     // Still correct…
     let report = check_against_oracle(&compiled, &arrays(m), 30, 1e-12).unwrap();
     // …but no longer at the maximum rate.
-    let iv = report.run.steady_interval("A").unwrap();
+    let iv = report.run.timing("A").interval().unwrap();
     assert!(iv > 2.2, "unbalanced Example 1 interval {iv} should exceed 2");
 }
 
@@ -130,7 +130,7 @@ fn fig7_example2_todd_rate_one_quarter() {
     // value → one element per 4 instruction times. (The paper's Fig. 7
     // counts 3 because its output switch is a destination condition, not
     // a separate cell.)
-    let iv = report.run.steady_interval("X").unwrap();
+    let iv = report.run.timing("X").interval().unwrap();
     assert!(
         (iv - 4.0).abs() < 0.2,
         "Todd scheme interval {iv}, expected ≈ 4"
@@ -146,7 +146,7 @@ fn fig8_example2_companion_rate_one_half() {
     // Companion reassociates float products: tolerance, not equality.
     let report = check_against_oracle(&compiled, &ex2_arrays(m), 30, 1e-9).unwrap();
     // Output wave has m elements per m+2 input wave: interval (m+2)/m · 2.
-    let iv = report.run.steady_interval("X").unwrap();
+    let iv = report.run.timing("X").interval().unwrap();
     let expected = 2.0 * (m as f64 + 2.0) / m as f64;
     assert!(
         (iv - expected).abs() < 0.2,
@@ -214,9 +214,9 @@ fn fig3_whole_program_correct_and_pipelined() {
     assert!(report.packets_checked > 0);
     // Both outputs flow at full rate (per their wave lengths): A has m+2
     // elements per wave, X has m.
-    let iv_a = report.run.steady_interval("A").unwrap();
+    let iv_a = report.run.timing("A").interval().unwrap();
     assert!((iv_a - 2.0).abs() < 0.1, "A interval {iv_a}");
-    let iv_x = report.run.steady_interval("X").unwrap();
+    let iv_x = report.run.timing("X").interval().unwrap();
     let expected_x = 2.0 * 34.0 / 32.0;
     assert!(
         (iv_x - expected_x).abs() < 0.2,
@@ -255,7 +255,7 @@ output Y;
         ArrayVal::from_reals(0, &(0..n).map(|i| (i as f64 * 1.7).sin()).collect::<Vec<_>>()),
     );
     let report = check_against_oracle(&compiled, &inputs, 30, 1e-12).unwrap();
-    let iv = report.run.steady_interval("Y").unwrap();
+    let iv = report.run.timing("Y").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.1, "dynamic conditional interval {iv} ≉ 2");
 }
 
@@ -284,7 +284,7 @@ output X;
     let mut inputs = HashMap::new();
     inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
     let report = check_against_oracle(&compiled, &inputs, 20, 1e-9).unwrap();
-    let iv = report.run.steady_interval("X").unwrap();
+    let iv = report.run.timing("X").interval().unwrap();
     let expected = 2.0 * (m as f64 + 1.0) / m as f64;
     assert!((iv - expected).abs() < 0.2, "prefix-sum interval {iv}");
 }
@@ -379,7 +379,7 @@ output S3;
     let mut inputs = HashMap::new();
     inputs.insert("C".to_string(), ArrayVal::from_reals(0, &c));
     let report = check_against_oracle(&compiled, &inputs, 40, 1e-12).unwrap();
-    let iv = report.run.steady_interval("S3").unwrap();
+    let iv = report.run.timing("S3").interval().unwrap();
     // 8 outputs per 14-element input wave.
     let expected = 2.0 * 14.0 / 8.0;
     assert!((iv - expected).abs() < 0.3, "chain interval {iv} ≉ {expected}");
@@ -418,7 +418,7 @@ fn synthesized_generators_end_to_end() {
         "no primitive generators may remain"
     );
     let report = check_against_oracle(&compiled, &arrays(m), 25, 1e-12).unwrap();
-    let iv = report.run.steady_interval("A").unwrap();
+    let iv = report.run.timing("A").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.1, "synthesized Example 1 interval {iv}");
 }
 
@@ -429,7 +429,7 @@ fn synthesized_fig3_program_correct() {
     let compiled = compile_source(FIG3_PROGRAM, &opts).unwrap();
     let report = check_against_oracle(&compiled, &arrays(32), 15, 1e-9).unwrap();
     assert!(report.packets_checked > 0);
-    let iv = report.run.steady_interval("A").unwrap();
+    let iv = report.run.timing("A").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.1, "synthesized Fig. 3 interval {iv}");
 }
 
@@ -468,7 +468,7 @@ output V;
     let mut inputs = HashMap::new();
     inputs.insert("U".to_string(), ArrayVal::from_grid(&rows));
     let report = check_against_oracle(&compiled, &inputs, 20, 1e-12).unwrap();
-    let iv = report.run.steady_interval("V").unwrap();
+    let iv = report.run.timing("V").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.1, "2-D Jacobi interval {iv} ≉ 2");
 }
 
@@ -523,7 +523,7 @@ output Y;
         let mut inputs = HashMap::new();
         inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
         let report = check_against_oracle(&compiled, &inputs, 16, 1e-12).unwrap();
-        let iv = report.run.steady_interval("Y").unwrap();
+        let iv = report.run.timing("Y").interval().unwrap();
         assert!((iv - 2.0).abs() < 0.1, "synth={synth} interval {iv}");
     }
 }
@@ -604,7 +604,7 @@ output Y;
     let mut inputs = HashMap::new();
     inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
     let report = check_against_oracle(&compiled, &inputs, 16, 1e-12).unwrap();
-    let iv = report.run.steady_interval("Y").unwrap();
+    let iv = report.run.timing("Y").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.1, "banded conditional interval {iv}");
 }
 
@@ -628,7 +628,7 @@ output Y;
     let mut inputs = HashMap::new();
     inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
     let report = check_against_oracle(&compiled, &inputs, 20, 1e-12).unwrap();
-    let iv = report.run.steady_interval("Y").unwrap();
+    let iv = report.run.timing("Y").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.15, "mixed static/dynamic interval {iv}");
 }
 
@@ -668,7 +668,7 @@ output Y;
     let ra = check_against_oracle(&plain, &inputs, 12, 1e-12).unwrap();
     let rb = check_against_oracle(&fused, &inputs, 12, 1e-12).unwrap();
     assert_eq!(ra.packets_checked, rb.packets_checked);
-    let iv = rb.run.steady_interval("Y").unwrap();
+    let iv = rb.run.timing("Y").interval().unwrap();
     assert!((iv - 2.0).abs() < 0.1, "fused interval {iv}");
 }
 

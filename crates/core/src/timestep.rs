@@ -81,15 +81,13 @@ pub fn reference_timestep(initial: &[f64], a: f64, b: f64, steps: usize) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use valpipe_machine::{steady_interval_of, ProgramInputs, SimOptions, Simulator};
+    use valpipe_machine::Simulator;
 
     fn run_loop(n: usize, extra_ops: usize, delay: usize, max_steps: u64) -> valpipe_machine::RunResult {
         let initial: Vec<Value> = (0..n).map(|i| Value::Real(i as f64)).collect();
         let g = build_timestep_loop(&initial, 0.5, 1.0, extra_ops, delay);
-        let mut opts = SimOptions::default();
-        opts.max_steps = max_steps;
-        Simulator::new(&g, &ProgramInputs::new(), opts)
-            .unwrap()
+        Simulator::builder(&g)
+            .max_steps(max_steps)
             .run()
             .unwrap()
     }
@@ -116,8 +114,7 @@ mod tests {
         // Cycle sized to 2n: 2 ops + 2 pads + 24 delay stages = 28 cells,
         // 14 tokens = half occupancy ⇒ the maximum rate 1/2.
         let r = run_loop(14, 2, 24, 4000);
-        let times: Vec<u64> = r.outputs["x"].iter().map(|&(t, _)| t).collect();
-        let iv = steady_interval_of(&times).unwrap();
+        let iv = r.timing("x").interval().unwrap();
         assert!((iv - 2.0).abs() < 0.05, "interval {iv} ≉ 2");
     }
 
@@ -125,8 +122,7 @@ mod tests {
     fn single_element_limited_by_cycle_length() {
         // n = 1: one token in a cycle of 2 + 2 + 1 = 5 cells → interval 5.
         let r = run_loop(1, 2, 1, 4000);
-        let times: Vec<u64> = r.outputs["x"].iter().map(|&(t, _)| t).collect();
-        let iv = steady_interval_of(&times).unwrap();
+        let iv = r.timing("x").interval().unwrap();
         assert!((iv - 5.0).abs() < 0.1, "interval {iv} ≉ 5");
     }
 
@@ -135,14 +131,12 @@ mod tests {
         // §7 cites [10]: a loop needs an EVEN number of stages for maximum
         // pipelining. Two tokens in a 5-cell ring peak at 2/5, not 1/2.
         let r = run_loop(2, 1, 2, 4000); // 2 ops + 1 pad + 2 delay = 5 cells
-        let times: Vec<u64> = r.outputs["x"].iter().map(|&(t, _)| t).collect();
-        let iv = steady_interval_of(&times).unwrap();
+        let iv = r.timing("x").interval().unwrap();
         assert!((iv - 2.5).abs() < 0.1, "odd 5-cycle interval {iv} ≉ 5/2");
         // One more stage (even, 6 cells, 2 tokens → 2/6) is WORSE; the
         // right fix is 4 cells (2 ops + 2 delay).
         let r = run_loop(2, 0, 2, 4000);
-        let times: Vec<u64> = r.outputs["x"].iter().map(|&(t, _)| t).collect();
-        let iv = steady_interval_of(&times).unwrap();
+        let iv = r.timing("x").interval().unwrap();
         assert!((iv - 2.0).abs() < 0.1, "even 4-cycle interval {iv} ≉ 2");
     }
 
@@ -151,8 +145,7 @@ mod tests {
         // n = 3 tokens, cycle = 2 + 6 + 3 = 11 cells → per-element interval
         // 11/3 (tokens below half occupancy: rate = m/L).
         let r = run_loop(3, 6, 3, 6000);
-        let times: Vec<u64> = r.outputs["x"].iter().map(|&(t, _)| t).collect();
-        let iv = steady_interval_of(&times).unwrap();
+        let iv = r.timing("x").interval().unwrap();
         assert!((iv - 11.0 / 3.0).abs() < 0.2, "interval {iv} ≉ 11/3");
     }
 }

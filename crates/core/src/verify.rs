@@ -8,7 +8,7 @@
 use crate::program::Compiled;
 use std::collections::HashMap;
 use valpipe_ir::value::Value;
-use valpipe_machine::{ProgramInputs, RunResult, SimOptions, Simulator};
+use valpipe_machine::{ProgramInputs, RunResult, SimConfig, Simulator};
 use valpipe_val::interp::{self, ArrayVal};
 
 /// Verification failure.
@@ -106,12 +106,13 @@ pub fn run(
     compiled: &Compiled,
     arrays: &HashMap<String, ArrayVal>,
     waves: usize,
-    opts: SimOptions,
+    cfg: SimConfig,
 ) -> Result<RunResult, VerifyError> {
     let g = compiled.executable();
     let inputs = stream_inputs(compiled, arrays, waves);
-    Simulator::new(&g, &inputs, opts)
-        .map_err(|e| VerifyError::Sim(e.to_string()))?
+    Simulator::builder(&g)
+        .inputs(inputs)
+        .config(cfg)
         .run()
         .map_err(|e| VerifyError::Sim(e.to_string()))
 }
@@ -137,27 +138,26 @@ pub fn check_against_oracle(
     waves: usize,
     tol: f64,
 ) -> Result<OracleReport, VerifyError> {
-    check_against_oracle_with(compiled, arrays, waves, tol, SimOptions::default())
+    check_against_oracle_with(compiled, arrays, waves, tol, SimConfig::new())
 }
 
-/// [`check_against_oracle`] on caller-supplied simulator options — the
+/// [`check_against_oracle`] on a caller-supplied simulator config — the
 /// hook the experiment reporters use to thread fault plans and watchdog
 /// budgets through an oracle-checked measurement. The stop condition is
-/// still managed here (`base.stop_outputs` is overwritten).
+/// still managed here (`base`'s stop-outputs are overwritten).
 pub fn check_against_oracle_with(
     compiled: &Compiled,
     arrays: &HashMap<String, ArrayVal>,
     waves: usize,
     tol: f64,
-    base: SimOptions,
+    base: SimConfig,
 ) -> Result<OracleReport, VerifyError> {
     let expected = interp::run_program(&compiled.program, arrays)
         .map_err(|e| VerifyError::Interp(e.to_string()))?;
     // Ask the simulator to stop once every output has its packets: a
     // program whose outputs don't depend on the inputs would otherwise
     // regenerate waves forever from its control generators.
-    let mut opts = base;
-    opts.stop_outputs = Some(
+    let cfg = base.stop_outputs(
         compiled
             .program
             .outputs
@@ -165,7 +165,7 @@ pub fn check_against_oracle_with(
             .map(|name| (name.clone(), expected[name].data.len() * waves))
             .collect(),
     );
-    let result = run(compiled, arrays, waves, opts)?;
+    let result = run(compiled, arrays, waves, cfg)?;
     let stalled = (result.stop == valpipe_machine::StopReason::Quiescent
         && !result.sources_exhausted)
         || result.stop == valpipe_machine::StopReason::MaxSteps
@@ -238,7 +238,7 @@ fn value_as_real(v: Value) -> f64 {
 
 /// Steady-state initiation interval of a named output over a run.
 pub fn output_interval(run: &RunResult, name: &str) -> Option<f64> {
-    run.steady_interval(name)
+    run.timing(name).interval()
 }
 
 /// Multi-phase driving (the paper's §2 array-memory story): run the
@@ -254,7 +254,7 @@ pub fn run_timesteps(
     let mut arrays = initial.clone();
     let (mut total, mut am) = (0u64, 0u64);
     for _ in 0..steps {
-        let r = run(compiled, &arrays, 1, SimOptions::default())?;
+        let r = run(compiled, &arrays, 1, SimConfig::new())?;
         if !r.sources_exhausted {
             return Err(VerifyError::Stalled {
                 steps: r.steps,

@@ -9,7 +9,9 @@
 //! network transit plus, for arithmetic shipped to function units or array
 //! accesses shipped to array memories, the unit's service latency.
 
-use crate::sim::{ArcDelays, ResourceModel, SimOptions};
+use crate::sim::{ArcDelays, ResourceModel};
+#[allow(deprecated)]
+use crate::sim::SimOptions;
 use std::sync::Mutex;
 use valpipe_ir::graph::Graph;
 
@@ -161,7 +163,18 @@ impl Placement {
         ResourceModel { unit_of, capacity }
     }
 
-    /// Simulation options bundling this placement's delays and budgets.
+    /// Simulation config bundling this placement's delays and budgets.
+    pub fn sim_config(&self, g: &Graph, arc_capacity: usize) -> crate::session::SimConfig {
+        crate::session::SimConfig::new()
+            .delays(self.arc_delays(g))
+            .resources(self.resources())
+            .arc_capacity(arc_capacity)
+    }
+
+    /// Simulation options bundling this placement's delays and budgets
+    /// (legacy).
+    #[deprecated(since = "0.2.0", note = "use `sim_config` with `Simulator::builder`")]
+    #[allow(deprecated)]
     pub fn sim_options(&self, g: &Graph, arc_capacity: usize) -> SimOptions {
         SimOptions {
             delays: Some(self.arc_delays(g)),
@@ -269,10 +282,10 @@ mod tests {
         let p = Placement::round_robin(&g, MachineConfig::default());
         let mut gg = g.clone();
         gg.expand_fifos();
-        let opts = p.sim_options(&gg, 4);
         let data: Vec<Value> = (0..20).map(|i| Value::Real(i as f64)).collect();
-        let r = Simulator::new(&gg, &ProgramInputs::new().bind("a", data), opts)
-            .unwrap()
+        let r = Simulator::builder(&gg)
+            .inputs(ProgramInputs::new().bind("a", data))
+            .config(p.sim_config(&gg, 4))
             .run()
             .unwrap();
         let got = r.reals("out");
@@ -308,8 +321,11 @@ mod tests {
                 ..Default::default()
             };
             let p = Placement::blocked(&g, cfg);
-            let opts = p.sim_options(&g, 1);
-            Simulator::new(&g, &inputs, opts).unwrap().run().unwrap()
+            Simulator::builder(&g)
+                .inputs(inputs.clone())
+                .config(p.sim_config(&g, 1))
+                .run()
+                .unwrap()
         };
         let serial = run_with(1);
         let wide = run_with(u32::MAX);

@@ -81,10 +81,21 @@ impl ClosedLoopResult {
             .unwrap_or_default()
     }
 
+    /// Arrival-time report for a sink port. An unknown port yields an
+    /// empty (all-`None`) report.
+    pub fn timing(&self, port: &str) -> crate::sim::Timing {
+        crate::sim::Timing::of(
+            self.outputs
+                .get(port)
+                .map(|v| v.iter().map(|&(t, _)| t).collect::<Vec<_>>())
+                .unwrap_or_default(),
+        )
+    }
+
     /// Steady-state interval on a sink port.
+    #[deprecated(since = "0.2.0", note = "use `timing(port).interval()`")]
     pub fn steady_interval(&self, port: &str) -> Option<f64> {
-        let t: Vec<u64> = self.outputs.get(port)?.iter().map(|&(t, _)| t).collect();
-        crate::sim::steady_interval_of(&t)
+        self.timing(port).interval()
     }
 }
 
@@ -492,7 +503,10 @@ mod tests {
         let g = chain_graph();
         let data: Vec<Value> = (0..40).map(|i| Value::Real(i as f64)).collect();
         let inputs = ProgramInputs::new().bind("a", data.clone());
-        let ideal = crate::sim::run_program(&g, &inputs).unwrap();
+        let ideal = crate::sim::Simulator::builder(&g)
+            .inputs(inputs.clone())
+            .run()
+            .unwrap();
         for pes in [2usize, 4, 8] {
             let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % pes).collect();
             let r = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
@@ -520,7 +534,7 @@ mod tests {
         assert!(r.sources_exhausted);
         // Remote hop = 2 network cycles each way + fire → interval well
         // above the idealized 2.
-        let iv = r.steady_interval("out").unwrap();
+        let iv = r.timing("out").interval().unwrap();
         assert!(iv > 3.0, "capacity-1 remote links must be slow: {iv}");
         // Deeper operand slots win rate back (the §2 buffering story).
         let data: Vec<Value> = (0..120).map(|i| Value::Real(i as f64)).collect();
@@ -531,7 +545,7 @@ mod tests {
             ..Default::default()
         })
         .unwrap();
-        let iv4 = r4.steady_interval("out").unwrap();
+        let iv4 = r4.timing("out").interval().unwrap();
         assert!(iv4 < iv - 0.5, "buffered links must be faster: {iv4} vs {iv}");
     }
 

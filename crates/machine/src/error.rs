@@ -12,7 +12,7 @@
 //!   [`MachineError::UnexpandedFifo`], [`MachineError::InvalidConfig`],
 //!   [`MachineError::DelayTableMismatch`]);
 //! * **invariant violations** — the optional runtime checkers (see
-//!   `SimOptions::check_invariants`) caught the simulator in an
+//!   `SimConfig::check_invariants`) caught the simulator in an
 //!   inconsistent state ([`MachineError::InvariantViolation`]).
 //!
 //! `panic!` remains only for true internal invariant violations on paths

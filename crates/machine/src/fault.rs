@@ -210,6 +210,26 @@ impl FaultPlan {
             .any(|fz| fz.node == node && fz.from <= step && step < fz.until)
     }
 
+    /// First instruction time `≥ step` at which `node` is not frozen —
+    /// the event-driven scheduler's wakeup time for a cell examined
+    /// inside a freeze window. Chained and overlapping windows are
+    /// followed to their joint end.
+    pub fn thaw_time(&self, node: usize, step: u64) -> u64 {
+        let mut t = step;
+        loop {
+            let until = self
+                .freezes
+                .iter()
+                .filter(|fz| fz.node == node && fz.from <= t && t < fz.until)
+                .map(|fz| fz.until)
+                .max();
+            match until {
+                Some(u) => t = u,
+                None => return t,
+            }
+        }
+    }
+
     /// Parse a command-line fault specification: comma-separated
     /// `key=value` pairs.
     ///

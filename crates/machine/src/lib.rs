@@ -21,6 +21,8 @@ pub mod closedloop;
 pub mod error;
 pub mod fault;
 pub mod network;
+pub mod scheduler;
+pub mod session;
 pub mod sim;
 pub mod trace;
 pub mod watchdog;
@@ -30,9 +32,14 @@ pub use closedloop::{run_closed_loop, ClosedLoopOptions, ClosedLoopResult};
 pub use error::{MachineError, SimError};
 pub use fault::{CellFreeze, FaultPlan, LinkFault};
 pub use network::{OmegaNetwork, Packet};
+pub use scheduler::Kernel;
+pub use session::{Session, SessionBuilder, SimConfig};
 pub use trace::{chrome_trace, occupancy_chart};
 pub use sim::{
-    run_program, steady_interval_of, steady_rate_of, ArcDelays, ProgramInputs, ResourceModel,
-    RunResult, SimOptions, Simulator, StopReason,
+    ArcDelays, ProgramInputs, ResourceModel, RunResult, Simulator, StopReason, Timing,
 };
-pub use watchdog::{BlockedCell, HeldArc, StallKind, StallReport, WatchdogConfig};
+#[allow(deprecated)]
+pub use sim::{run_program, steady_interval_of, steady_rate_of, SimOptions};
+pub use watchdog::{
+    BlockedCell, HeldArc, ProgressTracker, StallKind, StallReport, WatchdogConfig,
+};

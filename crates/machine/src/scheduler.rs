@@ -1,0 +1,149 @@
+//! Event-driven ready-set scheduling for the simulator.
+//!
+//! The scan kernel re-examines every instruction cell once per
+//! instruction time, which costs O(cells) per step even when only a
+//! handful of cells hold deliverable operands — the transient fill and
+//! drain phases of a pipe, gated conditional arms, and every throttled
+//! or fault-injected run. The event-driven kernel instead maintains the
+//! **wakeup invariant**:
+//!
+//! > a cell is (re-)examined at step `t` iff some event at `t` could
+//! > have changed its enablement — a result packet on one of its input
+//! > arcs became deliverable, an acknowledge freed a slot on one of its
+//! > output arcs, a freeze window ended, or the cell itself fired or was
+//! > resource-throttled at `t − 1`.
+//!
+//! Every state transition that can enable a cell is one of those events,
+//! so examining only woken cells selects exactly the same firing set as
+//! the full scan; spurious wakeups (the cell is examined and still not
+//! enabled) are harmless. Both wheels are time-indexed: the node wheel
+//! holds cells to examine, the arc wheel holds arcs whose acknowledge
+//! slots expire. Delayed arrivals injected by a
+//! [`crate::fault::FaultPlan`] and non-uniform [`crate::sim::ArcDelays`]
+//! simply schedule their wakeups further out.
+//!
+//! The per-step cost becomes O(fired + woken); idle instruction times
+//! (a pipe waiting out a long network latency, a frozen region) cost two
+//! hash-map lookups.
+
+use std::collections::HashMap;
+
+/// Which step-loop implementation a simulation uses.
+///
+/// Both kernels implement the identical machine semantics and produce
+/// bit-identical [`crate::sim::RunResult`]s — asserted by the
+/// `kernel_equivalence` test suite across the paper workloads, fault
+/// plans, resource throttling, and watchdog stalls. They differ only in
+/// how the set of enabled cells is discovered each instruction time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// Re-scan every cell each instruction time. O(cells) per step; the
+    /// reference implementation.
+    Scan,
+    /// Examine only cells woken by token, acknowledge, thaw, or firing
+    /// events. O(fired + woken) per step.
+    #[default]
+    EventDriven,
+}
+
+/// Time-indexed wakeup wheels for the event-driven kernel.
+///
+/// A disabled scheduler (scan kernel) accepts and discards every wakeup,
+/// so the firing paths can post events unconditionally.
+#[derive(Debug, Clone)]
+pub(crate) struct Scheduler {
+    enabled: bool,
+    /// step → cells to examine at that step.
+    node_wheel: HashMap<u64, Vec<u32>>,
+    /// step → arcs with acknowledge slots expiring at that step.
+    arc_wheel: HashMap<u64, Vec<u32>>,
+}
+
+impl Scheduler {
+    /// A scheduler for the given kernel. The event-driven wheel is
+    /// seeded with every cell at step 0 (matching the scan kernel's
+    /// first examination); after that, only events schedule work.
+    pub(crate) fn new(kernel: Kernel, cells: usize) -> Self {
+        let mut node_wheel = HashMap::new();
+        let enabled = kernel == Kernel::EventDriven;
+        if enabled {
+            node_wheel.insert(0, (0..cells as u32).collect::<Vec<_>>());
+        }
+        Scheduler {
+            enabled,
+            node_wheel,
+            arc_wheel: HashMap::new(),
+        }
+    }
+
+    /// Whether the event-driven kernel drives the step loop.
+    pub(crate) fn is_event_driven(&self) -> bool {
+        self.enabled
+    }
+
+    /// Examine `node` at step `at`. No-op for the scan kernel.
+    pub(crate) fn wake(&mut self, node: u32, at: u64) {
+        if self.enabled {
+            self.node_wheel.entry(at).or_default().push(node);
+        }
+    }
+
+    /// Release expired acknowledge slots of `arc` at step `at`.
+    pub(crate) fn wake_arc(&mut self, arc: u32, at: u64) {
+        if self.enabled {
+            self.arc_wheel.entry(at).or_default().push(arc);
+        }
+    }
+
+    /// Cells due at `now`, ascending and deduplicated — the scan kernel
+    /// examines cells in index order, and the resource throttle and
+    /// first-error selection depend on that order.
+    pub(crate) fn due_nodes(&mut self, now: u64) -> Vec<u32> {
+        let mut due = self.node_wheel.remove(&now).unwrap_or_default();
+        due.sort_unstable();
+        due.dedup();
+        due
+    }
+
+    /// Arcs with acknowledge slots expiring at `now`, deduplicated.
+    pub(crate) fn due_arcs(&mut self, now: u64) -> Vec<u32> {
+        let mut due = self.arc_wheel.remove(&now).unwrap_or_default();
+        due.sort_unstable();
+        due.dedup();
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scheduler_discards_wakeups() {
+        let mut s = Scheduler::new(Kernel::Scan, 4);
+        assert!(!s.is_event_driven());
+        s.wake(1, 5);
+        s.wake_arc(2, 5);
+        assert!(s.due_nodes(5).is_empty());
+        assert!(s.due_arcs(5).is_empty());
+    }
+
+    #[test]
+    fn event_scheduler_seeds_all_cells_at_step_zero() {
+        let mut s = Scheduler::new(Kernel::EventDriven, 3);
+        assert_eq!(s.due_nodes(0), vec![0, 1, 2]);
+        assert!(s.due_nodes(0).is_empty(), "taking is destructive");
+    }
+
+    #[test]
+    fn wakeups_are_sorted_and_deduplicated() {
+        let mut s = Scheduler::new(Kernel::EventDriven, 0);
+        s.wake(7, 3);
+        s.wake(2, 3);
+        s.wake(7, 3);
+        s.wake(1, 4);
+        assert_eq!(s.due_nodes(3), vec![2, 7]);
+        assert_eq!(s.due_nodes(4), vec![1]);
+        assert!(s.due_nodes(5).is_empty());
+    }
+}

@@ -1,0 +1,318 @@
+//! The simulator's session API: one fluent entry point for every run.
+//!
+//! Historically the crate grew three overlapping ways to start a
+//! simulation — `run_program` for the defaults, bare `Simulator::new`
+//! with a hand-filled `SimOptions` struct, and per-experiment wrappers
+//! in the bench crate. This module replaces all of them with one
+//! surface:
+//!
+//! ```
+//! use valpipe_machine::{ProgramInputs, Simulator};
+//! # use valpipe_ir::graph::Graph;
+//! # use valpipe_ir::opcode::Opcode;
+//! # let mut g = Graph::new();
+//! # let a = g.add_node(Opcode::Source("a".into()), "a");
+//! # let id = g.cell(Opcode::Id, "id", &[a.into()]);
+//! # let _ = g.cell(Opcode::Sink("out".into()), "out", &[id.into()]);
+//! let result = Simulator::builder(&g)
+//!     .inputs(ProgramInputs::new().bind_reals("a", &[1.0, 2.0, 3.0]))
+//!     .max_steps(100_000)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(result.reals("out"), vec![1.0, 2.0, 3.0]);
+//! ```
+//!
+//! * [`SimConfig`] carries every run-shaping knob (step limits, arc
+//!   capacity, per-arc delays, contention, fault plan, watchdog,
+//!   invariant checking, kernel selection) with fluent setters, and is
+//!   reusable across graphs — the verification harness and experiment
+//!   reporters thread one through compile-run-compare pipelines.
+//! * [`SessionBuilder`] binds a config to a graph and its inputs;
+//!   [`SessionBuilder::run`] also transparently expands FIFO
+//!   pseudo-cells (what `run_program` used to do).
+//! * [`Session`] is a prepared machine: [`Session::step`] for manual
+//!   single-stepping (traces, closed-loop experiments) and
+//!   [`Session::run`] to drive it to completion.
+
+use valpipe_ir::graph::Graph;
+use valpipe_ir::opcode::Opcode;
+
+use crate::fault::FaultPlan;
+use crate::scheduler::Kernel;
+use crate::sim::{ArcDelays, ProgramInputs, ResourceModel, RunResult, SimError, Simulator};
+use crate::watchdog::WatchdogConfig;
+
+/// Run-shaping configuration, built fluently.
+///
+/// Every setter consumes and returns the config, so options chain:
+///
+/// ```
+/// use valpipe_machine::{Kernel, SimConfig};
+/// let cfg = SimConfig::new()
+///     .max_steps(50_000)
+///     .arc_capacity(2)
+///     .check_invariants(true)
+///     .kernel(Kernel::Scan);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hard step limit (guards against livelock in buggy programs).
+    pub(crate) max_steps: u64,
+    /// Arc capacity (tokens simultaneously buffered per link).
+    pub(crate) arc_capacity: usize,
+    /// Per-arc latencies; `None` = uniform 1/1.
+    pub(crate) delays: Option<ArcDelays>,
+    /// Optional contention model.
+    pub(crate) resources: Option<ResourceModel>,
+    /// Record the firing time of every firing of every cell.
+    pub(crate) record_fire_times: bool,
+    /// Stop once every listed sink has received this many packets.
+    pub(crate) stop_outputs: Option<Vec<(String, usize)>>,
+    /// Optional fault-injection plan.
+    pub(crate) fault_plan: Option<FaultPlan>,
+    /// Optional watchdog (step budget + livelock detection).
+    pub(crate) watchdog: Option<WatchdogConfig>,
+    /// Verify conservation invariants after every step.
+    pub(crate) check_invariants: bool,
+    /// Step-loop implementation.
+    pub(crate) kernel: Kernel,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_steps: 10_000_000,
+            arc_capacity: 1,
+            delays: None,
+            resources: None,
+            record_fire_times: false,
+            stop_outputs: None,
+            fault_plan: None,
+            watchdog: None,
+            check_invariants: false,
+            kernel: Kernel::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    /// The default configuration: 10M-step limit, capacity-1 arcs,
+    /// uniform 1/1 delays, no contention, no faults, event-driven kernel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hard step limit (guards against livelock in buggy programs).
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = steps;
+        self
+    }
+
+    /// Arc capacity: tokens simultaneously buffered per link. The static
+    /// architecture's base rule is 1; the detailed-machine experiments
+    /// raise it to model buffered links.
+    pub fn arc_capacity(mut self, capacity: usize) -> Self {
+        self.arc_capacity = capacity;
+        self
+    }
+
+    /// Per-arc result/acknowledge latencies (defaults to uniform 1/1).
+    pub fn delays(mut self, delays: ArcDelays) -> Self {
+        self.delays = Some(delays);
+        self
+    }
+
+    /// Per-unit instruction-initiation budgets (contention modeling).
+    pub fn resources(mut self, resources: ResourceModel) -> Self {
+        self.resources = Some(resources);
+        self
+    }
+
+    /// Record the firing time of every firing of every cell (costly;
+    /// used by the utilization and network-replay experiments).
+    pub fn record_fire_times(mut self, record: bool) -> Self {
+        self.record_fire_times = record;
+        self
+    }
+
+    /// Stop once every listed sink has received at least the paired
+    /// number of packets — needed for programs whose outputs do not
+    /// depend on any input (control generators regenerate forever).
+    pub fn stop_outputs(mut self, outputs: Vec<(String, usize)>) -> Self {
+        self.stop_outputs = Some(outputs);
+        self
+    }
+
+    /// Install a fault-injection plan. An empty plan leaves the run
+    /// bit-identical to the fault-free machine.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Install a fault plan if one is given (convenience for optional
+    /// command-line plans).
+    pub fn fault_plan_opt(mut self, plan: Option<FaultPlan>) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Bound the run with a watchdog: a step budget plus livelock
+    /// detection producing a structured stall report.
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Verify token/acknowledge/gate conservation invariants after every
+    /// step; violations surface as `MachineError::InvariantViolation`.
+    pub fn check_invariants(mut self, check: bool) -> Self {
+        self.check_invariants = check;
+        self
+    }
+
+    /// Select the step-loop kernel (defaults to [`Kernel::EventDriven`];
+    /// both produce bit-identical results).
+    pub fn kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The configured kernel.
+    pub fn kernel_choice(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// The configured step limit.
+    pub fn max_steps_limit(&self) -> u64 {
+        self.max_steps
+    }
+
+    /// The configured fault plan, if any.
+    pub fn fault_plan_ref(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+}
+
+/// Fluent builder binding a [`SimConfig`] to a graph and its inputs.
+/// Constructed by [`Simulator::builder`]; every [`SimConfig`] setter is
+/// mirrored here so simple runs never name the config type.
+#[derive(Debug, Clone)]
+pub struct SessionBuilder<'g> {
+    g: &'g Graph,
+    inputs: ProgramInputs,
+    cfg: SimConfig,
+}
+
+macro_rules! forward_setters {
+    ($($(#[$doc:meta])* $name:ident ( $($arg:ident : $ty:ty),* )),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(mut self, $($arg: $ty),*) -> Self {
+                self.cfg = self.cfg.$name($($arg),*);
+                self
+            }
+        )*
+    };
+}
+
+impl<'g> SessionBuilder<'g> {
+    pub(crate) fn new(g: &'g Graph) -> Self {
+        SessionBuilder {
+            g,
+            inputs: ProgramInputs::new(),
+            cfg: SimConfig::default(),
+        }
+    }
+
+    /// Bind the packet sequences fed to the program's `Source` ports.
+    pub fn inputs(mut self, inputs: ProgramInputs) -> Self {
+        self.inputs = inputs;
+        self
+    }
+
+    /// Replace the whole configuration (e.g. one threaded through a
+    /// verification harness).
+    pub fn config(mut self, cfg: SimConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    forward_setters! {
+        /// Hard step limit (guards against livelock in buggy programs).
+        max_steps(steps: u64),
+        /// Arc capacity: tokens simultaneously buffered per link.
+        arc_capacity(capacity: usize),
+        /// Per-arc result/acknowledge latencies (defaults to uniform 1/1).
+        delays(delays: ArcDelays),
+        /// Per-unit instruction-initiation budgets (contention modeling).
+        resources(resources: ResourceModel),
+        /// Record the firing time of every firing of every cell.
+        record_fire_times(record: bool),
+        /// Stop once every listed sink has received its packet count.
+        stop_outputs(outputs: Vec<(String, usize)>),
+        /// Install a fault-injection plan.
+        fault_plan(plan: FaultPlan),
+        /// Install a fault plan if one is given.
+        fault_plan_opt(plan: Option<FaultPlan>),
+        /// Bound the run with a watchdog.
+        watchdog(watchdog: WatchdogConfig),
+        /// Verify conservation invariants after every step.
+        check_invariants(check: bool),
+        /// Select the step-loop kernel.
+        kernel(kernel: Kernel),
+    }
+
+    /// Prepare a [`Session`] for manual stepping. The graph must already
+    /// be FIFO-expanded (a `Fifo` pseudo-cell is rejected, exactly like
+    /// the legacy constructor).
+    pub fn build(self) -> Result<Session<'g>, SimError> {
+        Ok(Session {
+            sim: Simulator::with_config(self.g, &self.inputs, self.cfg)?,
+        })
+    }
+
+    /// Run to completion. FIFO pseudo-cells are expanded on a private
+    /// copy of the graph first, so callers can run a compiled program
+    /// directly (this subsumes the legacy `run_program` helper).
+    pub fn run(self) -> Result<RunResult, SimError> {
+        if self.g.nodes.iter().any(|n| matches!(n.op, Opcode::Fifo(_))) {
+            let mut g = self.g.clone();
+            g.expand_fifos();
+            Simulator::with_config(&g, &self.inputs, self.cfg)?.run()
+        } else {
+            Simulator::with_config(self.g, &self.inputs, self.cfg)?.run()
+        }
+    }
+}
+
+/// A prepared simulation: the single run/step surface over both kernels.
+///
+/// Obtained from [`SessionBuilder::build`]. Step manually for traces and
+/// closed-loop experiments, or [`Session::run`] to completion.
+pub struct Session<'g> {
+    sim: Simulator<'g>,
+}
+
+impl<'g> Session<'g> {
+    /// Advance one instruction time. Returns how many cells fired.
+    pub fn step(&mut self) -> Result<usize, SimError> {
+        self.sim.step()
+    }
+
+    /// Run to quiescence, the step limit, the output-count target, or a
+    /// watchdog stall; consumes the session.
+    pub fn run(self) -> Result<RunResult, SimError> {
+        self.sim.run()
+    }
+
+    /// Current instruction time.
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// Which kernel drives this session.
+    pub fn kernel(&self) -> Kernel {
+        self.sim.kernel()
+    }
+}

@@ -20,6 +20,15 @@
 //! The simulator is deterministic: all enabled cells fire simultaneously in
 //! each step (optionally throttled by a [`ResourceModel`]), and ties are
 //! broken by cell index.
+//!
+//! Two step-loop kernels implement these semantics (see
+//! [`crate::scheduler`]): the legacy [`Kernel::Scan`] loop re-examines
+//! every cell each instruction time, while the default
+//! [`Kernel::EventDriven`] loop examines only cells woken by token,
+//! acknowledge, thaw, or firing events — O(fired + woken) per step instead
+//! of O(cells). Both produce bit-identical [`RunResult`]s.
+//!
+//! Construct runs with [`Simulator::builder`] (see [`crate::session`]).
 
 use std::collections::{HashMap, VecDeque};
 
@@ -31,8 +40,10 @@ use valpipe_ir::{ArcId, NodeId};
 use crate::error::MachineError;
 pub use crate::error::SimError;
 use crate::fault::{AckFate, FaultPlan, ResultFate};
+use crate::scheduler::{Kernel, Scheduler};
+use crate::session::{SessionBuilder, SimConfig};
 use crate::watchdog::{
-    shortest_cycle, BlockedCell, HeldArc, StallKind, StallReport, WatchdogConfig,
+    shortest_cycle, BlockedCell, HeldArc, ProgressTracker, StallKind, StallReport, WatchdogConfig,
 };
 
 /// Input data: for each `Source` port name, the full sequence of packets to
@@ -109,7 +120,15 @@ impl ArcDelays {
     }
 }
 
-/// Simulation options.
+/// Simulation options (legacy).
+///
+/// Superseded by [`Simulator::builder`] and [`SimConfig`]'s fluent
+/// setters; retained so existing struct-literal construction keeps
+/// compiling for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "configure runs with `Simulator::builder(&g)` / `SimConfig` fluent setters instead"
+)]
 #[derive(Debug, Clone)]
 pub struct SimOptions {
     /// Hard step limit (guards against livelock in buggy programs).
@@ -143,6 +162,7 @@ pub struct SimOptions {
     pub check_invariants: bool,
 }
 
+#[allow(deprecated)]
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
@@ -159,6 +179,25 @@ impl Default for SimOptions {
     }
 }
 
+#[allow(deprecated)]
+impl SimOptions {
+    /// Convert into the builder-era [`SimConfig`] (the kernel defaults to
+    /// [`Kernel::EventDriven`], like every other entry point).
+    pub fn into_config(self) -> SimConfig {
+        let mut cfg = SimConfig::new()
+            .max_steps(self.max_steps)
+            .arc_capacity(self.arc_capacity)
+            .record_fire_times(self.record_fire_times)
+            .check_invariants(self.check_invariants);
+        cfg.delays = self.delays;
+        cfg.resources = self.resources;
+        cfg.stop_outputs = self.stop_outputs;
+        cfg.fault_plan = self.fault_plan;
+        cfg.watchdog = self.watchdog;
+        cfg
+    }
+}
+
 /// Why the run stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StopReason {
@@ -168,7 +207,7 @@ pub enum StopReason {
     /// Step limit hit.
     MaxSteps,
     /// The requested number of output packets arrived (see
-    /// [`SimOptions::stop_outputs`]).
+    /// [`SimConfig::stop_outputs`]).
     OutputsReached,
     /// The watchdog declared the run stalled (livelock or budget
     /// exhaustion); [`RunResult::stall_report`] says why.
@@ -176,7 +215,11 @@ pub enum StopReason {
 }
 
 /// Result of a simulation run.
-#[derive(Debug, Clone)]
+///
+/// Implements `PartialEq` so whole runs can be compared — the
+/// kernel-equivalence suite asserts the scan and event-driven kernels
+/// produce bit-identical results.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Instruction times elapsed.
     pub steps: u64,
@@ -223,19 +266,33 @@ impl RunResult {
             .collect()
     }
 
-    /// Steady-state initiation interval on a sink port: the mean spacing of
-    /// arrivals over the middle of the run (the first and last `trim`
-    /// fraction are dropped to exclude fill/drain transients). Full
-    /// pipelining ⇔ interval ≈ 2 instruction times.
+    /// Arrival-time report for a sink port: steady-state interval, rate,
+    /// and fill latency in one place. An unknown port yields an empty
+    /// (all-`None`) report.
+    pub fn timing(&self, port: &str) -> Timing {
+        Timing::of(
+            self.outputs
+                .get(port)
+                .map(|v| v.iter().map(|&(t, _)| t).collect::<Vec<_>>())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Emission-time report for a source port.
+    pub fn source_timing(&self, name: &str) -> Timing {
+        Timing::of(self.source_emit_times.get(name).cloned().unwrap_or_default())
+    }
+
+    /// Steady-state initiation interval on a sink port.
+    #[deprecated(since = "0.2.0", note = "use `timing(port).interval()`")]
     pub fn steady_interval(&self, port: &str) -> Option<f64> {
-        let times = self.outputs.get(port)?;
-        steady_interval_of(&times.iter().map(|&(t, _)| t).collect::<Vec<_>>())
+        self.timing(port).interval()
     }
 
     /// Pipeline fill latency of an output: instruction times from the
     /// machine start to the first packet on the port.
     pub fn fill_latency(&self, port: &str) -> Option<u64> {
-        self.outputs.get(port)?.first().map(|&(t, _)| t)
+        self.timing(port).fill_latency()
     }
 
     /// Fraction of operation packets destined to array memories.
@@ -248,22 +305,73 @@ impl RunResult {
     }
 }
 
-/// Steady-state mean inter-arrival spacing over the middle 60% of a
-/// monotone time sequence. `None` if fewer than 8 events.
-pub fn steady_interval_of(times: &[u64]) -> Option<f64> {
-    if times.len() < 8 {
-        return None;
-    }
-    let lo = times.len() / 5;
-    let hi = times.len() - times.len() / 5;
-    let span = times[hi - 1] - times[lo];
-    Some(span as f64 / (hi - 1 - lo) as f64)
+/// Arrival-time analysis of one packet stream (a sink's arrivals or a
+/// source's emissions), unifying the steady-state interval, rate, and
+/// fill-latency accessors that used to be free functions.
+///
+/// Full pipelining ⇔ `interval()` ≈ 2 instruction times.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Timing {
+    times: Vec<u64>,
 }
 
-/// Computation rate = packets per instruction time on a port (inverse of
-/// [`RunResult::steady_interval`]).
+impl Timing {
+    /// Analysis of a monotone event-time sequence.
+    pub fn of(times: impl Into<Vec<u64>>) -> Self {
+        Timing { times: times.into() }
+    }
+
+    /// The raw event times.
+    pub fn arrivals(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// Number of events observed.
+    pub fn count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether no events were observed.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Steady-state mean inter-event spacing over the middle of the run
+    /// (the first and last 20% are dropped to exclude fill/drain
+    /// transients). `None` if fewer than 8 events.
+    pub fn interval(&self) -> Option<f64> {
+        if self.times.len() < 8 {
+            return None;
+        }
+        let lo = self.times.len() / 5;
+        let hi = self.times.len() - self.times.len() / 5;
+        let span = self.times[hi - 1] - self.times[lo];
+        Some(span as f64 / (hi - 1 - lo) as f64)
+    }
+
+    /// Computation rate = events per instruction time (inverse of
+    /// [`Timing::interval`]).
+    pub fn rate(&self) -> Option<f64> {
+        self.interval().map(|iv| 1.0 / iv)
+    }
+
+    /// Instruction times from machine start to the first event.
+    pub fn fill_latency(&self) -> Option<u64> {
+        self.times.first().copied()
+    }
+}
+
+/// Steady-state mean inter-arrival spacing over the middle 60% of a
+/// monotone time sequence. `None` if fewer than 8 events.
+#[deprecated(since = "0.2.0", note = "use `Timing::of(times).interval()`")]
+pub fn steady_interval_of(times: &[u64]) -> Option<f64> {
+    Timing::of(times.to_vec()).interval()
+}
+
+/// Computation rate = packets per instruction time on a port.
+#[deprecated(since = "0.2.0", note = "use `Timing::of(times).rate()`")]
 pub fn steady_rate_of(times: &[u64]) -> Option<f64> {
-    steady_interval_of(times).map(|iv| 1.0 / iv)
+    Timing::of(times.to_vec()).rate()
 }
 
 #[derive(Debug)]
@@ -312,11 +420,13 @@ impl Operand {
     }
 }
 
-/// The simulator. Construct with [`Simulator::new`], then [`Simulator::run`]
-/// (or step manually for traces).
+/// The simulation engine. Construct through [`Simulator::builder`], which
+/// yields a [`crate::session::Session`]; the engine's `step`/`run` remain
+/// public for the session to delegate to (and for the deprecated
+/// [`Simulator::new`] path).
 pub struct Simulator<'g> {
     g: &'g Graph,
-    opts: SimOptions,
+    cfg: SimConfig,
     arcs: Vec<ArcState>,
     src_pos: Vec<usize>,
     src_data: Vec<Option<Vec<Value>>>,
@@ -338,11 +448,36 @@ pub struct Simulator<'g> {
     /// gate-accounting invariant and the stall report.
     gate_passes: Vec<u64>,
     gate_discards: Vec<u64>,
+    /// Wakeup wheels (inert for the scan kernel).
+    sched: Scheduler,
+    /// Source emissions + sink arrivals so far — maintained incrementally
+    /// so the watchdog's progress probe is O(1) per step.
+    progress: u64,
 }
 
 impl<'g> Simulator<'g> {
-    /// Prepare a simulation of `g` with the given inputs.
+    /// Fluent entry point for every simulation: bind inputs, set options,
+    /// then [`crate::session::SessionBuilder::build`] a steppable session
+    /// or [`crate::session::SessionBuilder::run`] to completion.
+    pub fn builder(g: &'g Graph) -> SessionBuilder<'g> {
+        SessionBuilder::new(g)
+    }
+
+    /// Prepare a simulation of `g` with the given inputs (legacy).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Simulator::builder(&g).inputs(...)` and `.build()` or `.run()`"
+    )]
+    #[allow(deprecated)]
     pub fn new(g: &'g Graph, inputs: &ProgramInputs, opts: SimOptions) -> Result<Self, SimError> {
+        Self::with_config(g, inputs, opts.into_config())
+    }
+
+    pub(crate) fn with_config(
+        g: &'g Graph,
+        inputs: &ProgramInputs,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
         let n = g.nodes.len();
         let mut src_data = vec![None; n];
         let mut outputs = HashMap::new();
@@ -363,7 +498,7 @@ impl<'g> Simulator<'g> {
                 _ => {}
             }
         }
-        let (fwd_delay, ack_delay) = match &opts.delays {
+        let (fwd_delay, ack_delay) = match &cfg.delays {
             Some(d) => {
                 if d.forward.len() != g.arcs.len() {
                     return Err(MachineError::DelayTableMismatch {
@@ -388,7 +523,7 @@ impl<'g> Simulator<'g> {
                 let mut st = ArcState {
                     queue: VecDeque::new(),
                     freeing: Vec::new(),
-                    cap: opts.arc_capacity,
+                    cap: cfg.arc_capacity,
                     sent: 0,
                     consumed: 0,
                     acked: 0,
@@ -402,7 +537,7 @@ impl<'g> Simulator<'g> {
                 st
             })
             .collect();
-        if let Some(fz) = opts
+        if let Some(fz) = cfg
             .fault_plan
             .iter()
             .flat_map(|p| p.freezes.iter())
@@ -413,11 +548,12 @@ impl<'g> Simulator<'g> {
                 fz.node, n
             )));
         }
-        let fault = opts.fault_plan.clone().filter(|p| !p.is_empty());
-        let fire_times = opts.record_fire_times.then(|| vec![Vec::new(); n]);
+        let fault = cfg.fault_plan.clone().filter(|p| !p.is_empty());
+        let fire_times = cfg.record_fire_times.then(|| vec![Vec::new(); n]);
+        let sched = Scheduler::new(cfg.kernel, n);
         Ok(Simulator {
             g,
-            opts,
+            cfg,
             arcs,
             src_pos: vec![0; n],
             src_data,
@@ -434,12 +570,19 @@ impl<'g> Simulator<'g> {
             fault,
             gate_passes: vec![0; n],
             gate_discards: vec![0; n],
+            sched,
+            progress: 0,
         })
     }
 
     /// Current instruction time.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Which kernel drives this simulation.
+    pub fn kernel(&self) -> Kernel {
+        self.cfg.kernel
     }
 
     fn operand(&self, n: NodeId, port: usize) -> Option<Operand> {
@@ -567,23 +710,33 @@ impl<'g> Simulator<'g> {
     }
 
     /// Launch a result packet onto `a`, consulting the fault plan for
-    /// its fate.
+    /// its fate. Posts the destination's wakeup at the delivery time.
     fn emit_on(&mut self, a: ArcId, v: Value) {
         let ready = self.now + self.fwd_delay[a.idx()];
         let fate = match &self.fault {
             Some(f) => f.result_fate(a.idx(), self.now),
             None => ResultFate::Deliver,
         };
+        let dst = self.g.arcs[a.idx()].dst.idx() as u32;
         let st = &mut self.arcs[a.idx()];
         st.sent += 1;
-        match fate {
-            ResultFate::Deliver => st.queue.push_back((v, ready)),
+        let deliver_at = match fate {
+            ResultFate::Deliver => {
+                st.queue.push_back((v, ready));
+                Some(ready)
+            }
             // A dropped result leaves its slot permanently occupied: the
             // destination never consumes it, so it is never acknowledged.
-            ResultFate::Drop => st.lost_result += 1,
+            ResultFate::Drop => {
+                st.lost_result += 1;
+                None
+            }
             // A delayed packet still holds its place in FIFO order, so a
             // slow packet blocks the ones behind it (head-of-line).
-            ResultFate::Delay(extra) => st.queue.push_back((v, ready + extra)),
+            ResultFate::Delay(extra) => {
+                st.queue.push_back((v, ready + extra));
+                Some(ready + extra)
+            }
             ResultFate::Duplicate => {
                 st.queue.push_back((v, ready));
                 // The duplicate is delivered only if the link has a free
@@ -593,7 +746,11 @@ impl<'g> Simulator<'g> {
                     st.queue.push_back((v, ready));
                     st.sent += 1;
                 }
+                Some(ready)
             }
+        };
+        if let Some(t) = deliver_at {
+            self.sched.wake(dst, t);
         }
     }
 
@@ -605,14 +762,29 @@ impl<'g> Simulator<'g> {
                 Some(f) => f.ack_fate(arc.idx(), now),
                 None => AckFate::Deliver,
             };
+            let src = self.g.arcs[arc.idx()].src.idx() as u32;
             let st = &mut self.arcs[arc.idx()];
             st.queue.pop_front();
             st.consumed += 1;
-            match fate {
-                AckFate::Deliver => st.freeing.push(ack_at),
-                AckFate::Delay(extra) => st.freeing.push(ack_at + extra),
+            let free_at = match fate {
+                AckFate::Deliver => {
+                    st.freeing.push(ack_at);
+                    Some(ack_at)
+                }
+                AckFate::Delay(extra) => {
+                    st.freeing.push(ack_at + extra);
+                    Some(ack_at + extra)
+                }
                 // A lost acknowledge never frees the producer's slot.
-                AckFate::Drop => st.lost_ack += 1,
+                AckFate::Drop => {
+                    st.lost_ack += 1;
+                    None
+                }
+            };
+            if let Some(t) = free_at {
+                // The freed slot re-enables the arc's producer.
+                self.sched.wake_arc(arc.idx() as u32, t);
+                self.sched.wake(src, t);
             }
         }
         let node = &self.g.nodes[n.idx()];
@@ -630,6 +802,7 @@ impl<'g> Simulator<'g> {
                         panic!("cell {} ({name}): sink port vanished at step {now}", n.idx())
                     });
                     sink.push((now, v));
+                    self.progress += 1;
                 }
                 Opcode::Source(name) => {
                     self.src_pos[n.idx()] += 1;
@@ -637,6 +810,7 @@ impl<'g> Simulator<'g> {
                         panic!("cell {} ({name}): source port vanished at step {now}", n.idx())
                     });
                     times.push(now);
+                    self.progress += 1;
                     for &a in &node.outputs {
                         self.emit_on(a, v);
                     }
@@ -655,6 +829,7 @@ impl<'g> Simulator<'g> {
             }
         }
         self.fires[n.idx()] += 1;
+        let node = &self.g.nodes[n.idx()];
         if node.op.is_array_memory() {
             self.am_fires += 1;
         }
@@ -664,10 +839,22 @@ impl<'g> Simulator<'g> {
         if let Some(ft) = &mut self.fire_times {
             ft[n.idx()].push(now);
         }
+        // A fired cell may be enabled again immediately (buffered output
+        // arcs, queued operands); re-examine it next step.
+        self.sched.wake(n.idx() as u32, now + 1);
     }
 
     /// Advance one instruction time. Returns how many cells fired.
     pub fn step(&mut self) -> Result<usize, SimError> {
+        if self.sched.is_event_driven() {
+            self.step_event()
+        } else {
+            self.step_scan()
+        }
+    }
+
+    /// The legacy O(cells) step: re-scan every cell.
+    fn step_scan(&mut self) -> Result<usize, SimError> {
         // Release acknowledged slots. The list is unordered (injected
         // acknowledge delays can overtake each other), so filter rather
         // than front-pop.
@@ -690,7 +877,7 @@ impl<'g> Simulator<'g> {
             }
         }
         // Contention throttling.
-        if let Some(res) = self.opts.resources.clone() {
+        if let Some(res) = &self.cfg.resources {
             let mut budget = res.capacity.clone();
             plans.retain(|(n, _)| {
                 let u = res.unit_of[n.idx()] as usize;
@@ -710,8 +897,67 @@ impl<'g> Simulator<'g> {
         Ok(count)
     }
 
+    /// The event-driven O(fired + woken) step: examine only cells with a
+    /// pending wakeup (see [`crate::scheduler`] for the invariant).
+    fn step_event(&mut self) -> Result<usize, SimError> {
+        let now = self.now;
+        // Release exactly the acknowledge slots scheduled to expire now;
+        // arcs without due slots hold only future times, so skipping them
+        // leaves the same state the full scan would.
+        for arc in self.sched.due_arcs(now) {
+            let st = &mut self.arcs[arc as usize];
+            let before = st.freeing.len();
+            st.freeing.retain(|&t| t > now);
+            st.acked += (before - st.freeing.len()) as u64;
+        }
+        // Examine woken cells in index order (the scan order, which the
+        // resource throttle and first-error selection depend on).
+        let due = self.sched.due_nodes(now);
+        let mut plans: Vec<(NodeId, FirePlan)> = Vec::new();
+        let mut thawing: Vec<(u32, u64)> = Vec::new();
+        for nid in due {
+            if let Some(f) = &self.fault {
+                if f.frozen(nid as usize, now) {
+                    thawing.push((nid, f.thaw_time(nid as usize, now)));
+                    continue;
+                }
+            }
+            if let Some(p) = self.plan(NodeId(nid))? {
+                plans.push((NodeId(nid), p));
+            }
+        }
+        for (nid, at) in thawing {
+            self.sched.wake(nid, at);
+        }
+        // Contention throttling; a throttled cell is still enabled and
+        // must be re-examined next step.
+        let mut throttled: Vec<u32> = Vec::new();
+        if let Some(res) = &self.cfg.resources {
+            let mut budget = res.capacity.clone();
+            plans.retain(|(n, _)| {
+                let u = res.unit_of[n.idx()] as usize;
+                if budget[u] > 0 {
+                    budget[u] -= 1;
+                    true
+                } else {
+                    throttled.push(n.idx() as u32);
+                    false
+                }
+            });
+        }
+        for nid in throttled {
+            self.sched.wake(nid, now + 1);
+        }
+        let count = plans.len();
+        for (n, p) in plans {
+            self.fire(n, p);
+        }
+        self.now += 1;
+        Ok(count)
+    }
+
     fn outputs_reached(&self) -> bool {
-        match &self.opts.stop_outputs {
+        match &self.cfg.stop_outputs {
             None => false,
             Some(list) => list
                 .iter()
@@ -719,22 +965,13 @@ impl<'g> Simulator<'g> {
         }
     }
 
-    /// Packets that have visibly moved through the machine: source
-    /// emissions plus sink arrivals. The watchdog's livelock detector
-    /// watches this count.
-    fn progress_count(&self) -> u64 {
-        let outs: usize = self.outputs.values().map(|v| v.len()).sum();
-        let srcs: usize = self.src_pos.iter().sum();
-        (outs + srcs) as u64
-    }
-
     /// Run to quiescence, the step limit, the output-count target, or a
     /// watchdog stall; consumes the simulator.
     pub fn run(mut self) -> Result<RunResult, SimError> {
-        let wd = self.opts.watchdog;
+        let wd = self.cfg.watchdog;
         let step_limit = match wd {
-            Some(w) => self.opts.max_steps.min(w.step_budget),
-            None => self.opts.max_steps,
+            Some(w) => self.cfg.max_steps.min(w.step_budget),
+            None => self.cfg.max_steps,
         };
         // Injected delays and freeze windows extend how long a token can
         // legitimately stay in flight; widen the quiescence test to match.
@@ -762,28 +999,19 @@ impl<'g> Simulator<'g> {
         let mut stop = StopReason::Quiescent;
         let mut stall_kind: Option<StallKind> = None;
         let mut idle = 0u64;
-        let mut last_progress = self.progress_count();
-        let mut last_progress_step = 0u64;
-        let mut fires_since_progress = 0u64;
+        let mut tracker = ProgressTracker::new(self.progress);
         while self.now < step_limit {
             let fired = self.step()?;
-            if self.opts.check_invariants {
+            if self.cfg.check_invariants {
                 self.check_invariants()?;
             }
             if fired > 0 && self.outputs_reached() {
                 stop = StopReason::OutputsReached;
                 break;
             }
-            let progress = self.progress_count();
-            if progress != last_progress {
-                last_progress = progress;
-                last_progress_step = self.now;
-                fires_since_progress = 0;
-            } else {
-                fires_since_progress += fired as u64;
-            }
+            tracker.observe(self.now, fired as u64, self.progress);
             if let Some(w) = wd {
-                if fires_since_progress > 0 && self.now - last_progress_step >= w.progress_window {
+                if tracker.livelocked(self.now, w.progress_window) {
                     stop = StopReason::Stalled;
                     stall_kind = Some(StallKind::Livelock);
                     break;
@@ -821,7 +1049,7 @@ impl<'g> Simulator<'g> {
         if stop == StopReason::Quiescent && !sources_exhausted {
             stall_kind = Some(StallKind::Deadlock);
         }
-        if self.opts.check_invariants {
+        if self.cfg.check_invariants {
             // Complete any in-flight acknowledges before the final audit.
             let now = self.now;
             for st in &mut self.arcs {
@@ -849,7 +1077,7 @@ impl<'g> Simulator<'g> {
         }
         let total_fires = self.fires.iter().sum();
         let stall_report =
-            stall_kind.map(|kind| self.build_stall_report(kind, fires_since_progress));
+            stall_kind.map(|kind| self.build_stall_report(kind, tracker.fires_since_progress()));
         Ok(RunResult {
             steps: self.now,
             stop,
@@ -943,7 +1171,7 @@ impl<'g> Simulator<'g> {
     }
 
     /// Verify the machine's conservation invariants. Called after every
-    /// step when [`SimOptions::check_invariants`] is set; these hold by
+    /// step when [`SimConfig::check_invariants`] is set; these hold by
     /// construction today and exist to catch future regressions in the
     /// firing rules.
     fn check_invariants(&self) -> Result<(), SimError> {
@@ -1043,11 +1271,13 @@ impl FirePlan {
     }
 }
 
-/// Convenience: validate-expand-run with default options.
+/// Convenience: validate-expand-run with default options (legacy).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Simulator::builder(&g).inputs(...).run()`"
+)]
 pub fn run_program(g: &Graph, inputs: &ProgramInputs) -> Result<RunResult, SimError> {
-    let mut g = g.clone();
-    g.expand_fifos();
-    Simulator::new(&g, inputs, SimOptions::default())?.run()
+    Simulator::builder(g).inputs(inputs.clone()).run()
 }
 
 #[cfg(test)]
@@ -1058,6 +1288,10 @@ mod tests {
 
     fn reals(vals: &[f64]) -> Vec<Value> {
         vals.iter().map(|&v| Value::Real(v)).collect()
+    }
+
+    fn run_defaults(g: &Graph, inputs: ProgramInputs) -> Result<RunResult, SimError> {
+        Simulator::builder(g).inputs(inputs).run()
     }
 
     /// The paper's Fig. 2 program: y = a*b; (y+2)*(y-3).
@@ -1079,7 +1313,7 @@ mod tests {
         let inputs = ProgramInputs::new()
             .bind("a", reals(&[1.0, 2.0, 3.0]))
             .bind("b", reals(&[4.0, 5.0, 6.0]));
-        let r = run_program(&g, &inputs).unwrap();
+        let r = run_defaults(&g, inputs).unwrap();
         let expect: Vec<f64> = [4.0, 10.0, 18.0]
             .iter()
             .map(|y| (y + 2.0) * (y - 3.0))
@@ -1090,6 +1324,25 @@ mod tests {
     }
 
     #[test]
+    fn both_kernels_agree_on_fig2() {
+        let g = fig2();
+        let inputs = ProgramInputs::new()
+            .bind("a", reals(&[1.0, 2.0, 3.0]))
+            .bind("b", reals(&[4.0, 5.0, 6.0]));
+        let scan = Simulator::builder(&g)
+            .inputs(inputs.clone())
+            .kernel(Kernel::Scan)
+            .run()
+            .unwrap();
+        let event = Simulator::builder(&g)
+            .inputs(inputs)
+            .kernel(Kernel::EventDriven)
+            .run()
+            .unwrap();
+        assert_eq!(scan, event);
+    }
+
+    #[test]
     fn fig2_fully_pipelined_rate_one_half() {
         let g = fig2();
         let n = 200;
@@ -1097,8 +1350,8 @@ mod tests {
         let inputs = ProgramInputs::new()
             .bind("a", reals(&data))
             .bind("b", reals(&data));
-        let r = run_program(&g, &inputs).unwrap();
-        let iv = r.steady_interval("out").unwrap();
+        let r = run_defaults(&g, inputs).unwrap();
+        let iv = r.timing("out").interval().unwrap();
         assert!((iv - 2.0).abs() < 0.05, "interval {iv} ≉ 2");
     }
 
@@ -1112,8 +1365,8 @@ mod tests {
         let add = g.cell(Opcode::Bin(BinOp::Add), "add", &[i2.into(), a.into()]);
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[add.into()]);
         let data: Vec<f64> = (0..200).map(|i| i as f64).collect();
-        let r = run_program(&g, &ProgramInputs::new().bind("a", reals(&data))).unwrap();
-        let iv = r.steady_interval("out").unwrap();
+        let r = run_defaults(&g, ProgramInputs::new().bind("a", reals(&data))).unwrap();
+        let iv = r.timing("out").interval().unwrap();
         assert!(iv > 2.5, "unbalanced diamond interval {iv} should exceed 2");
         // Values are still correct — imbalance costs speed, not correctness.
         assert_eq!(r.reals("out"), data.iter().map(|x| x + x).collect::<Vec<_>>());
@@ -1129,13 +1382,10 @@ mod tests {
         let i2 = g.cell(Opcode::Id, "i2", &[i1.into()]);
         g.connect_init(i2, add, 0, Value::Int(0));
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[i2.into()]);
-        let mut opts = SimOptions::default();
-        opts.max_steps = 2000;
-        let r = Simulator::new(&g, &ProgramInputs::new(), opts).unwrap().run().unwrap();
+        let r = Simulator::builder(&g).max_steps(2000).run().unwrap();
         // Runs forever (no sources), so we hit the step limit.
         assert_eq!(r.stop, StopReason::MaxSteps);
-        let times: Vec<u64> = r.outputs["out"].iter().map(|&(t, _)| t).collect();
-        let iv = steady_interval_of(&times).unwrap();
+        let iv = r.timing("out").interval().unwrap();
         assert!((iv - 3.0).abs() < 0.05, "3-cycle interval {iv} ≉ 3");
         let vals = r.values("out");
         assert_eq!(vals[0], Value::Int(1));
@@ -1156,11 +1406,8 @@ mod tests {
         let d = g.cell(Opcode::Id, "d", &[c.into()]);
         g.connect_init(d, a, 0, Value::Int(0));
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[d.into()]);
-        let mut opts = SimOptions::default();
-        opts.max_steps = 2000;
-        let r = Simulator::new(&g, &ProgramInputs::new(), opts).unwrap().run().unwrap();
-        let times: Vec<u64> = r.outputs["out"].iter().map(|&(t, _)| t).collect();
-        let iv = steady_interval_of(&times).unwrap();
+        let r = Simulator::builder(&g).max_steps(2000).run().unwrap();
+        let iv = r.timing("out").interval().unwrap();
         assert!((iv - 2.0).abs() < 0.05, "4-cycle/2-token interval {iv} ≉ 2");
     }
 
@@ -1172,9 +1419,9 @@ mod tests {
         let ctl = g.add_node(Opcode::CtlGen(CtlStream::window(4, 1, 2)), "ctl");
         let gate = g.cell(Opcode::TGate, "g", &[ctl.into(), a.into()]);
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[gate.into()]);
-        let r = run_program(
+        let r = run_defaults(
             &g,
-            &ProgramInputs::new().bind("a", reals(&[0., 1., 2., 3., 4., 5., 6., 7.])),
+            ProgramInputs::new().bind("a", reals(&[0., 1., 2., 3., 4., 5., 6., 7.])),
         )
         .unwrap();
         assert_eq!(r.reals("out"), vec![1., 2., 5., 6.]);
@@ -1190,9 +1437,9 @@ mod tests {
         let ctl = g.add_node(Opcode::CtlGen(CtlStream::from_runs([(true, 1), (false, 1)])), "ctl");
         let m = g.cell(Opcode::Merge, "m", &[ctl.into(), t.into(), f.into()]);
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[m.into()]);
-        let r = run_program(
+        let r = run_defaults(
             &g,
-            &ProgramInputs::new()
+            ProgramInputs::new()
                 .bind("t", reals(&[10., 11., 12.]))
                 .bind("f", reals(&[20., 21., 22.])),
         )
@@ -1203,7 +1450,7 @@ mod tests {
     #[test]
     fn missing_input_reported() {
         let g = fig2();
-        let err = run_program(&g, &ProgramInputs::new().bind("a", reals(&[1.0]))).unwrap_err();
+        let err = run_defaults(&g, ProgramInputs::new().bind("a", reals(&[1.0]))).unwrap_err();
         assert_eq!(err, SimError::MissingInput("b".into()));
     }
 
@@ -1213,7 +1460,7 @@ mod tests {
         let a = g.add_node(Opcode::Source("a".into()), "a");
         let and = g.cell(Opcode::Bin(BinOp::And), "and", &[a.into(), true.into()]);
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[and.into()]);
-        let err = run_program(&g, &ProgramInputs::new().bind("a", reals(&[1.0]))).unwrap_err();
+        let err = run_defaults(&g, ProgramInputs::new().bind("a", reals(&[1.0]))).unwrap_err();
         assert!(matches!(err, SimError::Eval { .. }));
     }
 
@@ -1224,9 +1471,9 @@ mod tests {
         let b = g.add_node(Opcode::Source("b".into()), "b");
         let gate = g.cell(Opcode::TGate, "g", &[a.into(), b.into()]);
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[gate.into()]);
-        let err = run_program(
+        let err = run_defaults(
             &g,
-            &ProgramInputs::new()
+            ProgramInputs::new()
                 .bind("a", reals(&[1.0]))
                 .bind("b", reals(&[2.0])),
         )
@@ -1249,20 +1496,55 @@ mod tests {
             }
             let _ = g.cell(Opcode::Sink("out".into()), "out", &[prev.into()]);
             let data: Vec<f64> = (0..300).map(|i| i as f64).collect();
-            let r = run_program(&g, &ProgramInputs::new().bind("a", reals(&data))).unwrap();
-            ivs.push(r.steady_interval("out").unwrap());
+            let r = run_defaults(&g, ProgramInputs::new().bind("a", reals(&data))).unwrap();
+            ivs.push(r.timing("out").interval().unwrap());
         }
         assert!((ivs[0] - ivs[1]).abs() < 0.02, "{ivs:?}");
         assert!((ivs[0] - 2.0).abs() < 0.05);
     }
 
     #[test]
-    fn fifo_expansion_required() {
+    fn fifo_expansion_required_for_manual_stepping() {
         let mut g = Graph::new();
         let a = g.add_node(Opcode::Source("a".into()), "a");
         let f = g.cell(Opcode::Fifo(2), "f", &[a.into()]);
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[f.into()]);
-        let err = Simulator::new(&g, &ProgramInputs::new().bind("a", reals(&[1.0])), SimOptions::default());
+        let err = Simulator::builder(&g)
+            .inputs(ProgramInputs::new().bind("a", reals(&[1.0])))
+            .build();
         assert!(matches!(err, Err(SimError::UnexpandedFifo(_))));
+        // … but the all-in-one run path expands them transparently.
+        let r = Simulator::builder(&g)
+            .inputs(ProgramInputs::new().bind("a", reals(&[1.0, 2.0])))
+            .run()
+            .unwrap();
+        assert_eq!(r.reals("out"), vec![1.0, 2.0]);
+    }
+
+    /// The deprecated entry points still compile and produce the same
+    /// results as the builder (one-release compatibility shims).
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_match_builder() {
+        let g = fig2();
+        let inputs = ProgramInputs::new()
+            .bind("a", reals(&[1.0, 2.0, 3.0]))
+            .bind("b", reals(&[4.0, 5.0, 6.0]));
+        let via_builder = Simulator::builder(&g).inputs(inputs.clone()).run().unwrap();
+        let via_run_program = run_program(&g, &inputs).unwrap();
+        let via_new = Simulator::new(&g, &inputs, SimOptions::default())
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(via_builder, via_run_program);
+        assert_eq!(via_builder, via_new);
+        assert_eq!(
+            steady_interval_of(&[0, 2, 4, 6, 8, 10, 12, 14]),
+            Timing::of(vec![0, 2, 4, 6, 8, 10, 12, 14]).interval()
+        );
+        assert_eq!(
+            steady_rate_of(&[0, 2, 4, 6, 8, 10, 12, 14]),
+            Timing::of(vec![0, 2, 4, 6, 8, 10, 12, 14]).rate()
+        );
     }
 }

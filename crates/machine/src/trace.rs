@@ -1,6 +1,6 @@
 //! Execution trace export and occupancy visualization.
 //!
-//! With [`crate::SimOptions::record_fire_times`] enabled, a run knows when
+//! With [`crate::SimConfig::record_fire_times`] enabled, a run knows when
 //! every cell fired. This module renders that record two ways:
 //!
 //! * [`chrome_trace`] — Chrome/Perfetto trace-event JSON (open in
@@ -81,7 +81,7 @@ pub fn occupancy_chart(run: &RunResult, width: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::{ProgramInputs, SimOptions, Simulator};
+    use crate::sim::{ProgramInputs, Simulator};
     use valpipe_ir::value::Value;
     use valpipe_ir::Opcode;
 
@@ -90,11 +90,10 @@ mod tests {
         let a = g.add_node(Opcode::Source("a".into()), "a");
         let id = g.cell(Opcode::Id, "stage", &[a.into()]);
         let _ = g.cell(Opcode::Sink("y".into()), "y", &[id.into()]);
-        let mut opts = SimOptions::default();
-        opts.record_fire_times = true;
         let data: Vec<Value> = (0..20).map(|i| Value::Real(i as f64)).collect();
-        let r = Simulator::new(&g, &ProgramInputs::new().bind("a", data), opts)
-            .unwrap()
+        let r = Simulator::builder(&g)
+            .inputs(ProgramInputs::new().bind("a", data))
+            .record_fire_times(true)
             .run()
             .unwrap();
         (g, r)
@@ -117,14 +116,10 @@ mod tests {
         let mut g = Graph::new();
         let a = g.add_node(Opcode::Source("a".into()), "a");
         let _ = g.cell(Opcode::Sink("y".into()), "y", &[a.into()]);
-        let r = Simulator::new(
-            &g,
-            &ProgramInputs::new().bind("a", vec![Value::Real(1.0)]),
-            SimOptions::default(),
-        )
-        .unwrap()
-        .run()
-        .unwrap();
+        let r = Simulator::builder(&g)
+            .inputs(ProgramInputs::new().bind("a", vec![Value::Real(1.0)]))
+            .run()
+            .unwrap();
         assert!(chrome_trace(&g, &r).is_none());
         assert!(occupancy_chart(&r, 10).contains("record_fire_times"));
     }

@@ -45,6 +45,52 @@ impl Default for WatchdogConfig {
     }
 }
 
+/// Incremental progress bookkeeping for the run loop's livelock
+/// detector: tracks the last instruction time at which a packet visibly
+/// moved (a source emission or a sink arrival) and how many firings have
+/// happened since. Both kernels feed it the same per-step observations,
+/// so stall classification is kernel-independent.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressTracker {
+    last_progress: u64,
+    last_progress_step: u64,
+    fires_since_progress: u64,
+}
+
+impl ProgressTracker {
+    /// Start tracking from the machine's initial progress count.
+    pub fn new(initial_progress: u64) -> Self {
+        ProgressTracker {
+            last_progress: initial_progress,
+            last_progress_step: 0,
+            fires_since_progress: 0,
+        }
+    }
+
+    /// Record one completed step: `fired` cells fired, and the machine's
+    /// progress count (source emissions + sink arrivals) is `progress`.
+    pub fn observe(&mut self, now: u64, fired: u64, progress: u64) {
+        if progress != self.last_progress {
+            self.last_progress = progress;
+            self.last_progress_step = now;
+            self.fires_since_progress = 0;
+        } else {
+            self.fires_since_progress += fired;
+        }
+    }
+
+    /// Whether the run is livelocked under the given progress window:
+    /// cells fired, but nothing visibly moved for a whole window.
+    pub fn livelocked(&self, now: u64, progress_window: u64) -> bool {
+        self.fires_since_progress > 0 && now - self.last_progress_step >= progress_window
+    }
+
+    /// Firings observed since the last visible progress.
+    pub fn fires_since_progress(&self) -> u64 {
+        self.fires_since_progress
+    }
+}
+
 /// How the run stalled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StallKind {

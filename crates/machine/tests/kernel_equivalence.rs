@@ -1,0 +1,304 @@
+//! Kernel equivalence: the event-driven scheduler must reproduce the
+//! scan kernel's `RunResult` *bit for bit* — same step count, same stop
+//! reason, same output packets at the same instruction times, same
+//! per-cell fire counts — on every regime the simulator supports:
+//! clean pipelines, feedback loops, gates and merges, fault plans
+//! (drops, duplicates, delays, freezes, link faults), resource
+//! throttling, watchdog stalls, arc capacities, link latencies, and
+//! early stop conditions.
+//!
+//! `RunResult` derives `PartialEq`, so each test is a single whole-run
+//! comparison — nothing is projected out, nothing can drift silently.
+
+use valpipe_ir::opcode::Opcode;
+use valpipe_ir::value::{BinOp, Value};
+use valpipe_ir::{CtlStream, Graph};
+use valpipe_machine::{
+    CellFreeze, FaultPlan, Kernel, LinkFault, ProgramInputs, RunResult, SimConfig, Simulator,
+    StopReason, WatchdogConfig,
+};
+
+fn reals(v: &[f64]) -> Vec<Value> {
+    v.iter().map(|&x| Value::Real(x)).collect()
+}
+
+fn ramp(n: usize) -> Vec<f64> {
+    (0..n).map(|i| i as f64).collect()
+}
+
+/// Run the same program under both kernels and assert whole-run equality.
+fn assert_equivalent(g: &Graph, inputs: &ProgramInputs, cfg: SimConfig) -> RunResult {
+    let run = |kernel: Kernel| {
+        Simulator::builder(g)
+            .inputs(inputs.clone())
+            .config(cfg.clone().kernel(kernel))
+            .run()
+            .unwrap()
+    };
+    let scan = run(Kernel::Scan);
+    let event = run(Kernel::EventDriven);
+    assert_eq!(scan, event, "kernels must agree bit-for-bit");
+    event
+}
+
+/// Fig. 2 regime: an acknowledged identity chain.
+fn chain(stages: usize) -> Graph {
+    let mut g = Graph::new();
+    let a = g.add_node(Opcode::Source("a".into()), "a");
+    let mut prev = a;
+    for k in 0..stages {
+        prev = g.cell(Opcode::Id, format!("s{k}"), &[prev.into()]);
+    }
+    let _ = g.cell(Opcode::Sink("y".into()), "y", &[prev.into()]);
+    g
+}
+
+/// Todd's counterexample regime: a source feeding a 3-cycle feedback loop.
+fn three_cycle() -> Graph {
+    let mut g = Graph::new();
+    let a = g.add_node(Opcode::Source("a".into()), "a");
+    let j = g.add_node(Opcode::Bin(BinOp::Add), "join");
+    g.connect(a, j, 0);
+    let l1 = g.cell(Opcode::Id, "l1", &[j.into()]);
+    let l2 = g.cell(Opcode::Id, "l2", &[l1.into()]);
+    g.connect_init(l2, j, 1, Value::Real(0.0));
+    let _ = g.cell(Opcode::Sink("y".into()), "y", &[l2.into()]);
+    g
+}
+
+/// A conditional: gate pair, distinct arms, control-paced merge.
+fn conditional() -> Graph {
+    let mut g = Graph::new();
+    let a = g.add_node(Opcode::Source("a".into()), "a");
+    let ctl = g.add_node(
+        Opcode::CtlGen(CtlStream::from_runs([(true, 2), (false, 1)])),
+        "ctl",
+    );
+    let tg = g.cell(Opcode::TGate, "tg", &[ctl.into(), a.into()]);
+    let fg = g.cell(Opcode::FGate, "fg", &[ctl.into(), a.into()]);
+    let t_arm = g.cell(Opcode::Bin(BinOp::Add), "t_arm", &[tg.into(), 100.0.into()]);
+    let f_arm = g.cell(Opcode::Bin(BinOp::Mul), "f_arm", &[fg.into(), (-1.0).into()]);
+    let m = g.add_node(Opcode::Merge, "m");
+    g.connect(ctl, m, 0);
+    g.connect(t_arm, m, 1);
+    g.connect(f_arm, m, 2);
+    let _ = g.cell(Opcode::Sink("y".into()), "y", &[m.into()]);
+    g
+}
+
+#[test]
+fn clean_chain_and_loop_and_conditional() {
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(64)));
+    let r = assert_equivalent(&chain(8), &inputs, SimConfig::new());
+    assert!(r.sources_exhausted);
+    assert!((r.timing("y").interval().unwrap() - 2.0).abs() < 1e-9);
+
+    let r = assert_equivalent(&three_cycle(), &inputs, SimConfig::new());
+    assert!((r.timing("y").interval().unwrap() - 3.0).abs() < 1e-9);
+
+    let r = assert_equivalent(&conditional(), &inputs, SimConfig::new());
+    assert!(r.sources_exhausted);
+    assert_eq!(r.values("y").len(), 64);
+}
+
+#[test]
+fn fire_time_recording_matches() {
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(32)));
+    let r = assert_equivalent(
+        &chain(5),
+        &inputs,
+        SimConfig::new().record_fire_times(true),
+    );
+    assert!(r.fire_times.is_some());
+}
+
+#[test]
+fn capacities_and_link_latencies_match() {
+    let g = chain(4);
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(50)));
+    for cap in [1usize, 2, 4] {
+        for (fwd, ack) in [(1u64, 1u64), (2, 2), (3, 1)] {
+            let cfg = SimConfig::new().arc_capacity(cap).delays(
+                valpipe_machine::ArcDelays {
+                    forward: vec![fwd; g.arc_count()],
+                    ack: vec![ack; g.arc_count()],
+                },
+            );
+            let r = assert_equivalent(&g, &inputs, cfg);
+            assert!(r.sources_exhausted, "cap {cap} fwd {fwd} ack {ack}");
+        }
+    }
+}
+
+#[test]
+fn resource_throttling_matches() {
+    // One shared unit with budget 1: only one cell may initiate per
+    // instruction time, so the scan order (= node index order) is the
+    // arbitration order. The event kernel must arbitrate identically.
+    let g = conditional();
+    let n = g.node_count();
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(45)));
+    for budget in [1u32, 2, 3] {
+        let cfg = SimConfig::new().resources(valpipe_machine::ResourceModel {
+            unit_of: vec![0; n],
+            capacity: vec![budget],
+        });
+        let r = assert_equivalent(&g, &inputs, cfg);
+        assert!(r.sources_exhausted, "budget {budget}");
+    }
+}
+
+#[test]
+fn probabilistic_fault_plans_match() {
+    // Faults are seeded per (arc, step), so a fate decided at the same
+    // instruction time lands identically under both kernels.
+    let g = conditional();
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(40)));
+    for seed in [1u64, 7, 23, 42] {
+        let plan = FaultPlan {
+            seed,
+            delay_result: 0.3,
+            delay_result_max: 5,
+            delay_ack: 0.2,
+            delay_ack_max: 3,
+            dup_result: 0.05,
+            ..Default::default()
+        };
+        let r = assert_equivalent(&g, &inputs, SimConfig::new().fault_plan(plan));
+        assert!(r.sources_exhausted, "seed {seed}");
+    }
+}
+
+#[test]
+fn lossy_fault_plans_and_deadlocks_match() {
+    // Dropped results/acks wedge the pipe; the deadlock step and the
+    // stall report must agree exactly.
+    let mut g = Graph::new();
+    let a = g.add_node(Opcode::Source("a".into()), "a");
+    let b = g.add_node(Opcode::Source("b".into()), "b");
+    let add = g.cell(Opcode::Bin(BinOp::Add), "join", &[a.into(), b.into()]);
+    let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
+    let inputs = ProgramInputs::new()
+        .bind("a", reals(&ramp(40)))
+        .bind("b", reals(&ramp(40)));
+    for (drop_result, drop_ack) in [(0.0, 0.3), (0.2, 0.0), (0.1, 0.1)] {
+        let plan = FaultPlan { seed: 11, drop_result, drop_ack, ..Default::default() };
+        let cfg = SimConfig::new().fault_plan(plan).check_invariants(true);
+        let r = assert_equivalent(&g, &inputs, cfg);
+        assert!(!r.sources_exhausted);
+        assert!(r.stall_report.is_some());
+    }
+}
+
+#[test]
+fn cell_freezes_and_link_faults_match() {
+    let g = chain(6);
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(24)));
+    // Transient freeze: cell 3 is out for steps 10..60, then recovers.
+    let plan = FaultPlan {
+        freezes: vec![CellFreeze { node: 3, from: 10, until: 60 }],
+        ..Default::default()
+    };
+    let r = assert_equivalent(&g, &inputs, SimConfig::new().fault_plan(plan));
+    assert!(r.sources_exhausted, "a transient freeze must drain eventually");
+
+    // Overlapping freezes on two cells.
+    let plan = FaultPlan {
+        freezes: vec![
+            CellFreeze { node: 2, from: 5, until: 40 },
+            CellFreeze { node: 3, from: 20, until: 70 },
+        ],
+        ..Default::default()
+    };
+    assert_equivalent(&g, &inputs, SimConfig::new().fault_plan(plan));
+
+    // A link outage on the first chain arc.
+    let plan = FaultPlan {
+        link_faults: vec![LinkFault { stage: 1, port: 0, from: 8, until: 30 }],
+        ..Default::default()
+    };
+    assert_equivalent(&g, &inputs, SimConfig::new().fault_plan(plan));
+}
+
+#[test]
+fn permanent_freeze_watchdog_stall_matches() {
+    // A cell frozen forever wedges the run; the watchdog fires at the
+    // same step with the same diagnosis under both kernels.
+    let g = chain(4);
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(8)));
+    let cfg = SimConfig::new()
+        .fault_plan(FaultPlan {
+            freezes: vec![CellFreeze { node: 2, from: 0, until: 1 << 40 }],
+            ..Default::default()
+        })
+        .watchdog(WatchdogConfig { step_budget: 3_000, ..Default::default() })
+        .check_invariants(true);
+    let r = assert_equivalent(&g, &inputs, cfg);
+    assert_eq!(r.stop, StopReason::Stalled);
+}
+
+#[test]
+fn livelock_and_budget_exhaustion_match() {
+    // Livelock: a closed spinning loop fires forever without progress.
+    let mut g = Graph::new();
+    let n1 = g.add_node(Opcode::Id, "spin1");
+    let n2 = g.add_node(Opcode::Id, "spin2");
+    g.connect(n1, n2, 0);
+    g.connect_init(n2, n1, 0, Value::Real(1.0));
+    let cfg = SimConfig::new()
+        .watchdog(WatchdogConfig { step_budget: 50_000, progress_window: 64 });
+    let r = assert_equivalent(&g, &ProgramInputs::new(), cfg);
+    assert_eq!(r.stop, StopReason::Stalled);
+
+    // Budget exhaustion: a healthy pipe cut off mid-stream.
+    let g = chain(2);
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(200)));
+    let cfg = SimConfig::new()
+        .watchdog(WatchdogConfig { step_budget: 40, ..Default::default() });
+    let r = assert_equivalent(&g, &inputs, cfg);
+    assert_eq!(r.steps, 40);
+}
+
+#[test]
+fn stop_outputs_and_max_steps_match() {
+    // Early stop on output count.
+    let g = three_cycle();
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(100)));
+    let cfg = SimConfig::new().stop_outputs(vec![("y".into(), 20)]);
+    let r = assert_equivalent(&g, &inputs, cfg);
+    assert_eq!(r.stop, StopReason::OutputsReached);
+    assert!(r.values("y").len() >= 20);
+
+    // Hard step cap mid-flight.
+    let r = assert_equivalent(&g, &inputs, SimConfig::new().max_steps(37));
+    assert_eq!(r.stop, StopReason::MaxSteps);
+    assert_eq!(r.steps, 37);
+}
+
+#[test]
+fn faults_plus_throttling_plus_latency_compose() {
+    // The unholy trinity: seeded delays, a shared-unit throttle, and
+    // non-unit link latencies, all at once.
+    let g = conditional();
+    let n = g.node_count();
+    let inputs = ProgramInputs::new().bind("a", reals(&ramp(30)));
+    let cfg = SimConfig::new()
+        .fault_plan(FaultPlan {
+            seed: 5,
+            delay_result: 0.25,
+            delay_result_max: 4,
+            ..Default::default()
+        })
+        .resources(valpipe_machine::ResourceModel {
+            unit_of: vec![0; n],
+            capacity: vec![2],
+        })
+        .arc_capacity(2)
+        .delays(valpipe_machine::ArcDelays {
+            forward: vec![2; g.arc_count()],
+            ack: vec![1; g.arc_count()],
+        })
+        .check_invariants(true);
+    let r = assert_equivalent(&g, &inputs, cfg);
+    assert!(r.sources_exhausted);
+}

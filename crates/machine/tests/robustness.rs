@@ -6,8 +6,8 @@ use valpipe_ir::opcode::Opcode;
 use valpipe_ir::value::{BinOp, Value};
 use valpipe_ir::{CtlStream, Graph};
 use valpipe_machine::{
-    CellFreeze, FaultPlan, ProgramInputs, RunResult, SimOptions, Simulator, StallKind,
-    StopReason, WatchdogConfig,
+    CellFreeze, FaultPlan, ProgramInputs, RunResult, Simulator, StallKind, StopReason,
+    WatchdogConfig,
 };
 
 fn reals(v: &[f64]) -> Vec<Value> {
@@ -20,12 +20,12 @@ fn ramp(n: usize) -> Vec<f64> {
 
 /// Run with invariant checking on and an optional fault plan.
 fn run_checked(g: &Graph, inputs: &ProgramInputs, plan: Option<FaultPlan>) -> RunResult {
-    let opts = SimOptions {
-        fault_plan: plan,
-        check_invariants: true,
-        ..Default::default()
-    };
-    Simulator::new(g, inputs, opts).unwrap().run().unwrap()
+    Simulator::builder(g)
+        .inputs(inputs.clone())
+        .fault_plan_opt(plan)
+        .check_invariants(true)
+        .run()
+        .unwrap()
 }
 
 // ---------------------------------------------------------------------
@@ -46,25 +46,20 @@ fn wedged_graph_terminates_within_budget_with_diagnosis() {
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
 
     let budget = 5_000;
-    let opts = SimOptions {
-        fault_plan: Some(FaultPlan {
+    let r = Simulator::builder(&g)
+        .inputs(
+            ProgramInputs::new()
+                .bind("a", reals(&ramp(8)))
+                .bind("b", reals(&ramp(8))),
+        )
+        .fault_plan(FaultPlan {
             freezes: vec![CellFreeze { node: left.idx(), from: 0, until: 1 << 40 }],
             ..Default::default()
-        }),
-        watchdog: Some(WatchdogConfig { step_budget: budget, ..Default::default() }),
-        check_invariants: true,
-        ..Default::default()
-    };
-    let r = Simulator::new(
-        &g,
-        &ProgramInputs::new()
-            .bind("a", reals(&ramp(8)))
-            .bind("b", reals(&ramp(8))),
-        opts,
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+        })
+        .watchdog(WatchdogConfig { step_budget: budget, ..Default::default() })
+        .check_invariants(true)
+        .run()
+        .unwrap();
 
     assert_eq!(r.stop, StopReason::Stalled);
     assert!(r.steps <= budget, "terminated at step {} > budget {budget}", r.steps);
@@ -149,7 +144,7 @@ fn empty_plan_bit_identical_on_max_pipelined_chain() {
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[prev.into()]);
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(64)));
     let r = assert_bit_identical(&g, &inputs);
-    let iv = r.steady_interval("y").unwrap();
+    let iv = r.timing("y").interval().unwrap();
     assert!((iv - 2.0).abs() < 1e-9, "rate-1/2 chain measured at interval {iv}");
 }
 
@@ -168,7 +163,7 @@ fn empty_plan_bit_identical_on_three_cycle_loop() {
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[l2.into()]);
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(80)));
     let r = assert_bit_identical(&g, &inputs);
-    let iv = r.steady_interval("y").unwrap();
+    let iv = r.timing("y").interval().unwrap();
     assert!((iv - 3.0).abs() < 1e-9, "3-cycle measured at interval {iv}");
 }
 
@@ -268,12 +263,11 @@ fn spinning_token_loop_is_reported_as_livelock() {
     g.connect(n1, n2, 0);
     g.connect_init(n2, n1, 0, Value::Real(1.0));
 
-    let opts = SimOptions {
-        watchdog: Some(WatchdogConfig { step_budget: 100_000, progress_window: 64 }),
-        check_invariants: true,
-        ..Default::default()
-    };
-    let r = Simulator::new(&g, &ProgramInputs::new(), opts).unwrap().run().unwrap();
+    let r = Simulator::builder(&g)
+        .watchdog(WatchdogConfig { step_budget: 100_000, progress_window: 64 })
+        .check_invariants(true)
+        .run()
+        .unwrap();
     assert_eq!(r.stop, StopReason::Stalled);
     let report = r.stall_report.expect("livelocked run must carry a report");
     assert_eq!(report.kind, StallKind::Livelock);
@@ -290,12 +284,9 @@ fn productive_run_out_of_budget_is_reported_as_such() {
     let a = g.add_node(Opcode::Source("a".into()), "a");
     let id = g.cell(Opcode::Id, "id", &[a.into()]);
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[id.into()]);
-    let opts = SimOptions {
-        watchdog: Some(WatchdogConfig { step_budget: 40, ..Default::default() }),
-        ..Default::default()
-    };
-    let r = Simulator::new(&g, &ProgramInputs::new().bind("a", reals(&ramp(200))), opts)
-        .unwrap()
+    let r = Simulator::builder(&g)
+        .inputs(ProgramInputs::new().bind("a", reals(&ramp(200))))
+        .watchdog(WatchdogConfig { step_budget: 40, ..Default::default() })
         .run()
         .unwrap();
     assert_eq!(r.stop, StopReason::Stalled);
@@ -319,16 +310,16 @@ fn invariant_checker_is_silent_on_healthy_runs() {
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[i2.into()]);
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(50)));
     for cap in [1usize, 2, 4] {
-        let opts = SimOptions {
-            arc_capacity: cap,
-            delays: Some(valpipe_machine::ArcDelays {
+        let r = Simulator::builder(&g)
+            .inputs(inputs.clone())
+            .arc_capacity(cap)
+            .delays(valpipe_machine::ArcDelays {
                 forward: vec![2; g.arc_count()],
                 ack: vec![2; g.arc_count()],
-            }),
-            check_invariants: true,
-            ..Default::default()
-        };
-        let r = Simulator::new(&g, &inputs, opts).unwrap().run().unwrap();
+            })
+            .check_invariants(true)
+            .run()
+            .unwrap();
         assert!(r.sources_exhausted, "cap {cap}");
         assert_eq!(r.reals("y"), ramp(50), "cap {cap}");
     }

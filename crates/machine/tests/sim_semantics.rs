@@ -5,9 +5,7 @@
 use valpipe_ir::opcode::Opcode;
 use valpipe_ir::value::{BinOp, Value};
 use valpipe_ir::{CtlStream, Graph};
-use valpipe_machine::{
-    steady_interval_of, ProgramInputs, SimOptions, Simulator, StopReason,
-};
+use valpipe_machine::{ProgramInputs, Simulator, StopReason, Timing};
 
 fn reals(v: &[f64]) -> Vec<Value> {
     v.iter().map(|&x| Value::Real(x)).collect()
@@ -24,14 +22,10 @@ fn chain_latency_is_depth_plus_one() {
             prev = g.cell(Opcode::Id, format!("s{k}"), &[prev.into()]);
         }
         let _ = g.cell(Opcode::Sink("y".into()), "y", &[prev.into()]);
-        let r = Simulator::new(
-            &g,
-            &ProgramInputs::new().bind("a", reals(&[1.0])),
-            SimOptions::default(),
-        )
-        .unwrap()
-        .run()
-        .unwrap();
+        let r = Simulator::builder(&g)
+            .inputs(ProgramInputs::new().bind("a", reals(&[1.0])))
+            .run()
+            .unwrap();
         let (t, _) = r.outputs["y"][0];
         // Source fires at 0; each cell adds one instruction time; the sink
         // records at its own firing.
@@ -51,9 +45,10 @@ fn merge_with_two_literal_operands_paced_by_control() {
     g.set_lit(m, 1, Value::Real(1.0));
     g.set_lit(m, 2, Value::Real(2.0));
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[m.into()]);
-    let mut opts = SimOptions::default();
-    opts.stop_outputs = Some(vec![("y".into(), 9)]);
-    let r = Simulator::new(&g, &ProgramInputs::new(), opts).unwrap().run().unwrap();
+    let r = Simulator::builder(&g)
+        .stop_outputs(vec![("y".into(), 9)])
+        .run()
+        .unwrap();
     assert_eq!(r.stop, StopReason::OutputsReached);
     assert_eq!(
         r.reals("y")[..9],
@@ -73,14 +68,10 @@ fn fgate_complements_tgate() {
     let fg = g.cell(Opcode::FGate, "f", &[cf.into(), b.into()]);
     let _ = g.cell(Opcode::Sink("f".into()), "sf", &[fg.into()]);
     let data = [0., 1., 2., 3., 4., 5., 6., 7.];
-    let r = Simulator::new(
-        &g,
-        &ProgramInputs::new().bind("a", reals(&data)).bind("b", reals(&data)),
-        SimOptions::default(),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let r = Simulator::builder(&g)
+        .inputs(ProgramInputs::new().bind("a", reals(&data)).bind("b", reals(&data)))
+        .run()
+        .unwrap();
     assert_eq!(r.reals("t"), vec![1., 2., 5., 6.]);
     assert_eq!(r.reals("f"), vec![0., 3., 4., 7.]);
 }
@@ -101,18 +92,17 @@ fn capacity_two_links_halve_the_interval_under_latency() {
     let mut ivs = Vec::new();
     for cap in [1usize, 2] {
         let g = build();
-        let mut opts = SimOptions::default();
-        opts.arc_capacity = cap;
-        opts.delays = Some(valpipe_machine::ArcDelays {
-            forward: vec![2; g.arc_count()],
-            ack: vec![2; g.arc_count()],
-        });
-        let r = Simulator::new(&g, &ProgramInputs::new().bind("a", reals(&data)), opts)
-            .unwrap()
+        let r = Simulator::builder(&g)
+            .inputs(ProgramInputs::new().bind("a", reals(&data)))
+            .arc_capacity(cap)
+            .delays(valpipe_machine::ArcDelays {
+                forward: vec![2; g.arc_count()],
+                ack: vec![2; g.arc_count()],
+            })
             .run()
             .unwrap();
         let t: Vec<u64> = r.outputs["y"].iter().map(|&(t, _)| t).collect();
-        ivs.push(steady_interval_of(&t).unwrap());
+        ivs.push(Timing::of(t).interval().unwrap());
     }
     assert!((ivs[0] - 4.0).abs() < 0.1, "cap1 interval {}", ivs[0]);
     assert!((ivs[1] - 2.0).abs() < 0.1, "cap2 interval {}", ivs[1]);
@@ -124,16 +114,11 @@ fn fire_counts_and_times_recorded() {
     let a = g.add_node(Opcode::Source("a".into()), "a");
     let id = g.cell(Opcode::Id, "id", &[a.into()]);
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[id.into()]);
-    let mut opts = SimOptions::default();
-    opts.record_fire_times = true;
-    let r = Simulator::new(
-        &g,
-        &ProgramInputs::new().bind("a", reals(&[1., 2., 3.])),
-        opts,
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let r = Simulator::builder(&g)
+        .inputs(ProgramInputs::new().bind("a", reals(&[1., 2., 3.])))
+        .record_fire_times(true)
+        .run()
+        .unwrap();
     assert_eq!(r.fires, vec![3, 3, 3]);
     let ft = r.fire_times.unwrap();
     assert_eq!(ft[1].len(), 3);
@@ -150,16 +135,14 @@ fn deadlocked_program_reports_unexhausted_sources() {
     let b = g.add_node(Opcode::Source("b".into()), "b");
     let add = g.cell(Opcode::Bin(BinOp::Add), "add", &[a.into(), b.into()]);
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
-    let r = Simulator::new(
-        &g,
-        &ProgramInputs::new()
-            .bind("a", reals(&[1., 2., 3., 4.]))
-            .bind("b", reals(&[10.])),
-        SimOptions::default(),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let r = Simulator::builder(&g)
+        .inputs(
+            ProgramInputs::new()
+                .bind("a", reals(&[1., 2., 3., 4.]))
+                .bind("b", reals(&[10.])),
+        )
+        .run()
+        .unwrap();
     assert_eq!(r.stop, StopReason::Quiescent);
     assert!(!r.sources_exhausted);
     assert_eq!(r.reals("y"), vec![11.0]);
@@ -180,12 +163,11 @@ fn source_emit_times_track_backpressure() {
     g.connect_init(l2, j, 1, Value::Real(0.0));
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[l2.into()]);
     let data: Vec<f64> = (0..80).map(|i| i as f64).collect();
-    let r = Simulator::new(&g, &ProgramInputs::new().bind("a", reals(&data)), SimOptions::default())
-        .unwrap()
+    let r = Simulator::builder(&g)
+        .inputs(ProgramInputs::new().bind("a", reals(&data)))
         .run()
         .unwrap();
-    let emits = &r.source_emit_times["a"];
-    let iv = steady_interval_of(emits).unwrap();
+    let iv = r.source_timing("a").interval().unwrap();
     assert!((iv - 3.0).abs() < 0.1, "source paced at {iv}, expected 3 (loop-limited)");
 }
 
@@ -206,16 +188,20 @@ fn values_independent_of_issue_order() {
     let inputs = ProgramInputs::new()
         .bind("a", reals(&data))
         .bind("b", reals(&data));
-    let free = Simulator::new(&build(), &inputs, SimOptions::default())
-        .unwrap()
+    let free_g = build();
+    let free = Simulator::builder(&free_g)
+        .inputs(inputs.clone())
         .run()
         .unwrap();
-    let mut opts = SimOptions::default();
-    opts.resources = Some(valpipe_machine::ResourceModel {
-        unit_of: vec![0; 5],
-        capacity: vec![1],
-    });
-    let throttled = Simulator::new(&build(), &inputs, opts).unwrap().run().unwrap();
+    let throttled_g = build();
+    let throttled = Simulator::builder(&throttled_g)
+        .inputs(inputs)
+        .resources(valpipe_machine::ResourceModel {
+            unit_of: vec![0; 5],
+            capacity: vec![1],
+        })
+        .run()
+        .unwrap();
     assert_eq!(free.values("y"), throttled.values("y"));
     assert!(throttled.steps > free.steps);
 }
@@ -227,16 +213,14 @@ fn stall_report_names_the_blocked_join() {
     let b = g.add_node(Opcode::Source("b".into()), "b");
     let add = g.cell(Opcode::Bin(BinOp::Add), "the_join", &[a.into(), b.into()]);
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
-    let r = Simulator::new(
-        &g,
-        &ProgramInputs::new()
-            .bind("a", reals(&[1., 2., 3.]))
-            .bind("b", reals(&[])),
-        SimOptions::default(),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let r = Simulator::builder(&g)
+        .inputs(
+            ProgramInputs::new()
+                .bind("a", reals(&[1., 2., 3.]))
+                .bind("b", reals(&[])),
+        )
+        .run()
+        .unwrap();
     assert!(!r.sources_exhausted);
     let report = r.stall_report.expect("stalled run must carry a report");
     assert_eq!(report.kind, valpipe_machine::StallKind::Deadlock);
@@ -256,14 +240,10 @@ fn successful_run_has_no_stall_report() {
     let mut g = Graph::new();
     let a = g.add_node(Opcode::Source("a".into()), "a");
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[a.into()]);
-    let r = Simulator::new(
-        &g,
-        &ProgramInputs::new().bind("a", reals(&[1.0])),
-        SimOptions::default(),
-    )
-    .unwrap()
-    .run()
-    .unwrap();
+    let r = Simulator::builder(&g)
+        .inputs(ProgramInputs::new().bind("a", reals(&[1.0])))
+        .run()
+        .unwrap();
     assert!(r.sources_exhausted);
     assert!(r.stall_report.is_none());
 }

@@ -59,7 +59,7 @@ fn main() {
     println!("\npackets checked: {}", report.packets_checked);
     for (k, &alpha) in alphas.iter().enumerate() {
         let out = format!("Y{k}");
-        let iv = report.run.steady_interval(&out).unwrap();
+        let iv = report.run.timing(&out).interval().unwrap();
         println!(
             "filter α={alpha:<5}: interval {iv:.3} instruction times (rate {:.3})",
             1.0 / iv

@@ -53,7 +53,7 @@ fn main() {
     let report = check_against_oracle(&compiled, &inputs, 20, 1e-12).expect("oracle");
 
     println!("packets checked: {} (20 grid sweeps)", report.packets_checked);
-    let iv = report.run.steady_interval("V").unwrap();
+    let iv = report.run.timing("V").interval().unwrap();
     println!("steady-state interval: {iv:.3} instruction times (max rate = 2.0)");
     assert!((iv - 2.0).abs() < 0.1);
     println!("\n2-D arrays as row-major packet streams: fully pipelined ✓");

@@ -75,7 +75,7 @@ fn main() {
     println!("machine code: {}", valpipe::ir::pretty::summary(&compiled.graph));
     println!("packets checked: {}", report.packets_checked);
     for out in ["V", "D"] {
-        let iv = report.run.steady_interval(out).unwrap();
+        let iv = report.run.timing(out).interval().unwrap();
         println!("output {out}: interval {iv:.3} instruction times");
     }
     let frac = report.run.am_traffic_fraction();

@@ -55,7 +55,7 @@ fn main() {
         opts.scheme = scheme;
         let compiled = compile_source(&source(m), &opts).expect("compiles");
         let report = check_against_oracle(&compiled, &inputs, 60, 1e-9).expect("oracle");
-        let iv = report.run.steady_interval("X").expect("steady state");
+        let iv = report.run.timing("X").interval().expect("steady state");
         println!(
             "{:<12} {:>8} {:>10.3} {:>12.4} {:>12.2e}",
             label,

@@ -49,17 +49,16 @@ fn main() {
     println!("\n== execution over 40 waves ==");
     println!("packets checked: {}", report.packets_checked);
     for out in ["A", "X"] {
-        let iv = report.run.steady_interval(out).unwrap();
+        let iv = report.run.timing(out).interval().unwrap();
         println!("output {out}: interval {iv:.3} instruction times (rate {:.3})", 1.0 / iv);
     }
 
     // Occupancy + Chrome trace of a short traced run.
     let exe = compiled.executable();
     let sim_inputs = valpipe::compiler::verify::stream_inputs(&compiled, &inputs, 6);
-    let mut opts = valpipe::machine::SimOptions::default();
-    opts.record_fire_times = true;
-    let traced = valpipe::machine::Simulator::new(&exe, &sim_inputs, opts)
-        .expect("sim")
+    let traced = valpipe::Simulator::builder(&exe)
+        .inputs(sim_inputs)
+        .record_fire_times(true)
         .run()
         .expect("run");
     println!("\n== occupancy (6 waves) ==");

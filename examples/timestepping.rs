@@ -15,7 +15,7 @@
 
 use std::collections::HashMap;
 use valpipe::compiler::verify::run;
-use valpipe::machine::SimOptions;
+use valpipe::SimConfig;
 use valpipe::{compile_source, ArrayVal, CompileOptions};
 
 fn source(m: usize) -> String {
@@ -53,7 +53,7 @@ fn main() {
     for step in 0..steps {
         let mut arrays = HashMap::new();
         arrays.insert("U".to_string(), ArrayVal::from_reals(0, &u));
-        let r = run(&compiled, &arrays, 1, SimOptions::default()).expect("step runs");
+        let r = run(&compiled, &arrays, 1, SimConfig::new()).expect("step runs");
         assert!(r.sources_exhausted);
         let v = r.reals("V");
         total_fires += r.total_fires;

@@ -134,7 +134,7 @@ fn main() -> ExitCode {
                         report.packets_checked, report.max_rel_err
                     );
                     for out in &compiled.program.outputs {
-                        match report.run.steady_interval(out) {
+                        match report.run.timing(out).interval() {
                             Some(iv) => {
                                 let fill = report.run.fill_latency(out).unwrap_or(0);
                                 println!(

@@ -28,5 +28,9 @@ pub use valpipe_machine as machine;
 pub use valpipe_val as val;
 
 pub use valpipe_core::{compile_source, CompileOptions, Compiled, ForIterScheme};
-pub use valpipe_machine::{ProgramInputs, SimOptions, Simulator};
+pub use valpipe_machine::{
+    Kernel, ProgramInputs, RunResult, Session, SessionBuilder, SimConfig, Simulator, Timing,
+};
+#[allow(deprecated)]
+pub use valpipe_machine::SimOptions;
 pub use valpipe_val::interp::ArrayVal;

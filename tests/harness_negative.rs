@@ -117,7 +117,7 @@ output S;
     let mut inputs = HashMap::new();
     inputs.insert("C".to_string(), ArrayVal::from_reals(0, &c));
     let rb = check_against_oracle(&balanced, &inputs, 20, 1e-12).unwrap();
-    assert!((rb.run.steady_interval("S").unwrap() - 2.25).abs() < 0.15);
+    assert!((rb.run.timing("S").interval().unwrap() - 2.25).abs() < 0.15);
     let err = check_against_oracle(&unbalanced, &inputs, 20, 1e-12).unwrap_err();
     assert!(matches!(err, VerifyError::Stalled { .. }), "{err}");
     // The stall report must finger a blocked gate.
@@ -125,7 +125,7 @@ output S;
         &unbalanced,
         &inputs,
         2,
-        valpipe::machine::SimOptions::default(),
+        valpipe::SimConfig::new(),
     )
     .unwrap();
     let report = run.stall_report.expect("jammed run carries a report");

@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 use valpipe::compiler::verify::{check_against_oracle, run};
-use valpipe::machine::SimOptions;
+use valpipe::SimConfig;
 use valpipe::val::parser::{parse_block_body, EXAMPLE_1, EXAMPLE_2, FIG3_PROGRAM};
 use valpipe::{compile_source, ArrayVal, CompileOptions, ForIterScheme};
 
@@ -58,7 +58,7 @@ fn fig3_program_full_stack() {
     );
     let report = check_against_oracle(&compiled, &fig3_inputs(32), 25, 1e-9).unwrap();
     assert!(report.max_rel_err < 1e-9);
-    let iv_a = report.run.steady_interval("A").unwrap();
+    let iv_a = report.run.timing("A").interval().unwrap();
     assert!((iv_a - 2.0).abs() < 0.1, "A interval {iv_a}");
 }
 
@@ -68,13 +68,13 @@ fn fig3_program_with_todd_is_slower_but_correct() {
     opts.scheme = ForIterScheme::Todd;
     let compiled = compile_source(FIG3_PROGRAM, &opts).unwrap();
     let report = check_against_oracle(&compiled, &fig3_inputs(32), 25, 1e-9).unwrap();
-    let iv_x = report.run.steady_interval("X").unwrap();
+    let iv_x = report.run.timing("X").interval().unwrap();
     assert!(iv_x > 3.5, "Todd X interval {iv_x} should be cycle-limited");
     // The slow loop back-pressures the whole upstream pipeline through the
     // acknowledgment discipline: even A's sink sees the degraded rate.
     // This is exactly why the paper needs the companion scheme — one
     // unpipelined recurrence throttles the entire program.
-    let iv_a = report.run.steady_interval("A").unwrap();
+    let iv_a = report.run.timing("A").interval().unwrap();
     assert!(iv_a > 3.0, "A interval {iv_a} should be dragged down by the loop");
 }
 
@@ -84,7 +84,7 @@ fn rates_stable_across_sizes() {
         let src = FIG3_PROGRAM.replace("param m = 32;", &format!("param m = {m};"));
         let compiled = compile_source(&src, &CompileOptions::paper()).unwrap();
         let report = check_against_oracle(&compiled, &fig3_inputs(m), 20, 1e-9).unwrap();
-        let iv = report.run.steady_interval("A").unwrap();
+        let iv = report.run.timing("A").interval().unwrap();
         assert!(
             (iv - 2.0).abs() < 0.1,
             "m={m}: interval {iv} — the rate must not depend on array size"
@@ -122,13 +122,15 @@ fn detailed_machine_model_matches_values() {
     let compiled = compile_source(FIG3_PROGRAM, &CompileOptions::paper()).unwrap();
     let exe = compiled.executable();
     let placement = Placement::round_robin(&exe, MachineConfig::default());
-    let mut opts = placement.sim_options(&exe, 4);
-    opts.max_steps = 2_000_000;
     let inputs = valpipe::compiler::verify::stream_inputs(&compiled, &fig3_inputs(32), 5);
-    let r = Simulator::new(&exe, &inputs, opts).unwrap().run().unwrap();
+    let r = Simulator::builder(&exe)
+        .inputs(inputs)
+        .config(placement.sim_config(&exe, 4).max_steps(2_000_000))
+        .run()
+        .unwrap();
     assert!(r.sources_exhausted, "detailed machine must drain all input");
     // Values identical to the idealized run (timing differs, data doesn't).
-    let ideal = run(&compiled, &fig3_inputs(32), 5, SimOptions::default()).unwrap();
+    let ideal = run(&compiled, &fig3_inputs(32), 5, SimConfig::new()).unwrap();
     let take = ideal.values("X").len().min(r.values("X").len());
     assert!(take > 0);
     assert_eq!(r.values("X")[..take], ideal.values("X")[..take]);
@@ -174,7 +176,7 @@ fn latency_grows_with_depth_but_rate_does_not() {
         let vals: Vec<f64> = (0..m + 2).map(|i| (i as f64 * 0.2).sin()).collect();
         let mut arrays = HashMap::new();
         arrays.insert("S0".to_string(), ArrayVal::from_reals(0, &vals));
-        let r = run(&compiled, &arrays, 6, SimOptions::default()).unwrap();
+        let r = run(&compiled, &arrays, 6, SimConfig::new()).unwrap();
         fills.push(r.fill_latency(&format!("S{blocks}")).unwrap());
     }
     assert!(
@@ -195,7 +197,7 @@ fn closed_loop_machine_runs_feedback_loops() {
         &compiled,
         &fig3_inputs(32),
         6,
-        SimOptions::default(),
+        SimConfig::new(),
     )
     .unwrap();
     let placement = Placement::round_robin(&exe, MachineConfig { pes: 8, ..Default::default() });

@@ -6,7 +6,7 @@
 
 use valpipe::balance::{problem, solve};
 use valpipe::ir::{Graph, Opcode, Value};
-use valpipe::machine::{ProgramInputs, SimOptions, Simulator};
+use valpipe::machine::{ProgramInputs, Simulator};
 use valpipe_util::Rng;
 
 /// A random layered DAG of arithmetic cells: layer 0 is `srcs` sources;
@@ -106,15 +106,11 @@ fn optimally_balanced_dag_runs_at_maximum_rate() {
                 (0..n).map(|k| Value::Real(k as f64 * 0.01)).collect(),
             );
         }
-        let run = Simulator::new(&g, &inputs, SimOptions::default())
-            .unwrap()
-            .run()
-            .unwrap();
+        let run = Simulator::builder(&g).inputs(inputs).run().unwrap();
         assert!(run.sources_exhausted, "balanced DAG must drain");
         // Every sink sees the fully pipelined interval of 2.
         for (_, name) in g.sinks() {
-            let times: Vec<u64> = run.outputs[&name].iter().map(|&(t, _)| t).collect();
-            if let Some(iv) = valpipe::machine::steady_interval_of(&times) {
+            if let Some(iv) = run.timing(&name).interval() {
                 assert!(
                     (iv - 2.0).abs() < 0.05,
                     "sink {name} interval {iv} after optimal balancing"

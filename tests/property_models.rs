@@ -5,8 +5,7 @@
 
 use valpipe::ir::{BinOp, Graph, Opcode, Value};
 use valpipe::machine::{
-    run_closed_loop, run_program, ClosedLoopOptions, MachineConfig, Placement, ProgramInputs,
-    Simulator,
+    run_closed_loop, ClosedLoopOptions, MachineConfig, Placement, ProgramInputs, Simulator,
 };
 use valpipe_util::Rng;
 
@@ -64,16 +63,18 @@ fn all_three_machine_models_agree() {
             .bind("s1", (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect());
 
         // 1. Idealized.
-        let ideal = run_program(&g, &inputs).unwrap();
+        let ideal = Simulator::builder(&g).inputs(inputs.clone()).run().unwrap();
         assert!(ideal.sources_exhausted);
 
         // 2. Detailed static-latency machine.
         let pes = 1usize << pes_pow;
         let cfg = MachineConfig { pes, network_latency: 2, ..Default::default() };
         let placement = Placement::round_robin(&g, cfg);
-        let mut opts = placement.sim_options(&g, cap);
-        opts.max_steps = 2_000_000;
-        let detailed = Simulator::new(&g, &inputs, opts).unwrap().run().unwrap();
+        let detailed = Simulator::builder(&g)
+            .inputs(inputs.clone())
+            .config(placement.sim_config(&g, cap).max_steps(2_000_000))
+            .run()
+            .unwrap();
         assert!(detailed.sources_exhausted);
 
         // 3. Closed-loop networked machine.

@@ -157,7 +157,7 @@ output Y;",
             .unwrap_or_else(|e| panic!("compile failed: {e}\nsource:\n{src}"));
         let report = check_against_oracle(&compiled, &inputs(), 24, 1e-9)
             .unwrap_or_else(|e| panic!("oracle failed: {e}\nsource:\n{src}"));
-        let iv = report.run.steady_interval("Y").expect("steady state");
+        let iv = report.run.timing("Y").interval().expect("steady state");
         // Full pipelining: never slower than the input-paced bound of
         // `2·(M+2)/M` (M useful outputs per (M+2)-element input wave), and
         // never faster than the machine's 2-instruction-time maximum.
@@ -217,7 +217,7 @@ output X;"
                 .unwrap_or_else(|e| panic!("compile ({scheme:?}) failed: {e}\n{src}"));
             let report = check_against_oracle(&compiled, &inputs(), 24, 1e-9)
                 .unwrap_or_else(|e| panic!("oracle ({scheme:?}) failed: {e}\n{src}"));
-            ivs.push(report.run.steady_interval("X").expect("steady state"));
+            ivs.push(report.run.timing("X").interval().expect("steady state"));
         }
         assert!(
             ivs[1] <= ivs[0] + 0.05,

@@ -3,7 +3,7 @@
 
 use valpipe::compiler::synth::synthesize_generators;
 use valpipe::ir::{CtlStream, Graph, Opcode};
-use valpipe::machine::{ProgramInputs, SimOptions, Simulator};
+use valpipe::machine::Simulator;
 use valpipe_util::Rng;
 
 fn random_pattern(r: &mut Rng) -> CtlStream {
@@ -23,11 +23,9 @@ fn synthesized_ctl_matches_primitive() {
             if !primitive {
                 synthesize_generators(&mut g);
             }
-            let mut opts = SimOptions::default();
-            opts.stop_outputs = Some(vec![("y".into(), 3 * stream.wave_len() as usize + 2)]);
-            opts.max_steps = 50_000;
-            Simulator::new(&g, &ProgramInputs::new(), opts)
-                .unwrap()
+            Simulator::builder(&g)
+                .stop_outputs(vec![("y".into(), 3 * stream.wave_len() as usize + 2)])
+                .max_steps(50_000)
                 .run()
                 .unwrap()
                 .values("y")
@@ -54,11 +52,9 @@ fn synthesized_idx_matches_primitive() {
             if !primitive {
                 synthesize_generators(&mut g);
             }
-            let mut opts = SimOptions::default();
-            opts.stop_outputs = Some(vec![("y".into(), 3 * len as usize + 2)]);
-            opts.max_steps = 50_000;
-            Simulator::new(&g, &ProgramInputs::new(), opts)
-                .unwrap()
+            Simulator::builder(&g)
+                .stop_outputs(vec![("y".into(), 3 * len as usize + 2)])
+                .max_steps(50_000)
                 .run()
                 .unwrap()
                 .values("y")
