@@ -17,6 +17,15 @@ cargo test -q
 cargo test -q -p valpipe-machine --test kernel_equivalence
 cargo test -q --test property_kernels
 
+# Checkpoint/restore must replay bit-identically (snapshot format is
+# pinned by the golden fixture; recovery at every step by the property
+# suite; crash-against-disk by one exp_soak trial).
+cargo test -q -p valpipe-machine --test snapshot
+cargo test -q --test property_snapshot
+cargo run --release -q -p valpipe-bench --bin exp_soak -- --trials 1 \
+    | grep -q 'CLAIM \[HOLDS\] a run killed at a random step' \
+    || { echo "ci: FAIL — exp_soak recovery claim did not hold" >&2; exit 1; }
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Benchmarks must at least run: smoke mode shrinks workloads and skips

@@ -7,7 +7,13 @@
 //!   `seed=42,drop_ack=0.001,freeze=5@100..200`);
 //! * `--step-budget <n>` — bound the run with a watchdog that turns an
 //!   unproductive run into a structured stall report instead of letting
-//!   it spin to the hard step limit.
+//!   it spin to the hard step limit;
+//! * `--checkpoint-every <n>` / `--checkpoint-path <file>` — write a
+//!   periodic crash-recovery checkpoint during the run (see
+//!   `valpipe_machine::snapshot`);
+//! * `--restore-from <file>` — resume a run from a checkpoint instead of
+//!   starting fresh (honoured by `exp_soak`);
+//! * `--trials <n>` — how many crash/recover trials `exp_soak` runs.
 
 use crate::measure::{measure_program_with, Measurement};
 use valpipe_core::CompileOptions;
@@ -20,6 +26,15 @@ pub struct FaultArgs {
     pub fault_plan: Option<FaultPlan>,
     /// Parsed `--step-budget`, if given.
     pub step_budget: Option<u64>,
+    /// Parsed `--checkpoint-every`, if given.
+    pub checkpoint_every: Option<u64>,
+    /// Parsed `--checkpoint-path`, if given.
+    pub checkpoint_path: Option<String>,
+    /// Parsed `--restore-from`, if given.
+    pub restore_from: Option<String>,
+    /// Parsed `--trials`, if given (crash/recover trial count for
+    /// `exp_soak`).
+    pub trials: Option<u64>,
 }
 
 impl FaultArgs {
@@ -45,6 +60,30 @@ impl FaultArgs {
                         _ => usage(&format!("bad step budget '{v}'")),
                     }
                 }
+                "--checkpoint-every" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--checkpoint-every needs a number"));
+                    match v.parse::<u64>() {
+                        Ok(n) if n > 0 => out.checkpoint_every = Some(n),
+                        _ => usage(&format!("bad checkpoint interval '{v}'")),
+                    }
+                }
+                "--checkpoint-path" => {
+                    out.checkpoint_path =
+                        Some(args.next().unwrap_or_else(|| usage("--checkpoint-path needs a file")));
+                }
+                "--restore-from" => {
+                    out.restore_from =
+                        Some(args.next().unwrap_or_else(|| usage("--restore-from needs a file")));
+                }
+                "--trials" => {
+                    let v = args.next().unwrap_or_else(|| usage("--trials needs a number"));
+                    match v.parse::<u64>() {
+                        Ok(n) if n > 0 => out.trials = Some(n),
+                        _ => usage(&format!("bad trial count '{v}'")),
+                    }
+                }
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
@@ -56,19 +95,24 @@ impl FaultArgs {
         self.fault_plan.is_some() || self.step_budget.is_some()
     }
 
-    /// Apply the flags to a simulator config: install the fault plan
-    /// and, if a budget was given, a watchdog with that budget.
+    /// Apply the flags to a simulator config: install the fault plan,
+    /// a watchdog if a budget was given, and periodic checkpointing if
+    /// requested.
     pub fn apply(&self, cfg: SimConfig) -> SimConfig {
-        let cfg = match &self.fault_plan {
+        let mut cfg = match &self.fault_plan {
             Some(p) => cfg.fault_plan(p.clone()),
             None => cfg,
         };
-        match self.step_budget {
-            Some(budget) => {
-                cfg.watchdog(WatchdogConfig { step_budget: budget, ..Default::default() })
-            }
-            None => cfg,
+        if let Some(budget) = self.step_budget {
+            cfg = cfg.watchdog(WatchdogConfig { step_budget: budget, ..Default::default() });
         }
+        if let Some(every) = self.checkpoint_every {
+            cfg = cfg.checkpoint_every(every);
+        }
+        if let Some(path) = &self.checkpoint_path {
+            cfg = cfg.checkpoint_path(path.clone());
+        }
+        cfg
     }
 
     /// The default simulator config with the flags applied.
@@ -110,6 +154,8 @@ impl FaultArgs {
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!("usage: exp_* [--fault-plan <spec>] [--step-budget <n>]");
+    eprintln!("             [--checkpoint-every <n>] [--checkpoint-path <file>]");
+    eprintln!("             [--restore-from <file>] [--trials <n>]");
     eprintln!("  spec: comma-separated key=value, e.g. seed=42,drop_ack=0.001,\\");
     eprintln!("        delay_result=0.05:4,freeze=7@100..200,link=1.3@50..60");
     std::process::exit(2)

@@ -419,6 +419,89 @@ impl Graph {
         crate::serialize::graph_from_json(&j)
     }
 
+    /// A structural fingerprint of the program: a 64-bit hash over every
+    /// cell's opcode (including embedded control streams, index ranges
+    /// and port names), every operand binding, and every arc's wiring,
+    /// initial token, back-edge flag and phase. Two graphs share a
+    /// fingerprint exactly when they are the same machine program —
+    /// cell labels are cosmetic and deliberately excluded.
+    ///
+    /// The machine crate's snapshot format records this fingerprint so a
+    /// checkpoint refuses to restore against a mismatched program.
+    pub fn fingerprint(&self) -> u64 {
+        fn push_value(words: &mut Vec<u64>, v: &Value) {
+            match v {
+                Value::Int(i) => words.extend([0, *i as u64]),
+                Value::Real(r) => words.extend([1, r.to_bits()]),
+                Value::Bool(b) => words.extend([2, *b as u64]),
+            }
+        }
+        fn push_str(words: &mut Vec<u64>, s: &str) {
+            words.push(s.len() as u64);
+            for chunk in s.as_bytes().chunks(8) {
+                let mut w = [0u8; 8];
+                w[..chunk.len()].copy_from_slice(chunk);
+                words.push(u64::from_le_bytes(w));
+            }
+        }
+        let mut words: Vec<u64> = vec![self.nodes.len() as u64, self.arcs.len() as u64];
+        for node in &self.nodes {
+            match &node.op {
+                Opcode::Bin(op) => words.extend([10, *op as u64]),
+                Opcode::Un(op) => words.extend([11, *op as u64]),
+                Opcode::Id => words.push(12),
+                Opcode::TGate => words.push(13),
+                Opcode::FGate => words.push(14),
+                Opcode::Merge => words.push(15),
+                Opcode::Fifo(d) => words.extend([16, *d as u64]),
+                Opcode::CtlGen(s) => {
+                    words.extend([17, s.runs().len() as u64]);
+                    for run in s.runs() {
+                        words.extend([run.value as u64, run.count as u64]);
+                    }
+                }
+                Opcode::IdxGen { lo, hi } => words.extend([18, *lo as u64, *hi as u64]),
+                Opcode::Source(name) => {
+                    words.push(19);
+                    push_str(&mut words, name);
+                }
+                Opcode::Sink(name) => {
+                    words.push(20);
+                    push_str(&mut words, name);
+                }
+                Opcode::AmWrite => words.push(21),
+                Opcode::AmRead => words.push(22),
+            }
+            for input in &node.inputs {
+                match input {
+                    PortBinding::Unbound => words.push(30),
+                    PortBinding::Wired(a) => words.extend([31, a.0 as u64]),
+                    PortBinding::Lit(v) => {
+                        words.push(32);
+                        push_value(&mut words, v);
+                    }
+                }
+            }
+        }
+        for e in &self.arcs {
+            words.extend([
+                e.src.0 as u64,
+                e.dst.0 as u64,
+                e.dst_port as u64,
+                e.back as u64,
+                e.phase as u64,
+            ]);
+            match &e.initial {
+                None => words.push(40),
+                Some(v) => {
+                    words.push(41);
+                    push_value(&mut words, v);
+                }
+            }
+        }
+        valpipe_util::hash_mix(&words)
+    }
+
     /// Ids of all `Sink` cells with their port names.
     pub fn sinks(&self) -> Vec<(NodeId, String)> {
         self.node_ids()
@@ -531,6 +614,40 @@ mod tests {
     #[test]
     fn bad_json_reports_error() {
         assert!(Graph::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn fingerprint_ignores_labels_but_sees_structure() {
+        let (g, ..) = tiny();
+        let fp = g.fingerprint();
+        assert_eq!(fp, tiny().0.fingerprint(), "fingerprint is deterministic");
+
+        let mut relabeled = g.clone();
+        relabeled.nodes[2].label = "renamed".into();
+        assert_eq!(relabeled.fingerprint(), fp, "labels are cosmetic");
+
+        let mut retyped = g.clone();
+        retyped.nodes[2].op = Opcode::Bin(BinOp::Add);
+        assert_ne!(retyped.fingerprint(), fp, "opcode change must be seen");
+
+        let mut reseeded = g.clone();
+        reseeded.arcs[0].initial = Some(Value::Int(1));
+        assert_ne!(reseeded.fingerprint(), fp, "initial token must be seen");
+
+        let mut grown = g.clone();
+        let id = grown.add_node(Opcode::Id, "extra");
+        let _ = id;
+        assert_ne!(grown.fingerprint(), fp, "extra cell must be seen");
+    }
+
+    #[test]
+    fn fingerprint_survives_json_roundtrip() {
+        let (mut g, ..) = tiny();
+        let id = g.add_node(Opcode::Id, "fb");
+        let a = g.connect_init(g.node_ids().next().unwrap(), id, 0, Value::Int(7));
+        g.arcs[a.idx()].phase = -3;
+        let back = Graph::from_json(&g.to_json()).unwrap();
+        assert_eq!(back.fingerprint(), g.fingerprint());
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub enum MachineError {
         /// What was violated, naming the cell/arc involved.
         detail: String,
     },
+    /// Writing a periodic checkpoint (see `SimConfig::checkpoint_path`)
+    /// failed; the run is aborted rather than continuing with a stale
+    /// recovery point.
+    CheckpointIo {
+        /// Destination path of the failed write.
+        path: String,
+        /// Underlying I/O error.
+        detail: String,
+    },
 }
 
 /// Historical name for [`MachineError`]; the simulator began with a much
@@ -89,6 +98,9 @@ impl fmt::Display for MachineError {
             }
             MachineError::InvariantViolation { step, detail } => {
                 write!(f, "machine invariant violated at step {step}: {detail}")
+            }
+            MachineError::CheckpointIo { path, detail } => {
+                write!(f, "checkpoint write to '{path}' failed: {detail}")
             }
         }
     }

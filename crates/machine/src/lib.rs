@@ -24,6 +24,7 @@ pub mod network;
 pub mod scheduler;
 pub mod session;
 pub mod sim;
+pub mod snapshot;
 pub mod trace;
 pub mod watchdog;
 
@@ -34,6 +35,7 @@ pub use fault::{CellFreeze, FaultPlan, LinkFault};
 pub use network::{OmegaNetwork, Packet};
 pub use scheduler::Kernel;
 pub use session::{Session, SessionBuilder, SimConfig};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trace::{chrome_trace, occupancy_chart};
 pub use sim::{
     ArcDelays, ProgramInputs, ResourceModel, RunResult, Simulator, StopReason, Timing,

@@ -76,6 +76,26 @@ impl Scheduler {
         }
     }
 
+    /// A scheduler resuming mid-run at step `now` (snapshot restore).
+    ///
+    /// Wheels are not serialized — they are an optimization artifact, not
+    /// canonical machine state. Instead the event-driven wheel is seeded
+    /// with every cell at the resume step, exactly like the step-0
+    /// seeding of a fresh run: any cell enabled at `now` is examined, and
+    /// spurious examinations of disabled cells are harmless under the
+    /// wakeup invariant. The restore path then re-posts the *future*
+    /// wakeups implied by canonical state (in-flight tokens and pending
+    /// acknowledges), which is everything the wheels could have held.
+    /// This is what makes a snapshot kernel-neutral: a Scan checkpoint
+    /// resumes on EventDriven (and vice versa) bit-identically.
+    pub(crate) fn resume(kernel: Kernel, cells: usize, now: u64) -> Self {
+        let mut sched = Self::new(kernel, 0);
+        if sched.enabled {
+            sched.node_wheel.insert(now, (0..cells as u32).collect::<Vec<_>>());
+        }
+        sched
+    }
+
     /// Whether the event-driven kernel drives the step loop.
     pub(crate) fn is_event_driven(&self) -> bool {
         self.enabled

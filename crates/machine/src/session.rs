@@ -40,6 +40,7 @@ use valpipe_ir::opcode::Opcode;
 use crate::fault::FaultPlan;
 use crate::scheduler::Kernel;
 use crate::sim::{ArcDelays, ProgramInputs, ResourceModel, RunResult, SimError, Simulator};
+use crate::snapshot::{Snapshot, SnapshotError};
 use crate::watchdog::WatchdogConfig;
 
 /// Run-shaping configuration, built fluently.
@@ -76,6 +77,12 @@ pub struct SimConfig {
     pub(crate) check_invariants: bool,
     /// Step-loop implementation.
     pub(crate) kernel: Kernel,
+    /// Emit a checkpoint every this many instruction times during
+    /// [`Session::run`] (0 = never).
+    pub(crate) checkpoint_every: u64,
+    /// Where `run` writes the latest periodic checkpoint (atomically,
+    /// via a temporary file and rename).
+    pub(crate) checkpoint_path: Option<String>,
 }
 
 impl Default for SimConfig {
@@ -91,6 +98,8 @@ impl Default for SimConfig {
             watchdog: None,
             check_invariants: false,
             kernel: Kernel::default(),
+            checkpoint_every: 0,
+            checkpoint_path: None,
         }
     }
 }
@@ -178,6 +187,25 @@ impl SimConfig {
         self
     }
 
+    /// Emit a checkpoint every `every` instruction times during
+    /// [`Session::run`] (0 disables periodic checkpointing). Checkpoints
+    /// are written to [`SimConfig::checkpoint_path`] and/or handed to the
+    /// sink of [`Session::run_with_checkpoints`].
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = every;
+        self
+    }
+
+    /// Write the latest periodic checkpoint to this path during
+    /// [`Session::run`]. Writes go through a temporary file and an atomic
+    /// rename, so a crash mid-write leaves the previous checkpoint
+    /// intact. A failed write surfaces as
+    /// `MachineError::CheckpointIo`.
+    pub fn checkpoint_path(mut self, path: String) -> Self {
+        self.checkpoint_path = Some(path);
+        self
+    }
+
     /// The configured kernel.
     pub fn kernel_choice(&self) -> Kernel {
         self.kernel
@@ -261,6 +289,10 @@ impl<'g> SessionBuilder<'g> {
         check_invariants(check: bool),
         /// Select the step-loop kernel.
         kernel(kernel: Kernel),
+        /// Emit a checkpoint every `every` instruction times during `run`.
+        checkpoint_every(every: u64),
+        /// Write the latest periodic checkpoint to this path during `run`.
+        checkpoint_path(path: String),
     }
 
     /// Prepare a [`Session`] for manual stepping. The graph must already
@@ -304,6 +336,42 @@ impl<'g> Session<'g> {
     /// watchdog stall; consumes the session.
     pub fn run(self) -> Result<RunResult, SimError> {
         self.sim.run()
+    }
+
+    /// `run`, handing every periodic checkpoint (see
+    /// [`SimConfig::checkpoint_every`]) to `sink` as it is taken. The
+    /// checkpoint is also written to [`SimConfig::checkpoint_path`] if
+    /// one is configured.
+    pub fn run_with_checkpoints(
+        self,
+        mut sink: impl FnMut(Snapshot),
+    ) -> Result<RunResult, SimError> {
+        self.sim.run_with(Some(&mut sink))
+    }
+
+    /// Serialize the complete machine state at the current instruction
+    /// time. The snapshot is kernel-neutral: restoring it on either
+    /// kernel continues the run bit-identically (see [`crate::snapshot`]).
+    pub fn checkpoint(&self) -> Snapshot {
+        Snapshot::capture(&self.sim)
+    }
+
+    /// Rebuild a session from a snapshot of a run over `g`, resuming on
+    /// the default kernel. Fails with
+    /// [`SnapshotError::ProgramMismatch`] if `g` is not the program the
+    /// snapshot was taken from.
+    pub fn restore(g: &'g Graph, snap: &Snapshot) -> Result<Session<'g>, SnapshotError> {
+        Self::restore_with_kernel(g, snap, Kernel::default())
+    }
+
+    /// [`Session::restore`] with an explicit kernel choice — a checkpoint
+    /// taken under one kernel resumes on the other bit-identically.
+    pub fn restore_with_kernel(
+        g: &'g Graph,
+        snap: &Snapshot,
+        kernel: Kernel,
+    ) -> Result<Session<'g>, SnapshotError> {
+        Ok(Session { sim: snap.rebuild(g, kernel)? })
     }
 
     /// Current instruction time.

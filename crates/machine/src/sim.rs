@@ -183,17 +183,28 @@ impl Default for SimOptions {
 impl SimOptions {
     /// Convert into the builder-era [`SimConfig`] (the kernel defaults to
     /// [`Kernel::EventDriven`], like every other entry point).
+    ///
+    /// Routes through the public fluent setters only, so the shim can
+    /// never drift from what `Simulator::builder` would configure.
     pub fn into_config(self) -> SimConfig {
         let mut cfg = SimConfig::new()
             .max_steps(self.max_steps)
             .arc_capacity(self.arc_capacity)
             .record_fire_times(self.record_fire_times)
-            .check_invariants(self.check_invariants);
-        cfg.delays = self.delays;
-        cfg.resources = self.resources;
-        cfg.stop_outputs = self.stop_outputs;
-        cfg.fault_plan = self.fault_plan;
-        cfg.watchdog = self.watchdog;
+            .check_invariants(self.check_invariants)
+            .fault_plan_opt(self.fault_plan);
+        if let Some(d) = self.delays {
+            cfg = cfg.delays(d);
+        }
+        if let Some(r) = self.resources {
+            cfg = cfg.resources(r);
+        }
+        if let Some(s) = self.stop_outputs {
+            cfg = cfg.stop_outputs(s);
+        }
+        if let Some(w) = self.watchdog {
+            cfg = cfg.watchdog(w);
+        }
         cfg
     }
 }
@@ -212,6 +223,17 @@ pub enum StopReason {
     /// The watchdog declared the run stalled (livelock or budget
     /// exhaustion); [`RunResult::stall_report`] says why.
     Stalled,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopReason::Quiescent => write!(f, "quiescent"),
+            StopReason::MaxSteps => write!(f, "step limit reached"),
+            StopReason::OutputsReached => write!(f, "requested outputs reached"),
+            StopReason::Stalled => write!(f, "stalled (see stall report)"),
+        }
+    }
 }
 
 /// Result of a simulation run.
@@ -375,27 +397,27 @@ pub fn steady_rate_of(times: &[u64]) -> Option<f64> {
 }
 
 #[derive(Debug)]
-struct ArcState {
+pub(crate) struct ArcState {
     /// In-flight and deliverable tokens: `(value, ready_at)`.
-    queue: VecDeque<(Value, u64)>,
+    pub(crate) queue: VecDeque<(Value, u64)>,
     /// Times at which consumed-token slots become free again (acks).
     /// Kept as an unordered list: injected acknowledge delays break the
     /// monotonicity a front-pop queue would rely on.
-    freeing: Vec<u64>,
-    cap: usize,
+    pub(crate) freeing: Vec<u64>,
+    pub(crate) cap: usize,
     /// Tokens that entered the arc (queued or lost in transit).
-    sent: u64,
+    pub(crate) sent: u64,
     /// Tokens consumed off the queue by the destination cell.
-    consumed: u64,
+    pub(crate) consumed: u64,
     /// Consumed-token slots whose acknowledge completed.
-    acked: u64,
+    pub(crate) acked: u64,
     /// Result packets lost to injected faults. The producer's slot is
     /// never acknowledged, so each loss permanently occupies capacity —
     /// the realistic wedge a lost packet causes on this architecture.
-    lost_result: u64,
+    pub(crate) lost_result: u64,
     /// Acknowledge packets lost to injected faults; each permanently
     /// occupies the slot it should have freed.
-    lost_ack: u64,
+    pub(crate) lost_ack: u64,
 }
 
 impl ArcState {
@@ -425,34 +447,41 @@ impl Operand {
 /// public for the session to delegate to (and for the deprecated
 /// [`Simulator::new`] path).
 pub struct Simulator<'g> {
-    g: &'g Graph,
-    cfg: SimConfig,
-    arcs: Vec<ArcState>,
-    src_pos: Vec<usize>,
-    src_data: Vec<Option<Vec<Value>>>,
-    ctl_pos: Vec<u64>,
-    now: u64,
-    fires: Vec<u64>,
-    fire_times: Option<Vec<Vec<u64>>>,
-    outputs: HashMap<String, Vec<(u64, Value)>>,
-    source_emit_times: HashMap<String, Vec<u64>>,
-    fwd_delay: Vec<u64>,
-    ack_delay: Vec<u64>,
-    am_fires: u64,
-    fu_fires: u64,
+    pub(crate) g: &'g Graph,
+    pub(crate) cfg: SimConfig,
+    pub(crate) arcs: Vec<ArcState>,
+    pub(crate) src_pos: Vec<usize>,
+    pub(crate) src_data: Vec<Option<Vec<Value>>>,
+    pub(crate) ctl_pos: Vec<u64>,
+    pub(crate) now: u64,
+    pub(crate) fires: Vec<u64>,
+    pub(crate) fire_times: Option<Vec<Vec<u64>>>,
+    pub(crate) outputs: HashMap<String, Vec<(u64, Value)>>,
+    pub(crate) source_emit_times: HashMap<String, Vec<u64>>,
+    pub(crate) fwd_delay: Vec<u64>,
+    pub(crate) ack_delay: Vec<u64>,
+    pub(crate) am_fires: u64,
+    pub(crate) fu_fires: u64,
     /// Normalized fault plan: `None` when no plan was given *or* the
     /// given plan is empty, so the empty plan shares the exact fault-free
     /// code path (bit-identical runs).
-    fault: Option<FaultPlan>,
+    pub(crate) fault: Option<FaultPlan>,
     /// Per-cell gate pass/discard counts (zero for non-gates); feeds the
     /// gate-accounting invariant and the stall report.
-    gate_passes: Vec<u64>,
-    gate_discards: Vec<u64>,
+    pub(crate) gate_passes: Vec<u64>,
+    pub(crate) gate_discards: Vec<u64>,
     /// Wakeup wheels (inert for the scan kernel).
-    sched: Scheduler,
+    pub(crate) sched: Scheduler,
     /// Source emissions + sink arrivals so far — maintained incrementally
     /// so the watchdog's progress probe is O(1) per step.
-    progress: u64,
+    pub(crate) progress: u64,
+    /// Consecutive steps with zero firings. Lives on the machine (not as
+    /// a `run` local) so a checkpoint captures it and a restored run
+    /// reaches the quiescence decision at the identical instruction time.
+    pub(crate) idle: u64,
+    /// Watchdog progress bookkeeping; on the machine for the same reason
+    /// as `idle`, and so manual stepping and `run` observe identically.
+    pub(crate) tracker: ProgressTracker,
 }
 
 impl<'g> Simulator<'g> {
@@ -572,6 +601,8 @@ impl<'g> Simulator<'g> {
             gate_discards: vec![0; n],
             sched,
             progress: 0,
+            idle: 0,
+            tracker: ProgressTracker::new(0),
         })
     }
 
@@ -846,11 +877,21 @@ impl<'g> Simulator<'g> {
 
     /// Advance one instruction time. Returns how many cells fired.
     pub fn step(&mut self) -> Result<usize, SimError> {
-        if self.sched.is_event_driven() {
-            self.step_event()
+        let fired = if self.sched.is_event_driven() {
+            self.step_event()?
         } else {
-            self.step_scan()
+            self.step_scan()?
+        };
+        // Progress/idle bookkeeping happens here — not in `run` — so
+        // manual stepping, `run`, and a checkpoint-restored machine all
+        // observe the identical per-step history.
+        self.tracker.observe(self.now, fired as u64, self.progress);
+        if fired == 0 {
+            self.idle += 1;
+        } else {
+            self.idle = 0;
         }
+        Ok(fired)
     }
 
     /// The legacy O(cells) step: re-scan every cell.
@@ -967,7 +1008,17 @@ impl<'g> Simulator<'g> {
 
     /// Run to quiescence, the step limit, the output-count target, or a
     /// watchdog stall; consumes the simulator.
-    pub fn run(mut self) -> Result<RunResult, SimError> {
+    pub fn run(self) -> Result<RunResult, SimError> {
+        self.run_with(None)
+    }
+
+    /// `run`, additionally handing every periodic checkpoint (see
+    /// [`SimConfig::checkpoint_every`]) to `sink` after writing it to the
+    /// configured path (if any).
+    pub(crate) fn run_with(
+        mut self,
+        mut sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
+    ) -> Result<RunResult, SimError> {
         let wd = self.cfg.watchdog;
         let step_limit = match wd {
             Some(w) => self.cfg.max_steps.min(w.step_budget),
@@ -998,37 +1049,52 @@ impl<'g> Simulator<'g> {
             + delay_slack;
         let mut stop = StopReason::Quiescent;
         let mut stall_kind: Option<StallKind> = None;
-        let mut idle = 0u64;
-        let mut tracker = ProgressTracker::new(self.progress);
-        while self.now < step_limit {
-            let fired = self.step()?;
-            if self.cfg.check_invariants {
-                self.check_invariants()?;
-            }
-            if fired > 0 && self.outputs_reached() {
+        // Every stopping decision is made at the *top* of the loop from
+        // machine state alone (the idle counter and progress tracker live
+        // on the machine). A run restored from a checkpoint therefore
+        // re-evaluates exactly the test the uninterrupted run would have
+        // made next, even when the checkpoint landed on the final step.
+        loop {
+            if self.outputs_reached() {
                 stop = StopReason::OutputsReached;
                 break;
             }
-            tracker.observe(self.now, fired as u64, self.progress);
             if let Some(w) = wd {
-                if tracker.livelocked(self.now, w.progress_window) {
+                if self.tracker.livelocked(self.now, w.progress_window) {
                     stop = StopReason::Stalled;
                     stall_kind = Some(StallKind::Livelock);
                     break;
                 }
             }
-            if fired == 0 {
-                // Tokens may still be in flight (delay > 1); quiesce only
-                // after the longest latency passes without any firing —
-                // counted strictly after the last freeze window ends, or a
-                // thawing cell would be declared dead at the instant it
-                // wakes.
-                idle += 1;
-                if idle > max_lat && self.now > freeze_end + max_lat {
-                    break;
+            // Tokens may still be in flight (delay > 1); quiesce only
+            // after the longest latency passes without any firing —
+            // counted strictly after the last freeze window ends, or a
+            // thawing cell would be declared dead at the instant it
+            // wakes.
+            if self.idle > max_lat && self.now > freeze_end + max_lat {
+                break;
+            }
+            if self.now >= step_limit {
+                break;
+            }
+            self.step()?;
+            if self.cfg.check_invariants {
+                self.check_invariants()?;
+            }
+            if self.cfg.checkpoint_every != 0
+                && self.now.is_multiple_of(self.cfg.checkpoint_every)
+                && (self.cfg.checkpoint_path.is_some() || sink.is_some())
+            {
+                let snap = crate::snapshot::Snapshot::capture(&self);
+                if let Some(path) = &self.cfg.checkpoint_path {
+                    snap.write_to(path).map_err(|e| MachineError::CheckpointIo {
+                        path: path.clone(),
+                        detail: e.to_string(),
+                    })?;
                 }
-            } else {
-                idle = 0;
+                if let Some(sink) = sink.as_mut() {
+                    sink(snap);
+                }
             }
         }
         if stop == StopReason::Quiescent && self.now >= step_limit {
@@ -1076,8 +1142,8 @@ impl<'g> Simulator<'g> {
             }
         }
         let total_fires = self.fires.iter().sum();
-        let stall_report =
-            stall_kind.map(|kind| self.build_stall_report(kind, tracker.fires_since_progress()));
+        let stall_report = stall_kind
+            .map(|kind| self.build_stall_report(kind, self.tracker.fires_since_progress()));
         Ok(RunResult {
             steps: self.now,
             stop,
@@ -1538,6 +1604,62 @@ mod tests {
             .unwrap();
         assert_eq!(via_builder, via_run_program);
         assert_eq!(via_builder, via_new);
+        // Non-default options must convert without drift either: the shim
+        // routes through the fluent setters, so a fully-loaded SimOptions
+        // and the equivalent builder chain are the same run — under both
+        // kernels.
+        let opts = SimOptions {
+            max_steps: 5_000,
+            arc_capacity: 2,
+            delays: Some(ArcDelays {
+                forward: vec![2; g.arcs.len()],
+                ack: vec![1; g.arcs.len()],
+            }),
+            resources: None,
+            record_fire_times: true,
+            stop_outputs: Some(vec![("out".into(), 3)]),
+            fault_plan: Some(FaultPlan {
+                seed: 11,
+                delay_result: 0.3,
+                delay_result_max: 2,
+                ..Default::default()
+            }),
+            watchdog: Some(WatchdogConfig { step_budget: 4_000, progress_window: 128 }),
+            check_invariants: true,
+        };
+        let via_legacy = Simulator::new(&g, &inputs, opts.clone()).unwrap().run().unwrap();
+        for kernel in [Kernel::Scan, Kernel::EventDriven] {
+            let fluent = SimConfig::new()
+                .max_steps(5_000)
+                .arc_capacity(2)
+                .delays(ArcDelays {
+                    forward: vec![2; g.arcs.len()],
+                    ack: vec![1; g.arcs.len()],
+                })
+                .record_fire_times(true)
+                .stop_outputs(vec![("out".into(), 3)])
+                .fault_plan(FaultPlan {
+                    seed: 11,
+                    delay_result: 0.3,
+                    delay_result_max: 2,
+                    ..Default::default()
+                })
+                .watchdog(WatchdogConfig { step_budget: 4_000, progress_window: 128 })
+                .check_invariants(true)
+                .kernel(kernel);
+            let via_fluent = Simulator::builder(&g)
+                .inputs(inputs.clone())
+                .config(fluent)
+                .run()
+                .unwrap();
+            let via_shim = Simulator::builder(&g)
+                .inputs(inputs.clone())
+                .config(opts.clone().into_config().kernel(kernel))
+                .run()
+                .unwrap();
+            assert_eq!(via_fluent, via_shim, "legacy shim drifted under {kernel:?}");
+            assert_eq!(via_fluent, via_legacy, "Simulator::new drifted under {kernel:?}");
+        }
         assert_eq!(
             steady_interval_of(&[0, 2, 4, 6, 8, 10, 12, 14]),
             Timing::of(vec![0, 2, 4, 6, 8, 10, 12, 14]).interval()

@@ -89,6 +89,24 @@ impl ProgressTracker {
     pub fn fires_since_progress(&self) -> u64 {
         self.fires_since_progress
     }
+
+    /// Export the tracker state for a checkpoint:
+    /// `(last_progress, last_progress_step, fires_since_progress)`.
+    /// Restoring it (see [`ProgressTracker::from_state`]) is what keeps a
+    /// resumed run's livelock classification bit-identical to an
+    /// uninterrupted one.
+    pub fn state(&self) -> (u64, u64, u64) {
+        (self.last_progress, self.last_progress_step, self.fires_since_progress)
+    }
+
+    /// Rebuild a tracker from an exported [`ProgressTracker::state`].
+    pub fn from_state(state: (u64, u64, u64)) -> Self {
+        ProgressTracker {
+            last_progress: state.0,
+            last_progress_step: state.1,
+            fires_since_progress: state.2,
+        }
+    }
 }
 
 /// How the run stalled.

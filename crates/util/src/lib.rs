@@ -13,13 +13,17 @@
 //! * [`json`] — a minimal JSON value type with a parser and printer, used
 //!   for the on-disk machine-code format ([`Graph::to_json`]) and the
 //!   experiment/trace JSON emitters.
+//! * [`checksum`] — FNV-1a integrity checksums for durable binary
+//!   artifacts (the machine crate's snapshot format).
 //!
 //! [`Graph::to_json`]: https://docs.rs/valpipe-ir
 
 #![warn(missing_docs)]
 
+pub mod checksum;
 pub mod json;
 pub mod rng;
 
+pub use checksum::{checksum64, Checksum64};
 pub use json::{Json, JsonError};
 pub use rng::{hash_mix, Rng};

@@ -97,6 +97,19 @@ impl Rng {
     pub fn fork(&self, salt: u64) -> Rng {
         Rng { state: hash_mix(&[self.state, salt]) }
     }
+
+    /// Export the raw generator state — the whole generator is one word,
+    /// so this is everything a checkpoint needs to resume the stream.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator from an exported [`Rng::state`]. Unlike
+    /// [`Rng::seed`], the word is used verbatim (no scrambling), so
+    /// `Rng::from_state(r.state())` continues exactly where `r` was.
+    pub fn from_state(state: u64) -> Rng {
+        Rng { state }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +165,18 @@ mod tests {
         assert_eq!(hash_mix(&[1, 2, 3]), hash_mix(&[1, 2, 3]));
         assert_ne!(hash_mix(&[1, 2, 3]), hash_mix(&[3, 2, 1]));
         assert_ne!(hash_mix(&[0]), hash_mix(&[0, 0]));
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut r = Rng::seed(42);
+        for _ in 0..10 {
+            r.next_u64();
+        }
+        let mut resumed = Rng::from_state(r.state());
+        for _ in 0..10 {
+            assert_eq!(r.next_u64(), resumed.next_u64());
+        }
     }
 
     #[test]

@@ -29,7 +29,8 @@ pub use valpipe_val as val;
 
 pub use valpipe_core::{compile_source, CompileOptions, Compiled, ForIterScheme};
 pub use valpipe_machine::{
-    Kernel, ProgramInputs, RunResult, Session, SessionBuilder, SimConfig, Simulator, Timing,
+    Kernel, ProgramInputs, RunResult, Session, SessionBuilder, SimConfig, Simulator, Snapshot,
+    SnapshotError, Timing,
 };
 #[allow(deprecated)]
 pub use valpipe_machine::SimOptions;

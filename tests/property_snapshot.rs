@@ -1,0 +1,182 @@
+//! Property test: checkpoint/restore is exact at *every* step.
+//!
+//! For random programs under random configurations (delays, contention,
+//! seeded faults, watchdogs), a run is driven with a checkpoint taken
+//! every instruction time; each snapshot is then restored — on the same
+//! kernel and across a kernel switch — and run to completion. Every
+//! recovered `RunResult` must equal the uninterrupted run bit for bit.
+//!
+//! Two program families, as in `property_kernels`: random layered DAGs,
+//! and pipe-structured Val programs through the full compiler (gates,
+//! merges, control generators, FIFO expansion, feedback loops).
+
+use std::collections::HashMap;
+use valpipe::compiler::verify::stream_inputs;
+use valpipe::ir::{BinOp, Graph, Opcode, Value};
+use valpipe::machine::{ArcDelays, ProgramInputs, ResourceModel, Session, Simulator, WatchdogConfig};
+use valpipe::{compile_source, ArrayVal, CompileOptions, Kernel, SimConfig, Snapshot};
+use valpipe_machine::FaultPlan;
+use valpipe_util::Rng;
+
+/// Random layered DAG over two sources, ADD/MUL/ID cells, one sink per
+/// terminal node (same family as `property_kernels`).
+fn build_dag(r: &mut Rng) -> Graph {
+    let mut g = Graph::new();
+    let mut pool = vec![
+        g.add_node(Opcode::Source("s0".into()), "s0"),
+        g.add_node(Opcode::Source("s1".into()), "s1"),
+    ];
+    for li in 0..r.range(1, 4) {
+        let mut next = Vec::new();
+        for ni in 0..r.range(1, 4) {
+            let a = pool[r.below(pool.len())];
+            let b = pool[r.below(pool.len())];
+            let node = if a == b {
+                g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
+            } else {
+                let op = if r.flip() { BinOp::Mul } else { BinOp::Add };
+                g.cell(Opcode::Bin(op), format!("n{li}_{ni}"), &[a.into(), b.into()])
+            };
+            next.push(node);
+        }
+        pool.extend(next);
+    }
+    for id in g.node_ids().collect::<Vec<_>>() {
+        if g.nodes[id.idx()].op.produces_output() && g.nodes[id.idx()].outputs.is_empty() {
+            let name = format!("out{}", id.idx());
+            let s = g.add_node(Opcode::Sink(name.clone()), name);
+            g.connect(id, s, 0);
+        }
+    }
+    g
+}
+
+/// Random configuration. Acknowledge drops (which wedge arcs forever)
+/// are always paired with a watchdog so the run terminates in a stall
+/// report — recovering *into* a stall is part of the property.
+fn random_config(r: &mut Rng, g: &Graph) -> SimConfig {
+    let mut cfg = SimConfig::new()
+        .max_steps(50_000)
+        .arc_capacity(r.range(1, 4))
+        .record_fire_times(r.flip());
+    if r.chance(0.5) {
+        cfg = cfg.delays(ArcDelays {
+            forward: (0..g.arc_count()).map(|_| r.range(1, 4) as u64).collect(),
+            ack: (0..g.arc_count()).map(|_| r.range(1, 4) as u64).collect(),
+        });
+    }
+    if r.chance(0.4) {
+        let units = r.range(1, 3);
+        cfg = cfg.resources(ResourceModel {
+            unit_of: (0..g.node_count()).map(|_| r.below(units) as u32).collect(),
+            capacity: (0..units).map(|_| r.range(1, 4) as u32).collect(),
+        });
+    }
+    if r.chance(0.5) {
+        let drop_ack = if r.chance(0.25) { 0.05 } else { 0.0 };
+        cfg = cfg.fault_plan(FaultPlan {
+            seed: r.next_u64(),
+            delay_result: if r.flip() { 0.25 } else { 0.0 },
+            delay_result_max: r.range(1, 6) as u64,
+            delay_ack: if r.flip() { 0.15 } else { 0.0 },
+            delay_ack_max: r.range(1, 4) as u64,
+            dup_result: if r.chance(0.3) { 0.05 } else { 0.0 },
+            drop_ack,
+            ..Default::default()
+        });
+        if drop_ack > 0.0 {
+            cfg = cfg.watchdog(WatchdogConfig { step_budget: 3_000, progress_window: 64 });
+        }
+    }
+    cfg.check_invariants(r.flip())
+}
+
+/// Drive one full run under `capture_kernel` snapshotting every step,
+/// then restore every snapshot on both kernels and run each out; all
+/// recovered results must equal the uninterrupted run.
+fn assert_recoverable_at_every_step(
+    g: &Graph,
+    inputs: &ProgramInputs,
+    cfg: &SimConfig,
+    capture_kernel: Kernel,
+    ctx: &str,
+) {
+    let mut snaps: Vec<Snapshot> = Vec::new();
+    let reference = Simulator::builder(g)
+        .inputs(inputs.clone())
+        .config(cfg.clone().kernel(capture_kernel).checkpoint_every(1))
+        .build()
+        .unwrap_or_else(|e| panic!("{ctx}: build failed: {e}"))
+        .run_with_checkpoints(|s| snaps.push(s))
+        .unwrap_or_else(|e| panic!("{ctx}: run failed: {e}"));
+    assert!(!snaps.is_empty(), "{ctx}: no checkpoints emitted");
+    // Every step was checkpointed; subsample long runs to bound cost,
+    // always keeping the first and the final-step snapshot (the final
+    // one re-evaluates the stopping decision from restored state alone).
+    let stride = snaps.len().div_ceil(48);
+    let last = snaps.len() - 1;
+    for (i, snap) in snaps.iter().enumerate() {
+        if i % stride != 0 && i != last {
+            continue;
+        }
+        for resume_kernel in [Kernel::Scan, Kernel::EventDriven] {
+            let recovered = Session::restore_with_kernel(g, snap, resume_kernel)
+                .unwrap_or_else(|e| panic!("{ctx}: restore at {} failed: {e}", snap.step()))
+                .run()
+                .unwrap_or_else(|e| panic!("{ctx}: resumed run at {} failed: {e}", snap.step()));
+            assert_eq!(
+                recovered,
+                reference,
+                "{ctx}: diverged after restore at step {} ({capture_kernel:?} -> {resume_kernel:?})",
+                snap.step()
+            );
+        }
+    }
+}
+
+#[test]
+fn random_dags_recover_exactly_at_every_step() {
+    for case in 0..24u64 {
+        let mut r = Rng::seed(0x5A11).fork(case);
+        let g = build_dag(&mut r);
+        let n = r.range(6, 20);
+        let inputs = ProgramInputs::new()
+            .bind("s0", (0..n).map(|k| Value::Real(k as f64 * 0.5)).collect())
+            .bind("s1", (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect());
+        let cfg = random_config(&mut r, &g);
+        let capture = if case % 2 == 0 { Kernel::Scan } else { Kernel::EventDriven };
+        assert_recoverable_at_every_step(&g, &inputs, &cfg, capture, &format!("dag case {case}"));
+    }
+}
+
+#[test]
+fn compiled_programs_recover_exactly_at_every_step() {
+    // A boundary-conditioned stencil block capped by a first-order
+    // recurrence: compiles to control generators, T/F gates, merges and
+    // FIFO pseudo-cells — the cell kinds the DAG family cannot produce.
+    let src = "param m = 12;\n\
+               input S0 : array[real] [0, m+1];\n\
+               S1 : array[real] :=\n  forall i in [0, m+1]\n    P : real :=\n      if (i = 0)|(i = m+1) then S0[i]\n      else 0.25 * (S0[i-1] + 2.*S0[i] + S0[i+1])\n      endif;\n  construct P endall;\n\
+               X : array[real] :=\n  for\n    i : integer := 1;\n    T : array[real] := [0: 0.]\n  do\n    let P : real := 0.5*S1[i]*T[i-1] + S0[i]\n    in\n      if i < m then\n        iter\n          T := T[i: P];\n          i := i + 1\n        enditer\n      else T\n      endif\n    endlet\n  endfor;\n\
+               output X;\n";
+    let compiled = compile_source(src, &CompileOptions::paper()).expect("program must compile");
+    let mut exe = compiled.executable().clone();
+    exe.expand_fifos();
+    let vals: Vec<f64> = (0..14).map(|i| (i as f64 * 0.2).sin()).collect();
+    let mut arrays = HashMap::new();
+    arrays.insert("S0".to_string(), ArrayVal::from_reals(0, &vals));
+    for case in 0..4u64 {
+        let mut r = Rng::seed(0x5A12).fork(case);
+        let waves = r.range(2, 5);
+        let inputs = stream_inputs(&compiled, &arrays, waves);
+        let cfg = random_config(&mut r, &exe);
+        let capture = if case % 2 == 0 { Kernel::EventDriven } else { Kernel::Scan };
+        assert_recoverable_at_every_step(
+            &exe,
+            &inputs,
+            &cfg,
+            capture,
+            &format!("compiled case {case}"),
+        );
+    }
+}
