@@ -12,24 +12,42 @@ fi
 cargo build --release
 cargo test -q
 
-# The two step-loop kernels must agree bit-for-bit; run the dedicated
+# The three step-loop kernels must agree bit-for-bit; run the dedicated
 # equivalence and property suites explicitly so a regression names them.
 cargo test -q -p valpipe-machine --test kernel_equivalence
 cargo test -q --test property_kernels
+
+# Smoke equivalence through the reporter CLI: the parallel kernel at two
+# workers must print the byte-identical experiment report.
+cargo run --release -q -p valpipe-bench --bin exp_fig2 > target/ci_fig2_seq.txt
+cargo run --release -q -p valpipe-bench --bin exp_fig2 -- --workers 2 > target/ci_fig2_par.txt
+cmp -s target/ci_fig2_seq.txt target/ci_fig2_par.txt \
+    || { echo "ci: FAIL — exp_fig2 output differs under --workers 2" >&2; exit 1; }
+grep -q 'CLAIM \[HOLDS\]' target/ci_fig2_par.txt \
+    || { echo "ci: FAIL — exp_fig2 claims did not hold under --workers 2" >&2; exit 1; }
 
 # Checkpoint/restore must replay bit-identically (snapshot format is
 # pinned by the golden fixture; recovery at every step by the property
 # suite; crash-against-disk by one exp_soak trial).
 cargo test -q -p valpipe-machine --test snapshot
 cargo test -q --test property_snapshot
-cargo run --release -q -p valpipe-bench --bin exp_soak -- --trials 1 \
-    | grep -q 'CLAIM \[HOLDS\] a run killed at a random step' \
+cargo run --release -q -p valpipe-bench --bin exp_soak -- --trials 1 > target/ci_soak.txt
+grep -q 'CLAIM \[HOLDS\] a run killed at a random step' target/ci_soak.txt \
     || { echo "ci: FAIL — exp_soak recovery claim did not hold" >&2; exit 1; }
 
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Benchmarks must at least run: smoke mode shrinks workloads and skips
-# the wall-clock speedup assertion (meaningless on shared CI machines).
-cargo bench -p valpipe-bench -- --test
+# the wall-clock speedup assertions (meaningless on shared CI machines).
+# The kernels bench must also emit a well-formed machine-readable
+# trajectory; CI writes it to a scratch path so the committed
+# BENCH_machine.json baseline is never clobbered by a smoke run.
+# (Name the bench targets explicitly: bare `cargo bench` also runs the
+# lib/bin targets under the libtest harness, which rejects `--json`.)
+BENCH_JSON_PATH="$(pwd)/target/ci_bench_smoke.json" \
+    cargo bench -p valpipe-bench --bench compile --bench simulate \
+    --bench balance --bench kernels -- --test --json
+test -s target/ci_bench_smoke.json \
+    || { echo "ci: FAIL — bench trajectory JSON was not emitted" >&2; exit 1; }
 
 echo "ci: all gates passed"

@@ -1,4 +1,4 @@
-//! Bench: scan vs event-driven step-loop kernels.
+//! Bench: scan vs event-driven vs parallel step-loop kernels.
 //!
 //! The scan kernel pays O(cells) every instruction time; the event-driven
 //! kernel pays O(fired + woken). On a dense, fully pipelined workload the
@@ -8,17 +8,27 @@
 //! step. That is the acceptance workload: the event kernel must beat the
 //! scan kernel by at least 3× there (asserted, not just printed).
 //!
-//! Both kernels must also agree bit-for-bit on every workload; the bench
+//! The parallel kernel's acceptance workload is the opposite regime: a
+//! *wide* dense program (>4000 cells, hundreds fireable per tick) swept
+//! across worker counts. On a ≥4-core host, 4 workers must beat the
+//! event kernel by ≥2.5× and a single parallel worker must stay within
+//! 15% of it (asserted when the host has the cores; printed regardless).
+//!
+//! All kernels must agree bit-for-bit on every workload; the bench
 //! asserts that too, so a timing win can never hide a semantics drift.
+//! With `--json`, every measurement is also written to
+//! `BENCH_machine.json` (or `$BENCH_JSON_PATH`) as the machine-readable
+//! bench trajectory.
 
 use std::time::Instant;
-use valpipe_bench::timing::{bench, iters, smoke_mode};
+use valpipe_bench::timing::{bench, iters, json_mode, smoke_mode, BenchLog};
 use valpipe_bench::workloads::{fig6_src, inputs_for_compiled};
 use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions};
 use valpipe_ir::value::Value;
 use valpipe_ir::{Graph, Opcode};
 use valpipe_machine::{Kernel, ProgramInputs, RunResult, Simulator};
+use valpipe_util::Rng;
 
 /// An identity chain of `stages` cells: with only a few packets in
 /// flight, almost every cell is idle at almost every step.
@@ -31,6 +41,37 @@ fn sparse_chain(stages: usize) -> Graph {
     }
     let _ = g.cell(Opcode::Sink("out".into()), "out", &[prev.into()]);
     g
+}
+
+/// A wide dense program — `chains` parallel arithmetic pipelines — so
+/// hundreds of cells are fireable every tick: the regime the parallel
+/// kernel is built for. Each chain's input stream splits off the one
+/// root generator, so the workload is fully determined by the seed.
+fn wide_grid(chains: usize, stages: usize, packets: usize) -> (Graph, ProgramInputs) {
+    let mut g = Graph::new();
+    let mut inputs = ProgramInputs::new();
+    let mut root = Rng::seed(0xBEEF);
+    for c in 0..chains {
+        let mut r = root.split();
+        let name = format!("a{c}");
+        let a = g.add_node(Opcode::Source(name.clone()), &name);
+        let mut prev = a;
+        for k in 0..stages {
+            prev = g.cell(
+                Opcode::Bin(if (c + k) % 2 == 0 {
+                    valpipe_ir::value::BinOp::Add
+                } else {
+                    valpipe_ir::value::BinOp::Mul
+                }),
+                format!("s{c}_{k}"),
+                &[prev.into(), (0.5 + r.f64()).into()],
+            );
+        }
+        let _ = g.cell(Opcode::Sink(format!("y{c}")), format!("y{c}"), &[prev.into()]);
+        let vals: Vec<f64> = (0..packets).map(|_| r.f64()).collect();
+        inputs = inputs.bind_reals(&name, &vals);
+    }
+    (g, inputs)
 }
 
 fn run_kernel(g: &Graph, inputs: &ProgramInputs, kernel: Kernel) -> RunResult {
@@ -55,7 +96,17 @@ fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+fn kernel_tag(kernel: Kernel) -> (&'static str, usize) {
+    match kernel {
+        Kernel::Scan => ("scan", 1),
+        Kernel::EventDriven => ("event", 1),
+        Kernel::ParallelEvent(w) => ("parallel-event", w),
+    }
+}
+
 fn main() {
+    let mut log = BenchLog::new();
+
     // 1. Sparse-activity acceptance workload: a deep pipe, few packets.
     let stages = if smoke_mode() { 400 } else { 4000 };
     let g = sparse_chain(stages);
@@ -79,6 +130,8 @@ fn main() {
         t_scan * 1e3,
         t_event * 1e3,
     );
+    log.record("sparse_chain", g.node_count(), g.arc_count(), "scan", 1, scan.steps, t_scan);
+    log.record("sparse_chain", g.node_count(), g.arc_count(), "event", 1, event.steps, t_event);
     if !smoke_mode() {
         assert!(
             speedup >= 3.0,
@@ -103,11 +156,8 @@ fn main() {
             .run()
             .unwrap()
     };
-    assert_eq!(
-        ring_run(Kernel::Scan),
-        ring_run(Kernel::EventDriven),
-        "kernels disagree on the ring"
-    );
+    let ring_ref = ring_run(Kernel::Scan);
+    assert_eq!(ring_ref, ring_run(Kernel::EventDriven), "kernels disagree on the ring");
     let t_scan = median_secs(n, || {
         let _ = ring_run(Kernel::Scan);
     });
@@ -120,15 +170,18 @@ fn main() {
         t_event * 1e3,
         t_scan / t_event,
     );
+    log.record("ring", rg.node_count(), rg.arc_count(), "scan", 1, ring_ref.steps, t_scan);
+    log.record("ring", rg.node_count(), rg.arc_count(), "event", 1, ring_ref.steps, t_event);
 
-    // 3. Dense paper workload: both kernels on fig6, for the honest
-    // "what does it cost when everything fires" number.
+    // 3. Dense paper workload: both sequential kernels on fig6, for the
+    // honest "what does it cost when everything fires" number.
     let compiled = compile_source(&fig6_src(64), &CompileOptions::paper()).unwrap();
     let exe = compiled.executable();
     let arrays = inputs_for_compiled(&compiled);
     let dense_inputs = stream_inputs(&compiled, &arrays, 10);
+    let fig6_ref = run_kernel(&exe, &dense_inputs, Kernel::Scan);
     assert_eq!(
-        run_kernel(&exe, &dense_inputs, Kernel::Scan),
+        fig6_ref,
         run_kernel(&exe, &dense_inputs, Kernel::EventDriven),
         "kernels disagree on fig6"
     );
@@ -136,5 +189,67 @@ fn main() {
         bench(&format!("kernels/fig6_dense/{kernel:?}"), n, || {
             run_kernel(&exe, &dense_inputs, kernel)
         });
+    }
+
+    // 4. Worker sweep on the wide dense grid — the parallel kernel's
+    // acceptance workload (>4000 cells, hundreds fireable per tick).
+    let (chains, stages, pkts) = if smoke_mode() { (48, 8, 12) } else { (80, 50, 64) };
+    let (wg, winputs) = wide_grid(chains, stages, pkts);
+    if !smoke_mode() {
+        assert!(wg.node_count() >= 4000, "acceptance grid must exceed 4000 cells");
+    }
+    let reference = run_kernel(&wg, &winputs, Kernel::EventDriven);
+    let mut t_of: Vec<(Kernel, f64)> = Vec::new();
+    for kernel in [
+        Kernel::Scan,
+        Kernel::EventDriven,
+        Kernel::ParallelEvent(1),
+        Kernel::ParallelEvent(2),
+        Kernel::ParallelEvent(4),
+    ] {
+        let r = run_kernel(&wg, &winputs, kernel);
+        assert_eq!(r, reference, "{kernel:?} disagrees on the wide grid");
+        let t = median_secs(n, || {
+            let _ = run_kernel(&wg, &winputs, kernel);
+        });
+        let (tag, workers) = kernel_tag(kernel);
+        println!(
+            "kernels/wide_grid/{}cells/{tag}{workers}   {:>10.3}ms   {:>12.0} steps/s",
+            wg.node_count(),
+            t * 1e3,
+            reference.steps as f64 / t,
+        );
+        log.record("wide_grid", wg.node_count(), wg.arc_count(), tag, workers, reference.steps, t);
+        t_of.push((kernel, t));
+    }
+    let t = |k: Kernel| t_of.iter().find(|(kk, _)| *kk == k).unwrap().1;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let par_speedup = t(Kernel::EventDriven) / t(Kernel::ParallelEvent(4));
+    let par1_overhead = t(Kernel::ParallelEvent(1)) / t(Kernel::EventDriven);
+    println!(
+        "kernels/wide_grid summary: event/parallel4 {par_speedup:.2}x, parallel1 overhead {:.1}% ({cores} host cores)",
+        (par1_overhead - 1.0) * 100.0,
+    );
+    if !smoke_mode() {
+        assert!(
+            par1_overhead <= 1.15,
+            "single-worker parallel kernel must stay within 15% of the event kernel, got {:.1}% over",
+            (par1_overhead - 1.0) * 100.0
+        );
+        if cores >= 4 {
+            assert!(
+                par_speedup >= 2.5,
+                "parallel kernel at 4 workers must be >= 2.5x the event kernel on a {cores}-core host, got {par_speedup:.2}x"
+            );
+        } else {
+            println!(
+                "kernels/wide_grid: host has {cores} core(s); 4-worker speedup target needs >= 4 — recorded, not asserted"
+            );
+        }
+    }
+
+    if json_mode() {
+        let path = log.write("kernels").expect("bench trajectory must be writable");
+        println!("kernels: wrote bench trajectory to {path}");
     }
 }

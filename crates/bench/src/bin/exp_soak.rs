@@ -31,17 +31,21 @@ use valpipe_machine::{
 };
 use valpipe_util::Rng;
 
-const KERNEL_PAIRS: [(Kernel, Kernel); 4] = [
+const KERNEL_PAIRS: [(Kernel, Kernel); 7] = [
     (Kernel::EventDriven, Kernel::EventDriven),
     (Kernel::EventDriven, Kernel::Scan),
     (Kernel::Scan, Kernel::EventDriven),
     (Kernel::Scan, Kernel::Scan),
+    (Kernel::EventDriven, Kernel::ParallelEvent(2)),
+    (Kernel::ParallelEvent(2), Kernel::Scan),
+    (Kernel::ParallelEvent(2), Kernel::ParallelEvent(2)),
 ];
 
 fn kernel_name(k: Kernel) -> &'static str {
     match k {
         Kernel::Scan => "scan",
         Kernel::EventDriven => "event",
+        Kernel::ParallelEvent(_) => "parallel-event",
     }
 }
 

@@ -13,11 +13,13 @@
 //!   `valpipe_machine::snapshot`);
 //! * `--restore-from <file>` — resume a run from a checkpoint instead of
 //!   starting fresh (honoured by `exp_soak`);
-//! * `--trials <n>` — how many crash/recover trials `exp_soak` runs.
+//! * `--trials <n>` — how many crash/recover trials `exp_soak` runs;
+//! * `--workers <n>` — run the simulation on the parallel kernel with
+//!   `n` worker threads (default 1 = the sequential event kernel).
 
 use crate::measure::{measure_program_with, Measurement};
 use valpipe_core::CompileOptions;
-use valpipe_machine::{FaultPlan, SimConfig, WatchdogConfig};
+use valpipe_machine::{FaultPlan, Kernel, SimConfig, WatchdogConfig};
 
 /// Robustness flags parsed from the process arguments.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +37,9 @@ pub struct FaultArgs {
     /// Parsed `--trials`, if given (crash/recover trial count for
     /// `exp_soak`).
     pub trials: Option<u64>,
+    /// Parsed `--workers`, if given (worker threads for the parallel
+    /// kernel; 1 keeps the sequential event kernel).
+    pub workers: Option<usize>,
 }
 
 impl FaultArgs {
@@ -84,6 +89,13 @@ impl FaultArgs {
                         _ => usage(&format!("bad trial count '{v}'")),
                     }
                 }
+                "--workers" => {
+                    let v = args.next().unwrap_or_else(|| usage("--workers needs a number"));
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => out.workers = Some(n),
+                        _ => usage(&format!("bad worker count '{v}'")),
+                    }
+                }
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
@@ -111,6 +123,11 @@ impl FaultArgs {
         }
         if let Some(path) = &self.checkpoint_path {
             cfg = cfg.checkpoint_path(path.clone());
+        }
+        if let Some(w) = self.workers {
+            if w >= 2 {
+                cfg = cfg.kernel(Kernel::ParallelEvent(w));
+            }
         }
         cfg
     }
@@ -155,7 +172,7 @@ fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!("usage: exp_* [--fault-plan <spec>] [--step-budget <n>]");
     eprintln!("             [--checkpoint-every <n>] [--checkpoint-path <file>]");
-    eprintln!("             [--restore-from <file>] [--trials <n>]");
+    eprintln!("             [--restore-from <file>] [--trials <n>] [--workers <n>]");
     eprintln!("  spec: comma-separated key=value, e.g. seed=42,drop_ack=0.001,\\");
     eprintln!("        delay_result=0.05:4,freeze=7@100..200,link=1.3@50..60");
     std::process::exit(2)

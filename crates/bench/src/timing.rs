@@ -6,6 +6,8 @@
 
 use std::time::Instant;
 
+use valpipe_util::Json;
+
 /// Whether the benches run in smoke mode: `cargo bench -- --test` passes
 /// `--test` through to every `harness = false` main. Smoke mode is the
 /// CI hook — each bench executes its workloads once to prove they still
@@ -84,5 +86,94 @@ fn human(secs: f64) -> String {
 fn sink<T>(v: &T) {
     unsafe {
         std::ptr::read_volatile(&(v as *const T));
+    }
+}
+
+/// Whether the bench should also emit machine-readable results:
+/// `cargo bench -- --json` passes `--json` through to every
+/// `harness = false` main.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
+}
+
+/// Peak resident set size of this process so far, in bytes (Linux
+/// `VmHWM`); `None` on platforms without `/proc`.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.strip_prefix("VmHWM:")?.trim().strip_suffix("kB")?.trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Machine-readable bench trajectory: one record per measured
+/// configuration, written as pretty JSON to `$BENCH_JSON_PATH` (or
+/// `BENCH_machine.json` in the working directory) by [`BenchLog::write`].
+#[derive(Debug, Default)]
+pub struct BenchLog {
+    records: Vec<Json>,
+}
+
+impl BenchLog {
+    /// An empty log.
+    pub fn new() -> BenchLog {
+        BenchLog::default()
+    }
+
+    /// Record one measured configuration. `wall_s` is the median
+    /// wall-clock seconds of one full run of `steps` instruction times
+    /// over a `cells`-cell, `arcs`-arc graph.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        graph: &str,
+        cells: usize,
+        arcs: usize,
+        kernel: &str,
+        workers: usize,
+        steps: u64,
+        wall_s: f64,
+    ) {
+        self.records.push(Json::obj([
+            ("graph", Json::Str(graph.to_string())),
+            ("cells", Json::Int(cells as i64)),
+            ("arcs", Json::Int(arcs as i64)),
+            ("kernel", Json::Str(kernel.to_string())),
+            ("workers", Json::Int(workers as i64)),
+            ("steps", Json::Int(steps as i64)),
+            ("wall_s", Json::Float(wall_s)),
+            ("steps_per_sec", Json::Float(steps as f64 / wall_s)),
+        ]));
+    }
+
+    /// Write the trajectory file and return the path written. The
+    /// destination honours `$BENCH_JSON_PATH` so CI smoke runs can emit
+    /// to a scratch path without clobbering the committed baseline; by
+    /// default it lands at the workspace root (cargo runs bench binaries
+    /// with the *package* directory as the working directory, so a bare
+    /// relative path would scatter baselines across `crates/`).
+    pub fn write(&self, bench: &str) -> std::io::Result<String> {
+        let path = std::env::var("BENCH_JSON_PATH").unwrap_or_else(|_| {
+            match std::env::var("CARGO_MANIFEST_DIR") {
+                Ok(pkg) => format!("{pkg}/../../BENCH_machine.json"),
+                Err(_) => "BENCH_machine.json".to_string(),
+            }
+        });
+        let doc = Json::obj([
+            ("bench", Json::Str(bench.to_string())),
+            ("smoke", Json::Bool(smoke_mode())),
+            (
+                "host_cores",
+                Json::Int(
+                    std::thread::available_parallelism().map_or(0, |p| p.get() as i64),
+                ),
+            ),
+            (
+                "peak_rss_bytes",
+                peak_rss_bytes().map_or(Json::Null, |b| Json::Int(b as i64)),
+            ),
+            ("results", Json::Arr(self.records.clone())),
+        ]);
+        std::fs::write(&path, doc.to_pretty() + "\n")?;
+        Ok(path)
     }
 }

@@ -21,6 +21,7 @@ pub mod closedloop;
 pub mod error;
 pub mod fault;
 pub mod network;
+pub(crate) mod par;
 pub mod scheduler;
 pub mod session;
 pub mod sim;

@@ -1,0 +1,511 @@
+//! The parallel event-driven step: [`Kernel::ParallelEvent`]'s phased
+//! execution of one instruction time across a persistent worker pool.
+//!
+//! # Why this is deterministic (DESIGN.md §11 carries the full argument)
+//!
+//! The machine is tick-synchronous: whether a cell fires at instruction
+//! time `t`, and what it does, depends only on machine state at the
+//! *start* of `t` — all enabled cells fire simultaneously. That makes
+//! one tick's work embarrassingly parallel provided the phases stay
+//! separated and the mutations merge in a canonical order:
+//!
+//! 1. **Release** — due acknowledge slots expire. Arcs are partitioned
+//!    into contiguous id ranges, one disjoint `&mut` slice per worker;
+//!    releases on distinct arcs are independent.
+//! 2. **Plan** — the drained ready set (ascending cell ids) is split
+//!    into contiguous chunks; planning is read-only, so workers share
+//!    `&Simulator`. Concatenating the per-worker plan buffers in worker
+//!    order restores exactly the sequential ascending-cell-id plan
+//!    list. The first planning error in worker order is the error the
+//!    sequential loop would have hit first (all lower cells planned
+//!    clean), and it propagates before any wakeup or firing side
+//!    effect — planning has no side effects, so the error state is
+//!    bit-identical to the sequential kernels'.
+//! 3. **Fire** — arc mutations are partitioned by *arc ownership*:
+//!    every worker walks the full plan list in order and applies only
+//!    the consumes/emits landing on arcs in its contiguous range. An
+//!    arc sees at most one consume (its unique destination cell) and
+//!    one emit (its unique source cell) per tick, and a consume moves a
+//!    slot from `queue` to `freeing` without changing `occupied()`, so
+//!    the two commute — including the `Duplicate` fault's capacity
+//!    check. Fault fates are position-keyed (`hash_mix(seed, arc,
+//!    step)`), not draw-order-keyed, so every worker resolves the same
+//!    fates the sequential kernels do with no RNG coordination.
+//!    Per-cell bookkeeping ([`Simulator::note_fire`] — the exact
+//!    function the sequential `fire` uses) then runs sequentially over
+//!    the plans in cell order, and buffered wakeups merge afterwards;
+//!    wheel insertion order is irrelevant because due lists are
+//!    sorted and deduplicated on drain.
+//!
+//! The pool blocks workers on a condvar between ticks (never spins), so
+//! oversubscribing a small machine degrades gracefully; ticks below
+//! [`PAR_MIN_WORK`] ready items skip the fan-out entirely and run the
+//! sequential step body, which produces identical results by the same
+//! argument with one worker.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use valpipe_ir::NodeId;
+
+use crate::error::SimError;
+use crate::fault::{AckFate, ResultFate};
+use crate::scheduler::Kernel;
+use crate::sim::{consume_token, emit_token, launch_value, release_acks, FirePlan, Simulator};
+
+/// Below this many ready items (due cells + due arcs) a tick runs the
+/// sequential step body instead of dispatching to the pool: the phase
+/// barriers cost more than the work. Results are identical either way.
+pub(crate) const PAR_MIN_WORK: usize = 96;
+
+/// Hard cap on `ParallelEvent(w)`; a worker beyond this adds only
+/// scheduling overhead on any machine this simulator targets.
+pub(crate) const MAX_WORKERS: usize = 32;
+
+/// Per-worker buffers for one tick, reused across the whole run.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerBuf {
+    /// Plans from this worker's chunk of the ready set (phase 2).
+    plans: Vec<(u32, FirePlan)>,
+    /// Frozen cells deferred to their thaw time (phase 2).
+    thaw: Vec<(u32, u64)>,
+    /// First planning error in this worker's chunk (phase 2).
+    err: Option<SimError>,
+    /// Wakeups for arcs this worker owns (phase 3).
+    arc_wakes: Vec<(u32, u64)>,
+    /// Wakeups for cells, from acks freeing producer slots and packets
+    /// reaching consumers on arcs this worker owns (phase 3).
+    node_wakes: Vec<(u32, u64)>,
+}
+
+impl WorkerBuf {
+    fn clear(&mut self) {
+        self.plans.clear();
+        self.thaw.clear();
+        self.err = None;
+        self.arc_wakes.clear();
+        self.node_wakes.clear();
+    }
+}
+
+/// Contiguous even partition of `0..len` into `parts` ranges (the first
+/// `len % parts` ranges get the extra element).
+fn chunk_ranges(len: usize, parts: usize) -> impl Iterator<Item = Range<usize>> {
+    let base = len / parts;
+    let extra = len % parts;
+    let mut start = 0;
+    (0..parts).map(move |i| {
+        let size = base + usize::from(i < extra);
+        let r = start..start + size;
+        start += size;
+        r
+    })
+}
+
+/// Split a slice into `parts` contiguous `(base index, sub-slice)`
+/// shards — disjoint `&mut` views, one per worker.
+fn split_shards<T>(items: &mut [T], parts: usize) -> Vec<(usize, &mut [T])> {
+    let mut out = Vec::with_capacity(parts);
+    let total = items.len();
+    let mut rest = items;
+    let mut base = 0;
+    for r in chunk_ranges(total, parts) {
+        let (head, tail) = rest.split_at_mut(r.len());
+        out.push((base, head));
+        base += r.len();
+        rest = tail;
+    }
+    out
+}
+
+/// The job handed to workers: a borrowed closure with its lifetime
+/// erased. Sound because [`Pool::run`] does not return until every
+/// worker has finished the call, so the borrow outlives all uses.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared across workers by construction)
+// and the pointer is only dereferenced while `Pool::run` keeps the
+// referent alive.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Bumped once per dispatched job so sleeping workers can tell a
+    /// new job from the one they already ran.
+    epoch: u64,
+    /// Workers still running the current job.
+    remaining: usize,
+    /// A worker's job panicked (re-raised on the main thread).
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A persistent pool of `workers − 1` blocked threads; the calling
+/// thread acts as worker 0, so `ParallelEvent(w)` uses exactly `w`
+/// threads during a tick and zero CPU between ticks.
+pub(crate) struct Pool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    pub(crate) fn new(workers: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (1..workers.max(1))
+            .map(|wi| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("valpipe-par-{wi}"))
+                    .spawn(move || worker_loop(&shared, wi))
+                    .expect("spawn parallel kernel worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    /// Total worker count, including the calling thread.
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Run `f(worker_index)` once per worker, concurrently; returns
+    /// after every call finished. Re-raises worker panics here.
+    pub(crate) fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if self.handles.is_empty() {
+            f(0);
+            return;
+        }
+        // SAFETY: erases `f`'s borrow lifetime from the stored pointer.
+        // Sound because this function clears the job and does not return
+        // until `remaining` hits zero, so no worker touches the pointer
+        // after `f`'s borrow ends.
+        let job = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        });
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.job = Some(job);
+            st.epoch += 1;
+            st.remaining = self.handles.len();
+        }
+        self.shared.start.notify_all();
+        f(0);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        if std::mem::take(&mut st.panicked) {
+            drop(st);
+            panic!("parallel kernel worker panicked");
+        }
+    }
+
+    /// Run `f(worker_index, &mut shard[worker_index])` once per worker.
+    /// Each worker locks only its own shard's mutex (uncontended), so
+    /// this is plain safe Rust handing each worker exclusive access to
+    /// its slice of the machine.
+    pub(crate) fn run_sharded<T: Send>(&self, shards: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        debug_assert_eq!(shards.len(), self.workers());
+        let slots: Vec<Mutex<&mut T>> = shards.iter_mut().map(Mutex::new).collect();
+        self.run(&|wi| {
+            let mut slot = slots[wi].lock().unwrap();
+            f(wi, &mut slot);
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, wi: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen {
+                    break;
+                }
+                st = shared.start.wait(st).unwrap();
+            }
+            seen = st.epoch;
+            st.job.expect("job present while epoch advanced")
+        };
+        // SAFETY: `Pool::run` keeps the closure alive until `remaining`
+        // reaches zero, which happens strictly after this call returns.
+        let outcome = catch_unwind(AssertUnwindSafe(|| (unsafe { &*job.0 })(wi)));
+        let mut st = shared.state.lock().unwrap();
+        if outcome.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+impl Simulator<'_> {
+    /// One instruction time under [`Kernel::ParallelEvent`].
+    pub(crate) fn step_parallel(&mut self, workers: usize) -> Result<usize, SimError> {
+        let now = self.now;
+        let mut due = std::mem::take(&mut self.scratch.due_nodes);
+        let mut due_arcs = std::mem::take(&mut self.scratch.due_arcs);
+        self.sched.due_arcs(now, &mut due_arcs);
+        self.sched.due_nodes(now, &mut due);
+        let w = workers.clamp(1, MAX_WORKERS);
+        let r = if w < 2 || due.len() + due_arcs.len() < PAR_MIN_WORK {
+            self.step_ready(&due, &due_arcs)
+        } else {
+            self.step_ready_parallel(w, &due, &due_arcs)
+        };
+        self.scratch.due_nodes = due;
+        self.scratch.due_arcs = due_arcs;
+        r
+    }
+
+    fn step_ready_parallel(
+        &mut self,
+        w: usize,
+        due: &[u32],
+        due_arcs: &[u32],
+    ) -> Result<usize, SimError> {
+        debug_assert!(matches!(self.cfg.kernel, Kernel::ParallelEvent(_)));
+        let now = self.now;
+        if self.pool.as_ref().is_none_or(|p| p.workers() != w) {
+            self.pool = Some(Pool::new(w));
+        }
+        let mut bufs = std::mem::take(&mut self.scratch.bufs);
+        bufs.resize_with(w, WorkerBuf::default);
+        for b in &mut bufs {
+            b.clear();
+        }
+
+        // Phase 1: release due acknowledge slots, arcs partitioned into
+        // contiguous id ranges (due_arcs is sorted, so each worker
+        // binary-searches its window).
+        {
+            let pool = self.pool.as_ref().expect("pool created above");
+            let mut shards = split_shards(&mut self.arcs, w);
+            pool.run_sharded(&mut shards, |_wi, (base, slice)| {
+                let lo = due_arcs.partition_point(|&a| (a as usize) < *base);
+                let hi = due_arcs.partition_point(|&a| (a as usize) < *base + slice.len());
+                for &aid in &due_arcs[lo..hi] {
+                    release_acks(&mut slice[aid as usize - *base], now);
+                }
+            });
+        }
+
+        // Phase 2: plan, read-only over the whole machine; the ready
+        // set is chunked contiguously so concatenation preserves the
+        // ascending cell order.
+        {
+            let this: &Simulator = self;
+            let pool = self.pool.as_ref().expect("pool created above");
+            let mut shards: Vec<(Range<usize>, &mut WorkerBuf)> =
+                chunk_ranges(due.len(), w).zip(bufs.iter_mut()).collect();
+            pool.run_sharded(&mut shards, |_wi, (range, buf)| {
+                if let Err(e) = this.plan_due(&due[range.clone()], &mut buf.plans, &mut buf.thaw) {
+                    buf.err = Some(e);
+                }
+            });
+        }
+        let mut first_err = None;
+        for b in &mut bufs {
+            let e = b.err.take();
+            if first_err.is_none() {
+                first_err = e;
+            }
+        }
+        if let Some(e) = first_err {
+            self.scratch.bufs = bufs;
+            return Err(e);
+        }
+        let mut plans = std::mem::take(&mut self.scratch.plans);
+        plans.clear();
+        for b in &bufs {
+            plans.extend_from_slice(&b.plans);
+        }
+        for b in &bufs {
+            for &(nid, at) in &b.thaw {
+                self.sched.wake(nid, at);
+            }
+        }
+        self.apply_throttle(&mut plans);
+
+        // Phase 3: fire. Every worker walks the full plan list in order
+        // and applies the consume/emit operations landing on its arc
+        // range; wakeups are buffered per worker.
+        {
+            let g = self.g;
+            let fault = &self.fault;
+            let fwd = &self.fwd_delay;
+            let ack = &self.ack_delay;
+            let plans: &[(u32, FirePlan)] = &plans;
+            let pool = self.pool.as_ref().expect("pool created above");
+            let mut shards: Vec<((usize, &mut [_]), &mut WorkerBuf)> =
+                split_shards(&mut self.arcs, w).into_iter().zip(bufs.iter_mut()).collect();
+            pool.run_sharded(&mut shards, |_wi, ((base, slice), buf)| {
+                let (base, end) = (*base, *base + slice.len());
+                for &(nid, plan) in plans {
+                    for arc in plan.consumes() {
+                        let i = arc.idx();
+                        if i < base || i >= end {
+                            continue;
+                        }
+                        let fate = match fault {
+                            Some(f) => f.ack_fate(i, now),
+                            None => AckFate::Deliver,
+                        };
+                        if let Some(t) = consume_token(&mut slice[i - base], now + ack[i], fate) {
+                            // The freed slot re-enables the arc's producer.
+                            buf.arc_wakes.push((i as u32, t));
+                            buf.node_wakes.push((g.arcs[i].src.idx() as u32, t));
+                        }
+                    }
+                    if let Some(v) = launch_value(g, nid, &plan) {
+                        for &a in &g.nodes[nid as usize].outputs {
+                            let i = a.idx();
+                            if i < base || i >= end {
+                                continue;
+                            }
+                            let fate = match fault {
+                                Some(f) => f.result_fate(i, now),
+                                None => ResultFate::Deliver,
+                            };
+                            if let Some(t) = emit_token(&mut slice[i - base], v, now + fwd[i], fate)
+                            {
+                                buf.node_wakes.push((g.arcs[i].dst.idx() as u32, t));
+                            }
+                        }
+                    }
+                }
+            });
+        }
+
+        // Merge: per-cell bookkeeping in plan (= cell) order — the same
+        // `note_fire` the sequential fire loop runs — then the buffered
+        // wakeups (insertion order is irrelevant: due lists sort and
+        // deduplicate on drain).
+        let count = plans.len();
+        for &(nid, plan) in &plans {
+            self.note_fire(NodeId(nid), &plan);
+            // A fired cell may be enabled again immediately; re-examine
+            // it next step.
+            self.sched.wake(nid, now + 1);
+        }
+        for b in &bufs {
+            for &(a, t) in &b.arc_wakes {
+                self.sched.wake_arc(a, t);
+            }
+            for &(n, t) in &b.node_wakes {
+                self.sched.wake(n, t);
+            }
+        }
+        plans.clear();
+        self.scratch.plans = plans;
+        self.scratch.bufs = bufs;
+        self.now += 1;
+        Ok(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_runs_every_worker_and_is_reusable() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.workers(), 4);
+        for round in 1..=3usize {
+            let hits = AtomicUsize::new(0);
+            let mask = AtomicUsize::new(0);
+            pool.run(&|wi| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                mask.fetch_or(1 << wi, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 4, "round {round}");
+            assert_eq!(mask.load(Ordering::SeqCst), 0b1111, "each worker ran exactly once");
+        }
+    }
+
+    #[test]
+    fn single_worker_pool_spawns_no_threads() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.run(&|wi| {
+            assert_eq!(wi, 0);
+            hits.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn run_sharded_hands_each_worker_its_own_shard() {
+        let pool = Pool::new(3);
+        let mut shards = vec![0usize; 3];
+        pool.run_sharded(&mut shards, |wi, v| *v = wi + 10);
+        assert_eq!(shards, vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for (len, parts) in [(0, 3), (5, 2), (7, 3), (8, 4), (3, 8)] {
+            let ranges: Vec<_> = chunk_ranges(len, parts).collect();
+            assert_eq!(ranges.len(), parts);
+            let mut covered = 0;
+            for r in &ranges {
+                assert_eq!(r.start, covered, "contiguous");
+                covered = r.end;
+            }
+            assert_eq!(covered, len, "complete for len={len} parts={parts}");
+        }
+    }
+
+    #[test]
+    fn split_shards_bases_match_offsets() {
+        let mut items: Vec<u32> = (0..10).collect();
+        let shards = split_shards(&mut items, 3);
+        for (base, slice) in &shards {
+            for (k, v) in slice.iter().enumerate() {
+                assert_eq!(*v as usize, base + k);
+            }
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! instruction time, which costs O(cells) per step even when only a
 //! handful of cells hold deliverable operands — the transient fill and
 //! drain phases of a pipe, gated conditional arms, and every throttled
-//! or fault-injected run. The event-driven kernel instead maintains the
+//! or fault-injected run. The event-driven kernels instead maintain the
 //! **wakeup invariant**:
 //!
 //! > a cell is (re-)examined at step `t` iff some event at `t` could
@@ -22,19 +22,33 @@
 //! [`crate::fault::FaultPlan`] and non-uniform [`crate::sim::ArcDelays`]
 //! simply schedule their wakeups further out.
 //!
+//! Each wheel is a power-of-two **ring buffer** of bucket `Vec`s: slot
+//! `at & (len − 1)` holds the ids due at `at`. The step loop drains the
+//! wheel at every consecutive instruction time, so every undrained entry
+//! satisfies `cursor ≤ at < cursor + len` and a slot can only ever hold
+//! entries for one time — draining is an `extend` + `clear`, and the
+//! bucket allocations are reused for the whole run instead of passing
+//! through the allocator (and SipHash) once per step the way the old
+//! `HashMap<u64, Vec<u32>>` wheels did. The rare wakeup beyond the ring
+//! horizon (a multi-thousand-step freeze window, a `thaw_time` pushed
+//! out to ~2⁴⁰ by a permanent-freeze fault) overflows into a binary
+//! heap and migrates back as the cursor catches up.
+//!
 //! The per-step cost becomes O(fired + woken); idle instruction times
 //! (a pipe waiting out a long network latency, a frozen region) cost two
-//! hash-map lookups.
+//! ring-slot reads.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Which step-loop implementation a simulation uses.
 ///
-/// Both kernels implement the identical machine semantics and produce
+/// All kernels implement the identical machine semantics and produce
 /// bit-identical [`crate::sim::RunResult`]s — asserted by the
 /// `kernel_equivalence` test suite across the paper workloads, fault
 /// plans, resource throttling, and watchdog stalls. They differ only in
-/// how the set of enabled cells is discovered each instruction time.
+/// how the set of enabled cells is discovered each instruction time and
+/// in how the firing work of one instruction time is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Kernel {
     /// Re-scan every cell each instruction time. O(cells) per step; the
@@ -44,9 +58,95 @@ pub enum Kernel {
     /// events. O(fired + woken) per step.
     #[default]
     EventDriven,
+    /// The event-driven kernel with each instruction time's ready set
+    /// planned and fired across the given number of worker threads.
+    /// Bit-identical to the sequential kernels for any worker count (see
+    /// DESIGN.md §11); `ParallelEvent(0)` and `ParallelEvent(1)` run the
+    /// event-driven step body inline without spawning threads.
+    ParallelEvent(usize),
 }
 
-/// Time-indexed wakeup wheels for the event-driven kernel.
+/// One time-indexed wakeup wheel: a power-of-two ring of reusable
+/// buckets plus a far-overflow heap for wakeups beyond the horizon.
+#[derive(Debug, Clone)]
+struct Wheel {
+    /// Next instruction time to be drained; every live ring entry `at`
+    /// satisfies `cursor <= at < cursor + buckets.len()`.
+    cursor: u64,
+    /// Slot `at & mask` holds the ids due at `at`.
+    buckets: Vec<Vec<u32>>,
+    /// Wakeups at or beyond `cursor + buckets.len()`, by (time, id).
+    far: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+/// Ring length: covers every delay the machine generates on the hot
+/// path (forward/acknowledge delays, fault delay extensions, the +1
+/// re-examination after firing) with room to spare; longer horizons
+/// (freeze windows) take the far heap.
+const WHEEL_SLOTS: usize = 64;
+
+impl Wheel {
+    fn new(cursor: u64) -> Self {
+        Wheel { cursor, buckets: vec![Vec::new(); WHEEL_SLOTS], far: BinaryHeap::new() }
+    }
+
+    #[inline]
+    fn mask(&self) -> u64 {
+        self.buckets.len() as u64 - 1
+    }
+
+    #[inline]
+    fn push(&mut self, id: u32, at: u64) {
+        debug_assert!(at >= self.cursor, "wakeup posted into the past");
+        if at - self.cursor < self.buckets.len() as u64 {
+            let slot = (at & self.mask()) as usize;
+            self.buckets[slot].push(id);
+        } else {
+            self.far.push(Reverse((at, id)));
+        }
+    }
+
+    /// Drain every id due at or before `now` into `out` (cleared
+    /// first), ascending and deduplicated. Buckets keep their
+    /// allocations. Draining a time earlier than the cursor finds
+    /// nothing: taking is destructive.
+    fn drain(&mut self, now: u64, out: &mut Vec<u32>) {
+        out.clear();
+        if now < self.cursor {
+            return;
+        }
+        // Every live entry is within one ring length of the cursor, so
+        // at most `buckets.len()` slots can hold due ids — and a slot
+        // visited for time `t` holds exactly the ids due at `t`.
+        let last = now.min(self.cursor + self.mask());
+        for t in self.cursor..=last {
+            let slot = (t & self.mask()) as usize;
+            out.append(&mut self.buckets[slot]);
+        }
+        while let Some(&Reverse((t, id))) = self.far.peek() {
+            if t > now {
+                break;
+            }
+            self.far.pop();
+            out.push(id);
+        }
+        self.cursor = now + 1;
+        // Migrate far wakeups that the advanced cursor brought inside
+        // the ring horizon, so `push` stays O(1) for the common case.
+        while let Some(&Reverse((t, id))) = self.far.peek() {
+            if t - self.cursor >= self.buckets.len() as u64 {
+                break;
+            }
+            self.far.pop();
+            let slot = (t & self.mask()) as usize;
+            self.buckets[slot].push(id);
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// Time-indexed wakeup wheels for the event-driven kernels.
 ///
 /// A disabled scheduler (scan kernel) accepts and discards every wakeup,
 /// so the firing paths can post events unconditionally.
@@ -54,9 +154,9 @@ pub enum Kernel {
 pub(crate) struct Scheduler {
     enabled: bool,
     /// step → cells to examine at that step.
-    node_wheel: HashMap<u64, Vec<u32>>,
+    node_wheel: Wheel,
     /// step → arcs with acknowledge slots expiring at that step.
-    arc_wheel: HashMap<u64, Vec<u32>>,
+    arc_wheel: Wheel,
 }
 
 impl Scheduler {
@@ -64,16 +164,15 @@ impl Scheduler {
     /// seeded with every cell at step 0 (matching the scan kernel's
     /// first examination); after that, only events schedule work.
     pub(crate) fn new(kernel: Kernel, cells: usize) -> Self {
-        let mut node_wheel = HashMap::new();
-        let enabled = kernel == Kernel::EventDriven;
+        let enabled = matches!(kernel, Kernel::EventDriven | Kernel::ParallelEvent(_));
+        let mut sched =
+            Scheduler { enabled, node_wheel: Wheel::new(0), arc_wheel: Wheel::new(0) };
         if enabled {
-            node_wheel.insert(0, (0..cells as u32).collect::<Vec<_>>());
+            for n in 0..cells as u32 {
+                sched.node_wheel.push(n, 0);
+            }
         }
-        Scheduler {
-            enabled,
-            node_wheel,
-            arc_wheel: HashMap::new(),
-        }
+        sched
     }
 
     /// A scheduler resuming mid-run at step `now` (snapshot restore).
@@ -86,51 +185,54 @@ impl Scheduler {
     /// wakeup invariant. The restore path then re-posts the *future*
     /// wakeups implied by canonical state (in-flight tokens and pending
     /// acknowledges), which is everything the wheels could have held.
-    /// This is what makes a snapshot kernel-neutral: a Scan checkpoint
-    /// resumes on EventDriven (and vice versa) bit-identically.
+    /// This is what makes a snapshot kernel-neutral: a checkpoint taken
+    /// under any kernel resumes under any other bit-identically.
     pub(crate) fn resume(kernel: Kernel, cells: usize, now: u64) -> Self {
-        let mut sched = Self::new(kernel, 0);
-        if sched.enabled {
-            sched.node_wheel.insert(now, (0..cells as u32).collect::<Vec<_>>());
+        let enabled = matches!(kernel, Kernel::EventDriven | Kernel::ParallelEvent(_));
+        let mut sched =
+            Scheduler { enabled, node_wheel: Wheel::new(now), arc_wheel: Wheel::new(now) };
+        if enabled {
+            for n in 0..cells as u32 {
+                sched.node_wheel.push(n, now);
+            }
         }
         sched
     }
 
-    /// Whether the event-driven kernel drives the step loop.
+    /// Whether an event-driven kernel drives the step loop.
+    #[cfg(test)]
     pub(crate) fn is_event_driven(&self) -> bool {
         self.enabled
     }
 
     /// Examine `node` at step `at`. No-op for the scan kernel.
+    #[inline]
     pub(crate) fn wake(&mut self, node: u32, at: u64) {
         if self.enabled {
-            self.node_wheel.entry(at).or_default().push(node);
+            self.node_wheel.push(node, at);
         }
     }
 
     /// Release expired acknowledge slots of `arc` at step `at`.
+    #[inline]
     pub(crate) fn wake_arc(&mut self, arc: u32, at: u64) {
         if self.enabled {
-            self.arc_wheel.entry(at).or_default().push(arc);
+            self.arc_wheel.push(arc, at);
         }
     }
 
-    /// Cells due at `now`, ascending and deduplicated — the scan kernel
-    /// examines cells in index order, and the resource throttle and
-    /// first-error selection depend on that order.
-    pub(crate) fn due_nodes(&mut self, now: u64) -> Vec<u32> {
-        let mut due = self.node_wheel.remove(&now).unwrap_or_default();
-        due.sort_unstable();
-        due.dedup();
-        due
+    /// Drain the cells due at `now` into `out` (cleared first),
+    /// ascending and deduplicated — the scan kernel examines cells in
+    /// index order, and the resource throttle and first-error selection
+    /// depend on that order.
+    pub(crate) fn due_nodes(&mut self, now: u64, out: &mut Vec<u32>) {
+        self.node_wheel.drain(now, out);
     }
 
-    /// Arcs with acknowledge slots expiring at `now`, deduplicated.
-    pub(crate) fn due_arcs(&mut self, now: u64) -> Vec<u32> {
-        let mut due = self.arc_wheel.remove(&now).unwrap_or_default();
-        due.sort_unstable();
-        due.dedup();
-        due
+    /// Drain the arcs with acknowledge slots expiring at `now` into
+    /// `out` (cleared first), ascending and deduplicated.
+    pub(crate) fn due_arcs(&mut self, now: u64, out: &mut Vec<u32>) {
+        self.arc_wheel.drain(now, out);
     }
 }
 
@@ -138,21 +240,40 @@ impl Scheduler {
 mod tests {
     use super::*;
 
+    fn nodes_at(s: &mut Scheduler, now: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        s.due_nodes(now, &mut out);
+        out
+    }
+
+    fn arcs_at(s: &mut Scheduler, now: u64) -> Vec<u32> {
+        let mut out = Vec::new();
+        s.due_arcs(now, &mut out);
+        out
+    }
+
     #[test]
     fn disabled_scheduler_discards_wakeups() {
         let mut s = Scheduler::new(Kernel::Scan, 4);
         assert!(!s.is_event_driven());
         s.wake(1, 5);
         s.wake_arc(2, 5);
-        assert!(s.due_nodes(5).is_empty());
-        assert!(s.due_arcs(5).is_empty());
+        assert!(nodes_at(&mut s, 5).is_empty());
+        assert!(arcs_at(&mut s, 5).is_empty());
     }
 
     #[test]
     fn event_scheduler_seeds_all_cells_at_step_zero() {
         let mut s = Scheduler::new(Kernel::EventDriven, 3);
-        assert_eq!(s.due_nodes(0), vec![0, 1, 2]);
-        assert!(s.due_nodes(0).is_empty(), "taking is destructive");
+        assert_eq!(nodes_at(&mut s, 0), vec![0, 1, 2]);
+        assert!(nodes_at(&mut s, 0).is_empty(), "taking is destructive");
+    }
+
+    #[test]
+    fn parallel_kernel_enables_the_wheels() {
+        let mut s = Scheduler::new(Kernel::ParallelEvent(4), 2);
+        assert!(s.is_event_driven());
+        assert_eq!(nodes_at(&mut s, 0), vec![0, 1]);
     }
 
     #[test]
@@ -162,8 +283,29 @@ mod tests {
         s.wake(2, 3);
         s.wake(7, 3);
         s.wake(1, 4);
-        assert_eq!(s.due_nodes(3), vec![2, 7]);
-        assert_eq!(s.due_nodes(4), vec![1]);
-        assert!(s.due_nodes(5).is_empty());
+        assert_eq!(nodes_at(&mut s, 3), vec![2, 7]);
+        assert_eq!(nodes_at(&mut s, 4), vec![1]);
+        assert!(nodes_at(&mut s, 5).is_empty());
+    }
+
+    #[test]
+    fn far_wakeups_survive_the_ring_horizon() {
+        let mut s = Scheduler::new(Kernel::EventDriven, 0);
+        // Beyond the ring: a freeze-window thaw and a permanent freeze.
+        s.wake(9, WHEEL_SLOTS as u64 + 5);
+        s.wake(4, 1 << 40);
+        for t in 0..WHEEL_SLOTS as u64 + 5 {
+            assert!(nodes_at(&mut s, t).is_empty(), "nothing due at {t}");
+        }
+        assert_eq!(nodes_at(&mut s, WHEEL_SLOTS as u64 + 5), vec![9]);
+        assert_eq!(nodes_at(&mut s, 1 << 40), vec![4], "cursor jump drains the far heap");
+    }
+
+    #[test]
+    fn resume_seeds_at_the_restore_step() {
+        let mut s = Scheduler::resume(Kernel::ParallelEvent(2), 3, 100);
+        s.wake(2, 101);
+        assert_eq!(nodes_at(&mut s, 100), vec![0, 1, 2]);
+        assert_eq!(nodes_at(&mut s, 101), vec![2]);
     }
 }

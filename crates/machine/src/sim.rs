@@ -21,16 +21,18 @@
 //! each step (optionally throttled by a [`ResourceModel`]), and ties are
 //! broken by cell index.
 //!
-//! Two step-loop kernels implement these semantics (see
+//! Three step-loop kernels implement these semantics (see
 //! [`crate::scheduler`]): the legacy [`Kernel::Scan`] loop re-examines
-//! every cell each instruction time, while the default
-//! [`Kernel::EventDriven`] loop examines only cells woken by token,
-//! acknowledge, thaw, or firing events — O(fired + woken) per step instead
-//! of O(cells). Both produce bit-identical [`RunResult`]s.
+//! every cell each instruction time; the default [`Kernel::EventDriven`]
+//! loop examines only cells woken by token, acknowledge, thaw, or firing
+//! events — O(fired + woken) per step instead of O(cells); and
+//! [`Kernel::ParallelEvent`] fires each step's ready set across worker
+//! threads (`par.rs`). All three produce bit-identical [`RunResult`]s.
 //!
 //! Construct runs with [`Simulator::builder`] (see [`crate::session`]).
 
 use std::collections::{HashMap, VecDeque};
+use std::mem;
 
 use valpipe_ir::graph::{Graph, PortBinding};
 use valpipe_ir::opcode::{Opcode, GATE_CTL, GATE_DATA, MERGE_CTL, MERGE_FALSE, MERGE_TRUE};
@@ -429,6 +431,191 @@ impl ArcState {
     }
 }
 
+/// Release the acknowledge slots of `st` that expire at or before
+/// `now`. The list is unordered (injected acknowledge delays can
+/// overtake each other), so filter rather than front-pop.
+#[inline]
+pub(crate) fn release_acks(st: &mut ArcState, now: u64) {
+    let before = st.freeing.len();
+    st.freeing.retain(|&t| t > now);
+    st.acked += (before - st.freeing.len()) as u64;
+}
+
+/// Consume the head token of `st` and start its acknowledge with the
+/// given fault fate. Returns the slot-free time to post wakeups at, if
+/// the acknowledge survives.
+#[inline]
+pub(crate) fn consume_token(st: &mut ArcState, ack_at: u64, fate: AckFate) -> Option<u64> {
+    st.queue.pop_front();
+    st.consumed += 1;
+    match fate {
+        AckFate::Deliver => {
+            st.freeing.push(ack_at);
+            Some(ack_at)
+        }
+        AckFate::Delay(extra) => {
+            st.freeing.push(ack_at + extra);
+            Some(ack_at + extra)
+        }
+        // A lost acknowledge never frees the producer's slot.
+        AckFate::Drop => {
+            st.lost_ack += 1;
+            None
+        }
+    }
+}
+
+/// Launch a result packet onto `st` with the given fault fate. Returns
+/// the delivery time to post the destination's wakeup at, if the packet
+/// survives.
+#[inline]
+pub(crate) fn emit_token(st: &mut ArcState, v: Value, ready: u64, fate: ResultFate) -> Option<u64> {
+    st.sent += 1;
+    match fate {
+        ResultFate::Deliver => {
+            st.queue.push_back((v, ready));
+            Some(ready)
+        }
+        // A dropped result leaves its slot permanently occupied: the
+        // destination never consumes it, so it is never acknowledged.
+        ResultFate::Drop => {
+            st.lost_result += 1;
+            None
+        }
+        // A delayed packet still holds its place in FIFO order, so a
+        // slow packet blocks the ones behind it (head-of-line).
+        ResultFate::Delay(extra) => {
+            st.queue.push_back((v, ready + extra));
+            Some(ready + extra)
+        }
+        ResultFate::Duplicate => {
+            st.queue.push_back((v, ready));
+            // The duplicate is delivered only if the link has a free
+            // slot; capacity is a physical property of the arc and
+            // must hold even under faults.
+            if st.occupied() < st.cap {
+                st.queue.push_back((v, ready));
+                st.sent += 1;
+            }
+            Some(ready)
+        }
+    }
+}
+
+/// Sentinel in [`Cells::sink_slot`]/[`Cells::src_slot`] for cells that
+/// are not sinks/sources.
+pub(crate) const NO_SLOT: u32 = u32::MAX;
+
+/// Per-cell machine state in struct-of-arrays layout, indexed by `u32`
+/// cell id. Sink arrivals and source emission times live in dense slot
+/// vectors (`outputs`/`emit_times`, in cell order) instead of
+/// name-keyed hash maps, so the firing path never hashes a port name;
+/// cells sharing a port name share a slot, which preserves the merged
+/// per-name streams the maps used to hold.
+#[derive(Debug)]
+pub(crate) struct Cells {
+    pub(crate) src_pos: Vec<usize>,
+    pub(crate) src_data: Vec<Option<Vec<Value>>>,
+    pub(crate) ctl_pos: Vec<u64>,
+    pub(crate) fires: Vec<u64>,
+    /// Per-cell gate pass/discard counts (zero for non-gates); feeds the
+    /// gate-accounting invariant and the stall report.
+    pub(crate) gate_passes: Vec<u64>,
+    pub(crate) gate_discards: Vec<u64>,
+    pub(crate) fire_times: Option<Vec<Vec<u64>>>,
+    /// Slot of each sink cell in `outputs` (`NO_SLOT` otherwise).
+    pub(crate) sink_slot: Vec<u32>,
+    /// Slot of each source cell in `emit_times` (`NO_SLOT` otherwise).
+    pub(crate) src_slot: Vec<u32>,
+    /// Per sink port: `(arrival time, value)` packets, in order.
+    pub(crate) outputs: Vec<(String, Vec<(u64, Value)>)>,
+    /// Per source port: the time of each packet emission.
+    pub(crate) emit_times: Vec<(String, Vec<u64>)>,
+}
+
+impl Cells {
+    pub(crate) fn empty(n: usize, record_fire_times: bool) -> Cells {
+        Cells {
+            src_pos: vec![0; n],
+            src_data: vec![None; n],
+            ctl_pos: vec![0; n],
+            fires: vec![0; n],
+            gate_passes: vec![0; n],
+            gate_discards: vec![0; n],
+            fire_times: record_fire_times.then(|| vec![Vec::new(); n]),
+            sink_slot: vec![NO_SLOT; n],
+            src_slot: vec![NO_SLOT; n],
+            outputs: Vec::new(),
+            emit_times: Vec::new(),
+        }
+    }
+
+    /// Slot index for a port name in a slot vector, creating it on
+    /// first sight (cells sharing a name share the slot).
+    pub(crate) fn name_slot<T: Default>(slots: &mut Vec<(String, T)>, name: &str) -> u32 {
+        match slots.iter().position(|(p, _)| p == name) {
+            Some(s) => s as u32,
+            None => {
+                slots.push((name.to_string(), T::default()));
+                (slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Packets delivered + packets emitted so far — the run's progress
+    /// measure, derived rather than stored so a restore can never
+    /// disagree with the canonical state.
+    pub(crate) fn derived_progress(&self) -> u64 {
+        let sunk: u64 = self.outputs.iter().map(|(_, v)| v.len() as u64).sum();
+        let emitted: u64 = self.emit_times.iter().map(|(_, v)| v.len() as u64).sum();
+        sunk + emitted
+    }
+}
+
+/// [`SimConfig::stop_outputs`] precompiled against the sink slots, so
+/// the per-step stopping test never hashes a name.
+#[derive(Debug, Clone)]
+pub(crate) enum StopSlots {
+    /// No output target configured.
+    Inactive,
+    /// A listed port has no sink cell, so the target can never be met
+    /// (the run falls through to quiescence or the step limit, exactly
+    /// like the old name-keyed lookup miss).
+    Never,
+    /// `(slot, count)` targets into [`Cells::outputs`]; the run stops
+    /// once every slot holds at least its count.
+    Watch(Vec<(u32, usize)>),
+}
+
+impl StopSlots {
+    pub(crate) fn compile(stop: &Option<Vec<(String, usize)>>, cells: &Cells) -> StopSlots {
+        let Some(list) = stop else { return StopSlots::Inactive };
+        let mut watch = Vec::with_capacity(list.len());
+        for (name, count) in list {
+            match cells.outputs.iter().position(|(p, _)| p == name) {
+                Some(s) => watch.push((s as u32, *count)),
+                None => return StopSlots::Never,
+            }
+        }
+        StopSlots::Watch(watch)
+    }
+}
+
+/// Per-step buffers reused across the whole run so the hot loop never
+/// reallocates: due lists, fire plans, thaw/throttle lists, the
+/// resource budget, and the parallel kernel's per-worker buffers. Not
+/// part of canonical machine state (never snapshotted).
+#[derive(Debug, Default)]
+pub(crate) struct StepScratch {
+    pub(crate) due_nodes: Vec<u32>,
+    pub(crate) due_arcs: Vec<u32>,
+    pub(crate) plans: Vec<(u32, FirePlan)>,
+    pub(crate) thawing: Vec<(u32, u64)>,
+    pub(crate) throttled: Vec<u32>,
+    pub(crate) budget: Vec<u32>,
+    pub(crate) bufs: Vec<crate::par::WorkerBuf>,
+}
+
 enum Operand {
     FromArc(ArcId, Value),
     Literal(Value),
@@ -450,14 +637,9 @@ pub struct Simulator<'g> {
     pub(crate) g: &'g Graph,
     pub(crate) cfg: SimConfig,
     pub(crate) arcs: Vec<ArcState>,
-    pub(crate) src_pos: Vec<usize>,
-    pub(crate) src_data: Vec<Option<Vec<Value>>>,
-    pub(crate) ctl_pos: Vec<u64>,
+    /// Per-cell state, struct-of-arrays by `u32` cell id.
+    pub(crate) cells: Cells,
     pub(crate) now: u64,
-    pub(crate) fires: Vec<u64>,
-    pub(crate) fire_times: Option<Vec<Vec<u64>>>,
-    pub(crate) outputs: HashMap<String, Vec<(u64, Value)>>,
-    pub(crate) source_emit_times: HashMap<String, Vec<u64>>,
     pub(crate) fwd_delay: Vec<u64>,
     pub(crate) ack_delay: Vec<u64>,
     pub(crate) am_fires: u64,
@@ -466,12 +648,10 @@ pub struct Simulator<'g> {
     /// given plan is empty, so the empty plan shares the exact fault-free
     /// code path (bit-identical runs).
     pub(crate) fault: Option<FaultPlan>,
-    /// Per-cell gate pass/discard counts (zero for non-gates); feeds the
-    /// gate-accounting invariant and the stall report.
-    pub(crate) gate_passes: Vec<u64>,
-    pub(crate) gate_discards: Vec<u64>,
     /// Wakeup wheels (inert for the scan kernel).
     pub(crate) sched: Scheduler,
+    /// `stop_outputs` precompiled to sink slots.
+    pub(crate) stop_slots: StopSlots,
     /// Source emissions + sink arrivals so far — maintained incrementally
     /// so the watchdog's progress probe is O(1) per step.
     pub(crate) progress: u64,
@@ -482,6 +662,11 @@ pub struct Simulator<'g> {
     /// Watchdog progress bookkeeping; on the machine for the same reason
     /// as `idle`, and so manual stepping and `run` observe identically.
     pub(crate) tracker: ProgressTracker,
+    /// Reusable per-step buffers (not machine state, never snapshotted).
+    pub(crate) scratch: StepScratch,
+    /// Lazily created worker pool for [`Kernel::ParallelEvent`]; `None`
+    /// until the first parallel-phased step.
+    pub(crate) pool: Option<crate::par::Pool>,
 }
 
 impl<'g> Simulator<'g> {
@@ -508,9 +693,7 @@ impl<'g> Simulator<'g> {
         cfg: SimConfig,
     ) -> Result<Self, SimError> {
         let n = g.nodes.len();
-        let mut src_data = vec![None; n];
-        let mut outputs = HashMap::new();
-        let mut source_emit_times = HashMap::new();
+        let mut cells = Cells::empty(n, cfg.record_fire_times);
         for (i, node) in g.nodes.iter().enumerate() {
             match &node.op {
                 Opcode::Fifo(_) => return Err(SimError::UnexpandedFifo(i)),
@@ -518,11 +701,11 @@ impl<'g> Simulator<'g> {
                     let data = inputs
                         .get(name)
                         .ok_or_else(|| SimError::MissingInput(name.clone()))?;
-                    src_data[i] = Some(data.to_vec());
-                    source_emit_times.insert(name.clone(), Vec::new());
+                    cells.src_data[i] = Some(data.to_vec());
+                    cells.src_slot[i] = Cells::name_slot(&mut cells.emit_times, name);
                 }
                 Opcode::Sink(name) => {
-                    outputs.insert(name.clone(), Vec::new());
+                    cells.sink_slot[i] = Cells::name_slot(&mut cells.outputs, name);
                 }
                 _ => {}
             }
@@ -578,31 +761,26 @@ impl<'g> Simulator<'g> {
             )));
         }
         let fault = cfg.fault_plan.clone().filter(|p| !p.is_empty());
-        let fire_times = cfg.record_fire_times.then(|| vec![Vec::new(); n]);
         let sched = Scheduler::new(cfg.kernel, n);
+        let stop_slots = StopSlots::compile(&cfg.stop_outputs, &cells);
         Ok(Simulator {
             g,
             cfg,
             arcs,
-            src_pos: vec![0; n],
-            src_data,
-            ctl_pos: vec![0; n],
+            cells,
             now: 0,
-            fires: vec![0; n],
-            fire_times,
-            outputs,
-            source_emit_times,
             fwd_delay,
             ack_delay,
             am_fires: 0,
             fu_fires: 0,
             fault,
-            gate_passes: vec![0; n],
-            gate_discards: vec![0; n],
             sched,
+            stop_slots,
             progress: 0,
             idle: 0,
             tracker: ProgressTracker::new(0),
+            scratch: StepScratch::default(),
+            pool: None,
         })
     }
 
@@ -706,18 +884,18 @@ impl<'g> Simulator<'g> {
                 if !self.outputs_free(n) {
                     return Ok(None);
                 }
-                Some(FirePlan::new().emit(Value::Bool(stream.at(self.ctl_pos[n.idx()]))))
+                Some(FirePlan::new().emit(Value::Bool(stream.at(self.cells.ctl_pos[n.idx()]))))
             }
             Opcode::IdxGen { lo, hi } => {
                 if !self.outputs_free(n) {
                     return Ok(None);
                 }
                 let len = (hi - lo + 1) as u64;
-                let v = lo + (self.ctl_pos[n.idx()] % len) as i64;
+                let v = lo + (self.cells.ctl_pos[n.idx()] % len) as i64;
                 Some(FirePlan::new().emit(Value::Int(v)))
             }
             Opcode::Source(_) => {
-                let data = self.src_data[n.idx()].as_ref().unwrap_or_else(|| {
+                let data = self.cells.src_data[n.idx()].as_ref().unwrap_or_else(|| {
                     panic!(
                         "cell {} ({}): source data unbound at step {} despite construction check",
                         n.idx(),
@@ -725,10 +903,10 @@ impl<'g> Simulator<'g> {
                         self.now
                     )
                 });
-                if self.src_pos[n.idx()] >= data.len() || !self.outputs_free(n) {
+                if self.cells.src_pos[n.idx()] >= data.len() || !self.outputs_free(n) {
                     return Ok(None);
                 }
-                Some(FirePlan::new().emit(data[self.src_pos[n.idx()]]))
+                Some(FirePlan::new().emit(data[self.cells.src_pos[n.idx()]]))
             }
             Opcode::Sink(_) => {
                 let Some(a) = self.operand(n, 0) else { return Ok(None) };
@@ -749,126 +927,83 @@ impl<'g> Simulator<'g> {
             None => ResultFate::Deliver,
         };
         let dst = self.g.arcs[a.idx()].dst.idx() as u32;
-        let st = &mut self.arcs[a.idx()];
-        st.sent += 1;
-        let deliver_at = match fate {
-            ResultFate::Deliver => {
-                st.queue.push_back((v, ready));
-                Some(ready)
-            }
-            // A dropped result leaves its slot permanently occupied: the
-            // destination never consumes it, so it is never acknowledged.
-            ResultFate::Drop => {
-                st.lost_result += 1;
-                None
-            }
-            // A delayed packet still holds its place in FIFO order, so a
-            // slow packet blocks the ones behind it (head-of-line).
-            ResultFate::Delay(extra) => {
-                st.queue.push_back((v, ready + extra));
-                Some(ready + extra)
-            }
-            ResultFate::Duplicate => {
-                st.queue.push_back((v, ready));
-                // The duplicate is delivered only if the link has a free
-                // slot; capacity is a physical property of the arc and
-                // must hold even under faults.
-                if st.occupied() < st.cap {
-                    st.queue.push_back((v, ready));
-                    st.sent += 1;
-                }
-                Some(ready)
-            }
-        };
-        if let Some(t) = deliver_at {
+        if let Some(t) = emit_token(&mut self.arcs[a.idx()], v, ready, fate) {
             self.sched.wake(dst, t);
         }
     }
 
-    fn fire(&mut self, n: NodeId, plan: FirePlan) {
+    /// Per-cell effects of one firing: gate accounting, sink/source/
+    /// control-generator cursors, fire counters, and fire-time
+    /// recording. Returns the value to launch on the cell's output
+    /// arcs, if any. Shared verbatim by the sequential kernels (inside
+    /// [`Self::fire`]) and the parallel kernel's sequential merge — arc
+    /// mutations stay with the caller, which is what lets the parallel
+    /// kernel partition them by arc ownership (see DESIGN.md §11).
+    pub(crate) fn note_fire(&mut self, n: NodeId, plan: &FirePlan) -> Option<Value> {
         let now = self.now;
-        for arc in plan.consume {
-            let ack_at = now + self.ack_delay[arc.idx()];
-            let fate = match &self.fault {
-                Some(f) => f.ack_fate(arc.idx(), now),
-                None => AckFate::Deliver,
-            };
-            let src = self.g.arcs[arc.idx()].src.idx() as u32;
-            let st = &mut self.arcs[arc.idx()];
-            st.queue.pop_front();
-            st.consumed += 1;
-            let free_at = match fate {
-                AckFate::Deliver => {
-                    st.freeing.push(ack_at);
-                    Some(ack_at)
-                }
-                AckFate::Delay(extra) => {
-                    st.freeing.push(ack_at + extra);
-                    Some(ack_at + extra)
-                }
-                // A lost acknowledge never frees the producer's slot.
-                AckFate::Drop => {
-                    st.lost_ack += 1;
-                    None
-                }
-            };
-            if let Some(t) = free_at {
-                // The freed slot re-enables the arc's producer.
-                self.sched.wake_arc(arc.idx() as u32, t);
-                self.sched.wake(src, t);
-            }
-        }
-        let node = &self.g.nodes[n.idx()];
+        let i = n.idx();
+        let node = &self.g.nodes[i];
         if matches!(node.op, Opcode::TGate | Opcode::FGate) {
             if plan.emit.is_some() {
-                self.gate_passes[n.idx()] += 1;
+                self.cells.gate_passes[i] += 1;
             } else {
-                self.gate_discards[n.idx()] += 1;
+                self.cells.gate_discards[i] += 1;
             }
         }
+        let mut launch = None;
         if let Some(v) = plan.emit {
             match &node.op {
-                Opcode::Sink(name) => {
-                    let sink = self.outputs.get_mut(name).unwrap_or_else(|| {
-                        panic!("cell {} ({name}): sink port vanished at step {now}", n.idx())
-                    });
-                    sink.push((now, v));
+                Opcode::Sink(_) => {
+                    // "emit" records to the sink; nothing is launched.
+                    self.cells.outputs[self.cells.sink_slot[i] as usize].1.push((now, v));
                     self.progress += 1;
                 }
-                Opcode::Source(name) => {
-                    self.src_pos[n.idx()] += 1;
-                    let times = self.source_emit_times.get_mut(name).unwrap_or_else(|| {
-                        panic!("cell {} ({name}): source port vanished at step {now}", n.idx())
-                    });
-                    times.push(now);
+                Opcode::Source(_) => {
+                    self.cells.src_pos[i] += 1;
+                    self.cells.emit_times[self.cells.src_slot[i] as usize].1.push(now);
                     self.progress += 1;
-                    for &a in &node.outputs {
-                        self.emit_on(a, v);
-                    }
+                    launch = Some(v);
                 }
                 Opcode::CtlGen(_) | Opcode::IdxGen { .. } => {
-                    self.ctl_pos[n.idx()] += 1;
-                    for &a in &node.outputs {
-                        self.emit_on(a, v);
-                    }
+                    self.cells.ctl_pos[i] += 1;
+                    launch = Some(v);
                 }
-                _ => {
-                    for &a in &node.outputs {
-                        self.emit_on(a, v);
-                    }
-                }
+                _ => launch = Some(v),
             }
         }
-        self.fires[n.idx()] += 1;
-        let node = &self.g.nodes[n.idx()];
+        self.cells.fires[i] += 1;
         if node.op.is_array_memory() {
             self.am_fires += 1;
         }
         if node.op.is_function_unit() {
             self.fu_fires += 1;
         }
-        if let Some(ft) = &mut self.fire_times {
-            ft[n.idx()].push(now);
+        if let Some(ft) = &mut self.cells.fire_times {
+            ft[i].push(now);
+        }
+        launch
+    }
+
+    fn fire(&mut self, n: NodeId, plan: FirePlan) {
+        let now = self.now;
+        for arc in plan.consumes() {
+            let fate = match &self.fault {
+                Some(f) => f.ack_fate(arc.idx(), now),
+                None => AckFate::Deliver,
+            };
+            let src = self.g.arcs[arc.idx()].src.idx() as u32;
+            let ack_at = now + self.ack_delay[arc.idx()];
+            if let Some(t) = consume_token(&mut self.arcs[arc.idx()], ack_at, fate) {
+                // The freed slot re-enables the arc's producer.
+                self.sched.wake_arc(arc.idx() as u32, t);
+                self.sched.wake(src, t);
+            }
+        }
+        if let Some(v) = self.note_fire(n, &plan) {
+            let g = self.g;
+            for &a in &g.nodes[n.idx()].outputs {
+                self.emit_on(a, v);
+            }
         }
         // A fired cell may be enabled again immediately (buffered output
         // arcs, queued operands); re-examine it next step.
@@ -877,10 +1012,10 @@ impl<'g> Simulator<'g> {
 
     /// Advance one instruction time. Returns how many cells fired.
     pub fn step(&mut self) -> Result<usize, SimError> {
-        let fired = if self.sched.is_event_driven() {
-            self.step_event()?
-        } else {
-            self.step_scan()?
+        let fired = match self.cfg.kernel {
+            Kernel::Scan => self.step_scan()?,
+            Kernel::EventDriven => self.step_event()?,
+            Kernel::ParallelEvent(w) => self.step_parallel(w)?,
         };
         // Progress/idle bookkeeping happens here — not in `run` — so
         // manual stepping, `run`, and a checkpoint-restored machine all
@@ -894,19 +1029,107 @@ impl<'g> Simulator<'g> {
         Ok(fired)
     }
 
+    /// Plan every cell of `due` (ascending cell ids): frozen cells are
+    /// deferred into `thaw` with their wake time, enabled cells append
+    /// to `plans`. Read-only on the machine — shared by the sequential
+    /// event step and each parallel planning worker.
+    pub(crate) fn plan_due(
+        &self,
+        due: &[u32],
+        plans: &mut Vec<(u32, FirePlan)>,
+        thaw: &mut Vec<(u32, u64)>,
+    ) -> Result<(), SimError> {
+        let now = self.now;
+        for &nid in due {
+            if let Some(f) = &self.fault {
+                if f.frozen(nid as usize, now) {
+                    thaw.push((nid, f.thaw_time(nid as usize, now)));
+                    continue;
+                }
+            }
+            if let Some(p) = self.plan(NodeId(nid))? {
+                plans.push((nid, p));
+            }
+        }
+        Ok(())
+    }
+
+    /// Contention throttling over the planned firings (in cell order).
+    /// A throttled cell is still enabled and must be re-examined next
+    /// step; the wakeup is a no-op for the scan kernel, which re-scans
+    /// everything anyway.
+    pub(crate) fn apply_throttle(&mut self, plans: &mut Vec<(u32, FirePlan)>) {
+        let Some(res) = &self.cfg.resources else { return };
+        let mut budget = mem::take(&mut self.scratch.budget);
+        budget.clear();
+        budget.extend_from_slice(&res.capacity);
+        let mut throttled = mem::take(&mut self.scratch.throttled);
+        throttled.clear();
+        plans.retain(|&(nid, _)| {
+            let u = res.unit_of[nid as usize] as usize;
+            if budget[u] > 0 {
+                budget[u] -= 1;
+                true
+            } else {
+                throttled.push(nid);
+                false
+            }
+        });
+        let now = self.now;
+        for &nid in &throttled {
+            self.sched.wake(nid, now + 1);
+        }
+        self.scratch.budget = budget;
+        self.scratch.throttled = throttled;
+    }
+
+    /// The body of one event-driven instruction time over an already
+    /// drained ready set: release due acknowledges, plan, post thaw
+    /// wakeups, throttle, fire. Used by [`Kernel::EventDriven`] and by
+    /// [`Kernel::ParallelEvent`] when the tick is too small to be worth
+    /// fanning out (the results do not depend on which path ran).
+    pub(crate) fn step_ready(&mut self, due: &[u32], due_arcs: &[u32]) -> Result<usize, SimError> {
+        let now = self.now;
+        // Release exactly the acknowledge slots scheduled to expire now;
+        // arcs without due slots hold only future times, so skipping them
+        // leaves the same state the full scan would.
+        for &arc in due_arcs {
+            release_acks(&mut self.arcs[arc as usize], now);
+        }
+        // Examine woken cells in index order (the scan order, which the
+        // resource throttle and first-error selection depend on). A plan
+        // error propagates before the thaw wakeups are posted and before
+        // anything fires — planning has no side effects, so the machine
+        // state is exactly the sequential error state.
+        let mut plans = mem::take(&mut self.scratch.plans);
+        let mut thaw = mem::take(&mut self.scratch.thawing);
+        plans.clear();
+        thaw.clear();
+        self.plan_due(due, &mut plans, &mut thaw)?;
+        for &(nid, at) in &thaw {
+            self.sched.wake(nid, at);
+        }
+        self.apply_throttle(&mut plans);
+        let count = plans.len();
+        for &(nid, plan) in &plans {
+            self.fire(NodeId(nid), plan);
+        }
+        self.scratch.plans = plans;
+        self.scratch.thawing = thaw;
+        self.now += 1;
+        Ok(count)
+    }
+
     /// The legacy O(cells) step: re-scan every cell.
     fn step_scan(&mut self) -> Result<usize, SimError> {
-        // Release acknowledged slots. The list is unordered (injected
-        // acknowledge delays can overtake each other), so filter rather
-        // than front-pop.
         let now = self.now;
         for st in &mut self.arcs {
-            let before = st.freeing.len();
-            st.freeing.retain(|&t| t > now);
-            st.acked += (before - st.freeing.len()) as u64;
+            release_acks(st, now);
         }
-        // Snapshot-enabled cells.
-        let mut plans: Vec<(NodeId, FirePlan)> = Vec::new();
+        // Snapshot-enabled cells. Frozen cells need no thaw wakeup: the
+        // scan re-examines everything every step.
+        let mut plans = mem::take(&mut self.scratch.plans);
+        plans.clear();
         for n in self.g.node_ids() {
             if let Some(f) = &self.fault {
                 if f.frozen(n.idx(), now) {
@@ -914,26 +1137,15 @@ impl<'g> Simulator<'g> {
                 }
             }
             if let Some(p) = self.plan(n)? {
-                plans.push((n, p));
+                plans.push((n.idx() as u32, p));
             }
         }
-        // Contention throttling.
-        if let Some(res) = &self.cfg.resources {
-            let mut budget = res.capacity.clone();
-            plans.retain(|(n, _)| {
-                let u = res.unit_of[n.idx()] as usize;
-                if budget[u] > 0 {
-                    budget[u] -= 1;
-                    true
-                } else {
-                    false
-                }
-            });
-        }
+        self.apply_throttle(&mut plans);
         let count = plans.len();
-        for (n, p) in plans {
-            self.fire(n, p);
+        for &(nid, plan) in &plans {
+            self.fire(NodeId(nid), plan);
         }
+        self.scratch.plans = plans;
         self.now += 1;
         Ok(count)
     }
@@ -942,67 +1154,22 @@ impl<'g> Simulator<'g> {
     /// pending wakeup (see [`crate::scheduler`] for the invariant).
     fn step_event(&mut self) -> Result<usize, SimError> {
         let now = self.now;
-        // Release exactly the acknowledge slots scheduled to expire now;
-        // arcs without due slots hold only future times, so skipping them
-        // leaves the same state the full scan would.
-        for arc in self.sched.due_arcs(now) {
-            let st = &mut self.arcs[arc as usize];
-            let before = st.freeing.len();
-            st.freeing.retain(|&t| t > now);
-            st.acked += (before - st.freeing.len()) as u64;
-        }
-        // Examine woken cells in index order (the scan order, which the
-        // resource throttle and first-error selection depend on).
-        let due = self.sched.due_nodes(now);
-        let mut plans: Vec<(NodeId, FirePlan)> = Vec::new();
-        let mut thawing: Vec<(u32, u64)> = Vec::new();
-        for nid in due {
-            if let Some(f) = &self.fault {
-                if f.frozen(nid as usize, now) {
-                    thawing.push((nid, f.thaw_time(nid as usize, now)));
-                    continue;
-                }
-            }
-            if let Some(p) = self.plan(NodeId(nid))? {
-                plans.push((NodeId(nid), p));
-            }
-        }
-        for (nid, at) in thawing {
-            self.sched.wake(nid, at);
-        }
-        // Contention throttling; a throttled cell is still enabled and
-        // must be re-examined next step.
-        let mut throttled: Vec<u32> = Vec::new();
-        if let Some(res) = &self.cfg.resources {
-            let mut budget = res.capacity.clone();
-            plans.retain(|(n, _)| {
-                let u = res.unit_of[n.idx()] as usize;
-                if budget[u] > 0 {
-                    budget[u] -= 1;
-                    true
-                } else {
-                    throttled.push(n.idx() as u32);
-                    false
-                }
-            });
-        }
-        for nid in throttled {
-            self.sched.wake(nid, now + 1);
-        }
-        let count = plans.len();
-        for (n, p) in plans {
-            self.fire(n, p);
-        }
-        self.now += 1;
-        Ok(count)
+        let mut due = mem::take(&mut self.scratch.due_nodes);
+        let mut due_arcs = mem::take(&mut self.scratch.due_arcs);
+        self.sched.due_arcs(now, &mut due_arcs);
+        self.sched.due_nodes(now, &mut due);
+        let r = self.step_ready(&due, &due_arcs);
+        self.scratch.due_nodes = due;
+        self.scratch.due_arcs = due_arcs;
+        r
     }
 
     fn outputs_reached(&self) -> bool {
-        match &self.cfg.stop_outputs {
-            None => false,
-            Some(list) => list
+        match &self.stop_slots {
+            StopSlots::Inactive | StopSlots::Never => false,
+            StopSlots::Watch(list) => list
                 .iter()
-                .all(|(name, count)| self.outputs.get(name).is_some_and(|v| v.len() >= *count)),
+                .all(|&(slot, count)| self.cells.outputs[slot as usize].1.len() >= count),
         }
     }
 
@@ -1108,8 +1275,8 @@ impl<'g> Simulator<'g> {
         let sources_exhausted = self
             .g
             .node_ids()
-            .all(|n| match &self.src_data[n.idx()] {
-                Some(d) => self.src_pos[n.idx()] >= d.len(),
+            .all(|n| match &self.cells.src_data[n.idx()] {
+                Some(d) => self.cells.src_pos[n.idx()] >= d.len(),
                 None => true,
             });
         if stop == StopReason::Quiescent && !sources_exhausted {
@@ -1119,9 +1286,7 @@ impl<'g> Simulator<'g> {
             // Complete any in-flight acknowledges before the final audit.
             let now = self.now;
             for st in &mut self.arcs {
-                let before = st.freeing.len();
-                st.freeing.retain(|&t| t > now);
-                st.acked += (before - st.freeing.len()) as u64;
+                release_acks(st, now);
             }
             self.check_invariants()?;
             if stop == StopReason::Quiescent && sources_exhausted && self.fault.is_none() {
@@ -1141,20 +1306,23 @@ impl<'g> Simulator<'g> {
                 }
             }
         }
-        let total_fires = self.fires.iter().sum();
+        let total_fires = self.cells.fires.iter().sum();
         let stall_report = stall_kind
             .map(|kind| self.build_stall_report(kind, self.tracker.fires_since_progress()));
+        // Slot names are unique (cells sharing a port share a slot), so
+        // collecting into the result maps loses nothing.
+        let Cells { fires, fire_times, outputs, emit_times, .. } = self.cells;
         Ok(RunResult {
             steps: self.now,
             stop,
-            outputs: self.outputs,
-            fires: self.fires,
-            source_emit_times: self.source_emit_times,
+            outputs: outputs.into_iter().collect(),
+            fires,
+            source_emit_times: emit_times.into_iter().collect(),
             sources_exhausted,
             total_fires,
             am_fires: self.am_fires,
             fu_fires: self.fu_fires,
-            fire_times: self.fire_times,
+            fire_times,
             stall_report,
         })
     }
@@ -1283,15 +1451,15 @@ impl<'g> Simulator<'g> {
         for n in self.g.node_ids() {
             let node = &self.g.nodes[n.idx()];
             if matches!(node.op, Opcode::TGate | Opcode::FGate) {
-                let (p, d) = (self.gate_passes[n.idx()], self.gate_discards[n.idx()]);
-                if p + d != self.fires[n.idx()] {
+                let (p, d) = (self.cells.gate_passes[n.idx()], self.cells.gate_discards[n.idx()]);
+                if p + d != self.cells.fires[n.idx()] {
                     return Err(MachineError::InvariantViolation {
                         step,
                         detail: format!(
                             "gate accounting broken on cell {} ({}): {} firings != {} passes + {} discards",
                             n.idx(),
                             node.label,
-                            self.fires[n.idx()],
+                            self.cells.fires[n.idx()],
                             p,
                             d
                         ),
@@ -1303,17 +1471,20 @@ impl<'g> Simulator<'g> {
     }
 }
 
-struct FirePlan {
-    consume: Vec<ArcId>,
-    emit: Option<Value>,
+/// What a planned firing does: which input arcs it consumes (at most
+/// two — the widest opcode arity that consumes, `Merge`, takes control
+/// plus one selected data operand) and the value it emits, if any.
+/// `Copy` with inline consume slots, so the per-step plan buffers never
+/// allocate.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FirePlan {
+    pub(crate) consume: [Option<ArcId>; 2],
+    pub(crate) emit: Option<Value>,
 }
 
 impl FirePlan {
     fn new() -> Self {
-        FirePlan {
-            consume: Vec::new(),
-            emit: None,
-        }
+        FirePlan { consume: [None; 2], emit: None }
     }
     fn consume1(a: Operand) -> Self {
         let mut p = Self::new();
@@ -1328,12 +1499,34 @@ impl FirePlan {
     }
     fn push(&mut self, op: Operand) {
         if let Operand::FromArc(a, _) = op {
-            self.consume.push(a);
+            if self.consume[0].is_none() {
+                self.consume[0] = Some(a);
+            } else {
+                debug_assert!(self.consume[1].is_none(), "an opcode consumes at most two arcs");
+                self.consume[1] = Some(a);
+            }
         }
     }
     fn emit(mut self, v: Value) -> Self {
         self.emit = Some(v);
         self
+    }
+    /// The consumed arcs, in operand-port order.
+    pub(crate) fn consumes(&self) -> impl Iterator<Item = ArcId> + '_ {
+        self.consume.iter().flatten().copied()
+    }
+}
+
+/// The value a planned firing launches on its output arcs, if any —
+/// [`Simulator::note_fire`]'s return value, derivable without touching
+/// any per-cell state: only sinks swallow their emitted value. This is
+/// what lets the parallel fire phase apply arc effects for plans whose
+/// cells belong to other workers.
+pub(crate) fn launch_value(g: &Graph, nid: u32, plan: &FirePlan) -> Option<Value> {
+    if matches!(g.nodes[nid as usize].op, Opcode::Sink(_)) {
+        None
+    } else {
+        plan.emit
     }
 }
 

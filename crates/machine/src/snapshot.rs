@@ -47,7 +47,7 @@ use valpipe_util::checksum64;
 use crate::fault::{CellFreeze, FaultPlan, LinkFault};
 use crate::scheduler::{Kernel, Scheduler};
 use crate::session::SimConfig;
-use crate::sim::{ArcDelays, ArcState, ResourceModel, Simulator};
+use crate::sim::{ArcDelays, ArcState, Cells, ResourceModel, Simulator, StepScratch, StopSlots};
 use crate::watchdog::{ProgressTracker, WatchdogConfig};
 
 /// Leading bytes of every snapshot file.
@@ -203,15 +203,20 @@ impl Snapshot {
 
         let n = sim.g.nodes.len();
         w.u64(n as u64);
-        for &p in &sim.src_pos {
+        for &p in &sim.cells.src_pos {
             w.u64(p as u64);
         }
-        for v in [&sim.ctl_pos, &sim.fires, &sim.gate_passes, &sim.gate_discards] {
+        for v in [
+            &sim.cells.ctl_pos,
+            &sim.cells.fires,
+            &sim.cells.gate_passes,
+            &sim.cells.gate_discards,
+        ] {
             for &x in v.iter() {
                 w.u64(x);
             }
         }
-        for d in &sim.src_data {
+        for d in &sim.cells.src_data {
             w.opt(d.as_ref(), |w, data| {
                 w.u64(data.len() as u64);
                 for v in data.iter() {
@@ -219,7 +224,7 @@ impl Snapshot {
                 }
             });
         }
-        w.opt(sim.fire_times.as_ref(), |w, ft| {
+        w.opt(sim.cells.fire_times.as_ref(), |w, ft| {
             for times in ft.iter() {
                 w.u64(times.len() as u64);
                 for &t in times.iter() {
@@ -228,8 +233,10 @@ impl Snapshot {
             }
         });
 
-        let mut sinks: Vec<_> = sim.outputs.iter().collect();
-        sinks.sort_by(|a, b| a.0.cmp(b.0));
+        // Port slots serialize in sorted-name order — the same bytes the
+        // name-keyed maps produced before the slot layout.
+        let mut sinks: Vec<_> = sim.cells.outputs.iter().collect();
+        sinks.sort_by(|a, b| a.0.cmp(&b.0));
         w.u64(sinks.len() as u64);
         for (name, packets) in sinks {
             w.string(name);
@@ -239,8 +246,8 @@ impl Snapshot {
                 w.value(v);
             }
         }
-        let mut sources: Vec<_> = sim.source_emit_times.iter().collect();
-        sources.sort_by(|a, b| a.0.cmp(b.0));
+        let mut sources: Vec<_> = sim.cells.emit_times.iter().collect();
+        sources.sort_by(|a, b| a.0.cmp(&b.0));
         w.u64(sources.len() as u64);
         for (name, times) in sources {
             w.string(name);
@@ -442,31 +449,58 @@ impl Snapshot {
             }
         }
 
+        // Scatter the name-keyed payload maps into the dense slot
+        // layout, assigning slots by the same graph walk `with_config`
+        // uses so slot numbering matches a from-scratch build.
+        let mut cells = Cells::empty(n, cfg.record_fire_times);
+        cells.src_pos = src_pos;
+        cells.src_data = src_data;
+        cells.ctl_pos = ctl_pos;
+        cells.fires = fires;
+        cells.gate_passes = gate_passes;
+        cells.gate_discards = gate_discards;
+        cells.fire_times = fire_times;
+        for (i, node) in g.nodes.iter().enumerate() {
+            match &node.op {
+                Opcode::Source(name) => {
+                    let s = Cells::name_slot(&mut cells.emit_times, name);
+                    cells.src_slot[i] = s;
+                    if let Some(times) = source_emit_times.remove(name) {
+                        cells.emit_times[s as usize].1 = times;
+                    }
+                }
+                Opcode::Sink(name) => {
+                    let s = Cells::name_slot(&mut cells.outputs, name);
+                    cells.sink_slot[i] = s;
+                    if let Some(packets) = outputs.remove(name) {
+                        cells.outputs[s as usize].1 = packets;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let stop_slots = StopSlots::compile(&cfg.stop_outputs, &cells);
+
         Ok(Simulator {
             g,
             cfg,
             arcs,
-            src_pos,
-            src_data,
-            ctl_pos,
+            cells,
             now,
-            fires,
-            fire_times,
-            outputs,
-            source_emit_times,
             fwd_delay,
             ack_delay,
             am_fires,
             fu_fires,
             fault,
-            gate_passes,
-            gate_discards,
             sched,
+            stop_slots,
             // Progress is definitionally the packets that visibly moved:
             // derived from the serialized histories, never stored.
             progress: 0,
             idle,
             tracker,
+            scratch: StepScratch::default(),
+            pool: None,
         }
         .with_derived_progress())
     }
@@ -474,8 +508,7 @@ impl Snapshot {
 
 impl<'g> Simulator<'g> {
     fn with_derived_progress(mut self) -> Self {
-        self.progress = self.outputs.values().map(|v| v.len() as u64).sum::<u64>()
-            + self.source_emit_times.values().map(|v| v.len() as u64).sum::<u64>();
+        self.progress = self.cells.derived_progress();
         self
     }
 }

@@ -1,11 +1,14 @@
-//! Kernel equivalence: the event-driven scheduler must reproduce the
-//! scan kernel's `RunResult` *bit for bit* — same step count, same stop
-//! reason, same output packets at the same instruction times, same
-//! per-cell fire counts — on every regime the simulator supports:
-//! clean pipelines, feedback loops, gates and merges, fault plans
-//! (drops, duplicates, delays, freezes, link faults), resource
+//! Kernel equivalence: the event-driven and parallel kernels must
+//! reproduce the scan kernel's `RunResult` *bit for bit* — same step
+//! count, same stop reason, same output packets at the same instruction
+//! times, same per-cell fire counts — on every regime the simulator
+//! supports: clean pipelines, feedback loops, gates and merges, fault
+//! plans (drops, duplicates, delays, freezes, link faults), resource
 //! throttling, watchdog stalls, arc capacities, link latencies, and
-//! early stop conditions.
+//! early stop conditions. `ParallelEvent` is exercised at 1, 2, and 4
+//! workers; wide-graph tests push enough cells per tick to engage the
+//! phased multi-worker path rather than its small-tick sequential
+//! fallback.
 //!
 //! `RunResult` derives `PartialEq`, so each test is a single whole-run
 //! comparison — nothing is projected out, nothing can drift silently.
@@ -26,7 +29,16 @@ fn ramp(n: usize) -> Vec<f64> {
     (0..n).map(|i| i as f64).collect()
 }
 
-/// Run the same program under both kernels and assert whole-run equality.
+/// Every kernel the simulator ships, in one sweep.
+const ALL_KERNELS: [Kernel; 5] = [
+    Kernel::Scan,
+    Kernel::EventDriven,
+    Kernel::ParallelEvent(1),
+    Kernel::ParallelEvent(2),
+    Kernel::ParallelEvent(4),
+];
+
+/// Run the same program under every kernel and assert whole-run equality.
 fn assert_equivalent(g: &Graph, inputs: &ProgramInputs, cfg: SimConfig) -> RunResult {
     let run = |kernel: Kernel| {
         Simulator::builder(g)
@@ -36,9 +48,11 @@ fn assert_equivalent(g: &Graph, inputs: &ProgramInputs, cfg: SimConfig) -> RunRe
             .unwrap()
     };
     let scan = run(Kernel::Scan);
-    let event = run(Kernel::EventDriven);
-    assert_eq!(scan, event, "kernels must agree bit-for-bit");
-    event
+    for kernel in &ALL_KERNELS[1..] {
+        let other = run(*kernel);
+        assert_eq!(scan, other, "{kernel:?} must agree with Scan bit-for-bit");
+    }
+    scan
 }
 
 /// Fig. 2 regime: an acknowledged identity chain.
@@ -273,6 +287,119 @@ fn stop_outputs_and_max_steps_match() {
     let r = assert_equivalent(&g, &inputs, SimConfig::new().max_steps(37));
     assert_eq!(r.stop, StopReason::MaxSteps);
     assert_eq!(r.steps, 37);
+}
+
+/// A wide program — `chains` independent pipelines side by side — so a
+/// steady-state tick has hundreds of cells due and the parallel kernel
+/// takes its phased multi-worker path instead of the small-tick
+/// sequential fallback.
+fn wide(chains: usize, stages: usize) -> (Graph, ProgramInputs) {
+    let mut g = Graph::new();
+    let mut inputs = ProgramInputs::new();
+    for c in 0..chains {
+        let name = format!("a{c}");
+        let a = g.add_node(Opcode::Source(name.clone()), &name);
+        let mut prev = a;
+        for k in 0..stages {
+            prev = if (c + k) % 2 == 0 {
+                g.cell(Opcode::Id, format!("s{c}_{k}"), &[prev.into()])
+            } else {
+                g.cell(
+                    Opcode::Bin(BinOp::Add),
+                    format!("s{c}_{k}"),
+                    &[prev.into(), (c as f64).into()],
+                )
+            };
+        }
+        let _ = g.cell(Opcode::Sink(format!("y{c}")), format!("y{c}"), &[prev.into()]);
+        inputs = inputs.bind(&name, reals(&ramp(24)));
+    }
+    (g, inputs)
+}
+
+#[test]
+fn wide_clean_pipeline_matches_across_workers() {
+    let (g, inputs) = wide(128, 6);
+    assert!(g.node_count() >= 1000, "must be wide enough to engage the phased path");
+    let r = assert_equivalent(&g, &inputs, SimConfig::new().check_invariants(true));
+    assert!(r.sources_exhausted);
+    assert_eq!(r.values("y17").len(), 24);
+}
+
+#[test]
+fn wide_faulted_throttled_latent_pipeline_matches() {
+    let (g, inputs) = wide(96, 5);
+    let n = g.node_count();
+    let cfg = SimConfig::new()
+        .fault_plan(FaultPlan {
+            seed: 99,
+            delay_result: 0.2,
+            delay_result_max: 4,
+            delay_ack: 0.1,
+            delay_ack_max: 3,
+            dup_result: 0.04,
+            ..Default::default()
+        })
+        .resources(valpipe_machine::ResourceModel {
+            unit_of: (0..n as u32).map(|i| i % 4).collect(),
+            capacity: vec![64; 4],
+        })
+        .arc_capacity(2)
+        .delays(valpipe_machine::ArcDelays {
+            forward: vec![2; g.arc_count()],
+            ack: vec![1; g.arc_count()],
+        })
+        .check_invariants(true);
+    let r = assert_equivalent(&g, &inputs, cfg);
+    assert!(r.sources_exhausted);
+}
+
+#[test]
+fn wide_watchdog_stall_matches() {
+    // Freeze a band of cells forever: the run wedges and every kernel
+    // must report the identical stall at the identical step.
+    let (g, inputs) = wide(100, 4);
+    let cfg = SimConfig::new()
+        .fault_plan(FaultPlan {
+            freezes: (0..40)
+                .map(|i| CellFreeze { node: 7 + 6 * i, from: 12, until: 1 << 40 })
+                .collect(),
+            ..Default::default()
+        })
+        .watchdog(WatchdogConfig { step_budget: 2_000, ..Default::default() })
+        .check_invariants(true);
+    let r = assert_equivalent(&g, &inputs, cfg);
+    assert_eq!(r.stop, StopReason::Stalled);
+}
+
+#[test]
+fn wide_planning_error_surfaces_identically() {
+    // Adding a boolean is a planning-time Eval error; the parallel
+    // kernel must surface the same first error the sequential plan
+    // order would, from the same step, with no partial firing.
+    let (mut g, inputs) = wide(110, 3);
+    let ctl = g.add_node(Opcode::CtlGen(CtlStream::from_runs([(true, 1)])), "badctl");
+    let bad = g.cell(Opcode::Bin(BinOp::Add), "bad", &[ctl.into(), 1.0.into()]);
+    let _ = g.cell(Opcode::Sink("z".into()), "z", &[bad.into()]);
+    let errs: Vec<String> = [
+        Kernel::Scan,
+        Kernel::EventDriven,
+        Kernel::ParallelEvent(2),
+        Kernel::ParallelEvent(4),
+    ]
+    .into_iter()
+    .map(|kernel| {
+        Simulator::builder(&g)
+            .inputs(inputs.clone())
+            .config(SimConfig::new().kernel(kernel))
+            .run()
+            .unwrap_err()
+            .to_string()
+    })
+    .collect();
+    for e in &errs[1..] {
+        assert_eq!(&errs[0], e, "kernels must report the same first error");
+    }
 }
 
 #[test]

@@ -1,7 +1,8 @@
-//! Property test: the scan and event-driven kernels are observationally
-//! identical — for random programs under random simulator
-//! configurations, the entire `RunResult` (packets, times, fire counts,
-//! step count, stop reason, stall report) must be equal bit for bit.
+//! Property test: the scan, event-driven, and parallel kernels are
+//! observationally identical — for random programs under random
+//! simulator configurations, the entire `RunResult` (packets, times,
+//! fire counts, step count, stop reason, stall report) must be equal
+//! bit for bit, with `ParallelEvent` swept at 1, 2, and 4 workers.
 //!
 //! Two program families:
 //!  * random layered DAGs over ADD/MUL/ID cells (arbitrary graph shape),
@@ -100,8 +101,15 @@ fn assert_kernels_agree(g: &Graph, inputs: &ProgramInputs, cfg: SimConfig, ctx: 
             .unwrap()
     };
     let scan = run(Kernel::Scan);
-    let event = run(Kernel::EventDriven);
-    assert_eq!(scan, event, "kernels disagree: {ctx}");
+    for kernel in [
+        Kernel::EventDriven,
+        Kernel::ParallelEvent(1),
+        Kernel::ParallelEvent(2),
+        Kernel::ParallelEvent(4),
+    ] {
+        let other = run(kernel);
+        assert_eq!(scan, other, "{kernel:?} disagrees with Scan: {ctx}");
+    }
 }
 
 #[test]
