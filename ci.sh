@@ -9,6 +9,9 @@ if [ -n "$(git ls-files target/)" ]; then
     exit 1
 fi
 
+# The tree must be rustfmt-clean.
+cargo fmt --all --check
+
 cargo build --release
 cargo test -q
 
@@ -34,6 +37,19 @@ cargo test -q --test property_snapshot
 cargo run --release -q -p valpipe-bench --bin exp_soak -- --trials 1 > target/ci_soak.txt
 grep -q 'CLAIM \[HOLDS\] a run killed at a random step' target/ci_soak.txt \
     || { echo "ci: FAIL — exp_soak recovery claim did not hold" >&2; exit 1; }
+
+# The compiler's machine dump for the paper's Example 1 is pinned: any
+# change to the compiled graph or to the provenance table shows up as a
+# diff against the committed golden. Pass stats go to stderr so the
+# dump on stdout stays byte-comparable; regenerate with
+#   ./target/release/valpipe check examples/fig6.val --emit=machine \
+#       > tests/golden/ci_emit_fig6.txt
+./target/release/valpipe check examples/fig6.val --emit=machine --pass-stats \
+    > target/ci_emit_fig6.txt 2>target/ci_pass_stats.txt
+cmp -s target/ci_emit_fig6.txt tests/golden/ci_emit_fig6.txt \
+    || { echo "ci: FAIL — --emit=machine dump for examples/fig6.val drifted from tests/golden/ci_emit_fig6.txt" >&2; exit 1; }
+grep -q '^total' target/ci_pass_stats.txt \
+    || { echo "ci: FAIL — --pass-stats printed no summary row" >&2; exit 1; }
 
 cargo clippy --workspace --all-targets -- -D warnings
 

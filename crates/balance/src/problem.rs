@@ -223,7 +223,10 @@ pub fn extract_anchored(
     for (ai, e) in g.arcs.iter().enumerate() {
         if e.is_forward() && scc[e.src.idx()] == scc[e.dst.idx()] {
             frozen[ai] = true;
-            let (ru, rv) = (find(&mut parent, e.src.idx()), find(&mut parent, e.dst.idx()));
+            let (ru, rv) = (
+                find(&mut parent, e.src.idx()),
+                find(&mut parent, e.dst.idx()),
+            );
             if ru != rv {
                 parent[ru] = rv;
             }
@@ -476,9 +479,6 @@ mod tests {
         let before = g.node_count();
         apply(&mut g, &p, &sol);
         assert_eq!(g.node_count(), before + 1);
-        assert!(g
-            .nodes
-            .iter()
-            .any(|n| matches!(n.op, Opcode::Fifo(1))));
+        assert!(g.nodes.iter().any(|n| matches!(n.op, Opcode::Fifo(1))));
     }
 }

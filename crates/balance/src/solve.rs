@@ -303,7 +303,11 @@ mod tests {
         // Pairwise joins (ADD) down to one output.
         let mut cur = join_inputs[0];
         for (j, &other) in join_inputs[1..].iter().enumerate() {
-            cur = g.cell(Opcode::Bin(BinOp::Add), format!("j{j}"), &[cur.into(), other.into()]);
+            cur = g.cell(
+                Opcode::Bin(BinOp::Add),
+                format!("j{j}"),
+                &[cur.into(), other.into()],
+            );
         }
         let _ = g.cell(Opcode::Sink("o".into()), "o", &[cur.into()]);
         g

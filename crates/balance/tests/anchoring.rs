@@ -49,7 +49,10 @@ fn independent_sources_slide_for_free() {
     let p = problem::extract_anchored(&g, &[(a, 0), (b, 0)]).unwrap();
     let opt = solve::solve_optimal(&p);
     assert!(opt.is_feasible(&p));
-    assert_eq!(opt.total_buffers, 0, "single-consumer sources slide for free");
+    assert_eq!(
+        opt.total_buffers, 0,
+        "single-consumer sources slide for free"
+    );
 }
 
 #[test]
@@ -123,7 +126,11 @@ fn contracted_negative_weights_solve() {
     let p = problem::extract(&g).unwrap();
     // s2 enters the loop one stage later than s1 → its contracted weight
     // is 1 + rel(n1) − rel(n2) = 0 relative… just assert solvability.
-    for sol in [solve::solve_asap(&p), solve::solve_heuristic(&p, 32), solve::solve_optimal(&p)] {
+    for sol in [
+        solve::solve_asap(&p),
+        solve::solve_heuristic(&p, 32),
+        solve::solve_optimal(&p),
+    ] {
         assert!(sol.is_feasible(&p));
     }
 }

@@ -21,7 +21,11 @@ fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
             let node = if a == b || rng.chance(0.3) {
                 g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
             } else {
-                g.cell(Opcode::Bin(BinOp::Add), format!("n{li}_{ni}"), &[a.into(), b.into()])
+                g.cell(
+                    Opcode::Bin(BinOp::Add),
+                    format!("n{li}_{ni}"),
+                    &[a.into(), b.into()],
+                )
             };
             next.push(node);
         }
@@ -42,17 +46,27 @@ fn main() {
         let g = random_dag(width, layers, 7);
         let p = problem::extract(&g).unwrap();
         let n = g.node_count();
-        bench(&format!("balance/asap/{n}"), iters(10), || solve::solve_asap(&p));
-        bench(&format!("balance/heuristic/{n}"), iters(10), || solve::solve_heuristic(&p, 64));
+        bench(&format!("balance/asap/{n}"), iters(10), || {
+            solve::solve_asap(&p)
+        });
+        bench(&format!("balance/heuristic/{n}"), iters(10), || {
+            solve::solve_heuristic(&p, 64)
+        });
         // The MCMF optimum is the slow one — keep its instances modest.
-        bench(&format!("balance/optimal_mcmf/{n}"), iters(10), || solve::solve_optimal(&p));
+        bench(&format!("balance/optimal_mcmf/{n}"), iters(10), || {
+            solve::solve_optimal(&p)
+        });
     }
     // Larger instances for the polynomial-scaling picture, cheap solvers only.
     for (width, layers) in [(16usize, 50usize), (24, 80)] {
         let g = random_dag(width, layers, 7);
         let p = problem::extract(&g).unwrap();
         let n = g.node_count();
-        bench(&format!("balance/asap_large/{n}"), iters(10), || solve::solve_asap(&p));
-        bench(&format!("balance/heuristic_large/{n}"), iters(10), || solve::solve_heuristic(&p, 64));
+        bench(&format!("balance/asap_large/{n}"), iters(10), || {
+            solve::solve_asap(&p)
+        });
+        bench(&format!("balance/heuristic_large/{n}"), iters(10), || {
+            solve::solve_heuristic(&p, 64)
+        });
     }
 }

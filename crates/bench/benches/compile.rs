@@ -25,5 +25,7 @@ fn main() {
     let mut todd = CompileOptions::paper();
     todd.scheme = ForIterScheme::Todd;
     let src = fig3_src(256);
-    bench("compile/fig3_todd_m256", iters(20), || compile_source(&src, &todd).unwrap());
+    bench("compile/fig3_todd_m256", iters(20), || {
+        compile_source(&src, &todd).unwrap()
+    });
 }

@@ -67,7 +67,11 @@ fn wide_grid(chains: usize, stages: usize, packets: usize) -> (Graph, ProgramInp
                 &[prev.into(), (0.5 + r.f64()).into()],
             );
         }
-        let _ = g.cell(Opcode::Sink(format!("y{c}")), format!("y{c}"), &[prev.into()]);
+        let _ = g.cell(
+            Opcode::Sink(format!("y{c}")),
+            format!("y{c}"),
+            &[prev.into()],
+        );
         let vals: Vec<f64> = (0..packets).map(|_| r.f64()).collect();
         inputs = inputs.bind_reals(&name, &vals);
     }
@@ -130,8 +134,24 @@ fn main() {
         t_scan * 1e3,
         t_event * 1e3,
     );
-    log.record("sparse_chain", g.node_count(), g.arc_count(), "scan", 1, scan.steps, t_scan);
-    log.record("sparse_chain", g.node_count(), g.arc_count(), "event", 1, event.steps, t_event);
+    log.record(
+        "sparse_chain",
+        g.node_count(),
+        g.arc_count(),
+        "scan",
+        1,
+        scan.steps,
+        t_scan,
+    );
+    log.record(
+        "sparse_chain",
+        g.node_count(),
+        g.arc_count(),
+        "event",
+        1,
+        event.steps,
+        t_event,
+    );
     if !smoke_mode() {
         assert!(
             speedup >= 3.0,
@@ -157,7 +177,11 @@ fn main() {
             .unwrap()
     };
     let ring_ref = ring_run(Kernel::Scan);
-    assert_eq!(ring_ref, ring_run(Kernel::EventDriven), "kernels disagree on the ring");
+    assert_eq!(
+        ring_ref,
+        ring_run(Kernel::EventDriven),
+        "kernels disagree on the ring"
+    );
     let t_scan = median_secs(n, || {
         let _ = ring_run(Kernel::Scan);
     });
@@ -170,8 +194,24 @@ fn main() {
         t_event * 1e3,
         t_scan / t_event,
     );
-    log.record("ring", rg.node_count(), rg.arc_count(), "scan", 1, ring_ref.steps, t_scan);
-    log.record("ring", rg.node_count(), rg.arc_count(), "event", 1, ring_ref.steps, t_event);
+    log.record(
+        "ring",
+        rg.node_count(),
+        rg.arc_count(),
+        "scan",
+        1,
+        ring_ref.steps,
+        t_scan,
+    );
+    log.record(
+        "ring",
+        rg.node_count(),
+        rg.arc_count(),
+        "event",
+        1,
+        ring_ref.steps,
+        t_event,
+    );
 
     // 3. Dense paper workload: both sequential kernels on fig6, for the
     // honest "what does it cost when everything fires" number.
@@ -193,10 +233,17 @@ fn main() {
 
     // 4. Worker sweep on the wide dense grid — the parallel kernel's
     // acceptance workload (>4000 cells, hundreds fireable per tick).
-    let (chains, stages, pkts) = if smoke_mode() { (48, 8, 12) } else { (80, 50, 64) };
+    let (chains, stages, pkts) = if smoke_mode() {
+        (48, 8, 12)
+    } else {
+        (80, 50, 64)
+    };
     let (wg, winputs) = wide_grid(chains, stages, pkts);
     if !smoke_mode() {
-        assert!(wg.node_count() >= 4000, "acceptance grid must exceed 4000 cells");
+        assert!(
+            wg.node_count() >= 4000,
+            "acceptance grid must exceed 4000 cells"
+        );
     }
     let reference = run_kernel(&wg, &winputs, Kernel::EventDriven);
     let mut t_of: Vec<(Kernel, f64)> = Vec::new();
@@ -219,7 +266,15 @@ fn main() {
             t * 1e3,
             reference.steps as f64 / t,
         );
-        log.record("wide_grid", wg.node_count(), wg.arc_count(), tag, workers, reference.steps, t);
+        log.record(
+            "wide_grid",
+            wg.node_count(),
+            wg.arc_count(),
+            tag,
+            workers,
+            reference.steps,
+            t,
+        );
         t_of.push((kernel, t));
     }
     let t = |k: Kernel| t_of.iter().find(|(kk, _)| *kk == k).unwrap().1;
@@ -249,7 +304,9 @@ fn main() {
     }
 
     if json_mode() {
-        let path = log.write("kernels").expect("bench trajectory must be writable");
+        let path = log
+            .write("kernels")
+            .expect("bench trajectory must be writable");
         println!("kernels: wrote bench trajectory to {path}");
     }
 }

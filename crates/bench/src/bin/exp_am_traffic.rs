@@ -32,13 +32,7 @@ fn main() {
     }
     {
         let m = 64usize;
-        rows.extend(fault_args.measure(
-            &format!("fig3 A m={m}"),
-            &fig3_src(m),
-            &opts,
-            "A",
-            20,
-        ));
+        rows.extend(fault_args.measure(&format!("fig3 A m={m}"), &fig3_src(m), &opts, "A", 20));
     }
     report::table(&rows);
     println!();

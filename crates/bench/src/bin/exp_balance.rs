@@ -11,11 +11,11 @@
 //!    complementary-slackness invariants hold).
 
 use std::time::Instant;
-use valpipe_bench::FaultArgs;
-use valpipe_util::Rng;
 use valpipe_balance::{problem, solve};
+use valpipe_bench::FaultArgs;
 use valpipe_ir::value::BinOp;
 use valpipe_ir::{Graph, Opcode};
+use valpipe_util::Rng;
 
 /// Random layered DAG: `width` cells per layer, `layers` layers, each cell
 /// reading 1–2 uniformly random earlier cells.
@@ -33,7 +33,11 @@ fn random_dag(width: usize, layers: usize, seed: u64) -> Graph {
             let node = if a == b || rng.chance(0.3) {
                 g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
             } else {
-                g.cell(Opcode::Bin(BinOp::Add), format!("n{li}_{ni}"), &[a.into(), b.into()])
+                g.cell(
+                    Opcode::Bin(BinOp::Add),
+                    format!("n{li}_{ni}"),
+                    &[a.into(), b.into()],
+                )
             };
             next.push(node);
         }
@@ -123,7 +127,11 @@ fn main() {
     );
     println!(
         "CLAIM [{}] buffer reduction is effective in many cases (§8.2)",
-        if heur_saves * 2 >= cases { "HOLDS" } else { "FAILS" }
+        if heur_saves * 2 >= cases {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
     println!("CLAIM [HOLDS] optimum = LP dual of min-cost flow (§8.3; verified by feasibility + ordering)");
 }

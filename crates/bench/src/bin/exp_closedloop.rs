@@ -50,7 +50,10 @@ fn main() {
         for cap in [1u32, 4] {
             let placement = Placement::round_robin(
                 &exe,
-                valpipe_machine::MachineConfig { pes, ..Default::default() },
+                valpipe_machine::MachineConfig {
+                    pes,
+                    ..Default::default()
+                },
             );
             let opts = ClosedLoopOptions {
                 pes,
@@ -97,6 +100,10 @@ fn main() {
     );
     println!(
         "CLAIM [{}] operand-slot buffering recovers most of the rate (interval {fast_cap4:.2})",
-        if fast_cap4 < slow_cap1 - 1.0 { "HOLDS" } else { "FAILS" }
+        if fast_cap4 < slow_cap1 - 1.0 {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
 }

@@ -47,8 +47,8 @@ fn main() {
         (1usize, 1usize), // minimal: rate 1/5
         (4, 4),           // paper's literal reading: delay = n
         (8, 8),
-        (8, 12),          // cycle 2n: maximum rate
-        (16, 28),         // cycle 2n: maximum rate
+        (8, 12),  // cycle 2n: maximum rate
+        (16, 28), // cycle 2n: maximum rate
         (16, 16),
     ] {
         let Some((iv, cells)) = run(n, delay, &fault_args) else {
@@ -72,6 +72,9 @@ fn main() {
     if fault_args.claims_skipped() {
         return;
     }
-    println!("CLAIM [{}] ring rate = min(m, L−m)/L; sizing the delay to L = 2n", if all_ok { "HOLDS" } else { "FAILS" });
+    println!(
+        "CLAIM [{}] ring rate = min(m, L−m)/L; sizing the delay to L = 2n",
+        if all_ok { "HOLDS" } else { "FAILS" }
+    );
     println!("        restores the maximum rate 1/2 — delay traded for rate (§9)");
 }

@@ -23,17 +23,20 @@
 use valpipe_bench::workloads::{fig6_src, inputs_for_compiled};
 use valpipe_bench::FaultArgs;
 use valpipe_core::verify::stream_inputs;
-use valpipe_core::{compile_source, CompileOptions};
-use valpipe_machine::{
-    FaultPlan, ProgramInputs, RunResult, SimConfig, Simulator, WatchdogConfig,
-};
+use valpipe_core::{compile_source_named, CompileOptions};
 use valpipe_ir::Graph;
+use valpipe_machine::{
+    render_stall, FaultPlan, ProgramInputs, RunResult, SimConfig, Simulator, WatchdogConfig,
+};
 
 fn run_plan(exe: &Graph, inputs: &ProgramInputs, plan: Option<FaultPlan>) -> RunResult {
     let cfg = SimConfig::new()
         .max_steps(3_000_000)
         .fault_plan_opt(plan)
-        .watchdog(WatchdogConfig { step_budget: 2_000_000, ..Default::default() })
+        .watchdog(WatchdogConfig {
+            step_budget: 2_000_000,
+            ..Default::default()
+        })
         .check_invariants(true);
     Simulator::builder(exe)
         .inputs(inputs.clone())
@@ -48,7 +51,8 @@ fn main() {
     println!("FLT: fault injection — degradation curves and stall diagnosis");
     println!("================================================================");
     let src = fig6_src(64);
-    let compiled = compile_source(&src, &CompileOptions::paper()).expect("compiles");
+    let compiled =
+        compile_source_named(&src, "fig6.val", &CompileOptions::paper()).expect("compiles");
     let exe = compiled.executable();
     let arrays = inputs_for_compiled(&compiled);
     let inputs = stream_inputs(&compiled, &arrays, 20);
@@ -68,14 +72,23 @@ fn main() {
             .config(cfg)
             .run()
             .unwrap();
-        println!("steps {}   packets on A: {}   sources drained: {}", r.steps, r.values("A").len(), r.sources_exhausted);
+        println!(
+            "steps {}   packets on A: {}   sources drained: {}",
+            r.steps,
+            r.values("A").len(),
+            r.sources_exhausted
+        );
         match &r.stall_report {
-            Some(report) => print!("{report}"),
+            Some(report) => print!("{}", render_stall(report, &exe, &compiled.prov)),
             None => println!(
                 "run completed; interval {:.3} (clean {:.3}), values {}",
                 r.timing("A").interval().unwrap_or(f64::NAN),
                 clean_iv,
-                if r.values("A") == clean_vals { "identical" } else { "DIFFER" },
+                if r.values("A") == clean_vals {
+                    "identical"
+                } else {
+                    "DIFFER"
+                },
             ),
         }
         return;
@@ -84,7 +97,10 @@ fn main() {
     // 1. Delay faults: the degradation curve.
     println!();
     println!("-- result-packet delay faults (max extra = 4 instruction times) --");
-    println!("{:<12} {:>10} {:>10} {:>10}", "probability", "interval", "rate", "values");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10}",
+        "probability", "interval", "rate", "values"
+    );
     let mut last_iv = 0.0f64;
     let mut monotone = true;
     let mut all_identical = true;
@@ -96,10 +112,17 @@ fn main() {
             ..Default::default()
         };
         let r = run_plan(&exe, &inputs, Some(plan));
-        assert!(r.sources_exhausted, "delays must never wedge the pipe (p={prob})");
+        assert!(
+            r.sources_exhausted,
+            "delays must never wedge the pipe (p={prob})"
+        );
         let iv = r.timing("A").interval().expect("steady");
         let same = r.values("A") == clean_vals;
-        println!("{prob:<12} {iv:>10.3} {:>10.4} {:>10}", 1.0 / iv, if same { "identical" } else { "DIFFER" });
+        println!(
+            "{prob:<12} {iv:>10.3} {:>10.4} {:>10}",
+            1.0 / iv,
+            if same { "identical" } else { "DIFFER" }
+        );
         // Small tolerance: position-keyed draws are not nested across
         // probabilities, so tiny non-monotonicities are sampling noise.
         if iv + 0.05 < last_iv {
@@ -114,14 +137,22 @@ fn main() {
     );
     println!(
         "CLAIM [{}] rate degrades gracefully (interval grows with delay probability)",
-        if monotone && last_iv > clean_iv { "HOLDS" } else { "FAILS" }
+        if monotone && last_iv > clean_iv {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
 
     // 2. Freeze fault: stall and recover.
     println!();
     println!("-- cell freeze (cell 0 frozen for 300 instruction times) --");
     let plan = FaultPlan {
-        freezes: vec![valpipe_machine::CellFreeze { node: 0, from: 100, until: 400 }],
+        freezes: vec![valpipe_machine::CellFreeze {
+            node: 0,
+            from: 100,
+            until: 400,
+        }],
         ..Default::default()
     };
     let r = run_plan(&exe, &inputs, Some(plan));
@@ -130,7 +161,11 @@ fn main() {
         "steps {} (clean {}), values {}",
         r.steps,
         clean.steps,
-        if r.values("A") == clean_vals { "identical" } else { "DIFFER" }
+        if r.values("A") == clean_vals {
+            "identical"
+        } else {
+            "DIFFER"
+        }
     );
     println!(
         "CLAIM [{}] a frozen cell stalls the pipe, which recovers with identical values",
@@ -140,12 +175,21 @@ fn main() {
     // 3. Loss faults: the wedge, diagnosed.
     println!();
     println!("-- lost acknowledges (p = 0.002) --");
-    let plan = FaultPlan { seed: 11, drop_ack: 0.002, ..Default::default() };
+    let plan = FaultPlan {
+        seed: 11,
+        drop_ack: 0.002,
+        ..Default::default()
+    };
     let r = run_plan(&exe, &inputs, Some(plan));
     match &r.stall_report {
         Some(report) => {
-            println!("stalled after {} steps; {} packets of {} delivered on A", r.steps, r.values("A").len(), clean_vals.len());
-            print!("{report}");
+            println!(
+                "stalled after {} steps; {} packets of {} delivered on A",
+                r.steps,
+                r.values("A").len(),
+                clean_vals.len()
+            );
+            print!("{}", render_stall(report, &exe, &compiled.prov));
             let diagnosed = !report.blocked_cells.is_empty() && !report.held_arcs.is_empty();
             println!(
                 "CLAIM [{}] one lost acknowledge wedges the pipe; the watchdog names blocked cells and held arcs",

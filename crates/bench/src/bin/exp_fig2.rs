@@ -51,10 +51,13 @@ fn main() {
         return;
     }
     let all_max_rate = rows.iter().all(|r| (r.interval - 2.0).abs() < 0.1);
-    report::verdict("balanced expression pipelines run at rate 1/2", all_max_rate);
-    let (lo, hi) = rows[3..]
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), r| (lo.min(r.interval), hi.max(r.interval)));
+    report::verdict(
+        "balanced expression pipelines run at rate 1/2",
+        all_max_rate,
+    );
+    let (lo, hi) = rows[3..].iter().fold((f64::MAX, f64::MIN), |(lo, hi), r| {
+        (lo.min(r.interval), hi.max(r.interval))
+    });
     report::verdict(
         "rate independent of the number of stages (§3)",
         hi - lo < 0.05,

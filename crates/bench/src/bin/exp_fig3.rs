@@ -38,11 +38,11 @@ fn main() {
 
     let compiled = compile_source(&fig3_src(64), &CompileOptions::paper()).unwrap();
     println!();
-    report::observe("flow dependency edges", format!("{:?}", compiled.flow.edges));
     report::observe(
-        "global balancing buffers",
-        compiled.stats.global_buffers,
+        "flow dependency edges",
+        format!("{:?}", compiled.flow.edges),
     );
+    report::observe("global balancing buffers", compiled.stats.global_buffers);
 
     if fault_args.claims_skipped() {
         return;

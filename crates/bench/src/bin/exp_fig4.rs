@@ -44,7 +44,10 @@ fn main() {
 
     // Show the generated code carries the paper's skew FIFOs.
     let compiled = compile_source(&fig4_src(8), &CompileOptions::paper()).unwrap();
-    println!("\ncompiled cell mix (m=8): {}", valpipe_ir::pretty::summary(&compiled.graph));
+    println!(
+        "\ncompiled cell mix (m=8): {}",
+        valpipe_ir::pretty::summary(&compiled.graph)
+    );
 
     if fault_args.claims_skipped() {
         return;

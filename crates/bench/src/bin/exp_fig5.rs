@@ -35,17 +35,28 @@ fn main() {
 
     let compiled = compile_source(&fig5_src(15), &CompileOptions::paper()).unwrap();
     let hist = compiled.graph.opcode_histogram();
-    println!("\ncompiled cell mix (m=15): {}", valpipe_ir::pretty::summary(&compiled.graph));
-    report::observe("TGATE cells (then-arm steering)", hist.get("TGATE").copied().unwrap_or(0));
-    report::observe("FGATE cells (else-arm steering)", hist.get("FGATE").copied().unwrap_or(0));
+    println!(
+        "\ncompiled cell mix (m=15): {}",
+        valpipe_ir::pretty::summary(&compiled.graph)
+    );
+    report::observe(
+        "TGATE cells (then-arm steering)",
+        hist.get("TGATE").copied().unwrap_or(0),
+    );
+    report::observe(
+        "FGATE cells (else-arm steering)",
+        hist.get("FGATE").copied().unwrap_or(0),
+    );
     report::observe("MERG cells", hist.get("MERG").copied().unwrap_or(0));
     // The merge-control FIFO: a buffer on some arc into the MERGE cell.
     let merge_has_fifo_upstream = compiled.graph.node_ids().any(|n| {
         matches!(compiled.graph.nodes[n.idx()].op, Opcode::Merge)
-            && compiled
-                .graph
-                .in_arcs(n)
-                .any(|a| matches!(compiled.graph.nodes[compiled.graph.arcs[a.idx()].src.idx()].op, Opcode::Fifo(_)))
+            && compiled.graph.in_arcs(n).any(|a| {
+                matches!(
+                    compiled.graph.nodes[compiled.graph.arcs[a.idx()].src.idx()].op,
+                    Opcode::Fifo(_)
+                )
+            })
     });
     if fault_args.claims_skipped() {
         return;

@@ -30,7 +30,10 @@ fn main() {
     report::table(&rows);
 
     let compiled = compile_source(&fig6_src(8), &CompileOptions::paper()).unwrap();
-    println!("\ncompiled cell mix (m=8): {}", valpipe_ir::pretty::summary(&compiled.graph));
+    println!(
+        "\ncompiled cell mix (m=8): {}",
+        valpipe_ir::pretty::summary(&compiled.graph)
+    );
     println!("\nmachine-code listing (m=8):");
     print!("{}", valpipe_ir::pretty::listing(&compiled.graph));
 

@@ -23,7 +23,10 @@ fn main() {
     let fault_args = FaultArgs::parse_env();
     let mut rows: Vec<Measurement> = Vec::new();
     for m in [8usize, 32, 128] {
-        for (name, scheme) in [("todd", ForIterScheme::Todd), ("companion", ForIterScheme::Companion)] {
+        for (name, scheme) in [
+            ("todd", ForIterScheme::Todd),
+            ("companion", ForIterScheme::Companion),
+        ] {
             let mut opts = CompileOptions::paper();
             opts.scheme = scheme;
             rows.extend(fault_args.measure(
@@ -64,7 +67,10 @@ fn main() {
         "Todd's scheme limited to 1/cycle-length (1/4 here; paper: 1/3 with gated destinations)",
         todd_bounded,
     );
-    report::verdict("companion scheme reaches the maximum rate (Theorem 3)", comp_max);
+    report::verdict(
+        "companion scheme reaches the maximum rate (Theorem 3)",
+        comp_max,
+    );
     report::verdict(
         "schemes agree with the interpreter (reassociation-tolerant)",
         rows.iter().all(|r| r.max_rel_err < 1e-8),

@@ -50,7 +50,10 @@ fn main() {
                 .unwrap();
             if let Some(report) = &r.stall_report {
                 println!("net={net} cap={cap}: stalled after {} steps", r.steps);
-                print!("{report}");
+                print!(
+                    "{}",
+                    valpipe_machine::render_stall(report, &exe, &compiled.prov)
+                );
                 continue;
             }
             assert!(r.sources_exhausted, "net={net} cap={cap} must drain");
@@ -66,14 +69,26 @@ fn main() {
         println!("(fault plan active: claims skipped)");
         return;
     }
-    let base = results.iter().find(|&&(n, c, _)| n == 1 && c == 1).unwrap().2;
-    let buffered = results.iter().find(|&&(n, c, _)| n == 1 && c == 4).unwrap().2;
+    let base = results
+        .iter()
+        .find(|&&(n, c, _)| n == 1 && c == 1)
+        .unwrap()
+        .2;
+    let buffered = results
+        .iter()
+        .find(|&&(n, c, _)| n == 1 && c == 4)
+        .unwrap()
+        .2;
     println!(
         "CLAIM [{}] capacity-1 links lose rate to the longer ack round trip",
         if base > 2.5 { "HOLDS" } else { "FAILS" }
     );
     println!(
         "CLAIM [{}] per-link buffering recovers most of the rate (packet-pipelined networks, §2)",
-        if buffered < base - 0.5 { "HOLDS" } else { "FAILS" }
+        if buffered < base - 0.5 {
+            "HOLDS"
+        } else {
+            "FAILS"
+        }
     );
 }

@@ -29,7 +29,10 @@ fn main() {
 
     // 1. Latency/load curve.
     println!("uniform random traffic, 16 ports, queue depth 4:");
-    println!("{:>8} {:>12} {:>8} {:>12}", "offered", "mean lat", "p99", "throughput");
+    println!(
+        "{:>8} {:>12} {:>8} {:>12}",
+        "offered", "mean lat", "p99", "throughput"
+    );
     let mut sat_ok = false;
     for rate in [0.05, 0.1, 0.2, 0.4, 0.6, 0.9] {
         let p = uniform_load(16, 4, rate, 6000);
@@ -54,8 +57,14 @@ fn main() {
         .run()
         .unwrap();
     if let Some(report) = &run.stall_report {
-        println!("\ntrace run stalled after {} steps; no replay possible", run.steps);
-        print!("{report}");
+        println!(
+            "\ntrace run stalled after {} steps; no replay possible",
+            run.steps
+        );
+        print!(
+            "{}",
+            valpipe_machine::render_stall(report, &exe, &compiled.prov)
+        );
         return;
     }
     let fire_times = run.fire_times.clone().unwrap();
@@ -70,7 +79,10 @@ fn main() {
     // factor D) and watching queueing vanish once links are under
     // capacity.
     let pes = 64usize;
-    let cfg = MachineConfig { pes, ..Default::default() };
+    let cfg = MachineConfig {
+        pes,
+        ..Default::default()
+    };
     let placement = Placement::round_robin(&exe, cfg);
     let mut base_schedule: Vec<(u64, usize, usize)> = Vec::new();
     for (i, times) in fire_times.iter().enumerate() {
@@ -90,7 +102,10 @@ fn main() {
         exe.node_count(),
         base_schedule.len()
     );
-    println!("{:>10} {:>10} {:>12} {:>10}", "dilation", "offered", "mean lat", "max lat");
+    println!(
+        "{:>10} {:>10} {:>12} {:>10}",
+        "dilation", "offered", "mean lat", "max lat"
+    );
     let mut congested_at_1 = false;
     let mut clean_when_under = false;
     for dilation in [1u64, 2, 4] {
@@ -108,7 +123,11 @@ fn main() {
         for cycle in 0..dilated_horizon {
             while idx < base_schedule.len() && base_schedule[idx].0 * dilation <= cycle {
                 let (_, sp, dp) = base_schedule[idx];
-                pending[sp].push_back(Packet { dest: dp, injected_at: 0, seq });
+                pending[sp].push_back(Packet {
+                    dest: dp,
+                    injected_at: 0,
+                    seq,
+                });
                 seq += 1;
                 idx += 1;
             }
@@ -122,11 +141,18 @@ fn main() {
             net.step();
         }
         net.drain(300_000);
-        let lat: Vec<u64> = net.delivered().iter().map(|&(t, p)| t - p.injected_at).collect();
+        let lat: Vec<u64> = net
+            .delivered()
+            .iter()
+            .map(|&(t, p)| t - p.injected_at)
+            .collect();
         let mean = lat.iter().sum::<u64>() as f64 / lat.len().max(1) as f64;
         let max = lat.iter().copied().max().unwrap_or(0);
         let offered = base_schedule.len() as f64 / (dilated_horizon as f64 * pes as f64);
-        println!("{:>10} {:>10.3} {:>12.2} {:>10}", dilation, offered, mean, max);
+        println!(
+            "{:>10} {:>10.3} {:>12.2} {:>10}",
+            dilation, offered, mean, max
+        );
         if dilation == 1 && mean > net.stages() as f64 + 4.0 {
             congested_at_1 = true;
         }

@@ -39,15 +39,55 @@ fn main() {
         o
     };
     let cases: Vec<(String, String, CompileOptions, &str)> = vec![
-        ("fig2 m=64".into(), fig2_src(64), CompileOptions::paper(), "Y"),
-        ("fig4 m=64".into(), fig4_src(64), CompileOptions::paper(), "S"),
-        ("fig5 m=63".into(), fig5_src(63), CompileOptions::paper(), "Y"),
-        ("fig6 m=32".into(), fig6_src(32), CompileOptions::paper(), "A"),
+        (
+            "fig2 m=64".into(),
+            fig2_src(64),
+            CompileOptions::paper(),
+            "Y",
+        ),
+        (
+            "fig4 m=64".into(),
+            fig4_src(64),
+            CompileOptions::paper(),
+            "S",
+        ),
+        (
+            "fig5 m=63".into(),
+            fig5_src(63),
+            CompileOptions::paper(),
+            "Y",
+        ),
+        (
+            "fig6 m=32".into(),
+            fig6_src(32),
+            CompileOptions::paper(),
+            "A",
+        ),
         ("ex2 todd m=32".into(), example2_src(32), todd, "X"),
-        ("ex2 companion m=32".into(), example2_src(32), companion, "X"),
-        ("fig3 m=64 (A)".into(), fig3_src(64), CompileOptions::paper(), "A"),
-        ("physics m=64 (V)".into(), physics_src(64), CompileOptions::paper(), "V"),
-        ("chain 20 blocks".into(), chain_src(56, 20), CompileOptions::paper(), "S20"),
+        (
+            "ex2 companion m=32".into(),
+            example2_src(32),
+            companion,
+            "X",
+        ),
+        (
+            "fig3 m=64 (A)".into(),
+            fig3_src(64),
+            CompileOptions::paper(),
+            "A",
+        ),
+        (
+            "physics m=64 (V)".into(),
+            physics_src(64),
+            CompileOptions::paper(),
+            "V",
+        ),
+        (
+            "chain 20 blocks".into(),
+            chain_src(56, 20),
+            CompileOptions::paper(),
+            "S20",
+        ),
         ("fig6 synth m=32".into(), fig6_src(32), synth, "A"),
     ];
 
@@ -56,15 +96,19 @@ fn main() {
         let compiled = compile_source(&src, &opts).expect("compiles");
         let predicted = predict_compiled(&compiled)[out];
         let inputs = inputs_for_compiled(&compiled);
-        let report =
-            match check_against_oracle_with(&compiled, &inputs, 30, 1e-8, fault_args.sim_config())
-            {
-                Ok(r) => r,
-                Err(e) => {
-                    println!("{label:<28} {e}");
-                    continue;
-                }
-            };
+        let report = match check_against_oracle_with(
+            &compiled,
+            &inputs,
+            30,
+            1e-8,
+            fault_args.sim_config(),
+        ) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{label:<28} {e}");
+                continue;
+            }
+        };
         let measured = report.run.timing(out).interval().expect("steady");
         let err = (predicted - measured).abs() / measured * 100.0;
         worst = worst.max(err);

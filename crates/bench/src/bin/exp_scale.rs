@@ -39,7 +39,11 @@ fn main() {
         if !r.sources_exhausted {
             println!("blocks={blocks}: stalled after {} steps", r.steps);
             if let Some(report) = &r.stall_report {
-                print!("{report}");
+                let exe = compiled.executable();
+                print!(
+                    "{}",
+                    valpipe_machine::render_stall(report, &exe, &compiled.prov)
+                );
             }
             continue;
         }

@@ -92,7 +92,10 @@ fn main() {
                     r.values("A").len()
                 );
                 if let Some(report) = &r.stall_report {
-                    print!("{report}");
+                    print!(
+                        "{}",
+                        valpipe_machine::render_stall(report, &exe, &compiled.prov)
+                    );
                 }
             }
             Err(e) => {
@@ -157,7 +160,10 @@ fn main() {
         while victim.now() < kill {
             victim.step().expect("victim step");
             if victim.now() % every == 0 {
-                victim.checkpoint().write_to(&path).expect("checkpoint write");
+                victim
+                    .checkpoint()
+                    .write_to(&path)
+                    .expect("checkpoint write");
             }
         }
         drop(victim); // the crash
@@ -175,7 +181,11 @@ fn main() {
             reference.steps,
             kill,
             snap.step(),
-            format!("{}->{}", kernel_name(run_kernel), kernel_name(resume_kernel)),
+            format!(
+                "{}->{}",
+                kernel_name(run_kernel),
+                kernel_name(resume_kernel)
+            ),
             if identical { "identical" } else { "DIFFER" }
         );
         if trial == 0 {

@@ -15,10 +15,15 @@
 //!   starting fresh (honoured by `exp_soak`);
 //! * `--trials <n>` — how many crash/recover trials `exp_soak` runs;
 //! * `--workers <n>` — run the simulation on the parallel kernel with
-//!   `n` worker threads (default 1 = the sequential event kernel).
+//!   `n` worker threads (default 1 = the sequential event kernel);
+//! * `--emit=ast,typed,ir,balanced,machine` — dump compiler stage
+//!   artifacts for every workload the reporter compiles (stdout,
+//!   deterministic);
+//! * `--pass-stats` — print the per-pass wall-time/growth table for
+//!   every compile (stderr).
 
-use crate::measure::{measure_program_with, Measurement};
-use valpipe_core::CompileOptions;
+use crate::measure::{measure_compiled_with, Measurement};
+use valpipe_core::{render_pass_stats, CompileOptions, PassManager, Stage};
 use valpipe_machine::{FaultPlan, Kernel, SimConfig, WatchdogConfig};
 
 /// Robustness flags parsed from the process arguments.
@@ -40,6 +45,11 @@ pub struct FaultArgs {
     /// Parsed `--workers`, if given (worker threads for the parallel
     /// kernel; 1 keeps the sequential event kernel).
     pub workers: Option<usize>,
+    /// Parsed `--emit=…`: compiler stages to dump for every workload.
+    pub emit: Vec<Stage>,
+    /// `--pass-stats`: print the per-pass compile table for every
+    /// workload.
+    pub pass_stats: bool,
 }
 
 impl FaultArgs {
@@ -52,14 +62,18 @@ impl FaultArgs {
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--fault-plan" => {
-                    let spec = args.next().unwrap_or_else(|| usage("--fault-plan needs a spec"));
+                    let spec = args
+                        .next()
+                        .unwrap_or_else(|| usage("--fault-plan needs a spec"));
                     match FaultPlan::parse(&spec) {
                         Ok(p) => out.fault_plan = Some(p),
                         Err(e) => usage(&e),
                     }
                 }
                 "--step-budget" => {
-                    let v = args.next().unwrap_or_else(|| usage("--step-budget needs a number"));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--step-budget needs a number"));
                     match v.parse::<u64>() {
                         Ok(n) if n > 0 => out.step_budget = Some(n),
                         _ => usage(&format!("bad step budget '{v}'")),
@@ -75,27 +89,40 @@ impl FaultArgs {
                     }
                 }
                 "--checkpoint-path" => {
-                    out.checkpoint_path =
-                        Some(args.next().unwrap_or_else(|| usage("--checkpoint-path needs a file")));
+                    out.checkpoint_path = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--checkpoint-path needs a file")),
+                    );
                 }
                 "--restore-from" => {
-                    out.restore_from =
-                        Some(args.next().unwrap_or_else(|| usage("--restore-from needs a file")));
+                    out.restore_from = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--restore-from needs a file")),
+                    );
                 }
                 "--trials" => {
-                    let v = args.next().unwrap_or_else(|| usage("--trials needs a number"));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--trials needs a number"));
                     match v.parse::<u64>() {
                         Ok(n) if n > 0 => out.trials = Some(n),
                         _ => usage(&format!("bad trial count '{v}'")),
                     }
                 }
                 "--workers" => {
-                    let v = args.next().unwrap_or_else(|| usage("--workers needs a number"));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--workers needs a number"));
                     match v.parse::<usize>() {
                         Ok(n) if n > 0 => out.workers = Some(n),
                         _ => usage(&format!("bad worker count '{v}'")),
                     }
                 }
+                "--pass-stats" => out.pass_stats = true,
+                s if s.starts_with("--emit=") => match Stage::parse_list(&s["--emit=".len()..]) {
+                    Ok(v) => out.emit = v,
+                    Err(e) => usage(&e),
+                },
                 other => usage(&format!("unknown flag '{other}'")),
             }
         }
@@ -116,7 +143,10 @@ impl FaultArgs {
             None => cfg,
         };
         if let Some(budget) = self.step_budget {
-            cfg = cfg.watchdog(WatchdogConfig { step_budget: budget, ..Default::default() });
+            cfg = cfg.watchdog(WatchdogConfig {
+                step_budget: budget,
+                ..Default::default()
+            });
         }
         if let Some(every) = self.checkpoint_every {
             cfg = cfg.checkpoint_every(every);
@@ -148,7 +178,25 @@ impl FaultArgs {
         output: &str,
         waves: usize,
     ) -> Option<Measurement> {
-        match measure_program_with(label, src, opts, output, waves, self.sim_config()) {
+        let out = match PassManager::new(opts)
+            .emit_all(&self.emit)
+            .run_source(src, label)
+        {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{label}: compile error: {e}");
+                return None;
+            }
+        };
+        if self.pass_stats {
+            eprintln!("{label}:");
+            eprint!("{}", render_pass_stats(&out.pass_stats));
+        }
+        for (stage, dump) in &out.dumps {
+            println!("==== {label}: {stage} ====");
+            print!("{dump}");
+        }
+        match measure_compiled_with(label, &out.compiled, output, waves, self.sim_config()) {
             Ok(m) => Some(m),
             Err(e) => {
                 println!("{label}: {e}");
@@ -173,6 +221,7 @@ fn usage(message: &str) -> ! {
     eprintln!("usage: exp_* [--fault-plan <spec>] [--step-budget <n>]");
     eprintln!("             [--checkpoint-every <n>] [--checkpoint-path <file>]");
     eprintln!("             [--restore-from <file>] [--trials <n>] [--workers <n>]");
+    eprintln!("             [--emit=ast,typed,ir,balanced,machine] [--pass-stats]");
     eprintln!("  spec: comma-separated key=value, e.g. seed=42,drop_ack=0.001,\\");
     eprintln!("        delay_result=0.05:4,freeze=7@100..200,link=1.3@50..60");
     std::process::exit(2)

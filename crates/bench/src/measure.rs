@@ -38,8 +38,7 @@ pub fn measure_program(
     output: &str,
     waves: usize,
 ) -> Measurement {
-    measure_program_with(label, src, opts, output, waves, SimConfig::new())
-        .expect("oracle check")
+    measure_program_with(label, src, opts, output, waves, SimConfig::new()).expect("oracle check")
 }
 
 /// [`measure_program`] on a caller-supplied simulator config; a stalled
@@ -64,8 +63,7 @@ pub fn measure_compiled(
     output: &str,
     waves: usize,
 ) -> Measurement {
-    measure_compiled_with(label, compiled, output, waves, SimConfig::new())
-        .expect("oracle check")
+    measure_compiled_with(label, compiled, output, waves, SimConfig::new()).expect("oracle check")
 }
 
 /// [`measure_compiled`] on a caller-supplied simulator config.
@@ -122,13 +120,7 @@ mod tests {
 
     #[test]
     fn measure_produces_sane_numbers() {
-        let m = measure_program(
-            "fig4",
-            &fig4_src(16),
-            &CompileOptions::paper(),
-            "S",
-            20,
-        );
+        let m = measure_program("fig4", &fig4_src(16), &CompileOptions::paper(), "S", 20);
         assert!(m.cells > 5);
         assert!(m.interval > 1.9 && m.interval < 3.0);
         assert!(m.max_rel_err < 1e-8);

@@ -101,7 +101,13 @@ pub fn json_mode() -> bool {
 pub fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: u64 = line.strip_prefix("VmHWM:")?.trim().strip_suffix("kB")?.trim().parse().ok()?;
+    let kb: u64 = line
+        .strip_prefix("VmHWM:")?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()?;
     Some(kb * 1024)
 }
 
@@ -163,9 +169,7 @@ impl BenchLog {
             ("smoke", Json::Bool(smoke_mode())),
             (
                 "host_cores",
-                Json::Int(
-                    std::thread::available_parallelism().map_or(0, |p| p.get() as i64),
-                ),
+                Json::Int(std::thread::available_parallelism().map_or(0, |p| p.get() as i64)),
             ),
             (
                 "peak_rss_bytes",

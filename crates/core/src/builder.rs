@@ -49,6 +49,19 @@ impl Provider {
     }
 }
 
+/// Provenance-table ids (`valpipe_ir::prov`) for one block's statements,
+/// used to stamp every cell the block compiles to with the statement it
+/// came from. Id 0 is the whole-program fallback.
+#[derive(Debug, Clone, Default)]
+pub struct BlockProv {
+    /// The block header (name, type, range specification).
+    pub header: u32,
+    /// Definition-part statements (or loop inits), keyed by name.
+    pub defs: HashMap<String, u32>,
+    /// The accumulation expression or loop body.
+    pub body: u32,
+}
+
 /// Program-wide compilation state.
 pub struct Compiler {
     /// The machine program under construction.
@@ -225,7 +238,9 @@ impl<'c> BlockBuilder<'c> {
             if !self.special_taps.contains_key(&(name.clone(), *off)))
             && self.frames[level].sel.is_some();
         let value = if shortcut_tap {
-            let PullKey::Tap(name, off) = &key else { unreachable!() };
+            let PullKey::Tap(name, off) = &key else {
+                unreachable!()
+            };
             let sel = self.frames[level].sel.clone().expect("static level");
             self.resolve_tap(&name.clone(), *off, &sel)?
         } else if level == 0 {

@@ -18,7 +18,7 @@
 //!   `x_r` and `x_p` come from a separate initial-value subgraph, exactly
 //!   the dashed box of Fig. 8.
 
-use crate::builder::{BlockBuilder, Compiler, Provider};
+use crate::builder::{BlockBuilder, BlockProv, Compiler, Provider};
 use crate::error::CompileError;
 use crate::options::ForIterScheme;
 use valpipe_ir::opcode::{Opcode, GATE_DATA, MERGE_CTL, MERGE_FALSE, MERGE_TRUE};
@@ -41,13 +41,16 @@ pub enum UsedScheme {
 }
 
 /// Compile a primitive for-iter; returns the cell producing the array
-/// stream and the scheme used.
+/// stream and the scheme used. The loop body's provenance id stamps every
+/// circuit cell (the feedback cycle realizes the body as a whole).
 pub fn compile_foriter(
     c: &mut Compiler,
     name: &str,
     pfi: &PrimitiveForIter,
     scheme: ForIterScheme,
+    src: &BlockProv,
 ) -> Result<(NodeId, UsedScheme), CompileError> {
+    c.g.set_provenance(if src.body != 0 { src.body } else { src.header });
     let (r, hi) = pfi.range();
     let n = (hi - r + 1) as u32; // total elements including the initial one
     debug_assert!(n >= 2, "classifier guarantees bound > start");
@@ -65,7 +68,8 @@ pub fn compile_foriter(
     // disguise: initial element merged with an unconditional step stream.
     if !uses_feedback {
         let node = compile_straight(c, name, pfi, &step, init, n)?;
-        c.providers.insert(name.to_string(), Provider { node, lo: r, hi });
+        c.providers
+            .insert(name.to_string(), Provider { node, lo: r, hi });
         return Ok((node, UsedScheme::Straight));
     }
 
@@ -91,9 +95,13 @@ pub fn compile_foriter(
             UsedScheme::Companion,
         )
     } else {
-        (compile_todd(c, name, pfi, &step, init, n)?, UsedScheme::Todd)
+        (
+            compile_todd(c, name, pfi, &step, init, n)?,
+            UsedScheme::Todd,
+        )
     };
-    c.providers.insert(name.to_string(), Provider { node, lo: r, hi });
+    c.providers
+        .insert(name.to_string(), Provider { node, lo: r, hi });
     Ok((node, used))
 }
 
@@ -196,14 +204,28 @@ fn compile_companion(
         b.compile(alpha)?
     };
     if let In::Node(node) = a_in {
-        c.providers.insert(a_name.clone(), Provider { node, lo: lo_param, hi: hi_param });
+        c.providers.insert(
+            a_name.clone(),
+            Provider {
+                node,
+                lo: lo_param,
+                hi: hi_param,
+            },
+        );
     }
     let b_in = {
         let mut b = BlockBuilder::new(c, b_name.clone(), &iv, lo_param, hi_param);
         b.compile(beta)?
     };
     if let In::Node(node) = b_in {
-        c.providers.insert(b_name.clone(), Provider { node, lo: lo_param, hi: hi_param });
+        c.providers.insert(
+            b_name.clone(),
+            Provider {
+                node,
+                lo: lo_param,
+                hi: hi_param,
+            },
+        );
     }
 
     // Initial values: x_r = E0, x_p = α_p·x_r + β_p  (the dashed
@@ -211,11 +233,7 @@ fn compile_companion(
     let x_r = init;
     let x_start_expr = simplify(&Expr::bin(
         BinOp::Add,
-        Expr::bin(
-            BinOp::Mul,
-            coeff_expr(a_in, &a_name, 0, &iv),
-            lit_expr(x_r),
-        ),
+        Expr::bin(BinOp::Mul, coeff_expr(a_in, &a_name, 0, &iv), lit_expr(x_r)),
         coeff_expr(b_in, &b_name, 0, &iv),
     ));
     let x_start = {

@@ -168,7 +168,9 @@ pub fn sweep_dead(g: &mut Graph) -> usize {
     let mut out = Graph::new();
     for (i, node) in g.nodes.iter().enumerate() {
         if keep[i] {
-            map[i] = out.add_node(node.op.clone(), node.label.clone()).idx();
+            let nid = out.add_node(node.op.clone(), node.label.clone());
+            out.nodes[nid.idx()].src = node.src;
+            map[i] = nid.idx();
         }
     }
     for (i, node) in g.nodes.iter().enumerate() {
@@ -258,7 +260,11 @@ mod tests {
         let mut g = cascade();
         fuse_static_gates(&mut g);
         sweep_dead(&mut g);
-        let after = Simulator::builder(&g).inputs(inputs).run().unwrap().reals("y");
+        let after = Simulator::builder(&g)
+            .inputs(inputs)
+            .run()
+            .unwrap()
+            .reals("y");
         assert_eq!(before, after);
         assert_eq!(before, vec![1.0, 3.0, 6.0, 8.0, 11.0, 13.0]);
     }

@@ -13,6 +13,8 @@
 //! * [`foriter`] — `for-iter` recurrences, via Todd's scheme (Fig. 7) or
 //!   the companion-pipeline scheme (Theorem 3, Fig. 8);
 //! * [`loops`] — local balancing of feedback-loop interiors;
+//! * [`pipeline`] — the staged pass pipeline driving every compile
+//!   (typed artifacts, per-pass stats, stage dumps);
 //! * [`program`] — whole-program composition + global balancing
 //!   (Theorem 4);
 //! * [`verify`] — compile → simulate → compare against the reference
@@ -44,10 +46,11 @@
 pub mod builder;
 pub mod error;
 pub mod forall;
-pub mod fuse;
 pub mod foriter;
+pub mod fuse;
 pub mod loops;
 pub mod options;
+pub mod pipeline;
 pub mod predict;
 pub mod program;
 pub mod synth;
@@ -60,4 +63,8 @@ pub use builder::{BlockBuilder, Compiler, Provider};
 pub use error::CompileError;
 pub use foriter::UsedScheme;
 pub use options::{CompileOptions, ForIterScheme};
-pub use program::{compile_program, compile_source, Compiled, CompileStats};
+pub use pipeline::{dump_graph, render_pass_stats, PassManager, PassStat, PipelineOutput, Stage};
+pub use program::{
+    compile_program, compile_program_mapped, compile_source, compile_source_named, CompileStats,
+    Compiled,
+};

@@ -27,7 +27,9 @@ pub fn balance_loop_interiors(g: &mut Graph) -> u64 {
         .arc_ids()
         .filter(|a| {
             let e = &g.arcs[a.idx()];
-            e.is_forward() && scc[e.src.idx()] == scc[e.dst.idx()] && comp_size[scc[e.src.idx()]] > 1
+            e.is_forward()
+                && scc[e.src.idx()] == scc[e.dst.idx()]
+                && comp_size[scc[e.src.idx()]] > 1
         })
         .collect();
     if interior.is_empty() {

@@ -190,7 +190,9 @@ mod tests {
         let compiled = compile_source(src, opts).unwrap();
         let mut inputs = Map::new();
         for (name, (lo, hi)) in &compiled.flow.inputs {
-            let vals: Vec<f64> = (*lo..=*hi).map(|i| 0.8 + 0.1 * (i as f64 * 0.37).sin()).collect();
+            let vals: Vec<f64> = (*lo..=*hi)
+                .map(|i| 0.8 + 0.1 * (i as f64 * 0.37).sin())
+                .collect();
             inputs.insert(name.clone(), ArrayVal::from_reals(*lo, &vals));
         }
         let report = check_against_oracle(&compiled, &inputs, 30, 1e-8).unwrap();
@@ -259,7 +261,9 @@ output X;
         use valpipe_ir::value::Value;
         use valpipe_ir::{Graph, Opcode};
         let mut g = Graph::new();
-        let cells: Vec<_> = (0..5).map(|k| g.add_node(Opcode::Id, format!("c{k}"))).collect();
+        let cells: Vec<_> = (0..5)
+            .map(|k| g.add_node(Opcode::Id, format!("c{k}")))
+            .collect();
         for k in 0..5 {
             let (a, b) = (cells[k], cells[(k + 1) % 5]);
             if k < 2 {

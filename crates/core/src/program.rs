@@ -7,22 +7,16 @@
 //! interconnection is balanced globally ([`valpipe_balance`]) so the
 //! complete program runs fully pipelined.
 
-use crate::builder::{Compiler, Provider};
 use crate::error::CompileError;
-use crate::forall::compile_forall;
-use crate::foriter::{compile_foriter, UsedScheme};
-use crate::loops::balance_loop_interiors;
+use crate::foriter::UsedScheme;
 use crate::options::CompileOptions;
-use std::collections::{HashMap, HashSet};
-use valpipe_balance::{problem, solve, BalanceMode};
-use valpipe_ir::opcode::Opcode;
-use valpipe_ir::validate::validate;
+use crate::pipeline::PassManager;
+use std::collections::HashMap;
+use valpipe_ir::prov::Provenance;
 use valpipe_ir::Graph;
 use valpipe_val::ast::Program;
-use valpipe_val::deps::{analyze, BlockClass, FlowGraph};
-use valpipe_val::fold::Bindings;
-use valpipe_val::typeck::check_program;
-use valpipe_ir::value::Value;
+use valpipe_val::deps::FlowGraph;
+use valpipe_val::srcmap::SourceMap;
 
 /// Compilation statistics.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +50,9 @@ pub struct Compiled {
     pub flow: FlowGraph,
     /// Original shapes of flattened two-dimensional arrays.
     pub dims: valpipe_val::dims::FlattenInfo,
+    /// Source-to-cell provenance table; every node's `src` field indexes
+    /// into it (see `valpipe_ir::prov`).
+    pub prov: Provenance,
     /// Statistics.
     pub stats: CompileStats,
 }
@@ -74,160 +71,42 @@ impl Compiled {
         self.flow.range_of(name)
     }
 }
-
 /// Compile a pipe-structured program to fully pipelined machine code.
 /// Two-dimensional constructs (§9's extension) are flattened to row-major
-/// streams first.
+/// streams first. Source spans are synthesized by pretty-printing the
+/// program, so provenance is total even for programs built in memory;
+/// compile from text via [`compile_source`] to get real source locations.
 pub fn compile_program(prog: &Program, opts: &CompileOptions) -> Result<Compiled, CompileError> {
-    let (prog, dims) = valpipe_val::dims::flatten_program(prog)
-        .map_err(CompileError::Unsupported)?;
-    let prog = check_program(&prog)?;
-    let flow = analyze(&prog)?;
-
-    let mut params = Bindings::new();
-    for (n, v) in &prog.params {
-        params.insert(n.clone(), Value::Int(*v));
-    }
-    let mut c = Compiler::new(params);
-    let mut stats = CompileStats::default();
-
-    // Input sources, anchored at −2·lo (the machine feeds every input
-    // from absolute time 0; element i cannot arrive before 2·(i − lo)).
-    for (name, (lo, hi)) in &flow.inputs {
-        let src = c.g.add_node(Opcode::Source(name.clone()), name.clone());
-        c.anchors.push((src, -2 * lo));
-        let node = if opts.am_boundary {
-            let l = c.label(&format!("{name}.amr"));
-            c.g.cell(Opcode::AmRead, l, &[src.into()])
-        } else {
-            src
-        };
-        c.providers.insert(name.clone(), Provider { node, lo: *lo, hi: *hi });
-    }
-
-    // Dead-block elimination: only blocks that (transitively) reach a
-    // declared output are compiled.
-    let live = live_blocks(&flow, &prog.outputs);
-
-    for block in &flow.blocks {
-        if !opts.keep_dead_blocks && !live.contains(&block.name) {
-            stats.dead_blocks.push(block.name.clone());
-            continue;
-        }
-        let decl = prog
-            .block(&block.name)
-            .ok_or_else(|| CompileError::Internal(format!("missing block '{}'", block.name)))?;
-        match (&block.class, &decl.body) {
-            (BlockClass::Forall { lo, hi }, valpipe_val::ast::BlockBody::Forall(f)) => {
-                compile_forall(&mut c, &block.name, f, *lo, *hi)?;
-            }
-            (BlockClass::ForIter(pfi), _) => {
-                let (_, used) = compile_foriter(&mut c, &block.name, pfi, opts.scheme)?;
-                stats.schemes.insert(block.name.clone(), used);
-            }
-            _ => {
-                return Err(CompileError::Internal(format!(
-                    "classification mismatch for block '{}'",
-                    block.name
-                )))
-            }
-        }
-    }
-
-    // Output sinks.
-    for name in &prog.outputs {
-        let p = *c
-            .providers
-            .get(name)
-            .ok_or_else(|| CompileError::Internal(format!("no provider for output '{name}'")))?;
-        let node = if opts.am_boundary {
-            let l = c.label(&format!("{name}.amw"));
-            c.g.cell(Opcode::AmWrite, l, &[p.node.into()])
-        } else {
-            p.node
-        };
-        let l = c.label(&format!("{name}.out"));
-        c.g.cell(Opcode::Sink(name.clone()), l, &[node.into()]);
-    }
-
-    // Any compiled block whose stream ends up unconsumed (kept dead
-    // blocks) still needs a consumer to be structurally valid.
-    for id in c.g.node_ids().collect::<Vec<_>>() {
-        if c.g.nodes[id.idx()].op.produces_output() && c.g.nodes[id.idx()].outputs.is_empty() {
-            let label = format!("__drain.{}", id.idx());
-            let sink = c.g.add_node(Opcode::Sink(label.clone()), label);
-            c.g.connect(id, sink, 0);
-        }
-    }
-
-    if opts.fuse_gates {
-        let fused = crate::fuse::fuse_static_gates(&mut c.g);
-        stats.fused_gates = fused.fused;
-        if fused.fused > 0 {
-            crate::fuse::sweep_dead(&mut c.g);
-        }
-    }
-
-    if opts.synthesize_generators {
-        let synth = crate::synth::synthesize_generators(&mut c.g);
-        stats.synthesized_generators = synth.ctl_generators + synth.index_generators;
-    }
-
-    stats.cells_before_balance = c.g.node_count();
-    stats.loop_buffers = balance_loop_interiors(&mut c.g);
-
-    let defects = validate(&c.g);
-    if !defects.is_empty() {
-        let msg = defects
-            .iter()
-            .map(|d| d.to_string())
-            .collect::<Vec<_>>()
-            .join("; ");
-        return Err(CompileError::BadCode(msg));
-    }
-
-    // Global balancing (Theorem 4).
-    if opts.balance != BalanceMode::None {
-        let p = problem::extract_anchored(&c.g, &c.anchors)?;
-        let sol = match opts.balance {
-            BalanceMode::Asap => solve::solve_asap(&p),
-            BalanceMode::Heuristic => solve::solve_heuristic(&p, 64),
-            BalanceMode::Optimal => solve::solve_optimal(&p),
-            BalanceMode::None => unreachable!(),
-        };
-        stats.global_buffers = problem::apply(&mut c.g, &p, &sol);
-    }
-
-    Ok(Compiled {
-        graph: c.g,
-        program: prog,
-        flow,
-        dims,
-        stats,
-    })
+    let map = valpipe_val::pretty::program_to_source_mapped(prog, "<ast>");
+    compile_program_mapped(prog, opts, &map)
 }
 
-/// Compile a program given as source text.
+/// Compile with an explicit statement [`SourceMap`] (from
+/// `parse_program_mapped` or `program_to_source_mapped`): diagnostics and
+/// provenance point at the mapped source text. Runs the full staged
+/// pipeline ([`crate::pipeline::PassManager`]) without instrumentation.
+pub fn compile_program_mapped(
+    prog: &Program,
+    opts: &CompileOptions,
+    map: &SourceMap,
+) -> Result<Compiled, CompileError> {
+    Ok(PassManager::new(opts).run(prog, map)?.compiled)
+}
+
+/// Compile a program given as source text. Parse positions are carried
+/// through to machine-level provenance, so diagnostics point back at this
+/// text.
 pub fn compile_source(src: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
-    let prog = valpipe_val::parser::parse_program(src)
-        .map_err(|e| CompileError::Unsupported(format!("parse error: {e}")))?;
-    compile_program(&prog, opts)
+    compile_source_named(src, "<source>", opts)
 }
 
-fn live_blocks(flow: &FlowGraph, outputs: &[String]) -> HashSet<String> {
-    // Walk producer edges backwards from the outputs.
-    let mut preds: HashMap<&str, Vec<&str>> = HashMap::new();
-    for (prod, cons) in &flow.edges {
-        preds.entry(cons.as_str()).or_default().push(prod.as_str());
-    }
-    let mut live: HashSet<String> = HashSet::new();
-    let mut stack: Vec<&str> = outputs.iter().map(|s| s.as_str()).collect();
-    while let Some(name) = stack.pop() {
-        if live.insert(name.to_string()) {
-            if let Some(ps) = preds.get(name) {
-                stack.extend(ps.iter().copied());
-            }
-        }
-    }
-    live
+/// [`compile_source`] with an explicit file name for diagnostics.
+pub fn compile_source_named(
+    src: &str,
+    file: &str,
+    opts: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    let (prog, map) = valpipe_val::parser::parse_program_mapped(src, file)
+        .map_err(|e| CompileError::Unsupported(format!("parse error: {e}")))?;
+    compile_program_mapped(&prog, opts, &map)
 }

@@ -66,7 +66,9 @@ output X;
 }
 
 fn ex2_arrays(m: usize) -> HashMap<String, ArrayVal> {
-    let a: Vec<f64> = (0..m + 2).map(|i| 0.9 + 0.01 * (i as f64 * 0.7).sin()).collect();
+    let a: Vec<f64> = (0..m + 2)
+        .map(|i| 0.9 + 0.01 * (i as f64 * 0.7).sin())
+        .collect();
     let b: Vec<f64> = (0..m + 2).map(|i| (i as f64 * 0.13).cos()).collect();
     let mut h = HashMap::new();
     h.insert("A".to_string(), ArrayVal::from_reals(0, &a));
@@ -116,7 +118,10 @@ fn fig6_example1_unbalanced_ablation_is_slower() {
     let report = check_against_oracle(&compiled, &arrays(m), 30, 1e-12).unwrap();
     // …but no longer at the maximum rate.
     let iv = report.run.timing("A").interval().unwrap();
-    assert!(iv > 2.2, "unbalanced Example 1 interval {iv} should exceed 2");
+    assert!(
+        iv > 2.2,
+        "unbalanced Example 1 interval {iv} should exceed 2"
+    );
 }
 
 #[test]
@@ -183,7 +188,10 @@ output X;
 "
     );
     let compiled = compile_source(&src, &CompileOptions::paper()).unwrap();
-    assert_eq!(compiled.stats.schemes["X"], crate::foriter::UsedScheme::Todd);
+    assert_eq!(
+        compiled.stats.schemes["X"],
+        crate::foriter::UsedScheme::Todd
+    );
     let b: Vec<f64> = (0..m + 2).map(|i| (i as f64 * 0.3).sin()).collect();
     let mut inputs = HashMap::new();
     inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
@@ -252,11 +260,17 @@ output Y;
     );
     inputs.insert(
         "C".to_string(),
-        ArrayVal::from_reals(0, &(0..n).map(|i| (i as f64 * 1.7).sin()).collect::<Vec<_>>()),
+        ArrayVal::from_reals(
+            0,
+            &(0..n).map(|i| (i as f64 * 1.7).sin()).collect::<Vec<_>>(),
+        ),
     );
     let report = check_against_oracle(&compiled, &inputs, 30, 1e-12).unwrap();
     let iv = report.run.timing("Y").interval().unwrap();
-    assert!((iv - 2.0).abs() < 0.1, "dynamic conditional interval {iv} ≉ 2");
+    assert!(
+        (iv - 2.0).abs() < 0.1,
+        "dynamic conditional interval {iv} ≉ 2"
+    );
 }
 
 #[test]
@@ -324,7 +338,10 @@ output Y;
     let compiled = compile_source(src, &CompileOptions::paper()).unwrap();
     assert_eq!(compiled.stats.dead_blocks, vec!["DEAD".to_string()]);
     let mut inputs = HashMap::new();
-    inputs.insert("B".to_string(), ArrayVal::from_reals(0, &[0., 1., 2., 3., 4.]));
+    inputs.insert(
+        "B".to_string(),
+        ArrayVal::from_reals(0, &[0., 1., 2., 3., 4.]),
+    );
     check_against_oracle(&compiled, &inputs, 4, 1e-12).unwrap();
 }
 
@@ -357,7 +374,10 @@ output S;
 ";
     let compiled = compile_source(src, &CompileOptions::paper()).unwrap();
     let mut inputs = HashMap::new();
-    inputs.insert("K".to_string(), ArrayVal::from_ints(0, &(0..11).collect::<Vec<_>>()));
+    inputs.insert(
+        "K".to_string(),
+        ArrayVal::from_ints(0, &(0..11).collect::<Vec<_>>()),
+    );
     // tol 0: integer data must match exactly even after the companion
     // transformation.
     check_against_oracle(&compiled, &inputs, 6, 0.0).unwrap();
@@ -382,21 +402,31 @@ output S3;
     let iv = report.run.timing("S3").interval().unwrap();
     // 8 outputs per 14-element input wave.
     let expected = 2.0 * 14.0 / 8.0;
-    assert!((iv - expected).abs() < 0.3, "chain interval {iv} ≉ {expected}");
+    assert!(
+        (iv - expected).abs() < 0.3,
+        "chain interval {iv} ≉ {expected}"
+    );
 }
 
 #[test]
 fn balance_modes_all_correct_with_decreasing_buffers() {
     let m = 16;
     let mut buffers = Vec::new();
-    for mode in [BalanceMode::Asap, BalanceMode::Heuristic, BalanceMode::Optimal] {
+    for mode in [
+        BalanceMode::Asap,
+        BalanceMode::Heuristic,
+        BalanceMode::Optimal,
+    ] {
         let mut opts = CompileOptions::paper();
         opts.balance = mode;
         let compiled = compile_source(&example1_src(m), &opts).unwrap();
         check_against_oracle(&compiled, &arrays(m), 8, 1e-12).unwrap();
         buffers.push(compiled.stats.global_buffers);
     }
-    assert!(buffers[2] <= buffers[1] && buffers[1] <= buffers[0], "{buffers:?}");
+    assert!(
+        buffers[2] <= buffers[1] && buffers[1] <= buffers[0],
+        "{buffers:?}"
+    );
 }
 
 #[test]
@@ -419,7 +449,10 @@ fn synthesized_generators_end_to_end() {
     );
     let report = check_against_oracle(&compiled, &arrays(m), 25, 1e-12).unwrap();
     let iv = report.run.timing("A").interval().unwrap();
-    assert!((iv - 2.0).abs() < 0.1, "synthesized Example 1 interval {iv}");
+    assert!(
+        (iv - 2.0).abs() < 0.1,
+        "synthesized Example 1 interval {iv}"
+    );
 }
 
 #[test]
@@ -457,7 +490,10 @@ output V;
     );
     let compiled = compile_source(&src, &CompileOptions::paper()).unwrap();
     let shape = compiled.dims.shapes["V"];
-    assert_eq!((shape.height(), shape.width()), (n as i64 + 2, m as i64 + 2));
+    assert_eq!(
+        (shape.height(), shape.width()),
+        (n as i64 + 2, m as i64 + 2)
+    );
     let rows: Vec<Vec<f64>> = (0..n + 2)
         .map(|i| {
             (0..m + 2)
@@ -543,9 +579,17 @@ output Y;
     // source node must fan out to exactly the two cells that consume it
     // (MULT twice → same cell ports count as arcs).
     let hist = compiled.graph.opcode_histogram();
-    assert_eq!(hist.get("TGATE").copied().unwrap_or(0), 0, "no gate needed for a full window");
+    assert_eq!(
+        hist.get("TGATE").copied().unwrap_or(0),
+        0,
+        "no gate needed for a full window"
+    );
     let src_node = compiled.graph.sources()[0].0;
-    assert_eq!(compiled.graph.out_arcs(src_node).len(), 3, "three consuming ports, one stream");
+    assert_eq!(
+        compiled.graph.out_arcs(src_node).len(),
+        3,
+        "three consuming ports, one stream"
+    );
 }
 
 #[test]
@@ -576,7 +620,15 @@ Y : array[real] :=
 output Y;
 ";
     let compiled = compile_source(src, &CompileOptions::paper()).unwrap();
-    assert_eq!(compiled.graph.opcode_histogram().get("MERG").copied().unwrap_or(0), 0);
+    assert_eq!(
+        compiled
+            .graph
+            .opcode_histogram()
+            .get("MERG")
+            .copied()
+            .unwrap_or(0),
+        0
+    );
     let b: Vec<f64> = (0..6).map(|i| i as f64).collect();
     let mut inputs = HashMap::new();
     inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
@@ -629,7 +681,10 @@ output Y;
     inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
     let report = check_against_oracle(&compiled, &inputs, 20, 1e-12).unwrap();
     let iv = report.run.timing("Y").interval().unwrap();
-    assert!((iv - 2.0).abs() < 0.15, "mixed static/dynamic interval {iv}");
+    assert!(
+        (iv - 2.0).abs() < 0.15,
+        "mixed static/dynamic interval {iv}"
+    );
 }
 
 #[test]

@@ -35,7 +35,10 @@ pub fn build_timestep_loop(
     delay_stages: usize,
 ) -> Graph {
     assert!(!initial.is_empty());
-    assert!(delay_stages >= initial.len(), "delay line must hold the whole array");
+    assert!(
+        delay_stages >= initial.len(),
+        "delay line must hold the whole array"
+    );
     let mut g = Graph::new();
     let mul = g.add_node(Opcode::Bin(BinOp::Mul), "f.mul");
     g.set_lit(mul, 1, Value::Real(a));
@@ -83,13 +86,15 @@ mod tests {
     use super::*;
     use valpipe_machine::Simulator;
 
-    fn run_loop(n: usize, extra_ops: usize, delay: usize, max_steps: u64) -> valpipe_machine::RunResult {
+    fn run_loop(
+        n: usize,
+        extra_ops: usize,
+        delay: usize,
+        max_steps: u64,
+    ) -> valpipe_machine::RunResult {
         let initial: Vec<Value> = (0..n).map(|i| Value::Real(i as f64)).collect();
         let g = build_timestep_loop(&initial, 0.5, 1.0, extra_ops, delay);
-        Simulator::builder(&g)
-            .max_steps(max_steps)
-            .run()
-            .unwrap()
+        Simulator::builder(&g).max_steps(max_steps).run().unwrap()
     }
 
     #[test]
@@ -105,7 +110,11 @@ mod tests {
         );
         for (k, &v) in got.iter().enumerate() {
             let (t, i) = (k / n, k % n);
-            assert!((v - want[t][i]).abs() < 1e-12, "step {t} elem {i}: {v} vs {}", want[t][i]);
+            assert!(
+                (v - want[t][i]).abs() < 1e-12,
+                "step {t} elem {i}: {v} vs {}",
+                want[t][i]
+            );
         }
     }
 

@@ -57,7 +57,10 @@ impl std::fmt::Display for VerifyError {
             VerifyError::Sim(m) => write!(f, "simulation fault: {m}"),
             VerifyError::Interp(m) => write!(f, "interpreter fault: {m}"),
             VerifyError::Stalled { steps, report } => {
-                write!(f, "pipeline stalled before consuming all input ({steps} steps)")?;
+                write!(
+                    f,
+                    "pipeline stalled before consuming all input ({steps} steps)"
+                )?;
                 if let Some(r) = report {
                     write!(f, "\n{r}")?;
                 }
@@ -102,6 +105,8 @@ pub fn stream_inputs(
 }
 
 /// Run the compiled program on `waves` repetitions of the input arrays.
+/// Machine faults come back annotated with the Val source location of the
+/// faulting cell (via the program's provenance table).
 pub fn run(
     compiled: &Compiled,
     arrays: &HashMap<String, ArrayVal>,
@@ -114,7 +119,7 @@ pub fn run(
         .inputs(inputs)
         .config(cfg)
         .run()
-        .map_err(|e| VerifyError::Sim(e.to_string()))
+        .map_err(|e| VerifyError::Sim(valpipe_machine::render_error(&e, &g, &compiled.prov)))
 }
 
 /// Outcome of a successful oracle check.
@@ -171,9 +176,16 @@ pub fn check_against_oracle_with(
         || result.stop == valpipe_machine::StopReason::MaxSteps
         || result.stop == valpipe_machine::StopReason::Stalled;
     if stalled {
+        // Render the stall diagnosis against the executable graph (the
+        // simulator's cell ids) so every blocked cell names its Val
+        // source statement.
+        let report = result.stall_report.as_ref().map(|r| {
+            let g = compiled.executable();
+            valpipe_machine::render_stall(r, &g, &compiled.prov)
+        });
         return Err(VerifyError::Stalled {
             steps: result.steps,
-            report: result.stall_report.as_ref().map(|r| r.to_string()),
+            report,
         });
     }
     let mut max_rel = 0.0f64;
@@ -264,10 +276,7 @@ pub fn run_timesteps(
         total += r.total_fires;
         am += r.am_fires;
         for &(out, input) in feedback {
-            let lo = compiled
-                .range_of(input)
-                .map(|(lo, _)| lo)
-                .unwrap_or(0);
+            let lo = compiled.range_of(input).map(|(lo, _)| lo).unwrap_or(0);
             arrays.insert(
                 input.to_string(),
                 ArrayVal {

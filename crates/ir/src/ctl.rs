@@ -44,7 +44,10 @@ impl CtlStream {
                 _ => pattern.push(Run { value, count }),
             }
         }
-        assert!(!pattern.is_empty(), "control stream pattern must be non-empty");
+        assert!(
+            !pattern.is_empty(),
+            "control stream pattern must be non-empty"
+        );
         CtlStream { pattern }
     }
 
@@ -111,7 +114,11 @@ impl CtlStream {
 
     /// Number of `true` packets per wave.
     pub fn trues_per_wave(&self) -> u32 {
-        self.pattern.iter().filter(|r| r.value).map(|r| r.count).sum()
+        self.pattern
+            .iter()
+            .filter(|r| r.value)
+            .map(|r| r.count)
+            .sum()
     }
 
     /// The canonical run-length pattern.
@@ -182,7 +189,10 @@ impl CtlStream {
     /// sees after an outer gate has already filtered the stream.
     pub fn compress(&self, mask: &Self) -> Self {
         assert_eq!(self.wave_len(), mask.wave_len());
-        assert!(mask.trues_per_wave() > 0, "compressing by an all-false mask");
+        assert!(
+            mask.trues_per_wave() > 0,
+            "compressing by an all-false mask"
+        );
         let len = self.wave_len() as u64;
         let bits: Vec<(bool, u32)> = (0..len)
             .filter(|&i| mask.at(i))
@@ -232,13 +242,22 @@ mod tests {
     #[test]
     fn repeats_per_wave() {
         let s = CtlStream::window(3, 0, 1);
-        assert_eq!(s.take(7), vec![true, false, false, true, false, false, true]);
+        assert_eq!(
+            s.take(7),
+            vec![true, false, false, true, false, false, true]
+        );
     }
 
     #[test]
     fn first_last_helpers() {
-        assert_eq!(CtlStream::first_only(4).take(4), vec![true, false, false, false]);
-        assert_eq!(CtlStream::last_only(4).take(4), vec![false, false, false, true]);
+        assert_eq!(
+            CtlStream::first_only(4).take(4),
+            vec![true, false, false, false]
+        );
+        assert_eq!(
+            CtlStream::last_only(4).take(4),
+            vec![false, false, false, true]
+        );
         assert_eq!(CtlStream::all_but_first(3).take(3), vec![false, true, true]);
         assert_eq!(CtlStream::all_but_last(3).take(3), vec![true, true, false]);
     }
@@ -256,7 +275,13 @@ mod tests {
     fn canonicalization_merges_runs() {
         let s = CtlStream::from_runs([(true, 1), (true, 2), (false, 0), (false, 3)]);
         assert_eq!(s.runs().len(), 2);
-        assert_eq!(s.runs()[0], Run { value: true, count: 3 });
+        assert_eq!(
+            s.runs()[0],
+            Run {
+                value: true,
+                count: 3
+            }
+        );
     }
 
     #[test]

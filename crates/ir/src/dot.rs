@@ -10,7 +10,10 @@ use std::fmt::Write;
 pub fn to_dot(g: &Graph, title: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{title}\" {{");
-    let _ = writeln!(out, "  rankdir=LR; node [shape=box, fontname=\"monospace\"];");
+    let _ = writeln!(
+        out,
+        "  rankdir=LR; node [shape=box, fontname=\"monospace\"];"
+    );
     for (i, node) in g.nodes.iter().enumerate() {
         let shape = match node.op {
             Opcode::Source(_) => "invhouse",
@@ -33,7 +36,11 @@ pub fn to_dot(g: &Graph, title: &str) -> String {
         );
     }
     for e in &g.arcs {
-        let style = if e.initial.is_some() { "dashed" } else { "solid" };
+        let style = if e.initial.is_some() {
+            "dashed"
+        } else {
+            "solid"
+        };
         let label = match e.initial {
             Some(v) => format!("init {v}"),
             None if e.phase != 0 => format!("phase {}", e.phase),

@@ -58,6 +58,12 @@ pub struct Node {
     /// to every one, and the cell re-enables only after all of them have
     /// been acknowledged.
     pub outputs: Vec<ArcId>,
+    /// Provenance id: index into the compiler's [`crate::prov::Provenance`]
+    /// table naming the source statement this cell implements. Purely a
+    /// side annotation — excluded from [`Graph::fingerprint`] and the JSON
+    /// machine-code format; 0 on hand-built graphs (the whole-program
+    /// fallback entry).
+    pub src: u32,
 }
 
 /// One destination link.
@@ -99,6 +105,10 @@ pub struct Graph {
     pub nodes: Vec<Node>,
     /// Destination links, indexed by [`ArcId`].
     pub arcs: Vec<Edge>,
+    /// Ambient provenance id stamped onto cells created by [`Graph::add_node`]
+    /// (see [`Node::src`]). The compiler points this at the statement it is
+    /// currently lowering via [`Graph::set_provenance`].
+    pub cur_src: u32,
 }
 
 /// Anything that can feed an operand port while building a graph: an
@@ -153,7 +163,8 @@ impl Graph {
         self.arcs.len()
     }
 
-    /// Add an instruction cell with all ports unbound.
+    /// Add an instruction cell with all ports unbound. The cell is stamped
+    /// with the ambient provenance id (see [`Graph::set_provenance`]).
     pub fn add_node(&mut self, op: Opcode, label: impl Into<String>) -> NodeId {
         let arity = op.arity();
         let id = NodeId(self.nodes.len() as u32);
@@ -162,8 +173,16 @@ impl Graph {
             label: label.into(),
             inputs: vec![PortBinding::Unbound; arity],
             outputs: Vec::new(),
+            src: self.cur_src,
         });
         id
+    }
+
+    /// Point the ambient provenance at the statement being lowered;
+    /// subsequently created cells carry `src`. Returns the previous value
+    /// so callers can restore an enclosing scope.
+    pub fn set_provenance(&mut self, src: u32) -> u32 {
+        std::mem::replace(&mut self.cur_src, src)
     }
 
     /// Connect `src`'s output to operand port `dst_port` of `dst`.
@@ -184,7 +203,13 @@ impl Graph {
     }
 
     /// Connect with an explicit stream-phase weight (see [`Edge::phase`]).
-    pub fn connect_phase(&mut self, src: NodeId, dst: NodeId, dst_port: usize, phase: i32) -> ArcId {
+    pub fn connect_phase(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        dst_port: usize,
+        phase: i32,
+    ) -> ArcId {
         self.connect_full(src, dst, dst_port, None, phase)
     }
 
@@ -197,7 +222,10 @@ impl Graph {
         initial: Option<Value>,
         phase: i32,
     ) -> ArcId {
-        assert!(dst_port < self.nodes[dst.idx()].inputs.len(), "port out of range");
+        assert!(
+            dst_port < self.nodes[dst.idx()].inputs.len(),
+            "port out of range"
+        );
         assert!(
             matches!(self.nodes[dst.idx()].inputs[dst_port], PortBinding::Unbound),
             "port {dst_port} of node {} ({}) already bound",
@@ -241,7 +269,11 @@ impl Graph {
     /// Create a cell and bind all of its operand ports in one step.
     pub fn cell(&mut self, op: Opcode, label: impl Into<String>, inputs: &[In]) -> NodeId {
         let id = self.add_node(op, label);
-        assert_eq!(inputs.len(), self.nodes[id.idx()].op.arity(), "wrong operand count");
+        assert_eq!(
+            inputs.len(),
+            self.nodes[id.idx()].op.arity(),
+            "wrong operand count"
+        );
         for (port, &input) in inputs.iter().enumerate() {
             self.bind(input, id, port);
         }
@@ -263,7 +295,10 @@ impl Graph {
 
     /// Successor cells of `n` (with multiplicity).
     pub fn successors(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
-        self.nodes[n.idx()].outputs.iter().map(|a| self.arcs[a.idx()].dst)
+        self.nodes[n.idx()]
+            .outputs
+            .iter()
+            .map(|a| self.arcs[a.idx()].dst)
     }
 
     /// Predecessor cells of `n` (with multiplicity).
@@ -293,10 +328,7 @@ impl Graph {
                 indeg[e.dst.idx()] += 1;
             }
         }
-        let mut stack: Vec<NodeId> = self
-            .node_ids()
-            .filter(|id| indeg[id.idx()] == 0)
-            .collect();
+        let mut stack: Vec<NodeId> = self.node_ids().filter(|id| indeg[id.idx()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(id) = stack.pop() {
             order.push(id);
@@ -329,10 +361,13 @@ impl Graph {
             let base_label = std::mem::take(&mut self.nodes[i].label);
             self.nodes[i].label = format!("{base_label}#0");
             // …then splice `depth - 1` further stages onto its output side.
+            // The stages inherit the FIFO cell's provenance.
+            let fifo_src = self.nodes[i].src;
             let mut tail = NodeId(i as u32);
             let moved_outputs = std::mem::take(&mut self.nodes[i].outputs);
             for k in 1..depth {
                 let stage = self.add_node(Opcode::Id, format!("{base_label}#{k}"));
+                self.nodes[stage.idx()].src = fifo_src;
                 self.connect(tail, stage, 0);
                 tail = stage;
                 created += 1;
@@ -356,8 +391,16 @@ impl Graph {
         if depth == 0 {
             return None;
         }
-        let Edge { src, dst, dst_port, .. } = self.arcs[arc.idx()];
-        let first = self.add_node(Opcode::Fifo(depth), format!("bal→{}", self.nodes[dst.idx()].label));
+        let Edge {
+            src, dst, dst_port, ..
+        } = self.arcs[arc.idx()];
+        let first = self.add_node(
+            Opcode::Fifo(depth),
+            format!("bal→{}", self.nodes[dst.idx()].label),
+        );
+        // A balancing buffer pads the consumer's operand path, so it is
+        // blamed on the consuming statement.
+        self.nodes[first.idx()].src = self.nodes[dst.idx()].src;
         // Rewire: src → first, first → dst (reusing the original arc for the
         // downstream segment keeps `dst`'s port binding and initial token).
         // Remove `arc` from src's output list.

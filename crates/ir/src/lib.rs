@@ -25,6 +25,7 @@ pub mod dot;
 pub mod graph;
 pub mod opcode;
 pub mod pretty;
+pub mod prov;
 mod serialize;
 pub mod validate;
 pub mod value;
@@ -32,4 +33,5 @@ pub mod value;
 pub use ctl::{CtlStream, Run};
 pub use graph::{ArcId, Edge, Graph, In, Node, NodeId, PortBinding};
 pub use opcode::{Opcode, GATE_CTL, GATE_DATA, MERGE_CTL, MERGE_FALSE, MERGE_TRUE};
+pub use prov::{Provenance, SourceInfo, Span};
 pub use value::{apply_bin, apply_un, BinOp, EvalError, UnOp, Value};

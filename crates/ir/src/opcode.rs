@@ -105,7 +105,8 @@ impl Opcode {
     pub fn is_function_unit(&self) -> bool {
         matches!(
             self,
-            Opcode::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div) | Opcode::Un(UnOp::Neg | UnOp::Abs)
+            Opcode::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+                | Opcode::Un(UnOp::Neg | UnOp::Abs)
         )
     }
 

@@ -27,10 +27,7 @@ pub fn listing(g: &Graph) -> String {
             .iter()
             .map(|a| {
                 let e = &g.arcs[a.idx()];
-                let init = e
-                    .initial
-                    .map(|v| format!("[init {v}]"))
-                    .unwrap_or_default();
+                let init = e.initial.map(|v| format!("[init {v}]")).unwrap_or_default();
                 format!("cell{}.{}{}", e.dst.idx(), e.dst_port, init)
             })
             .collect::<Vec<_>>()

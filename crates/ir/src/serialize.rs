@@ -18,7 +18,10 @@ fn tag(name: &'static str, payload: Json) -> Json {
 
 pub(crate) fn graph_to_json(g: &Graph) -> Json {
     Json::obj([
-        ("nodes", Json::Arr(g.nodes.iter().map(node_to_json).collect())),
+        (
+            "nodes",
+            Json::Arr(g.nodes.iter().map(node_to_json).collect()),
+        ),
         ("arcs", Json::Arr(g.arcs.iter().map(edge_to_json).collect())),
     ])
 }
@@ -27,8 +30,14 @@ fn node_to_json(n: &Node) -> Json {
     Json::obj([
         ("op", opcode_to_json(&n.op)),
         ("label", Json::Str(n.label.clone())),
-        ("inputs", Json::Arr(n.inputs.iter().map(binding_to_json).collect())),
-        ("outputs", Json::Arr(n.outputs.iter().map(|a| Json::Int(a.0 as i64)).collect())),
+        (
+            "inputs",
+            Json::Arr(n.inputs.iter().map(binding_to_json).collect()),
+        ),
+        (
+            "outputs",
+            Json::Arr(n.outputs.iter().map(|a| Json::Int(a.0 as i64)).collect()),
+        ),
     ])
 }
 
@@ -37,7 +46,10 @@ fn edge_to_json(e: &Edge) -> Json {
         ("src", Json::Int(e.src.0 as i64)),
         ("dst", Json::Int(e.dst.0 as i64)),
         ("dst_port", Json::Int(e.dst_port as i64)),
-        ("initial", e.initial.as_ref().map_or(Json::Null, value_to_json)),
+        (
+            "initial",
+            e.initial.as_ref().map_or(Json::Null, value_to_json),
+        ),
         ("back", Json::Bool(e.back)),
         ("phase", Json::Int(e.phase as i64)),
     ])
@@ -85,9 +97,10 @@ fn opcode_to_json(op: &Opcode) -> Json {
                 ),
             )]),
         ),
-        Opcode::IdxGen { lo, hi } => {
-            tag("IdxGen", Json::obj([("lo", Json::Int(*lo)), ("hi", Json::Int(*hi))]))
-        }
+        Opcode::IdxGen { lo, hi } => tag(
+            "IdxGen",
+            Json::obj([("lo", Json::Int(*lo)), ("hi", Json::Int(*hi))]),
+        ),
         Opcode::Source(name) => tag("Source", Json::Str(name.clone())),
         Opcode::Sink(name) => tag("Sink", Json::Str(name.clone())),
         Opcode::AmWrite => Json::Str("AmWrite".into()),
@@ -100,19 +113,23 @@ fn opcode_to_json(op: &Opcode) -> Json {
 // ---------------------------------------------------------------------------
 
 fn want<'a>(j: &'a Json, key: &str, what: &str) -> Result<&'a Json, String> {
-    j.get(key).ok_or_else(|| format!("{what}: missing field '{key}'"))
+    j.get(key)
+        .ok_or_else(|| format!("{what}: missing field '{key}'"))
 }
 
 fn as_int(j: &Json, what: &str) -> Result<i64, String> {
-    j.as_i64().ok_or_else(|| format!("{what}: expected an integer, got {j}"))
+    j.as_i64()
+        .ok_or_else(|| format!("{what}: expected an integer, got {j}"))
 }
 
 fn as_str<'a>(j: &'a Json, what: &str) -> Result<&'a str, String> {
-    j.as_str().ok_or_else(|| format!("{what}: expected a string, got {j}"))
+    j.as_str()
+        .ok_or_else(|| format!("{what}: expected a string, got {j}"))
 }
 
 fn as_arr<'a>(j: &'a Json, what: &str) -> Result<&'a [Json], String> {
-    j.as_arr().ok_or_else(|| format!("{what}: expected an array"))
+    j.as_arr()
+        .ok_or_else(|| format!("{what}: expected an array"))
 }
 
 /// A tagged enum value: either a bare string (unit variant) or an object
@@ -140,7 +157,11 @@ pub(crate) fn graph_from_json(j: &Json) -> Result<Graph, String> {
         .iter()
         .map(edge_from_json)
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Graph { nodes, arcs })
+    Ok(Graph {
+        nodes,
+        arcs,
+        cur_src: 0,
+    })
 }
 
 fn node_from_json(j: &Json) -> Result<Node, String> {
@@ -155,6 +176,9 @@ fn node_from_json(j: &Json) -> Result<Node, String> {
             .iter()
             .map(|a| Ok(ArcId(as_int(a, "node.outputs")? as u32)))
             .collect::<Result<Vec<_>, String>>()?,
+        // Provenance is a compiler-side table, not machine code; loaded
+        // programs map to the whole-program fallback entry.
+        src: 0,
     })
 }
 
@@ -168,7 +192,9 @@ fn edge_from_json(j: &Json) -> Result<Edge, String> {
         dst: NodeId(as_int(want(j, "dst", "arc")?, "arc.dst")? as u32),
         dst_port: as_int(want(j, "dst_port", "arc")?, "arc.dst_port")? as usize,
         initial,
-        back: want(j, "back", "arc")?.as_bool().ok_or("arc.back: expected a boolean")?,
+        back: want(j, "back", "arc")?
+            .as_bool()
+            .ok_or("arc.back: expected a boolean")?,
         phase: as_int(want(j, "phase", "arc")?, "arc.phase")? as i32,
     })
 }
@@ -177,11 +203,14 @@ fn binding_from_json(j: &Json) -> Result<PortBinding, String> {
     let (name, p) = variant(j, "port binding")?;
     match name {
         "Unbound" => Ok(PortBinding::Unbound),
-        "Wired" => Ok(PortBinding::Wired(ArcId(as_int(
-            payload(p, name, "port binding")?,
-            "Wired",
-        )? as u32))),
-        "Lit" => Ok(PortBinding::Lit(value_from_json(payload(p, name, "port binding")?)?)),
+        "Wired" => Ok(PortBinding::Wired(ArcId(
+            as_int(payload(p, name, "port binding")?, "Wired")? as u32,
+        ))),
+        "Lit" => Ok(PortBinding::Lit(value_from_json(payload(
+            p,
+            name,
+            "port binding",
+        )?)?)),
         other => Err(format!("port binding: unknown variant '{other}'")),
     }
 }
@@ -237,9 +266,17 @@ fn opcode_from_json(j: &Json) -> Result<Opcode, String> {
         "Merge" => Ok(Opcode::Merge),
         "AmWrite" => Ok(Opcode::AmWrite),
         "AmRead" => Ok(Opcode::AmRead),
-        "Bin" => Ok(Opcode::Bin(bin_op_from_str(as_str(payload(p, name, "opcode")?, "Bin")?)?)),
-        "Un" => Ok(Opcode::Un(un_op_from_str(as_str(payload(p, name, "opcode")?, "Un")?)?)),
-        "Fifo" => Ok(Opcode::Fifo(as_int(payload(p, name, "opcode")?, "Fifo")? as u32)),
+        "Bin" => Ok(Opcode::Bin(bin_op_from_str(as_str(
+            payload(p, name, "opcode")?,
+            "Bin",
+        )?)?)),
+        "Un" => Ok(Opcode::Un(un_op_from_str(as_str(
+            payload(p, name, "opcode")?,
+            "Un",
+        )?)?)),
+        "Fifo" => Ok(Opcode::Fifo(
+            as_int(payload(p, name, "opcode")?, "Fifo")? as u32
+        )),
         "CtlGen" => {
             let p = payload(p, name, "opcode")?;
             let runs = as_arr(want(p, "pattern", "CtlGen")?, "CtlGen.pattern")?
@@ -261,8 +298,12 @@ fn opcode_from_json(j: &Json) -> Result<Opcode, String> {
                 hi: as_int(want(p, "hi", "IdxGen")?, "IdxGen.hi")?,
             })
         }
-        "Source" => Ok(Opcode::Source(as_str(payload(p, name, "opcode")?, "Source")?.to_string())),
-        "Sink" => Ok(Opcode::Sink(as_str(payload(p, name, "opcode")?, "Sink")?.to_string())),
+        "Source" => Ok(Opcode::Source(
+            as_str(payload(p, name, "opcode")?, "Source")?.to_string(),
+        )),
+        "Sink" => Ok(Opcode::Sink(
+            as_str(payload(p, name, "opcode")?, "Sink")?.to_string(),
+        )),
         other => Err(format!("opcode: unknown variant '{other}'")),
     }
 }

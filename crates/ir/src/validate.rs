@@ -16,7 +16,11 @@ use std::fmt;
 #[allow(missing_docs)] // field names are self-describing diagnostics payloads
 pub enum Defect {
     /// An operand port was never wired or given a literal.
-    UnboundPort { node: usize, port: usize, label: String },
+    UnboundPort {
+        node: usize,
+        port: usize,
+        label: String,
+    },
     /// A literal was bound where a boolean control stream is required and
     /// the literal is not boolean.
     NonBoolCtlLiteral { node: usize, port: usize },
@@ -39,7 +43,10 @@ impl fmt::Display for Defect {
                 write!(f, "cell {node} ({label}): operand port {port} unbound")
             }
             Defect::NonBoolCtlLiteral { node, port } => {
-                write!(f, "cell {node}: control port {port} bound to non-boolean literal")
+                write!(
+                    f,
+                    "cell {node}: control port {port} bound to non-boolean literal"
+                )
             }
             Defect::ZeroFifo { node } => write!(f, "cell {node}: FIFO of depth 0"),
             Defect::UnseededCycle => write!(f, "cycle with no initial token (deadlock)"),
@@ -159,7 +166,9 @@ mod tests {
         let a = g.add_node(Opcode::Source("a".into()), "a");
         let _add = g.cell(Opcode::Id, "dead", &[a.into()]);
         let defects = validate(&g);
-        assert!(defects.iter().any(|d| matches!(d, Defect::DeadOutput { .. })));
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, Defect::DeadOutput { .. })));
     }
 
     #[test]

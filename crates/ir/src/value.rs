@@ -121,7 +121,14 @@ impl BinOp {
     pub fn is_predicate(self) -> bool {
         matches!(
             self,
-            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+            BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::And
+                | BinOp::Or
         )
     }
 
@@ -205,7 +212,9 @@ pub fn apply_bin(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
             (Int(x), Int(y)) => Ok(Bool(cmp_ok(op, x.cmp(&y)))),
             (x, y) => match (x.as_real(), y.as_real()) {
                 (Some(x), Some(y)) => {
-                    let ord = x.partial_cmp(&y).ok_or_else(|| EvalError("NaN comparison".into()))?;
+                    let ord = x
+                        .partial_cmp(&y)
+                        .ok_or_else(|| EvalError("NaN comparison".into()))?;
                     Ok(Bool(cmp_ok(op, ord)))
                 }
                 _ => Err(type_err(op.mnemonic(), a, Some(b))),
@@ -290,11 +299,26 @@ mod tests {
 
     #[test]
     fn int_arith_basics() {
-        assert_eq!(apply_bin(BinOp::Add, 2.into(), 3.into()).unwrap(), Value::Int(5));
-        assert_eq!(apply_bin(BinOp::Mul, 4.into(), (-2).into()).unwrap(), Value::Int(-8));
-        assert_eq!(apply_bin(BinOp::Div, 7.into(), 2.into()).unwrap(), Value::Int(3));
-        assert_eq!(apply_bin(BinOp::Min, 7.into(), 2.into()).unwrap(), Value::Int(2));
-        assert_eq!(apply_bin(BinOp::Max, 7.into(), 2.into()).unwrap(), Value::Int(7));
+        assert_eq!(
+            apply_bin(BinOp::Add, 2.into(), 3.into()).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            apply_bin(BinOp::Mul, 4.into(), (-2).into()).unwrap(),
+            Value::Int(-8)
+        );
+        assert_eq!(
+            apply_bin(BinOp::Div, 7.into(), 2.into()).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            apply_bin(BinOp::Min, 7.into(), 2.into()).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            apply_bin(BinOp::Max, 7.into(), 2.into()).unwrap(),
+            Value::Int(7)
+        );
     }
 
     #[test]
@@ -333,9 +357,18 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(apply_bin(BinOp::Le, 2.into(), 2.into()).unwrap(), Value::Bool(true));
-        assert_eq!(apply_bin(BinOp::Gt, 2.into(), 2.into()).unwrap(), Value::Bool(false));
-        assert_eq!(apply_bin(BinOp::Ne, 2.into(), 3.into()).unwrap(), Value::Bool(true));
+        assert_eq!(
+            apply_bin(BinOp::Le, 2.into(), 2.into()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            apply_bin(BinOp::Gt, 2.into(), 2.into()).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            apply_bin(BinOp::Ne, 2.into(), 3.into()).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(
             apply_bin(BinOp::Eq, Value::Bool(true), Value::Bool(true)).unwrap(),
             Value::Bool(true)
@@ -344,8 +377,14 @@ mod tests {
 
     #[test]
     fn unary_ops() {
-        assert_eq!(apply_un(UnOp::Neg, Value::Real(2.5)).unwrap(), Value::Real(-2.5));
-        assert_eq!(apply_un(UnOp::Not, true.into()).unwrap(), Value::Bool(false));
+        assert_eq!(
+            apply_un(UnOp::Neg, Value::Real(2.5)).unwrap(),
+            Value::Real(-2.5)
+        );
+        assert_eq!(
+            apply_un(UnOp::Not, true.into()).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(apply_un(UnOp::Abs, (-3).into()).unwrap(), Value::Int(3));
         assert!(apply_un(UnOp::Not, 1.into()).is_err());
     }

@@ -46,11 +46,19 @@ fn and_or_pointwise() {
         let n = (l * 2) as usize;
         assert_eq!(
             bits(&ae.and(&be), n),
-            bits(&ae, n).iter().zip(bits(&be, n)).map(|(&x, y)| x && y).collect::<Vec<_>>()
+            bits(&ae, n)
+                .iter()
+                .zip(bits(&be, n))
+                .map(|(&x, y)| x && y)
+                .collect::<Vec<_>>()
         );
         assert_eq!(
             bits(&ae.or(&be), n),
-            bits(&ae, n).iter().zip(bits(&be, n)).map(|(&x, y)| x || y).collect::<Vec<_>>()
+            bits(&ae, n)
+                .iter()
+                .zip(bits(&be, n))
+                .map(|(&x, y)| x || y)
+                .collect::<Vec<_>>()
         );
     }
 }

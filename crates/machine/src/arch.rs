@@ -10,8 +10,6 @@
 //! accesses shipped to array memories, the unit's service latency.
 
 use crate::sim::{ArcDelays, ResourceModel};
-#[allow(deprecated)]
-use crate::sim::SimOptions;
 use std::sync::Mutex;
 use valpipe_ir::graph::Graph;
 
@@ -146,8 +144,8 @@ impl Placement {
                 UnitClass::FunctionUnit => cfg.fu_latency,
                 UnitClass::ArrayMemory => cfg.am_latency,
             };
-            let remote = self.pe_of[s] != self.pe_of[d]
-                || self.class_of[s] != UnitClass::ProcessingElement;
+            let remote =
+                self.pe_of[s] != self.pe_of[d] || self.class_of[s] != UnitClass::ProcessingElement;
             let transit = if remote { cfg.network_latency } else { 0 };
             forward.push(service + transit);
             ack.push(1 + transit);
@@ -169,19 +167,6 @@ impl Placement {
             .delays(self.arc_delays(g))
             .resources(self.resources())
             .arc_capacity(arc_capacity)
-    }
-
-    /// Simulation options bundling this placement's delays and budgets
-    /// (legacy).
-    #[deprecated(since = "0.2.0", note = "use `sim_config` with `Simulator::builder`")]
-    #[allow(deprecated)]
-    pub fn sim_options(&self, g: &Graph, arc_capacity: usize) -> SimOptions {
-        SimOptions {
-            delays: Some(self.arc_delays(g)),
-            resources: Some(self.resources()),
-            arc_capacity,
-            ..SimOptions::default()
-        }
     }
 }
 
@@ -247,7 +232,11 @@ mod tests {
         let a = g.add_node(Opcode::Source("a".into()), "a");
         let mut prev = a;
         for k in 0..stages {
-            prev = g.cell(Opcode::Bin(BinOp::Add), format!("s{k}"), &[prev.into(), 1.0.into()]);
+            prev = g.cell(
+                Opcode::Bin(BinOp::Add),
+                format!("s{k}"),
+                &[prev.into(), 1.0.into()],
+            );
         }
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[prev.into()]);
         g
@@ -256,7 +245,13 @@ mod tests {
     #[test]
     fn round_robin_spreads_cells() {
         let g = chain(10);
-        let p = Placement::round_robin(&g, MachineConfig { pes: 4, ..Default::default() });
+        let p = Placement::round_robin(
+            &g,
+            MachineConfig {
+                pes: 4,
+                ..Default::default()
+            },
+        );
         let used: std::collections::HashSet<_> = p.pe_of.iter().copied().collect();
         assert_eq!(used.len(), 4);
     }

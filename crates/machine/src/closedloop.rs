@@ -91,12 +91,6 @@ impl ClosedLoopResult {
                 .unwrap_or_default(),
         )
     }
-
-    /// Steady-state interval on a sink port.
-    #[deprecated(since = "0.2.0", note = "use `timing(port).interval()`")]
-    pub fn steady_interval(&self, port: &str) -> Option<f64> {
-        self.timing(port).interval()
-    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -225,7 +219,10 @@ pub fn run_closed_loop(
             };
             let plan: Option<(Vec<ArcId>, Option<Value>)> = match &node.op {
                 Opcode::Bin(op) => {
-                    match (lit_or(&node.inputs[0], &ready), lit_or(&node.inputs[1], &ready)) {
+                    match (
+                        lit_or(&node.inputs[0], &ready),
+                        lit_or(&node.inputs[1], &ready),
+                    ) {
                         (Some(a), Some(b)) if outputs_free(true) => {
                             let v = apply_bin(*op, a, b).map_err(|e| SimError::Eval {
                                 node: i,
@@ -268,10 +265,7 @@ pub fn run_closed_loop(
                             if pass && !outputs_free(true) {
                                 None
                             } else {
-                                Some((
-                                    wired(node, &[GATE_CTL, GATE_DATA]),
-                                    pass.then_some(d),
-                                ))
+                                Some((wired(node, &[GATE_CTL, GATE_DATA]), pass.then_some(d)))
                             }
                         }
                         _ => None,
@@ -321,7 +315,9 @@ pub fn run_closed_loop(
                         None
                     }
                 }
-                Opcode::Sink(_) => lit_or(&node.inputs[0], &ready).map(|v| (wired(node, &[0]), Some(v))),
+                Opcode::Sink(_) => {
+                    lit_or(&node.inputs[0], &ready).map(|v| (wired(node, &[0]), Some(v)))
+                }
                 Opcode::Fifo(_) => unreachable!(),
             };
             if let Some((consume, emit)) = plan {
@@ -378,7 +374,11 @@ pub fn run_closed_loop(
         // 3. Inject one packet per PE per plane per cycle.
         for pe in 0..opts.pes {
             if let Some(&(dest, payload)) = egress_res[pe].front() {
-                let pkt = Packet { dest, injected_at: 0, seq };
+                let pkt = Packet {
+                    dest,
+                    injected_at: 0,
+                    seq,
+                };
                 if result_net.inject(pe, pkt) {
                     in_flight_res.insert(seq, payload);
                     seq += 1;
@@ -388,7 +388,11 @@ pub fn run_closed_loop(
                 }
             }
             if let Some(&(dest, payload)) = egress_ack[pe].front() {
-                let pkt = Packet { dest, injected_at: 0, seq };
+                let pkt = Packet {
+                    dest,
+                    injected_at: 0,
+                    seq,
+                };
                 if ack_net.inject(pe, pkt) {
                     in_flight_ack.insert(seq, payload);
                     seq += 1;
@@ -434,7 +438,12 @@ pub fn run_closed_loop(
             // A downed link can hold packets motionless for its whole
             // window (stage-to-stage movement does not count as
             // activity), so quiescence also requires both planes empty.
-            let fault_end = opts.link_faults.iter().map(|lf| lf.until).max().unwrap_or(0);
+            let fault_end = opts
+                .link_faults
+                .iter()
+                .map(|lf| lf.until)
+                .max()
+                .unwrap_or(0);
             if idle > 4 + 2 * result_net.stages() as u64
                 && now >= fault_end
                 && result_net.is_empty()
@@ -509,10 +518,15 @@ mod tests {
             .unwrap();
         for pes in [2usize, 4, 8] {
             let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % pes).collect();
-            let r = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
-                pes,
-                ..Default::default()
-            })
+            let r = run_closed_loop(
+                &g,
+                &inputs,
+                &pe_of,
+                &ClosedLoopOptions {
+                    pes,
+                    ..Default::default()
+                },
+            )
             .unwrap();
             assert!(r.sources_exhausted, "pes={pes}");
             assert_eq!(r.values("out"), ideal.values("out"), "pes={pes}");
@@ -525,11 +539,16 @@ mod tests {
         let data: Vec<Value> = (0..120).map(|i| Value::Real(i as f64)).collect();
         let inputs = ProgramInputs::new().bind("a", data);
         let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % 4).collect();
-        let r = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
-            pes: 4,
-            arc_capacity: 1,
-            ..Default::default()
-        })
+        let r = run_closed_loop(
+            &g,
+            &inputs,
+            &pe_of,
+            &ClosedLoopOptions {
+                pes: 4,
+                arc_capacity: 1,
+                ..Default::default()
+            },
+        )
         .unwrap();
         assert!(r.sources_exhausted);
         // Remote hop = 2 network cycles each way + fire → interval well
@@ -539,14 +558,22 @@ mod tests {
         // Deeper operand slots win rate back (the §2 buffering story).
         let data: Vec<Value> = (0..120).map(|i| Value::Real(i as f64)).collect();
         let inputs = ProgramInputs::new().bind("a", data);
-        let r4 = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
-            pes: 4,
-            arc_capacity: 4,
-            ..Default::default()
-        })
+        let r4 = run_closed_loop(
+            &g,
+            &inputs,
+            &pe_of,
+            &ClosedLoopOptions {
+                pes: 4,
+                arc_capacity: 4,
+                ..Default::default()
+            },
+        )
         .unwrap();
         let iv4 = r4.timing("out").interval().unwrap();
-        assert!(iv4 < iv - 0.5, "buffered links must be faster: {iv4} vs {iv}");
+        assert!(
+            iv4 < iv - 0.5,
+            "buffered links must be faster: {iv4} vs {iv}"
+        );
     }
 
     #[test]
@@ -554,19 +581,29 @@ mod tests {
         let g = chain_graph();
         let inputs = ProgramInputs::new().bind("a", vec![Value::Real(1.0)]);
         let pe_of: Vec<usize> = vec![0; g.node_count()];
-        let err = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
-            pes: 3,
-            ..Default::default()
-        })
+        let err = run_closed_loop(
+            &g,
+            &inputs,
+            &pe_of,
+            &ClosedLoopOptions {
+                pes: 3,
+                ..Default::default()
+            },
+        )
         .unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
-        let err = run_closed_loop(&g, &inputs, &pe_of[1..], &ClosedLoopOptions::default())
-            .unwrap_err();
+        let err =
+            run_closed_loop(&g, &inputs, &pe_of[1..], &ClosedLoopOptions::default()).unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
-        let err = run_closed_loop(&g, &inputs, &vec![99; g.node_count()], &ClosedLoopOptions {
-            pes: 4,
-            ..Default::default()
-        })
+        let err = run_closed_loop(
+            &g,
+            &inputs,
+            &vec![99; g.node_count()],
+            &ClosedLoopOptions {
+                pes: 4,
+                ..Default::default()
+            },
+        )
         .unwrap_err();
         assert!(matches!(err, SimError::InvalidConfig(_)), "{err}");
     }
@@ -577,12 +614,20 @@ mod tests {
         let data: Vec<Value> = (0..60).map(|i| Value::Real(i as f64)).collect();
         let inputs = ProgramInputs::new().bind("a", data);
         let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % 4).collect();
-        let clean = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
+        let clean = run_closed_loop(
+            &g,
+            &inputs,
+            &pe_of,
+            &ClosedLoopOptions {
+                pes: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut faulty_opts = ClosedLoopOptions {
             pes: 4,
             ..Default::default()
-        })
-        .unwrap();
-        let mut faulty_opts = ClosedLoopOptions { pes: 4, ..Default::default() };
+        };
         for port in 0..4 {
             faulty_opts.link_faults.push(crate::fault::LinkFault {
                 stage: 0,
@@ -608,10 +653,15 @@ mod tests {
         let data: Vec<Value> = (0..30).map(|i| Value::Real(i as f64)).collect();
         let inputs = ProgramInputs::new().bind("a", data);
         let pe_of: Vec<usize> = (0..g.node_count()).map(|i| i % 2).collect();
-        let r = run_closed_loop(&g, &inputs, &pe_of, &ClosedLoopOptions {
-            pes: 2,
-            ..Default::default()
-        })
+        let r = run_closed_loop(
+            &g,
+            &inputs,
+            &pe_of,
+            &ClosedLoopOptions {
+                pes: 2,
+                ..Default::default()
+            },
+        )
         .unwrap();
         // Every remote result eventually produces a remote ack (same PE
         // split for every arc in this placement).

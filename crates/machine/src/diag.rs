@@ -1,0 +1,179 @@
+//! Source-level rendering of machine diagnostics.
+//!
+//! The simulator's [`MachineError`] and [`StallReport`] carry bare cell
+//! indices and labels — all the machine knows. When the graph came out of
+//! the compiler, its nodes carry provenance ids into a
+//! [`Provenance`](valpipe_ir::prov::Provenance) table, and the helpers
+//! here render the same diagnostics with the Val statement each cell
+//! implements:
+//!
+//! ```text
+//! deadlock at step 812 (0 firings in final window)
+//! cell 17 (B.dgate.14, TGATE) blocked: waiting on port(s) [1]
+//!   at fig6.val:4:5: in forall body of block 'B' 'B[i] := (A[i-1]+A[i]+A[i+1])/3.'
+//! ```
+//!
+//! The diagnostic structs themselves are unchanged (the provenance table
+//! is a compiler-side artifact, not machine state), so snapshots and the
+//! machine-code format are unaffected.
+
+use crate::error::MachineError;
+use crate::watchdog::StallReport;
+use valpipe_ir::prov::Provenance;
+use valpipe_ir::Graph;
+
+/// `file:line:col: in <role> '<snippet>'` for a cell, or `None` when the
+/// cell has no resolved provenance (hand-built graphs).
+fn cell_source(g: &Graph, prov: &Provenance, node: usize) -> Option<String> {
+    let n = g.nodes.get(node)?;
+    if !prov.is_resolved(n.src) {
+        return None;
+    }
+    Some(prov.describe(n.src))
+}
+
+/// Render a [`MachineError`] with the source statement of every cell it
+/// names. Falls back to the error's plain `Display` when the faulting
+/// cell has no provenance.
+pub fn render_error(e: &MachineError, g: &Graph, prov: &Provenance) -> String {
+    let mut out = e.to_string();
+    let node = match e {
+        MachineError::Eval { node, .. } => Some(*node),
+        MachineError::NonBoolControl { node, .. } => Some(*node),
+        MachineError::UnexpandedFifo(node) => Some(*node),
+        _ => None,
+    };
+    if let Some(src) = node.and_then(|n| cell_source(g, prov, n)) {
+        out.push_str("\n  at ");
+        out.push_str(&src);
+    }
+    out
+}
+
+/// Render a [`StallReport`] with the source statement of every blocked
+/// cell, every held arc's endpoints, and the wait cycle. Cells without
+/// provenance keep their plain one-line form.
+pub fn render_stall(r: &StallReport, g: &Graph, prov: &Provenance) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} at step {} ({} firings in final window)",
+        r.kind, r.step, r.fires_in_window
+    );
+    for c in &r.blocked_cells {
+        let _ = write!(out, "cell {} ({}, {}) blocked:", c.node, c.label, c.opcode);
+        if !c.missing_ports.is_empty() {
+            let _ = write!(out, " waiting on port(s) {:?}", c.missing_ports);
+        }
+        if !c.full_output_arcs.is_empty() {
+            let _ = write!(
+                out,
+                " output arc(s) {:?} full (consumer never acknowledged)",
+                c.full_output_arcs
+            );
+        }
+        out.push('\n');
+        if let Some(src) = cell_source(g, prov, c.node) {
+            let _ = writeln!(out, "  at {src}");
+        }
+    }
+    if r.blocked_cells.is_empty() {
+        out.push_str("no cell holds partial inputs; sources were never drained\n");
+    }
+    for a in &r.held_arcs {
+        let _ = writeln!(
+            out,
+            "arc {} (cell {} -> cell {}): {} token(s) queued, {} slot(s) unacknowledged",
+            a.arc, a.src, a.dst, a.tokens, a.unacked
+        );
+        if let Some(src) = cell_source(g, prov, a.dst) {
+            let _ = writeln!(out, "  at {src}");
+        }
+    }
+    if let Some(cycle) = &r.cycle {
+        let path: Vec<String> = cycle.iter().map(|n| n.to_string()).collect();
+        let _ = writeln!(out, "wait cycle: {} -> {}", path.join(" -> "), cycle[0]);
+        for &n in cycle {
+            if let Some(src) = cell_source(g, prov, n) {
+                let _ = writeln!(out, "  cell {n} at {src}");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::watchdog::{BlockedCell, StallKind};
+    use valpipe_ir::opcode::Opcode;
+    use valpipe_ir::prov::Span;
+
+    fn graph_with_prov() -> (Graph, Provenance) {
+        let mut prov = Provenance::new("ex.val");
+        let id = prov.add(
+            "forall body of block 'B'",
+            Span::new(0, 10, 4, 5),
+            "B[i] := A[i] * 2.",
+        );
+        let mut g = Graph::new();
+        g.set_provenance(id);
+        g.add_node(Opcode::Id, "b.cell".to_string());
+        (g, prov)
+    }
+
+    #[test]
+    fn error_rendering_appends_source_line() {
+        let (g, prov) = graph_with_prov();
+        let e = MachineError::Eval {
+            node: 0,
+            label: "b.cell".into(),
+            message: "division by zero".into(),
+        };
+        let r = render_error(&e, &g, &prov);
+        assert!(r.starts_with("cell 0 (b.cell): division by zero"));
+        assert!(
+            r.contains("at ex.val:4:5: in forall body of block 'B' 'B[i] := A[i] * 2.'"),
+            "missing source line: {r}"
+        );
+    }
+
+    #[test]
+    fn unresolved_cells_render_plain() {
+        let g = {
+            let mut g = Graph::new();
+            g.add_node(Opcode::Id, "x".to_string());
+            g
+        };
+        let prov = Provenance::new("ex.val");
+        let e = MachineError::NonBoolControl {
+            node: 0,
+            label: "x".into(),
+        };
+        assert_eq!(render_error(&e, &g, &prov), e.to_string());
+    }
+
+    #[test]
+    fn stall_rendering_names_blocked_cells() {
+        let (g, prov) = graph_with_prov();
+        let r = StallReport {
+            step: 42,
+            kind: StallKind::Deadlock,
+            blocked_cells: vec![BlockedCell {
+                node: 0,
+                label: "b.cell".into(),
+                opcode: "ID".into(),
+                missing_ports: vec![0],
+                full_output_arcs: vec![],
+            }],
+            held_arcs: vec![],
+            cycle: None,
+            fires_in_window: 0,
+        };
+        let s = render_stall(&r, &g, &prov);
+        assert!(s.contains("deadlock at step 42"));
+        assert!(s.contains("cell 0 (b.cell, ID) blocked: waiting on port(s) [0]"));
+        assert!(s.contains("at ex.val:4:5: in forall body of block 'B'"));
+    }
+}

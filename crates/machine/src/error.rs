@@ -82,7 +82,11 @@ pub type SimError = MachineError;
 impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MachineError::Eval { node, label, message } => {
+            MachineError::Eval {
+                node,
+                label,
+                message,
+            } => {
                 write!(f, "cell {node} ({label}): {message}")
             }
             MachineError::NonBoolControl { node, label } => {
@@ -90,11 +94,17 @@ impl fmt::Display for MachineError {
             }
             MachineError::MissingInput(name) => write!(f, "no input bound for source '{name}'"),
             MachineError::UnexpandedFifo(node) => {
-                write!(f, "cell {node}: symbolic FIFO not lowered (call expand_fifos)")
+                write!(
+                    f,
+                    "cell {node}: symbolic FIFO not lowered (call expand_fifos)"
+                )
             }
             MachineError::InvalidConfig(msg) => write!(f, "invalid machine configuration: {msg}"),
             MachineError::DelayTableMismatch { expected, got } => {
-                write!(f, "arc delay table has {got} entries but the graph has {expected} arcs")
+                write!(
+                    f,
+                    "arc delay table has {got} entries but the graph has {expected} arcs"
+                )
             }
             MachineError::InvariantViolation { step, detail } => {
                 write!(f, "machine invariant violated at step {step}: {detail}")

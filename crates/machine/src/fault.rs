@@ -253,7 +253,9 @@ impl FaultPlan {
                     .parse()
                     .map_err(|_| format!("fault spec '{part}': bad probability '{v}'"))?;
                 if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("fault spec '{part}': probability {p} outside [0, 1]"));
+                    return Err(format!(
+                        "fault spec '{part}': probability {p} outside [0, 1]"
+                    ));
                 }
                 Ok(p)
             };
@@ -325,9 +327,9 @@ impl FaultPlan {
                 }
                 "link" => {
                     // stage.port@from..until
-                    let (addr, rest) = value
-                        .split_once('@')
-                        .ok_or_else(|| format!("fault spec '{part}': expected stage.port@from..until"))?;
+                    let (addr, rest) = value.split_once('@').ok_or_else(|| {
+                        format!("fault spec '{part}': expected stage.port@from..until")
+                    })?;
                     let (stage, port) = addr
                         .split_once('.')
                         .ok_or_else(|| format!("fault spec '{part}': expected stage.port"))?;
@@ -369,12 +371,19 @@ mod tests {
 
     #[test]
     fn decisions_are_deterministic_and_position_keyed() {
-        let plan = FaultPlan { seed: 7, drop_result: 0.3, ..Default::default() };
+        let plan = FaultPlan {
+            seed: 7,
+            drop_result: 0.3,
+            ..Default::default()
+        };
         let a: Vec<ResultFate> = (0..200).map(|t| plan.result_fate(3, t)).collect();
         let b: Vec<ResultFate> = (0..200).map(|t| plan.result_fate(3, t)).collect();
         assert_eq!(a, b, "same position → same fate");
         let dropped = a.iter().filter(|f| **f == ResultFate::Drop).count();
-        assert!((30..=90).contains(&dropped), "≈30% of 200 dropped, got {dropped}");
+        assert!(
+            (30..=90).contains(&dropped),
+            "≈30% of 200 dropped, got {dropped}"
+        );
         // A different arc sees a different (but equally deterministic) pattern.
         let c: Vec<ResultFate> = (0..200).map(|t| plan.result_fate(4, t)).collect();
         assert_ne!(a, c);
@@ -399,7 +408,11 @@ mod tests {
     #[test]
     fn freeze_windows() {
         let plan = FaultPlan {
-            freezes: vec![CellFreeze { node: 2, from: 10, until: 20 }],
+            freezes: vec![CellFreeze {
+                node: 2,
+                from: 10,
+                until: 20,
+            }],
             ..Default::default()
         };
         assert!(!plan.frozen(2, 9));
@@ -423,8 +436,23 @@ mod tests {
         assert_eq!(plan.drop_ack, 0.003);
         assert_eq!(plan.delay_ack, 0.04);
         assert_eq!(plan.delay_ack_max, 2);
-        assert_eq!(plan.freezes, vec![CellFreeze { node: 7, from: 100, until: 200 }]);
-        assert_eq!(plan.link_faults, vec![LinkFault { stage: 1, port: 3, from: 50, until: 60 }]);
+        assert_eq!(
+            plan.freezes,
+            vec![CellFreeze {
+                node: 7,
+                from: 100,
+                until: 200
+            }]
+        );
+        assert_eq!(
+            plan.link_faults,
+            vec![LinkFault {
+                stage: 1,
+                port: 3,
+                from: 50,
+                until: 60
+            }]
+        );
         assert!(!plan.is_empty());
     }
 

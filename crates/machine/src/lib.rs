@@ -18,6 +18,7 @@
 
 pub mod arch;
 pub mod closedloop;
+pub mod diag;
 pub mod error;
 pub mod fault;
 pub mod network;
@@ -31,18 +32,13 @@ pub mod watchdog;
 
 pub use arch::{MachineConfig, Placement};
 pub use closedloop::{run_closed_loop, ClosedLoopOptions, ClosedLoopResult};
+pub use diag::{render_error, render_stall};
 pub use error::{MachineError, SimError};
 pub use fault::{CellFreeze, FaultPlan, LinkFault};
 pub use network::{OmegaNetwork, Packet};
 pub use scheduler::Kernel;
 pub use session::{Session, SessionBuilder, SimConfig};
+pub use sim::{ArcDelays, ProgramInputs, ResourceModel, RunResult, Simulator, StopReason, Timing};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trace::{chrome_trace, occupancy_chart};
-pub use sim::{
-    ArcDelays, ProgramInputs, ResourceModel, RunResult, Simulator, StopReason, Timing,
-};
-#[allow(deprecated)]
-pub use sim::{run_program, steady_interval_of, steady_rate_of, SimOptions};
-pub use watchdog::{
-    BlockedCell, HeldArc, ProgressTracker, StallKind, StallReport, WatchdogConfig,
-};
+pub use watchdog::{BlockedCell, HeldArc, ProgressTracker, StallKind, StallReport, WatchdogConfig};

@@ -97,7 +97,12 @@ impl OmegaNetwork {
         if port >= self.ports() {
             return Err(format!("link fault port {port} >= {} ports", self.ports()));
         }
-        self.link_faults.push(LinkFault { stage, port, from, until });
+        self.link_faults.push(LinkFault {
+            stage,
+            port,
+            from,
+            until,
+        });
         Ok(())
     }
 
@@ -108,9 +113,9 @@ impl OmegaNetwork {
     }
 
     fn link_down(&self, stage: usize, port: usize) -> bool {
-        self.link_faults
-            .iter()
-            .any(|lf| lf.stage == stage && lf.port == port && lf.from <= self.now && self.now < lf.until)
+        self.link_faults.iter().any(|lf| {
+            lf.stage == stage && lf.port == port && lf.from <= self.now && self.now < lf.until
+        })
     }
 
     /// Number of ports.
@@ -309,12 +314,20 @@ mod tests {
         for ports in [4usize, 8, 16, 64] {
             for dest in [0usize, ports - 1, ports / 2] {
                 let mut net = OmegaNetwork::new(ports, 4);
-                assert!(net.inject(1 % ports, Packet { dest, injected_at: 0, seq: 0 }));
+                assert!(net.inject(
+                    1 % ports,
+                    Packet {
+                        dest,
+                        injected_at: 0,
+                        seq: 0
+                    }
+                ));
                 net.drain(1000);
                 let &(t, p) = &net.delivered()[0];
                 assert_eq!(p.dest, dest);
                 assert_eq!(
-                    t, net.stages() as u64,
+                    t,
+                    net.stages() as u64,
                     "ports={ports} dest={dest}: unloaded latency = stages"
                 );
             }
@@ -326,7 +339,14 @@ mod tests {
         let ports = 16;
         let mut net = OmegaNetwork::new(ports, 4);
         for p in 0..ports {
-            assert!(net.inject(p, Packet { dest: p, injected_at: 0, seq: p as u64 }));
+            assert!(net.inject(
+                p,
+                Packet {
+                    dest: p,
+                    injected_at: 0,
+                    seq: p as u64
+                }
+            ));
         }
         net.drain(1000);
         assert_eq!(net.delivered().len(), ports);
@@ -342,7 +362,14 @@ mod tests {
         let ports = 8;
         let mut net = OmegaNetwork::new(ports, 8);
         for p in 0..ports {
-            assert!(net.inject(p, Packet { dest: 0, injected_at: 0, seq: p as u64 }));
+            assert!(net.inject(
+                p,
+                Packet {
+                    dest: 0,
+                    injected_at: 0,
+                    seq: p as u64
+                }
+            ));
         }
         net.drain(1000);
         assert_eq!(net.delivered().len(), ports);
@@ -358,7 +385,14 @@ mod tests {
         let mut injected = 0u64;
         for cycle in 0..50u64 {
             let _ = cycle;
-            if net.inject(3, Packet { dest: 5, injected_at: 0, seq: injected }) {
+            if net.inject(
+                3,
+                Packet {
+                    dest: 5,
+                    injected_at: 0,
+                    seq: injected,
+                },
+            ) {
                 injected += 1;
             }
             net.step();
@@ -379,7 +413,14 @@ mod tests {
         let mut net = OmegaNetwork::new(4, 4);
         net.fail_link(0, 1, 0, 20).unwrap();
         // Port 1 → dest 3 routes over line 1 out of stage 0.
-        assert!(net.inject(1, Packet { dest: 3, injected_at: 0, seq: 0 }));
+        assert!(net.inject(
+            1,
+            Packet {
+                dest: 3,
+                injected_at: 0,
+                seq: 0
+            }
+        ));
         net.drain(1000);
         assert_eq!(net.delivered().len(), 1);
         let (t, p) = net.delivered()[0];

@@ -377,7 +377,10 @@ impl Simulator<'_> {
             let plans: &[(u32, FirePlan)] = &plans;
             let pool = self.pool.as_ref().expect("pool created above");
             let mut shards: Vec<((usize, &mut [_]), &mut WorkerBuf)> =
-                split_shards(&mut self.arcs, w).into_iter().zip(bufs.iter_mut()).collect();
+                split_shards(&mut self.arcs, w)
+                    .into_iter()
+                    .zip(bufs.iter_mut())
+                    .collect();
             pool.run_sharded(&mut shards, |_wi, ((base, slice), buf)| {
                 let (base, end) = (*base, *base + slice.len());
                 for &(nid, plan) in plans {
@@ -460,7 +463,11 @@ mod tests {
                 mask.fetch_or(1 << wi, Ordering::SeqCst);
             });
             assert_eq!(hits.load(Ordering::SeqCst), 4, "round {round}");
-            assert_eq!(mask.load(Ordering::SeqCst), 0b1111, "each worker ran exactly once");
+            assert_eq!(
+                mask.load(Ordering::SeqCst),
+                0b1111,
+                "each worker ran exactly once"
+            );
         }
     }
 

@@ -87,7 +87,11 @@ const WHEEL_SLOTS: usize = 64;
 
 impl Wheel {
     fn new(cursor: u64) -> Self {
-        Wheel { cursor, buckets: vec![Vec::new(); WHEEL_SLOTS], far: BinaryHeap::new() }
+        Wheel {
+            cursor,
+            buckets: vec![Vec::new(); WHEEL_SLOTS],
+            far: BinaryHeap::new(),
+        }
     }
 
     #[inline]
@@ -165,8 +169,11 @@ impl Scheduler {
     /// first examination); after that, only events schedule work.
     pub(crate) fn new(kernel: Kernel, cells: usize) -> Self {
         let enabled = matches!(kernel, Kernel::EventDriven | Kernel::ParallelEvent(_));
-        let mut sched =
-            Scheduler { enabled, node_wheel: Wheel::new(0), arc_wheel: Wheel::new(0) };
+        let mut sched = Scheduler {
+            enabled,
+            node_wheel: Wheel::new(0),
+            arc_wheel: Wheel::new(0),
+        };
         if enabled {
             for n in 0..cells as u32 {
                 sched.node_wheel.push(n, 0);
@@ -189,8 +196,11 @@ impl Scheduler {
     /// under any kernel resumes under any other bit-identically.
     pub(crate) fn resume(kernel: Kernel, cells: usize, now: u64) -> Self {
         let enabled = matches!(kernel, Kernel::EventDriven | Kernel::ParallelEvent(_));
-        let mut sched =
-            Scheduler { enabled, node_wheel: Wheel::new(now), arc_wheel: Wheel::new(now) };
+        let mut sched = Scheduler {
+            enabled,
+            node_wheel: Wheel::new(now),
+            arc_wheel: Wheel::new(now),
+        };
         if enabled {
             for n in 0..cells as u32 {
                 sched.node_wheel.push(n, now);
@@ -298,7 +308,11 @@ mod tests {
             assert!(nodes_at(&mut s, t).is_empty(), "nothing due at {t}");
         }
         assert_eq!(nodes_at(&mut s, WHEEL_SLOTS as u64 + 5), vec![9]);
-        assert_eq!(nodes_at(&mut s, 1 << 40), vec![4], "cursor jump drains the far heap");
+        assert_eq!(
+            nodes_at(&mut s, 1 << 40),
+            vec![4],
+            "cursor jump drains the far heap"
+        );
     }
 
     #[test]

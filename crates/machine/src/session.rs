@@ -1,10 +1,9 @@
 //! The simulator's session API: one fluent entry point for every run.
 //!
-//! Historically the crate grew three overlapping ways to start a
-//! simulation — `run_program` for the defaults, bare `Simulator::new`
-//! with a hand-filled `SimOptions` struct, and per-experiment wrappers
-//! in the bench crate. This module replaces all of them with one
-//! surface:
+//! Historically the crate grew several overlapping ways to start a
+//! simulation (a bare constructor with a hand-filled options struct,
+//! convenience free functions, per-experiment wrappers in the bench
+//! crate). This module replaces all of them with one surface:
 //!
 //! ```
 //! use valpipe_machine::{ProgramInputs, Simulator};
@@ -29,7 +28,7 @@
 //!   reporters thread one through compile-run-compare pipelines.
 //! * [`SessionBuilder`] binds a config to a graph and its inputs;
 //!   [`SessionBuilder::run`] also transparently expands FIFO
-//!   pseudo-cells (what `run_program` used to do).
+//!   pseudo-cells.
 //! * [`Session`] is a prepared machine: [`Session::step`] for manual
 //!   single-stepping (traces, closed-loop experiments) and
 //!   [`Session::run`] to drive it to completion.
@@ -306,7 +305,7 @@ impl<'g> SessionBuilder<'g> {
 
     /// Run to completion. FIFO pseudo-cells are expanded on a private
     /// copy of the graph first, so callers can run a compiled program
-    /// directly (this subsumes the legacy `run_program` helper).
+    /// directly.
     pub fn run(self) -> Result<RunResult, SimError> {
         if self.g.nodes.iter().any(|n| matches!(n.op, Opcode::Fifo(_))) {
             let mut g = self.g.clone();
@@ -371,7 +370,9 @@ impl<'g> Session<'g> {
         snap: &Snapshot,
         kernel: Kernel,
     ) -> Result<Session<'g>, SnapshotError> {
-        Ok(Session { sim: snap.rebuild(g, kernel)? })
+        Ok(Session {
+            sim: snap.rebuild(g, kernel)?,
+        })
     }
 
     /// Current instruction time.

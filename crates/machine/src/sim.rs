@@ -45,7 +45,7 @@ use crate::fault::{AckFate, FaultPlan, ResultFate};
 use crate::scheduler::{Kernel, Scheduler};
 use crate::session::{SessionBuilder, SimConfig};
 use crate::watchdog::{
-    shortest_cycle, BlockedCell, HeldArc, ProgressTracker, StallKind, StallReport, WatchdogConfig,
+    shortest_cycle, BlockedCell, HeldArc, ProgressTracker, StallKind, StallReport,
 };
 
 /// Input data: for each `Source` port name, the full sequence of packets to
@@ -119,95 +119,6 @@ impl ArcDelays {
             forward: vec![1; arcs],
             ack: vec![1; arcs],
         }
-    }
-}
-
-/// Simulation options (legacy).
-///
-/// Superseded by [`Simulator::builder`] and [`SimConfig`]'s fluent
-/// setters; retained so existing struct-literal construction keeps
-/// compiling for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "configure runs with `Simulator::builder(&g)` / `SimConfig` fluent setters instead"
-)]
-#[derive(Debug, Clone)]
-pub struct SimOptions {
-    /// Hard step limit (guards against livelock in buggy programs).
-    pub max_steps: u64,
-    /// Arc capacity (tokens simultaneously buffered per link). The static
-    /// architecture's base rule is 1.
-    pub arc_capacity: usize,
-    /// Per-arc latencies; `None` = uniform 1/1.
-    pub delays: Option<ArcDelays>,
-    /// Optional contention model.
-    pub resources: Option<ResourceModel>,
-    /// Record the firing time of every firing of every cell (costly; used
-    /// by utilization experiments).
-    pub record_fire_times: bool,
-    /// Stop once every listed sink has received at least this many
-    /// packets. Needed for programs whose outputs do not depend on any
-    /// input (a recurrence with constant coefficients regenerates its
-    /// array forever from the control generators alone).
-    pub stop_outputs: Option<Vec<(String, usize)>>,
-    /// Optional fault-injection plan. `None` (or an empty plan) leaves
-    /// the simulation bit-identical to the fault-free machine.
-    pub fault_plan: Option<FaultPlan>,
-    /// Optional watchdog: bounds the run with a step budget and detects
-    /// livelock (firings without progress), producing a structured
-    /// [`StallReport`] instead of a bare step-limit stop.
-    pub watchdog: Option<WatchdogConfig>,
-    /// Verify runtime invariants (token conservation, arc capacity,
-    /// acknowledge accounting, gate discard accounting) after every
-    /// step; violations surface as
-    /// [`MachineError::InvariantViolation`].
-    pub check_invariants: bool,
-}
-
-#[allow(deprecated)]
-impl Default for SimOptions {
-    fn default() -> Self {
-        SimOptions {
-            max_steps: 10_000_000,
-            arc_capacity: 1,
-            delays: None,
-            resources: None,
-            record_fire_times: false,
-            stop_outputs: None,
-            fault_plan: None,
-            watchdog: None,
-            check_invariants: false,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl SimOptions {
-    /// Convert into the builder-era [`SimConfig`] (the kernel defaults to
-    /// [`Kernel::EventDriven`], like every other entry point).
-    ///
-    /// Routes through the public fluent setters only, so the shim can
-    /// never drift from what `Simulator::builder` would configure.
-    pub fn into_config(self) -> SimConfig {
-        let mut cfg = SimConfig::new()
-            .max_steps(self.max_steps)
-            .arc_capacity(self.arc_capacity)
-            .record_fire_times(self.record_fire_times)
-            .check_invariants(self.check_invariants)
-            .fault_plan_opt(self.fault_plan);
-        if let Some(d) = self.delays {
-            cfg = cfg.delays(d);
-        }
-        if let Some(r) = self.resources {
-            cfg = cfg.resources(r);
-        }
-        if let Some(s) = self.stop_outputs {
-            cfg = cfg.stop_outputs(s);
-        }
-        if let Some(w) = self.watchdog {
-            cfg = cfg.watchdog(w);
-        }
-        cfg
     }
 }
 
@@ -304,13 +215,12 @@ impl RunResult {
 
     /// Emission-time report for a source port.
     pub fn source_timing(&self, name: &str) -> Timing {
-        Timing::of(self.source_emit_times.get(name).cloned().unwrap_or_default())
-    }
-
-    /// Steady-state initiation interval on a sink port.
-    #[deprecated(since = "0.2.0", note = "use `timing(port).interval()`")]
-    pub fn steady_interval(&self, port: &str) -> Option<f64> {
-        self.timing(port).interval()
+        Timing::of(
+            self.source_emit_times
+                .get(name)
+                .cloned()
+                .unwrap_or_default(),
+        )
     }
 
     /// Pipeline fill latency of an output: instruction times from the
@@ -342,7 +252,9 @@ pub struct Timing {
 impl Timing {
     /// Analysis of a monotone event-time sequence.
     pub fn of(times: impl Into<Vec<u64>>) -> Self {
-        Timing { times: times.into() }
+        Timing {
+            times: times.into(),
+        }
     }
 
     /// The raw event times.
@@ -385,19 +297,6 @@ impl Timing {
     }
 }
 
-/// Steady-state mean inter-arrival spacing over the middle 60% of a
-/// monotone time sequence. `None` if fewer than 8 events.
-#[deprecated(since = "0.2.0", note = "use `Timing::of(times).interval()`")]
-pub fn steady_interval_of(times: &[u64]) -> Option<f64> {
-    Timing::of(times.to_vec()).interval()
-}
-
-/// Computation rate = packets per instruction time on a port.
-#[deprecated(since = "0.2.0", note = "use `Timing::of(times).rate()`")]
-pub fn steady_rate_of(times: &[u64]) -> Option<f64> {
-    Timing::of(times.to_vec()).rate()
-}
-
 #[derive(Debug)]
 pub(crate) struct ArcState {
     /// In-flight and deliverable tokens: `(value, ready_at)`.
@@ -427,7 +326,9 @@ impl ArcState {
         self.queue.len() + self.freeing.len() + (self.lost_result + self.lost_ack) as usize
     }
     fn peek(&self, now: u64) -> Option<Value> {
-        self.queue.front().and_then(|&(v, t)| (t <= now).then_some(v))
+        self.queue
+            .front()
+            .and_then(|&(v, t)| (t <= now).then_some(v))
     }
 }
 
@@ -589,7 +490,9 @@ pub(crate) enum StopSlots {
 
 impl StopSlots {
     pub(crate) fn compile(stop: &Option<Vec<(String, usize)>>, cells: &Cells) -> StopSlots {
-        let Some(list) = stop else { return StopSlots::Inactive };
+        let Some(list) = stop else {
+            return StopSlots::Inactive;
+        };
         let mut watch = Vec::with_capacity(list.len());
         for (name, count) in list {
             match cells.outputs.iter().position(|(p, _)| p == name) {
@@ -631,8 +534,7 @@ impl Operand {
 
 /// The simulation engine. Construct through [`Simulator::builder`], which
 /// yields a [`crate::session::Session`]; the engine's `step`/`run` remain
-/// public for the session to delegate to (and for the deprecated
-/// [`Simulator::new`] path).
+/// public for the session to delegate to.
 pub struct Simulator<'g> {
     pub(crate) g: &'g Graph,
     pub(crate) cfg: SimConfig,
@@ -675,16 +577,6 @@ impl<'g> Simulator<'g> {
     /// or [`crate::session::SessionBuilder::run`] to completion.
     pub fn builder(g: &'g Graph) -> SessionBuilder<'g> {
         SessionBuilder::new(g)
-    }
-
-    /// Prepare a simulation of `g` with the given inputs (legacy).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Simulator::builder(&g).inputs(...)` and `.build()` or `.run()`"
-    )]
-    #[allow(deprecated)]
-    pub fn new(g: &'g Graph, inputs: &ProgramInputs, opts: SimOptions) -> Result<Self, SimError> {
-        Self::with_config(g, inputs, opts.into_config())
     }
 
     pub(crate) fn with_config(
@@ -797,7 +689,9 @@ impl<'g> Simulator<'g> {
     fn operand(&self, n: NodeId, port: usize) -> Option<Operand> {
         match self.g.nodes[n.idx()].inputs[port] {
             PortBinding::Lit(v) => Some(Operand::Literal(v)),
-            PortBinding::Wired(a) => self.arcs[a.idx()].peek(self.now).map(|v| Operand::FromArc(a, v)),
+            PortBinding::Wired(a) => self.arcs[a.idx()]
+                .peek(self.now)
+                .map(|v| Operand::FromArc(a, v)),
             PortBinding::Unbound => None,
         }
     }
@@ -832,7 +726,9 @@ impl<'g> Simulator<'g> {
                 Some(FirePlan::consume2(a, b).emit(v))
             }
             Opcode::Un(op) => {
-                let Some(a) = self.operand(n, 0) else { return Ok(None) };
+                let Some(a) = self.operand(n, 0) else {
+                    return Ok(None);
+                };
                 if !self.outputs_free(n) {
                     return Ok(None);
                 }
@@ -844,7 +740,9 @@ impl<'g> Simulator<'g> {
                 Some(FirePlan::consume1(a).emit(v))
             }
             Opcode::Id | Opcode::AmWrite | Opcode::AmRead => {
-                let Some(a) = self.operand(n, 0) else { return Ok(None) };
+                let Some(a) = self.operand(n, 0) else {
+                    return Ok(None);
+                };
                 if !self.outputs_free(n) {
                     return Ok(None);
                 }
@@ -852,11 +750,16 @@ impl<'g> Simulator<'g> {
                 Some(FirePlan::consume1(a).emit(v))
             }
             Opcode::TGate | Opcode::FGate => {
-                let (Some(c), Some(d)) = (self.operand(n, GATE_CTL), self.operand(n, GATE_DATA)) else {
+                let (Some(c), Some(d)) = (self.operand(n, GATE_CTL), self.operand(n, GATE_DATA))
+                else {
                     return Ok(None);
                 };
                 let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
-                let pass = if matches!(node.op, Opcode::TGate) { ctl } else { !ctl };
+                let pass = if matches!(node.op, Opcode::TGate) {
+                    ctl
+                } else {
+                    !ctl
+                };
                 if pass {
                     if !self.outputs_free(n) {
                         return Ok(None);
@@ -870,10 +773,14 @@ impl<'g> Simulator<'g> {
                 }
             }
             Opcode::Merge => {
-                let Some(c) = self.operand(n, MERGE_CTL) else { return Ok(None) };
+                let Some(c) = self.operand(n, MERGE_CTL) else {
+                    return Ok(None);
+                };
                 let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
                 let port = if ctl { MERGE_TRUE } else { MERGE_FALSE };
-                let Some(d) = self.operand(n, port) else { return Ok(None) };
+                let Some(d) = self.operand(n, port) else {
+                    return Ok(None);
+                };
                 if !self.outputs_free(n) {
                     return Ok(None);
                 }
@@ -909,7 +816,9 @@ impl<'g> Simulator<'g> {
                 Some(FirePlan::new().emit(data[self.cells.src_pos[n.idx()]]))
             }
             Opcode::Sink(_) => {
-                let Some(a) = self.operand(n, 0) else { return Ok(None) };
+                let Some(a) = self.operand(n, 0) else {
+                    return Ok(None);
+                };
                 let v = a.value();
                 Some(FirePlan::consume1(a).emit(v)) // "emit" records to the sink
             }
@@ -955,12 +864,16 @@ impl<'g> Simulator<'g> {
             match &node.op {
                 Opcode::Sink(_) => {
                     // "emit" records to the sink; nothing is launched.
-                    self.cells.outputs[self.cells.sink_slot[i] as usize].1.push((now, v));
+                    self.cells.outputs[self.cells.sink_slot[i] as usize]
+                        .1
+                        .push((now, v));
                     self.progress += 1;
                 }
                 Opcode::Source(_) => {
                     self.cells.src_pos[i] += 1;
-                    self.cells.emit_times[self.cells.src_slot[i] as usize].1.push(now);
+                    self.cells.emit_times[self.cells.src_slot[i] as usize]
+                        .1
+                        .push(now);
                     self.progress += 1;
                     launch = Some(v);
                 }
@@ -1059,7 +972,9 @@ impl<'g> Simulator<'g> {
     /// step; the wakeup is a no-op for the scan kernel, which re-scans
     /// everything anyway.
     pub(crate) fn apply_throttle(&mut self, plans: &mut Vec<(u32, FirePlan)>) {
-        let Some(res) = &self.cfg.resources else { return };
+        let Some(res) = &self.cfg.resources else {
+            return;
+        };
         let mut budget = mem::take(&mut self.scratch.budget);
         budget.clear();
         budget.extend_from_slice(&res.capacity);
@@ -1238,7 +1153,7 @@ impl<'g> Simulator<'g> {
             // counted strictly after the last freeze window ends, or a
             // thawing cell would be declared dead at the instant it
             // wakes.
-            if self.idle > max_lat && self.now > freeze_end + max_lat {
+            if self.idle > max_lat && self.now > freeze_end.saturating_add(max_lat) {
                 break;
             }
             if self.now >= step_limit {
@@ -1254,10 +1169,11 @@ impl<'g> Simulator<'g> {
             {
                 let snap = crate::snapshot::Snapshot::capture(&self);
                 if let Some(path) = &self.cfg.checkpoint_path {
-                    snap.write_to(path).map_err(|e| MachineError::CheckpointIo {
-                        path: path.clone(),
-                        detail: e.to_string(),
-                    })?;
+                    snap.write_to(path)
+                        .map_err(|e| MachineError::CheckpointIo {
+                            path: path.clone(),
+                            detail: e.to_string(),
+                        })?;
                 }
                 if let Some(sink) = sink.as_mut() {
                     sink(snap);
@@ -1298,8 +1214,7 @@ impl<'g> Simulator<'g> {
                             step: self.now,
                             detail: format!(
                                 "completed run left arc {i} with {} unsettled acknowledge slot(s)",
-                                st.freeing.len()
-                                    + (st.lost_result + st.lost_ack) as usize
+                                st.freeing.len() + (st.lost_result + st.lost_ack) as usize
                             ),
                         });
                     }
@@ -1311,7 +1226,13 @@ impl<'g> Simulator<'g> {
             .map(|kind| self.build_stall_report(kind, self.tracker.fires_since_progress()));
         // Slot names are unique (cells sharing a port share a slot), so
         // collecting into the result maps loses nothing.
-        let Cells { fires, fire_times, outputs, emit_times, .. } = self.cells;
+        let Cells {
+            fires,
+            fire_times,
+            outputs,
+            emit_times,
+            ..
+        } = self.cells;
         Ok(RunResult {
             steps: self.now,
             stop,
@@ -1451,7 +1372,10 @@ impl<'g> Simulator<'g> {
         for n in self.g.node_ids() {
             let node = &self.g.nodes[n.idx()];
             if matches!(node.op, Opcode::TGate | Opcode::FGate) {
-                let (p, d) = (self.cells.gate_passes[n.idx()], self.cells.gate_discards[n.idx()]);
+                let (p, d) = (
+                    self.cells.gate_passes[n.idx()],
+                    self.cells.gate_discards[n.idx()],
+                );
                 if p + d != self.cells.fires[n.idx()] {
                     return Err(MachineError::InvariantViolation {
                         step,
@@ -1484,7 +1408,10 @@ pub(crate) struct FirePlan {
 
 impl FirePlan {
     fn new() -> Self {
-        FirePlan { consume: [None; 2], emit: None }
+        FirePlan {
+            consume: [None; 2],
+            emit: None,
+        }
     }
     fn consume1(a: Operand) -> Self {
         let mut p = Self::new();
@@ -1502,7 +1429,10 @@ impl FirePlan {
             if self.consume[0].is_none() {
                 self.consume[0] = Some(a);
             } else {
-                debug_assert!(self.consume[1].is_none(), "an opcode consumes at most two arcs");
+                debug_assert!(
+                    self.consume[1].is_none(),
+                    "an opcode consumes at most two arcs"
+                );
                 self.consume[1] = Some(a);
             }
         }
@@ -1528,15 +1458,6 @@ pub(crate) fn launch_value(g: &Graph, nid: u32, plan: &FirePlan) -> Option<Value
     } else {
         plan.emit
     }
-}
-
-/// Convenience: validate-expand-run with default options (legacy).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `Simulator::builder(&g).inputs(...).run()`"
-)]
-pub fn run_program(g: &Graph, inputs: &ProgramInputs) -> Result<RunResult, SimError> {
-    Simulator::builder(g).inputs(inputs.clone()).run()
 }
 
 #[cfg(test)]
@@ -1628,7 +1549,10 @@ mod tests {
         let iv = r.timing("out").interval().unwrap();
         assert!(iv > 2.5, "unbalanced diamond interval {iv} should exceed 2");
         // Values are still correct — imbalance costs speed, not correctness.
-        assert_eq!(r.reals("out"), data.iter().map(|x| x + x).collect::<Vec<_>>());
+        assert_eq!(
+            r.reals("out"),
+            data.iter().map(|x| x + x).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -1684,7 +1608,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r.reals("out"), vec![1., 2., 5., 6.]);
-        assert!(r.sources_exhausted, "discarded packets must not jam the source");
+        assert!(
+            r.sources_exhausted,
+            "discarded packets must not jam the source"
+        );
     }
 
     #[test]
@@ -1693,7 +1620,10 @@ mod tests {
         let mut g = Graph::new();
         let t = g.add_node(Opcode::Source("t".into()), "t");
         let f = g.add_node(Opcode::Source("f".into()), "f");
-        let ctl = g.add_node(Opcode::CtlGen(CtlStream::from_runs([(true, 1), (false, 1)])), "ctl");
+        let ctl = g.add_node(
+            Opcode::CtlGen(CtlStream::from_runs([(true, 1), (false, 1)])),
+            "ctl",
+        );
         let m = g.cell(Opcode::Merge, "m", &[ctl.into(), t.into(), f.into()]);
         let _ = g.cell(Opcode::Sink("out".into()), "out", &[m.into()]);
         let r = run_defaults(
@@ -1778,88 +1708,5 @@ mod tests {
             .run()
             .unwrap();
         assert_eq!(r.reals("out"), vec![1.0, 2.0]);
-    }
-
-    /// The deprecated entry points still compile and produce the same
-    /// results as the builder (one-release compatibility shims).
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_match_builder() {
-        let g = fig2();
-        let inputs = ProgramInputs::new()
-            .bind("a", reals(&[1.0, 2.0, 3.0]))
-            .bind("b", reals(&[4.0, 5.0, 6.0]));
-        let via_builder = Simulator::builder(&g).inputs(inputs.clone()).run().unwrap();
-        let via_run_program = run_program(&g, &inputs).unwrap();
-        let via_new = Simulator::new(&g, &inputs, SimOptions::default())
-            .unwrap()
-            .run()
-            .unwrap();
-        assert_eq!(via_builder, via_run_program);
-        assert_eq!(via_builder, via_new);
-        // Non-default options must convert without drift either: the shim
-        // routes through the fluent setters, so a fully-loaded SimOptions
-        // and the equivalent builder chain are the same run — under both
-        // kernels.
-        let opts = SimOptions {
-            max_steps: 5_000,
-            arc_capacity: 2,
-            delays: Some(ArcDelays {
-                forward: vec![2; g.arcs.len()],
-                ack: vec![1; g.arcs.len()],
-            }),
-            resources: None,
-            record_fire_times: true,
-            stop_outputs: Some(vec![("out".into(), 3)]),
-            fault_plan: Some(FaultPlan {
-                seed: 11,
-                delay_result: 0.3,
-                delay_result_max: 2,
-                ..Default::default()
-            }),
-            watchdog: Some(WatchdogConfig { step_budget: 4_000, progress_window: 128 }),
-            check_invariants: true,
-        };
-        let via_legacy = Simulator::new(&g, &inputs, opts.clone()).unwrap().run().unwrap();
-        for kernel in [Kernel::Scan, Kernel::EventDriven] {
-            let fluent = SimConfig::new()
-                .max_steps(5_000)
-                .arc_capacity(2)
-                .delays(ArcDelays {
-                    forward: vec![2; g.arcs.len()],
-                    ack: vec![1; g.arcs.len()],
-                })
-                .record_fire_times(true)
-                .stop_outputs(vec![("out".into(), 3)])
-                .fault_plan(FaultPlan {
-                    seed: 11,
-                    delay_result: 0.3,
-                    delay_result_max: 2,
-                    ..Default::default()
-                })
-                .watchdog(WatchdogConfig { step_budget: 4_000, progress_window: 128 })
-                .check_invariants(true)
-                .kernel(kernel);
-            let via_fluent = Simulator::builder(&g)
-                .inputs(inputs.clone())
-                .config(fluent)
-                .run()
-                .unwrap();
-            let via_shim = Simulator::builder(&g)
-                .inputs(inputs.clone())
-                .config(opts.clone().into_config().kernel(kernel))
-                .run()
-                .unwrap();
-            assert_eq!(via_fluent, via_shim, "legacy shim drifted under {kernel:?}");
-            assert_eq!(via_fluent, via_legacy, "Simulator::new drifted under {kernel:?}");
-        }
-        assert_eq!(
-            steady_interval_of(&[0, 2, 4, 6, 8, 10, 12, 14]),
-            Timing::of(vec![0, 2, 4, 6, 8, 10, 12, 14]).interval()
-        );
-        assert_eq!(
-            steady_rate_of(&[0, 2, 4, 6, 8, 10, 12, 14]),
-            Timing::of(vec![0, 2, 4, 6, 8, 10, 12, 14]).rate()
-        );
     }
 }

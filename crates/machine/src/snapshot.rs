@@ -145,7 +145,9 @@ impl Snapshot {
         match (bytes.len() - HEADER_LEN).cmp(&payload_len) {
             std::cmp::Ordering::Less => return Err(SnapshotError::Truncated),
             std::cmp::Ordering::Greater => {
-                return Err(SnapshotError::Malformed("trailing bytes after payload".into()))
+                return Err(SnapshotError::Malformed(
+                    "trailing bytes after payload".into(),
+                ))
             }
             std::cmp::Ordering::Equal => {}
         }
@@ -157,8 +159,7 @@ impl Snapshot {
 
     /// Load and validate a snapshot file.
     pub fn read_from(path: impl AsRef<std::path::Path>) -> Result<Snapshot, SnapshotError> {
-        let bytes =
-            std::fs::read(path.as_ref()).map_err(|e| SnapshotError::Io(e.to_string()))?;
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| SnapshotError::Io(e.to_string()))?;
         Self::from_bytes(bytes)
     }
 
@@ -399,8 +400,7 @@ impl Snapshot {
                 lost_result: r.u64()?,
                 lost_ack: r.u64()?,
             };
-            if st.queue.len() + st.freeing.len() + (st.lost_result + st.lost_ack) as usize
-                > st.cap
+            if st.queue.len() + st.freeing.len() + (st.lost_result + st.lost_ack) as usize > st.cap
             {
                 return Err(SnapshotError::Malformed(format!(
                     "arc {i} holds more token slots than its capacity {}",
@@ -530,11 +530,9 @@ fn validate_against_graph(
         match &node.op {
             Opcode::Source(name) => {
                 source_names += 1;
-                let data = src_data[i]
-                    .as_ref()
-                    .ok_or_else(|| SnapshotError::ShapeMismatch(format!(
-                        "source cell {i} has no input sequence"
-                    )))?;
+                let data = src_data[i].as_ref().ok_or_else(|| {
+                    SnapshotError::ShapeMismatch(format!("source cell {i} has no input sequence"))
+                })?;
                 if src_pos[i] > data.len() {
                     return Err(SnapshotError::Malformed(format!(
                         "source cell {i} cursor {} beyond its {} packets",
@@ -588,7 +586,11 @@ fn validate_against_graph(
                 "resource unit table does not cover the graph".into(),
             ));
         }
-        if res.unit_of.iter().any(|&u| u as usize >= res.capacity.len()) {
+        if res
+            .unit_of
+            .iter()
+            .any(|&u| u as usize >= res.capacity.len())
+        {
             return Err(SnapshotError::Malformed(
                 "resource unit index out of range".into(),
             ));
@@ -712,7 +714,10 @@ fn decode_config(r: &mut Reader<'_>) -> Result<SimConfig, SnapshotError> {
         Ok(list)
     })?;
     let watchdog = r.opt(|r| {
-        Ok(WatchdogConfig { step_budget: r.u64()?, progress_window: r.u64()? })
+        Ok(WatchdogConfig {
+            step_budget: r.u64()?,
+            progress_window: r.u64()?,
+        })
     })?;
     let fault_plan = r.opt(|r| {
         let seed = r.u64()?;
@@ -857,7 +862,9 @@ impl<'b> Reader<'b> {
         match self.byte()? {
             0 => Ok(false),
             1 => Ok(true),
-            b => Err(SnapshotError::Malformed(format!("bad boolean byte {b:#04x}"))),
+            b => Err(SnapshotError::Malformed(format!(
+                "bad boolean byte {b:#04x}"
+            ))),
         }
     }
     fn u64(&mut self) -> Result<u64, SnapshotError> {
@@ -873,7 +880,9 @@ impl<'b> Reader<'b> {
         let c = self.u64()?;
         let c = usize::try_from(c)
             .map_err(|_| SnapshotError::Malformed("count exceeds address space".into()))?;
-        if c.checked_mul(min_elem).is_none_or(|need| need > self.remaining()) {
+        if c.checked_mul(min_elem)
+            .is_none_or(|need| need > self.remaining())
+        {
             return Err(SnapshotError::Malformed(format!(
                 "count {c} exceeds remaining payload"
             )));
@@ -886,7 +895,10 @@ impl<'b> Reader<'b> {
         self.u64_vec(len)
     }
     fn u64_vec(&mut self, len: usize) -> Result<Vec<u64>, SnapshotError> {
-        if len.checked_mul(8).is_none_or(|need| need > self.remaining()) {
+        if len
+            .checked_mul(8)
+            .is_none_or(|need| need > self.remaining())
+        {
             return Err(SnapshotError::Malformed(format!(
                 "vector of {len} words exceeds remaining payload"
             )));
@@ -978,7 +990,10 @@ mod tests {
         let g = pipeline_graph();
         let mut bytes = mid_run_snapshot(&g).as_bytes().to_vec();
         bytes[0] ^= 0xFF;
-        assert_eq!(Snapshot::from_bytes(bytes), Err(SnapshotError::NotASnapshot));
+        assert_eq!(
+            Snapshot::from_bytes(bytes),
+            Err(SnapshotError::NotASnapshot)
+        );
         assert_eq!(
             Snapshot::from_bytes(b"hello".to_vec()),
             Err(SnapshotError::NotASnapshot)
@@ -1022,7 +1037,7 @@ mod tests {
         let g = pipeline_graph();
         let mut bytes = mid_run_snapshot(&g).as_bytes().to_vec();
         bytes[8] = 99; // version field
-        // Re-seal the header checksum so only the version is "wrong".
+                       // Re-seal the header checksum so only the version is "wrong".
         let sum = checksum64(&bytes[..44]).to_le_bytes();
         bytes[44..52].copy_from_slice(&sum);
         assert_eq!(
@@ -1055,7 +1070,10 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable() {
-        let e = SnapshotError::ProgramMismatch { expected: 1, found: 2 };
+        let e = SnapshotError::ProgramMismatch {
+            expected: 1,
+            found: 2,
+        };
         assert!(e.to_string().contains("different program"));
         assert!(SnapshotError::Truncated.to_string().contains("truncated"));
     }

@@ -23,7 +23,7 @@
 
 use std::fmt;
 
-/// Watchdog configuration (see `SimOptions::watchdog`).
+/// Watchdog configuration (see `SimConfig::watchdog`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WatchdogConfig {
     /// Hard step budget: the run is declared stalled (kind
@@ -96,7 +96,11 @@ impl ProgressTracker {
     /// resumed run's livelock classification bit-identical to an
     /// uninterrupted one.
     pub fn state(&self) -> (u64, u64, u64) {
-        (self.last_progress, self.last_progress_step, self.fires_since_progress)
+        (
+            self.last_progress,
+            self.last_progress_step,
+            self.fires_since_progress,
+        )
     }
 
     /// Rebuild a tracker from an exported [`ProgressTracker::state`].
@@ -202,7 +206,10 @@ impl fmt::Display for StallReport {
             writeln!(f)?;
         }
         if self.blocked_cells.is_empty() {
-            writeln!(f, "no cell holds partial inputs; sources were never drained")?;
+            writeln!(
+                f,
+                "no cell holds partial inputs; sources were never drained"
+            )?;
         }
         for a in &self.held_arcs {
             writeln!(
@@ -303,7 +310,13 @@ mod tests {
                 missing_ports: vec![1],
                 full_output_arcs: vec![],
             }],
-            held_arcs: vec![HeldArc { arc: 2, src: 1, dst: 3, tokens: 1, unacked: 0 }],
+            held_arcs: vec![HeldArc {
+                arc: 2,
+                src: 1,
+                dst: 3,
+                tokens: 1,
+                unacked: 0,
+            }],
             cycle: None,
             fires_in_window: 0,
         };

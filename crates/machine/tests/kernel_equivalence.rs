@@ -91,7 +91,11 @@ fn conditional() -> Graph {
     let tg = g.cell(Opcode::TGate, "tg", &[ctl.into(), a.into()]);
     let fg = g.cell(Opcode::FGate, "fg", &[ctl.into(), a.into()]);
     let t_arm = g.cell(Opcode::Bin(BinOp::Add), "t_arm", &[tg.into(), 100.0.into()]);
-    let f_arm = g.cell(Opcode::Bin(BinOp::Mul), "f_arm", &[fg.into(), (-1.0).into()]);
+    let f_arm = g.cell(
+        Opcode::Bin(BinOp::Mul),
+        "f_arm",
+        &[fg.into(), (-1.0).into()],
+    );
     let m = g.add_node(Opcode::Merge, "m");
     g.connect(ctl, m, 0);
     g.connect(t_arm, m, 1);
@@ -118,11 +122,7 @@ fn clean_chain_and_loop_and_conditional() {
 #[test]
 fn fire_time_recording_matches() {
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(32)));
-    let r = assert_equivalent(
-        &chain(5),
-        &inputs,
-        SimConfig::new().record_fire_times(true),
-    );
+    let r = assert_equivalent(&chain(5), &inputs, SimConfig::new().record_fire_times(true));
     assert!(r.fire_times.is_some());
 }
 
@@ -132,12 +132,12 @@ fn capacities_and_link_latencies_match() {
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(50)));
     for cap in [1usize, 2, 4] {
         for (fwd, ack) in [(1u64, 1u64), (2, 2), (3, 1)] {
-            let cfg = SimConfig::new().arc_capacity(cap).delays(
-                valpipe_machine::ArcDelays {
+            let cfg = SimConfig::new()
+                .arc_capacity(cap)
+                .delays(valpipe_machine::ArcDelays {
                     forward: vec![fwd; g.arc_count()],
                     ack: vec![ack; g.arc_count()],
-                },
-            );
+                });
             let r = assert_equivalent(&g, &inputs, cfg);
             assert!(r.sources_exhausted, "cap {cap} fwd {fwd} ack {ack}");
         }
@@ -196,7 +196,12 @@ fn lossy_fault_plans_and_deadlocks_match() {
         .bind("a", reals(&ramp(40)))
         .bind("b", reals(&ramp(40)));
     for (drop_result, drop_ack) in [(0.0, 0.3), (0.2, 0.0), (0.1, 0.1)] {
-        let plan = FaultPlan { seed: 11, drop_result, drop_ack, ..Default::default() };
+        let plan = FaultPlan {
+            seed: 11,
+            drop_result,
+            drop_ack,
+            ..Default::default()
+        };
         let cfg = SimConfig::new().fault_plan(plan).check_invariants(true);
         let r = assert_equivalent(&g, &inputs, cfg);
         assert!(!r.sources_exhausted);
@@ -210,17 +215,32 @@ fn cell_freezes_and_link_faults_match() {
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(24)));
     // Transient freeze: cell 3 is out for steps 10..60, then recovers.
     let plan = FaultPlan {
-        freezes: vec![CellFreeze { node: 3, from: 10, until: 60 }],
+        freezes: vec![CellFreeze {
+            node: 3,
+            from: 10,
+            until: 60,
+        }],
         ..Default::default()
     };
     let r = assert_equivalent(&g, &inputs, SimConfig::new().fault_plan(plan));
-    assert!(r.sources_exhausted, "a transient freeze must drain eventually");
+    assert!(
+        r.sources_exhausted,
+        "a transient freeze must drain eventually"
+    );
 
     // Overlapping freezes on two cells.
     let plan = FaultPlan {
         freezes: vec![
-            CellFreeze { node: 2, from: 5, until: 40 },
-            CellFreeze { node: 3, from: 20, until: 70 },
+            CellFreeze {
+                node: 2,
+                from: 5,
+                until: 40,
+            },
+            CellFreeze {
+                node: 3,
+                from: 20,
+                until: 70,
+            },
         ],
         ..Default::default()
     };
@@ -228,7 +248,12 @@ fn cell_freezes_and_link_faults_match() {
 
     // A link outage on the first chain arc.
     let plan = FaultPlan {
-        link_faults: vec![LinkFault { stage: 1, port: 0, from: 8, until: 30 }],
+        link_faults: vec![LinkFault {
+            stage: 1,
+            port: 0,
+            from: 8,
+            until: 30,
+        }],
         ..Default::default()
     };
     assert_equivalent(&g, &inputs, SimConfig::new().fault_plan(plan));
@@ -242,10 +267,17 @@ fn permanent_freeze_watchdog_stall_matches() {
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(8)));
     let cfg = SimConfig::new()
         .fault_plan(FaultPlan {
-            freezes: vec![CellFreeze { node: 2, from: 0, until: 1 << 40 }],
+            freezes: vec![CellFreeze {
+                node: 2,
+                from: 0,
+                until: 1 << 40,
+            }],
             ..Default::default()
         })
-        .watchdog(WatchdogConfig { step_budget: 3_000, ..Default::default() })
+        .watchdog(WatchdogConfig {
+            step_budget: 3_000,
+            ..Default::default()
+        })
         .check_invariants(true);
     let r = assert_equivalent(&g, &inputs, cfg);
     assert_eq!(r.stop, StopReason::Stalled);
@@ -259,16 +291,20 @@ fn livelock_and_budget_exhaustion_match() {
     let n2 = g.add_node(Opcode::Id, "spin2");
     g.connect(n1, n2, 0);
     g.connect_init(n2, n1, 0, Value::Real(1.0));
-    let cfg = SimConfig::new()
-        .watchdog(WatchdogConfig { step_budget: 50_000, progress_window: 64 });
+    let cfg = SimConfig::new().watchdog(WatchdogConfig {
+        step_budget: 50_000,
+        progress_window: 64,
+    });
     let r = assert_equivalent(&g, &ProgramInputs::new(), cfg);
     assert_eq!(r.stop, StopReason::Stalled);
 
     // Budget exhaustion: a healthy pipe cut off mid-stream.
     let g = chain(2);
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(200)));
-    let cfg = SimConfig::new()
-        .watchdog(WatchdogConfig { step_budget: 40, ..Default::default() });
+    let cfg = SimConfig::new().watchdog(WatchdogConfig {
+        step_budget: 40,
+        ..Default::default()
+    });
     let r = assert_equivalent(&g, &inputs, cfg);
     assert_eq!(r.steps, 40);
 }
@@ -311,7 +347,11 @@ fn wide(chains: usize, stages: usize) -> (Graph, ProgramInputs) {
                 )
             };
         }
-        let _ = g.cell(Opcode::Sink(format!("y{c}")), format!("y{c}"), &[prev.into()]);
+        let _ = g.cell(
+            Opcode::Sink(format!("y{c}")),
+            format!("y{c}"),
+            &[prev.into()],
+        );
         inputs = inputs.bind(&name, reals(&ramp(24)));
     }
     (g, inputs)
@@ -320,7 +360,10 @@ fn wide(chains: usize, stages: usize) -> (Graph, ProgramInputs) {
 #[test]
 fn wide_clean_pipeline_matches_across_workers() {
     let (g, inputs) = wide(128, 6);
-    assert!(g.node_count() >= 1000, "must be wide enough to engage the phased path");
+    assert!(
+        g.node_count() >= 1000,
+        "must be wide enough to engage the phased path"
+    );
     let r = assert_equivalent(&g, &inputs, SimConfig::new().check_invariants(true));
     assert!(r.sources_exhausted);
     assert_eq!(r.values("y17").len(), 24);
@@ -362,11 +405,18 @@ fn wide_watchdog_stall_matches() {
     let cfg = SimConfig::new()
         .fault_plan(FaultPlan {
             freezes: (0..40)
-                .map(|i| CellFreeze { node: 7 + 6 * i, from: 12, until: 1 << 40 })
+                .map(|i| CellFreeze {
+                    node: 7 + 6 * i,
+                    from: 12,
+                    until: 1 << 40,
+                })
                 .collect(),
             ..Default::default()
         })
-        .watchdog(WatchdogConfig { step_budget: 2_000, ..Default::default() })
+        .watchdog(WatchdogConfig {
+            step_budget: 2_000,
+            ..Default::default()
+        })
         .check_invariants(true);
     let r = assert_equivalent(&g, &inputs, cfg);
     assert_eq!(r.stop, StopReason::Stalled);

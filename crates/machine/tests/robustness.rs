@@ -42,7 +42,11 @@ fn wedged_graph_terminates_within_budget_with_diagnosis() {
     let a = g.add_node(Opcode::Source("a".into()), "a");
     let b = g.add_node(Opcode::Source("b".into()), "b");
     let left = g.cell(Opcode::Id, "left_arm", &[a.into()]);
-    let add = g.cell(Opcode::Bin(BinOp::Add), "the_join", &[left.into(), b.into()]);
+    let add = g.cell(
+        Opcode::Bin(BinOp::Add),
+        "the_join",
+        &[left.into(), b.into()],
+    );
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
 
     let budget = 5_000;
@@ -53,25 +57,41 @@ fn wedged_graph_terminates_within_budget_with_diagnosis() {
                 .bind("b", reals(&ramp(8))),
         )
         .fault_plan(FaultPlan {
-            freezes: vec![CellFreeze { node: left.idx(), from: 0, until: 1 << 40 }],
+            freezes: vec![CellFreeze {
+                node: left.idx(),
+                from: 0,
+                until: 1 << 40,
+            }],
             ..Default::default()
         })
-        .watchdog(WatchdogConfig { step_budget: budget, ..Default::default() })
+        .watchdog(WatchdogConfig {
+            step_budget: budget,
+            ..Default::default()
+        })
         .check_invariants(true)
         .run()
         .unwrap();
 
     assert_eq!(r.stop, StopReason::Stalled);
-    assert!(r.steps <= budget, "terminated at step {} > budget {budget}", r.steps);
+    assert!(
+        r.steps <= budget,
+        "terminated at step {} > budget {budget}",
+        r.steps
+    );
     assert!(!r.sources_exhausted);
-    let report = r.stall_report.expect("wedged run must carry a stall report");
+    let report = r
+        .stall_report
+        .expect("wedged run must carry a stall report");
     let join = report
         .blocked_cells
         .iter()
         .find(|c| c.label == "the_join")
         .expect("report must name the starved join");
     assert_eq!(join.missing_ports, vec![0], "join waits on the frozen arm");
-    assert!(!report.held_arcs.is_empty(), "report must name at least one held arc");
+    assert!(
+        !report.held_arcs.is_empty(),
+        "report must name at least one held arc"
+    );
     assert!(
         report.held_arcs.iter().any(|h| h.tokens > 0),
         "some arc must hold a queued token"
@@ -92,7 +112,11 @@ fn lost_acknowledges_deadlock_with_named_cells_and_arcs() {
     let add = g.cell(Opcode::Bin(BinOp::Add), "join", &[a.into(), b.into()]);
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
 
-    let plan = FaultPlan { seed: 11, drop_ack: 0.3, ..Default::default() };
+    let plan = FaultPlan {
+        seed: 11,
+        drop_ack: 0.3,
+        ..Default::default()
+    };
     let r = run_checked(
         &g,
         &ProgramInputs::new()
@@ -101,7 +125,10 @@ fn lost_acknowledges_deadlock_with_named_cells_and_arcs() {
         Some(plan),
     );
 
-    assert!(!r.sources_exhausted, "lost acknowledges must wedge the pipe");
+    assert!(
+        !r.sources_exhausted,
+        "lost acknowledges must wedge the pipe"
+    );
     let report = r.stall_report.expect("deadlocked run must carry a report");
     assert_eq!(report.kind, StallKind::Deadlock);
     assert!(!report.blocked_cells.is_empty(), "{report}");
@@ -145,7 +172,10 @@ fn empty_plan_bit_identical_on_max_pipelined_chain() {
     let inputs = ProgramInputs::new().bind("a", reals(&ramp(64)));
     let r = assert_bit_identical(&g, &inputs);
     let iv = r.timing("y").interval().unwrap();
-    assert!((iv - 2.0).abs() < 1e-9, "rate-1/2 chain measured at interval {iv}");
+    assert!(
+        (iv - 2.0).abs() < 1e-9,
+        "rate-1/2 chain measured at interval {iv}"
+    );
 }
 
 #[test]
@@ -200,7 +230,10 @@ fn gate_discards_under_control_skew_never_jam() {
         ..Default::default()
     };
     let skewed = run_checked(&g, &inputs, Some(plan));
-    assert!(skewed.sources_exhausted, "gate discards must never block upstream");
+    assert!(
+        skewed.sources_exhausted,
+        "gate discards must never block upstream"
+    );
     assert!(skewed.stall_report.is_none());
     assert_eq!(skewed.values("t"), clean.values("t"));
     assert_eq!(skewed.values("f"), clean.values("f"));
@@ -214,11 +247,18 @@ fn merge_ordering_survives_a_delayed_arm() {
     // arrive late.
     let mut g = Graph::new();
     let a = g.add_node(Opcode::Source("a".into()), "a");
-    let ctl = g.add_node(Opcode::CtlGen(CtlStream::from_runs([(true, 2), (false, 1)])), "ctl");
+    let ctl = g.add_node(
+        Opcode::CtlGen(CtlStream::from_runs([(true, 2), (false, 1)])),
+        "ctl",
+    );
     let tg = g.cell(Opcode::TGate, "tg", &[ctl.into(), a.into()]);
     let fg = g.cell(Opcode::FGate, "fg", &[ctl.into(), a.into()]);
     let t_arm = g.cell(Opcode::Bin(BinOp::Add), "t_arm", &[tg.into(), 100.0.into()]);
-    let f_arm = g.cell(Opcode::Bin(BinOp::Mul), "f_arm", &[fg.into(), (-1.0).into()]);
+    let f_arm = g.cell(
+        Opcode::Bin(BinOp::Mul),
+        "f_arm",
+        &[fg.into(), (-1.0).into()],
+    );
     let m = g.add_node(Opcode::Merge, "m");
     g.connect(ctl, m, 0);
     g.connect(t_arm, m, 1);
@@ -232,7 +272,13 @@ fn merge_ordering_survives_a_delayed_arm() {
     // Analytic oracle: control (T,T,F) repeating, so wave i takes the
     // true arm (+100) unless i % 3 == 2, which takes the false arm (-x).
     let oracle: Vec<Value> = (0..45)
-        .map(|i| Value::Real(if i % 3 < 2 { i as f64 + 100.0 } else { -(i as f64) }))
+        .map(|i| {
+            Value::Real(if i % 3 < 2 {
+                i as f64 + 100.0
+            } else {
+                -(i as f64)
+            })
+        })
         .collect();
     assert_eq!(expected, oracle, "clean machine run must match the oracle");
 
@@ -264,15 +310,24 @@ fn spinning_token_loop_is_reported_as_livelock() {
     g.connect_init(n2, n1, 0, Value::Real(1.0));
 
     let r = Simulator::builder(&g)
-        .watchdog(WatchdogConfig { step_budget: 100_000, progress_window: 64 })
+        .watchdog(WatchdogConfig {
+            step_budget: 100_000,
+            progress_window: 64,
+        })
         .check_invariants(true)
         .run()
         .unwrap();
     assert_eq!(r.stop, StopReason::Stalled);
     let report = r.stall_report.expect("livelocked run must carry a report");
     assert_eq!(report.kind, StallKind::Livelock);
-    assert!(report.fires_in_window > 0, "livelock means firings without progress");
-    assert!(r.steps < 100_000, "livelock must be caught well before the budget");
+    assert!(
+        report.fires_in_window > 0,
+        "livelock means firings without progress"
+    );
+    assert!(
+        r.steps < 100_000,
+        "livelock must be caught well before the budget"
+    );
     assert!(report.to_string().contains("livelock"), "{report}");
 }
 
@@ -286,12 +341,17 @@ fn productive_run_out_of_budget_is_reported_as_such() {
     let _ = g.cell(Opcode::Sink("y".into()), "y", &[id.into()]);
     let r = Simulator::builder(&g)
         .inputs(ProgramInputs::new().bind("a", reals(&ramp(200))))
-        .watchdog(WatchdogConfig { step_budget: 40, ..Default::default() })
+        .watchdog(WatchdogConfig {
+            step_budget: 40,
+            ..Default::default()
+        })
         .run()
         .unwrap();
     assert_eq!(r.stop, StopReason::Stalled);
     assert_eq!(r.steps, 40);
-    let report = r.stall_report.expect("budget-killed run must carry a report");
+    let report = r
+        .stall_report
+        .expect("budget-killed run must carry a report");
     assert_eq!(report.kind, StallKind::BudgetExhausted);
     assert!(report.to_string().contains("budget"), "{report}");
 }

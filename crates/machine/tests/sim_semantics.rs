@@ -69,7 +69,11 @@ fn fgate_complements_tgate() {
     let _ = g.cell(Opcode::Sink("f".into()), "sf", &[fg.into()]);
     let data = [0., 1., 2., 3., 4., 5., 6., 7.];
     let r = Simulator::builder(&g)
-        .inputs(ProgramInputs::new().bind("a", reals(&data)).bind("b", reals(&data)))
+        .inputs(
+            ProgramInputs::new()
+                .bind("a", reals(&data))
+                .bind("b", reals(&data)),
+        )
         .run()
         .unwrap();
     assert_eq!(r.reals("t"), vec![1., 2., 5., 6.]);
@@ -168,7 +172,10 @@ fn source_emit_times_track_backpressure() {
         .run()
         .unwrap();
     let iv = r.source_timing("a").interval().unwrap();
-    assert!((iv - 3.0).abs() < 0.1, "source paced at {iv}, expected 3 (loop-limited)");
+    assert!(
+        (iv - 3.0).abs() < 0.1,
+        "source paced at {iv}, expected 3 (loop-limited)"
+    );
 }
 
 #[test]

@@ -38,7 +38,9 @@ fn workload_graph() -> Graph {
 fn workload_inputs(n: usize) -> ProgramInputs {
     let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
     let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos() + 2.0).collect();
-    ProgramInputs::new().bind("a", reals(&xs)).bind("b", reals(&ys))
+    ProgramInputs::new()
+        .bind("a", reals(&xs))
+        .bind("b", reals(&ys))
 }
 
 /// A deliberately hostile configuration: non-uniform link latencies,
@@ -61,7 +63,10 @@ fn faulted_config(arcs: usize) -> SimConfig {
             dup_result: 0.05,
             ..Default::default()
         })
-        .watchdog(WatchdogConfig { step_budget: 40_000, progress_window: 1_000 })
+        .watchdog(WatchdogConfig {
+            step_budget: 40_000,
+            progress_window: 1_000,
+        })
         .record_fire_times(true)
 }
 
@@ -145,7 +150,10 @@ fn default_restore_resumes_on_default_kernel() {
     let snap = session.checkpoint();
     let restored = Session::restore(&g, &snap).unwrap();
     assert_eq!(restored.kernel(), Kernel::default());
-    assert_eq!(restored.run().unwrap(), straight_run(&g, &inputs, &cfg, Kernel::default()));
+    assert_eq!(
+        restored.run().unwrap(),
+        straight_run(&g, &inputs, &cfg, Kernel::default())
+    );
 }
 
 #[test]
@@ -198,7 +206,10 @@ fn checkpoint_file_survives_crash_and_restores() {
 #[test]
 fn unreadable_and_truncated_files_are_typed_errors() {
     let missing = std::env::temp_dir().join("valpipe_no_such_checkpoint.snap");
-    assert!(matches!(Snapshot::read_from(&missing), Err(SnapshotError::Io(_))));
+    assert!(matches!(
+        Snapshot::read_from(&missing),
+        Err(SnapshotError::Io(_))
+    ));
 
     let g = workload_graph();
     let mut session = Simulator::builder(&g)
@@ -223,13 +234,22 @@ fn stalled_runs_checkpoint_and_recover_too() {
     let g = workload_graph();
     let inputs = workload_inputs(64);
     let cfg = SimConfig::new()
-        .fault_plan(FaultPlan { seed: 3, drop_ack: 0.02, ..Default::default() })
-        .watchdog(WatchdogConfig { step_budget: 5_000, progress_window: 300 });
+        .fault_plan(FaultPlan {
+            seed: 3,
+            drop_ack: 0.02,
+            ..Default::default()
+        })
+        .watchdog(WatchdogConfig {
+            step_budget: 5_000,
+            progress_window: 300,
+        });
     let reference = straight_run(&g, &inputs, &cfg, Kernel::EventDriven);
-    assert!(reference.stall_report.is_some(), "plan should wedge the pipe");
+    assert!(
+        reference.stall_report.is_some(),
+        "plan should wedge the pipe"
+    );
     for k in [10, reference.steps / 2, reference.steps - 1] {
-        let recovered =
-            crash_and_recover(&g, &inputs, &cfg, Kernel::EventDriven, Kernel::Scan, k);
+        let recovered = crash_and_recover(&g, &inputs, &cfg, Kernel::EventDriven, Kernel::Scan, k);
         assert_eq!(recovered, reference, "crash at {k}");
     }
 }

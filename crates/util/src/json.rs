@@ -45,7 +45,12 @@ impl std::error::Error for JsonError {}
 impl Json {
     /// Build an object from key/value pairs.
     pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(members: I) -> Json {
-        Json::Obj(members.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        Json::Obj(
+            members
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
     }
 
     /// Member of an object, if this is an object containing `key`.
@@ -100,7 +105,10 @@ impl Json {
 
     /// Parse a complete JSON document (trailing whitespace allowed).
     pub fn parse(s: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -141,17 +149,33 @@ impl Json {
                 }
             }
             Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.iter(), |out, item, ind, d| {
-                item.write(out, ind, d);
-            }),
-            Json::Obj(members) => write_seq(out, indent, depth, '{', '}', members.iter(), |out, (k, v), ind, d| {
-                write_escaped(out, k);
-                out.push(':');
-                if ind.is_some() {
-                    out.push(' ');
-                }
-                v.write(out, ind, d);
-            }),
+            Json::Arr(items) => write_seq(
+                out,
+                indent,
+                depth,
+                '[',
+                ']',
+                items.iter(),
+                |out, item, ind, d| {
+                    item.write(out, ind, d);
+                },
+            ),
+            Json::Obj(members) => write_seq(
+                out,
+                indent,
+                depth,
+                '{',
+                '}',
+                members.iter(),
+                |out, (k, v), ind, d| {
+                    write_escaped(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, ind, d);
+                },
+            ),
         }
     }
 }
@@ -215,7 +239,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> JsonError {
-        JsonError { pos: self.pos, message: message.to_string() }
+        JsonError {
+            pos: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -337,8 +364,8 @@ impl<'a> Parser<'a> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
-                            let hex = std::str::from_utf8(hex)
-                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogate pairs are not needed by any of our
@@ -416,7 +443,10 @@ mod tests {
     fn roundtrip_stability() {
         let v = Json::obj([
             ("name", Json::Str("a \"quoted\" string\n".into())),
-            ("xs", Json::Arr(vec![Json::Int(1), Json::Float(2.5), Json::Null])),
+            (
+                "xs",
+                Json::Arr(vec![Json::Int(1), Json::Float(2.5), Json::Null]),
+            ),
             ("flag", Json::Bool(true)),
             ("nested", Json::obj([("k", Json::Int(-7))])),
         ]);

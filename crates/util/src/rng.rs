@@ -37,7 +37,9 @@ impl Rng {
     pub fn seed(seed: u64) -> Self {
         // Scramble once so that small consecutive seeds (0, 1, 2, …) do
         // not produce visibly correlated first outputs.
-        Rng { state: splitmix64(seed ^ 0x5851F42D4C957F2D) }
+        Rng {
+            state: splitmix64(seed ^ 0x5851F42D4C957F2D),
+        }
     }
 
     /// Next raw 64-bit output.
@@ -95,7 +97,9 @@ impl Rng {
     /// Fork an independent generator keyed by `salt`. The child stream is
     /// uncorrelated with both the parent stream and forks at other salts.
     pub fn fork(&self, salt: u64) -> Rng {
-        Rng { state: hash_mix(&[self.state, salt]) }
+        Rng {
+            state: hash_mix(&[self.state, salt]),
+        }
     }
 
     /// Split off an independent child generator, advancing this stream
@@ -106,7 +110,9 @@ impl Rng {
     pub fn split(&mut self) -> Rng {
         // Scramble the draw once more so the child's first outputs share
         // no mixing trajectory with the parent's subsequent ones.
-        Rng { state: splitmix64(self.next_u64()) }
+        Rng {
+            state: splitmix64(self.next_u64()),
+        }
     }
 
     /// Export the raw generator state — the whole generator is one word,

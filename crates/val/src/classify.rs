@@ -56,10 +56,16 @@ impl fmt::Display for Violation {
             Violation::NotManifest(what) => write!(f, "{what} is not a compile-time constant"),
             Violation::ForIterShape(why) => write!(f, "for-iter is not primitive: {why}"),
             Violation::NotFirstOrder { offset } => {
-                write!(f, "recurrence accesses the accumulator at offset {offset}, not -1")
+                write!(
+                    f,
+                    "recurrence accesses the accumulator at offset {offset}, not -1"
+                )
             }
             Violation::NoCompanion => {
-                write!(f, "recurrence is not linear in X[i-1]; no companion function derived")
+                write!(
+                    f,
+                    "recurrence is not linear in X[i-1]; no companion function derived"
+                )
             }
         }
     }
@@ -148,11 +154,15 @@ pub fn check_primitive_expr(expr: &Expr, env: &NameEnv) -> Result<(), Violation>
                 return Err(Violation::UnknownName(name.clone()));
             }
             let Some(iv) = env.index_var.as_deref() else {
-                return Err(Violation::BadIndexForm { array: name.clone() });
+                return Err(Violation::BadIndexForm {
+                    array: name.clone(),
+                });
             };
             match index_offset(idx, iv, &env.params) {
                 Some(_) => Ok(()),
-                None => Err(Violation::BadIndexForm { array: name.clone() }),
+                None => Err(Violation::BadIndexForm {
+                    array: name.clone(),
+                }),
             }
         }
         Expr::Let(defs, body) => {
@@ -170,7 +180,9 @@ pub fn check_primitive_expr(expr: &Expr, env: &NameEnv) -> Result<(), Violation>
             check_primitive_expr(t, env)?;
             check_primitive_expr(e, env)
         }
-        Expr::Index2(name, ..) => Err(Violation::BadIndexForm { array: name.clone() }),
+        Expr::Index2(name, ..) => Err(Violation::BadIndexForm {
+            array: name.clone(),
+        }),
         Expr::Iter(_) => Err(Violation::NestedConstruct("iter")),
         Expr::Append(..) => Err(Violation::NestedConstruct("array append")),
         Expr::ArrayInit(..) => Err(Violation::NestedConstruct("array constructor")),
@@ -366,7 +378,9 @@ pub fn check_primitive_foriter(fi: &ForIter, env: &NameEnv) -> Result<PrimitiveF
         _ => return shape_err("exactly one conditional arm must be an iter clause"),
     };
     if result_arm != &Expr::Var(acc.clone()) {
-        return shape_err(format!("the terminating arm must be the bare accumulator '{acc}'"));
+        return shape_err(format!(
+            "the terminating arm must be the bare accumulator '{acc}'"
+        ));
     }
     // Condition: i < bound (or i <= bound-1), possibly negated orientation.
     let bound = parse_bound(cond, &index_var, &env.params, cond_selects_iter_on_true)?;
@@ -374,7 +388,9 @@ pub fn check_primitive_foriter(fi: &ForIter, env: &NameEnv) -> Result<PrimitiveF
         return shape_err(format!("loop bound {bound} does not exceed start {start}"));
     }
     // Iter clause: X := X[i: E]; i := i + 1.
-    let Expr::Iter(binds) = &**iter_arm else { unreachable!() };
+    let Expr::Iter(binds) = &**iter_arm else {
+        unreachable!()
+    };
     if binds.len() != 2 {
         return shape_err("iter must rebind exactly the index and the accumulator");
     }
@@ -503,9 +519,18 @@ mod tests {
         assert_eq!(
             acc,
             vec![
-                ArrayAccess { array: "C".into(), offset: -1 },
-                ArrayAccess { array: "C".into(), offset: 0 },
-                ArrayAccess { array: "C".into(), offset: 1 },
+                ArrayAccess {
+                    array: "C".into(),
+                    offset: -1
+                },
+                ArrayAccess {
+                    array: "C".into(),
+                    offset: 0
+                },
+                ArrayAccess {
+                    array: "C".into(),
+                    offset: 1
+                },
             ]
         );
     }
@@ -523,20 +548,30 @@ mod tests {
 
     #[test]
     fn scalar_primitive_excludes_arrays() {
-        assert!(is_scalar_primitive(&parse_expr("i * 2 + m").unwrap(), &env(&["C"])));
-        assert!(!is_scalar_primitive(&parse_expr("C[i]").unwrap(), &env(&["C"])));
+        assert!(is_scalar_primitive(
+            &parse_expr("i * 2 + m").unwrap(),
+            &env(&["C"])
+        ));
+        assert!(!is_scalar_primitive(
+            &parse_expr("C[i]").unwrap(),
+            &env(&["C"])
+        ));
     }
 
     #[test]
     fn example1_is_primitive_forall() {
-        let BlockBody::Forall(f) = parse_block_body(EXAMPLE_1).unwrap() else { panic!() };
+        let BlockBody::Forall(f) = parse_block_body(EXAMPLE_1).unwrap() else {
+            panic!()
+        };
         let pf = check_primitive_forall(&f, &env(&["B", "C"])).unwrap();
         assert_eq!((pf.lo, pf.hi), (0, 9)); // m = 8 → [0, m+1]
     }
 
     #[test]
     fn forall_with_dynamic_range_rejected() {
-        let BlockBody::Forall(mut f) = parse_block_body(EXAMPLE_1).unwrap() else { panic!() };
+        let BlockBody::Forall(mut f) = parse_block_body(EXAMPLE_1).unwrap() else {
+            panic!()
+        };
         f.range.1 = parse_expr("C[0]").unwrap();
         assert!(matches!(
             check_primitive_forall(&f, &env(&["B", "C"])),
@@ -546,7 +581,9 @@ mod tests {
 
     #[test]
     fn example2_is_primitive_foriter() {
-        let BlockBody::ForIter(fi) = parse_block_body(EXAMPLE_2).unwrap() else { panic!() };
+        let BlockBody::ForIter(fi) = parse_block_body(EXAMPLE_2).unwrap() else {
+            panic!()
+        };
         let pfi = check_primitive_foriter(&fi, &env(&["A", "B"])).unwrap();
         assert_eq!(pfi.index_var, "i");
         assert_eq!(pfi.acc, "T");
@@ -569,7 +606,9 @@ for i : integer := 1; T : array[real] := [0: 0.]
 do
   if i < m then iter T := T[i+1: 1.]; i := i + 1 enditer else T endif
 endfor";
-        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else {
+            panic!()
+        };
         assert!(matches!(
             check_primitive_foriter(&fi, &env(&[])),
             Err(Violation::ForIterShape(_))
@@ -583,7 +622,9 @@ for i : integer := 2; T : array[real] := [1: 0.]
 do
   if i < m then iter T := T[i: T[i-2] + 1.]; i := i + 1 enditer else T endif
 endfor";
-        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else {
+            panic!()
+        };
         assert!(matches!(
             check_primitive_foriter(&fi, &env(&[])),
             Err(Violation::NotFirstOrder { offset: -2 })
@@ -597,7 +638,9 @@ for i : integer := 1; T : array[real] := [0: 0.]
 do
   if i >= m then T else iter T := T[i: T[i-1] + 1.]; i := i + 1 enditer endif
 endfor";
-        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else {
+            panic!()
+        };
         let pfi = check_primitive_foriter(&fi, &env(&[])).unwrap();
         assert_eq!(pfi.bound, 8);
     }
@@ -609,7 +652,9 @@ for i : integer := 2; T : array[real] := [0: 0.]
 do
   if i < m then iter T := T[i: 1.]; i := i + 1 enditer else T endif
 endfor";
-        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else {
+            panic!()
+        };
         assert!(check_primitive_foriter(&fi, &env(&[])).is_err());
     }
 }

@@ -162,12 +162,7 @@ impl FlowGraph {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, r)| r)
-            .or_else(|| {
-                self.blocks
-                    .iter()
-                    .find(|b| b.name == name)
-                    .map(|b| b.range)
-            })
+            .or_else(|| self.blocks.iter().find(|b| b.name == name).map(|b| b.range))
     }
 }
 
@@ -275,11 +270,13 @@ pub fn analyze(prog: &Program) -> Result<FlowGraph, AnalyzeError> {
                     }
                     // Defs then body, in evaluation order, wrapped so the
                     // guard analysis sees the def conditions.
-                    let mut exprs: Vec<Expr> =
-                        fa.defs.iter().map(|d| d.value.clone()).collect();
+                    let mut exprs: Vec<Expr> = fa.defs.iter().map(|d| d.value.clone()).collect();
                     exprs.push(fa.body.clone());
                     (
-                        BlockClass::Forall { lo: pf.lo, hi: pf.hi },
+                        BlockClass::Forall {
+                            lo: pf.lo,
+                            hi: pf.hi,
+                        },
                         (pf.lo, pf.hi),
                         fa.index_var.clone(),
                         (pf.lo, pf.hi),
@@ -397,7 +394,7 @@ mod tests {
         assert_eq!(fg.blocks.len(), 2);
         assert_eq!(fg.blocks[0].range, (0, 33)); // [0, m+1], m = 32
         assert_eq!(fg.blocks[1].range, (0, 31)); // [0, m-1]
-        // Edges: B→A, C→A, A→X, B→X.
+                                                 // Edges: B→A, C→A, A→X, B→X.
         let mut edges = fg.edges.clone();
         edges.sort();
         assert_eq!(
@@ -430,7 +427,12 @@ output A;
 ";
         let prog = parse_program(src).unwrap();
         match analyze(&prog) {
-            Err(AnalyzeError::OutOfRange { array, offset, at_index, .. }) => {
+            Err(AnalyzeError::OutOfRange {
+                array,
+                offset,
+                at_index,
+                ..
+            }) => {
                 assert_eq!(array, "C");
                 assert_eq!(offset, 1);
                 assert_eq!(at_index, 8);

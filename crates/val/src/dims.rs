@@ -222,7 +222,10 @@ pub fn flatten_program(prog: &Program) -> Result<(Program, FlattenInfo), String>
             if b < a || d < c {
                 return fail(format!("input '{}' has an empty dimension", orig.name));
             }
-            let shape = Dim2 { rows: (a, b), cols: (c, d) };
+            let shape = Dim2 {
+                rows: (a, b),
+                cols: (c, d),
+            };
             // `array[array[T]]` flattens to `array[T]`: the parser stored
             // `array[T]` as the element type, so unwrap one level.
             if let Type::Array(inner) = &decl.elem_ty {
@@ -246,7 +249,10 @@ pub fn flatten_program(prog: &Program) -> Result<(Program, FlattenInfo), String>
                     if b < a || d < c {
                         return fail(format!("block '{}' has an empty dimension", orig.name));
                     }
-                    let shape = Dim2 { rows: (a, b), cols: (c, d) };
+                    let shape = Dim2 {
+                        rows: (a, b),
+                        cols: (c, d),
+                    };
                     shapes.insert(orig.name.clone(), shape);
                     Some((
                         Frame2 {
@@ -279,7 +285,9 @@ pub fn flatten_program(prog: &Program) -> Result<(Program, FlattenInfo), String>
                     })
                     .collect::<Result<Vec<_>, String>>()?;
                 let body = rewrite(&fa.body, &ctx)?;
-                let BlockBody::Forall(fo) = &mut block.body else { unreachable!() };
+                let BlockBody::Forall(fo) = &mut block.body else {
+                    unreachable!()
+                };
                 fo.defs = defs;
                 fo.body = body;
                 if let Some((f, shape)) = frame {
@@ -314,7 +322,9 @@ pub fn flatten_program(prog: &Program) -> Result<(Program, FlattenInfo), String>
                     })
                     .collect::<Result<Vec<_>, String>>()?;
                 let body = rewrite(&fi.body, &ctx)?;
-                let BlockBody::ForIter(fo) = &mut block.body else { unreachable!() };
+                let BlockBody::ForIter(fo) = &mut block.body else {
+                    unreachable!()
+                };
                 fo.inits = inits;
                 fo.body = body;
             }

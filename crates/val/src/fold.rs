@@ -66,7 +66,10 @@ pub fn eval_static(expr: &Expr, env: &Bindings) -> Option<Value> {
 pub fn eval_manifest_int(expr: &Expr, params: &Bindings) -> Result<i64, String> {
     match eval_static(expr, params) {
         Some(Value::Int(v)) => Ok(v),
-        Some(other) => Err(format!("manifest expression has type {}", other.type_name())),
+        Some(other) => Err(format!(
+            "manifest expression has type {}",
+            other.type_name()
+        )),
         None => Err("expression is not manifest (references non-parameter names)".into()),
     }
 }
@@ -99,7 +102,11 @@ pub fn is_static_in(expr: &Expr, allowed: &dyn Fn(&str) -> bool) -> bool {
             }
             is_static_in(body, &|n| allowed(n) || names.contains(&n))
         }
-        Expr::Index(..) | Expr::Index2(..) | Expr::Append(..) | Expr::ArrayInit(..) | Expr::Iter(..) => false,
+        Expr::Index(..)
+        | Expr::Index2(..)
+        | Expr::Append(..)
+        | Expr::ArrayInit(..)
+        | Expr::Iter(..) => false,
     }
 }
 
@@ -113,11 +120,9 @@ pub fn inline_lets(expr: &Expr) -> Expr {
             Expr::Bin(op, a, b) => Expr::bin(*op, subst(a, env), subst(b, env)),
             Expr::Un(op, a) => Expr::un(*op, subst(a, env)),
             Expr::Index(a, i) => Expr::Index(a.clone(), Box::new(subst(i, env))),
-            Expr::Index2(a, i, j) => Expr::Index2(
-                a.clone(),
-                Box::new(subst(i, env)),
-                Box::new(subst(j, env)),
-            ),
+            Expr::Index2(a, i, j) => {
+                Expr::Index2(a.clone(), Box::new(subst(i, env)), Box::new(subst(j, env)))
+            }
             Expr::If(c, t, f) => Expr::if_(subst(c, env), subst(t, env), subst(f, env)),
             Expr::Let(defs, body) => {
                 let mut inner = env.clone();
@@ -127,11 +132,9 @@ pub fn inline_lets(expr: &Expr) -> Expr {
                 }
                 subst(body, &inner)
             }
-            Expr::Append(a, i, v) => Expr::Append(
-                a.clone(),
-                Box::new(subst(i, env)),
-                Box::new(subst(v, env)),
-            ),
+            Expr::Append(a, i, v) => {
+                Expr::Append(a.clone(), Box::new(subst(i, env)), Box::new(subst(v, env)))
+            }
             Expr::ArrayInit(i, v) => {
                 Expr::ArrayInit(Box::new(subst(i, env)), Box::new(subst(v, env)))
             }
@@ -219,10 +222,9 @@ pub fn simplify(expr: &Expr) -> Expr {
                         return a;
                     }
                 }
-                BinOp::Div
-                    if is_one(&b) => {
-                        return a;
-                    }
+                BinOp::Div if is_one(&b) => {
+                    return a;
+                }
                 BinOp::And => {
                     if a == Expr::BoolLit(true) {
                         return b;
@@ -401,7 +403,10 @@ mod tests {
 
     #[test]
     fn double_negation_cancels() {
-        assert_eq!(simplify(&parse_expr("--x").unwrap()), parse_expr("x").unwrap());
+        assert_eq!(
+            simplify(&parse_expr("--x").unwrap()),
+            parse_expr("x").unwrap()
+        );
     }
 
     #[test]

@@ -301,10 +301,8 @@ pub fn run_program(
         let Some(arr) = inputs.get(&decl.name) else {
             return fail(format!("no input bound for '{}'", decl.name));
         };
-        let lo = crate::fold::eval_manifest_int(&decl.range.0, &params)
-            .map_err(InterpError)?;
-        let hi = crate::fold::eval_manifest_int(&decl.range.1, &params)
-            .map_err(InterpError)?;
+        let lo = crate::fold::eval_manifest_int(&decl.range.0, &params).map_err(InterpError)?;
+        let hi = crate::fold::eval_manifest_int(&decl.range.1, &params).map_err(InterpError)?;
         if arr.lo != lo || arr.hi() != hi {
             return fail(format!(
                 "input '{}' declared [{lo}, {hi}] but bound [{}, {}]",
@@ -318,10 +316,10 @@ pub fn run_program(
     for block in &prog.blocks {
         let value = match &block.body {
             BlockBody::Forall(f) => {
-                let lo = crate::fold::eval_manifest_int(&f.range.0, &params)
-                    .map_err(InterpError)?;
-                let hi = crate::fold::eval_manifest_int(&f.range.1, &params)
-                    .map_err(InterpError)?;
+                let lo =
+                    crate::fold::eval_manifest_int(&f.range.0, &params).map_err(InterpError)?;
+                let hi =
+                    crate::fold::eval_manifest_int(&f.range.1, &params).map_err(InterpError)?;
                 RtVal::Array(eval_forall(f, lo, hi, &env)?)
             }
             BlockBody::ForIter(fi) => eval_foriter(fi, &env)?,

@@ -3,8 +3,13 @@
 //! Comments run from `%` to end of line (the paper's convention). Numbers
 //! follow Val's forms: `2`, `0.25`, `2.` and `.5` are all accepted; a
 //! number containing a dot is a `real` literal.
+//!
+//! Every token carries a full [`Span`] — byte range plus 1-based
+//! line/column — which the parser threads into the statement source map
+//! and the compiler threads into every IR node (see `valpipe_ir::prov`).
 
 use std::fmt;
+use valpipe_ir::prov::Span;
 
 /// Token kinds.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,13 +98,20 @@ impl fmt::Display for Tok {
     }
 }
 
-/// A token with its source line (1-based) for diagnostics.
+/// A token with its source [`Span`] for diagnostics and provenance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Spanned {
     /// The token.
     pub tok: Tok,
-    /// Source line.
-    pub line: u32,
+    /// Byte range and 1-based line/column of the token.
+    pub span: Span,
+}
+
+impl Spanned {
+    /// Source line (1-based) of the token.
+    pub fn line(&self) -> u32 {
+        self.span.line
+    }
 }
 
 /// Lexical error.
@@ -107,13 +119,15 @@ pub struct Spanned {
 pub struct LexError {
     /// Message.
     pub message: String,
-    /// Source line.
+    /// Source line (1-based).
     pub line: u32,
+    /// Source column (1-based).
+    pub col: u32,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
     }
 }
 
@@ -125,13 +139,45 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
     let bytes = src.as_bytes();
     let mut i = 0;
     let mut line = 1u32;
-    let push = |out: &mut Vec<Spanned>, tok: Tok, line: u32| out.push(Spanned { tok, line });
+    // Byte offset where the current line begins; columns count from it.
+    let mut line_start = 0usize;
+    macro_rules! span_from {
+        ($start:expr) => {
+            Span::new(
+                $start as u32,
+                i as u32,
+                line,
+                ($start - line_start + 1) as u32,
+            )
+        };
+    }
+    macro_rules! push1 {
+        ($tok:expr) => {{
+            let start = i;
+            i += 1;
+            out.push(Spanned {
+                tok: $tok,
+                span: span_from!(start),
+            });
+        }};
+    }
+    macro_rules! push2 {
+        ($tok:expr) => {{
+            let start = i;
+            i += 2;
+            out.push(Spanned {
+                tok: $tok,
+                span: span_from!(start),
+            });
+        }};
+    }
     while i < bytes.len() {
         let c = bytes[i] as char;
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '%' => {
@@ -141,12 +187,19 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_') {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
                     i += 1;
                 }
-                push(&mut out, Tok::Ident(src[start..i].to_string()), line);
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    span: span_from!(start),
+                });
             }
-            c if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) => {
+            c if c.is_ascii_digit()
+                || (c == '.' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit()) =>
+            {
                 let start = i;
                 let mut saw_dot = false;
                 while i < bytes.len() {
@@ -163,6 +216,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     }
                 }
                 let text = &src[start..i];
+                let col = (start - line_start + 1) as u32;
                 if saw_dot {
                     let v: f64 = text
                         .parse()
@@ -170,113 +224,78 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         .map_err(|_| LexError {
                             message: format!("bad real literal '{text}'"),
                             line,
+                            col,
                         })?;
-                    push(&mut out, Tok::Real(v), line);
+                    out.push(Spanned {
+                        tok: Tok::Real(v),
+                        span: span_from!(start),
+                    });
                 } else {
                     let v: i64 = text.parse().map_err(|_| LexError {
                         message: format!("bad integer literal '{text}'"),
                         line,
+                        col,
                     })?;
-                    push(&mut out, Tok::Int(v), line);
+                    out.push(Spanned {
+                        tok: Tok::Int(v),
+                        span: span_from!(start),
+                    });
                 }
             }
             ':' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    push(&mut out, Tok::Assign, line);
-                    i += 2;
+                    push2!(Tok::Assign);
                 } else {
-                    push(&mut out, Tok::Colon, line);
-                    i += 1;
+                    push1!(Tok::Colon);
                 }
             }
             '~' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    push(&mut out, Tok::Ne, line);
-                    i += 2;
+                    push2!(Tok::Ne);
                 } else {
-                    push(&mut out, Tok::Tilde, line);
-                    i += 1;
+                    push1!(Tok::Tilde);
                 }
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    push(&mut out, Tok::Le, line);
-                    i += 2;
+                    push2!(Tok::Le);
                 } else {
-                    push(&mut out, Tok::Lt, line);
-                    i += 1;
+                    push1!(Tok::Lt);
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    push(&mut out, Tok::Ge, line);
-                    i += 2;
+                    push2!(Tok::Ge);
                 } else {
-                    push(&mut out, Tok::Gt, line);
-                    i += 1;
+                    push1!(Tok::Gt);
                 }
             }
-            ';' => {
-                push(&mut out, Tok::Semi, line);
-                i += 1;
-            }
-            ',' => {
-                push(&mut out, Tok::Comma, line);
-                i += 1;
-            }
-            '(' => {
-                push(&mut out, Tok::LParen, line);
-                i += 1;
-            }
-            ')' => {
-                push(&mut out, Tok::RParen, line);
-                i += 1;
-            }
-            '[' => {
-                push(&mut out, Tok::LBracket, line);
-                i += 1;
-            }
-            ']' => {
-                push(&mut out, Tok::RBracket, line);
-                i += 1;
-            }
-            '+' => {
-                push(&mut out, Tok::Plus, line);
-                i += 1;
-            }
-            '-' => {
-                push(&mut out, Tok::Minus, line);
-                i += 1;
-            }
-            '*' => {
-                push(&mut out, Tok::Star, line);
-                i += 1;
-            }
-            '/' => {
-                push(&mut out, Tok::Slash, line);
-                i += 1;
-            }
-            '=' => {
-                push(&mut out, Tok::Eq, line);
-                i += 1;
-            }
-            '|' => {
-                push(&mut out, Tok::Bar, line);
-                i += 1;
-            }
-            '&' => {
-                push(&mut out, Tok::Amp, line);
-                i += 1;
-            }
+            ';' => push1!(Tok::Semi),
+            ',' => push1!(Tok::Comma),
+            '(' => push1!(Tok::LParen),
+            ')' => push1!(Tok::RParen),
+            '[' => push1!(Tok::LBracket),
+            ']' => push1!(Tok::RBracket),
+            '+' => push1!(Tok::Plus),
+            '-' => push1!(Tok::Minus),
+            '*' => push1!(Tok::Star),
+            '/' => push1!(Tok::Slash),
+            '=' => push1!(Tok::Eq),
+            '|' => push1!(Tok::Bar),
+            '&' => push1!(Tok::Amp),
             other => {
                 return Err(LexError {
                     message: format!("unexpected character '{other}'"),
                     line,
+                    col: (i - line_start + 1) as u32,
                 })
             }
         }
     }
-    push(&mut out, Tok::Eof, line);
+    out.push(Spanned {
+        tok: Tok::Eof,
+        span: Span::new(i as u32, i as u32, line, (i - line_start + 1) as u32),
+    });
     Ok(out)
 }
 
@@ -336,14 +355,33 @@ mod tests {
     #[test]
     fn line_numbers_tracked() {
         let s = lex("a\nb\nc").unwrap();
-        assert_eq!(s[0].line, 1);
-        assert_eq!(s[1].line, 2);
-        assert_eq!(s[2].line, 3);
+        assert_eq!(s[0].line(), 1);
+        assert_eq!(s[1].line(), 2);
+        assert_eq!(s[2].line(), 3);
     }
 
     #[test]
-    fn bad_char_reported() {
-        let err = lex("a #").unwrap_err();
+    fn spans_cover_token_bytes_with_columns() {
+        let src = "ab := C[i-1];\n  x2 := 0.25";
+        let s = lex(src).unwrap();
+        // "ab" at 1:1, bytes [0,2).
+        assert_eq!(s[0].span, Span::new(0, 2, 1, 1));
+        // ":=" at 1:4, bytes [3,5).
+        assert_eq!(s[1].span, Span::new(3, 5, 1, 4));
+        // "x2" on line 2, column 3.
+        let x2 = s.iter().find(|t| t.tok == Tok::Ident("x2".into())).unwrap();
+        assert_eq!((x2.span.line, x2.span.col), (2, 3));
+        assert_eq!(&src[x2.span.start as usize..x2.span.end as usize], "x2");
+        // "0.25" span slices back to its text.
+        let r = s.iter().find(|t| t.tok == Tok::Real(0.25)).unwrap();
+        assert_eq!(&src[r.span.start as usize..r.span.end as usize], "0.25");
+    }
+
+    #[test]
+    fn bad_char_reported_with_position() {
+        let err = lex("a\n  #").unwrap_err();
         assert!(err.message.contains('#'));
+        assert_eq!((err.line, err.col), (2, 3));
+        assert_eq!(err.to_string(), "2:3: unexpected character '#'");
     }
 }

@@ -23,9 +23,10 @@ pub mod lexer;
 pub mod linear;
 pub mod parser;
 pub mod pretty;
+pub mod srcmap;
 pub mod typeck;
 
-pub use ast::{BlockBody, BlockDecl, Def, Expr, Forall, ForIter, InputDecl, Program, Type};
+pub use ast::{BlockBody, BlockDecl, Def, Expr, ForIter, Forall, InputDecl, Program, Type};
 pub use classify::{
     check_primitive_expr, check_primitive_forall, check_primitive_foriter, ArrayAccess, NameEnv,
     PrimitiveForIter, Violation,
@@ -34,5 +35,6 @@ pub use deps::{analyze, AnalyzeError, BlockClass, FlowGraph};
 pub use dims::{flatten_program, Dim2, FlattenInfo};
 pub use interp::{ArrayVal, InterpError};
 pub use linear::{companion_g, companion_tree, extract_linear, recurrence_f, LinearForm};
-pub use parser::{parse_block_body, parse_expr, parse_program, ParseError};
-pub use typeck::{check_program, TypeError};
+pub use parser::{parse_block_body, parse_expr, parse_program, parse_program_mapped, ParseError};
+pub use srcmap::{SourceMap, StmtKey};
+pub use typeck::{check_program, check_program_mapped, TypeError};

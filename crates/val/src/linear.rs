@@ -163,7 +163,10 @@ pub fn companion_tree(params: &[(f64, f64)]) -> (f64, f64) {
         _ => {
             let mid = params.len() / 2;
             // Newer half composes over the older half: G(newer, older).
-            companion_g(companion_tree(&params[mid..]), companion_tree(&params[..mid]))
+            companion_g(
+                companion_tree(&params[mid..]),
+                companion_tree(&params[..mid]),
+            )
         }
     }
 }

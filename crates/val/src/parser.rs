@@ -15,20 +15,28 @@
 
 use crate::ast::*;
 use crate::lexer::{lex, LexError, Spanned, Tok};
+use crate::srcmap::{SourceMap, StmtKey};
 use std::fmt;
+use valpipe_ir::prov::Span;
 
-/// Parse error with source line.
+/// Parse error with source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
     /// Message.
     pub message: String,
     /// Source line (1-based).
     pub line: u32,
+    /// Source column (1-based).
+    pub col: u32,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -39,30 +47,68 @@ impl From<LexError> for ParseError {
         ParseError {
             message: e.message,
             line: e.line,
+            col: e.col,
         }
     }
 }
 
 const KEYWORDS: &[&str] = &[
-    "forall", "in", "construct", "endall", "for", "do", "endfor", "if", "then", "else", "endif",
-    "let", "endlet", "iter", "enditer", "param", "input", "output", "true", "false", "integer",
-    "real", "boolean", "array",
+    "forall",
+    "in",
+    "construct",
+    "endall",
+    "for",
+    "do",
+    "endfor",
+    "if",
+    "then",
+    "else",
+    "endif",
+    "let",
+    "endlet",
+    "iter",
+    "enditer",
+    "param",
+    "input",
+    "output",
+    "true",
+    "false",
+    "integer",
+    "real",
+    "boolean",
+    "array",
 ];
 
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    /// Statement spans recorded while parsing a whole program.
+    map: Vec<(StmtKey, Span)>,
+    /// Name of the block currently being parsed ("" outside blocks).
+    cur_block: String,
+    /// Token index where the current block declaration started.
+    block_start: usize,
 }
 
 type PResult<T> = Result<T, ParseError>;
 
 impl Parser {
+    fn new(toks: Vec<Spanned>) -> Parser {
+        Parser {
+            toks,
+            pos: 0,
+            map: Vec::new(),
+            cur_block: String::new(),
+            block_start: 0,
+        }
+    }
+
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
     }
 
     fn line(&self) -> u32 {
-        self.toks[self.pos].line
+        self.toks[self.pos].span.line
     }
 
     fn bump(&mut self) -> Tok {
@@ -73,10 +119,30 @@ impl Parser {
         t
     }
 
+    /// Current token index, used with [`Parser::span_since`] to bracket a
+    /// statement.
+    fn mark(&self) -> usize {
+        self.pos
+    }
+
+    /// The span from the token at `mark` through the last consumed token.
+    fn span_since(&self, mark: usize) -> Span {
+        let last_idx = self.toks.len() - 1;
+        let s = self.toks[mark.min(last_idx)].span;
+        let end = if self.pos > mark { self.pos - 1 } else { mark };
+        let e = self.toks[end.min(last_idx)].span;
+        Span::new(s.start, e.end.max(s.end), s.line, s.col)
+    }
+
+    fn record(&mut self, key: StmtKey, span: Span) {
+        self.map.push((key, span));
+    }
+
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
         Err(ParseError {
             message: msg.into(),
             line: self.line(),
+            col: self.toks[self.pos].span.col,
         })
     }
 
@@ -386,15 +452,27 @@ impl Parser {
         } else {
             None
         };
+        let header_span = self.span_since(self.block_start);
+        self.record(StmtKey::BlockHeader(self.cur_block.clone()), header_span);
         let mut defs = Vec::new();
         while !self.is_kw("construct") {
-            defs.push(self.def()?);
+            let dm = self.mark();
+            let d = self.def()?;
+            let span = self.span_since(dm);
+            self.record(
+                StmtKey::BlockDef(self.cur_block.clone(), d.name.clone()),
+                span,
+            );
+            defs.push(d);
             if self.peek() == &Tok::Semi {
                 self.bump();
             }
         }
         self.expect_kw("construct")?;
+        let bm = self.mark();
         let body = self.expr()?;
+        let body_span = self.span_since(bm);
+        self.record(StmtKey::BlockBody(self.cur_block.clone()), body_span);
         self.expect_kw("endall")?;
         Ok(Forall {
             index_var,
@@ -407,15 +485,27 @@ impl Parser {
 
     fn foriter(&mut self) -> PResult<ForIter> {
         self.expect_kw("for")?;
+        let header_span = self.span_since(self.block_start);
+        self.record(StmtKey::BlockHeader(self.cur_block.clone()), header_span);
         let mut inits = Vec::new();
         while !self.is_kw("do") {
-            inits.push(self.def()?);
+            let dm = self.mark();
+            let d = self.def()?;
+            let span = self.span_since(dm);
+            self.record(
+                StmtKey::BlockInit(self.cur_block.clone(), d.name.clone()),
+                span,
+            );
+            inits.push(d);
             if self.peek() == &Tok::Semi {
                 self.bump();
             }
         }
         self.expect_kw("do")?;
+        let bm = self.mark();
         let body = self.expr()?;
+        let body_span = self.span_since(bm);
+        self.record(StmtKey::BlockBody(self.cur_block.clone()), body_span);
         self.expect_kw("endfor")?;
         Ok(ForIter { inits, body })
     }
@@ -438,6 +528,7 @@ impl Parser {
     fn program(&mut self) -> PResult<Program> {
         let mut prog = Program::default();
         while self.peek() != &Tok::Eof {
+            let stmt_mark = self.mark();
             if self.eat_kw("param") {
                 let name = self.ident()?;
                 self.expect(&Tok::Eq)?;
@@ -449,8 +540,10 @@ impl Parser {
                     Tok::Int(v) => v,
                     other => return self.err(format!("expected integer, found '{other}'")),
                 };
-                prog.params.push((name, if neg { -v } else { v }));
+                prog.params.push((name.clone(), if neg { -v } else { v }));
                 self.expect(&Tok::Semi)?;
+                let span = self.span_since(stmt_mark);
+                self.record(StmtKey::Param(name), span);
             } else if self.eat_kw("input") {
                 let name = self.ident()?;
                 self.expect(&Tok::Colon)?;
@@ -475,6 +568,8 @@ impl Parser {
                     None
                 };
                 self.expect(&Tok::Semi)?;
+                let span = self.span_since(stmt_mark);
+                self.record(StmtKey::Input(name.clone()), span);
                 prog.inputs.push(InputDecl {
                     name,
                     elem_ty,
@@ -488,12 +583,17 @@ impl Parser {
                     prog.outputs.push(self.ident()?);
                 }
                 self.expect(&Tok::Semi)?;
+                let span = self.span_since(stmt_mark);
+                self.record(StmtKey::Output, span);
             } else {
                 let name = self.ident()?;
                 self.expect(&Tok::Colon)?;
                 let ty = self.ty()?;
                 self.expect(&Tok::Assign)?;
+                self.cur_block = name.clone();
+                self.block_start = stmt_mark;
                 let body = self.block_body()?;
+                self.cur_block.clear();
                 if self.peek() == &Tok::Semi {
                     self.bump();
                 }
@@ -506,16 +606,29 @@ impl Parser {
 
 /// Parse a complete pipe-structured program.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_program_mapped(src, "<source>").map(|(p, _)| p)
+}
+
+/// Parse a complete pipe-structured program together with its statement
+/// [`SourceMap`] (spans of every declaration, definition and block body),
+/// which the compiler threads into IR provenance. `file` names the source
+/// in diagnostics.
+pub fn parse_program_mapped(src: &str, file: &str) -> Result<(Program, SourceMap), ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
-    p.program()
+    let mut p = Parser::new(toks);
+    let prog = p.program()?;
+    let mut map = SourceMap::new(file, src);
+    for (key, span) in p.map.drain(..) {
+        map.record(key, span);
+    }
+    Ok((prog, map))
 }
 
 /// Parse a single expression (used heavily in tests and by the REPL-style
 /// examples).
 pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser::new(toks);
     let e = p.expr()?;
     if p.peek() != &Tok::Eof {
         return p.err(format!("trailing input at '{}'", p.peek()));
@@ -526,7 +639,7 @@ pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
 /// Parse a single block body (`forall … endall` / `for … endfor`).
 pub fn parse_block_body(src: &str) -> Result<BlockBody, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser::new(toks);
     let b = p.block_body()?;
     if p.peek() != &Tok::Eof {
         return p.err(format!("trailing input at '{}'", p.peek()));
@@ -641,7 +754,10 @@ mod tests {
             Expr::index("C", Expr::bin(BinOp::Sub, Expr::var("i"), Expr::IntLit(1)))
         );
         assert!(matches!(parse_expr("T[i: P]").unwrap(), Expr::Append(..)));
-        assert!(matches!(parse_expr("[0: 0.]").unwrap(), Expr::ArrayInit(..)));
+        assert!(matches!(
+            parse_expr("[0: 0.]").unwrap(),
+            Expr::ArrayInit(..)
+        ));
     }
 
     #[test]
@@ -652,14 +768,19 @@ mod tests {
         );
         assert_eq!(
             parse_expr("~(a + b)").unwrap(),
-            Expr::un(UnOp::Not, Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b")))
+            Expr::un(
+                UnOp::Not,
+                Expr::bin(BinOp::Add, Expr::var("a"), Expr::var("b"))
+            )
         );
     }
 
     #[test]
     fn parses_example_1() {
         let b = parse_block_body(EXAMPLE_1).unwrap();
-        let BlockBody::Forall(f) = b else { panic!("not forall") };
+        let BlockBody::Forall(f) = b else {
+            panic!("not forall")
+        };
         assert_eq!(f.index_var, "i");
         assert_eq!(f.defs.len(), 1);
         assert_eq!(f.defs[0].name, "P");
@@ -671,7 +792,9 @@ mod tests {
     #[test]
     fn parses_example_2() {
         let b = parse_block_body(EXAMPLE_2).unwrap();
-        let BlockBody::ForIter(fi) = b else { panic!("not for-iter") };
+        let BlockBody::ForIter(fi) = b else {
+            panic!("not for-iter")
+        };
         assert_eq!(fi.inits.len(), 2);
         assert_eq!(fi.inits[0].name, "i");
         assert_eq!(fi.inits[1].name, "T");

@@ -5,6 +5,8 @@
 //! flattened or otherwise transformed programs in readable form.
 
 use crate::ast::*;
+use crate::srcmap::{SourceMap, StmtKey};
+use valpipe_ir::prov::Span;
 
 /// Render an expression as Val source (fully parenthesized where
 /// precedence could bite).
@@ -79,11 +81,7 @@ pub fn expr_to_source(e: &Expr) -> String {
                 .join("; ");
             format!("iter {bs} enditer")
         }
-        Expr::Append(a, i, v) => format!(
-            "{a}[{}: {}]",
-            expr_to_source(i),
-            expr_to_source(v)
-        ),
+        Expr::Append(a, i, v) => format!("{a}[{}: {}]", expr_to_source(i), expr_to_source(v)),
         Expr::ArrayInit(i, v) => {
             format!("[{}: {}]", expr_to_source(i), expr_to_source(v))
         }
@@ -99,13 +97,71 @@ fn def_to_source(d: &Def) -> String {
 
 /// Render a whole program as Val source.
 pub fn program_to_source(p: &Program) -> String {
-    let mut out = String::new();
+    program_to_source_mapped(p, "<ast>").text
+}
+
+/// Emission-side statement recorder: tracks byte offsets and line/column
+/// while the printer appends, so the synthesized [`SourceMap`] points at
+/// the exact statements of the printed text.
+struct Emitter {
+    out: String,
+    line: u32,
+    line_start: usize,
+    marks: Vec<(StmtKey, usize, u32, u32)>, // key, start offset, line, col
+    map: Vec<(StmtKey, Span)>,
+}
+
+impl Emitter {
+    fn new() -> Emitter {
+        Emitter {
+            out: String::new(),
+            line: 1,
+            line_start: 0,
+            marks: Vec::new(),
+            map: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, s: &str) {
+        for (k, b) in s.bytes().enumerate() {
+            if b == b'\n' {
+                self.line += 1;
+                self.line_start = self.out.len() + k + 1;
+            }
+        }
+        self.out.push_str(s);
+    }
+
+    fn open(&mut self, key: StmtKey) {
+        let col = (self.out.len() - self.line_start + 1) as u32;
+        self.marks.push((key, self.out.len(), self.line, col));
+    }
+
+    fn close(&mut self) {
+        let (key, start, line, col) = self.marks.pop().expect("unbalanced statement mark");
+        self.map.push((
+            key,
+            Span::new(start as u32, self.out.len() as u32, line, col),
+        ));
+    }
+}
+
+/// Render a whole program as Val source **and** record every statement's
+/// span in the printed text — the provenance fallback for programs built
+/// programmatically rather than parsed. `file` names the synthetic source
+/// in diagnostics.
+pub fn program_to_source_mapped(p: &Program, file: &str) -> SourceMap {
+    let mut em = Emitter::new();
     for (n, v) in &p.params {
-        out.push_str(&format!("param {n} = {v};\n"));
+        em.open(StmtKey::Param(n.clone()));
+        em.push(&format!("param {n} = {v};"));
+        em.close();
+        em.push("\n");
     }
     for i in &p.inputs {
         // The parser strips exactly one `array[…]` level, so a 2-D input's
         // stored element type already carries the inner array level.
+        em.open(StmtKey::Input(i.name.clone()));
         let mut line = format!(
             "input {} : array[{}] [{}, {}]",
             i.name,
@@ -116,52 +172,77 @@ pub fn program_to_source(p: &Program) -> String {
         if let Some((lo, hi)) = &i.range2 {
             line.push_str(&format!("[{}, {}]", expr_to_source(lo), expr_to_source(hi)));
         }
-        line.push_str(";\n");
-        out.push_str(&line);
+        line.push(';');
+        em.push(&line);
+        em.close();
+        em.push("\n");
     }
     for b in &p.blocks {
-        out.push_str(&format!("{} : {} :=\n", b.name, b.ty));
         match &b.body {
             BlockBody::Forall(f) => {
-                out.push_str(&format!(
+                em.open(StmtKey::BlockHeader(b.name.clone()));
+                em.push(&format!("{} : {} :=\n", b.name, b.ty));
+                em.push(&format!(
                     "  forall {} in [{}, {}]",
                     f.index_var,
                     expr_to_source(&f.range.0),
                     expr_to_source(&f.range.1)
                 ));
                 if let Some((j, (lo, hi))) = &f.second {
-                    out.push_str(&format!(
+                    em.push(&format!(
                         ", {j} in [{}, {}]",
                         expr_to_source(lo),
                         expr_to_source(hi)
                     ));
                 }
-                out.push('\n');
+                em.close();
+                em.push("\n");
                 for d in &f.defs {
-                    out.push_str(&format!("    {};\n", def_to_source(d)));
+                    em.push("    ");
+                    em.open(StmtKey::BlockDef(b.name.clone(), d.name.clone()));
+                    em.push(&def_to_source(d));
+                    em.close();
+                    em.push(";\n");
                 }
-                out.push_str(&format!(
-                    "  construct\n    {}\n  endall;\n",
-                    expr_to_source(&f.body)
-                ));
+                em.push("  construct\n    ");
+                em.open(StmtKey::BlockBody(b.name.clone()));
+                em.push(&expr_to_source(&f.body));
+                em.close();
+                em.push("\n  endall;\n");
             }
             BlockBody::ForIter(fi) => {
-                out.push_str("  for\n");
+                em.open(StmtKey::BlockHeader(b.name.clone()));
+                em.push(&format!("{} : {} :=\n", b.name, b.ty));
+                em.push("  for");
+                em.close();
+                em.push("\n");
                 for (k, d) in fi.inits.iter().enumerate() {
                     let sep = if k + 1 < fi.inits.len() { ";" } else { "" };
-                    out.push_str(&format!("    {}{sep}\n", def_to_source(d)));
+                    em.push("    ");
+                    em.open(StmtKey::BlockInit(b.name.clone(), d.name.clone()));
+                    em.push(&def_to_source(d));
+                    em.close();
+                    em.push(&format!("{sep}\n"));
                 }
-                out.push_str(&format!(
-                    "  do\n    {}\n  endfor;\n",
-                    expr_to_source(&fi.body)
-                ));
+                em.push("  do\n    ");
+                em.open(StmtKey::BlockBody(b.name.clone()));
+                em.push(&expr_to_source(&fi.body));
+                em.close();
+                em.push("\n  endfor;\n");
             }
         }
     }
     if !p.outputs.is_empty() {
-        out.push_str(&format!("output {};\n", p.outputs.join(", ")));
+        em.open(StmtKey::Output);
+        em.push(&format!("output {};", p.outputs.join(", ")));
+        em.close();
+        em.push("\n");
     }
-    out
+    let mut map = SourceMap::new(file, em.out);
+    for (key, span) in em.map {
+        map.record(key, span);
+    }
+    map
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! Statement-level source map: where each program statement lives in the
+//! Val source text.
+//!
+//! Produced by [`crate::parser::parse_program_mapped`] when compiling real
+//! source, or synthesized from the AST by
+//! [`crate::pretty::program_to_source_mapped`] when a program was built
+//! programmatically (the pretty-printer emits canonical source and records
+//! every statement's offsets as it goes, so provenance stays total either
+//! way). The compiler converts this into the IR-level
+//! `valpipe_ir::prov::Provenance` table that machine diagnostics render.
+
+use std::collections::HashMap;
+use valpipe_ir::prov::Span;
+
+/// Identity of one statement in a pipe-structured program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum StmtKey {
+    /// `param n = …;`
+    Param(String),
+    /// `input A : array[…] […];`
+    Input(String),
+    /// The `output …;` declaration listing result arrays.
+    Output,
+    /// A block's header: name, type and range specification (through the
+    /// `forall … in […]` range or the `for` keyword).
+    BlockHeader(String),
+    /// A definition in a `forall` definition part: `(block, def name)`.
+    BlockDef(String, String),
+    /// A loop initialization in a `for-iter` block: `(block, init name)`.
+    BlockInit(String, String),
+    /// A block's body: the `forall` accumulation expression or the
+    /// `for-iter` loop body.
+    BlockBody(String),
+}
+
+/// Spans of every statement of one parsed (or pretty-printed) program,
+/// together with the text they index into.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceMap {
+    /// Source file name (`<source>` for in-memory text, `<ast>` for
+    /// synthesized text).
+    pub file: String,
+    /// The full source text the spans index into.
+    pub text: String,
+    entries: HashMap<StmtKey, Span>,
+}
+
+impl SourceMap {
+    /// Empty map for the given file name and text.
+    pub fn new(file: impl Into<String>, text: impl Into<String>) -> SourceMap {
+        SourceMap {
+            file: file.into(),
+            text: text.into(),
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Record a statement's span (last write wins).
+    pub fn record(&mut self, key: StmtKey, span: Span) {
+        self.entries.insert(key, span);
+    }
+
+    /// The span of a statement, if recorded.
+    pub fn span(&self, key: &StmtKey) -> Option<Span> {
+        self.entries.get(key).copied()
+    }
+
+    /// The source text a span covers (empty if out of range).
+    pub fn snippet(&self, span: Span) -> &str {
+        self.text
+            .get(span.start as usize..span.end as usize)
+            .unwrap_or("")
+    }
+
+    /// Number of recorded statements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no statements are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_slice() {
+        let mut m = SourceMap::new("x.val", "input A;\nB := A;");
+        let span = Span::new(0, 8, 1, 1);
+        m.record(StmtKey::Input("A".into()), span);
+        assert_eq!(m.span(&StmtKey::Input("A".into())), Some(span));
+        assert_eq!(m.snippet(span), "input A;");
+        assert_eq!(m.span(&StmtKey::Output), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_snippet_is_empty() {
+        let m = SourceMap::new("x.val", "ab");
+        assert_eq!(m.snippet(Span::new(1, 99, 1, 2)), "");
+    }
+}

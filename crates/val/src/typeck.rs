@@ -11,6 +11,7 @@
 
 use crate::ast::*;
 use crate::fold::Bindings;
+use crate::srcmap::{SourceMap, StmtKey};
 use std::collections::HashMap;
 use std::fmt;
 use valpipe_ir::value::Value;
@@ -22,24 +23,42 @@ pub struct TypeError {
     pub message: String,
     /// Enclosing block name, if known.
     pub block: Option<String>,
+    /// Enclosing definition (or loop-init) name within the block, if known.
+    pub def: Option<String>,
+    /// Rendered source location (`file:line:col`), filled by
+    /// [`check_program_mapped`] when a [`SourceMap`] is available.
+    pub loc: Option<String>,
 }
 
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.block {
-            Some(b) => write!(f, "type error in block '{b}': {}", self.message),
-            None => write!(f, "type error: {}", self.message),
+        if let Some(loc) = &self.loc {
+            write!(f, "{loc}: ")?;
         }
+        write!(f, "type error")?;
+        if let Some(b) = &self.block {
+            write!(f, " in block '{b}'")?;
+            if let Some(d) = &self.def {
+                write!(f, ", definition '{d}'")?;
+            }
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
 impl std::error::Error for TypeError {}
 
-fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
-    Err(TypeError {
+fn terr(msg: impl Into<String>) -> TypeError {
+    TypeError {
         message: msg.into(),
         block: None,
-    })
+        def: None,
+        loc: None,
+    }
+}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
+    Err(terr(msg))
 }
 
 /// Scalar/array typing environment.
@@ -91,11 +110,12 @@ pub fn check_expr(expr: &Expr, env: &TypeEnv) -> Result<(Type, Expr), TypeError>
         Expr::Bin(op, a, b) => {
             let (ta, ea) = check_expr(a, env)?;
             let (tb, eb) = check_expr(b, env)?;
-            let ty = bin_type(*op, &ta, &tb)
-                .ok_or_else(|| TypeError {
-                    message: format!("operator {} applied to {ta} and {tb}", op.mnemonic()),
-                    block: None,
-                })?;
+            let ty = bin_type(*op, &ta, &tb).ok_or_else(|| {
+                terr(format!(
+                    "operator {} applied to {ta} and {tb}",
+                    op.mnemonic()
+                ))
+            })?;
             Ok((ty, Expr::bin(*op, ea, eb)))
         }
         Expr::Un(op, a) => {
@@ -145,8 +165,7 @@ pub fn check_expr(expr: &Expr, env: &TypeEnv) -> Result<(Type, Expr), TypeError>
             for d in defs {
                 let (tv, ev) = check_expr(&d.value, &inner)?;
                 if let Some(declared) = &d.ty {
-                    let ok = declared == &tv
-                        || (declared == &Type::Real && tv == Type::Int);
+                    let ok = declared == &tv || (declared == &Type::Real && tv == Type::Int);
                     if !ok {
                         return err(format!(
                             "definition '{}' declared {declared} but has type {tv}",
@@ -256,7 +275,10 @@ pub fn check_foriter_body(
             let (tt, et) = check_foriter_body(t, env, loop_vars)?;
             let (te, ee) = check_foriter_body(e, env, loop_vars)?;
             // If one arm iterates, the loop's type is the other arm's.
-            let ty = match (matches!(**t, Expr::Iter(_)) || contains_iter(&et), matches!(**e, Expr::Iter(_)) || contains_iter(&ee)) {
+            let ty = match (
+                matches!(**t, Expr::Iter(_)) || contains_iter(&et),
+                matches!(**e, Expr::Iter(_)) || contains_iter(&ee),
+            ) {
                 (true, false) => te,
                 (false, true) => tt,
                 (false, false) => {
@@ -323,10 +345,7 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
     let mut out = prog.clone();
     for input in &prog.inputs {
         if !input.elem_ty.is_scalar() {
-            return err(format!(
-                "input '{}' must have scalar elements",
-                input.name
-            ));
+            return err(format!("input '{}' must have scalar elements", input.name));
         }
         env.bind(&input.name, Type::Array(Box::new(input.elem_ty.clone())));
     }
@@ -336,10 +355,10 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
             e
         };
         let Some(elem) = block.ty.elem().cloned() else {
-            return Err(in_block(TypeError {
-                message: format!("block type {} is not an array type", block.ty),
-                block: None,
-            }));
+            return Err(in_block(terr(format!(
+                "block type {} is not an array type",
+                block.ty
+            ))));
         };
         match &block.body {
             BlockBody::Forall(f) => {
@@ -347,17 +366,17 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
                 inner.bind(&f.index_var, Type::Int);
                 let mut new_defs = Vec::new();
                 for d in &f.defs {
-                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_block)?;
+                    let in_def = |mut e: TypeError| {
+                        e.def = Some(d.name.clone());
+                        in_block(e)
+                    };
+                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_def)?;
                     if let Some(declared) = &d.ty {
                         let ok = declared == &tv || (declared == &Type::Real && tv == Type::Int);
                         if !ok {
-                            return Err(in_block(TypeError {
-                                message: format!(
-                                    "definition '{}' declared {declared} but has type {tv}",
-                                    d.name
-                                ),
-                                block: None,
-                            }));
+                            return Err(in_def(terr(format!(
+                                "declared {declared} but has type {tv}"
+                            ))));
                         }
                     }
                     let bty = d.ty.clone().unwrap_or(tv);
@@ -370,10 +389,9 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
                 }
                 let (tb, eb) = check_expr(&f.body, &inner).map_err(in_block)?;
                 if tb != elem && !(elem == Type::Real && tb == Type::Int) {
-                    return Err(in_block(TypeError {
-                        message: format!("accumulation has type {tb}, block declares {elem}"),
-                        block: None,
-                    }));
+                    return Err(in_block(terr(format!(
+                        "accumulation has type {tb}, block declares {elem}"
+                    ))));
                 }
                 let BlockBody::Forall(fo) = &mut out.blocks[bi].body else {
                     unreachable!()
@@ -386,7 +404,11 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
                 let mut loop_vars = HashMap::new();
                 let mut new_inits = Vec::new();
                 for d in &fi.inits {
-                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_block)?;
+                    let in_def = |mut e: TypeError| {
+                        e.def = Some(d.name.clone());
+                        in_block(e)
+                    };
+                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_def)?;
                     let bty = d.ty.clone().unwrap_or(tv);
                     inner.bind(&d.name, bty.clone());
                     loop_vars.insert(d.name.clone(), bty.clone());
@@ -399,10 +421,10 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
                 let (tb, eb) =
                     check_foriter_body(&fi.body, &inner, &loop_vars).map_err(in_block)?;
                 if tb != block.ty {
-                    return Err(in_block(TypeError {
-                        message: format!("loop result has type {tb}, block declares {}", block.ty),
-                        block: None,
-                    }));
+                    return Err(in_block(terr(format!(
+                        "loop result has type {tb}, block declares {}",
+                        block.ty
+                    ))));
                 }
                 let BlockBody::ForIter(fo) = &mut out.blocks[bi].body else {
                     unreachable!()
@@ -419,6 +441,27 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
         }
     }
     Ok(out)
+}
+
+/// Type-check a program and, on failure, resolve the error's source
+/// location (`file:line:col`) through the statement [`SourceMap`] produced
+/// by `parse_program_mapped` or `program_to_source_mapped`.
+pub fn check_program_mapped(prog: &Program, map: &SourceMap) -> Result<Program, TypeError> {
+    check_program(prog).map_err(|mut e| {
+        let span = match (&e.block, &e.def) {
+            (Some(b), Some(d)) => map
+                .span(&StmtKey::BlockDef(b.clone(), d.clone()))
+                .or_else(|| map.span(&StmtKey::BlockInit(b.clone(), d.clone()))),
+            (Some(b), None) => map
+                .span(&StmtKey::BlockBody(b.clone()))
+                .or_else(|| map.span(&StmtKey::BlockHeader(b.clone()))),
+            (None, _) => None,
+        };
+        if let Some(span) = span {
+            e.loc = Some(format!("{}:{span}", map.file));
+        }
+        e
+    })
 }
 
 #[cfg(test)]
@@ -482,7 +525,11 @@ mod tests {
     #[test]
     fn let_binds_and_annotates() {
         let env = env_with(&[("a", Type::Real)]);
-        let (t, e) = check_expr(&parse_expr("let p := a * a in p + 1. endlet").unwrap(), &env).unwrap();
+        let (t, e) = check_expr(
+            &parse_expr("let p := a * a in p + 1. endlet").unwrap(),
+            &env,
+        )
+        .unwrap();
         assert_eq!(t, Type::Real);
         let Expr::Let(defs, _) = e else { panic!() };
         assert_eq!(defs[0].ty, Some(Type::Real));
@@ -499,7 +546,9 @@ mod tests {
         let p = parse_program(FIG3_PROGRAM).unwrap();
         let checked = check_program(&p).unwrap();
         // The forall's P def got annotated.
-        let BlockBody::Forall(f) = &checked.blocks[0].body else { panic!() };
+        let BlockBody::Forall(f) = &checked.blocks[0].body else {
+            panic!()
+        };
         assert_eq!(f.defs[0].ty, Some(Type::Real));
     }
 
@@ -508,6 +557,32 @@ mod tests {
         let mut p = parse_program(FIG3_PROGRAM).unwrap();
         p.outputs.push("nosuch".into());
         assert!(check_program(&p).is_err());
+    }
+
+    #[test]
+    fn mapped_error_carries_location_and_def() {
+        let src = "\
+param m = 4;
+input A : array[real] [0, m];
+B : array[real] :=
+  forall i in [1, m]
+    P : integer := A[i];
+  construct
+    P
+  endall;
+output B;
+";
+        let (p, map) = crate::parser::parse_program_mapped(src, "ex.val").unwrap();
+        let e = check_program_mapped(&p, &map).unwrap_err();
+        assert_eq!(e.block.as_deref(), Some("B"));
+        assert_eq!(e.def.as_deref(), Some("P"));
+        // The def `P : integer := A[i]` starts at line 5, column 5.
+        assert_eq!(e.loc.as_deref(), Some("ex.val:5:5"));
+        let msg = e.to_string();
+        assert!(
+            msg.starts_with("ex.val:5:5: type error in block 'B', definition 'P':"),
+            "unexpected rendering: {msg}"
+        );
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //! structural definitions — what is and is not a primitive expression,
 //! primitive forall, primitive for-iter, simple for-iter.
 
+use valpipe_ir::Value;
 use valpipe_val::classify::{
     check_primitive_expr, check_primitive_foriter, is_scalar_primitive, NameEnv, Violation,
 };
 use valpipe_val::fold::Bindings;
 use valpipe_val::parser::{parse_block_body, parse_expr, parse_program};
 use valpipe_val::{extract_linear, BlockBody};
-use valpipe_ir::Value;
 
 fn env() -> NameEnv {
     let mut params = Bindings::new();
@@ -77,9 +77,7 @@ fn scalar_primitive_matrix() {
 #[test]
 fn foriter_shape_matrix() {
     // Each (body, acceptable) — shells around a canonical loop skeleton.
-    let shell = |inits: &str, body: &str| {
-        format!("for {inits} do {body} endfor")
-    };
+    let shell = |inits: &str, body: &str| format!("for {inits} do {body} endfor");
     let canon_inits = "i : integer := 1; T : array[real] := [0: 0.]";
     let ok_body = "if i < m then iter T := T[i: T[i-1] + A[i]]; i := i + 1 enditer else T endif";
     let cases: Vec<(String, bool, &str)> = vec![
@@ -138,7 +136,9 @@ do if i < m then iter T := T[i: 2.*T[i-1] - A[i]]; i := i + 1 enditer else T end
     let nonlinear = "for i : integer := 1; T : array[real] := [0: 0.]
 do if i < m then iter T := T[i: T[i-1]*A[i] + T[i-1]*T[i-1]]; i := i + 1 enditer else T endif endfor";
     for (src, want) in [(linear, true), (nonlinear, false)] {
-        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else { panic!() };
+        let BlockBody::ForIter(fi) = parse_block_body(src).unwrap() else {
+            panic!()
+        };
         let pfi = check_primitive_foriter(&fi, &env()).unwrap();
         assert_eq!(
             extract_linear(&pfi.step_inlined(), &pfi.acc).is_some(),
@@ -153,7 +153,10 @@ fn parse_error_positions() {
     for (src, line) in [
         ("param m = ;", 1),
         ("param m = 3;\ninput B array[real] [0, m];", 2),
-        ("param m = 3;\n\nA : array[real] := forall i in [0 m] construct 1. endall;", 3),
+        (
+            "param m = 3;\n\nA : array[real] := forall i in [0 m] construct 1. endall;",
+            3,
+        ),
     ] {
         let err = parse_program(src).unwrap_err();
         assert_eq!(err.line, line, "{src}");
@@ -175,7 +178,9 @@ fn violation_messages_are_informative() {
 fn lexer_keywords_and_adjacent_tokens() {
     // `forall` vs identifier prefix, `in` inside `construct`, etc.
     let src = "forall inx in [0, 1] construct inx endall";
-    let BlockBody::Forall(f) = parse_block_body(src).unwrap() else { panic!() };
+    let BlockBody::Forall(f) = parse_block_body(src).unwrap() else {
+        panic!()
+    };
     assert_eq!(f.index_var, "inx");
 }
 
@@ -227,7 +232,8 @@ fn eval_static_handles_lets_and_conditionals() {
     use valpipe_val::fold::eval_static;
     let mut env = Bindings::new();
     env.insert("m".into(), Value::Int(7));
-    let e = parse_expr("let a := m * 2; b := a - 3 in if b > 10 then b else a endif endlet").unwrap();
+    let e =
+        parse_expr("let a := m * 2; b := a - 3 in if b > 10 then b else a endif endlet").unwrap();
     assert_eq!(eval_static(&e, &env), Some(Value::Int(11)));
     // Unknown name → None, not a panic.
     let e = parse_expr("let a := q in a endlet").unwrap();

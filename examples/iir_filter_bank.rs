@@ -43,8 +43,14 @@ fn main() {
     let m = 64usize;
     let alphas = [0.05, 0.15, 0.4, 0.8];
     let compiled = compile_source(&source(m, &alphas), &CompileOptions::paper()).expect("compiles");
-    println!("== IIR filter bank: {} filters over one signal ==", alphas.len());
-    println!("machine code: {}", valpipe::ir::pretty::summary(&compiled.graph));
+    println!(
+        "== IIR filter bank: {} filters over one signal ==",
+        alphas.len()
+    );
+    println!(
+        "machine code: {}",
+        valpipe::ir::pretty::summary(&compiled.graph)
+    );
     for (name, scheme) in &compiled.stats.schemes {
         println!("  {name}: {scheme:?} scheme");
     }
@@ -70,5 +76,8 @@ fn main() {
     // the fastest close to it.
     let last = |k: usize| *report.run.reals(&format!("Y{k}")).get(m - 1).unwrap() as f64;
     assert!(last(0) < last(3), "heavier smoothing lags the step");
-    println!("\nAll {} recurrences fully pipelined concurrently ✓", alphas.len());
+    println!(
+        "\nAll {} recurrences fully pipelined concurrently ✓",
+        alphas.len()
+    );
 }

@@ -33,8 +33,15 @@ fn main() {
     let (n, m) = (14usize, 18usize);
     let compiled = compile_source(&source(n, m), &CompileOptions::paper()).expect("compiles");
     let shape = compiled.dims.shapes["V"];
-    println!("== 2-D Jacobi sweep, {}×{} grid ==", shape.height(), shape.width());
-    println!("machine code: {}", valpipe::ir::pretty::summary(&compiled.graph));
+    println!(
+        "== 2-D Jacobi sweep, {}×{} grid ==",
+        shape.height(),
+        shape.width()
+    );
+    println!(
+        "machine code: {}",
+        valpipe::ir::pretty::summary(&compiled.graph)
+    );
     println!(
         "row-neighbour taps carry offset ±{} (the row-major stride); the balancer",
         shape.width()
@@ -52,7 +59,10 @@ fn main() {
     inputs.insert("U".to_string(), ArrayVal::from_grid(&rows));
     let report = check_against_oracle(&compiled, &inputs, 20, 1e-12).expect("oracle");
 
-    println!("packets checked: {} (20 grid sweeps)", report.packets_checked);
+    println!(
+        "packets checked: {} (20 grid sweeps)",
+        report.packets_checked
+    );
     let iv = report.run.timing("V").interval().unwrap();
     println!("steady-state interval: {iv:.3} instruction times (max rate = 2.0)");
     assert!((iv - 2.0).abs() < 0.1);

@@ -64,7 +64,9 @@ fn main() {
     let compiled = compile_source(&source(m), &opts).expect("compiles");
 
     let u: Vec<f64> = (0..m + 2).map(|i| (i as f64 * 0.11).sin() * 3.0).collect();
-    let k: Vec<f64> = (0..m + 2).map(|i| 0.8 + 0.2 * (i as f64 * 0.05).cos()).collect();
+    let k: Vec<f64> = (0..m + 2)
+        .map(|i| 0.8 + 0.2 * (i as f64 * 0.05).cos())
+        .collect();
     let mut inputs = HashMap::new();
     inputs.insert("U".to_string(), ArrayVal::from_reals(0, &u));
     inputs.insert("K".to_string(), ArrayVal::from_reals(0, &k));
@@ -72,14 +74,28 @@ fn main() {
     let report = check_against_oracle(&compiled, &inputs, 30, 1e-9).expect("oracle");
 
     println!("== physics step over {} waves ==", 30);
-    println!("machine code: {}", valpipe::ir::pretty::summary(&compiled.graph));
+    println!(
+        "machine code: {}",
+        valpipe::ir::pretty::summary(&compiled.graph)
+    );
     println!("packets checked: {}", report.packets_checked);
     for out in ["V", "D"] {
         let iv = report.run.timing(out).interval().unwrap();
         println!("output {out}: interval {iv:.3} instruction times");
     }
     let frac = report.run.am_traffic_fraction();
-    println!("\noperation packets to array memories: {:.2}% of {}", frac * 100.0, report.run.total_fires);
-    println!("paper §2 claim: ≤ 12.5%  →  {}", if frac <= 0.125 { "holds ✓" } else { "VIOLATED ✗" });
+    println!(
+        "\noperation packets to array memories: {:.2}% of {}",
+        frac * 100.0,
+        report.run.total_fires
+    );
+    println!(
+        "paper §2 claim: ≤ 12.5%  →  {}",
+        if frac <= 0.125 {
+            "holds ✓"
+        } else {
+            "VIOLATED ✗"
+        }
+    );
     assert!(frac <= 0.125);
 }

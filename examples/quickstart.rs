@@ -53,9 +53,16 @@ fn main() {
 
     // 3. Report.
     println!("\n== execution ==");
-    println!("packets checked against interpreter: {}", report.packets_checked);
+    println!(
+        "packets checked against interpreter: {}",
+        report.packets_checked
+    );
     println!("max relative error: {:.3e}", report.max_rel_err);
-    let iv = report.run.timing("A").interval().expect("steady state reached");
+    let iv = report
+        .run
+        .timing("A")
+        .interval()
+        .expect("steady state reached");
     println!("steady-state initiation interval: {iv:.3} instruction times");
     println!("(fully pipelined = 2.0 — one result per two instruction times)");
     assert!((iv - 2.0).abs() < 0.1);

@@ -41,16 +41,24 @@ output X;
 
 fn main() {
     let m = 48usize;
-    let a: Vec<f64> = (0..m + 2).map(|i| 0.9 + 0.01 * (i as f64 * 0.7).sin()).collect();
+    let a: Vec<f64> = (0..m + 2)
+        .map(|i| 0.9 + 0.01 * (i as f64 * 0.7).sin())
+        .collect();
     let b: Vec<f64> = (0..m + 2).map(|i| (i as f64 * 0.13).cos()).collect();
     let mut inputs = HashMap::new();
     inputs.insert("A".to_string(), ArrayVal::from_reals(0, &a));
     inputs.insert("B".to_string(), ArrayVal::from_reals(0, &b));
 
     println!("Example 2 recurrence, m = {m}, 60 waves\n");
-    println!("{:<12} {:>8} {:>10} {:>12} {:>12}", "scheme", "cells", "interval", "rate", "max rel err");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12}",
+        "scheme", "cells", "interval", "rate", "max rel err"
+    );
     let mut intervals = Vec::new();
-    for (label, scheme) in [("todd", ForIterScheme::Todd), ("companion", ForIterScheme::Companion)] {
+    for (label, scheme) in [
+        ("todd", ForIterScheme::Todd),
+        ("companion", ForIterScheme::Companion),
+    ] {
         let mut opts = CompileOptions::paper();
         opts.scheme = scheme;
         let compiled = compile_source(&source(m), &opts).expect("compiles");

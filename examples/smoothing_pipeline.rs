@@ -22,10 +22,16 @@ fn main() {
     }
     println!("\nblocks:");
     for b in &compiled.flow.blocks {
-        println!("  {} over [{}, {}], consumes {:?}", b.name, b.range.0, b.range.1, b.consumes);
+        println!(
+            "  {} over [{}, {}], consumes {:?}",
+            b.name, b.range.0, b.range.1, b.consumes
+        );
     }
 
-    println!("\n== machine code ({}) ==", valpipe::ir::pretty::summary(&compiled.graph));
+    println!(
+        "\n== machine code ({}) ==",
+        valpipe::ir::pretty::summary(&compiled.graph)
+    );
     let listing = valpipe::ir::pretty::listing(&compiled.graph);
     for line in listing.lines().take(25) {
         println!("{line}");
@@ -50,7 +56,10 @@ fn main() {
     println!("packets checked: {}", report.packets_checked);
     for out in ["A", "X"] {
         let iv = report.run.timing(out).interval().unwrap();
-        println!("output {out}: interval {iv:.3} instruction times (rate {:.3})", 1.0 / iv);
+        println!(
+            "output {out}: interval {iv:.3} instruction times (rate {:.3})",
+            1.0 / iv
+        );
     }
 
     // Occupancy + Chrome trace of a short traced run.

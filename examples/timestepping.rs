@@ -42,7 +42,10 @@ fn main() {
     opts.am_boundary = true;
     let compiled = compile_source(&source(m), &opts).expect("compiles");
     println!("== diffusion over {steps} time steps, m = {m} ==");
-    println!("machine code: {}", valpipe::ir::pretty::summary(&compiled.graph));
+    println!(
+        "machine code: {}",
+        valpipe::ir::pretty::summary(&compiled.graph)
+    );
 
     // Initial condition: a spike in the middle.
     let mut u: Vec<f64> = vec![0.0; m + 2];

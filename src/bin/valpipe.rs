@@ -10,18 +10,24 @@
 //! `compile` prints the machine-code listing; `run` simulates the program
 //! (random inputs unless `--input` is given) and reports per-output rates;
 //! `dot` emits Graphviz; `check` parses/classifies only.
+//!
+//! Every subcommand accepts `--emit=ast,typed,ir,balanced,machine` (stage
+//! dumps on stdout, deterministic) and `--pass-stats` (per-pass wall time
+//! and growth table on stderr).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use valpipe::compiler::render_pass_stats;
 use valpipe::compiler::verify::check_against_oracle;
-use valpipe::{compile_source, ArrayVal, CompileOptions, ForIterScheme};
+use valpipe::{ArrayVal, CompileOptions, ForIterScheme, PassManager, Stage};
 use valpipe_balance::BalanceMode;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: valpipe <compile|run|dot|check> <file.val> \
          [--todd|--companion] [--synth] [--asap|--no-balance] \
-         [--waves N] [--am] [--input NAME=v1,v2,...]"
+         [--waves N] [--am] [--input NAME=v1,v2,...] \
+         [--emit=ast,typed,ir,balanced,machine] [--pass-stats]"
     );
     ExitCode::from(2)
 }
@@ -36,6 +42,8 @@ fn main() -> ExitCode {
     let mut opts = CompileOptions::paper();
     let mut waves = 20usize;
     let mut emit_json = false;
+    let mut emit_stages: Vec<Stage> = Vec::new();
+    let mut pass_stats = false;
     let mut user_inputs: HashMap<String, Vec<f64>> = HashMap::new();
     let mut k = 2;
     while k < args.len() {
@@ -47,14 +55,26 @@ fn main() -> ExitCode {
             "--no-balance" => opts.balance = BalanceMode::None,
             "--am" => opts.am_boundary = true,
             "--json" => emit_json = true,
+            "--pass-stats" => pass_stats = true,
+            s if s.starts_with("--emit=") => match Stage::parse_list(&s["--emit=".len()..]) {
+                Ok(v) => emit_stages = v,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+            },
             "--waves" => {
                 k += 1;
                 waves = args.get(k).and_then(|s| s.parse().ok()).unwrap_or(20);
             }
             "--input" => {
                 k += 1;
-                let Some(spec) = args.get(k) else { return usage() };
-                let Some((name, vals)) = spec.split_once('=') else { return usage() };
+                let Some(spec) = args.get(k) else {
+                    return usage();
+                };
+                let Some((name, vals)) = spec.split_once('=') else {
+                    return usage();
+                };
                 let vals: Result<Vec<f64>, _> = vals.split(',').map(str::parse).collect();
                 match vals {
                     Ok(v) => {
@@ -82,17 +102,35 @@ fn main() -> ExitCode {
         }
     };
 
-    let compiled = match compile_source(&src, &opts) {
-        Ok(c) => c,
+    let out = match PassManager::new(&opts)
+        .emit_all(&emit_stages)
+        .run_source(&src, path)
+    {
+        Ok(o) => o,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if pass_stats {
+        eprint!("{}", render_pass_stats(&out.pass_stats));
+    }
+    for (stage, dump) in &out.dumps {
+        println!("==== {stage} ====");
+        print!("{dump}");
+        if !dump.ends_with('\n') {
+            println!();
+        }
+    }
+    let compiled = out.compiled;
 
     match cmd {
         "check" => {
-            println!("ok: {} blocks, {} cells", compiled.flow.blocks.len(), compiled.graph.node_count());
+            println!(
+                "ok: {} blocks, {} cells",
+                compiled.flow.blocks.len(),
+                compiled.graph.node_count()
+            );
             for b in &compiled.flow.blocks {
                 println!("  block {} over [{}, {}]", b.name, b.range.0, b.range.1);
             }
@@ -123,7 +161,9 @@ fn main() -> ExitCode {
                     }
                     v.clone()
                 } else {
-                    (0..len).map(|i| (i as f64 * 0.37).sin() * 0.5 + 0.5).collect()
+                    (0..len)
+                        .map(|i| (i as f64 * 0.37).sin() * 0.5 + 0.5)
+                        .collect()
                 };
                 arrays.insert(name.clone(), ArrayVal::from_reals(*lo, &vals));
             }

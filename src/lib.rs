@@ -27,11 +27,12 @@ pub use valpipe_ir as ir;
 pub use valpipe_machine as machine;
 pub use valpipe_val as val;
 
-pub use valpipe_core::{compile_source, CompileOptions, Compiled, ForIterScheme};
-pub use valpipe_machine::{
-    Kernel, ProgramInputs, RunResult, Session, SessionBuilder, SimConfig, Simulator, Snapshot,
-    SnapshotError, Timing,
+pub use valpipe_core::{
+    compile_source, compile_source_named, CompileOptions, Compiled, ForIterScheme, PassManager,
+    Stage,
 };
-#[allow(deprecated)]
-pub use valpipe_machine::SimOptions;
+pub use valpipe_machine::{
+    render_error, render_stall, Kernel, ProgramInputs, RunResult, Session, SessionBuilder,
+    SimConfig, Simulator, Snapshot, SnapshotError, Timing,
+};
 pub use valpipe_val::interp::ArrayVal;

@@ -48,8 +48,18 @@ fn compile_emits_listing_and_json() {
 #[test]
 fn run_verifies_and_reports_rate() {
     let p = write_program();
-    let out = cli().arg("run").arg(&p).arg("--waves").arg("25").output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = cli()
+        .arg("run")
+        .arg(&p)
+        .arg("--waves")
+        .arg("25")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("verified"), "{text}");
     assert!(text.contains("interval"), "{text}");
@@ -66,7 +76,11 @@ fn dot_emits_graphviz() {
 #[test]
 fn bad_program_fails_with_diagnostic() {
     let path = std::env::temp_dir().join(format!("valpipe_cli_bad_{}.val", std::process::id()));
-    std::fs::write(&path, "param m = 4;\nA : array[real] := forall i in [0, m] construct B[2*i] endall;\noutput A;\n").unwrap();
+    std::fs::write(
+        &path,
+        "param m = 4;\nA : array[real] := forall i in [0, m] construct B[2*i] endall;\noutput A;\n",
+    )
+    .unwrap();
     let out = cli().arg("check").arg(&path).output().unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
@@ -86,5 +100,9 @@ fn user_supplied_inputs() {
         .arg(format!("C={}", vals.join(",")))
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

@@ -90,7 +90,9 @@ output Y;
     assert!(
         matches!(
             err,
-            VerifyError::Mismatch { .. } | VerifyError::WrongLength { .. } | VerifyError::Stalled { .. }
+            VerifyError::Mismatch { .. }
+                | VerifyError::WrongLength { .. }
+                | VerifyError::Stalled { .. }
         ),
         "{err}"
     );
@@ -121,13 +123,8 @@ output S;
     let err = check_against_oracle(&unbalanced, &inputs, 20, 1e-12).unwrap_err();
     assert!(matches!(err, VerifyError::Stalled { .. }), "{err}");
     // The stall report must finger a blocked gate.
-    let run = valpipe::compiler::verify::run(
-        &unbalanced,
-        &inputs,
-        2,
-        valpipe::SimConfig::new(),
-    )
-    .unwrap();
+    let run =
+        valpipe::compiler::verify::run(&unbalanced, &inputs, 2, valpipe::SimConfig::new()).unwrap();
     let report = run.stall_report.expect("jammed run carries a report");
     assert_eq!(report.kind, valpipe::machine::StallKind::Deadlock);
     assert!(!report.blocked_cells.is_empty());

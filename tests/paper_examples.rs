@@ -3,8 +3,8 @@
 
 use std::collections::HashMap;
 use valpipe::compiler::verify::{check_against_oracle, run};
-use valpipe::SimConfig;
 use valpipe::val::parser::{parse_block_body, EXAMPLE_1, EXAMPLE_2, FIG3_PROGRAM};
+use valpipe::SimConfig;
 use valpipe::{compile_source, ArrayVal, CompileOptions, ForIterScheme};
 
 fn fig3_inputs(m: usize) -> HashMap<String, ArrayVal> {
@@ -18,9 +18,9 @@ fn fig3_inputs(m: usize) -> HashMap<String, ArrayVal> {
 
 #[test]
 fn published_examples_parse_and_classify() {
+    use valpipe::ir::Value;
     use valpipe::val::classify::{check_primitive_forall, check_primitive_foriter, NameEnv};
     use valpipe::val::BlockBody;
-    use valpipe::ir::Value;
 
     let mut params = valpipe::val::fold::Bindings::new();
     params.insert("m".into(), Value::Int(32));
@@ -75,7 +75,10 @@ fn fig3_program_with_todd_is_slower_but_correct() {
     // This is exactly why the paper needs the companion scheme — one
     // unpipelined recurrence throttles the entire program.
     let iv_a = report.run.timing("A").interval().unwrap();
-    assert!(iv_a > 3.0, "A interval {iv_a} should be dragged down by the loop");
+    assert!(
+        iv_a > 3.0,
+        "A interval {iv_a} should be dragged down by the loop"
+    );
 }
 
 #[test]
@@ -193,19 +196,24 @@ fn closed_loop_machine_runs_feedback_loops() {
     let compiled = compile_source(FIG3_PROGRAM, &CompileOptions::paper()).unwrap();
     let exe = compiled.executable();
     let inputs = valpipe::compiler::verify::stream_inputs(&compiled, &fig3_inputs(32), 6);
-    let ideal = valpipe::compiler::verify::run(
-        &compiled,
-        &fig3_inputs(32),
-        6,
-        SimConfig::new(),
-    )
-    .unwrap();
-    let placement = Placement::round_robin(&exe, MachineConfig { pes: 8, ..Default::default() });
+    let ideal =
+        valpipe::compiler::verify::run(&compiled, &fig3_inputs(32), 6, SimConfig::new()).unwrap();
+    let placement = Placement::round_robin(
+        &exe,
+        MachineConfig {
+            pes: 8,
+            ..Default::default()
+        },
+    );
     let r = run_closed_loop(
         &exe,
         &inputs,
         &placement.pe_of,
-        &ClosedLoopOptions { pes: 8, arc_capacity: 2, ..Default::default() },
+        &ClosedLoopOptions {
+            pes: 8,
+            arc_capacity: 2,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(r.sources_exhausted);

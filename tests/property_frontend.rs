@@ -68,7 +68,11 @@ fn printable_expr(r: &mut Rng, depth: usize) -> Expr {
             printable_expr(r, depth - 1),
         ),
         _ => Expr::Let(
-            vec![Def { name: "p".into(), ty: None, value: printable_expr(r, depth - 1) }],
+            vec![Def {
+                name: "p".into(),
+                ty: None,
+                value: printable_expr(r, depth - 1),
+            }],
             Box::new(printable_expr(r, depth - 1)),
         ),
     }
@@ -137,5 +141,89 @@ output V;
                 assert!((v[i][j] - want).abs() < 1e-12, "({i},{j})");
             }
         }
+    }
+}
+
+/// Random whole programs round-trip through the pretty-printer
+/// (`parse(pretty(ast)) == ast`), the instrumented printer emits
+/// byte-identical text, and every span both printers record slices to
+/// non-empty source whose line/col matches the byte offset.
+#[test]
+fn program_print_parse_roundtrip_with_spans() {
+    use valpipe::val::pretty::{program_to_source, program_to_source_mapped};
+    use valpipe::val::srcmap::{SourceMap, StmtKey};
+
+    fn check_spans(map: &SourceMap, keys: &[StmtKey], src_label: &str) {
+        for key in keys {
+            let span = map
+                .span(key)
+                .unwrap_or_else(|| panic!("{src_label}: no span for {key:?}"));
+            let snippet = map.snippet(span);
+            assert!(
+                !snippet.is_empty(),
+                "{src_label}: empty snippet for {key:?}"
+            );
+            // line/col must agree with the byte offset.
+            let prefix = &map.text[..span.start as usize];
+            let line = 1 + prefix.matches('\n').count() as u32;
+            let col = 1 + prefix.rsplit('\n').next().unwrap().chars().count() as u32;
+            assert_eq!((span.line, span.col), (line, col), "{src_label}: {key:?}");
+        }
+    }
+
+    for case in 0..64u64 {
+        let mut r = Rng::seed(0x5003).fork(case);
+        // A chain of 1–3 forall blocks, each with 0–2 definitions,
+        // reading the previous block (or the input) through a window.
+        let nblocks = r.range(1, 4);
+        let mut src = String::from("param m = 10;\ninput S0 : array[real] [0, m+1];\n");
+        for b in 1..=nblocks {
+            let prev = format!("S{}", b - 1);
+            src.push_str(&format!("S{b} : array[real] :=\n  forall i in [1, m]\n"));
+            let ndefs = r.below(3);
+            for d in 0..ndefs {
+                src.push_str(&format!(
+                    "    d{d} : real := {prev}[i-1] * {}.5;\n",
+                    r.range_i64(0, 9)
+                ));
+            }
+            let body = match (ndefs, r.below(3)) {
+                (0, 0) => format!("{prev}[i] + {prev}[i+1]"),
+                (0, _) => format!("0.5 * ({prev}[i-1] + {prev}[i+1])"),
+                (n, 0) => format!("d0 * {prev}[i] + {}.25", n),
+                (n, _) => format!("d{} + {prev}[i]", n - 1),
+            };
+            src.push_str(&format!("  construct {body}\n  endall;\n"));
+        }
+        src.push_str(&format!("output S{nblocks};\n"));
+
+        let (prog, parse_map) = valpipe::val::parse_program_mapped(&src, "case.val")
+            .unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+        // parse(pretty(ast)) == ast
+        let printed = program_to_source(&prog);
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(reparsed, prog, "round-trip drift for:\n{src}");
+        // The instrumented printer emits byte-identical text.
+        let print_map = program_to_source_mapped(&prog, "case.val");
+        assert_eq!(print_map.text, printed, "instrumented printer drift");
+
+        // Both maps cover every statement, with offset-consistent spans.
+        let mut keys = vec![
+            StmtKey::Param("m".into()),
+            StmtKey::Input("S0".into()),
+            StmtKey::Output,
+        ];
+        for b in &prog.blocks {
+            keys.push(StmtKey::BlockHeader(b.name.clone()));
+            keys.push(StmtKey::BlockBody(b.name.clone()));
+            if let valpipe::val::ast::BlockBody::Forall(f) = &b.body {
+                for d in &f.defs {
+                    keys.push(StmtKey::BlockDef(b.name.clone(), d.name.clone()));
+                }
+            }
+        }
+        check_spans(&parse_map, &keys, "parse map");
+        check_spans(&print_map, &keys, "print map");
     }
 }

@@ -34,7 +34,11 @@ fn build_dag(r: &mut Rng) -> Graph {
                 g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
             } else {
                 let op = if r.flip() { BinOp::Mul } else { BinOp::Add };
-                g.cell(Opcode::Bin(op), format!("n{li}_{ni}"), &[a.into(), b.into()])
+                g.cell(
+                    Opcode::Bin(op),
+                    format!("n{li}_{ni}"),
+                    &[a.into(), b.into()],
+                )
             };
             next.push(node);
         }
@@ -120,7 +124,10 @@ fn random_dags_random_configs_identical_runs() {
         let n = r.range(8, 40);
         let inputs = ProgramInputs::new()
             .bind("s0", (0..n).map(|k| Value::Real(k as f64 * 0.5)).collect())
-            .bind("s1", (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect());
+            .bind(
+                "s1",
+                (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect(),
+            );
         let cfg = random_config(&mut r, &g);
         assert_kernels_agree(&g, &inputs, cfg, &format!("dag case {case}"));
     }

@@ -26,7 +26,11 @@ fn build_dag(layers: &[Vec<(usize, usize, bool)>]) -> Graph {
                 g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
             } else {
                 let op = if mul { BinOp::Mul } else { BinOp::Add };
-                g.cell(Opcode::Bin(op), format!("n{li}_{ni}"), &[a.into(), b.into()])
+                g.cell(
+                    Opcode::Bin(op),
+                    format!("n{li}_{ni}"),
+                    &[a.into(), b.into()],
+                )
             };
             next.push(node);
         }
@@ -60,7 +64,10 @@ fn all_three_machine_models_agree() {
         let n = 24usize;
         let inputs = ProgramInputs::new()
             .bind("s0", (0..n).map(|k| Value::Real(k as f64 * 0.5)).collect())
-            .bind("s1", (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect());
+            .bind(
+                "s1",
+                (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect(),
+            );
 
         // 1. Idealized.
         let ideal = Simulator::builder(&g).inputs(inputs.clone()).run().unwrap();
@@ -68,7 +75,11 @@ fn all_three_machine_models_agree() {
 
         // 2. Detailed static-latency machine.
         let pes = 1usize << pes_pow;
-        let cfg = MachineConfig { pes, network_latency: 2, ..Default::default() };
+        let cfg = MachineConfig {
+            pes,
+            network_latency: 2,
+            ..Default::default()
+        };
         let placement = Placement::round_robin(&g, cfg);
         let detailed = Simulator::builder(&g)
             .inputs(inputs.clone())

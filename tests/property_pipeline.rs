@@ -103,7 +103,11 @@ fn num_expr(r: &mut Rng, depth: usize) -> Expr {
         ),
         // Static condition (index-only): exercises control-stream gating.
         6 | 7 => Expr::if_(
-            Expr::bin(BinOp::Lt, Expr::var("i"), Expr::IntLit(r.range_i64(1, M as i64))),
+            Expr::bin(
+                BinOp::Lt,
+                Expr::var("i"),
+                Expr::IntLit(r.range_i64(1, M as i64)),
+            ),
             num_expr(r, depth - 1),
             num_expr(r, depth - 1),
         ),

@@ -14,7 +14,9 @@
 use std::collections::HashMap;
 use valpipe::compiler::verify::stream_inputs;
 use valpipe::ir::{BinOp, Graph, Opcode, Value};
-use valpipe::machine::{ArcDelays, ProgramInputs, ResourceModel, Session, Simulator, WatchdogConfig};
+use valpipe::machine::{
+    ArcDelays, ProgramInputs, ResourceModel, Session, Simulator, WatchdogConfig,
+};
 use valpipe::{compile_source, ArrayVal, CompileOptions, Kernel, SimConfig, Snapshot};
 use valpipe_machine::FaultPlan;
 use valpipe_util::Rng;
@@ -36,7 +38,11 @@ fn build_dag(r: &mut Rng) -> Graph {
                 g.cell(Opcode::Id, format!("n{li}_{ni}"), &[a.into()])
             } else {
                 let op = if r.flip() { BinOp::Mul } else { BinOp::Add };
-                g.cell(Opcode::Bin(op), format!("n{li}_{ni}"), &[a.into(), b.into()])
+                g.cell(
+                    Opcode::Bin(op),
+                    format!("n{li}_{ni}"),
+                    &[a.into(), b.into()],
+                )
             };
             next.push(node);
         }
@@ -86,7 +92,10 @@ fn random_config(r: &mut Rng, g: &Graph) -> SimConfig {
             ..Default::default()
         });
         if drop_ack > 0.0 {
-            cfg = cfg.watchdog(WatchdogConfig { step_budget: 3_000, progress_window: 64 });
+            cfg = cfg.watchdog(WatchdogConfig {
+                step_budget: 3_000,
+                progress_window: 64,
+            });
         }
     }
     cfg.check_invariants(r.flip())
@@ -143,7 +152,10 @@ fn random_dags_recover_exactly_at_every_step() {
         let n = r.range(6, 20);
         let inputs = ProgramInputs::new()
             .bind("s0", (0..n).map(|k| Value::Real(k as f64 * 0.5)).collect())
-            .bind("s1", (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect());
+            .bind(
+                "s1",
+                (0..n).map(|k| Value::Real(1.0 + k as f64 * 0.25)).collect(),
+            );
         let cfg = random_config(&mut r, &g);
         let capture = match case % 3 {
             0 => Kernel::Scan,
