@@ -51,6 +51,15 @@ cmp -s target/ci_emit_fig6.txt tests/golden/ci_emit_fig6.txt \
 grep -q '^total' target/ci_pass_stats.txt \
     || { echo "ci: FAIL — --pass-stats printed no summary row" >&2; exit 1; }
 
+# The simulation service must survive its chaos soak: concurrent clients
+# vs. kill -9 + restart, bit-identical results, at least one structured
+# overload rejection, hibernated-session recovery, graceful shutdown.
+cargo run --release -q -p valpipe-bench --bin exp_service -- --smoke > target/ci_service.txt
+grep -q 'CLAIM \[FAILS\]' target/ci_service.txt \
+    && { echo "ci: FAIL — exp_service chaos soak claims did not hold" >&2; exit 1; }
+grep -q 'CLAIM \[HOLDS\] results served across kill -9' target/ci_service.txt \
+    || { echo "ci: FAIL — exp_service did not report the bit-identity claim" >&2; exit 1; }
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Benchmarks must at least run: smoke mode shrinks workloads and skips

@@ -164,6 +164,17 @@ impl BenchLog {
                 Err(_) => "BENCH_machine.json".to_string(),
             }
         });
+        self.write_at(&path, bench)?;
+        Ok(path)
+    }
+
+    /// [`BenchLog::write`] to an explicit path. The file is a *trajectory*:
+    /// a JSON array that each run APPENDS its document to, so successive
+    /// bench invocations accumulate history instead of overwriting it. A
+    /// pre-trajectory file holding a single object is wrapped into a
+    /// one-element array first; an unreadable or corrupt file starts a
+    /// fresh trajectory (benches must not fail on a damaged log).
+    pub fn write_at(&self, path: &str, bench: &str) -> std::io::Result<()> {
         let doc = Json::obj([
             ("bench", Json::Str(bench.to_string())),
             ("smoke", Json::Bool(smoke_mode())),
@@ -177,7 +188,55 @@ impl BenchLog {
             ),
             ("results", Json::Arr(self.records.clone())),
         ]);
-        std::fs::write(&path, doc.to_pretty() + "\n")?;
-        Ok(path)
+        let mut trajectory = match std::fs::read_to_string(path)
+            .ok()
+            .and_then(|s| Json::parse(&s).ok())
+        {
+            Some(Json::Arr(entries)) => entries,
+            Some(old @ Json::Obj(_)) => vec![old],
+            _ => Vec::new(),
+        };
+        trajectory.push(doc);
+        std::fs::write(path, Json::Arr(trajectory).to_pretty() + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_at_appends_to_the_trajectory_and_wraps_legacy_objects() {
+        let path = std::env::temp_dir()
+            .join(format!("valpipe_benchlog_{}.json", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let _ = std::fs::remove_file(&path);
+
+        // A legacy single-object file is wrapped, not clobbered.
+        std::fs::write(&path, "{\"bench\": \"legacy\", \"results\": []}\n").unwrap();
+        let mut log = BenchLog::new();
+        log.record("g", 3, 4, "event", 1, 100, 0.5);
+        log.write_at(&path, "first").unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let arr = doc.as_arr().expect("trajectory is an array");
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0].get("bench").and_then(|b| b.as_str()), Some("legacy"));
+        assert_eq!(arr[1].get("bench").and_then(|b| b.as_str()), Some("first"));
+
+        // A second run appends.
+        log.write_at(&path, "second").unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let arr = doc.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[2].get("bench").and_then(|b| b.as_str()), Some("second"));
+
+        // A corrupt file starts fresh instead of failing.
+        std::fs::write(&path, "not json").unwrap();
+        log.write_at(&path, "fresh").unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.as_arr().unwrap().len(), 1);
+
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -37,7 +37,7 @@ pub use error::{MachineError, SimError};
 pub use fault::{CellFreeze, FaultPlan, LinkFault};
 pub use network::{OmegaNetwork, Packet};
 pub use scheduler::Kernel;
-pub use session::{Session, SessionBuilder, SimConfig};
+pub use session::{RunOutcome, Session, SessionBuilder, SimConfig};
 pub use sim::{ArcDelays, ProgramInputs, ResourceModel, RunResult, Simulator, StopReason, Timing};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trace::{chrome_trace, occupancy_chart};

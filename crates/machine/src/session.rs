@@ -38,9 +38,11 @@ use valpipe_ir::opcode::Opcode;
 
 use crate::fault::FaultPlan;
 use crate::scheduler::Kernel;
-use crate::sim::{ArcDelays, ProgramInputs, ResourceModel, RunResult, SimError, Simulator};
+use crate::sim::{
+    ArcDelays, ProgramInputs, ResourceModel, RunPhase, RunResult, SimError, Simulator,
+};
 use crate::snapshot::{Snapshot, SnapshotError};
-use crate::watchdog::WatchdogConfig;
+use crate::watchdog::{StallKind, StallReport, WatchdogConfig};
 
 /// Run-shaping configuration, built fluently.
 ///
@@ -325,6 +327,21 @@ pub struct Session<'g> {
     sim: Simulator<'g>,
 }
 
+/// Outcome of [`Session::run_until`]: the run either reached one of its
+/// stopping conditions (quiescence, step limit, output target, watchdog
+/// stall) and produced its [`RunResult`], or it hit the caller's pause
+/// boundary first and hands the live session back for later resumption.
+pub enum RunOutcome<'g> {
+    /// The run stopped for one of the machine's own reasons. Boxed,
+    /// like [`RunOutcome::Paused`], to keep the enum small.
+    Done(Box<RunResult>),
+    /// The pause boundary arrived first; the session can keep running,
+    /// be checkpointed, or be dropped. Resuming (directly or through a
+    /// checkpoint) continues bit-identically to an uninterrupted run.
+    /// Boxed: a live session is large next to a [`RunResult`].
+    Paused(Box<Session<'g>>),
+}
+
 impl<'g> Session<'g> {
     /// Advance one instruction time. Returns how many cells fired.
     pub fn step(&mut self) -> Result<usize, SimError> {
@@ -335,6 +352,32 @@ impl<'g> Session<'g> {
     /// watchdog stall; consumes the session.
     pub fn run(self) -> Result<RunResult, SimError> {
         self.sim.run()
+    }
+
+    /// Run until a stopping condition *or* until the instruction time
+    /// reaches `pause_at`, whichever comes first. Stopping wins ties: a
+    /// pause boundary landing exactly on the final step still yields
+    /// [`RunOutcome::Done`]. Because every stopping decision in the run
+    /// loop is made from machine state at the top of the loop, a paused
+    /// session resumed later (even via checkpoint/restore on another
+    /// kernel or host) produces a [`RunResult`] bit-identical to an
+    /// uninterrupted run — the property the multi-tenant service's
+    /// budgeted jobs and hibernation are built on.
+    pub fn run_until(self, pause_at: u64) -> Result<RunOutcome<'g>, SimError> {
+        Ok(match self.sim.run_inner(Some(pause_at), None)? {
+            RunPhase::Done(r) => RunOutcome::Done(r),
+            RunPhase::Paused(sim) => RunOutcome::Paused(Box::new(Session { sim: *sim })),
+        })
+    }
+
+    /// Diagnose the machine's current wait structure as a structured
+    /// [`StallReport`] of the given kind — the same report the watchdog
+    /// builds when it declares a run stalled. The service layer uses this
+    /// to surface exhausted per-job step budgets and wall-clock deadlines
+    /// through the existing stall taxonomy without mutating the run.
+    pub fn stall_report(&self, kind: StallKind) -> StallReport {
+        self.sim
+            .build_stall_report(kind, self.sim.tracker.fires_since_progress())
     }
 
     /// `run`, handing every periodic checkpoint (see
@@ -373,6 +416,21 @@ impl<'g> Session<'g> {
         Ok(Session {
             sim: snap.rebuild(g, kernel)?,
         })
+    }
+
+    /// Resume directly from raw snapshot bytes (e.g. a hibernation file's
+    /// payload section or bytes received over the wire): validates the
+    /// header and checksums, then restores onto `g` under `kernel`. This
+    /// is [`Snapshot::from_bytes`] + [`Session::restore_with_kernel`] in
+    /// one step, so callers moving machine state between processes never
+    /// handle an unvalidated snapshot.
+    pub fn resume_from_bytes(
+        g: &'g Graph,
+        bytes: Vec<u8>,
+        kernel: Kernel,
+    ) -> Result<Session<'g>, SnapshotError> {
+        let snap = Snapshot::from_bytes(bytes)?;
+        Self::restore_with_kernel(g, &snap, kernel)
     }
 
     /// Current instruction time.

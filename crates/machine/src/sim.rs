@@ -532,6 +532,19 @@ impl Operand {
     }
 }
 
+/// Outcome of one pass through the run loop: either the run reached a
+/// stopping decision and produced its [`RunResult`], or it hit a caller
+/// pause boundary and hands the live machine back.
+pub(crate) enum RunPhase<'g> {
+    /// The run stopped; the machine has been consumed into its result.
+    /// Boxed, like [`RunPhase::Paused`], to keep the enum small.
+    Done(Box<RunResult>),
+    /// The pause boundary was reached first; the machine is untouched
+    /// beyond it and can be resumed, snapshotted, or dropped. Boxed: a
+    /// live machine is large next to a [`RunResult`].
+    Paused(Box<Simulator<'g>>),
+}
+
 /// The simulation engine. Construct through [`Simulator::builder`], which
 /// yields a [`crate::session::Session`]; the engine's `step`/`run` remain
 /// public for the session to delegate to.
@@ -1098,9 +1111,29 @@ impl<'g> Simulator<'g> {
     /// [`SimConfig::checkpoint_every`]) to `sink` after writing it to the
     /// configured path (if any).
     pub(crate) fn run_with(
-        mut self,
-        mut sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
+        self,
+        sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
     ) -> Result<RunResult, SimError> {
+        match self.run_inner(None, sink)? {
+            RunPhase::Done(r) => Ok(*r),
+            // Unreachable: without a pause boundary the loop only exits
+            // through a stopping decision.
+            RunPhase::Paused(_) => unreachable!("run without pause_at cannot pause"),
+        }
+    }
+
+    /// The shared run loop. With `pause_at = Some(t)`, the loop suspends
+    /// and hands the machine back once `now >= t` — *after* re-checking
+    /// every stopping condition, so a pause boundary that coincides with
+    /// the final step still completes. Because every stopping decision is
+    /// state-based (top of the loop), a paused machine resumed later
+    /// continues bit-identically to an uninterrupted run; this is what
+    /// the serve crate's budgeted jobs and hibernation lean on.
+    pub(crate) fn run_inner(
+        mut self,
+        pause_at: Option<u64>,
+        mut sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
+    ) -> Result<RunPhase<'g>, SimError> {
         let wd = self.cfg.watchdog;
         let step_limit = match wd {
             Some(w) => self.cfg.max_steps.min(w.step_budget),
@@ -1158,6 +1191,9 @@ impl<'g> Simulator<'g> {
             }
             if self.now >= step_limit {
                 break;
+            }
+            if pause_at.is_some_and(|p| self.now >= p) {
+                return Ok(RunPhase::Paused(Box::new(self)));
             }
             self.step()?;
             if self.cfg.check_invariants {
@@ -1233,7 +1269,7 @@ impl<'g> Simulator<'g> {
             emit_times,
             ..
         } = self.cells;
-        Ok(RunResult {
+        Ok(RunPhase::Done(Box::new(RunResult {
             steps: self.now,
             stop,
             outputs: outputs.into_iter().collect(),
@@ -1245,13 +1281,13 @@ impl<'g> Simulator<'g> {
             fu_fires: self.fu_fires,
             fire_times,
             stall_report,
-        })
+        })))
     }
 
     /// Diagnose a stalled machine: which cells hold pending work they
     /// cannot complete, which arcs still hold tokens or unfreed slots,
     /// and the shortest circular wait, if any.
-    fn build_stall_report(&self, kind: StallKind, fires_in_window: u64) -> StallReport {
+    pub(crate) fn build_stall_report(&self, kind: StallKind, fires_in_window: u64) -> StallReport {
         let n_cells = self.g.nodes.len();
         let mut blocked_cells = Vec::new();
         // Wait-for graph: cell -> cells it is waiting on (the producer of

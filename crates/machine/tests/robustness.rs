@@ -384,3 +384,23 @@ fn invariant_checker_is_silent_on_healthy_runs() {
         assert_eq!(r.reals("y"), ramp(50), "cap {cap}");
     }
 }
+
+/// Compile-time proof that sessions and every snapshot-carrying type can
+/// migrate across worker threads — the property the multi-tenant
+/// simulation service's worker pool depends on. If any field regresses
+/// to a non-`Send` type (an `Rc`, a raw pointer without its manual
+/// impl), this test stops compiling.
+#[test]
+fn sessions_and_snapshot_state_are_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<valpipe_machine::Session<'static>>();
+    assert_send::<valpipe_machine::RunOutcome<'static>>();
+    assert_send::<valpipe_machine::Snapshot>();
+    assert_send::<valpipe_machine::SnapshotError>();
+    assert_send::<valpipe_machine::SimConfig>();
+    assert_send::<RunResult>();
+    // A `&Graph` crosses threads with the session, so the graph itself
+    // must also be shareable.
+    fn assert_sync<T: Sync>() {}
+    assert_sync::<Graph>();
+}

@@ -1,0 +1,48 @@
+//! A minimal blocking client for the service, used by the CLI, the
+//! integration tests, and the chaos soak harness.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use valpipe_util::Json;
+
+/// One connection to the service: send a request object, read the
+/// response line. Requests on one client are strictly sequential.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connect with a read timeout (a hung or killed server surfaces as
+    /// an I/O error the caller classifies as transient).
+    pub fn connect(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Send one request, wait for its response line.
+    pub fn request(&mut self, req: &Json) -> std::io::Result<Json> {
+        let mut line = req.to_compact();
+        line.push('\n');
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Json::parse(&response).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response JSON: {e}"),
+            )
+        })
+    }
+}

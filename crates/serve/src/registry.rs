@@ -1,0 +1,389 @@
+//! The session registry: named sessions shared by the worker pool, a
+//! live-session cap with LRU hibernation, and write-through persistence.
+//!
+//! Concurrency structure: a short-lived map lock hands out `Arc<Slot>`s;
+//! each slot serializes its own jobs behind a per-slot state mutex, so
+//! jobs for *different* sessions run fully in parallel while two jobs
+//! for the *same* session never interleave. The registry persists the
+//! session container after every job (write-through), so a `kill -9` at
+//! any instant loses at most the jobs in flight — and those are safe to
+//! retry, because jobs address absolute instruction-time targets on a
+//! deterministic machine.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use valpipe_util::{Json, Rng};
+
+use crate::hibernate;
+use crate::proto::{ErrorBody, ErrorKind};
+use crate::session::{SessionCore, SessionSpec};
+
+/// A session's residency state.
+enum SlotState {
+    /// In memory, ready for jobs.
+    Hot(Box<SessionCore>),
+    /// Evicted to its container file; reloaded lazily on next use.
+    Hibernated,
+    /// Closed; the slot only remains so late requests get a clean error.
+    Closed,
+}
+
+/// One named session: residency state plus an LRU timestamp.
+struct Slot {
+    name: String,
+    /// Logical clock value of the last job (for LRU eviction).
+    last_used: AtomicU64,
+    state: Mutex<SlotState>,
+}
+
+/// Counters exposed through the `stats` op.
+#[derive(Debug, Default)]
+pub struct RegistryStats {
+    /// Sessions written to their container (cap eviction + shutdown).
+    pub hibernations: AtomicU64,
+    /// Sessions reloaded from their container.
+    pub resumes: AtomicU64,
+}
+
+/// The shared session registry.
+pub struct Registry {
+    dir: PathBuf,
+    /// Maximum sessions held in memory; beyond this, LRU slots hibernate.
+    max_live: usize,
+    clock: AtomicU64,
+    rng: Mutex<Rng>,
+    /// Counters for the `stats` op and the CI gate.
+    pub stats: RegistryStats,
+    slots: Mutex<HashMap<String, Arc<Slot>>>,
+}
+
+impl Registry {
+    /// Create a registry persisting into `dir`, holding at most
+    /// `max_live` sessions in memory.
+    pub fn new(dir: PathBuf, max_live: usize, seed: u64) -> Registry {
+        Registry {
+            dir,
+            max_live: max_live.max(1),
+            clock: AtomicU64::new(1),
+            rng: Mutex::new(Rng::seed(seed ^ 0x005e_5510_4e61)),
+            stats: RegistryStats::default(),
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Crash recovery: scan the hibernation directory, register every
+    /// valid container as a hibernated slot, and report what was swept
+    /// or skipped. Run before accepting connections.
+    pub fn recover(&self) -> Result<hibernate::ScanReport, hibernate::HibernateError> {
+        let report = hibernate::scan(&self.dir)?;
+        let mut slots = self.slots.lock().unwrap();
+        for name in &report.recovered {
+            slots.insert(
+                name.clone(),
+                Arc::new(Slot {
+                    name: name.clone(),
+                    last_used: AtomicU64::new(0),
+                    state: Mutex::new(SlotState::Hibernated),
+                }),
+            );
+        }
+        Ok(report)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Number of sessions currently hot in memory.
+    pub fn live_count(&self) -> usize {
+        let slots = self.slots.lock().unwrap();
+        slots
+            .values()
+            .filter(|s| {
+                s.state
+                    .try_lock()
+                    .map(|g| matches!(*g, SlotState::Hot(_)))
+                    .unwrap_or(true) // busy slot is hot by definition
+            })
+            .count()
+    }
+
+    /// Total registered sessions (hot + hibernated).
+    pub fn session_count(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| {
+                s.state
+                    .try_lock()
+                    .map(|g| !matches!(*g, SlotState::Closed))
+                    .unwrap_or(true)
+            })
+            .count()
+    }
+
+    /// Open a session, idempotently: re-opening with an identical spec
+    /// succeeds (reporting `resumed: true`), a conflicting spec is
+    /// `session_exists`, a new name compiles and registers a fresh core.
+    pub fn open(&self, spec: SessionSpec) -> Result<Json, ErrorBody> {
+        let name = spec.name.clone();
+        let slot = {
+            let slots = self.slots.lock().unwrap();
+            slots.get(&name).cloned()
+        };
+        if let Some(slot) = slot {
+            // Existing slot: compare identities under the slot lock.
+            let identity = spec.identity();
+            return self.with_core(&slot, |core| {
+                if core.spec.identity() != identity {
+                    return Err(ErrorBody::new(
+                        ErrorKind::SessionExists,
+                        format!("session '{name}' exists with a different program or inputs"),
+                    ));
+                }
+                Ok(Json::obj([
+                    ("session", Json::Str(name.clone())),
+                    ("resumed", Json::Bool(true)),
+                    ("now", Json::Int(core.now() as i64)),
+                    ("done", Json::Bool(core.final_result.is_some())),
+                ]))
+            });
+        }
+        // Fresh name: compile outside any lock (compiles can be slow),
+        // then race to insert; losing the race re-checks identity.
+        let core = SessionCore::open(spec.clone())?;
+        let now = core.now();
+        let slot = Arc::new(Slot {
+            name: name.clone(),
+            last_used: AtomicU64::new(self.tick()),
+            state: Mutex::new(SlotState::Hot(Box::new(core))),
+        });
+        {
+            let mut slots = self.slots.lock().unwrap();
+            if slots.contains_key(&name) {
+                drop(slots);
+                return self.open(spec); // lost the race; retry as existing
+            }
+            slots.insert(name.clone(), slot.clone());
+        }
+        // Persist immediately so the session survives a crash that lands
+        // before its first job.
+        {
+            let guard = slot.state.lock().unwrap();
+            if let SlotState::Hot(core) = &*guard {
+                let mut rng = self.rng.lock().unwrap();
+                hibernate::save(&self.dir, core, &mut rng)
+                    .map_err(|e| hibernate::to_error_body(&e))?;
+            }
+        }
+        self.enforce_cap(&name);
+        Ok(Json::obj([
+            ("session", Json::Str(name)),
+            ("resumed", Json::Bool(false)),
+            ("now", Json::Int(now as i64)),
+            ("done", Json::Bool(false)),
+        ]))
+    }
+
+    /// Look up a slot by name.
+    fn slot(&self, name: &str) -> Result<Arc<Slot>, ErrorBody> {
+        self.slots
+            .lock()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                ErrorBody::new(
+                    ErrorKind::NoSuchSession,
+                    format!("no session named '{name}'"),
+                )
+            })
+    }
+
+    /// Run `f` against a session's core with the slot lock held,
+    /// reloading from the container if the slot is hibernated, and
+    /// persisting write-through afterwards. The write-through happens
+    /// even when `f` fails: a failed job may still have advanced the
+    /// machine (e.g. a deadline hit mid-run), and that progress must
+    /// survive a crash. `f`'s error takes precedence over a save error.
+    fn with_core<T>(
+        &self,
+        slot: &Slot,
+        f: impl FnOnce(&mut SessionCore) -> Result<T, ErrorBody>,
+    ) -> Result<T, ErrorBody> {
+        let mut guard = slot.state.lock().unwrap();
+        slot.last_used.store(self.tick(), Ordering::Relaxed);
+        if matches!(*guard, SlotState::Hibernated) {
+            let core =
+                hibernate::load(&self.dir, &slot.name).map_err(|e| hibernate::to_error_body(&e))?;
+            self.stats.resumes.fetch_add(1, Ordering::Relaxed);
+            *guard = SlotState::Hot(Box::new(core));
+        }
+        let core = match &mut *guard {
+            SlotState::Hot(core) => core,
+            SlotState::Closed => {
+                return Err(ErrorBody::new(
+                    ErrorKind::NoSuchSession,
+                    format!("session '{}' is closed", slot.name),
+                ))
+            }
+            SlotState::Hibernated => unreachable!("reloaded above"),
+        };
+        let result = f(core);
+        let save = {
+            let mut rng = self.rng.lock().unwrap();
+            hibernate::save(&self.dir, core, &mut rng)
+        };
+        drop(guard);
+        self.enforce_cap(&slot.name);
+        match (result, save) {
+            (Ok(v), Ok(())) => Ok(v),
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(e)) => Err(hibernate::to_error_body(&e)),
+        }
+    }
+
+    /// Run a job against a named session (the server's `run`/`status`
+    /// paths). See [`Registry::with_core`] for the residency protocol.
+    pub fn with_session<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut SessionCore) -> Result<T, ErrorBody>,
+    ) -> Result<T, ErrorBody> {
+        let slot = self.slot(name)?;
+        self.with_core(&slot, f)
+    }
+
+    /// Hibernate LRU sessions until at most `max_live` are hot. Slots
+    /// whose state lock is held (a job mid-flight) are skipped — they
+    /// are the opposite of least-recently-used. `except` (the slot that
+    /// triggered enforcement) is demoted only as a last resort, by being
+    /// ranked most-recently-used.
+    fn enforce_cap(&self, except: &str) {
+        loop {
+            let candidates: Vec<Arc<Slot>> = {
+                let slots = self.slots.lock().unwrap();
+                let mut hot: Vec<&Arc<Slot>> = slots
+                    .values()
+                    .filter(|s| {
+                        s.state
+                            .try_lock()
+                            .map(|g| matches!(*g, SlotState::Hot(_)))
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                if hot.len() <= self.max_live {
+                    return;
+                }
+                hot.sort_by_key(|s| {
+                    let lru = s.last_used.load(Ordering::Relaxed);
+                    (s.name == except, lru)
+                });
+                hot.iter()
+                    .take(hot.len() - self.max_live)
+                    .map(|s| Arc::clone(s))
+                    .collect()
+            };
+            if candidates.is_empty() {
+                return;
+            }
+            let mut demoted_any = false;
+            for slot in candidates {
+                let Ok(mut guard) = slot.state.try_lock() else {
+                    continue; // became busy; skip this round
+                };
+                if let SlotState::Hot(core) = &*guard {
+                    // State is already persisted write-through; demotion
+                    // just re-saves (cheap, and correct even if a crash
+                    // interleaved) and drops the in-memory core.
+                    let saved = {
+                        let mut rng = self.rng.lock().unwrap();
+                        hibernate::save(&self.dir, core, &mut rng)
+                    };
+                    if saved.is_ok() {
+                        *guard = SlotState::Hibernated;
+                        self.stats.hibernations.fetch_add(1, Ordering::Relaxed);
+                        demoted_any = true;
+                    }
+                }
+            }
+            if !demoted_any {
+                return; // everything eligible is busy; try again next job
+            }
+        }
+    }
+
+    /// Explicitly hibernate one session now (the `hibernate` op).
+    pub fn hibernate(&self, name: &str) -> Result<Json, ErrorBody> {
+        let slot = self.slot(name)?;
+        let mut guard = slot.state.lock().unwrap();
+        match &*guard {
+            SlotState::Hot(core) => {
+                let saved = {
+                    let mut rng = self.rng.lock().unwrap();
+                    hibernate::save(&self.dir, core, &mut rng)
+                };
+                saved.map_err(|e| hibernate::to_error_body(&e))?;
+                *guard = SlotState::Hibernated;
+                self.stats.hibernations.fetch_add(1, Ordering::Relaxed);
+                Ok(Json::obj([("hibernated", Json::Bool(true))]))
+            }
+            SlotState::Hibernated => Ok(Json::obj([("hibernated", Json::Bool(true))])),
+            SlotState::Closed => Err(ErrorBody::new(
+                ErrorKind::NoSuchSession,
+                format!("session '{name}' is closed"),
+            )),
+        }
+    }
+
+    /// Hibernate every hot session (graceful shutdown). Blocks on each
+    /// slot lock, so it naturally waits for in-flight jobs to finish.
+    pub fn hibernate_all(&self) -> usize {
+        let all: Vec<Arc<Slot>> = self.slots.lock().unwrap().values().cloned().collect();
+        let mut n = 0;
+        for slot in all {
+            let mut guard = slot.state.lock().unwrap();
+            if let SlotState::Hot(core) = &*guard {
+                let saved = {
+                    let mut rng = self.rng.lock().unwrap();
+                    hibernate::save(&self.dir, core, &mut rng)
+                };
+                if saved.is_ok() {
+                    *guard = SlotState::Hibernated;
+                    self.stats.hibernations.fetch_add(1, Ordering::Relaxed);
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Close a session: drop its state and delete its container.
+    pub fn close(&self, name: &str) -> Result<Json, ErrorBody> {
+        let slot = self.slot(name)?;
+        {
+            let mut guard = slot.state.lock().unwrap();
+            if matches!(*guard, SlotState::Closed) {
+                return Err(ErrorBody::new(
+                    ErrorKind::NoSuchSession,
+                    format!("session '{name}' is closed"),
+                ));
+            }
+            *guard = SlotState::Closed;
+            hibernate::remove(&self.dir, name).map_err(|e| hibernate::to_error_body(&e))?;
+        }
+        self.slots.lock().unwrap().remove(name);
+        Ok(Json::obj([("closed", Json::Bool(true))]))
+    }
+
+    /// Sorted session names (the `stats` op).
+    pub fn session_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.slots.lock().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}

@@ -1,0 +1,134 @@
+//! Property test (satellite 3): hibernate → evict → resume at *every*
+//! idle boundary of a random job sequence yields a final result
+//! bit-identical to an uninterrupted session — across all three kernels.
+//!
+//! The hibernation cycle is exercised through the real container codec
+//! (`hibernate::encode`/`decode`), i.e. exactly the bytes that land on
+//! disk, so this also property-checks the container format round trip.
+
+use valpipe_machine::Kernel;
+use valpipe_serve::hibernate;
+use valpipe_serve::{Advance, JobLimits, SessionCore, SessionSpec};
+use valpipe_util::{Json, Rng};
+
+const KERNELS: [Kernel; 3] = [Kernel::Scan, Kernel::EventDriven, Kernel::ParallelEvent(2)];
+
+fn kernel_tag(k: Kernel) -> String {
+    match k {
+        Kernel::Scan => "scan".into(),
+        Kernel::EventDriven => "event".into(),
+        Kernel::ParallelEvent(w) => format!("parallel{w}"),
+    }
+}
+
+/// The paper's Fig. 6 stencil (conditional + window selection), small
+/// enough to run many randomized trials in a test.
+fn spec(name: &str, kernel: Kernel, waves: usize) -> SessionSpec {
+    SessionSpec {
+        name: name.to_string(),
+        source: "param m = 4;\n\
+                 input B : array[real] [0, m+1];\n\
+                 input C : array[real] [0, m+1];\n\
+                 A : array[real] :=\n\
+                 forall i in [0, m+1]\n\
+                 P : real :=\n\
+                 if (i = 0)|(i = m+1) then C[i]\n\
+                 else 0.25 * (C[i-1] + 2.*C[i] + C[i+1])\n\
+                 endif;\n\
+                 construct B[i]*(P*P)\n\
+                 endall;\n\
+                 output A;"
+            .to_string(),
+        arrays: Json::parse(r#"{"B":[0.5,1.5,2.5,3.5,4.5,5.5],"C":[1.0,2.0,3.0,2.0,1.0,0.5]}"#)
+            .unwrap(),
+        waves,
+        kernel,
+        max_steps: 200_000,
+    }
+}
+
+/// Drive a core to completion in one uninterrupted job.
+fn oracle_result(kernel: Kernel, waves: usize) -> String {
+    let mut core = SessionCore::open(spec("oracle", kernel, waves)).unwrap();
+    match core.advance(&JobLimits::default(), 1 << 40).unwrap() {
+        Advance::Done => {}
+        _ => panic!("oracle run must complete"),
+    }
+    core.final_result.unwrap()
+}
+
+#[test]
+fn hibernation_at_every_idle_boundary_is_bit_identical_across_kernels() {
+    let waves = 6;
+    let event_oracle = oracle_result(Kernel::EventDriven, waves);
+    for kernel in KERNELS {
+        let oracle = oracle_result(kernel, waves);
+        // All kernels agree before any hibernation enters the picture.
+        assert_eq!(
+            oracle,
+            event_oracle,
+            "kernel {} diverges from event kernel",
+            kernel_tag(kernel)
+        );
+
+        let mut rng = Rng::seed(0xB0DA + waves as u64);
+        for trial in 0..8 {
+            let name = format!("p-{}-{trial}", kernel_tag(kernel));
+            let mut core = SessionCore::open(spec(&name, kernel, waves)).unwrap();
+            let mut boundaries = 0u32;
+            loop {
+                // A random job: advance by a random absolute increment.
+                let hop = 1 + rng.below(40) as u64;
+                let limits = JobLimits {
+                    until: Some(core.now() + hop),
+                    ..JobLimits::default()
+                };
+                let advance = core.advance(&limits, 1 + rng.below(16) as u64).unwrap();
+                // Idle boundary: hibernate through the real container
+                // codec and resume from the decoded bytes.
+                let bytes = hibernate::encode(&core);
+                core = hibernate::decode(&bytes).unwrap_or_else(|e| {
+                    panic!("container round-trip failed at boundary {boundaries}: {e}")
+                });
+                boundaries += 1;
+                match advance {
+                    Advance::Done => break,
+                    Advance::Paused { .. } => {}
+                    _ => panic!("no budget or deadline was set"),
+                }
+            }
+            assert!(boundaries >= 2, "trial must cross several boundaries");
+            assert_eq!(
+                core.final_result.as_deref().unwrap(),
+                oracle.as_str(),
+                "kernel {} trial {trial}: hibernated run diverged after {boundaries} boundaries",
+                kernel_tag(kernel)
+            );
+        }
+    }
+}
+
+#[test]
+fn container_decode_rejects_every_truncation_point_with_typed_errors() {
+    let core = SessionCore::open(spec("trunc", Kernel::EventDriven, 2)).unwrap();
+    let bytes = hibernate::encode(&core);
+    // Sample truncation points across the whole container (every length
+    // would be ~100k decodes); each must fail cleanly, never panic.
+    let mut at = 0;
+    while at < bytes.len() {
+        let r = hibernate::decode(&bytes[..at]);
+        assert!(r.is_err(), "decode accepted a {at}-byte prefix");
+        at += 1 + at / 8;
+    }
+    // Single-bit corruption anywhere must be caught by the checksum.
+    let mut rng = Rng::seed(42);
+    for _ in 0..32 {
+        let mut bad = bytes.clone();
+        let i = rng.below(bad.len());
+        bad[i] ^= 1 << rng.below(8);
+        assert!(
+            hibernate::decode(&bad).is_err(),
+            "flipped bit at byte {i} went undetected"
+        );
+    }
+}

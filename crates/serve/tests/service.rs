@@ -1,0 +1,434 @@
+//! In-process integration tests for the service: admission control,
+//! hibernation, graceful shutdown, and crash-recovery hygiene.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use valpipe_machine::Kernel;
+use valpipe_serve::{Client, ServeConfig, Server, SessionCore, SessionSpec};
+use valpipe_util::Json;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("valpipe_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec_json(name: &str, waves: i64) -> Json {
+    Json::parse(&format!(
+        r#"{{"op":"open","session":"{name}","source":"param m = 3;\ninput A : array[real] [0, m];\nY : array[real] := forall i in [0, m] construct A[i] + 1. endall;\noutput Y;","arrays":{{"A":[1.0,2.0,3.0,4.0]}},"waves":{waves},"kernel":"event","max_steps":100000}}"#
+    ))
+    .unwrap()
+}
+
+fn core_spec(name: &str, waves: usize, kernel: Kernel) -> SessionSpec {
+    SessionSpec {
+        name: name.to_string(),
+        source: "param m = 3;\ninput A : array[real] [0, m];\nY : array[real] := forall i in [0, m] construct A[i] + 1. endall;\noutput Y;".to_string(),
+        arrays: Json::parse(r#"{"A":[1.0,2.0,3.0,4.0]}"#).unwrap(),
+        waves,
+        kernel,
+        max_steps: 100_000,
+    }
+}
+
+struct Running {
+    addr: String,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+fn start(cfg: ServeConfig) -> Running {
+    let (server, _recovery) = Server::bind(cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let thread = std::thread::spawn(move || server.run());
+    Running { addr, thread }
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr, Duration::from_secs(30)).unwrap()
+}
+
+fn shut_down(r: Running) {
+    let mut c = connect(&r.addr);
+    let resp = c
+        .request(&Json::parse(r#"{"op":"shutdown"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(
+        resp.get("drained").and_then(|v| v.as_bool()),
+        Some(true),
+        "shutdown must acknowledge a completed drain"
+    );
+    r.thread.join().unwrap().unwrap();
+}
+
+fn cfg_with(dir: PathBuf) -> ServeConfig {
+    ServeConfig {
+        hibernate_dir: dir,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn smoke_open_run_status_close() {
+    let dir = temp_dir("smoke");
+    let r = start(cfg_with(dir.clone()));
+    let mut c = connect(&r.addr);
+
+    let resp = c.request(&spec_json("s1", 3)).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+    assert_eq!(resp.get("resumed").and_then(|v| v.as_bool()), Some(false));
+
+    // Re-open with the identical spec is idempotent.
+    let resp = c.request(&spec_json("s1", 3)).unwrap();
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(resp.get("resumed").and_then(|v| v.as_bool()), Some(true));
+
+    // A conflicting spec is refused permanently.
+    let resp = c.request(&spec_json("s1", 4)).unwrap();
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(false));
+    let err = resp.get("error").unwrap();
+    assert_eq!(
+        err.get("kind").and_then(|v| v.as_str()),
+        Some("session_exists")
+    );
+    assert_eq!(err.get("retryable").and_then(|v| v.as_bool()), Some(false));
+
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"s1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+    assert_eq!(resp.get("done").and_then(|v| v.as_bool()), Some(true));
+    let result = resp.get("result").unwrap();
+    // 3 waves of 4 elements, each A[i] + 1.
+    let y = result
+        .get("outputs")
+        .unwrap()
+        .get("Y")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert_eq!(y.len(), 12);
+
+    let resp = c
+        .request(&Json::parse(r#"{"op":"status","session":"s1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("done").and_then(|v| v.as_bool()), Some(true));
+
+    let resp = c
+        .request(&Json::parse(r#"{"op":"close","session":"s1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(true));
+    let resp = c
+        .request(&Json::parse(r#"{"op":"status","session":"s1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|v| v.as_str()),
+        Some("no_such_session")
+    );
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn overload_is_rejected_with_structured_retry_hint() {
+    let dir = temp_dir("overload");
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..cfg_with(dir.clone())
+    };
+    let r = start(cfg);
+    let mut c = connect(&r.addr);
+    let resp = c.request(&spec_json("hot", 2000)).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+
+    // One worker, queue depth one: pipeline a burst of six runs in a
+    // single write. The reader admits them far faster than the worker
+    // can execute (each run simulates thousands of steps), so the
+    // bounded queue must overflow and reject the tail of the burst.
+    use std::io::{BufRead, BufReader, Write};
+    let mut stream = std::net::TcpStream::connect(&r.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut burst = String::new();
+    for i in 0..6 {
+        burst.push_str(&format!(
+            "{{\"op\":\"run\",\"session\":\"hot\",\"until\":100000,\"id\":{i}}}\n"
+        ));
+    }
+    stream.write_all(burst.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut responses = Vec::new();
+    for _ in 0..6 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        responses.push(Json::parse(&line).unwrap());
+    }
+    let rejected: Vec<&Json> = responses
+        .iter()
+        .filter(|resp| {
+            resp.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(|v| v.as_str())
+                == Some("overloaded")
+        })
+        .collect();
+    assert!(
+        !rejected.is_empty(),
+        "6 concurrent jobs on a 1-worker/1-slot queue must reject some: {responses:?}"
+    );
+    for resp in &rejected {
+        let err = resp.get("error").unwrap();
+        assert_eq!(err.get("retryable").and_then(|v| v.as_bool()), Some(true));
+        let after = err.get("retry_after_ms").and_then(|v| v.as_i64()).unwrap();
+        assert!((25..75).contains(&after), "jittered hint, got {after}");
+    }
+    // The stats op must account for every rejection.
+    let stats = c
+        .request(&Json::parse(r#"{"op":"stats"}"#).unwrap())
+        .unwrap();
+    assert!(
+        stats
+            .get("rejected_overload")
+            .and_then(|v| v.as_i64())
+            .unwrap()
+            >= rejected.len() as i64
+    );
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hibernate_resume_is_bit_identical() {
+    let dir = temp_dir("hib");
+    let r = start(cfg_with(dir.clone()));
+    let mut c = connect(&r.addr);
+    c.request(&spec_json("h1", 5)).unwrap();
+
+    // Advance partway, hibernate explicitly, then finish: the final
+    // result must be byte-identical to an uninterrupted in-process run.
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"h1","until":37}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("done").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(resp.get("now").and_then(|v| v.as_i64()), Some(37));
+    let resp = c
+        .request(&Json::parse(r#"{"op":"hibernate","session":"h1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("hibernated").and_then(|v| v.as_bool()), Some(true));
+
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"h1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("done").and_then(|v| v.as_bool()), Some(true));
+    let served = resp.get("result").unwrap().to_compact();
+
+    let mut oracle = SessionCore::open(core_spec("oracle", 5, Kernel::EventDriven)).unwrap();
+    oracle
+        .advance(&valpipe_serve::JobLimits::default(), 1 << 40)
+        .unwrap();
+    assert_eq!(
+        served,
+        Json::parse(&oracle.final_result.unwrap())
+            .unwrap()
+            .to_compact()
+    );
+
+    // The resume was counted.
+    let stats = c
+        .request(&Json::parse(r#"{"op":"stats"}"#).unwrap())
+        .unwrap();
+    assert!(stats.get("resumes").and_then(|v| v.as_i64()).unwrap() >= 1);
+    assert!(stats.get("hibernations").and_then(|v| v.as_i64()).unwrap() >= 1);
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn session_cap_evicts_lru_to_hibernation() {
+    let dir = temp_dir("cap");
+    let cfg = ServeConfig {
+        max_live: 2,
+        ..cfg_with(dir.clone())
+    };
+    let r = start(cfg);
+    let mut c = connect(&r.addr);
+    for name in ["a", "b", "c", "d"] {
+        let resp = c.request(&spec_json(name, 2)).unwrap();
+        assert_eq!(
+            resp.get("ok").and_then(|v| v.as_bool()),
+            Some(true),
+            "{resp:?}"
+        );
+    }
+    let stats = c
+        .request(&Json::parse(r#"{"op":"stats"}"#).unwrap())
+        .unwrap();
+    assert_eq!(stats.get("sessions").and_then(|v| v.as_i64()), Some(4));
+    assert!(
+        stats.get("live").and_then(|v| v.as_i64()).unwrap() <= 2,
+        "cap of 2 must hold: {stats:?}"
+    );
+    assert!(stats.get("hibernations").and_then(|v| v.as_i64()).unwrap() >= 2);
+    // Evicted sessions still serve jobs (lazy resume).
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"a"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        resp.get("done").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn graceful_shutdown_hibernates_and_restart_recovers() {
+    let dir = temp_dir("graceful");
+    let r = start(cfg_with(dir.clone()));
+    let mut c = connect(&r.addr);
+    c.request(&spec_json("g1", 5)).unwrap();
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"g1","until":23}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("now").and_then(|v| v.as_i64()), Some(23));
+    shut_down(r);
+
+    // New process generation: same directory, fresh server.
+    let r2 = start(cfg_with(dir.clone()));
+    let mut c = connect(&r2.addr);
+    // The spec is re-openable (idempotent) and the state survived.
+    let resp = c.request(&spec_json("g1", 5)).unwrap();
+    assert_eq!(
+        resp.get("resumed").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+    assert_eq!(resp.get("now").and_then(|v| v.as_i64()), Some(23));
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"g1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("done").and_then(|v| v.as_bool()), Some(true));
+    let served = resp.get("result").unwrap().to_compact();
+
+    let mut oracle = SessionCore::open(core_spec("oracle", 5, Kernel::EventDriven)).unwrap();
+    oracle
+        .advance(&valpipe_serve::JobLimits::default(), 1 << 40)
+        .unwrap();
+    assert_eq!(
+        served,
+        Json::parse(&oracle.final_result.unwrap())
+            .unwrap()
+            .to_compact()
+    );
+
+    shut_down(r2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recovery_sweeps_torn_tmp_and_skips_corrupt_containers_without_panicking() {
+    let dir = temp_dir("hygiene");
+
+    // A valid container, written through the real path.
+    let core = SessionCore::open(core_spec("good", 2, Kernel::Scan)).unwrap();
+    let mut rng = valpipe_util::Rng::seed(7);
+    valpipe_serve::hibernate::save(&dir, &core, &mut rng).unwrap();
+
+    // A torn temporary from a crashed write.
+    std::fs::write(dir.join("torn.vph.tmp"), b"VALPHIB1 half-writ").unwrap();
+    // Garbage that was never a container.
+    std::fs::write(dir.join("noise.vph"), b"not a container at all").unwrap();
+    // A truncated copy of the valid container (checksum cannot match).
+    let good = std::fs::read(dir.join("good.vph")).unwrap();
+    std::fs::write(dir.join("trunc.vph"), &good[..good.len() / 2]).unwrap();
+
+    let (server, recovery) = Server::bind(cfg_with(dir.clone())).unwrap();
+    assert_eq!(recovery.recovered, vec!["good".to_string()]);
+    assert_eq!(recovery.swept_tmp, vec!["torn.vph.tmp".to_string()]);
+    assert!(!dir.join("torn.vph.tmp").exists());
+    let skipped: Vec<&str> = recovery.skipped.iter().map(|(f, _)| f.as_str()).collect();
+    assert_eq!(skipped, vec!["noise.vph", "trunc.vph"]);
+    for (_, why) in &recovery.skipped {
+        assert!(
+            why.contains("magic") || why.contains("checksum") || why.contains("truncat"),
+            "typed reason expected, got: {why}"
+        );
+    }
+    // Invalid containers are left on disk for post-mortem.
+    assert!(dir.join("noise.vph").exists());
+    assert!(dir.join("trunc.vph").exists());
+
+    // The recovered session is actually usable.
+    let addr = server.local_addr().unwrap().to_string();
+    let thread = std::thread::spawn(move || server.run());
+    let mut c = connect(&addr);
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"good"}"#).unwrap())
+        .unwrap();
+    assert_eq!(
+        resp.get("done").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+    shut_down(Running { addr, thread });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_and_deadline_surface_as_retryable_stalls_with_reports() {
+    let dir = temp_dir("budget");
+    let r = start(cfg_with(dir.clone()));
+    let mut c = connect(&r.addr);
+    c.request(&spec_json("b1", 50)).unwrap();
+
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"b1","step_budget":5}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(false));
+    let err = resp.get("error").unwrap();
+    assert_eq!(err.get("kind").and_then(|v| v.as_str()), Some("stalled"));
+    assert_eq!(err.get("retryable").and_then(|v| v.as_bool()), Some(true));
+    let stall = err.get("stall").unwrap();
+    assert_eq!(
+        stall.get("kind").and_then(|v| v.as_str()),
+        Some("budget_exhausted")
+    );
+
+    // Progress was preserved: the session sits at t=5 and a retry with
+    // no budget completes the run.
+    let resp = c
+        .request(&Json::parse(r#"{"op":"status","session":"b1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("now").and_then(|v| v.as_i64()), Some(5));
+    let resp = c
+        .request(&Json::parse(r#"{"op":"run","session":"b1"}"#).unwrap())
+        .unwrap();
+    assert_eq!(resp.get("done").and_then(|v| v.as_bool()), Some(true));
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}
