@@ -51,6 +51,18 @@ cmp -s target/ci_emit_fig6.txt tests/golden/ci_emit_fig6.txt \
 grep -q '^total' target/ci_pass_stats.txt \
     || { echo "ci: FAIL — --pass-stats printed no summary row" >&2; exit 1; }
 
+# Steady-state fast-forward must be an unobservable optimization:
+# bit-identical results and post-skip snapshots on every kernel
+# (dedicated + property suites), plus the reporter's >=100x step-skip
+# claim on the Fig. 6 steady-state workload.
+cargo test -q -p valpipe-machine --test fastforward
+cargo test -q --test property_fastforward
+cargo run --release -q -p valpipe-bench --bin exp_fastforward -- --smoke > target/ci_fastforward.txt
+grep -q 'CLAIM \[FAILS\]' target/ci_fastforward.txt \
+    && { echo "ci: FAIL — exp_fastforward claims did not hold" >&2; exit 1; }
+grep -q 'CLAIM \[HOLDS\] fast-forward simulates >= 100x fewer' target/ci_fastforward.txt \
+    || { echo "ci: FAIL — exp_fastforward did not report the step-skip claim" >&2; exit 1; }
+
 # The simulation service must survive its chaos soak: concurrent clients
 # vs. kill -9 + restart, bit-identical results, at least one structured
 # overload rejection, hibernated-session recovery, graceful shutdown.
@@ -71,7 +83,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 # lib/bin targets under the libtest harness, which rejects `--json`.)
 BENCH_JSON_PATH="$(pwd)/target/ci_bench_smoke.json" \
     cargo bench -p valpipe-bench --bench compile --bench simulate \
-    --bench balance --bench kernels -- --test --json
+    --bench balance --bench kernels --bench fastforward -- --test --json
 test -s target/ci_bench_smoke.json \
     || { echo "ci: FAIL — bench trajectory JSON was not emitted" >&2; exit 1; }
 

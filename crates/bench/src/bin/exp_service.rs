@@ -272,7 +272,7 @@ fn oracle(spec: &SessionSpec) -> String {
         .advance(&JobLimits::default(), 1 << 40)
         .expect("oracle runs")
     {
-        Advance::Done => {}
+        Advance::Done { .. } => {}
         _ => panic!("oracle must complete"),
     }
     Json::parse(&core.final_result.unwrap())

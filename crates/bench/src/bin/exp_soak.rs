@@ -27,7 +27,7 @@ use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions};
 use valpipe_ir::Graph;
 use valpipe_machine::{
-    FaultPlan, Kernel, ProgramInputs, RunResult, Session, SimConfig, Simulator, Snapshot,
+    FaultPlan, Kernel, ProgramInputs, RunResult, RunSpec, Session, SimConfig, Simulator, Snapshot,
 };
 use valpipe_util::Rng;
 
@@ -84,7 +84,7 @@ fn main() {
         println!("restoring '{path}' at step {}", snap.step());
         match Session::restore(&exe, &snap) {
             Ok(session) => {
-                let r = session.run().expect("resumed run");
+                let r = session.drive(RunSpec::new()).expect("resumed run").result();
                 println!(
                     "resumed to step {}, stop: {}, packets on A: {}",
                     r.steps,
@@ -171,8 +171,9 @@ fn main() {
         let snap = Snapshot::read_from(&path).expect("checkpoint must be readable");
         let recovered = Session::restore_with_kernel(&exe, &snap, resume_kernel)
             .expect("checkpoint must restore")
-            .run()
-            .expect("recovered run");
+            .drive(RunSpec::new())
+            .expect("recovered run")
+            .result();
         let identical = recovered == reference;
         all_identical &= identical;
         println!(

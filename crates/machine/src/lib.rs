@@ -20,6 +20,7 @@ pub mod arch;
 pub mod closedloop;
 pub mod diag;
 pub mod error;
+pub mod fastforward;
 pub mod fault;
 pub mod network;
 pub(crate) mod par;
@@ -34,10 +35,11 @@ pub use arch::{MachineConfig, Placement};
 pub use closedloop::{run_closed_loop, ClosedLoopOptions, ClosedLoopResult};
 pub use diag::{render_error, render_stall};
 pub use error::{MachineError, SimError};
+pub use fastforward::FastForwardStats;
 pub use fault::{CellFreeze, FaultPlan, LinkFault};
 pub use network::{OmegaNetwork, Packet};
 pub use scheduler::Kernel;
-pub use session::{RunOutcome, Session, SessionBuilder, SimConfig};
+pub use session::{Driven, ExecMode, RunOutcome, RunSpec, Session, SessionBuilder, SimConfig};
 pub use sim::{ArcDelays, ProgramInputs, ResourceModel, RunResult, Simulator, StopReason, Timing};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trace::{chrome_trace, occupancy_chart};

@@ -36,6 +36,7 @@
 use valpipe_ir::graph::Graph;
 use valpipe_ir::opcode::Opcode;
 
+use crate::fastforward::{FastForward, FastForwardStats};
 use crate::fault::FaultPlan;
 use crate::scheduler::Kernel;
 use crate::sim::{
@@ -322,15 +323,16 @@ impl<'g> SessionBuilder<'g> {
 /// A prepared simulation: the single run/step surface over both kernels.
 ///
 /// Obtained from [`SessionBuilder::build`]. Step manually for traces and
-/// closed-loop experiments, or [`Session::run`] to completion.
+/// closed-loop experiments, or [`Session::drive`] to completion.
 pub struct Session<'g> {
     sim: Simulator<'g>,
 }
 
-/// Outcome of [`Session::run_until`]: the run either reached one of its
-/// stopping conditions (quiescence, step limit, output target, watchdog
-/// stall) and produced its [`RunResult`], or it hit the caller's pause
-/// boundary first and hands the live session back for later resumption.
+/// Outcome of a driven run: the run either reached one of its stopping
+/// conditions (quiescence, step limit, output target, watchdog stall)
+/// and produced its [`RunResult`], or it hit the caller's pause boundary
+/// or step budget first and hands the live session back for later
+/// resumption.
 pub enum RunOutcome<'g> {
     /// The run stopped for one of the machine's own reasons. Boxed,
     /// like [`RunOutcome::Paused`], to keep the enum small.
@@ -342,32 +344,224 @@ pub enum RunOutcome<'g> {
     Paused(Box<Session<'g>>),
 }
 
+/// How [`Session::drive`] executes the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Simulate every instruction time on the configured kernel.
+    #[default]
+    Exact,
+    /// Detect the periodic steady state and skip whole hyperperiods
+    /// analytically (see [`crate::fastforward`]). The result is
+    /// bit-identical to [`ExecMode::Exact`]; runs whose configuration
+    /// makes a skipped window inexact (fault plans, resource throttles,
+    /// active checkpoint cadences) fall back to exact stepping.
+    FastForward {
+        /// Re-verify this many leading windows of every engagement by
+        /// shadow-replaying them on the event kernel and comparing
+        /// snapshots byte-for-byte. `0` trusts the periodicity proof;
+        /// a mismatch at any verified window abandons fast-forward for
+        /// the rest of the run and keeps the exactly-stepped state.
+        verify_window: u64,
+    },
+}
+
+/// Everything that shapes one [`Session::drive`] call, as plain data:
+/// stop conditions (pause boundary, step budget), checkpoint cadence,
+/// stall policy, and execution mode. Defaults drive the run to
+/// completion in [`ExecMode::Exact`] with the session's configuration
+/// untouched.
+///
+/// ```
+/// use valpipe_machine::RunSpec;
+/// let spec = RunSpec::new().fast_forward(1).pause_at(10_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunSpec {
+    mode: ExecMode,
+    pause_at: Option<u64>,
+    step_budget: Option<u64>,
+    checkpoint_every: Option<u64>,
+    checkpoint_path: Option<String>,
+    watchdog: Option<WatchdogConfig>,
+}
+
+impl RunSpec {
+    /// The default spec: run to completion, exactly, no checkpoints.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Select the execution mode.
+    pub fn mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`ExecMode::FastForward`] with the given
+    /// per-engagement verification budget.
+    pub fn fast_forward(self, verify_window: u64) -> Self {
+        self.mode(ExecMode::FastForward { verify_window })
+    }
+
+    /// Pause (yielding [`RunOutcome::Paused`]) once the instruction time
+    /// reaches `at`, unless the run stops for its own reasons first.
+    pub fn pause_at(mut self, at: u64) -> Self {
+        self.pause_at = Some(at);
+        self
+    }
+
+    /// Pause after at most this many further instruction times — a
+    /// relative [`RunSpec::pause_at`]. The budget is a pause boundary,
+    /// not a change to the configured step limit, so it never alters the
+    /// machine state a later checkpoint serializes.
+    pub fn step_budget(mut self, steps: u64) -> Self {
+        self.step_budget = Some(steps);
+        self
+    }
+
+    /// Override the session's checkpoint cadence for this drive (see
+    /// [`SimConfig::checkpoint_every`]).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Override where periodic checkpoints are written for this drive
+    /// (see [`SimConfig::checkpoint_path`]).
+    pub fn checkpoint_path(mut self, path: impl Into<String>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Install (or override) the watchdog for this drive (see
+    /// [`SimConfig::watchdog`]).
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+}
+
+/// What one [`Session::drive`] call produced: the run outcome plus the
+/// fast-forward statistics (all zeros under [`ExecMode::Exact`]).
+pub struct Driven<'g> {
+    /// Whether the run completed or paused, and the resulting state.
+    pub outcome: RunOutcome<'g>,
+    /// What fast-forward accomplished (steps skipped, windows verified,
+    /// fallbacks taken).
+    pub fast_forward: FastForwardStats,
+}
+
+impl<'g> Driven<'g> {
+    /// Unwrap a completed run's [`RunResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run paused instead of completing — only call this
+    /// on drives without a pause boundary or step budget, or after
+    /// matching on [`Driven::outcome`].
+    pub fn result(self) -> RunResult {
+        match self.outcome {
+            RunOutcome::Done(r) => *r,
+            RunOutcome::Paused(_) => panic!("drive paused; match on Driven::outcome instead"),
+        }
+    }
+}
+
 impl<'g> Session<'g> {
     /// Advance one instruction time. Returns how many cells fired.
     pub fn step(&mut self) -> Result<usize, SimError> {
         self.sim.step()
     }
 
+    /// Drive the run as described by `spec`: to quiescence, the step
+    /// limit, the output-count target, or a watchdog stall — or to the
+    /// spec's pause boundary / step budget, whichever comes first.
+    /// Stopping wins ties: a pause boundary landing exactly on the final
+    /// step still yields [`RunOutcome::Done`]. Because every stopping
+    /// decision in the run loop is made from machine state at the top of
+    /// the loop, a paused session resumed later (even via
+    /// checkpoint/restore on another kernel or host) produces a
+    /// [`RunResult`] bit-identical to an uninterrupted run — the
+    /// property the multi-tenant service's budgeted jobs and hibernation
+    /// are built on. [`ExecMode::FastForward`] preserves the same
+    /// bit-identity while skipping provably periodic windows (see
+    /// [`crate::fastforward`]).
+    pub fn drive(self, spec: RunSpec) -> Result<Driven<'g>, SimError> {
+        self.drive_inner(spec, None)
+    }
+
+    /// [`Session::drive`], handing every periodic checkpoint (see
+    /// [`RunSpec::checkpoint_every`] / [`SimConfig::checkpoint_every`])
+    /// to `sink` as it is taken.
+    pub fn drive_with(
+        self,
+        spec: RunSpec,
+        mut sink: impl FnMut(Snapshot),
+    ) -> Result<Driven<'g>, SimError> {
+        self.drive_inner(spec, Some(&mut sink))
+    }
+
+    fn drive_inner(
+        mut self,
+        spec: RunSpec,
+        sink: Option<&mut dyn FnMut(Snapshot)>,
+    ) -> Result<Driven<'g>, SimError> {
+        if let Some(every) = spec.checkpoint_every {
+            self.sim.cfg.checkpoint_every = every;
+        }
+        if let Some(path) = spec.checkpoint_path {
+            self.sim.cfg.checkpoint_path = Some(path);
+        }
+        if let Some(wd) = spec.watchdog {
+            self.sim.cfg.watchdog = Some(wd);
+        }
+        // A step budget is a *pause boundary*, not a config change: the
+        // config is serialized into checkpoints (format-pinned), so the
+        // budget must never leak into the machine state.
+        let pause = match (spec.pause_at, spec.step_budget) {
+            (Some(p), Some(b)) => Some(p.min(self.sim.now().saturating_add(b))),
+            (Some(p), None) => Some(p),
+            (None, Some(b)) => Some(self.sim.now().saturating_add(b)),
+            (None, None) => None,
+        };
+        let mut stats = FastForwardStats::default();
+        let mut ff = match spec.mode {
+            ExecMode::Exact => None,
+            ExecMode::FastForward { verify_window } => {
+                let f = FastForward::new(&self.sim, verify_window, sink.is_some());
+                if f.is_none() {
+                    // Requested but ineligible (faults / throttles /
+                    // checkpoint cadence): record the fallback.
+                    stats.fallbacks = 1;
+                }
+                f
+            }
+        };
+        let phase = self.sim.run_inner(pause, sink, ff.as_mut())?;
+        if let Some(f) = ff {
+            stats = f.into_stats();
+        }
+        Ok(Driven {
+            outcome: match phase {
+                RunPhase::Done(r) => RunOutcome::Done(r),
+                RunPhase::Paused(sim) => RunOutcome::Paused(Box::new(Session { sim: *sim })),
+            },
+            fast_forward: stats,
+        })
+    }
+
     /// Run to quiescence, the step limit, the output-count target, or a
     /// watchdog stall; consumes the session.
+    #[deprecated(note = "use Session::drive(RunSpec::new()) instead")]
     pub fn run(self) -> Result<RunResult, SimError> {
-        self.sim.run()
+        Ok(self.drive(RunSpec::new())?.result())
     }
 
     /// Run until a stopping condition *or* until the instruction time
-    /// reaches `pause_at`, whichever comes first. Stopping wins ties: a
-    /// pause boundary landing exactly on the final step still yields
-    /// [`RunOutcome::Done`]. Because every stopping decision in the run
-    /// loop is made from machine state at the top of the loop, a paused
-    /// session resumed later (even via checkpoint/restore on another
-    /// kernel or host) produces a [`RunResult`] bit-identical to an
-    /// uninterrupted run — the property the multi-tenant service's
-    /// budgeted jobs and hibernation are built on.
+    /// reaches `pause_at`, whichever comes first.
+    #[deprecated(note = "use Session::drive(RunSpec::new().pause_at(..)) instead")]
     pub fn run_until(self, pause_at: u64) -> Result<RunOutcome<'g>, SimError> {
-        Ok(match self.sim.run_inner(Some(pause_at), None)? {
-            RunPhase::Done(r) => RunOutcome::Done(r),
-            RunPhase::Paused(sim) => RunOutcome::Paused(Box::new(Session { sim: *sim })),
-        })
+        Ok(self.drive(RunSpec::new().pause_at(pause_at))?.outcome)
     }
 
     /// Diagnose the machine's current wait structure as a structured
@@ -384,11 +578,9 @@ impl<'g> Session<'g> {
     /// [`SimConfig::checkpoint_every`]) to `sink` as it is taken. The
     /// checkpoint is also written to [`SimConfig::checkpoint_path`] if
     /// one is configured.
-    pub fn run_with_checkpoints(
-        self,
-        mut sink: impl FnMut(Snapshot),
-    ) -> Result<RunResult, SimError> {
-        self.sim.run_with(Some(&mut sink))
+    #[deprecated(note = "use Session::drive_with(RunSpec::new(), sink) instead")]
+    pub fn run_with_checkpoints(self, sink: impl FnMut(Snapshot)) -> Result<RunResult, SimError> {
+        Ok(self.drive_with(RunSpec::new(), sink)?.result())
     }
 
     /// Serialize the complete machine state at the current instruction

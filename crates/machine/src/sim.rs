@@ -1092,7 +1092,7 @@ impl<'g> Simulator<'g> {
         r
     }
 
-    fn outputs_reached(&self) -> bool {
+    pub(crate) fn outputs_reached(&self) -> bool {
         match &self.stop_slots {
             StopSlots::Inactive | StopSlots::Never => false,
             StopSlots::Watch(list) => list
@@ -1114,7 +1114,7 @@ impl<'g> Simulator<'g> {
         self,
         sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
     ) -> Result<RunResult, SimError> {
-        match self.run_inner(None, sink)? {
+        match self.run_inner(None, sink, None)? {
             RunPhase::Done(r) => Ok(*r),
             // Unreachable: without a pause boundary the loop only exits
             // through a stopping decision.
@@ -1129,10 +1129,17 @@ impl<'g> Simulator<'g> {
     /// state-based (top of the loop), a paused machine resumed later
     /// continues bit-identically to an uninterrupted run; this is what
     /// the serve crate's budgeted jobs and hibernation lean on.
+    /// `ff`, when present, is the steady-state fast-forward engine
+    /// (see [`crate::fastforward`]): it observes every step's fired
+    /// count and may advance the machine by whole hyperperiods in
+    /// place. Every stopping decision still happens at the top of the
+    /// loop from machine state alone, so a jump is indistinguishable
+    /// from having stepped the same window exactly.
     pub(crate) fn run_inner(
         mut self,
         pause_at: Option<u64>,
         mut sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
+        mut ff: Option<&mut crate::fastforward::FastForward>,
     ) -> Result<RunPhase<'g>, SimError> {
         let wd = self.cfg.watchdog;
         let step_limit = match wd {
@@ -1195,9 +1202,12 @@ impl<'g> Simulator<'g> {
             if pause_at.is_some_and(|p| self.now >= p) {
                 return Ok(RunPhase::Paused(Box::new(self)));
             }
-            self.step()?;
+            let fired = self.step()?;
             if self.cfg.check_invariants {
                 self.check_invariants()?;
+            }
+            if let Some(f) = ff.as_deref_mut() {
+                f.after_step(&mut self, fired as u64, pause_at, step_limit)?;
             }
             if self.cfg.checkpoint_every != 0
                 && self.now.is_multiple_of(self.cfg.checkpoint_every)
@@ -1362,10 +1372,10 @@ impl<'g> Simulator<'g> {
     }
 
     /// Verify the machine's conservation invariants. Called after every
-    /// step when [`SimConfig::check_invariants`] is set; these hold by
-    /// construction today and exist to catch future regressions in the
-    /// firing rules.
-    fn check_invariants(&self) -> Result<(), SimError> {
+    /// step when [`SimConfig::check_invariants`] is set (and after every
+    /// fast-forward jump); these hold by construction today and exist to
+    /// catch future regressions in the firing rules.
+    pub(crate) fn check_invariants(&self) -> Result<(), SimError> {
         let step = self.now;
         for (i, st) in self.arcs.iter().enumerate() {
             let e = &self.g.arcs[i];

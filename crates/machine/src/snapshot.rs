@@ -817,16 +817,20 @@ const TAG_INT: u8 = 0;
 const TAG_REAL: u8 = 1;
 const TAG_BOOL: u8 = 2;
 
+/// Canonical-byte encoder shared by snapshot capture and the
+/// fast-forward engine's rebased state fingerprints (`fastforward`):
+/// one encoding for machine state means fingerprint equality carries
+/// the same guarantees as snapshot byte equality.
 #[derive(Default)]
-struct Writer {
-    bytes: Vec<u8>,
+pub(crate) struct Writer {
+    pub(crate) bytes: Vec<u8>,
 }
 
 impl Writer {
-    fn byte(&mut self, b: u8) {
+    pub(crate) fn byte(&mut self, b: u8) {
         self.bytes.push(b);
     }
-    fn u64(&mut self, x: u64) {
+    pub(crate) fn u64(&mut self, x: u64) {
         self.bytes.extend_from_slice(&x.to_le_bytes());
     }
     fn f64(&mut self, x: f64) {
@@ -836,7 +840,7 @@ impl Writer {
         self.u64(s.len() as u64);
         self.bytes.extend_from_slice(s.as_bytes());
     }
-    fn value(&mut self, v: Value) {
+    pub(crate) fn value(&mut self, v: Value) {
         match v {
             Value::Int(i) => {
                 self.byte(TAG_INT);

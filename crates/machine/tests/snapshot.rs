@@ -9,7 +9,7 @@ use valpipe_ir::opcode::Opcode;
 use valpipe_ir::value::{BinOp, Value};
 use valpipe_ir::{CtlStream, Graph};
 use valpipe_machine::{
-    ArcDelays, FaultPlan, Kernel, ProgramInputs, RunResult, Session, SimConfig, Simulator,
+    ArcDelays, FaultPlan, Kernel, ProgramInputs, RunResult, RunSpec, Session, SimConfig, Simulator,
     Snapshot, SnapshotError, WatchdogConfig, SNAPSHOT_VERSION,
 };
 
@@ -102,7 +102,7 @@ fn crash_and_recover(
     let restored = Session::restore_with_kernel(g, &snap, resume_kernel).unwrap();
     assert_eq!(restored.now(), k);
     assert_eq!(restored.kernel(), resume_kernel);
-    restored.run().unwrap()
+    restored.drive(RunSpec::new()).unwrap().result()
 }
 
 #[test]
@@ -151,7 +151,7 @@ fn default_restore_resumes_on_default_kernel() {
     let restored = Session::restore(&g, &snap).unwrap();
     assert_eq!(restored.kernel(), Kernel::default());
     assert_eq!(
-        restored.run().unwrap(),
+        restored.drive(RunSpec::new()).unwrap().result(),
         straight_run(&g, &inputs, &cfg, Kernel::default())
     );
 }
@@ -167,7 +167,10 @@ fn run_with_checkpoints_every_snapshot_resumes_identically() {
         .build()
         .unwrap();
     let mut snaps = Vec::new();
-    let reference = session.run_with_checkpoints(|s| snaps.push(s)).unwrap();
+    let reference = session
+        .drive_with(RunSpec::new(), |s| snaps.push(s))
+        .unwrap()
+        .result();
     assert!(
         snaps.len() >= 4,
         "expected several periodic checkpoints, got {}",
@@ -175,7 +178,11 @@ fn run_with_checkpoints_every_snapshot_resumes_identically() {
     );
     for snap in &snaps {
         assert_eq!(snap.step() % 25, 0);
-        let recovered = Session::restore(&g, snap).unwrap().run().unwrap();
+        let recovered = Session::restore(&g, snap)
+            .unwrap()
+            .drive(RunSpec::new())
+            .unwrap()
+            .result();
         assert_eq!(recovered, reference, "checkpoint at step {}", snap.step());
     }
 }
@@ -198,7 +205,11 @@ fn checkpoint_file_survives_crash_and_restores() {
     // pretend the process died right after it was written.
     let snap = Snapshot::read_from(&path).unwrap();
     assert!(snap.step() > 0 && snap.step() <= reference.steps);
-    let recovered = Session::restore(&g, &snap).unwrap().run().unwrap();
+    let recovered = Session::restore(&g, &snap)
+        .unwrap()
+        .drive(RunSpec::new())
+        .unwrap()
+        .result();
     assert_eq!(recovered, reference);
     std::fs::remove_file(&path).ok();
 }
@@ -322,8 +333,9 @@ fn golden_fixture_restores_and_finishes() {
     for kernel in [Kernel::Scan, Kernel::EventDriven, Kernel::ParallelEvent(2)] {
         let recovered = Session::restore_with_kernel(&g, &snap, kernel)
             .unwrap()
-            .run()
-            .unwrap();
+            .drive(RunSpec::new())
+            .unwrap()
+            .result();
         assert_eq!(recovered, reference, "fixture resumed on {kernel:?}");
     }
 }

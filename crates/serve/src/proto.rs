@@ -21,7 +21,7 @@
 //! same bytes — the soak harness compares the encoded strings directly.
 
 use valpipe_ir::value::Value;
-use valpipe_machine::{Kernel, RunResult, StallKind, StallReport, StopReason};
+use valpipe_machine::{ExecMode, Kernel, RunResult, StallKind, StallReport, StopReason};
 use valpipe_util::Json;
 
 /// Render a kernel selection for the wire and hibernation metadata.
@@ -42,6 +42,27 @@ pub fn kernel_from_str(s: &str) -> Option<Kernel> {
             let w = s.strip_prefix("parallel:")?.parse::<usize>().ok()?;
             Some(Kernel::ParallelEvent(w))
         }
+    }
+}
+
+/// Render an execution mode for run-job replies (`"exact"` /
+/// `"fastforward"`; the verification budget is a tuning knob, not part
+/// of the mode's identity on the wire).
+pub fn mode_to_str(m: ExecMode) -> &'static str {
+    match m {
+        ExecMode::Exact => "exact",
+        ExecMode::FastForward { .. } => "fastforward",
+    }
+}
+
+/// Parse a run job's optional execution mode. Absent means `exact`,
+/// preserving wire compatibility for existing clients; `verify_window`
+/// is the fast-forward verification budget from the request (default 0).
+pub fn mode_from_str(s: &str, verify_window: u64) -> Option<ExecMode> {
+    match s {
+        "exact" => Some(ExecMode::Exact),
+        "fastforward" => Some(ExecMode::FastForward { verify_window }),
+        _ => None,
     }
 }
 
@@ -344,6 +365,21 @@ mod tests {
         }
         assert_eq!(kernel_from_str("parallel:x"), None);
         assert_eq!(kernel_from_str("turbo"), None);
+    }
+
+    #[test]
+    fn mode_strings_parse_and_default_to_exact() {
+        assert_eq!(mode_from_str("exact", 7), Some(ExecMode::Exact));
+        assert_eq!(
+            mode_from_str("fastforward", 2),
+            Some(ExecMode::FastForward { verify_window: 2 })
+        );
+        assert_eq!(mode_from_str("warp", 0), None);
+        assert_eq!(mode_to_str(ExecMode::Exact), "exact");
+        assert_eq!(
+            mode_to_str(ExecMode::FastForward { verify_window: 9 }),
+            "fastforward"
+        );
     }
 
     #[test]

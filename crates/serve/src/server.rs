@@ -31,7 +31,8 @@ use std::time::Duration;
 use valpipe_util::{Json, Rng};
 
 use crate::proto::{
-    err_response, kernel_from_str, ok_response, valid_session_name, ErrorBody, ErrorKind,
+    err_response, kernel_from_str, mode_from_str, mode_to_str, ok_response, valid_session_name,
+    ErrorBody, ErrorKind,
 };
 use crate::registry::Registry;
 use crate::session::{Advance, JobLimits, SessionSpec};
@@ -104,6 +105,9 @@ pub struct Stats {
     pub rejected_overload: AtomicU64,
     /// Jobs fully executed (success or structured failure).
     pub completed: AtomicU64,
+    /// Instruction times skipped analytically by fast-forward jobs,
+    /// summed across the whole service lifetime.
+    pub ff_skipped_steps: AtomicU64,
 }
 
 /// A bound, not-yet-running server.
@@ -364,7 +368,7 @@ fn worker_loop(
                     .unwrap_or("?")
                     .to_string();
                 let id = req.get("id").cloned();
-                let response = match execute(&op, &req, registry, step_chunk) {
+                let response = match execute(&op, &req, registry, stats, step_chunk) {
                     Ok(members) => ok_response(&op, id.as_ref(), members),
                     Err(e) => err_response(&op, id.as_ref(), &e),
                 };
@@ -394,6 +398,10 @@ fn answer_light(op: &str, id: Option<&Json>, registry: &Registry, stats: &Stats)
                 (
                     "completed".to_string(),
                     Json::Int(stats.completed.load(Ordering::Relaxed) as i64),
+                ),
+                (
+                    "ff_skipped_steps".to_string(),
+                    Json::Int(stats.ff_skipped_steps.load(Ordering::Relaxed) as i64),
                 ),
                 (
                     "hibernations".to_string(),
@@ -447,6 +455,7 @@ fn execute(
     op: &str,
     req: &Json,
     registry: &Registry,
+    stats: &Stats,
     step_chunk: u64,
 ) -> Result<Vec<(String, Json)>, ErrorBody> {
     match op {
@@ -499,34 +508,80 @@ fn execute(
                     .get("deadline_ms")
                     .and_then(|v| v.as_i64())
                     .map(|ms| Duration::from_millis(ms.max(0) as u64)),
+                // Absent means exact: existing clients see unchanged
+                // replies modulo the two new echoed members.
+                mode: match req.get("mode").and_then(|v| v.as_str()) {
+                    None => valpipe_machine::ExecMode::Exact,
+                    Some(m) => {
+                        let verify = req
+                            .get("verify_window")
+                            .and_then(|v| v.as_i64())
+                            .unwrap_or(0)
+                            .max(0) as u64;
+                        mode_from_str(m, verify).ok_or_else(|| {
+                            ErrorBody::new(
+                                ErrorKind::BadRequest,
+                                format!("unknown mode '{m}' (exact | fastforward)"),
+                            )
+                        })?
+                    }
+                },
+            };
+            let mode_echo = (
+                "mode".to_string(),
+                Json::Str(mode_to_str(limits.mode).to_string()),
+            );
+            let record_skip = |skipped: u64| {
+                stats.ff_skipped_steps.fetch_add(skipped, Ordering::Relaxed);
+                ("skipped_steps".to_string(), Json::Int(skipped as i64))
             };
             registry.with_session(&name, |core| match core.advance(&limits, step_chunk)? {
-                Advance::Done => Ok(vec![
+                Advance::Done { skipped } => Ok(vec![
                     ("done".to_string(), Json::Bool(true)),
                     ("now".to_string(), Json::Int(core.now() as i64)),
+                    mode_echo.clone(),
+                    record_skip(skipped),
                     (
                         "result".to_string(),
                         core.final_result_json().unwrap_or(Json::Null),
                     ),
                 ]),
-                Advance::Paused { now } => Ok(vec![
+                Advance::Paused { now, skipped } => Ok(vec![
                     ("done".to_string(), Json::Bool(false)),
                     ("now".to_string(), Json::Int(now as i64)),
+                    mode_echo.clone(),
+                    record_skip(skipped),
                 ]),
-                Advance::Budget { now, stall } => Err(ErrorBody::new(
-                    ErrorKind::Stalled,
-                    format!(
-                        "step budget exhausted at t={now}; progress preserved, retry continues"
-                    ),
-                )
-                .retry_after(10)
-                .with_stall(stall)),
-                Advance::Deadline { now, stall } => Err(ErrorBody::new(
-                    ErrorKind::DeadlineExceeded,
-                    format!("deadline exceeded at t={now}; progress preserved, retry continues"),
-                )
-                .retry_after(10)
-                .with_stall(stall)),
+                Advance::Budget {
+                    now,
+                    stall,
+                    skipped,
+                } => {
+                    record_skip(skipped);
+                    Err(ErrorBody::new(
+                        ErrorKind::Stalled,
+                        format!(
+                            "step budget exhausted at t={now}; progress preserved, retry continues"
+                        ),
+                    )
+                    .retry_after(10)
+                    .with_stall(stall))
+                }
+                Advance::Deadline {
+                    now,
+                    stall,
+                    skipped,
+                } => {
+                    record_skip(skipped);
+                    Err(ErrorBody::new(
+                        ErrorKind::DeadlineExceeded,
+                        format!(
+                            "deadline exceeded at t={now}; progress preserved, retry continues"
+                        ),
+                    )
+                    .retry_after(10)
+                    .with_stall(stall))
+                }
             })
         }
         "status" => {

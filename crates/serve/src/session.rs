@@ -17,7 +17,8 @@ use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions, Compiled};
 use valpipe_ir::graph::Graph;
 use valpipe_machine::{
-    render_error, Kernel, RunOutcome, Session, SimConfig, Simulator, Snapshot, StallKind,
+    render_error, ExecMode, Kernel, RunOutcome, RunSpec, Session, SimConfig, Simulator, Snapshot,
+    StallKind,
 };
 use valpipe_util::Json;
 use valpipe_val::interp::ArrayVal;
@@ -80,17 +81,28 @@ pub struct JobLimits {
     pub step_budget: Option<u64>,
     /// Wall-clock deadline for this job; exceeding it is transient.
     pub deadline: Option<Duration>,
+    /// Execution mode for this job. Fast-forward is bit-identical to
+    /// exact, so the mode is a per-job tuning knob, not part of the
+    /// session's identity — two jobs against one session may differ.
+    pub mode: ExecMode,
 }
 
-/// What a job did to the session.
+/// What a job did to the session. Every variant carries `skipped`: the
+/// instruction times fast-forward advanced analytically during this job
+/// (0 under [`ExecMode::Exact`]).
 pub enum Advance {
     /// The run reached one of the machine's own stopping conditions;
     /// the canonical result JSON is now cached on the core.
-    Done,
+    Done {
+        /// Steps skipped by fast-forward in this job.
+        skipped: u64,
+    },
     /// Paused at the requested instruction time.
     Paused {
         /// Instruction time after the job.
         now: u64,
+        /// Steps skipped by fast-forward in this job.
+        skipped: u64,
     },
     /// The per-job step budget ran out first. Progress is preserved; the
     /// stall report diagnoses what the machine was doing.
@@ -99,6 +111,8 @@ pub enum Advance {
         now: u64,
         /// Encoded [`valpipe_machine::StallReport`].
         stall: Json,
+        /// Steps skipped by fast-forward in this job.
+        skipped: u64,
     },
     /// The wall-clock deadline passed between work chunks.
     Deadline {
@@ -106,6 +120,8 @@ pub enum Advance {
         now: u64,
         /// Encoded [`valpipe_machine::StallReport`].
         stall: Json,
+        /// Steps skipped by fast-forward in this job.
+        skipped: u64,
     },
 }
 
@@ -243,7 +259,7 @@ impl SessionCore {
         if self.final_result.is_some() {
             // The run already finished; jobs against a finished session
             // are satisfied from the cached result.
-            return Ok(Advance::Done);
+            return Ok(Advance::Done { skipped: 0 });
         }
         let chunk = chunk.max(1);
         let started = Instant::now();
@@ -254,6 +270,7 @@ impl SessionCore {
             .map_err(|e| {
                 ErrorBody::new(ErrorKind::SnapshotCorrupt, format!("staged snapshot: {e}"))
             })?;
+        let mut skipped = 0u64;
         loop {
             // Next pause boundary: the nearest of chunk end, the job's
             // absolute target, and the budget ceiling.
@@ -264,15 +281,19 @@ impl SessionCore {
             if let Some(b) = budget_at {
                 pause = pause.min(b);
             }
-            session = match session.run_until(pause).map_err(|e| {
-                ErrorBody::new(
-                    ErrorKind::MachineError,
-                    render_error(&e, &self.exe, &self.compiled.prov),
-                )
-            })? {
+            let driven = session
+                .drive(RunSpec::new().mode(limits.mode).pause_at(pause))
+                .map_err(|e| {
+                    ErrorBody::new(
+                        ErrorKind::MachineError,
+                        render_error(&e, &self.exe, &self.compiled.prov),
+                    )
+                })?;
+            skipped += driven.fast_forward.skipped_steps;
+            session = match driven.outcome {
                 RunOutcome::Done(result) => {
                     self.snapshot_from_result(&result);
-                    return Ok(Advance::Done);
+                    return Ok(Advance::Done { skipped });
                 }
                 RunOutcome::Paused(s) => *s,
             };
@@ -280,16 +301,24 @@ impl SessionCore {
             if budget_at.is_some_and(|b| now >= b) {
                 let stall = stall_report_to_json(&session.stall_report(StallKind::BudgetExhausted));
                 self.snapshot = session.checkpoint();
-                return Ok(Advance::Budget { now, stall });
+                return Ok(Advance::Budget {
+                    now,
+                    stall,
+                    skipped,
+                });
             }
             if limits.until.is_some_and(|u| now >= u) {
                 self.snapshot = session.checkpoint();
-                return Ok(Advance::Paused { now });
+                return Ok(Advance::Paused { now, skipped });
             }
             if deadline_hit(&started) {
                 let stall = stall_report_to_json(&session.stall_report(StallKind::BudgetExhausted));
                 self.snapshot = session.checkpoint();
-                return Ok(Advance::Deadline { now, stall });
+                return Ok(Advance::Deadline {
+                    now,
+                    stall,
+                    skipped,
+                });
             }
         }
     }
@@ -353,7 +382,7 @@ mod tests {
         let mut one = SessionCore::open(spec("a", Kernel::EventDriven)).unwrap();
         assert!(matches!(
             one.advance(&JobLimits::default(), 1 << 40).unwrap(),
-            Advance::Done
+            Advance::Done { .. }
         ));
         let oracle = one.final_result.clone().unwrap();
 
@@ -366,13 +395,34 @@ mod tests {
                 ..JobLimits::default()
             };
             match many.advance(&limits, 2).unwrap() {
-                Advance::Done => break,
-                Advance::Paused { now } => assert_eq!(now, target),
+                Advance::Done { .. } => break,
+                Advance::Paused { now, .. } => assert_eq!(now, target),
                 _ => panic!("no budget/deadline set"),
             }
             target += 3;
         }
         assert_eq!(many.final_result.unwrap(), oracle);
+    }
+
+    #[test]
+    fn fastforward_jobs_match_exact_jobs() {
+        // The mode is a per-job knob: a fast-forwarded run caches the
+        // same canonical result bytes as an exact run of the same spec.
+        let mut exact = SessionCore::open(spec("ff-a", Kernel::EventDriven)).unwrap();
+        assert!(matches!(
+            exact.advance(&JobLimits::default(), 1 << 40).unwrap(),
+            Advance::Done { .. }
+        ));
+        let mut ff = SessionCore::open(spec("ff-b", Kernel::EventDriven)).unwrap();
+        let limits = JobLimits {
+            mode: ExecMode::FastForward { verify_window: 1 },
+            ..JobLimits::default()
+        };
+        assert!(matches!(
+            ff.advance(&limits, 1 << 40).unwrap(),
+            Advance::Done { .. }
+        ));
+        assert_eq!(ff.final_result, exact.final_result);
     }
 
     #[test]
@@ -383,7 +433,7 @@ mod tests {
             ..JobLimits::default()
         };
         match core.advance(&limits, 1).unwrap() {
-            Advance::Budget { now, stall } => {
+            Advance::Budget { now, stall, .. } => {
                 assert_eq!(now, 2);
                 assert!(stall.get("kind").is_some());
             }
@@ -392,7 +442,7 @@ mod tests {
         // Retrying with no budget finishes the run from where it paused.
         assert!(matches!(
             core.advance(&JobLimits::default(), 1 << 40).unwrap(),
-            Advance::Done
+            Advance::Done { .. }
         ));
     }
 }

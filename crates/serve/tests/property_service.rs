@@ -51,7 +51,7 @@ fn spec(name: &str, kernel: Kernel, waves: usize) -> SessionSpec {
 fn oracle_result(kernel: Kernel, waves: usize) -> String {
     let mut core = SessionCore::open(spec("oracle", kernel, waves)).unwrap();
     match core.advance(&JobLimits::default(), 1 << 40).unwrap() {
-        Advance::Done => {}
+        Advance::Done { .. } => {}
         _ => panic!("oracle run must complete"),
     }
     core.final_result.unwrap()
@@ -92,7 +92,7 @@ fn hibernation_at_every_idle_boundary_is_bit_identical_across_kernels() {
                 });
                 boundaries += 1;
                 match advance {
-                    Advance::Done => break,
+                    Advance::Done { .. } => break,
                     Advance::Paused { .. } => {}
                     _ => panic!("no budget or deadline was set"),
                 }

@@ -432,3 +432,89 @@ fn budget_and_deadline_surface_as_retryable_stalls_with_reports() {
     shut_down(r);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn default_config_binds_ephemeral_port_and_reads_it_back() {
+    // Regression guard: the default bind address must request an
+    // ephemeral port so parallel test servers never collide, and the
+    // kernel-assigned port must be readable back before clients connect.
+    assert!(
+        ServeConfig::default().addr.ends_with(":0"),
+        "default addr must not hardcode a port: {}",
+        ServeConfig::default().addr
+    );
+    let (dir_a, dir_b) = (temp_dir("port_a"), temp_dir("port_b"));
+    let a = start(cfg_with(dir_a.clone()));
+    let b = start(cfg_with(dir_b.clone()));
+    let pa: std::net::SocketAddr = a.addr.parse().unwrap();
+    let pb: std::net::SocketAddr = b.addr.parse().unwrap();
+    assert_ne!(pa.port(), 0);
+    assert_ne!(pb.port(), 0);
+    assert_ne!(pa.port(), pb.port(), "two servers must not share a port");
+    shut_down(a);
+    shut_down(b);
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn run_jobs_accept_fastforward_mode_on_the_wire() {
+    let dir = temp_dir("ffwire");
+    let r = start(cfg_with(dir.clone()));
+    let mut c = connect(&r.addr);
+
+    // A long periodic stream: the steady-state shape fast-forward skips.
+    c.request(&spec_json("ex", 400)).unwrap();
+    let exact = c
+        .request(&Json::parse(r#"{"op":"run","session":"ex"}"#).unwrap())
+        .unwrap();
+    assert_eq!(exact.get("done").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(exact.get("mode").and_then(|v| v.as_str()), Some("exact"));
+    assert_eq!(exact.get("skipped_steps").and_then(|v| v.as_i64()), Some(0));
+
+    c.request(&spec_json("ff", 400)).unwrap();
+    let ff = c
+        .request(
+            &Json::parse(r#"{"op":"run","session":"ff","mode":"fastforward","verify_window":1}"#)
+                .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(
+        ff.get("done").and_then(|v| v.as_bool()),
+        Some(true),
+        "{ff:?}"
+    );
+    assert_eq!(ff.get("mode").and_then(|v| v.as_str()), Some("fastforward"));
+    let skipped = ff.get("skipped_steps").and_then(|v| v.as_i64()).unwrap();
+    assert!(skipped > 0, "fast-forward job must skip steps: {ff:?}");
+    assert_eq!(
+        ff.get("result").unwrap().get("outputs"),
+        exact.get("result").unwrap().get("outputs"),
+        "fast-forwarded job must produce identical outputs"
+    );
+
+    // Unknown modes are rejected up front, not silently run exactly.
+    let bad = c
+        .request(&Json::parse(r#"{"op":"run","session":"ff","mode":"warp"}"#).unwrap())
+        .unwrap();
+    assert_eq!(bad.get("ok").and_then(|v| v.as_bool()), Some(false));
+    assert_eq!(
+        bad.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|v| v.as_str()),
+        Some("bad_request")
+    );
+
+    // The cumulative savings counter surfaces in server stats.
+    let stats = c
+        .request(&Json::parse(r#"{"op":"stats"}"#).unwrap())
+        .unwrap();
+    let total = stats
+        .get("ff_skipped_steps")
+        .and_then(|v| v.as_i64())
+        .unwrap();
+    assert!(total >= skipped, "stats must accumulate skips: {stats:?}");
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}

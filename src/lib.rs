@@ -32,7 +32,8 @@ pub use valpipe_core::{
     Stage,
 };
 pub use valpipe_machine::{
-    render_error, render_stall, Kernel, ProgramInputs, RunResult, Session, SessionBuilder,
-    SimConfig, Simulator, Snapshot, SnapshotError, Timing,
+    render_error, render_stall, Driven, ExecMode, FastForwardStats, Kernel, ProgramInputs,
+    RunResult, RunSpec, Session, SessionBuilder, SimConfig, Simulator, Snapshot, SnapshotError,
+    Timing,
 };
 pub use valpipe_val::interp::ArrayVal;

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use valpipe::compiler::verify::stream_inputs;
 use valpipe::ir::{BinOp, Graph, Opcode, Value};
 use valpipe::machine::{
-    ArcDelays, ProgramInputs, ResourceModel, Session, Simulator, WatchdogConfig,
+    ArcDelays, ProgramInputs, ResourceModel, RunSpec, Session, Simulator, WatchdogConfig,
 };
 use valpipe::{compile_source, ArrayVal, CompileOptions, Kernel, SimConfig, Snapshot};
 use valpipe_machine::FaultPlan;
@@ -117,8 +117,9 @@ fn assert_recoverable_at_every_step(
         .config(cfg.clone().kernel(capture_kernel).checkpoint_every(1))
         .build()
         .unwrap_or_else(|e| panic!("{ctx}: build failed: {e}"))
-        .run_with_checkpoints(|s| snaps.push(s))
-        .unwrap_or_else(|e| panic!("{ctx}: run failed: {e}"));
+        .drive_with(RunSpec::new(), |s| snaps.push(s))
+        .unwrap_or_else(|e| panic!("{ctx}: run failed: {e}"))
+        .result();
     assert!(!snaps.is_empty(), "{ctx}: no checkpoints emitted");
     // Every step was checkpointed; subsample long runs to bound cost,
     // always keeping the first and the final-step snapshot (the final
@@ -132,8 +133,9 @@ fn assert_recoverable_at_every_step(
         for resume_kernel in [Kernel::Scan, Kernel::EventDriven, Kernel::ParallelEvent(2)] {
             let recovered = Session::restore_with_kernel(g, snap, resume_kernel)
                 .unwrap_or_else(|e| panic!("{ctx}: restore at {} failed: {e}", snap.step()))
-                .run()
-                .unwrap_or_else(|e| panic!("{ctx}: resumed run at {} failed: {e}", snap.step()));
+                .drive(RunSpec::new())
+                .unwrap_or_else(|e| panic!("{ctx}: resumed run at {} failed: {e}", snap.step()))
+                .result();
             assert_eq!(
                 recovered,
                 reference,
