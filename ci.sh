@@ -72,6 +72,20 @@ grep -q 'CLAIM \[FAILS\]' target/ci_service.txt \
 grep -q 'CLAIM \[HOLDS\] results served across kill -9' target/ci_service.txt \
     || { echo "ci: FAIL — exp_service did not report the bit-identity claim" >&2; exit 1; }
 
+# Robustness: a fixed-seed differential fuzz smoke (oracle vs. every
+# kernel × mode × kill-restore, plus never-panic mutants) and byte-exact
+# replay of every committed repro in tests/corpus/. The dedicated suites
+# run first so a regression names them.
+cargo test -q --test property_fuzz
+cargo test -q --test corpus_replay
+cargo run --release -q -p valpipe-bench --bin exp_fuzz -- --trials 100 --seed 0xD1FF > target/ci_fuzz.txt
+grep -q 'CLAIM \[FAILS\]' target/ci_fuzz.txt \
+    && { echo "ci: FAIL — exp_fuzz claims did not hold" >&2; exit 1; }
+grep -q 'CLAIM \[HOLDS\] every valid generated program agrees' target/ci_fuzz.txt \
+    || { echo "ci: FAIL — exp_fuzz did not report the differential claim" >&2; exit 1; }
+grep -q 'CLAIM \[HOLDS\] all 5 committed corpus repros replay byte-identically' target/ci_fuzz.txt \
+    || { echo "ci: FAIL — exp_fuzz did not replay the committed corpus" >&2; exit 1; }
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Benchmarks must at least run: smoke mode shrinks workloads and skips

@@ -1,0 +1,157 @@
+//! FUZZ — differential fuzzing: random well-typed pipe programs through
+//! the interpreter oracle and the full machine matrix (3 kernels ×
+//! {Exact, FastForward} × kill-and-restore-from-snapshot), plus corrupted
+//! mutants through the never-panic check, plus byte-exact replay of the
+//! committed regression corpus in `tests/corpus/`.
+//!
+//! Claims checked:
+//!
+//! 1. every valid generated program agrees across the oracle and every
+//!    machine leg — zero divergences, zero panics;
+//! 2. corrupted sources always answer with typed errors, never panics or
+//!    bit-identity breaks;
+//! 3. typed rejections of generated programs stay inside the known
+//!    gating-limitation footprint (≤ 1% of trials; see
+//!    `tests/corpus/known-limit-*.val`);
+//! 4. every committed corpus repro replays byte-identically.
+//!
+//! Flags: `--trials <n>` (default 500), `--seed <n>` (default 0xD1FF,
+//! hex ok), `--shrink` (delta-debug findings), `--corpus <dir>` (where
+//! shrunk repros go; default `tests/corpus` for replay, findings are
+//! only written when `--shrink` and `--corpus` are both given).
+
+use std::path::{Path, PathBuf};
+
+use valpipe_bench::report::{banner, observe, verdict};
+use valpipe_bench::FaultArgs;
+use valpipe_fuzz::{replay_dir, run_campaign, with_quiet_panics, CampaignConfig};
+
+fn committed_corpus() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn main() {
+    let args = FaultArgs::parse_env();
+    banner(
+        "FUZZ: differential fuzzing — oracle vs. machine matrix vs. corpus",
+        "robustness suite (no paper figure); Dennis–Gao pipelinable class",
+    );
+
+    let cfg = CampaignConfig {
+        trials: args.trials.unwrap_or(500) as usize,
+        seed: args.seed.unwrap_or(0xD1FF),
+        mutants_per_trial: 2,
+        shrink: args.shrink,
+        corpus_dir: args.corpus.as_ref().map(PathBuf::from),
+    };
+    println!();
+    println!(
+        "campaign: {} trials from seed {:#x}, {} mutants/trial{}",
+        cfg.trials,
+        cfg.seed,
+        cfg.mutants_per_trial,
+        if cfg.shrink {
+            ", shrinking findings"
+        } else {
+            ""
+        }
+    );
+
+    let report = with_quiet_panics(|| run_campaign(&cfg, |line| println!("{line}")));
+
+    println!();
+    observe("generated programs", report.trials);
+    observe("full-matrix passes", report.passes);
+    observe("output packets compared", report.packets);
+    observe(
+        "typed rejections (known-limit class)",
+        report.generated_rejections,
+    );
+    observe("mutants run", report.mutant_runs);
+    observe(
+        "mutants rejected with typed errors",
+        report.mutant_rejections,
+    );
+    observe("mutants passing (benign damage)", report.mutant_passes);
+    observe("mutant budget blowups (not defects)", report.mutant_stalls);
+    observe("findings", report.findings.len());
+    for f in &report.findings {
+        println!("  finding ({}, seed {}): {}", f.origin, f.seed, f.line);
+    }
+
+    let generated_findings = report
+        .findings
+        .iter()
+        .filter(|f| f.origin == "generated")
+        .count();
+    let mutant_findings = report
+        .findings
+        .iter()
+        .filter(|f| f.origin == "mutant")
+        .count();
+
+    // Corpus replay: every committed repro must reproduce its recorded
+    // outcome line byte-for-byte under the pinned replay profile.
+    let corpus = committed_corpus();
+    let (replayed, replay_ok) = if corpus.is_dir() {
+        match with_quiet_panics(|| replay_dir(&corpus)) {
+            Ok(results) => {
+                println!();
+                for r in &results {
+                    let name = r
+                        .path
+                        .file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    if r.ok {
+                        observe(&format!("corpus {name}"), &r.expect);
+                    } else {
+                        observe(
+                            &format!("corpus {name} MISMATCH"),
+                            format!("expect '{}', actual '{}'", r.expect, r.actual),
+                        );
+                    }
+                }
+                let ok = results.iter().all(|r| r.ok);
+                (results.len(), ok)
+            }
+            Err(e) => {
+                observe("corpus replay error", e);
+                (0, false)
+            }
+        }
+    } else {
+        observe("corpus", "tests/corpus/ not found; replay skipped");
+        (0, false)
+    };
+
+    println!();
+    verdict(
+        &format!(
+            "every valid generated program agrees across oracle, 6 machine legs, \
+             and kill-restore ({}/{} pass, 0 divergences, 0 panics)",
+            report.passes, report.trials
+        ),
+        generated_findings == 0 && report.passes + report.generated_rejections == report.trials,
+    );
+    verdict(
+        &format!(
+            "corrupted sources answer with typed errors, never panics \
+             ({} mutants, {} typed rejections)",
+            report.mutant_runs, report.mutant_rejections
+        ),
+        mutant_findings == 0,
+    );
+    verdict(
+        &format!(
+            "typed rejections stay inside the known gating-limitation footprint \
+             ({}/{} trials)",
+            report.generated_rejections, report.trials
+        ),
+        report.acceptable_rejection_rate(),
+    );
+    verdict(
+        &format!("all {replayed} committed corpus repros replay byte-identically"),
+        replay_ok && replayed > 0,
+    );
+}

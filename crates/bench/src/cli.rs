@@ -13,7 +13,11 @@
 //!   `valpipe_machine::snapshot`);
 //! * `--restore-from <file>` — resume a run from a checkpoint instead of
 //!   starting fresh (honoured by `exp_soak`);
-//! * `--trials <n>` — how many crash/recover trials `exp_soak` runs;
+//! * `--trials <n>` — how many crash/recover trials `exp_soak` runs, or
+//!   how many generated programs `exp_fuzz` differentiates;
+//! * `--seed <n>` / `--shrink` / `--corpus <dir>` — `exp_fuzz` campaign
+//!   base seed (hex ok), delta-debug findings to minimal repros, and
+//!   where to write them;
 //! * `--workers <n>` — run the simulation on the parallel kernel with
 //!   `n` worker threads (default 1 = the sequential event kernel);
 //! * `--emit=ast,typed,ir,balanced,machine` — dump compiler stage
@@ -40,8 +44,16 @@ pub struct FaultArgs {
     /// Parsed `--restore-from`, if given.
     pub restore_from: Option<String>,
     /// Parsed `--trials`, if given (crash/recover trial count for
-    /// `exp_soak`).
+    /// `exp_soak`; campaign size for `exp_fuzz`).
     pub trials: Option<u64>,
+    /// Parsed `--seed`, if given (base seed for `exp_fuzz` campaigns;
+    /// accepts `0x`-prefixed hex).
+    pub seed: Option<u64>,
+    /// `--shrink`: delta-debug `exp_fuzz` findings to minimal repros.
+    pub shrink: bool,
+    /// Parsed `--corpus <dir>`, if given: where `exp_fuzz --shrink`
+    /// writes reduced repros.
+    pub corpus: Option<String>,
     /// Parsed `--workers`, if given (worker threads for the parallel
     /// kernel; 1 keeps the sequential event kernel).
     pub workers: Option<usize>,
@@ -108,6 +120,26 @@ impl FaultArgs {
                         Ok(n) if n > 0 => out.trials = Some(n),
                         _ => usage(&format!("bad trial count '{v}'")),
                     }
+                }
+                "--seed" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--seed needs a number"));
+                    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                        Some(hex) => u64::from_str_radix(hex, 16),
+                        None => v.parse(),
+                    };
+                    match parsed {
+                        Ok(n) => out.seed = Some(n),
+                        _ => usage(&format!("bad seed '{v}'")),
+                    }
+                }
+                "--shrink" => out.shrink = true,
+                "--corpus" => {
+                    out.corpus = Some(
+                        args.next()
+                            .unwrap_or_else(|| usage("--corpus needs a directory")),
+                    );
                 }
                 "--workers" => {
                     let v = args
@@ -221,6 +253,7 @@ fn usage(message: &str) -> ! {
     eprintln!("usage: exp_* [--fault-plan <spec>] [--step-budget <n>]");
     eprintln!("             [--checkpoint-every <n>] [--checkpoint-path <file>]");
     eprintln!("             [--restore-from <file>] [--trials <n>] [--workers <n>]");
+    eprintln!("             [--seed <n>] [--shrink] [--corpus <dir>]");
     eprintln!("             [--emit=ast,typed,ir,balanced,machine] [--pass-stats]");
     eprintln!("  spec: comma-separated key=value, e.g. seed=42,drop_ack=0.001,\\");
     eprintln!("        delay_result=0.05:4,freeze=7@100..200,link=1.3@50..60");

@@ -1,12 +1,17 @@
 //! Compiler errors.
 
+use crate::limits::LimitBreach;
 use std::fmt;
 use valpipe_balance::ProblemError;
-use valpipe_val::{AnalyzeError, TypeError};
+use valpipe_val::{AnalyzeError, ParseError, TypeError};
 
 /// Any failure on the way from Val source to balanced machine code.
 #[derive(Debug, Clone)]
 pub enum CompileError {
+    /// Source text failed to parse.
+    Parse(ParseError),
+    /// A [`crate::CompileLimits`] resource budget was exceeded.
+    Limit(LimitBreach),
     /// Frontend type error.
     Type(TypeError),
     /// Classification / range analysis failure.
@@ -26,6 +31,8 @@ pub enum CompileError {
 impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            CompileError::Parse(e) => write!(f, "{e}"),
+            CompileError::Limit(b) => write!(f, "resource limit: {b}"),
             CompileError::Type(e) => write!(f, "{e}"),
             CompileError::Analyze(e) => write!(f, "{e}"),
             CompileError::Balance(e) => write!(f, "balancing failed: {e}"),
@@ -38,6 +45,11 @@ impl fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+impl From<LimitBreach> for CompileError {
+    fn from(b: LimitBreach) -> Self {
+        CompileError::Limit(b)
+    }
+}
 impl From<TypeError> for CompileError {
     fn from(e: TypeError) -> Self {
         CompileError::Type(e)

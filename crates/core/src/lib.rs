@@ -48,6 +48,7 @@ pub mod error;
 pub mod forall;
 pub mod foriter;
 pub mod fuse;
+pub mod limits;
 pub mod loops;
 pub mod options;
 pub mod pipeline;
@@ -62,9 +63,10 @@ pub mod verify;
 pub use builder::{BlockBuilder, Compiler, Provider};
 pub use error::CompileError;
 pub use foriter::UsedScheme;
+pub use limits::{CompileLimits, LimitBreach};
 pub use options::{CompileOptions, ForIterScheme};
 pub use pipeline::{dump_graph, render_pass_stats, PassManager, PassStat, PipelineOutput, Stage};
 pub use program::{
-    compile_program, compile_program_mapped, compile_source, compile_source_named, CompileStats,
-    Compiled,
+    compile_program, compile_program_mapped, compile_source, compile_source_limited,
+    compile_source_named, CompileStats, Compiled,
 };

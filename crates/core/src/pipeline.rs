@@ -19,6 +19,7 @@ use crate::builder::{BlockProv, Compiler, Provider};
 use crate::error::CompileError;
 use crate::forall::compile_forall;
 use crate::foriter::compile_foriter;
+use crate::limits::{CompileLimits, LimitBreach};
 use crate::loops::balance_loop_interiors;
 use crate::options::CompileOptions;
 use crate::program::{CompileStats, Compiled};
@@ -171,15 +172,26 @@ pub struct PipelineOutput {
 pub struct PassManager<'o> {
     opts: &'o CompileOptions,
     emit: Vec<Stage>,
+    limits: CompileLimits,
 }
 
 impl<'o> PassManager<'o> {
-    /// A pipeline over the given compile options, dumping nothing.
+    /// A pipeline over the given compile options, dumping nothing and
+    /// enforcing no resource limits (the historical, trusted-input
+    /// behaviour).
     pub fn new(opts: &'o CompileOptions) -> Self {
         PassManager {
             opts,
             emit: Vec::new(),
+            limits: CompileLimits::unbounded(),
         }
+    }
+
+    /// Enforce the given resource budgets; breaches surface as
+    /// [`CompileError::Limit`].
+    pub fn limits(mut self, limits: CompileLimits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// Request a textual dump of a stage artifact.
@@ -200,8 +212,28 @@ impl<'o> PassManager<'o> {
 
     /// Compile source text through the full pipeline.
     pub fn run_source(&self, src: &str, file: &str) -> Result<PipelineOutput, CompileError> {
-        let (prog, map) = valpipe_val::parser::parse_program_mapped(src, file)
-            .map_err(|e| CompileError::Unsupported(format!("parse error: {e}")))?;
+        if src.len() > self.limits.max_source_bytes {
+            return Err(LimitBreach::SourceBytes {
+                got: src.len(),
+                limit: self.limits.max_source_bytes,
+            }
+            .into());
+        }
+        let (prog, map) = valpipe_val::parser::parse_program_mapped_limited(
+            src,
+            file,
+            self.limits.max_nesting_depth,
+        )
+        .map_err(|e| match e.kind {
+            valpipe_val::parser::ParseErrorKind::DepthLimit => LimitBreach::NestingDepth {
+                limit: self
+                    .limits
+                    .max_nesting_depth
+                    .min(valpipe_val::parser::DEFAULT_MAX_NESTING_DEPTH),
+            }
+            .into(),
+            valpipe_val::parser::ParseErrorKind::Syntax => CompileError::Parse(e),
+        })?;
         self.run(&prog, &map)
     }
 
@@ -210,7 +242,11 @@ impl<'o> PassManager<'o> {
         let mut stats: Vec<PassStat> = Vec::new();
         let mut dumps: Vec<(Stage, String)> = Vec::new();
         let empty = Graph::new();
+        let t_compile = Instant::now();
+        let limits = self.limits;
 
+        // Every pass ends with an artifact-size and wall-budget check, so a
+        // hostile program is cut off at the first pass that blows a budget.
         macro_rules! pass {
             ($name:literal, $g:expr, $body:expr) => {{
                 let t0 = Instant::now();
@@ -231,6 +267,30 @@ impl<'o> PassManager<'o> {
                     nodes_after: na,
                     arcs_after: aa,
                 });
+                if na > limits.max_cells {
+                    return Err(LimitBreach::Cells {
+                        pass: $name,
+                        got: na,
+                        limit: limits.max_cells,
+                    }
+                    .into());
+                }
+                if aa > limits.max_arcs {
+                    return Err(LimitBreach::Arcs {
+                        pass: $name,
+                        got: aa,
+                        limit: limits.max_arcs,
+                    }
+                    .into());
+                }
+                let elapsed = t_compile.elapsed();
+                if elapsed > limits.compile_budget() {
+                    return Err(LimitBreach::CompileWall {
+                        elapsed_ms: elapsed.as_millis() as u64,
+                        limit_ms: limits.max_compile_millis,
+                    }
+                    .into());
+                }
                 r
             }};
         }
@@ -311,10 +371,42 @@ impl<'o> PassManager<'o> {
                     BalanceMode::Asap => solve::solve_asap(&p),
                     BalanceMode::Heuristic => solve::solve_heuristic(&p, 64),
                     BalanceMode::Optimal => solve::solve_optimal(&p),
-                    BalanceMode::None => unreachable!(),
+                    BalanceMode::None => {
+                        return Err(CompileError::Internal(
+                            "balance pass entered with BalanceMode::None".into(),
+                        ))
+                    }
                 };
                 cstats.global_buffers = problem::apply(&mut c.g, &p, &sol);
             });
+        }
+
+        // Balancing decides FIFO depths symbolically; expansion multiplies
+        // each `Fifo(d)` into `d` identity cells. Check both the deepest
+        // single FIFO and the total expanded cell count now, before
+        // `Compiled::executable` would materialize the blow-up.
+        let mut expanded_cells = c.g.node_count();
+        let mut deepest = 0usize;
+        for n in &c.g.nodes {
+            if let Opcode::Fifo(d) = n.op {
+                deepest = deepest.max(d as usize);
+                expanded_cells += (d as usize).saturating_sub(1);
+            }
+        }
+        if deepest > limits.max_fifo_depth {
+            return Err(LimitBreach::FifoDepth {
+                got: deepest,
+                limit: limits.max_fifo_depth,
+            }
+            .into());
+        }
+        if expanded_cells > limits.max_cells {
+            return Err(LimitBreach::Cells {
+                pass: "fifo-expand",
+                got: expanded_cells,
+                limit: limits.max_cells,
+            }
+            .into());
         }
 
         if self.emit.contains(&Stage::Balanced) {

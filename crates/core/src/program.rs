@@ -106,7 +106,23 @@ pub fn compile_source_named(
     file: &str,
     opts: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
-    let (prog, map) = valpipe_val::parser::parse_program_mapped(src, file)
-        .map_err(|e| CompileError::Unsupported(format!("parse error: {e}")))?;
+    let (prog, map) =
+        valpipe_val::parser::parse_program_mapped(src, file).map_err(CompileError::Parse)?;
     compile_program_mapped(&prog, opts, &map)
+}
+
+/// Compile untrusted source text under resource budgets: parse failures
+/// come back as [`CompileError::Parse`] and any exceeded budget as
+/// [`CompileError::Limit`], never a panic. This is the entry point for the
+/// CLI and the service; trusted callers keep using [`compile_source`].
+pub fn compile_source_limited(
+    src: &str,
+    file: &str,
+    opts: &CompileOptions,
+    limits: &crate::limits::CompileLimits,
+) -> Result<Compiled, CompileError> {
+    Ok(PassManager::new(opts)
+        .limits(*limits)
+        .run_source(src, file)?
+        .compiled)
 }

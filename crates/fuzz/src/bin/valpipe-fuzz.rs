@@ -1,0 +1,205 @@
+//! Command-line front-end for the fuzzer.
+//!
+//! ```text
+//! valpipe-fuzz gen --seed 7                 print one generated program
+//! valpipe-fuzz run --trials 500 --seed 0xD1FF [--mutants 2] [--shrink] [--corpus DIR]
+//! valpipe-fuzz shrink FILE                  reduce a failing program to a minimal repro
+//! valpipe-fuzz replay PATH [PATH...]        replay corpus repros byte-exactly
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use valpipe_fuzz::{
+    generate, replay_dir, replay_file, run_campaign, run_case, shrink, with_quiet_panics,
+    CampaignConfig, CaseSpec, Outcome,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: valpipe-fuzz gen [--seed N]\n\
+         \x20      valpipe-fuzz run [--trials N] [--seed N] [--mutants N] [--shrink] [--corpus DIR]\n\
+         \x20      valpipe-fuzz shrink FILE\n\
+         \x20      valpipe-fuzz replay PATH [PATH...]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(&args[1..]),
+        "run" => cmd_run(&args[1..]),
+        "shrink" => cmd_shrink(&args[1..]),
+        "replay" => cmd_replay(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> ExitCode {
+    let mut seed = 0u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let case = generate(seed);
+    println!(
+        "% seed {seed}: scheme {:?}, synth {}, {} waves, {} max steps",
+        case.opts.scheme, case.opts.synthesize_generators, case.waves, case.max_steps
+    );
+    print!("{}", case.src);
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut cfg = CampaignConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trials" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.trials = v,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| parse_u64(v)) {
+                Some(v) => cfg.seed = v,
+                None => return usage(),
+            },
+            "--mutants" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => cfg.mutants_per_trial = v,
+                None => return usage(),
+            },
+            "--shrink" => cfg.shrink = true,
+            "--corpus" => match it.next() {
+                Some(v) => cfg.corpus_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    println!(
+        "campaign: {} trials from seed {:#x}, {} mutants/trial",
+        cfg.trials, cfg.seed, cfg.mutants_per_trial
+    );
+    let report = with_quiet_panics(|| run_campaign(&cfg, |line| println!("{line}")));
+    println!(
+        "generated: {}/{} pass ({} packets compared), {} rejected",
+        report.passes, report.trials, report.packets, report.generated_rejections
+    );
+    println!(
+        "mutants:   {} run, {} rejected, {} benign passes, {} budget blowups",
+        report.mutant_runs, report.mutant_rejections, report.mutant_passes, report.mutant_stalls
+    );
+    println!("findings:  {}", report.findings.len());
+    // Findings always fail; typed rejections of generated programs are
+    // tolerated only inside the known gating-limitation footprint.
+    if report.findings.is_empty() && report.acceptable_rejection_rate() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_shrink(args: &[String]) -> ExitCode {
+    let [file] = args else { return usage() };
+    let src = match std::fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{file}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    with_quiet_panics(|| {
+        let outcome = run_case(&CaseSpec::replay(src.clone()));
+        // Failures shrink on "same failure kind" (details like packet
+        // numbers legitimately change as the program shrinks); rejections
+        // shrink on the exact outcome line, so a syntax error can't morph
+        // into a different syntax error and call itself minimal.
+        let keep: Box<dyn Fn(&str) -> bool> = match &outcome {
+            Outcome::Pass { .. } => {
+                eprintln!("passes under the replay profile; nothing to shrink");
+                return ExitCode::from(2);
+            }
+            Outcome::Failure { kind, .. } => {
+                let kind = *kind;
+                Box::new(move |s: &str| {
+                    matches!(run_case(&CaseSpec::replay(s)),
+                             Outcome::Failure { kind: k, .. } if k == kind)
+                })
+            }
+            Outcome::Rejected { .. } => {
+                let want = outcome.line();
+                Box::new(move |s: &str| run_case(&CaseSpec::replay(s)).line() == want)
+            }
+        };
+        eprintln!("shrinking {} bytes of: {}", src.len(), outcome.line());
+        let small = shrink(&src, |s| keep(s));
+        let line = run_case(&CaseSpec::replay(small.clone())).line();
+        eprintln!("reduced to {} bytes: {line}", small.len());
+        println!("% valpipe-fuzz repro\n% seed: manual\n% expect: {line}");
+        print!("{small}");
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    if args.is_empty() {
+        return usage();
+    }
+    let results = with_quiet_panics(|| {
+        let mut results = Vec::new();
+        for a in args {
+            let path = Path::new(a);
+            let batch = if path.is_dir() {
+                replay_dir(path)
+            } else {
+                replay_file(path).map(|r| vec![r])
+            };
+            match batch {
+                Ok(rs) => results.extend(rs),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(results)
+    });
+    let results = match results {
+        Ok(rs) => rs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failed = 0;
+    for r in &results {
+        if r.ok {
+            println!("ok   {} ({})", r.path.display(), r.expect);
+        } else {
+            failed += 1;
+            println!("FAIL {}", r.path.display());
+            println!("  expect: {}", r.expect);
+            println!("  actual: {}", r.actual);
+        }
+    }
+    if failed == 0 {
+        println!("replayed {} repro(s), all byte-exact", results.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,176 @@
+//! The committed regression corpus: minimal `.val` repros with recorded
+//! expectations, replayed byte-exactly by CI.
+//!
+//! A repro file is plain Val source prefixed by `%`-comment headers (the
+//! Val lexer treats `%` as a line comment, so every repro is also a valid
+//! compiler input):
+//!
+//! ```text
+//! % valpipe-fuzz repro
+//! % seed: 0xD1FF/17 (or "manual")
+//! % expect: rejected[limit]: nesting deeper than 48 levels
+//! param m = 8;
+//! ...
+//! ```
+//!
+//! Replay runs the source through the pinned [`CaseSpec::replay`] profile
+//! and compares [`Outcome::line`] byte-for-byte against the `expect:`
+//! header. Any drift — a panic where a typed error was recorded, a
+//! changed message, a divergence fixed or reintroduced — fails CI.
+
+use crate::diff::{run_case, CaseSpec};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Header magic on the first line of every repro.
+pub const REPRO_MAGIC: &str = "% valpipe-fuzz repro";
+
+/// A parsed corpus repro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repro {
+    /// Where it came from (seed notation or "manual").
+    pub seed: String,
+    /// The recorded outcome line the replay must reproduce exactly.
+    pub expect: String,
+    /// The program source (everything after the headers).
+    pub src: String,
+}
+
+impl Repro {
+    /// Render to the on-disk format.
+    pub fn to_text(&self) -> String {
+        format!(
+            "{REPRO_MAGIC}\n% seed: {}\n% expect: {}\n{}",
+            self.seed, self.expect, self.src
+        )
+    }
+
+    /// Parse the on-disk format.
+    pub fn parse(text: &str) -> Result<Repro, String> {
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(REPRO_MAGIC) {
+            return Err(format!("missing '{REPRO_MAGIC}' header"));
+        }
+        let mut seed = None;
+        let mut expect = None;
+        let mut consumed = 1usize;
+        for line in lines {
+            if let Some(rest) = line.strip_prefix("% seed:") {
+                seed = Some(rest.trim().to_string());
+            } else if let Some(rest) = line.strip_prefix("% expect:") {
+                expect = Some(rest.trim().to_string());
+            } else {
+                break;
+            }
+            consumed += 1;
+        }
+        let src: String = text
+            .lines()
+            .skip(consumed)
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        Ok(Repro {
+            seed: seed.ok_or("missing '% seed:' header")?,
+            expect: expect.ok_or("missing '% expect:' header")?,
+            src,
+        })
+    }
+}
+
+/// Result of replaying one repro file.
+#[derive(Debug, Clone)]
+pub struct ReplayResult {
+    /// The file replayed.
+    pub path: PathBuf,
+    /// The recorded expectation.
+    pub expect: String,
+    /// What the replay actually produced.
+    pub actual: String,
+    /// Byte-exact match?
+    pub ok: bool,
+}
+
+/// Replay a single repro file against the pinned profile.
+pub fn replay_file(path: &Path) -> Result<ReplayResult, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let repro = Repro::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let actual = run_case(&CaseSpec::replay(repro.src.clone())).line();
+    Ok(ReplayResult {
+        path: path.to_path_buf(),
+        ok: actual == repro.expect,
+        expect: repro.expect,
+        actual,
+    })
+}
+
+/// Replay every `*.val` repro in a directory, sorted by name for stable
+/// report order. Returns an error only on I/O or parse problems; outcome
+/// mismatches come back as `ok: false` entries.
+pub fn replay_dir(dir: &Path) -> Result<Vec<ReplayResult>, String> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "val"))
+        .collect();
+    paths.sort();
+    paths.iter().map(|p| replay_file(p)).collect()
+}
+
+/// Write a shrunk finding into the corpus directory. The file name embeds
+/// a content fingerprint, so distinct findings never collide and repeated
+/// campaigns are idempotent.
+pub fn write_repro(dir: &Path, repro: &Repro) -> Result<PathBuf, String> {
+    fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let fp = fingerprint(&repro.src) ^ fingerprint(&repro.expect);
+    let path = dir.join(format!("repro-{fp:016x}.val"));
+    fs::write(&path, repro.to_text()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// FNV-1a, for stable content-addressed repro names.
+fn fingerprint(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repro_round_trips() {
+        let r = Repro {
+            seed: "0xD1FF/3".into(),
+            expect: "pass".into(),
+            src: "param m = 8;\noutput P;\n".into(),
+        };
+        assert_eq!(Repro::parse(&r.to_text()).unwrap(), r);
+    }
+
+    #[test]
+    fn parse_rejects_missing_headers() {
+        assert!(Repro::parse("nonsense").is_err());
+        assert!(Repro::parse(&format!("{REPRO_MAGIC}\nparam m = 8;\n")).is_err());
+    }
+
+    #[test]
+    fn repro_headers_are_val_comments() {
+        // A repro file must itself be compilable input: the headers are
+        // `%` comments the lexer skips.
+        let r = Repro {
+            seed: "manual".into(),
+            expect: "pass".into(),
+            src: "param m = 8;\n\
+                  input P : array[real] [0, m+1];\n\
+                  Y : array[real] := forall i in [1, m] construct P[i] endall;\n\
+                  output Y;\n"
+                .into(),
+        };
+        assert!(valpipe_val::parse_program(&r.to_text()).is_ok());
+    }
+}

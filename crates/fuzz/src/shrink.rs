@@ -1,0 +1,203 @@
+//! Delta-debugging shrinker: reduce a failing program to a minimal repro
+//! that still fails *the same way*.
+//!
+//! Three passes, coarse to fine, each rerun until it stops helping:
+//!
+//! 1. **line ddmin** — classic delta debugging over source lines with
+//!    doubling granularity;
+//! 2. **balanced-span simplification** — replace parenthesized subtrees
+//!    with the leaf `(1.0)` (the AST-aware step, done textually so it
+//!    also works on programs that no longer parse);
+//! 3. **char ddmin** — delete shrinking character windows.
+//!
+//! The predicate is "same [`FailureKind`]" (or same outcome line prefix),
+//! supplied by the caller; the shrinker itself is pure text surgery with
+//! a bounded predicate-call budget, so shrinking always terminates.
+
+/// Budget on predicate evaluations (each one is a full differential run).
+const MAX_CHECKS: usize = 1500;
+
+/// Shrink `src` while `still_fails` holds. Returns the smallest variant
+/// found; `src` itself if nothing smaller reproduces.
+pub fn shrink(src: &str, mut still_fails: impl FnMut(&str) -> bool) -> String {
+    let mut checks = 0usize;
+    let mut check = move |s: &str| -> bool {
+        if checks >= MAX_CHECKS {
+            return false;
+        }
+        checks += 1;
+        still_fails(s)
+    };
+
+    let mut cur = src.to_string();
+    loop {
+        let before = cur.len();
+        cur = ddmin_lines(&cur, &mut check);
+        cur = simplify_spans(&cur, &mut check);
+        cur = ddmin_chars(&cur, &mut check);
+        if cur.len() >= before {
+            return cur;
+        }
+    }
+}
+
+/// Delta-debugging over lines: try dropping complements of ever-finer
+/// chunkings.
+fn ddmin_lines(src: &str, check: &mut impl FnMut(&str) -> bool) -> String {
+    let mut lines: Vec<&str> = src.lines().collect();
+    if lines.len() < 2 {
+        return src.to_string();
+    }
+    let mut n = 2usize;
+    while lines.len() >= 2 {
+        let chunk = lines.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0;
+        while start < lines.len() {
+            let end = (start + chunk).min(lines.len());
+            let candidate: Vec<&str> = lines[..start]
+                .iter()
+                .chain(&lines[end..])
+                .copied()
+                .collect();
+            if !candidate.is_empty() && check(&join(&candidate)) {
+                lines = candidate;
+                n = n.saturating_sub(1).max(2);
+                reduced = true;
+                // Restart the sweep on the reduced input.
+                start = 0;
+                continue;
+            }
+            start = end;
+        }
+        if !reduced {
+            if chunk <= 1 {
+                break;
+            }
+            n = (n * 2).min(lines.len());
+        }
+    }
+    join(&lines)
+}
+
+fn join(lines: &[&str]) -> String {
+    let mut s = lines.join("\n");
+    s.push('\n');
+    s
+}
+
+/// Replace balanced `(...)` spans with the leaf `(1.0)` wherever the
+/// failure survives — textual subtree-to-leaf simplification.
+fn simplify_spans(src: &str, check: &mut impl FnMut(&str) -> bool) -> String {
+    let mut cur = src.to_string();
+    let mut from = 0usize;
+    while let Some((open, close)) = next_balanced_span(&cur, from) {
+        // Skip spans that are already the leaf.
+        if &cur[open..=close] != "(1.0)" {
+            let candidate = format!("{}(1.0){}", &cur[..open], &cur[close + 1..]);
+            if check(&candidate) {
+                cur = candidate;
+                from = open + 1;
+                continue;
+            }
+        }
+        from = open + 1;
+    }
+    cur
+}
+
+/// Find the next balanced parenthesized span starting at or after `from`
+/// (byte offsets; source is ASCII after generation, and non-ASCII is
+/// handled by bounds-checked slicing on char boundaries).
+fn next_balanced_span(s: &str, from: usize) -> Option<(usize, usize)> {
+    let bytes = s.as_bytes();
+    let mut open = None;
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(from) {
+        if b == b'(' {
+            if open.is_none() {
+                // Only consider char-boundary-safe spans.
+                if !s.is_char_boundary(k) {
+                    continue;
+                }
+                open = Some(k);
+            }
+            depth += 1;
+        } else if b == b')' && open.is_some() {
+            depth -= 1;
+            if depth == 0 {
+                let o = open.unwrap();
+                if s.is_char_boundary(k + 1) {
+                    return Some((o, k));
+                }
+                open = None;
+            }
+        }
+    }
+    None
+}
+
+/// Character-window deletion, window halving from len/2 down to 1.
+fn ddmin_chars(src: &str, check: &mut impl FnMut(&str) -> bool) -> String {
+    let mut cur: Vec<char> = src.chars().collect();
+    let mut window = (cur.len() / 2).max(1);
+    while window >= 1 {
+        let mut start = 0usize;
+        let mut reduced = false;
+        while start < cur.len() && cur.len() > 1 {
+            let end = (start + window).min(cur.len());
+            let candidate: String = cur[..start].iter().chain(&cur[end..]).collect();
+            if !candidate.trim().is_empty() && check(&candidate) {
+                cur = candidate.chars().collect();
+                reduced = true;
+                // Same start: the next window slid into place.
+                continue;
+            }
+            start += window;
+        }
+        if window == 1 && !reduced {
+            break;
+        }
+        window /= 2;
+    }
+    cur.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failing_line() {
+        // "Fails" iff the text contains the token BUG.
+        let src = "alpha\nbeta\nBUG here\ngamma\ndelta\n";
+        let out = shrink(src, |s| s.contains("BUG"));
+        assert!(out.contains("BUG"));
+        assert!(out.len() < src.len());
+        assert!(!out.contains("alpha"));
+        assert!(!out.contains("delta"));
+    }
+
+    #[test]
+    fn span_simplification_replaces_subtrees() {
+        let src = "x := ((a + b) * (c - d));\nBUG\n";
+        let out = shrink(src, |s| s.contains("BUG"));
+        assert!(out.contains("BUG"));
+        assert!(!out.contains("a + b"));
+    }
+
+    #[test]
+    fn never_returns_a_non_failing_variant() {
+        let src = "one\ntwo\nthree\n";
+        let out = shrink(src, |s| s.contains("two"));
+        assert!(out.contains("two"));
+    }
+
+    #[test]
+    fn shrink_is_deterministic() {
+        let src = "p\nq\nBUG\nr\ns\nt\nu\n";
+        let a = shrink(src, |s| s.contains("BUG"));
+        let b = shrink(src, |s| s.contains("BUG"));
+        assert_eq!(a, b);
+    }
+}

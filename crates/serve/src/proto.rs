@@ -210,6 +210,10 @@ pub enum ErrorKind {
     BadRequest,
     /// The submitted Val program does not compile.
     CompileError,
+    /// The job exceeded a worker resource budget (source size, nesting
+    /// depth, graph size, FIFO depth, or compile wall-clock). Permanent:
+    /// the same program breaches the same budget on every worker.
+    ResourceLimit,
     /// No session with the given name exists.
     NoSuchSession,
     /// A session with this name exists with different source or inputs.
@@ -234,6 +238,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::CompileError => "compile_error",
+            ErrorKind::ResourceLimit => "resource_limit",
             ErrorKind::NoSuchSession => "no_such_session",
             ErrorKind::SessionExists => "session_exists",
             ErrorKind::MachineError => "machine_error",

@@ -20,7 +20,7 @@
 //! already-admitted job drains first), join the workers, hibernate every
 //! session, then acknowledge the requester.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -238,6 +238,31 @@ impl Server {
     }
 }
 
+/// Largest request line the reader will buffer. A hostile client that
+/// never sends a newline must not grow server memory without bound; past
+/// this point the line is rejected with `resource_limit` and discarded.
+const MAX_REQUEST_LINE_BYTES: u64 = 4 << 20;
+
+/// Discard input up to and including the next newline, in bounded chunks.
+/// Returns false when the client hangs up first.
+fn drain_to_newline(reader: &mut impl BufRead) -> bool {
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(_) => return false,
+        };
+        if buf.is_empty() {
+            return false;
+        }
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            reader.consume(pos + 1);
+            return true;
+        }
+        let n = buf.len();
+        reader.consume(n);
+    }
+}
+
 /// Per-connection reader: parse one request per line, admit or reject.
 #[allow(clippy::too_many_arguments)]
 fn reader_loop(
@@ -257,17 +282,47 @@ fn reader_loop(
         stream: Mutex::new(stream),
     });
     let mut reader = BufReader::new(read_half);
-    let mut line = String::new();
+    let mut bytes = Vec::new();
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
+        bytes.clear();
+        match (&mut reader)
+            .take(MAX_REQUEST_LINE_BYTES)
+            .read_until(b'\n', &mut bytes)
+        {
             Ok(0) | Err(_) => return, // client hung up
             Ok(_) => {}
         }
+        if !bytes.ends_with(b"\n") && bytes.len() as u64 >= MAX_REQUEST_LINE_BYTES {
+            // Oversized request line: reject, then skip the rest of it so
+            // the connection stays usable for the next request.
+            conn.send(&err_response(
+                "?",
+                None,
+                &ErrorBody::new(
+                    ErrorKind::ResourceLimit,
+                    format!("request line exceeds {MAX_REQUEST_LINE_BYTES} bytes"),
+                ),
+            ));
+            if !drain_to_newline(&mut reader) {
+                return;
+            }
+            continue;
+        }
+        let line = match std::str::from_utf8(&bytes) {
+            Ok(s) => s,
+            Err(_) => {
+                conn.send(&err_response(
+                    "?",
+                    None,
+                    &ErrorBody::new(ErrorKind::BadRequest, "request line is not UTF-8"),
+                ));
+                continue;
+            }
+        };
         if line.trim().is_empty() {
             continue;
         }
-        let req = match Json::parse(&line) {
+        let req = match Json::parse(line) {
             Ok(j) => j,
             Err(e) => {
                 conn.send(&err_response(

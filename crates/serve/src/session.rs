@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use valpipe_core::verify::stream_inputs;
-use valpipe_core::{compile_source, CompileOptions, Compiled};
+use valpipe_core::{compile_source_limited, CompileError, CompileLimits, CompileOptions, Compiled};
 use valpipe_ir::graph::Graph;
 use valpipe_machine::{
     render_error, ExecMode, Kernel, RunOutcome, RunSpec, Session, SimConfig, Simulator, Snapshot,
@@ -211,8 +211,19 @@ impl SessionCore {
         if spec.waves == 0 {
             return Err(bad_request("\"waves\" must be at least 1"));
         }
-        let compiled = compile_source(&spec.source, &CompileOptions::default())
-            .map_err(|e| ErrorBody::new(ErrorKind::CompileError, e.to_string()))?;
+        // Untrusted wire source compiles under the service resource
+        // profile: limit breaches are a distinct, non-retryable kind so
+        // clients can tell "your program is too big" from "doesn't compile".
+        let compiled = compile_source_limited(
+            &spec.source,
+            "<session>",
+            &CompileOptions::default(),
+            &CompileLimits::service(),
+        )
+        .map_err(|e| match e {
+            CompileError::Limit(b) => ErrorBody::new(ErrorKind::ResourceLimit, b.to_string()),
+            other => ErrorBody::new(ErrorKind::CompileError, other.to_string()),
+        })?;
         let arrays = bind_arrays(&compiled, &spec.arrays)?;
         let exe = compiled.executable();
         let inputs = stream_inputs(&compiled, &arrays, spec.waves);

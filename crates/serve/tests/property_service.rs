@@ -108,6 +108,50 @@ fn hibernation_at_every_idle_boundary_is_bit_identical_across_kernels() {
     }
 }
 
+/// Arbitrary-bytes fuzz of the container decoder: random garbage, a
+/// valid magic glued onto garbage, and heavily mutated real containers
+/// must all come back as typed `HibernateError`s — never a panic, never
+/// an accepted corruption.
+#[test]
+fn container_decode_survives_arbitrary_bytes() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let core = SessionCore::open(spec("arb", Kernel::EventDriven, 2)).unwrap();
+    let good = hibernate::encode(&core);
+    let mut rng = Rng::seed(0xA5B1);
+    for trial in 0..300 {
+        let bytes: Vec<u8> = match trial % 3 {
+            // Pure garbage, arbitrary length (including empty).
+            0 => (0..rng.below(512)).map(|_| rng.below(256) as u8).collect(),
+            // Correct magic, garbage body.
+            1 => {
+                let mut b = hibernate::HIBERNATE_MAGIC.to_vec();
+                b.extend((0..rng.below(256)).map(|_| rng.below(256) as u8));
+                b
+            }
+            // Real container with a corrupted span.
+            _ => {
+                let mut b = good.clone();
+                let at = rng.below(b.len());
+                let len = (1 + rng.below(32)).min(b.len() - at);
+                for x in &mut b[at..at + len] {
+                    *x = rng.below(256) as u8;
+                }
+                b
+            }
+        };
+        let changed = bytes != good;
+        match catch_unwind(AssertUnwindSafe(|| hibernate::decode(&bytes).map(|_| ()))) {
+            Ok(result) => {
+                if changed {
+                    assert!(result.is_err(), "trial {trial}: corruption decoded cleanly");
+                }
+            }
+            Err(_) => panic!("trial {trial}: decode panicked on {} bytes", bytes.len()),
+        }
+    }
+}
+
 #[test]
 fn container_decode_rejects_every_truncation_point_with_typed_errors() {
     let core = SessionCore::open(spec("trunc", Kernel::EventDriven, 2)).unwrap();

@@ -518,3 +518,95 @@ fn run_jobs_accept_fastforward_mode_on_the_wire() {
     shut_down(r);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn over_limit_source_is_a_structured_resource_limit_error() {
+    let dir = temp_dir("limits");
+    let r = start(cfg_with(dir.clone()));
+    let mut c = connect(&r.addr);
+
+    // Service compile limits cap nesting at 48; 60 levels must come back
+    // as a structured, non-retryable resource_limit error — not a panic,
+    // not a generic compile_error.
+    let deep = format!(
+        "param m = 3;\\ninput A : array[real] [0, m];\\nY : array[real] := forall i in [0, m] construct {}A[i]{} endall;\\noutput Y;",
+        "(".repeat(60),
+        ")".repeat(60)
+    );
+    let resp = c
+        .request(
+            &Json::parse(&format!(
+                r#"{{"op":"open","session":"deep","source":"{deep}","arrays":{{"A":[1.0,2.0,3.0,4.0]}},"waves":2,"kernel":"event","max_steps":100000}}"#
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+    assert_eq!(resp.get("ok").and_then(|v| v.as_bool()), Some(false));
+    let err = resp.get("error").unwrap();
+    assert_eq!(
+        err.get("kind").and_then(|v| v.as_str()),
+        Some("resource_limit"),
+        "{resp:?}"
+    );
+    assert_eq!(err.get("retryable").and_then(|v| v.as_bool()), Some(false));
+    let msg = err.get("message").and_then(|v| v.as_str()).unwrap();
+    assert!(msg.contains("nesting deeper than 48 levels"), "{msg}");
+
+    // The connection stays healthy for a well-formed session afterwards.
+    let resp = c.request(&spec_json("ok-after-limit", 2)).unwrap();
+    assert_eq!(
+        resp.get("ok").and_then(|v| v.as_bool()),
+        Some(true),
+        "{resp:?}"
+    );
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_request_line_is_rejected_and_drained() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let dir = temp_dir("hugeline");
+    let r = start(cfg_with(dir.clone()));
+
+    // A request line past the 4 MiB cap must be answered with a
+    // resource_limit error and the connection must survive: the reader
+    // drains the oversized line and parses the next one normally.
+    let mut stream = std::net::TcpStream::connect(&r.addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+    let mut huge = String::with_capacity(5 << 20);
+    huge.push_str(r#"{"op":"open","session":"big","source":""#);
+    huge.push_str(&"x".repeat(5 << 20));
+    huge.push_str("\"}\n");
+    huge.push_str(r#"{"op":"stats"}"#);
+    huge.push('\n');
+    stream.write_all(huge.as_bytes()).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(&line).unwrap();
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(|v| v.as_str()),
+        Some("resource_limit"),
+        "{resp:?}"
+    );
+
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    let resp = Json::parse(&line).unwrap();
+    assert!(
+        resp.get("sessions").is_some() || resp.get("ok").is_some(),
+        "connection must survive the oversized line: {resp:?}"
+    );
+
+    shut_down(r);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -108,6 +108,7 @@ impl Json {
         let mut p = Parser {
             bytes: s.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -232,9 +233,15 @@ impl fmt::Display for Json {
     }
 }
 
+/// Maximum nesting depth accepted by the parser. Documents arriving over
+/// the wire are untrusted; without a cap, deeply nested `[[[[...` input
+/// overflows the stack of the recursive-descent parser.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -274,7 +281,11 @@ impl<'a> Parser<'a> {
     }
 
     fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.depth += 1;
+        let v = match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -284,7 +295,9 @@ impl<'a> Parser<'a> {
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
             Some(_) => Err(self.err("unexpected character")),
             None => Err(self.err("unexpected end of input")),
-        }
+        };
+        self.depth -= 1;
+        v
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {

@@ -389,7 +389,7 @@ pub fn check_primitive_foriter(fi: &ForIter, env: &NameEnv) -> Result<PrimitiveF
     }
     // Iter clause: X := X[i: E]; i := i + 1.
     let Expr::Iter(binds) = &**iter_arm else {
-        unreachable!()
+        return shape_err("exactly one conditional arm must be an iter clause");
     };
     if binds.len() != 2 {
         return shape_err("iter must rebind exactly the index and the accumulator");

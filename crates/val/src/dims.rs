@@ -286,7 +286,7 @@ pub fn flatten_program(prog: &Program) -> Result<(Program, FlattenInfo), String>
                     .collect::<Result<Vec<_>, String>>()?;
                 let body = rewrite(&fa.body, &ctx)?;
                 let BlockBody::Forall(fo) = &mut block.body else {
-                    unreachable!()
+                    return Err("internal: block body changed shape during flattening".into());
                 };
                 fo.defs = defs;
                 fo.body = body;
@@ -323,7 +323,7 @@ pub fn flatten_program(prog: &Program) -> Result<(Program, FlattenInfo), String>
                     .collect::<Result<Vec<_>, String>>()?;
                 let body = rewrite(&fi.body, &ctx)?;
                 let BlockBody::ForIter(fo) = &mut block.body else {
-                    unreachable!()
+                    return Err("internal: block body changed shape during flattening".into());
                 };
                 fo.inits = inits;
                 fo.body = body;

@@ -272,7 +272,15 @@ pub fn eval_forall(f: &Forall, lo: i64, hi: i64, env: &Env) -> Result<ArrayVal, 
     if hi < lo {
         return fail(format!("empty forall range [{lo}, {hi}]"));
     }
-    let mut data = Vec::with_capacity((hi - lo + 1) as usize);
+    // Guard the element count with the same iteration ceiling as for-iter:
+    // a hostile range like [0, i64::MAX] must report, not exhaust memory.
+    let count = (hi - lo) as u64 + 1;
+    if count > MAX_ITERATIONS {
+        return fail(format!(
+            "forall range [{lo}, {hi}] exceeds the iteration guard"
+        ));
+    }
+    let mut data = Vec::with_capacity(count as usize);
     for i in lo..=hi {
         let mut inner = env.clone();
         inner.insert(f.index_var.clone(), RtVal::Scalar(Value::Int(i)));

@@ -35,6 +35,9 @@ pub use deps::{analyze, AnalyzeError, BlockClass, FlowGraph};
 pub use dims::{flatten_program, Dim2, FlattenInfo};
 pub use interp::{ArrayVal, InterpError};
 pub use linear::{companion_g, companion_tree, extract_linear, recurrence_f, LinearForm};
-pub use parser::{parse_block_body, parse_expr, parse_program, parse_program_mapped, ParseError};
+pub use parser::{
+    parse_block_body, parse_expr, parse_program, parse_program_mapped,
+    parse_program_mapped_limited, ParseError, ParseErrorKind, DEFAULT_MAX_NESTING_DEPTH,
+};
 pub use srcmap::{SourceMap, StmtKey};
 pub use typeck::{check_program, check_program_mapped, TypeError};

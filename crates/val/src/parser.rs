@@ -19,6 +19,19 @@ use crate::srcmap::{SourceMap, StmtKey};
 use std::fmt;
 use valpipe_ir::prov::Span;
 
+/// What kind of failure a [`ParseError`] reports. `DepthLimit` is kept
+/// distinct from plain syntax errors so callers enforcing resource limits
+/// (the compile pipeline, the service) can classify it as a limit breach
+/// rather than malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseErrorKind {
+    /// Malformed source: unexpected token, bad literal, etc.
+    #[default]
+    Syntax,
+    /// Expression/type nesting exceeded the parser's recursion budget.
+    DepthLimit,
+}
+
 /// Parse error with source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
@@ -28,6 +41,8 @@ pub struct ParseError {
     pub line: u32,
     /// Source column (1-based).
     pub col: u32,
+    /// Classification (syntax vs. resource-limit breach).
+    pub kind: ParseErrorKind,
 }
 
 impl fmt::Display for ParseError {
@@ -48,9 +63,17 @@ impl From<LexError> for ParseError {
             message: e.message,
             line: e.line,
             col: e.col,
+            kind: ParseErrorKind::Syntax,
         }
     }
 }
+
+/// Default recursion budget for expression/type nesting. Each level of
+/// parenthesisation costs a fixed chain of parser frames, so untrusted
+/// source like `((((…` would otherwise overflow the stack long before any
+/// semantic check runs. 200 levels is far beyond any legitimate program
+/// while staying comfortably inside a 2 MiB thread stack.
+pub const DEFAULT_MAX_NESTING_DEPTH: usize = 200;
 
 const KEYWORDS: &[&str] = &[
     "forall",
@@ -88,6 +111,10 @@ struct Parser {
     cur_block: String,
     /// Token index where the current block declaration started.
     block_start: usize,
+    /// Current expression/type nesting depth.
+    depth: usize,
+    /// Maximum nesting depth before the parse is rejected.
+    max_depth: usize,
 }
 
 type PResult<T> = Result<T, ParseError>;
@@ -100,7 +127,28 @@ impl Parser {
             map: Vec::new(),
             cur_block: String::new(),
             block_start: 0,
+            depth: 0,
+            max_depth: DEFAULT_MAX_NESTING_DEPTH,
         }
+    }
+
+    /// Guard one level of recursive descent; call [`Parser::leave`] on the
+    /// way back out.
+    fn enter(&mut self) -> PResult<()> {
+        if self.depth >= self.max_depth {
+            return Err(ParseError {
+                message: format!("nesting deeper than {} levels", self.max_depth),
+                line: self.line(),
+                col: self.toks[self.pos].span.col,
+                kind: ParseErrorKind::DepthLimit,
+            });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> &Tok {
@@ -143,6 +191,7 @@ impl Parser {
             message: msg.into(),
             line: self.line(),
             col: self.toks[self.pos].span.col,
+            kind: ParseErrorKind::Syntax,
         })
     }
 
@@ -189,6 +238,13 @@ impl Parser {
     // ---- types -----------------------------------------------------------
 
     fn ty(&mut self) -> PResult<Type> {
+        self.enter()?;
+        let t = self.ty_inner();
+        self.leave();
+        t
+    }
+
+    fn ty_inner(&mut self) -> PResult<Type> {
         if self.eat_kw("integer") {
             Ok(Type::Int)
         } else if self.eat_kw("real") {
@@ -208,13 +264,17 @@ impl Parser {
     // ---- expressions -----------------------------------------------------
 
     fn expr(&mut self) -> PResult<Expr> {
+        self.enter()?;
         // `iter` is a loop-body form, never an operand. `if` and `let`
         // ARE operands (handled at the atom level), so an expression like
         // `if c then 1 else 0 endif + 2` chains into the operator parser.
-        if self.is_kw("iter") {
-            return self.iter_expr();
-        }
-        self.or_expr()
+        let e = if self.is_kw("iter") {
+            self.iter_expr()
+        } else {
+            self.or_expr()
+        };
+        self.leave();
+        e
     }
 
     fn if_expr(&mut self) -> PResult<Expr> {
@@ -346,19 +406,22 @@ impl Parser {
     }
 
     fn unary_expr(&mut self) -> PResult<Expr> {
-        match self.peek() {
+        self.enter()?;
+        let e = match self.peek() {
             Tok::Minus => {
                 self.bump();
-                Ok(Expr::un(UnOp::Neg, self.unary_expr()?))
+                self.unary_expr().map(|e| Expr::un(UnOp::Neg, e))
             }
             // `~` is parsed as NOT; the type checker rewrites it to NEG on
             // numeric operands (the paper uses `~` for both).
             Tok::Tilde => {
                 self.bump();
-                Ok(Expr::un(UnOp::Not, self.unary_expr()?))
+                self.unary_expr().map(|e| Expr::un(UnOp::Not, e))
             }
             _ => self.postfix_expr(),
-        }
+        };
+        self.leave();
+        e
     }
 
     fn postfix_expr(&mut self) -> PResult<Expr> {
@@ -614,8 +677,21 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 /// which the compiler threads into IR provenance. `file` names the source
 /// in diagnostics.
 pub fn parse_program_mapped(src: &str, file: &str) -> Result<(Program, SourceMap), ParseError> {
+    parse_program_mapped_limited(src, file, DEFAULT_MAX_NESTING_DEPTH)
+}
+
+/// [`parse_program_mapped`] with an explicit nesting-depth budget, used by
+/// callers compiling untrusted source under [`ParseErrorKind::DepthLimit`]
+/// resource limits. The effective budget is clamped to the parser's own
+/// stack-safety ceiling ([`DEFAULT_MAX_NESTING_DEPTH`]).
+pub fn parse_program_mapped_limited(
+    src: &str,
+    file: &str,
+    max_depth: usize,
+) -> Result<(Program, SourceMap), ParseError> {
     let toks = lex(src)?;
     let mut p = Parser::new(toks);
+    p.max_depth = max_depth.min(DEFAULT_MAX_NESTING_DEPTH);
     let prog = p.program()?;
     let mut map = SourceMap::new(file, src);
     for (key, span) in p.map.drain(..) {

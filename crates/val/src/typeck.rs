@@ -394,7 +394,9 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
                     ))));
                 }
                 let BlockBody::Forall(fo) = &mut out.blocks[bi].body else {
-                    unreachable!()
+                    return Err(in_block(terr(
+                        "internal: block body changed shape during checking",
+                    )));
                 };
                 fo.defs = new_defs;
                 fo.body = eb;
@@ -427,7 +429,9 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
                     ))));
                 }
                 let BlockBody::ForIter(fo) = &mut out.blocks[bi].body else {
-                    unreachable!()
+                    return Err(in_block(terr(
+                        "internal: block body changed shape during checking",
+                    )));
                 };
                 fo.inits = new_inits;
                 fo.body = eb;

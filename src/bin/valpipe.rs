@@ -19,7 +19,9 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use valpipe::compiler::render_pass_stats;
 use valpipe::compiler::verify::check_against_oracle;
-use valpipe::{ArrayVal, CompileOptions, ForIterScheme, PassManager, Stage};
+use valpipe::{
+    ArrayVal, CompileError, CompileLimits, CompileOptions, ForIterScheme, PassManager, Stage,
+};
 use valpipe_balance::BalanceMode;
 
 fn usage() -> ExitCode {
@@ -27,7 +29,8 @@ fn usage() -> ExitCode {
         "usage: valpipe <compile|run|dot|check> <file.val> \
          [--todd|--companion] [--synth] [--asap|--no-balance] \
          [--waves N] [--am] [--input NAME=v1,v2,...] \
-         [--emit=ast,typed,ir,balanced,machine] [--pass-stats]"
+         [--emit=ast,typed,ir,balanced,machine] [--pass-stats] \
+         [--limits k=v,... (source-bytes,depth,cells,arcs,fifo,millis; 'none' lifts)]"
     );
     ExitCode::from(2)
 }
@@ -45,6 +48,7 @@ fn main() -> ExitCode {
     let mut emit_stages: Vec<Stage> = Vec::new();
     let mut pass_stats = false;
     let mut user_inputs: HashMap<String, Vec<f64>> = HashMap::new();
+    let mut limits = CompileLimits::default();
     let mut k = 2;
     while k < args.len() {
         match args[k].as_str() {
@@ -63,6 +67,19 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--limits" => {
+                k += 1;
+                let Some(spec) = args.get(k) else {
+                    return usage();
+                };
+                match limits.apply_spec(spec) {
+                    Ok(l) => limits = l,
+                    Err(e) => {
+                        eprintln!("bad --limits: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--waves" => {
                 k += 1;
                 waves = args.get(k).and_then(|s| s.parse().ok()).unwrap_or(20);
@@ -103,10 +120,17 @@ fn main() -> ExitCode {
     };
 
     let out = match PassManager::new(&opts)
+        .limits(limits)
         .emit_all(&emit_stages)
         .run_source(&src, path)
     {
         Ok(o) => o,
+        // Limit breaches get a distinct, machine-grepable line and exit
+        // code so scripts can tell "program too big" from "won't compile".
+        Err(CompileError::Limit(b)) => {
+            eprintln!("resource_limit: {b}");
+            return ExitCode::from(3);
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;

@@ -87,6 +87,71 @@ fn bad_program_fails_with_diagnostic() {
     assert!(err.contains("error"), "{err}");
 }
 
+fn write_deep_program(parens: usize) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "valpipe_cli_deep_{}_{parens}.val",
+        std::process::id()
+    ));
+    std::fs::write(
+        &path,
+        format!(
+            "param m = 8;\ninput C : array[real] [0, m+1];\n\
+             S : array[real] := forall i in [1, m] construct {}C[i]{} endall;\noutput S;\n",
+            "(".repeat(parens),
+            ")".repeat(parens)
+        ),
+    )
+    .unwrap();
+    path
+}
+
+#[test]
+fn over_limit_program_reports_resource_limit_and_exit_3() {
+    // 80 levels breaches the default nesting budget (64): the driver
+    // must answer with a structured resource_limit line and exit code 3
+    // — not a panic, not a generic compile error.
+    let p = write_deep_program(80);
+    let out = cli().arg("compile").arg(&p).output().unwrap();
+    assert_eq!(out.status.code(), Some(3), "unexpected exit status");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("resource_limit: nesting deeper than 64 levels"),
+        "{err}"
+    );
+}
+
+#[test]
+fn limits_flag_adjusts_the_budget() {
+    let p = write_deep_program(80);
+    // Lifting the depth budget compiles the same program...
+    let out = cli()
+        .arg("compile")
+        .arg(&p)
+        .arg("--limits")
+        .arg("depth=none")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // ...and a tiny cell budget rejects even the smoke program, again
+    // as a structured resource_limit, not a panic.
+    let small = write_program();
+    let out = cli()
+        .arg("compile")
+        .arg(&small)
+        .arg("--limits")
+        .arg("cells=3")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("resource_limit:"), "{err}");
+    assert!(err.contains("limit is 3"), "{err}");
+}
+
 #[test]
 fn user_supplied_inputs() {
     let p = write_program();

@@ -1,0 +1,68 @@
+//! CI gate: every committed repro in `tests/corpus/` replays
+//! byte-identically — the recorded `% expect:` line must equal the
+//! outcome the differential executor produces today, byte for byte.
+//!
+//! A mismatch means compiler behavior drifted on an anchored program: a
+//! fixed limitation (update the expectation and celebrate), a changed
+//! diagnostic (update the expectation), or a reintroduced bug (fix it).
+
+use std::path::Path;
+
+use valpipe_fuzz::{replay_dir, with_quiet_panics, Repro};
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus"))
+}
+
+#[test]
+fn corpus_repros_replay_byte_identically() {
+    let results = with_quiet_panics(|| replay_dir(corpus_dir())).expect("corpus replays");
+    assert!(!results.is_empty(), "tests/corpus/ holds no repros");
+    let mismatches: Vec<String> = results
+        .iter()
+        .filter(|r| !r.ok)
+        .map(|r| {
+            format!(
+                "{}:\n  expect: {}\n  actual: {}",
+                r.path.display(),
+                r.expect,
+                r.actual
+            )
+        })
+        .collect();
+    assert!(
+        mismatches.is_empty(),
+        "corpus drift:\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn corpus_files_are_well_formed_repros() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(corpus_dir()).expect("corpus dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "val") {
+            continue;
+        }
+        seen += 1;
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let repro = Repro::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: bad repro format: {e}", path.display()));
+        assert!(
+            !repro.src.trim().is_empty(),
+            "{}: empty source",
+            path.display()
+        );
+        // The header lines are `%` comments, so the whole file must also
+        // be valid input to the plain compiler frontend (parse may still
+        // reject — that is what some repros record — but reading the file
+        // as a repro must agree with reading it as source minus headers).
+        assert!(
+            text.starts_with("% valpipe-fuzz repro"),
+            "{}: missing magic",
+            path.display()
+        );
+    }
+    assert!(seen >= 5, "expected the seeded corpus, found {seen} repros");
+}

@@ -168,6 +168,99 @@ fn random_dags_recover_exactly_at_every_step() {
     }
 }
 
+/// Hostile-bytes fuzz of the snapshot decoder: arbitrary buffers,
+/// bit-flipped real snapshots, truncations, and valid-prefix-plus-junk
+/// must all come back as typed [`SnapshotError`]s — never a panic, and
+/// never a silently accepted corruption (the checksums see to that).
+#[test]
+fn corrupt_snapshot_bytes_never_panic_and_never_pass() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    // A genuine snapshot to corrupt, taken mid-run of a small DAG.
+    let mut r = Rng::seed(0xC0AB);
+    let g = build_dag(&mut r);
+    let inputs = ProgramInputs::new()
+        .bind("s0", (0..12).map(|k| Value::Real(k as f64 * 0.5)).collect())
+        .bind("s1", (0..12).map(|k| Value::Real(1.0 + k as f64)).collect());
+    let session = Simulator::builder(&g)
+        .inputs(inputs)
+        .config(SimConfig::new().max_steps(50_000))
+        .build()
+        .expect("builds");
+    let paused = match session
+        .drive(RunSpec::new().pause_at(3))
+        .expect("drives")
+        .outcome
+    {
+        valpipe::machine::RunOutcome::Paused(s) => s,
+        _ => panic!("expected a pause at step 3"),
+    };
+    let good = paused.checkpoint().as_bytes().to_vec();
+    assert!(Snapshot::from_bytes(good.clone()).is_ok());
+
+    let old_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut rejected = 0usize;
+    let mut panicked: Option<String> = None;
+    for trial in 0..400u64 {
+        let mut rr = Rng::seed(0xBAD5EED).fork(trial);
+        let bytes: Vec<u8> = match trial % 4 {
+            // Arbitrary garbage of arbitrary length.
+            0 => (0..rr.below(256)).map(|_| rr.below(256) as u8).collect(),
+            // Real snapshot with 1–8 flipped bits.
+            1 => {
+                let mut b = good.clone();
+                for _ in 0..1 + rr.below(8) {
+                    let i = rr.below(b.len());
+                    b[i] ^= 1 << rr.below(8);
+                }
+                b
+            }
+            // Truncation at an arbitrary point.
+            2 => good[..rr.below(good.len())].to_vec(),
+            // Valid prefix, garbage tail.
+            _ => {
+                let cut = rr.below(good.len());
+                let mut b = good[..cut].to_vec();
+                b.extend((0..rr.below(64)).map(|_| rr.below(256) as u8));
+                b
+            }
+        };
+        let same_len = bytes.len() == good.len();
+        let unchanged = same_len && bytes == good;
+        let decoded = catch_unwind(AssertUnwindSafe(|| Snapshot::from_bytes(bytes)));
+        match decoded {
+            Ok(Ok(snap)) => {
+                // Only an unchanged buffer may decode; and restoring it
+                // must behave (flips can, rarely, collide checksums —
+                // then restore still must not panic).
+                if unchanged {
+                    continue;
+                }
+                let restored =
+                    catch_unwind(AssertUnwindSafe(|| Session::restore(&g, &snap).map(|_| ())));
+                if restored.is_err() {
+                    panicked = Some(format!("trial {trial}: restore panicked"));
+                    break;
+                }
+            }
+            Ok(Err(_)) => rejected += 1,
+            Err(_) => {
+                panicked = Some(format!("trial {trial}: Snapshot::from_bytes panicked"));
+                break;
+            }
+        }
+    }
+    std::panic::set_hook(old_hook);
+    if let Some(msg) = panicked {
+        panic!("{msg}");
+    }
+    assert!(
+        rejected > 300,
+        "only {rejected}/400 corruptions were rejected"
+    );
+}
+
 #[test]
 fn compiled_programs_recover_exactly_at_every_step() {
     // A boundary-conditioned stencil block capped by a first-order
