@@ -20,6 +20,10 @@ cargo test -q
 cargo test -q -p valpipe-machine --test kernel_equivalence
 cargo test -q --test property_kernels
 
+# The epoch-batched parallel kernel must stay bit-identical under every
+# epoch cap and shard policy, forced fallbacks included (DESIGN.md §16).
+cargo test -q --test property_epochs
+
 # Smoke equivalence through the reporter CLI: the parallel kernel at two
 # workers must print the byte-identical experiment report.
 cargo run --release -q -p valpipe-bench --bin exp_fig2 > target/ci_fig2_seq.txt
@@ -100,5 +104,14 @@ BENCH_JSON_PATH="$(pwd)/target/ci_bench_smoke.json" \
     --bench balance --bench kernels --bench fastforward -- --test --json
 test -s target/ci_bench_smoke.json \
     || { echo "ci: FAIL — bench trajectory JSON was not emitted" >&2; exit 1; }
+
+# Perf-regression gate: the smoke run's kernels trajectory must stay
+# within 15% steps/s of the newest comparable entries (same bench,
+# smoke flag, host_cores, graph, kernel, workers, epoch/shard config)
+# in the committed baseline. Unmatched tuples (new workloads, different
+# host) and sub-noise-floor rows pass through uncompared.
+cargo run --release -q -p valpipe-bench --bin bench_gate -- \
+    --baseline BENCH_machine.json --candidate target/ci_bench_smoke.json \
+    || { echo "ci: FAIL — bench_gate found a steps/s regression beyond 15%" >&2; exit 1; }
 
 echo "ci: all gates passed"

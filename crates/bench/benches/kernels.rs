@@ -27,8 +27,11 @@ use valpipe_core::verify::stream_inputs;
 use valpipe_core::{compile_source, CompileOptions};
 use valpipe_ir::value::Value;
 use valpipe_ir::{Graph, Opcode};
-use valpipe_machine::{Kernel, ProgramInputs, RunResult, Simulator};
-use valpipe_util::Rng;
+use valpipe_machine::{
+    EpochStats, Kernel, ProgramInputs, RunOutcome, RunResult, RunSpec, ShardPolicy, SimConfig,
+    Simulator, DEFAULT_EPOCH_CAP,
+};
+use valpipe_util::{Json, Rng};
 
 /// An identity chain of `stages` cells: with only a few packets in
 /// flight, almost every cell is idle at almost every step.
@@ -84,6 +87,42 @@ fn run_kernel(g: &Graph, inputs: &ProgramInputs, kernel: Kernel) -> RunResult {
         .kernel(kernel)
         .run()
         .unwrap()
+}
+
+/// Run under an explicit config through `Session::drive`, returning the
+/// result plus what the epoch engine accomplished.
+fn drive_config(g: &Graph, inputs: &ProgramInputs, cfg: SimConfig) -> (RunResult, EpochStats) {
+    let driven = Simulator::builder(g)
+        .inputs(inputs.clone())
+        .config(cfg)
+        .build()
+        .unwrap()
+        .drive(RunSpec::new())
+        .unwrap();
+    let RunOutcome::Done(result) = driven.outcome else {
+        panic!("bench run must complete");
+    };
+    (*result, driven.epochs)
+}
+
+/// Epoch/shard record fields shared by every parallel-kernel bench row.
+fn epoch_extras(cap: u64, policy: ShardPolicy, stats: &EpochStats) -> Vec<(&'static str, Json)> {
+    vec![
+        ("epoch_cap", Json::Int(cap as i64)),
+        ("shard_policy", Json::Str(policy.as_str().to_string())),
+        ("epochs", Json::Int(stats.epochs as i64)),
+        ("batched_steps", Json::Int(stats.batched_steps as i64)),
+        ("mean_horizon", Json::Float(stats.mean_horizon())),
+        (
+            "horizon_fallbacks",
+            Json::Int(stats.horizon_fallbacks as i64),
+        ),
+        (
+            "cross_wakes_deferred",
+            Json::Int(stats.cross_wakes_deferred as i64),
+        ),
+        ("cross_arcs", Json::Int(stats.cross_arcs as i64)),
+    ]
 }
 
 /// Median wall time of `n` runs.
@@ -254,7 +293,7 @@ fn main() {
         Kernel::ParallelEvent(2),
         Kernel::ParallelEvent(4),
     ] {
-        let r = run_kernel(&wg, &winputs, kernel);
+        let (r, stats) = drive_config(&wg, &winputs, SimConfig::new().kernel(kernel));
         assert_eq!(r, reference, "{kernel:?} disagrees on the wide grid");
         let t = median_secs(n, || {
             let _ = run_kernel(&wg, &winputs, kernel);
@@ -266,7 +305,12 @@ fn main() {
             t * 1e3,
             reference.steps as f64 / t,
         );
-        log.record(
+        let extras = if matches!(kernel, Kernel::ParallelEvent(_)) {
+            epoch_extras(DEFAULT_EPOCH_CAP, ShardPolicy::Topology, &stats)
+        } else {
+            Vec::new()
+        };
+        log.record_with(
             "wide_grid",
             wg.node_count(),
             wg.arc_count(),
@@ -274,6 +318,7 @@ fn main() {
             workers,
             reference.steps,
             t,
+            extras,
         );
         t_of.push((kernel, t));
     }
@@ -299,6 +344,46 @@ fn main() {
         } else {
             println!(
                 "kernels/wide_grid: host has {cores} core(s); 4-worker speedup target needs >= 4 — recorded, not asserted"
+            );
+        }
+    }
+
+    // 5. Epoch/shard sweep on the same grid: how the barrier-amortizing
+    // horizon cap and the sharding policy shape the 4-worker kernel.
+    // cap=1 disables batching (the pre-epoch per-step kernel), and the
+    // striped policy cuts chains across shards — both honest baselines.
+    for policy in [ShardPolicy::Topology, ShardPolicy::Striped] {
+        for cap in [1u64, 4, 16, 64] {
+            let cfg = SimConfig::new()
+                .kernel(Kernel::ParallelEvent(4))
+                .epoch_cap(cap)
+                .shard_policy(policy);
+            let (r, stats) = drive_config(&wg, &winputs, cfg.clone());
+            assert_eq!(
+                r, reference,
+                "epoch sweep (cap {cap}, {policy:?}) disagrees on the wide grid"
+            );
+            let t = median_secs(n, || {
+                let _ = drive_config(&wg, &winputs, cfg.clone());
+            });
+            println!(
+                "kernels/wide_grid/epoch_sweep/{}/cap{cap}   {:>10.3}ms   {:>12.0} steps/s   epochs {} (mean horizon {:.1}, {} fallbacks)",
+                policy.as_str(),
+                t * 1e3,
+                reference.steps as f64 / t,
+                stats.epochs,
+                stats.mean_horizon(),
+                stats.horizon_fallbacks,
+            );
+            log.record_with(
+                "wide_grid",
+                wg.node_count(),
+                wg.arc_count(),
+                "parallel-event",
+                4,
+                reference.steps,
+                t,
+                epoch_extras(cap, policy, &stats),
             );
         }
     }

@@ -20,6 +20,11 @@
 //!   where to write them;
 //! * `--workers <n>` — run the simulation on the parallel kernel with
 //!   `n` worker threads (default 1 = the sequential event kernel);
+//! * `--epoch-cap <k>` — cap the parallel kernel's epoch length at `k`
+//!   steps per barrier handoff (see DESIGN.md §16; `1` disables epoch
+//!   batching entirely);
+//! * `--shard-policy <topology|striped>` — how the parallel kernel
+//!   assigns cells to worker shards;
 //! * `--emit=ast,typed,ir,balanced,machine` — dump compiler stage
 //!   artifacts for every workload the reporter compiles (stdout,
 //!   deterministic);
@@ -28,7 +33,7 @@
 
 use crate::measure::{measure_compiled_with, Measurement};
 use valpipe_core::{render_pass_stats, CompileOptions, PassManager, Stage};
-use valpipe_machine::{FaultPlan, Kernel, SimConfig, WatchdogConfig};
+use valpipe_machine::{FaultPlan, Kernel, ShardPolicy, SimConfig, WatchdogConfig};
 
 /// Robustness flags parsed from the process arguments.
 #[derive(Debug, Clone, Default)]
@@ -57,6 +62,12 @@ pub struct FaultArgs {
     /// Parsed `--workers`, if given (worker threads for the parallel
     /// kernel; 1 keeps the sequential event kernel).
     pub workers: Option<usize>,
+    /// Parsed `--epoch-cap`, if given (max steps per epoch barrier for
+    /// the parallel kernel; `1` disables epoch batching).
+    pub epoch_cap: Option<u64>,
+    /// Parsed `--shard-policy`, if given (cell→shard assignment for the
+    /// parallel kernel).
+    pub shard_policy: Option<ShardPolicy>,
     /// Parsed `--emit=…`: compiler stages to dump for every workload.
     pub emit: Vec<Stage>,
     /// `--pass-stats`: print the per-pass compile table for every
@@ -150,6 +161,24 @@ impl FaultArgs {
                         _ => usage(&format!("bad worker count '{v}'")),
                     }
                 }
+                "--epoch-cap" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--epoch-cap needs a number"));
+                    match v.parse::<u64>() {
+                        Ok(k) if k > 0 => out.epoch_cap = Some(k),
+                        _ => usage(&format!("bad epoch cap '{v}'")),
+                    }
+                }
+                "--shard-policy" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--shard-policy needs topology|striped"));
+                    match ShardPolicy::parse(&v) {
+                        Some(p) => out.shard_policy = Some(p),
+                        None => usage(&format!("bad shard policy '{v}'")),
+                    }
+                }
                 "--pass-stats" => out.pass_stats = true,
                 s if s.starts_with("--emit=") => match Stage::parse_list(&s["--emit=".len()..]) {
                     Ok(v) => out.emit = v,
@@ -190,6 +219,12 @@ impl FaultArgs {
             if w >= 2 {
                 cfg = cfg.kernel(Kernel::ParallelEvent(w));
             }
+        }
+        if let Some(k) = self.epoch_cap {
+            cfg = cfg.epoch_cap(k);
+        }
+        if let Some(p) = self.shard_policy {
+            cfg = cfg.shard_policy(p);
         }
         cfg
     }
@@ -253,6 +288,7 @@ fn usage(message: &str) -> ! {
     eprintln!("usage: exp_* [--fault-plan <spec>] [--step-budget <n>]");
     eprintln!("             [--checkpoint-every <n>] [--checkpoint-path <file>]");
     eprintln!("             [--restore-from <file>] [--trials <n>] [--workers <n>]");
+    eprintln!("             [--epoch-cap <k>] [--shard-policy <topology|striped>]");
     eprintln!("             [--seed <n>] [--shrink] [--corpus <dir>]");
     eprintln!("             [--emit=ast,typed,ir,balanced,machine] [--pass-stats]");
     eprintln!("  spec: comma-separated key=value, e.g. seed=42,drop_ack=0.001,\\");

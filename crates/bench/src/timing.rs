@@ -139,7 +139,26 @@ impl BenchLog {
         steps: u64,
         wall_s: f64,
     ) {
-        self.records.push(Json::obj([
+        self.record_with(graph, cells, arcs, kernel, workers, steps, wall_s, []);
+    }
+
+    /// [`BenchLog::record`] with extra key/value fields appended to the
+    /// record — the kernels bench uses it to attach epoch/shard
+    /// dimensions (`epoch_cap`, `shard_policy`) and the engine's
+    /// per-run counters (`epochs`, `mean_horizon`, …).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_with(
+        &mut self,
+        graph: &str,
+        cells: usize,
+        arcs: usize,
+        kernel: &str,
+        workers: usize,
+        steps: u64,
+        wall_s: f64,
+        extras: impl IntoIterator<Item = (&'static str, Json)>,
+    ) {
+        let mut fields = vec![
             ("graph", Json::Str(graph.to_string())),
             ("cells", Json::Int(cells as i64)),
             ("arcs", Json::Int(arcs as i64)),
@@ -148,7 +167,9 @@ impl BenchLog {
             ("steps", Json::Int(steps as i64)),
             ("wall_s", Json::Float(wall_s)),
             ("steps_per_sec", Json::Float(steps as f64 / wall_s)),
-        ]));
+        ];
+        fields.extend(extras);
+        self.records.push(Json::obj(fields));
     }
 
     /// Write the trajectory file and return the path written. The

@@ -173,6 +173,7 @@ fn matrix() -> Vec<(&'static str, Kernel, ExecMode)> {
         ("scan/exact", Kernel::Scan, ExecMode::Exact),
         ("event/exact", Kernel::EventDriven, ExecMode::Exact),
         ("parallel2/exact", Kernel::ParallelEvent(2), ExecMode::Exact),
+        ("parallel4/exact", Kernel::ParallelEvent(4), ExecMode::Exact),
         (
             "scan/ff",
             Kernel::Scan,
@@ -186,6 +187,11 @@ fn matrix() -> Vec<(&'static str, Kernel, ExecMode)> {
         (
             "parallel2/ff",
             Kernel::ParallelEvent(2),
+            ExecMode::FastForward { verify_window: 1 },
+        ),
+        (
+            "parallel4/ff",
+            Kernel::ParallelEvent(4),
             ExecMode::FastForward { verify_window: 1 },
         ),
     ]

@@ -26,6 +26,7 @@ pub mod network;
 pub(crate) mod par;
 pub mod scheduler;
 pub mod session;
+pub mod shard;
 pub mod sim;
 pub mod snapshot;
 pub mod trace;
@@ -39,7 +40,10 @@ pub use fastforward::FastForwardStats;
 pub use fault::{CellFreeze, FaultPlan, LinkFault};
 pub use network::{OmegaNetwork, Packet};
 pub use scheduler::Kernel;
-pub use session::{Driven, ExecMode, RunOutcome, RunSpec, Session, SessionBuilder, SimConfig};
+pub use session::{
+    Driven, ExecMode, RunOutcome, RunSpec, Session, SessionBuilder, SimConfig, DEFAULT_EPOCH_CAP,
+};
+pub use shard::{EpochStats, ShardPolicy};
 pub use sim::{ArcDelays, ProgramInputs, ResourceModel, RunResult, Simulator, StopReason, Timing};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use trace::{chrome_trace, occupancy_chart};

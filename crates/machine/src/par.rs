@@ -43,17 +43,24 @@
 //! sequential step body, which produces identical results by the same
 //! argument with one worker.
 
+use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
+use valpipe_ir::graph::Graph;
+use valpipe_ir::value::Value;
 use valpipe_ir::NodeId;
 
 use crate::error::SimError;
 use crate::fault::{AckFate, ResultFate};
-use crate::scheduler::Kernel;
-use crate::sim::{consume_token, emit_token, launch_value, release_acks, FirePlan, Simulator};
+use crate::scheduler::{Kernel, Wheel};
+use crate::shard::{EpochStats, ShardMap};
+use crate::sim::{
+    consume_token, emit_token, launch_value, note_fire_cell, plan_cell, release_acks, ArcState,
+    Cells, FirePlan, NoteSink, PlanView, Simulator, StopSlots, NO_SLOT,
+};
 
 /// Below this many ready items (due cells + due arcs) a tick runs the
 /// sequential step body instead of dispatching to the pool: the phase
@@ -443,6 +450,606 @@ impl Simulator<'_> {
         self.scratch.bufs = bufs;
         self.now += 1;
         Ok(count)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-batched execution (DESIGN.md §16).
+//
+// The per-step parallel kernel above pays three barrier handoffs per
+// instruction time. The epoch engine amortizes them: the global wheels
+// know the earliest pending wakeup, and influence spreads at most one
+// undirected hop per step (every result and acknowledge delay is ≥ 1),
+// so a BFS distance from each cell to the nearest shard boundary turns
+// the pending-wakeup set into a proven horizon `h` during which no
+// inter-shard token can land. Each shard then runs `h` whole steps on
+// its own private wheels with zero synchronization, and the merge
+// replays per-sub-step bookkeeping canonically — bit-identical to the
+// sequential kernels.
+
+/// Interior-mutability wrapper for machine state shared across shard
+/// workers. Soundness contract: the shard map partitions cells and arcs,
+/// every worker only dereferences entries its shard owns (checked by
+/// `debug_assert` in the accessors below), and the proven horizon
+/// guarantees no cross-shard entry is touched at all.
+#[repr(transparent)]
+struct ShardCell<T>(UnsafeCell<T>);
+
+// SAFETY: disjoint access per the shard map; see the type's contract.
+unsafe impl<T: Send> Sync for ShardCell<T> {}
+
+impl<T> ShardCell<T> {
+    fn get(&self) -> *mut T {
+        self.0.get()
+    }
+}
+
+/// Reinterpret an exclusively borrowed slice as shard-shareable cells.
+/// `ShardCell<T>` is `repr(transparent)` over `UnsafeCell<T>`, which is
+/// `repr(transparent)` over `T`, so the layouts match exactly.
+fn share<T>(xs: &mut [T]) -> &[ShardCell<T>] {
+    unsafe { &*(xs as *mut [T] as *const [ShardCell<T>]) }
+}
+
+/// One sink's output record: port name plus `(arrival time, value)` log.
+type OutputLog = (String, Vec<(u64, Value)>);
+
+/// Every piece of machine state a shard worker reads or writes during an
+/// epoch, pre-split into disjointly-owned (`ShardCell`) and genuinely
+/// read-only slices.
+struct MachineShared<'a> {
+    g: &'a Graph,
+    arcs: &'a [ShardCell<ArcState>],
+    src_pos: &'a [ShardCell<usize>],
+    ctl_pos: &'a [ShardCell<u64>],
+    fires: &'a [ShardCell<u64>],
+    gate_passes: &'a [ShardCell<u64>],
+    gate_discards: &'a [ShardCell<u64>],
+    fire_times: Option<&'a [ShardCell<Vec<u64>>]>,
+    outputs: &'a [ShardCell<OutputLog>],
+    emit_times: &'a [ShardCell<(String, Vec<u64>)>],
+    src_data: &'a [Option<Vec<Value>>],
+    sink_slot: &'a [u32],
+    src_slot: &'a [u32],
+    fwd: &'a [u64],
+    ack: &'a [u64],
+}
+
+/// One shard's view of the machine during an epoch: implements the same
+/// [`PlanView`]/[`NoteSink`] traits the `Simulator` does, over the
+/// shared slices, so `plan_cell`/`note_fire_cell` are shared verbatim.
+struct ShardExec<'a> {
+    shared: &'a MachineShared<'a>,
+    map: &'a ShardMap,
+    shard: u32,
+    /// Source emissions + sink arrivals this sub-step (delta, merged
+    /// into `Simulator::progress` during replay).
+    progress: u64,
+    am: u64,
+    fu: u64,
+}
+
+impl ShardExec<'_> {
+    #[inline]
+    fn check_cell(&self, i: usize) {
+        debug_assert_eq!(
+            self.map.cell_shard[i], self.shard,
+            "shard touched a cell it does not own"
+        );
+    }
+}
+
+impl PlanView for ShardExec<'_> {
+    fn arc(&self, a: usize) -> &ArcState {
+        debug_assert_eq!(self.map.arc_shard[a], self.shard);
+        debug_assert!(!self.map.arc_cross[a], "epoch touched a cross arc");
+        unsafe { &*self.shared.arcs[a].get() }
+    }
+    fn ctl_pos(&self, i: usize) -> u64 {
+        self.check_cell(i);
+        unsafe { *self.shared.ctl_pos[i].get() }
+    }
+    fn src_pos(&self, i: usize) -> usize {
+        self.check_cell(i);
+        unsafe { *self.shared.src_pos[i].get() }
+    }
+    fn src_data(&self, i: usize) -> Option<&[Value]> {
+        self.shared.src_data[i].as_deref()
+    }
+}
+
+impl NoteSink for ShardExec<'_> {
+    fn bump_gate(&mut self, i: usize, pass: bool) {
+        self.check_cell(i);
+        unsafe {
+            if pass {
+                *self.shared.gate_passes[i].get() += 1;
+            } else {
+                *self.shared.gate_discards[i].get() += 1;
+            }
+        }
+    }
+    fn record_output(&mut self, i: usize, t: u64, v: Value) {
+        self.check_cell(i);
+        let slot = self.shared.sink_slot[i] as usize;
+        unsafe { (*self.shared.outputs[slot].get()).1.push((t, v)) };
+        self.progress += 1;
+    }
+    fn advance_source(&mut self, i: usize, t: u64) {
+        self.check_cell(i);
+        let slot = self.shared.src_slot[i] as usize;
+        unsafe {
+            *self.shared.src_pos[i].get() += 1;
+            (*self.shared.emit_times[slot].get()).1.push(t);
+        }
+        self.progress += 1;
+    }
+    fn advance_ctl(&mut self, i: usize) {
+        self.check_cell(i);
+        unsafe { *self.shared.ctl_pos[i].get() += 1 };
+    }
+    fn count_fire(&mut self, i: usize, t: u64, am: bool, fu: bool) {
+        self.check_cell(i);
+        unsafe {
+            *self.shared.fires[i].get() += 1;
+            if let Some(ft) = self.shared.fire_times {
+                (*ft[i].get()).push(t);
+            }
+        }
+        if am {
+            self.am += 1;
+        }
+        if fu {
+            self.fu += 1;
+        }
+    }
+}
+
+/// One shard's private execution state, reused across epochs.
+struct ShardState {
+    node_wheel: Wheel,
+    arc_wheel: Wheel,
+    due: Vec<u32>,
+    due_arcs: Vec<u32>,
+    plans: Vec<(u32, FirePlan)>,
+    /// Per sub-step `(fired, progress delta)` — the canonical replay
+    /// feed for tracker/idle bookkeeping on the merge side.
+    log: Vec<(u32, u32)>,
+    /// First error this shard hit: `(sub-step, cell id, error)`.
+    err: Option<(u64, u32, SimError)>,
+    am: u64,
+    fu: u64,
+}
+
+impl ShardState {
+    fn new() -> ShardState {
+        ShardState {
+            node_wheel: Wheel::new(0),
+            arc_wheel: Wheel::new(0),
+            due: Vec::new(),
+            due_arcs: Vec::new(),
+            plans: Vec::new(),
+            log: Vec::new(),
+            err: None,
+            am: 0,
+            fu: 0,
+        }
+    }
+}
+
+/// The epoch engine: topology shard map plus per-shard wheels and
+/// scratch. Like `StepScratch`, an execution-strategy artifact — never
+/// snapshotted, rebuilt lazily after a restore.
+pub(crate) struct EpochEngine {
+    map: ShardMap,
+    /// Longest packet latency (fault-free, so no slack term) — the
+    /// quiescence window, mirroring `run`'s `max_lat`.
+    max_lat: u64,
+    /// Per output slot: how many sink cells feed it (bounds how fast a
+    /// `stop_outputs` target can fill).
+    sink_feeders: Vec<u32>,
+    shards: Vec<ShardState>,
+    nodes_scratch: Vec<(u32, u64)>,
+    arcs_scratch: Vec<(u32, u64)>,
+    pub(crate) stats: EpochStats,
+}
+
+impl EpochEngine {
+    fn new(
+        g: &Graph,
+        cells: &Cells,
+        policy: crate::shard::ShardPolicy,
+        workers: usize,
+        fwd: &[u64],
+        ack: &[u64],
+    ) -> EpochEngine {
+        let map = ShardMap::build(g, policy, workers);
+        let max_lat = fwd.iter().chain(ack.iter()).copied().max().unwrap_or(1);
+        let mut sink_feeders = vec![0u32; cells.outputs.len()];
+        for &s in &cells.sink_slot {
+            if s != NO_SLOT {
+                sink_feeders[s as usize] += 1;
+            }
+        }
+        let stats = EpochStats {
+            shards: workers as u32,
+            cross_arcs: map.cross_arcs,
+            shard_cells: map.shard_cells.clone(),
+            ..EpochStats::default()
+        };
+        EpochEngine {
+            map,
+            max_lat,
+            sink_feeders,
+            shards: (0..workers).map(|_| ShardState::new()).collect(),
+            nodes_scratch: Vec::new(),
+            arcs_scratch: Vec::new(),
+            stats,
+        }
+    }
+}
+
+/// Upper bound on the epoch length such that a `stop_outputs` target
+/// cannot become satisfied strictly *inside* the epoch (the run loop
+/// only checks it at step boundaries). Every watched slot must reach its
+/// count, and a slot with `f` feeder cells gains at most `f` packets per
+/// step, so the slot needing the most steps governs: `ceil(r / f)` steps
+/// keep the target unmet for the first `ceil(r / f) - 1 + 1` loop-top
+/// checks. Returns 1 (forcing fallback) if the target is already met.
+fn output_horizon_bound(
+    stop: &StopSlots,
+    outputs: &[(String, Vec<(u64, Value)>)],
+    feeders: &[u32],
+) -> u64 {
+    let StopSlots::Watch(watch) = stop else {
+        // No reachable target: `Inactive` never stops, `Never` never
+        // fills. Either way the bound is vacuous.
+        return u64::MAX;
+    };
+    let mut bound = u64::MAX;
+    let mut unfilled = false;
+    for &(slot, count) in watch {
+        let have = outputs[slot as usize].1.len();
+        if have >= count {
+            continue;
+        }
+        unfilled = true;
+        let remaining = (count - have) as u64;
+        let f = feeders[slot as usize] as u64;
+        if f == 0 {
+            continue; // can never fill; no constraint from this slot
+        }
+        bound = bound.min(remaining.div_ceil(f));
+    }
+    if unfilled {
+        bound
+    } else {
+        1 // target already met: the loop top must see it now
+    }
+}
+
+/// Run shard `s` alone for `h` sub-steps starting at `t0`. Pure shard
+/// work: private wheels, owned cells/arcs, no fault hooks (the epoch
+/// gate proved the run fault-free). Errors stop the shard; the merge
+/// side picks the canonical first error across shards.
+fn run_shard(
+    shared: &MachineShared<'_>,
+    map: &ShardMap,
+    s: u32,
+    st: &mut ShardState,
+    t0: u64,
+    h: u64,
+) {
+    let mut exec = ShardExec {
+        shared,
+        map,
+        shard: s,
+        progress: 0,
+        am: 0,
+        fu: 0,
+    };
+    for k in 0..h {
+        let t = t0 + k;
+        // Phase 1: release due acknowledge slots.
+        st.arc_wheel.drain(t, &mut st.due_arcs);
+        for &a in &st.due_arcs {
+            debug_assert_eq!(map.arc_shard[a as usize], s);
+            debug_assert!(!map.arc_cross[a as usize]);
+            release_acks(unsafe { &mut *shared.arcs[a as usize].get() }, t);
+        }
+        // Phase 2: plan due cells (drain sorts + dedups, so plans are
+        // in ascending cell order — the canonical tie-break).
+        st.node_wheel.drain(t, &mut st.due);
+        st.plans.clear();
+        for &nid in &st.due {
+            debug_assert_eq!(map.cell_shard[nid as usize], s);
+            debug_assert!(
+                map.dist[nid as usize] > 0,
+                "boundary cell examined inside a proven horizon"
+            );
+            match plan_cell(shared.g, &exec, t, NodeId(nid)) {
+                Ok(Some(plan)) => st.plans.push((nid, plan)),
+                Ok(None) => {}
+                Err(e) => {
+                    st.err = Some((k, nid, e));
+                    return;
+                }
+            }
+        }
+        // Phase 3: fire in ascending cell order.
+        let progress_before = exec.progress;
+        for i in 0..st.plans.len() {
+            let (nid, plan) = st.plans[i];
+            for arc in plan.consumes() {
+                let a = arc.idx();
+                let src = shared.g.arcs[a].src.idx() as u32;
+                let ack_at = t + shared.ack[a];
+                let arc_st = unsafe { &mut *shared.arcs[a].get() };
+                if let Some(ft) = consume_token(arc_st, ack_at, AckFate::Deliver) {
+                    st.arc_wheel.push(a as u32, ft);
+                    st.node_wheel.push(src, ft);
+                }
+            }
+            if let Some(v) = note_fire_cell(shared.g, &mut exec, t, NodeId(nid), &plan) {
+                for &a in &shared.g.nodes[nid as usize].outputs {
+                    let ai = a.idx();
+                    debug_assert!(!map.arc_cross[ai], "epoch emitted onto a cross arc");
+                    let dst = shared.g.arcs[ai].dst.idx() as u32;
+                    let ready = t + shared.fwd[ai];
+                    let arc_st = unsafe { &mut *shared.arcs[ai].get() };
+                    if let Some(rt) = emit_token(arc_st, v, ready, ResultFate::Deliver) {
+                        st.node_wheel.push(dst, rt);
+                    }
+                }
+            }
+            st.node_wheel.push(nid, t + 1);
+        }
+        st.log.push((
+            st.plans.len() as u32,
+            (exec.progress - progress_before) as u32,
+        ));
+    }
+    st.am = exec.am;
+    st.fu = exec.fu;
+}
+
+impl Simulator<'_> {
+    /// Attempt an epoch-batched multi-step advance (DESIGN.md §16).
+    /// Returns `Ok(None)` when no horizon ≥ 2 is provable right now —
+    /// the caller falls back to the ordinary per-step parallel kernel
+    /// for exactly one step. `Ok(Some(fired))` reports the fire count
+    /// of the *last* sub-step executed, matching what a sequence of
+    /// `step()` calls would have returned last.
+    pub(crate) fn try_step_epoch(&mut self, workers: usize) -> Result<Option<usize>, SimError> {
+        let w = workers.clamp(2, MAX_WORKERS);
+        if self.epoch.is_none() {
+            self.epoch = Some(Box::new(EpochEngine::new(
+                self.g,
+                &self.cells,
+                self.cfg.shard_policy,
+                w,
+                &self.fwd_delay,
+                &self.ack_delay,
+            )));
+        }
+        let mut eng = self.epoch.take().expect("engine just installed");
+        let res = self.epoch_step(&mut eng, w);
+        self.epoch = Some(eng);
+        res
+    }
+
+    fn epoch_step(&mut self, eng: &mut EpochEngine, w: usize) -> Result<Option<usize>, SimError> {
+        if !eng.map.viable {
+            return Ok(None);
+        }
+        let t0 = self.now;
+        // The epoch may not run past the pause/step-limit boundary, and
+        // may not let a stop_outputs target fill strictly inside it.
+        let cap = self
+            .cfg
+            .epoch_cap
+            .min(self.epoch_stop_cap.saturating_sub(t0))
+            .min(output_horizon_bound(
+                &self.stop_slots,
+                &self.cells.outputs,
+                &eng.sink_feeders,
+            ));
+        if cap < 2 {
+            eng.stats.horizon_fallbacks += 1;
+            return Ok(None);
+        }
+        // Horizon probe: the earliest step at which any pending wakeup
+        // could influence a boundary cell. A node wakeup at (i, t)
+        // reaches the boundary no earlier than t + dist[i]; an arc
+        // wakeup re-examines its *source* cell, so it scores
+        // t + dist[src] — except cross arcs, which are boundary events
+        // themselves. All delays are ≥ 1 and influence moves one
+        // undirected hop per step (DESIGN.md §16 for the induction).
+        let horizon_limit = t0.saturating_add(cap);
+        let mut q = u64::MAX;
+        let mut deferred: u64 = 0;
+        let dist = &eng.map.dist;
+        self.sched.for_each_pending_node(|id, t| {
+            let score = t.saturating_add(dist[id as usize]);
+            if score < horizon_limit {
+                deferred += 1;
+            }
+            q = q.min(score);
+        });
+        let arc_cross = &eng.map.arc_cross;
+        let g = self.g;
+        self.sched.for_each_pending_arc(|id, t| {
+            let score = if arc_cross[id as usize] {
+                t
+            } else {
+                t.saturating_add(dist[g.arcs[id as usize].src.idx()])
+            };
+            if score < horizon_limit {
+                deferred += 1;
+            }
+            q = q.min(score);
+        });
+        let h = cap.min(q.saturating_sub(t0));
+        if h < 2 {
+            eng.stats.horizon_fallbacks += 1;
+            return Ok(None);
+        }
+        // `deferred` counted wakeups scoring inside the *cap* window;
+        // only those inside the proven horizon were actually deferred.
+        let deferred = if h < cap { deferred } else { 0 };
+
+        // Route the global wheels' contents onto per-shard wheels.
+        let mut nodes = std::mem::take(&mut eng.nodes_scratch);
+        let mut arcs_pending = std::mem::take(&mut eng.arcs_scratch);
+        nodes.clear();
+        arcs_pending.clear();
+        self.sched.take_all(&mut nodes, &mut arcs_pending);
+        for st in &mut eng.shards {
+            st.node_wheel.reset(t0);
+            st.arc_wheel.reset(t0);
+            st.log.clear();
+            st.err = None;
+            st.am = 0;
+            st.fu = 0;
+        }
+        for &(id, t) in &nodes {
+            let s = eng.map.cell_shard[id as usize] as usize;
+            eng.shards[s].node_wheel.push(id, t);
+        }
+        for &(id, t) in &arcs_pending {
+            let s = eng.map.arc_shard[id as usize] as usize;
+            eng.shards[s].arc_wheel.push(id, t);
+        }
+
+        if self.pool.as_ref().is_none_or(|p| p.workers() != w) {
+            self.pool = Some(Pool::new(w));
+        }
+
+        // Split the machine into disjointly-aliased shared slices and
+        // run every shard for `h` steps with no synchronization.
+        {
+            let Cells {
+                src_pos,
+                src_data,
+                ctl_pos,
+                fires,
+                gate_passes,
+                gate_discards,
+                fire_times,
+                sink_slot,
+                src_slot,
+                outputs,
+                emit_times,
+            } = &mut self.cells;
+            let shared = MachineShared {
+                g: self.g,
+                arcs: share(self.arcs.as_mut_slice()),
+                src_pos: share(src_pos.as_mut_slice()),
+                ctl_pos: share(ctl_pos.as_mut_slice()),
+                fires: share(fires.as_mut_slice()),
+                gate_passes: share(gate_passes.as_mut_slice()),
+                gate_discards: share(gate_discards.as_mut_slice()),
+                fire_times: fire_times.as_mut().map(|v| share(v.as_mut_slice())),
+                outputs: share(outputs.as_mut_slice()),
+                emit_times: share(emit_times.as_mut_slice()),
+                src_data: src_data.as_slice(),
+                sink_slot: sink_slot.as_slice(),
+                src_slot: src_slot.as_slice(),
+                fwd: self.fwd_delay.as_slice(),
+                ack: self.ack_delay.as_slice(),
+            };
+            let map = &eng.map;
+            let pool = self.pool.as_ref().expect("pool just ensured");
+            pool.run_sharded(&mut eng.shards, |s, st| {
+                run_shard(&shared, map, s as u32, st, t0, h);
+            });
+        }
+
+        // Canonical first error: the sequential kernels would have hit
+        // the (sub-step, cell id)-minimal error first and stopped there.
+        // Overrun mutations from other shards are unobservable — the
+        // erroring run is consumed by `run_inner` and dropped.
+        if let Some(best) = eng
+            .shards
+            .iter_mut()
+            .filter_map(|st| st.err.take())
+            .min_by_key(|&(k, nid, _)| (k, nid))
+        {
+            eng.nodes_scratch = nodes;
+            eng.arcs_scratch = arcs_pending;
+            return Err(best.2);
+        }
+
+        // Replay the per-sub-step bookkeeping exactly as `h` ordinary
+        // `step()` calls inside `run` would have: observe after each
+        // step, and stop early where `run`'s loop top would have broken
+        // for quiescence (fault-free, so its freeze window is zero).
+        let mut executed = h;
+        let mut truncated = false;
+        let mut last_fired: usize = 0;
+        for k in 0..h {
+            if self.idle > eng.max_lat && (t0 + k) > eng.max_lat {
+                executed = k;
+                truncated = true;
+                break;
+            }
+            let mut fired: u64 = 0;
+            let mut prog: u64 = 0;
+            for st in &eng.shards {
+                let (f, p) = st.log[k as usize];
+                fired += f as u64;
+                prog += p as u64;
+            }
+            self.progress += prog;
+            self.tracker.observe(t0 + k + 1, fired, self.progress);
+            if fired == 0 {
+                self.idle += 1;
+            } else {
+                self.idle = 0;
+            }
+            last_fired = fired as usize;
+        }
+        self.now = t0 + executed;
+        for st in &eng.shards {
+            self.am_fires += st.am;
+            self.fu_fires += st.fu;
+        }
+
+        if truncated {
+            // Quiescence truncation (DESIGN.md §16): past the break
+            // point every sub-step fired nothing and mutated nothing,
+            // and all wakeups from earlier fires had already drained —
+            // the shard wheels hold nothing the truncated timeline can
+            // still owe. Discard defensively and rebase.
+            for st in &mut eng.shards {
+                st.node_wheel.reset(0);
+                st.arc_wheel.reset(0);
+            }
+            self.sched.rebase(self.now);
+        } else {
+            // Merge leftover shard wakeups (all ≥ t0 + h by the drain
+            // loop) back onto the rebased global wheels.
+            self.sched.rebase(self.now);
+            for st in &mut eng.shards {
+                nodes.clear();
+                st.node_wheel.take_all(&mut nodes);
+                for &(id, at) in &nodes {
+                    self.sched.wake(id, at);
+                }
+                arcs_pending.clear();
+                st.arc_wheel.take_all(&mut arcs_pending);
+                for &(id, at) in &arcs_pending {
+                    self.sched.wake_arc(id, at);
+                }
+            }
+        }
+
+        eng.stats.epochs += 1;
+        eng.stats.batched_steps += executed;
+        eng.stats.cross_wakes_deferred += deferred;
+        eng.nodes_scratch = nodes;
+        eng.arcs_scratch = arcs_pending;
+        Ok(Some(last_fired))
     }
 }
 

@@ -68,8 +68,10 @@ pub enum Kernel {
 
 /// One time-indexed wakeup wheel: a power-of-two ring of reusable
 /// buckets plus a far-overflow heap for wakeups beyond the horizon.
+/// `pub(crate)` so the epoch engine (`par.rs`) can run one private wheel
+/// pair per shard with identical drain semantics.
 #[derive(Debug, Clone)]
-struct Wheel {
+pub(crate) struct Wheel {
     /// Next instruction time to be drained; every live ring entry `at`
     /// satisfies `cursor <= at < cursor + buckets.len()`.
     cursor: u64,
@@ -86,7 +88,7 @@ struct Wheel {
 const WHEEL_SLOTS: usize = 64;
 
 impl Wheel {
-    fn new(cursor: u64) -> Self {
+    pub(crate) fn new(cursor: u64) -> Self {
         Wheel {
             cursor,
             buckets: vec![Vec::new(); WHEEL_SLOTS],
@@ -100,7 +102,7 @@ impl Wheel {
     }
 
     #[inline]
-    fn push(&mut self, id: u32, at: u64) {
+    pub(crate) fn push(&mut self, id: u32, at: u64) {
         debug_assert!(at >= self.cursor, "wakeup posted into the past");
         if at - self.cursor < self.buckets.len() as u64 {
             let slot = (at & self.mask()) as usize;
@@ -114,7 +116,7 @@ impl Wheel {
     /// first), ascending and deduplicated. Buckets keep their
     /// allocations. Draining a time earlier than the cursor finds
     /// nothing: taking is destructive.
-    fn drain(&mut self, now: u64, out: &mut Vec<u32>) {
+    pub(crate) fn drain(&mut self, now: u64, out: &mut Vec<u32>) {
         out.clear();
         if now < self.cursor {
             return;
@@ -147,6 +149,58 @@ impl Wheel {
         }
         out.sort_unstable();
         out.dedup();
+    }
+
+    /// Visit every pending `(id, at)` entry without draining it — the
+    /// epoch-horizon probe. Entries are visited in no particular order
+    /// and duplicates are visited as many times as they were posted.
+    pub(crate) fn for_each_pending(&self, mut f: impl FnMut(u32, u64)) {
+        for off in 0..self.buckets.len() as u64 {
+            let t = self.cursor + off;
+            for &id in &self.buckets[(t & self.mask()) as usize] {
+                f(id, t);
+            }
+        }
+        for &Reverse((t, id)) in &self.far {
+            f(id, t);
+        }
+    }
+
+    /// Destructively extract every pending `(id, at)` entry into `out`
+    /// (appended, arbitrary order) — the epoch setup step that routes
+    /// the global wheel's contents onto per-shard wheels.
+    pub(crate) fn take_all(&mut self, out: &mut Vec<(u32, u64)>) {
+        for off in 0..self.buckets.len() as u64 {
+            let t = self.cursor + off;
+            let slot = (t & self.mask()) as usize;
+            for id in self.buckets[slot].drain(..) {
+                out.push((id, t));
+            }
+        }
+        while let Some(Reverse((t, id))) = self.far.pop() {
+            out.push((id, t));
+        }
+    }
+
+    /// Jump an *empty* wheel's cursor forward to `now` so re-posted
+    /// entries land within the ring horizon again after an epoch.
+    pub(crate) fn rebase(&mut self, now: u64) {
+        debug_assert!(
+            self.far.is_empty() && self.buckets.iter().all(Vec::is_empty),
+            "rebase requires a fully drained wheel"
+        );
+        debug_assert!(now >= self.cursor, "rebase never rewinds");
+        self.cursor = now;
+    }
+
+    /// Reset an empty wheel for reuse at a new start time (per-shard
+    /// wheels between epochs). Clears any leftovers defensively.
+    pub(crate) fn reset(&mut self, cursor: u64) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.far.clear();
+        self.cursor = cursor;
     }
 }
 
@@ -243,6 +297,32 @@ impl Scheduler {
     /// `out` (cleared first), ascending and deduplicated.
     pub(crate) fn due_arcs(&mut self, now: u64, out: &mut Vec<u32>) {
         self.arc_wheel.drain(now, out);
+    }
+
+    /// Visit every pending cell wakeup `(cell, at)` without draining it.
+    pub(crate) fn for_each_pending_node(&self, f: impl FnMut(u32, u64)) {
+        self.node_wheel.for_each_pending(f);
+    }
+
+    /// Visit every pending arc wakeup `(arc, at)` without draining it.
+    pub(crate) fn for_each_pending_arc(&self, f: impl FnMut(u32, u64)) {
+        self.arc_wheel.for_each_pending(f);
+    }
+
+    /// Destructively extract every pending wakeup — cells into `nodes`,
+    /// arcs into `arcs` (both appended, arbitrary order). The epoch
+    /// engine routes them onto per-shard wheels and pushes the
+    /// untriggered remainder back after the epoch.
+    pub(crate) fn take_all(&mut self, nodes: &mut Vec<(u32, u64)>, arcs: &mut Vec<(u32, u64)>) {
+        self.node_wheel.take_all(nodes);
+        self.arc_wheel.take_all(arcs);
+    }
+
+    /// Jump the (fully drained) wheels' cursors to `now` after an epoch
+    /// advanced the machine several steps at once.
+    pub(crate) fn rebase(&mut self, now: u64) {
+        self.node_wheel.rebase(now);
+        self.arc_wheel.rebase(now);
     }
 }
 

@@ -532,6 +532,244 @@ impl Operand {
     }
 }
 
+/// Read-only view of exactly the machine state cell planning touches:
+/// arc states and the source/control cursors. The `Simulator`
+/// implements it over its own storage; the epoch engine's per-shard
+/// views (`par.rs`) implement it over disjointly-aliased slices — so
+/// [`plan_cell`] is the *single* planning implementation shared by
+/// every kernel and the epoch engine, and cannot drift.
+pub(crate) trait PlanView {
+    /// State of arc `a`.
+    fn arc(&self, a: usize) -> &ArcState;
+    /// Control-generator cursor of cell `i`.
+    fn ctl_pos(&self, i: usize) -> u64;
+    /// Source cursor of cell `i`.
+    fn src_pos(&self, i: usize) -> usize;
+    /// Bound source data of cell `i`.
+    fn src_data(&self, i: usize) -> Option<&[Value]>;
+}
+
+fn view_operand<V: PlanView + ?Sized>(
+    g: &Graph,
+    view: &V,
+    now: u64,
+    n: NodeId,
+    port: usize,
+) -> Option<Operand> {
+    match g.nodes[n.idx()].inputs[port] {
+        PortBinding::Lit(v) => Some(Operand::Literal(v)),
+        PortBinding::Wired(a) => view.arc(a.idx()).peek(now).map(|v| Operand::FromArc(a, v)),
+        PortBinding::Unbound => None,
+    }
+}
+
+fn view_outputs_free<V: PlanView + ?Sized>(g: &Graph, view: &V, n: NodeId) -> bool {
+    g.nodes[n.idx()].outputs.iter().all(|a| {
+        let st = view.arc(a.idx());
+        st.occupied() < st.cap
+    })
+}
+
+/// Determine whether `n` can fire at `now` and, if so, what it does.
+/// Pure over the view — shared verbatim by every kernel's planning
+/// phase and the epoch engine's shard workers.
+pub(crate) fn plan_cell<V: PlanView + ?Sized>(
+    g: &Graph,
+    view: &V,
+    now: u64,
+    n: NodeId,
+) -> Result<Option<FirePlan>, SimError> {
+    let node = &g.nodes[n.idx()];
+    let fault_ctl = || SimError::NonBoolControl {
+        node: n.idx(),
+        label: node.label.clone(),
+    };
+    let plan = match &node.op {
+        Opcode::Bin(op) => {
+            let (Some(a), Some(b)) = (
+                view_operand(g, view, now, n, 0),
+                view_operand(g, view, now, n, 1),
+            ) else {
+                return Ok(None);
+            };
+            if !view_outputs_free(g, view, n) {
+                return Ok(None);
+            }
+            let v = apply_bin(*op, a.value(), b.value()).map_err(|e| SimError::Eval {
+                node: n.idx(),
+                label: node.label.clone(),
+                message: e.0,
+            })?;
+            Some(FirePlan::consume2(a, b).emit(v))
+        }
+        Opcode::Un(op) => {
+            let Some(a) = view_operand(g, view, now, n, 0) else {
+                return Ok(None);
+            };
+            if !view_outputs_free(g, view, n) {
+                return Ok(None);
+            }
+            let v = apply_un(*op, a.value()).map_err(|e| SimError::Eval {
+                node: n.idx(),
+                label: node.label.clone(),
+                message: e.0,
+            })?;
+            Some(FirePlan::consume1(a).emit(v))
+        }
+        Opcode::Id | Opcode::AmWrite | Opcode::AmRead => {
+            let Some(a) = view_operand(g, view, now, n, 0) else {
+                return Ok(None);
+            };
+            if !view_outputs_free(g, view, n) {
+                return Ok(None);
+            }
+            let v = a.value();
+            Some(FirePlan::consume1(a).emit(v))
+        }
+        Opcode::TGate | Opcode::FGate => {
+            let (Some(c), Some(d)) = (
+                view_operand(g, view, now, n, GATE_CTL),
+                view_operand(g, view, now, n, GATE_DATA),
+            ) else {
+                return Ok(None);
+            };
+            let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
+            let pass = if matches!(node.op, Opcode::TGate) {
+                ctl
+            } else {
+                !ctl
+            };
+            if pass {
+                if !view_outputs_free(g, view, n) {
+                    return Ok(None);
+                }
+                let v = d.value();
+                Some(FirePlan::consume2(c, d).emit(v))
+            } else {
+                // Discard: no destination needed — the essential
+                // "no jams" behaviour of the paper's §5.
+                Some(FirePlan::consume2(c, d))
+            }
+        }
+        Opcode::Merge => {
+            let Some(c) = view_operand(g, view, now, n, MERGE_CTL) else {
+                return Ok(None);
+            };
+            let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
+            let port = if ctl { MERGE_TRUE } else { MERGE_FALSE };
+            let Some(d) = view_operand(g, view, now, n, port) else {
+                return Ok(None);
+            };
+            if !view_outputs_free(g, view, n) {
+                return Ok(None);
+            }
+            let v = d.value();
+            Some(FirePlan::consume2(c, d).emit(v))
+        }
+        Opcode::CtlGen(stream) => {
+            if !view_outputs_free(g, view, n) {
+                return Ok(None);
+            }
+            Some(FirePlan::new().emit(Value::Bool(stream.at(view.ctl_pos(n.idx())))))
+        }
+        Opcode::IdxGen { lo, hi } => {
+            if !view_outputs_free(g, view, n) {
+                return Ok(None);
+            }
+            let len = (hi - lo + 1) as u64;
+            let v = lo + (view.ctl_pos(n.idx()) % len) as i64;
+            Some(FirePlan::new().emit(Value::Int(v)))
+        }
+        Opcode::Source(_) => {
+            let data = view.src_data(n.idx()).unwrap_or_else(|| {
+                panic!(
+                    "cell {} ({}): source data unbound at step {} despite construction check",
+                    n.idx(),
+                    node.label,
+                    now
+                )
+            });
+            if view.src_pos(n.idx()) >= data.len() || !view_outputs_free(g, view, n) {
+                return Ok(None);
+            }
+            Some(FirePlan::new().emit(data[view.src_pos(n.idx())]))
+        }
+        Opcode::Sink(_) => {
+            let Some(a) = view_operand(g, view, now, n, 0) else {
+                return Ok(None);
+            };
+            let v = a.value();
+            Some(FirePlan::consume1(a).emit(v)) // "emit" records to the sink
+        }
+        Opcode::Fifo(_) => unreachable!("rejected at construction"),
+    };
+    Ok(plan)
+}
+
+/// Mutation sink for the per-cell effects of one firing. The
+/// `Simulator` implements it over its own storage; the epoch engine's
+/// shard views implement it over disjointly-aliased slices plus local
+/// counters — so [`note_fire_cell`] is the single bookkeeping
+/// implementation shared by the sequential fire path, the parallel
+/// merge, and the epoch workers.
+pub(crate) trait NoteSink {
+    /// Count a gate pass (`pass`) or discard (`!pass`) on gate cell `i`.
+    fn bump_gate(&mut self, i: usize, pass: bool);
+    /// Record `v` arriving at sink cell `i` at time `t`.
+    fn record_output(&mut self, i: usize, t: u64, v: Value);
+    /// Advance source cell `i`'s cursor and record its emission at `t`.
+    fn advance_source(&mut self, i: usize, t: u64);
+    /// Advance generator cell `i`'s control cursor.
+    fn advance_ctl(&mut self, i: usize);
+    /// Count the firing of cell `i` at time `t` (`am`/`fu`: whether the
+    /// cell is an array-memory / function-unit instruction).
+    fn count_fire(&mut self, i: usize, t: u64, am: bool, fu: bool);
+}
+
+/// Per-cell effects of one firing: gate accounting, sink/source/
+/// control-generator cursors, fire counters, and fire-time recording.
+/// Returns the value to launch on the cell's output arcs, if any. Arc
+/// mutations stay with the caller, which is what lets the parallel
+/// kernel partition them by arc ownership (see DESIGN.md §11).
+pub(crate) fn note_fire_cell<S: NoteSink + ?Sized>(
+    g: &Graph,
+    sink: &mut S,
+    now: u64,
+    n: NodeId,
+    plan: &FirePlan,
+) -> Option<Value> {
+    let i = n.idx();
+    let node = &g.nodes[i];
+    if matches!(node.op, Opcode::TGate | Opcode::FGate) {
+        sink.bump_gate(i, plan.emit.is_some());
+    }
+    let mut launch = None;
+    if let Some(v) = plan.emit {
+        match &node.op {
+            Opcode::Sink(_) => {
+                // "emit" records to the sink; nothing is launched.
+                sink.record_output(i, now, v);
+            }
+            Opcode::Source(_) => {
+                sink.advance_source(i, now);
+                launch = Some(v);
+            }
+            Opcode::CtlGen(_) | Opcode::IdxGen { .. } => {
+                sink.advance_ctl(i);
+                launch = Some(v);
+            }
+            _ => launch = Some(v),
+        }
+    }
+    sink.count_fire(
+        i,
+        now,
+        node.op.is_array_memory(),
+        node.op.is_function_unit(),
+    );
+    launch
+}
+
 /// Outcome of one pass through the run loop: either the run reached a
 /// stopping decision and produced its [`RunResult`], or it hit a caller
 /// pause boundary and hands the live machine back.
@@ -582,6 +820,71 @@ pub struct Simulator<'g> {
     /// Lazily created worker pool for [`Kernel::ParallelEvent`]; `None`
     /// until the first parallel-phased step.
     pub(crate) pool: Option<crate::par::Pool>,
+    /// Whether `run_inner` proved the whole run free of the features
+    /// (faults, throttles, watchdogs, fast-forward, invariant checking,
+    /// periodic checkpoints) that make the epoch horizon unprovable —
+    /// set at run entry, cleared on pause, always false for manual
+    /// stepping. See DESIGN.md §16.
+    pub(crate) allow_epochs: bool,
+    /// The step the current `run_inner` call must not run past (pause
+    /// boundary / step limit); epochs clamp their horizon to it.
+    pub(crate) epoch_stop_cap: u64,
+    /// Lazily built epoch engine (shard map + per-shard wheels); like
+    /// `scratch`, an optimization artifact, never snapshotted.
+    pub(crate) epoch: Option<Box<crate::par::EpochEngine>>,
+}
+
+impl PlanView for Simulator<'_> {
+    fn arc(&self, a: usize) -> &ArcState {
+        &self.arcs[a]
+    }
+    fn ctl_pos(&self, i: usize) -> u64 {
+        self.cells.ctl_pos[i]
+    }
+    fn src_pos(&self, i: usize) -> usize {
+        self.cells.src_pos[i]
+    }
+    fn src_data(&self, i: usize) -> Option<&[Value]> {
+        self.cells.src_data[i].as_deref()
+    }
+}
+
+impl NoteSink for Simulator<'_> {
+    fn bump_gate(&mut self, i: usize, pass: bool) {
+        if pass {
+            self.cells.gate_passes[i] += 1;
+        } else {
+            self.cells.gate_discards[i] += 1;
+        }
+    }
+    fn record_output(&mut self, i: usize, t: u64, v: Value) {
+        self.cells.outputs[self.cells.sink_slot[i] as usize]
+            .1
+            .push((t, v));
+        self.progress += 1;
+    }
+    fn advance_source(&mut self, i: usize, t: u64) {
+        self.cells.src_pos[i] += 1;
+        self.cells.emit_times[self.cells.src_slot[i] as usize]
+            .1
+            .push(t);
+        self.progress += 1;
+    }
+    fn advance_ctl(&mut self, i: usize) {
+        self.cells.ctl_pos[i] += 1;
+    }
+    fn count_fire(&mut self, i: usize, t: u64, am: bool, fu: bool) {
+        self.cells.fires[i] += 1;
+        if am {
+            self.am_fires += 1;
+        }
+        if fu {
+            self.fu_fires += 1;
+        }
+        if let Some(ft) = &mut self.cells.fire_times {
+            ft[i].push(t);
+        }
+    }
 }
 
 impl<'g> Simulator<'g> {
@@ -686,6 +989,9 @@ impl<'g> Simulator<'g> {
             tracker: ProgressTracker::new(0),
             scratch: StepScratch::default(),
             pool: None,
+            allow_epochs: false,
+            epoch_stop_cap: 0,
+            epoch: None,
         })
     }
 
@@ -699,145 +1005,11 @@ impl<'g> Simulator<'g> {
         self.cfg.kernel
     }
 
-    fn operand(&self, n: NodeId, port: usize) -> Option<Operand> {
-        match self.g.nodes[n.idx()].inputs[port] {
-            PortBinding::Lit(v) => Some(Operand::Literal(v)),
-            PortBinding::Wired(a) => self.arcs[a.idx()]
-                .peek(self.now)
-                .map(|v| Operand::FromArc(a, v)),
-            PortBinding::Unbound => None,
-        }
-    }
-
-    fn outputs_free(&self, n: NodeId) -> bool {
-        self.g.nodes[n.idx()]
-            .outputs
-            .iter()
-            .all(|a| self.arcs[a.idx()].occupied() < self.arcs[a.idx()].cap)
-    }
-
     /// Determine whether `n` can fire now and, if so, what it does.
+    /// Delegates to [`plan_cell`] — the single planning implementation
+    /// shared with the epoch engine's shard workers.
     fn plan(&self, n: NodeId) -> Result<Option<FirePlan>, SimError> {
-        let node = &self.g.nodes[n.idx()];
-        let fault_ctl = || SimError::NonBoolControl {
-            node: n.idx(),
-            label: node.label.clone(),
-        };
-        let plan = match &node.op {
-            Opcode::Bin(op) => {
-                let (Some(a), Some(b)) = (self.operand(n, 0), self.operand(n, 1)) else {
-                    return Ok(None);
-                };
-                if !self.outputs_free(n) {
-                    return Ok(None);
-                }
-                let v = apply_bin(*op, a.value(), b.value()).map_err(|e| SimError::Eval {
-                    node: n.idx(),
-                    label: node.label.clone(),
-                    message: e.0,
-                })?;
-                Some(FirePlan::consume2(a, b).emit(v))
-            }
-            Opcode::Un(op) => {
-                let Some(a) = self.operand(n, 0) else {
-                    return Ok(None);
-                };
-                if !self.outputs_free(n) {
-                    return Ok(None);
-                }
-                let v = apply_un(*op, a.value()).map_err(|e| SimError::Eval {
-                    node: n.idx(),
-                    label: node.label.clone(),
-                    message: e.0,
-                })?;
-                Some(FirePlan::consume1(a).emit(v))
-            }
-            Opcode::Id | Opcode::AmWrite | Opcode::AmRead => {
-                let Some(a) = self.operand(n, 0) else {
-                    return Ok(None);
-                };
-                if !self.outputs_free(n) {
-                    return Ok(None);
-                }
-                let v = a.value();
-                Some(FirePlan::consume1(a).emit(v))
-            }
-            Opcode::TGate | Opcode::FGate => {
-                let (Some(c), Some(d)) = (self.operand(n, GATE_CTL), self.operand(n, GATE_DATA))
-                else {
-                    return Ok(None);
-                };
-                let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
-                let pass = if matches!(node.op, Opcode::TGate) {
-                    ctl
-                } else {
-                    !ctl
-                };
-                if pass {
-                    if !self.outputs_free(n) {
-                        return Ok(None);
-                    }
-                    let v = d.value();
-                    Some(FirePlan::consume2(c, d).emit(v))
-                } else {
-                    // Discard: no destination needed — the essential
-                    // "no jams" behaviour of the paper's §5.
-                    Some(FirePlan::consume2(c, d))
-                }
-            }
-            Opcode::Merge => {
-                let Some(c) = self.operand(n, MERGE_CTL) else {
-                    return Ok(None);
-                };
-                let ctl = c.value().as_bool().ok_or_else(fault_ctl)?;
-                let port = if ctl { MERGE_TRUE } else { MERGE_FALSE };
-                let Some(d) = self.operand(n, port) else {
-                    return Ok(None);
-                };
-                if !self.outputs_free(n) {
-                    return Ok(None);
-                }
-                let v = d.value();
-                Some(FirePlan::consume2(c, d).emit(v))
-            }
-            Opcode::CtlGen(stream) => {
-                if !self.outputs_free(n) {
-                    return Ok(None);
-                }
-                Some(FirePlan::new().emit(Value::Bool(stream.at(self.cells.ctl_pos[n.idx()]))))
-            }
-            Opcode::IdxGen { lo, hi } => {
-                if !self.outputs_free(n) {
-                    return Ok(None);
-                }
-                let len = (hi - lo + 1) as u64;
-                let v = lo + (self.cells.ctl_pos[n.idx()] % len) as i64;
-                Some(FirePlan::new().emit(Value::Int(v)))
-            }
-            Opcode::Source(_) => {
-                let data = self.cells.src_data[n.idx()].as_ref().unwrap_or_else(|| {
-                    panic!(
-                        "cell {} ({}): source data unbound at step {} despite construction check",
-                        n.idx(),
-                        node.label,
-                        self.now
-                    )
-                });
-                if self.cells.src_pos[n.idx()] >= data.len() || !self.outputs_free(n) {
-                    return Ok(None);
-                }
-                Some(FirePlan::new().emit(data[self.cells.src_pos[n.idx()]]))
-            }
-            Opcode::Sink(_) => {
-                let Some(a) = self.operand(n, 0) else {
-                    return Ok(None);
-                };
-                let v = a.value();
-                Some(FirePlan::consume1(a).emit(v)) // "emit" records to the sink
-            }
-            Opcode::Fifo(_) => unreachable!("rejected at construction"),
-        };
-        Ok(plan)
+        plan_cell(self.g, self, self.now, n)
     }
 
     /// Launch a result packet onto `a`, consulting the fault plan for
@@ -862,52 +1034,9 @@ impl<'g> Simulator<'g> {
     /// mutations stay with the caller, which is what lets the parallel
     /// kernel partition them by arc ownership (see DESIGN.md §11).
     pub(crate) fn note_fire(&mut self, n: NodeId, plan: &FirePlan) -> Option<Value> {
+        let g = self.g;
         let now = self.now;
-        let i = n.idx();
-        let node = &self.g.nodes[i];
-        if matches!(node.op, Opcode::TGate | Opcode::FGate) {
-            if plan.emit.is_some() {
-                self.cells.gate_passes[i] += 1;
-            } else {
-                self.cells.gate_discards[i] += 1;
-            }
-        }
-        let mut launch = None;
-        if let Some(v) = plan.emit {
-            match &node.op {
-                Opcode::Sink(_) => {
-                    // "emit" records to the sink; nothing is launched.
-                    self.cells.outputs[self.cells.sink_slot[i] as usize]
-                        .1
-                        .push((now, v));
-                    self.progress += 1;
-                }
-                Opcode::Source(_) => {
-                    self.cells.src_pos[i] += 1;
-                    self.cells.emit_times[self.cells.src_slot[i] as usize]
-                        .1
-                        .push(now);
-                    self.progress += 1;
-                    launch = Some(v);
-                }
-                Opcode::CtlGen(_) | Opcode::IdxGen { .. } => {
-                    self.cells.ctl_pos[i] += 1;
-                    launch = Some(v);
-                }
-                _ => launch = Some(v),
-            }
-        }
-        self.cells.fires[i] += 1;
-        if node.op.is_array_memory() {
-            self.am_fires += 1;
-        }
-        if node.op.is_function_unit() {
-            self.fu_fires += 1;
-        }
-        if let Some(ft) = &mut self.cells.fire_times {
-            ft[i].push(now);
-        }
-        launch
+        note_fire_cell(g, self, now, n, plan)
     }
 
     fn fire(&mut self, n: NodeId, plan: FirePlan) {
@@ -937,7 +1066,20 @@ impl<'g> Simulator<'g> {
     }
 
     /// Advance one instruction time. Returns how many cells fired.
+    ///
+    /// Inside an eligible `run` (see [`Self::run_inner`]'s gate) the
+    /// parallel kernel may instead execute a whole multi-step *epoch*
+    /// and advance `now` by the proven horizon; the epoch path does its
+    /// own per-sub-step tracker/idle bookkeeping, so it returns before
+    /// the shared observation below.
     pub fn step(&mut self) -> Result<usize, SimError> {
+        if self.allow_epochs {
+            if let Kernel::ParallelEvent(w) = self.cfg.kernel {
+                if let Some(fired) = self.try_step_epoch(w)? {
+                    return Ok(fired);
+                }
+            }
+        }
         let fired = match self.cfg.kernel {
             Kernel::Scan => self.step_scan()?,
             Kernel::EventDriven => self.step_event()?,
@@ -1114,7 +1256,7 @@ impl<'g> Simulator<'g> {
         self,
         sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
     ) -> Result<RunResult, SimError> {
-        match self.run_inner(None, sink, None)? {
+        match self.run_inner(None, sink, None, None)? {
             RunPhase::Done(r) => Ok(*r),
             // Unreachable: without a pause boundary the loop only exits
             // through a stopping decision.
@@ -1135,17 +1277,37 @@ impl<'g> Simulator<'g> {
     /// place. Every stopping decision still happens at the top of the
     /// loop from machine state alone, so a jump is indistinguishable
     /// from having stepped the same window exactly.
+    /// `epochs_out`, when present, receives the epoch engine's
+    /// cumulative [`crate::shard::EpochStats`] before the call returns
+    /// (both on completion and on pause).
     pub(crate) fn run_inner(
         mut self,
         pause_at: Option<u64>,
         mut sink: Option<&mut dyn FnMut(crate::snapshot::Snapshot)>,
         mut ff: Option<&mut crate::fastforward::FastForward>,
+        epochs_out: Option<&mut crate::shard::EpochStats>,
     ) -> Result<RunPhase<'g>, SimError> {
         let wd = self.cfg.watchdog;
         let step_limit = match wd {
             Some(w) => self.cfg.max_steps.min(w.step_budget),
             None => self.cfg.max_steps,
         };
+        // Epoch batching is legal only when every per-step decision the
+        // run loop makes between epoch boundaries is provably inert:
+        // no faults (freezes/fates), no resource throttle, no watchdog
+        // straddle, no fast-forward observer, no per-step invariant
+        // audit, no periodic checkpoint. Anything else falls back to
+        // the per-step kernels (H=1 behavior). See DESIGN.md §16.
+        self.epoch_stop_cap = pause_at.map_or(step_limit, |p| step_limit.min(p));
+        self.allow_epochs = matches!(self.cfg.kernel, Kernel::ParallelEvent(w) if w >= 2)
+            && self.cfg.epoch_cap >= 2
+            && ff.is_none()
+            && self.fault.is_none()
+            && self.cfg.resources.is_none()
+            && wd.is_none()
+            && !self.cfg.check_invariants
+            && !(self.cfg.checkpoint_every != 0
+                && (self.cfg.checkpoint_path.is_some() || sink.is_some()));
         // Injected delays and freeze windows extend how long a token can
         // legitimately stay in flight; widen the quiescence test to match.
         let (delay_slack, freeze_end) = match &self.fault {
@@ -1200,6 +1362,15 @@ impl<'g> Simulator<'g> {
                 break;
             }
             if pause_at.is_some_and(|p| self.now >= p) {
+                // Manual stepping of a paused machine must not epoch
+                // (no run-scope legality proof covers it); the next
+                // `run_inner` re-derives the gate.
+                self.allow_epochs = false;
+                if let Some(out) = epochs_out {
+                    if let Some(eng) = &self.epoch {
+                        *out = eng.stats.clone();
+                    }
+                }
                 return Ok(RunPhase::Paused(Box::new(self)));
             }
             let fired = self.step()?;
@@ -1224,6 +1395,11 @@ impl<'g> Simulator<'g> {
                 if let Some(sink) = sink.as_mut() {
                     sink(snap);
                 }
+            }
+        }
+        if let Some(out) = epochs_out {
+            if let Some(eng) = &self.epoch {
+                *out = eng.stats.clone();
             }
         }
         if stop == StopReason::Quiescent && self.now >= step_limit {
