@@ -90,6 +90,38 @@ grep -q 'CLAIM \[HOLDS\] every valid generated program agrees' target/ci_fuzz.tx
 grep -q 'CLAIM \[HOLDS\] all 5 committed corpus repros replay byte-identically' target/ci_fuzz.txt \
     || { echo "ci: FAIL — exp_fuzz did not replay the committed corpus" >&2; exit 1; }
 
+# Incremental compilation (DESIGN.md §17): warm recompiles must be
+# byte-identical to cold across random programs, single-block edits,
+# invalid mutants, and arbitrary cache corruption (dedicated property
+# suite), and the exp_incremental smoke must hold all three claims —
+# <5% of queries re-executed on a single-block edit, >=10x warm
+# speedup, and cold+warm engine output bit-identical to the legacy
+# pipeline across the workload suite and every committed corpus repro.
+cargo test -q --test property_incremental
+cargo run --release -q -p valpipe-bench --bin exp_incremental -- --blocks 120 > target/ci_incremental.txt
+grep -q 'CLAIM \[FAILS\]' target/ci_incremental.txt \
+    && { echo "ci: FAIL — exp_incremental claims did not hold" >&2; exit 1; }
+grep -q 'CLAIM \[HOLDS\] a single-block edit' target/ci_incremental.txt \
+    || { echo "ci: FAIL — exp_incremental did not report the query-reuse claim" >&2; exit 1; }
+grep -q 'CLAIM \[HOLDS\] cold and warm engine output is bit-identical' target/ci_incremental.txt \
+    || { echo "ci: FAIL — exp_incremental did not report the bit-identity claim" >&2; exit 1; }
+
+# The --incremental CLI path must produce the same pinned fig6 machine
+# dump as the plain pipeline, both cold (empty cache) and warm (second
+# run revives the on-disk .valpipe-cache/ entries across processes).
+rm -rf .valpipe-cache
+./target/release/valpipe check examples/fig6.val --emit=machine --incremental \
+    > target/ci_emit_fig6_cold.txt 2>/dev/null
+./target/release/valpipe check examples/fig6.val --emit=machine --incremental \
+    > target/ci_emit_fig6_warm.txt 2>target/ci_incr_stats.txt
+cmp -s target/ci_emit_fig6_cold.txt tests/golden/ci_emit_fig6.txt \
+    || { echo "ci: FAIL — cold --incremental dump drifted from tests/golden/ci_emit_fig6.txt" >&2; exit 1; }
+cmp -s target/ci_emit_fig6_warm.txt tests/golden/ci_emit_fig6.txt \
+    || { echo "ci: FAIL — warm --incremental dump drifted from tests/golden/ci_emit_fig6.txt" >&2; exit 1; }
+grep -q 'from disk' target/ci_incr_stats.txt \
+    || { echo "ci: FAIL — warm --incremental run did not revive the disk cache" >&2; exit 1; }
+rm -rf .valpipe-cache
+
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Benchmarks must at least run: smoke mode shrinks workloads and skips
@@ -113,5 +145,15 @@ test -s target/ci_bench_smoke.json \
 cargo run --release -q -p valpipe-bench --bin bench_gate -- \
     --baseline BENCH_machine.json --candidate target/ci_bench_smoke.json \
     || { echo "ci: FAIL — bench_gate found a steps/s regression beyond 15%" >&2; exit 1; }
+
+# bench_gate compares only the newest candidate document, and the
+# combined smoke file ends with the kernels doc — so the incremental
+# compile rows (cold / warm-noop / warm-edit, DESIGN.md §17) get their
+# own candidate file and gate.
+BENCH_JSON_PATH="$(pwd)/target/ci_bench_compile.json" \
+    cargo bench -p valpipe-bench --bench compile -- --test --json
+cargo run --release -q -p valpipe-bench --bin bench_gate -- \
+    --baseline BENCH_machine.json --candidate target/ci_bench_compile.json \
+    || { echo "ci: FAIL — bench_gate found a compile-throughput regression beyond 15%" >&2; exit 1; }
 
 echo "ci: all gates passed"

@@ -10,9 +10,8 @@
 //!    machine leg — zero divergences, zero panics;
 //! 2. corrupted sources always answer with typed errors, never panics or
 //!    bit-identity breaks;
-//! 3. typed rejections of generated programs stay inside the known
-//!    gating-limitation footprint (≤ 1% of trials; see
-//!    `tests/corpus/known-limit-*.val`);
+//! 3. no generated program is rejected at all (the historical gating
+//!    phantom-deadlock class is fixed; see `tests/corpus/fixed-*.val`);
 //! 4. every committed corpus repro replays byte-identically.
 //!
 //! Flags: `--trials <n>` (default 500), `--seed <n>` (default 0xD1FF,
@@ -64,7 +63,7 @@ fn main() {
     observe("full-matrix passes", report.passes);
     observe("output packets compared", report.packets);
     observe(
-        "typed rejections (known-limit class)",
+        "typed rejections (expected zero)",
         report.generated_rejections,
     );
     observe("mutants run", report.mutant_runs);
@@ -144,8 +143,8 @@ fn main() {
     );
     verdict(
         &format!(
-            "typed rejections stay inside the known gating-limitation footprint \
-             ({}/{} trials)",
+            "no generated program is rejected — the reconvergent-gating class \
+             compiles since the fusion fix ({}/{} trials rejected)",
             report.generated_rejections, report.trials
         ),
         report.acceptable_rejection_rate(),

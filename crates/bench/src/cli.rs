@@ -68,6 +68,9 @@ pub struct FaultArgs {
     /// Parsed `--shard-policy`, if given (cell→shard assignment for the
     /// parallel kernel).
     pub shard_policy: Option<ShardPolicy>,
+    /// Parsed `--blocks`, if given (workload size for `exp_incremental`:
+    /// how many chained stencil blocks the edit experiment compiles).
+    pub blocks: Option<usize>,
     /// Parsed `--emit=…`: compiler stages to dump for every workload.
     pub emit: Vec<Stage>,
     /// `--pass-stats`: print the per-pass compile table for every
@@ -177,6 +180,15 @@ impl FaultArgs {
                     match ShardPolicy::parse(&v) {
                         Some(p) => out.shard_policy = Some(p),
                         None => usage(&format!("bad shard policy '{v}'")),
+                    }
+                }
+                "--blocks" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--blocks needs a number"));
+                    match v.parse::<usize>() {
+                        Ok(n) if n > 0 => out.blocks = Some(n),
+                        _ => usage(&format!("bad block count '{v}'")),
                     }
                 }
                 "--pass-stats" => out.pass_stats = true,
@@ -289,7 +301,7 @@ fn usage(message: &str) -> ! {
     eprintln!("             [--checkpoint-every <n>] [--checkpoint-path <file>]");
     eprintln!("             [--restore-from <file>] [--trials <n>] [--workers <n>]");
     eprintln!("             [--epoch-cap <k>] [--shard-policy <topology|striped>]");
-    eprintln!("             [--seed <n>] [--shrink] [--corpus <dir>]");
+    eprintln!("             [--seed <n>] [--shrink] [--corpus <dir>] [--blocks <n>]");
     eprintln!("             [--emit=ast,typed,ir,balanced,machine] [--pass-stats]");
     eprintln!("  spec: comma-separated key=value, e.g. seed=42,drop_ack=0.001,\\");
     eprintln!("        delay_result=0.05:4,freeze=7@100..200,link=1.3@50..60");

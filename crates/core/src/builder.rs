@@ -27,7 +27,7 @@ use valpipe_val::fold::{eval_static, is_static_in, Bindings};
 
 /// A named array stream available to consumers: the producing cell plus
 /// its manifest index range (streams are always contiguous in `i`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Provider {
     /// The cell whose output carries the array's elements in index order.
     pub node: NodeId,
@@ -92,6 +92,19 @@ impl Compiler {
     pub fn label(&mut self, prefix: &str) -> String {
         self.label_seq += 1;
         format!("{prefix}.{}", self.label_seq)
+    }
+
+    /// Current value of the unique-label counter. Part of the lowering
+    /// state an incremental compiler must key and restore: labels embed
+    /// the counter, so replaying a cached block region only reproduces
+    /// the cold compile bit-for-bit if the counter advances identically.
+    pub fn label_seq(&self) -> u32 {
+        self.label_seq
+    }
+
+    /// Restore the unique-label counter (incremental replay only).
+    pub(crate) fn set_label_seq(&mut self, v: u32) {
+        self.label_seq = v;
     }
 
     /// A fresh control-stream generator cell.

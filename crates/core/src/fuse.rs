@@ -160,7 +160,15 @@ pub fn sweep_dead(g: &mut Graph) -> usize {
         stack.extend(preds[k].iter().copied());
     }
     let removed = keep.iter().filter(|&&k| !k).count();
-    if removed == 0 {
+    // Orphaned arc records (left by `detach_arc` when the bypassed gate
+    // survives for other consumers — reconvergent fanout) must also force
+    // a rebuild: cycle analyses count in-degrees over the arc table, so a
+    // stale record makes the fused gate look forever-blocked and the
+    // validator reports a phantom deadlock. Every live arc is registered
+    // in exactly one `outputs` list, so the difference counts orphans.
+    let registered: usize = g.nodes.iter().map(|n| n.outputs.len()).sum();
+    let orphaned = g.arcs.len() - registered;
+    if removed == 0 && orphaned == 0 {
         return 0;
     }
     // Rebuild.
@@ -267,6 +275,41 @@ mod tests {
             .reals("y");
         assert_eq!(before, after);
         assert_eq!(before, vec![1.0, 3.0, 6.0, 8.0, 11.0, 13.0]);
+    }
+
+    #[test]
+    fn reconvergent_fanout_leaves_no_orphaned_arcs() {
+        // The outer gate fans out to a second consumer (reconvergent
+        // fanout), so it survives the bypass. The detached outer→inner
+        // arc must not linger as a stale record: cycle analyses count
+        // in-degrees over the arc table, and a stale record makes the
+        // fused gate look forever-blocked (phantom UnseededCycle).
+        let mut g = Graph::new();
+        let src = g.add_node(Opcode::Source("a".into()), "a");
+        let c1 = g.add_node(Opcode::CtlGen(CtlStream::window(4, 0, 3)), "c1");
+        let g1 = g.cell(Opcode::TGate, "outer", &[c1.into(), src.into()]);
+        let c2 = g.add_node(
+            Opcode::CtlGen(CtlStream::from_runs([(false, 2), (true, 2)])),
+            "c2",
+        );
+        let g2 = g.cell(Opcode::TGate, "inner", &[c2.into(), In::Node(g1)]);
+        let add = g.cell(
+            Opcode::Bin(valpipe_ir::BinOp::Add),
+            "add",
+            &[In::Node(g1), In::Node(g2)],
+        );
+        let _ = g.cell(Opcode::Sink("y".into()), "y", &[add.into()]);
+        let stats = fuse_static_gates(&mut g);
+        assert_eq!(stats.fused, 1);
+        sweep_dead(&mut g);
+        // Every arc record is registered at its source again.
+        let registered: usize = g.nodes.iter().map(|n| n.outputs.len()).sum();
+        assert_eq!(registered, g.arcs.len(), "orphaned arc records remain");
+        assert!(
+            g.forward_topo_order().is_some(),
+            "phantom cycle from stale arc record"
+        );
+        assert!(valpipe_ir::validate::validate(&g).is_empty());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod options;
 pub mod pipeline;
 pub mod predict;
 pub mod program;
+pub mod query;
 pub mod synth;
 #[cfg(test)]
 mod tests;
@@ -70,3 +71,4 @@ pub use program::{
     compile_program, compile_program_mapped, compile_source, compile_source_limited,
     compile_source_named, CompileStats, Compiled,
 };
+pub use query::{QueryEngine, QueryStats};

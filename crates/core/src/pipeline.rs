@@ -211,30 +211,13 @@ impl<'o> PassManager<'o> {
     }
 
     /// Compile source text through the full pipeline.
+    ///
+    /// Delegates to a fresh [`crate::query::QueryEngine`] (all memo
+    /// tables empty), which performs exactly the cold staged compile.
+    /// Callers that compile repeatedly should hold an engine themselves
+    /// and reuse it across runs to get incremental recompilation.
     pub fn run_source(&self, src: &str, file: &str) -> Result<PipelineOutput, CompileError> {
-        if src.len() > self.limits.max_source_bytes {
-            return Err(LimitBreach::SourceBytes {
-                got: src.len(),
-                limit: self.limits.max_source_bytes,
-            }
-            .into());
-        }
-        let (prog, map) = valpipe_val::parser::parse_program_mapped_limited(
-            src,
-            file,
-            self.limits.max_nesting_depth,
-        )
-        .map_err(|e| match e.kind {
-            valpipe_val::parser::ParseErrorKind::DepthLimit => LimitBreach::NestingDepth {
-                limit: self
-                    .limits
-                    .max_nesting_depth
-                    .min(valpipe_val::parser::DEFAULT_MAX_NESTING_DEPTH),
-            }
-            .into(),
-            valpipe_val::parser::ParseErrorKind::Syntax => CompileError::Parse(e),
-        })?;
-        self.run(&prog, &map)
+        crate::query::QueryEngine::new().run_source(self.opts, &self.limits, &self.emit, src, file)
     }
 
     /// Run every pass over `prog`, whose statement spans live in `map`.
@@ -449,32 +432,7 @@ impl<'o> PassManager<'o> {
         flow: &FlowGraph,
         src_ids: &HashMap<StmtKey, u32>,
     ) -> Result<(), CompileError> {
-        // Input sources, anchored at −2·lo (the machine feeds every input
-        // from absolute time 0; element i cannot arrive before 2·(i − lo)).
-        for (name, (lo, hi)) in &flow.inputs {
-            c.g.set_provenance(
-                src_ids
-                    .get(&StmtKey::Input(name.clone()))
-                    .copied()
-                    .unwrap_or(0),
-            );
-            let src = c.g.add_node(Opcode::Source(name.clone()), name.clone());
-            c.anchors.push((src, -2 * lo));
-            let node = if self.opts.am_boundary {
-                let l = c.label(&format!("{name}.amr"));
-                c.g.cell(Opcode::AmRead, l, &[src.into()])
-            } else {
-                src
-            };
-            c.providers.insert(
-                name.clone(),
-                Provider {
-                    node,
-                    lo: *lo,
-                    hi: *hi,
-                },
-            );
-        }
+        lower_inputs(c, self.opts, flow, src_ids);
 
         // Dead-block elimination: only blocks that (transitively) reach a
         // declared output are compiled.
@@ -485,64 +443,125 @@ impl<'o> PassManager<'o> {
                 stats.dead_blocks.push(block.name.clone());
                 continue;
             }
-            let decl = prog
-                .block(&block.name)
-                .ok_or_else(|| CompileError::Internal(format!("missing block '{}'", block.name)))?;
-            let bp = block_prov(prog, &block.name, src_ids);
-            match (&block.class, &decl.body) {
-                (BlockClass::Forall { lo, hi }, BlockBody::Forall(f)) => {
-                    compile_forall(c, &block.name, f, *lo, *hi, &bp)?;
-                }
-                (BlockClass::ForIter(pfi), _) => {
-                    let (_, used) = compile_foriter(c, &block.name, pfi, self.opts.scheme, &bp)?;
-                    stats.schemes.insert(block.name.clone(), used);
-                }
-                _ => {
-                    return Err(CompileError::Internal(format!(
-                        "classification mismatch for block '{}'",
-                        block.name
-                    )))
-                }
+            if let Some(used) = lower_block(c, self.opts, prog, block, src_ids)? {
+                stats.schemes.insert(block.name.clone(), used);
             }
         }
 
-        // Output sinks.
-        c.g.set_provenance(src_ids.get(&StmtKey::Output).copied().unwrap_or(0));
-        for name in &prog.outputs {
-            let p = *c.providers.get(name).ok_or_else(|| {
-                CompileError::Internal(format!("no provider for output '{name}'"))
-            })?;
-            let node = if self.opts.am_boundary {
-                let l = c.label(&format!("{name}.amw"));
-                c.g.cell(Opcode::AmWrite, l, &[p.node.into()])
-            } else {
-                p.node
-            };
-            let l = c.label(&format!("{name}.out"));
-            c.g.cell(Opcode::Sink(name.clone()), l, &[node.into()]);
-        }
-
-        // Any compiled block whose stream ends up unconsumed (kept dead
-        // blocks) still needs a consumer to be structurally valid.
-        for id in c.g.node_ids().collect::<Vec<_>>() {
-            if c.g.nodes[id.idx()].op.produces_output() && c.g.nodes[id.idx()].outputs.is_empty() {
-                // The drain sink belongs to whatever statement produced
-                // the unconsumed stream.
-                c.g.set_provenance(c.g.nodes[id.idx()].src);
-                let label = format!("__drain.{}", id.idx());
-                let sink = c.g.add_node(Opcode::Sink(label.clone()), label);
-                c.g.connect(id, sink, 0);
-            }
-        }
-        c.g.set_provenance(0);
-        Ok(())
+        lower_epilogue(c, self.opts, prog, src_ids)
     }
+}
+
+/// Lower the program's input declarations: one anchored `Source` cell per
+/// input (element `i` of an array over `[lo, hi]` cannot arrive before
+/// `2·(i − lo)` instruction times, hence the `−2·lo` anchor), optionally
+/// routed through an array-memory read cell.
+pub(crate) fn lower_inputs(
+    c: &mut Compiler,
+    opts: &CompileOptions,
+    flow: &FlowGraph,
+    src_ids: &HashMap<StmtKey, u32>,
+) {
+    for (name, (lo, hi)) in &flow.inputs {
+        c.g.set_provenance(
+            src_ids
+                .get(&StmtKey::Input(name.clone()))
+                .copied()
+                .unwrap_or(0),
+        );
+        let src = c.g.add_node(Opcode::Source(name.clone()), name.clone());
+        c.anchors.push((src, -2 * lo));
+        let node = if opts.am_boundary {
+            let l = c.label(&format!("{name}.amr"));
+            c.g.cell(Opcode::AmRead, l, &[src.into()])
+        } else {
+            src
+        };
+        c.providers.insert(
+            name.clone(),
+            Provider {
+                node,
+                lo: *lo,
+                hi: *hi,
+            },
+        );
+    }
+}
+
+/// Lower one block to its circuit (Theorems 1–3). Returns the recurrence
+/// scheme used when the block is a for-iter.
+pub(crate) fn lower_block(
+    c: &mut Compiler,
+    opts: &CompileOptions,
+    prog: &Program,
+    block: &valpipe_val::deps::BlockNode,
+    src_ids: &HashMap<StmtKey, u32>,
+) -> Result<Option<crate::foriter::UsedScheme>, CompileError> {
+    let decl = prog
+        .block(&block.name)
+        .ok_or_else(|| CompileError::Internal(format!("missing block '{}'", block.name)))?;
+    let bp = block_prov(prog, &block.name, src_ids);
+    match (&block.class, &decl.body) {
+        (BlockClass::Forall { lo, hi }, BlockBody::Forall(f)) => {
+            compile_forall(c, &block.name, f, *lo, *hi, &bp)?;
+            Ok(None)
+        }
+        (BlockClass::ForIter(pfi), _) => {
+            let (_, used) = compile_foriter(c, &block.name, pfi, opts.scheme, &bp)?;
+            Ok(Some(used))
+        }
+        _ => Err(CompileError::Internal(format!(
+            "classification mismatch for block '{}'",
+            block.name
+        ))),
+    }
+}
+
+/// Lower the program epilogue: output sinks (optionally through
+/// array-memory write cells) and structural drain sinks for any stream
+/// left unconsumed (kept dead blocks).
+pub(crate) fn lower_epilogue(
+    c: &mut Compiler,
+    opts: &CompileOptions,
+    prog: &Program,
+    src_ids: &HashMap<StmtKey, u32>,
+) -> Result<(), CompileError> {
+    c.g.set_provenance(src_ids.get(&StmtKey::Output).copied().unwrap_or(0));
+    for name in &prog.outputs {
+        let p = *c
+            .providers
+            .get(name)
+            .ok_or_else(|| CompileError::Internal(format!("no provider for output '{name}'")))?;
+        let node = if opts.am_boundary {
+            let l = c.label(&format!("{name}.amw"));
+            c.g.cell(Opcode::AmWrite, l, &[p.node.into()])
+        } else {
+            p.node
+        };
+        let l = c.label(&format!("{name}.out"));
+        c.g.cell(Opcode::Sink(name.clone()), l, &[node.into()]);
+    }
+
+    // Any compiled block whose stream ends up unconsumed (kept dead
+    // blocks) still needs a consumer to be structurally valid.
+    for id in c.g.node_ids().collect::<Vec<_>>() {
+        if c.g.nodes[id.idx()].op.produces_output() && c.g.nodes[id.idx()].outputs.is_empty() {
+            // The drain sink belongs to whatever statement produced
+            // the unconsumed stream.
+            c.g.set_provenance(c.g.nodes[id.idx()].src);
+            let label = format!("__drain.{}", id.idx());
+            let sink = c.g.add_node(Opcode::Sink(label.clone()), label);
+            c.g.connect(id, sink, 0);
+        }
+    }
+    c.g.set_provenance(0);
+    Ok(())
 }
 
 /// Build the provenance table for a program from its statement source
 /// map, in deterministic program order. Statements absent from the map
 /// fall back to provenance id 0 (the whole-program entry).
-fn build_prov(prog: &Program, map: &SourceMap) -> (Provenance, HashMap<StmtKey, u32>) {
+pub(crate) fn build_prov(prog: &Program, map: &SourceMap) -> (Provenance, HashMap<StmtKey, u32>) {
     let mut prov = Provenance::new(&map.file);
     let mut ids = HashMap::new();
     let put =
@@ -620,7 +639,7 @@ fn build_prov(prog: &Program, map: &SourceMap) -> (Provenance, HashMap<StmtKey, 
 }
 
 /// Per-block provenance ids for [`compile_forall`]/[`compile_foriter`].
-fn block_prov(prog: &Program, name: &str, ids: &HashMap<StmtKey, u32>) -> BlockProv {
+pub(crate) fn block_prov(prog: &Program, name: &str, ids: &HashMap<StmtKey, u32>) -> BlockProv {
     let mut bp = BlockProv {
         header: ids
             .get(&StmtKey::BlockHeader(name.to_string()))
@@ -656,7 +675,7 @@ fn block_prov(prog: &Program, name: &str, ids: &HashMap<StmtKey, u32>) -> BlockP
     bp
 }
 
-fn live_blocks(flow: &FlowGraph, outputs: &[String]) -> HashSet<String> {
+pub(crate) fn live_blocks(flow: &FlowGraph, outputs: &[String]) -> HashSet<String> {
     // Walk producer edges backwards from the outputs.
     let mut preds: HashMap<&str, Vec<&str>> = HashMap::new();
     for (prod, cons) in &flow.edges {

@@ -17,11 +17,13 @@
 //!   accumulator at `i−1` (its freshly appended prefix).
 //!
 //! A rejection of a generated program is therefore always compiler
-//! behavior worth eyes, not generator noise. One known class exists:
-//! reconvergent fanout through gated conditionals can produce a
-//! token-free gating cycle the compiler rejects with a typed error (see
-//! [`Pos`] and `tests/corpus/known-limit-*.val`); campaigns count these
-//! rejections separately from real findings.
+//! behavior worth eyes, not generator noise. The generator places
+//! conditionals at any expression position — operands, branches, and
+//! condition operands alike. (Reconvergent fanout through gated
+//! conditionals once tripped a phantom deadlock in the gate-fusion pass
+//! and forced a placement restriction here; the fix is anchored by
+//! `tests/corpus/fixed-*.val`, and campaigns still count typed
+//! rejections separately so any regression is visible immediately.)
 
 use valpipe_core::CompileOptions;
 use valpipe_core::ForIterScheme;
@@ -122,116 +124,55 @@ fn leaf(r: &mut Rng, priors: &[String]) -> Expr {
     }
 }
 
-/// If-free arithmetic expression, for *condition operands*. A dynamic
-/// condition whose operand contains an input-reading conditional, nested
-/// inside a static-condition branch, compiles to a gating cycle with no
-/// initial token — a known limitation the compiler rejects with a typed
-/// error (anchored by `tests/corpus/`). The generator stays inside the
-/// supported class by keeping conditionals out of condition operands.
-fn arith_expr(r: &mut Rng, depth: usize, priors: &[String]) -> Expr {
-    if depth == 0 || r.chance(0.35) {
-        return leaf(r, priors);
-    }
-    match r.below(6) {
-        0..=3 => {
-            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][r.below(3)];
-            Expr::bin(
-                op,
-                arith_expr(r, depth - 1, priors),
-                arith_expr(r, depth - 1, priors),
-            )
-        }
-        4 => Expr::un(UnOp::Neg, arith_expr(r, depth - 1, priors)),
-        _ => Expr::bin(
-            BinOp::Div,
-            arith_expr(r, depth - 1, priors),
-            Expr::RealLit(r.range_i64(2, 9) as f64),
-        ),
-    }
-}
-
-/// Where a subexpression sits relative to enclosing conditionals.
-///
-/// Reconvergent fanout through a gated (conditional) subgraph can compile
-/// to a gating cycle with no initial token — a known limitation the
-/// compiler detects and rejects with a typed error (anchored by
-/// `tests/corpus/known-limit-*.val`, tracked in ROADMAP). The boundary is
-/// semantic, so the generator cannot avoid it entirely; restricting
-/// conditionals to top level and direct then/else branch positions keeps
-/// the hit rate to ~0.1%, and the campaign counts those typed rejections
-/// separately from real findings.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Pos {
-    /// Not under any conditional.
-    Top,
-    /// Exactly a then/else branch of an enclosing conditional.
-    Branch,
-    /// An arithmetic/let operand somewhere under a conditional.
-    Operand,
-}
-
-impl Pos {
-    /// Position of an arithmetic operand generated at this position.
-    fn operand(self) -> Pos {
-        match self {
-            Pos::Top => Pos::Top,
-            _ => Pos::Operand,
-        }
-    }
-}
-
 /// Numeric primitive expression on `i`, recursion bounded by `depth`.
 /// Weighted like the property-suite generator: arithmetic (4), negation
 /// (1), division by a constant (1), static condition (2), dynamic
-/// condition (2), let sharing (1).
-fn num_expr(r: &mut Rng, depth: usize, m: i64, priors: &[String], pos: Pos) -> Expr {
+/// condition (2), let sharing (1). Conditionals may appear at any
+/// position, including inside the condition operand of another
+/// conditional (the class reopened by the gate-fusion reconvergence fix).
+fn num_expr(r: &mut Rng, depth: usize, m: i64, priors: &[String]) -> Expr {
     if depth == 0 || r.chance(0.25) {
         return leaf(r, priors);
     }
-    // At operand position the conditional cases remap onto arithmetic.
-    let roll = match r.below(11) {
-        c @ 6..=9 if pos == Pos::Operand => c - 6,
-        c => c,
-    };
-    match roll {
+    match r.below(11) {
         0..=3 => {
             let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][r.below(3)];
             Expr::bin(
                 op,
-                num_expr(r, depth - 1, m, priors, pos.operand()),
-                num_expr(r, depth - 1, m, priors, pos.operand()),
+                num_expr(r, depth - 1, m, priors),
+                num_expr(r, depth - 1, m, priors),
             )
         }
-        4 => Expr::un(UnOp::Neg, num_expr(r, depth - 1, m, priors, pos.operand())),
+        4 => Expr::un(UnOp::Neg, num_expr(r, depth - 1, m, priors)),
         5 => Expr::bin(
             BinOp::Div,
-            num_expr(r, depth - 1, m, priors, pos.operand()),
+            num_expr(r, depth - 1, m, priors),
             Expr::RealLit(r.range_i64(2, 9) as f64),
         ),
         6 | 7 => Expr::if_(
             Expr::bin(BinOp::Lt, Expr::var("i"), Expr::IntLit(r.range_i64(1, m))),
-            num_expr(r, depth - 1, m, priors, Pos::Branch),
-            num_expr(r, depth - 1, m, priors, Pos::Branch),
+            num_expr(r, depth - 1, m, priors),
+            num_expr(r, depth - 1, m, priors),
         ),
         8 | 9 => Expr::if_(
             Expr::bin(
                 BinOp::Lt,
-                arith_expr(r, depth - 1, priors),
-                arith_expr(r, depth - 1, priors),
+                num_expr(r, depth - 1, m, priors),
+                num_expr(r, depth - 1, m, priors),
             ),
-            num_expr(r, depth - 1, m, priors, Pos::Branch),
-            num_expr(r, depth - 1, m, priors, Pos::Branch),
+            num_expr(r, depth - 1, m, priors),
+            num_expr(r, depth - 1, m, priors),
         ),
         _ => Expr::Let(
             vec![valpipe_val::ast::Def {
                 name: "p".into(),
                 ty: None,
-                value: num_expr(r, depth - 1, m, priors, pos.operand()),
+                value: num_expr(r, depth - 1, m, priors),
             }],
             Box::new(Expr::bin(
                 BinOp::Add,
                 Expr::bin(BinOp::Mul, Expr::var("p"), Expr::var("p")),
-                num_expr(r, depth - 1, m, priors, pos.operand()),
+                num_expr(r, depth - 1, m, priors),
             )),
         ),
     }
@@ -291,7 +232,7 @@ pub fn generate(seed: u64) -> GenCase {
             ));
         } else {
             let depth = 2 + r.below(3);
-            let body = num_expr(&mut r, depth, m, &priors, Pos::Top);
+            let body = num_expr(&mut r, depth, m, &priors);
             src.push_str(&format!(
                 "{name} : array[real] := forall i in [1, m] construct {} endall;\n",
                 to_src(&body)

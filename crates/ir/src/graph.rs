@@ -46,7 +46,7 @@ pub enum PortBinding {
 }
 
 /// One instruction cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     /// The operation code.
     pub op: Opcode,
@@ -67,7 +67,7 @@ pub struct Node {
 }
 
 /// One destination link.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Edge {
     /// Producing cell.
     pub src: NodeId,

@@ -1,0 +1,233 @@
+//! Graph region deltas: the slice of a [`Graph`] one compilation unit
+//! (one source block) contributed, captured so an incremental compiler
+//! can splice it back verbatim instead of re-lowering the block.
+//!
+//! A delta is positional: it records the node/arc id bases it was
+//! captured at and keeps every cross-reference **absolute**. Splicing is
+//! therefore only legal onto a graph whose prefix is identical to the one
+//! the delta was captured against and whose node/arc counts equal the
+//! recorded bases — exactly the invariant a content-addressed cache key
+//! over (upstream artifacts, bases) establishes. Under that invariant the
+//! splice reproduces the original graph bit for bit.
+//!
+//! Besides its own nodes and arcs, a block's lowering pushes newly
+//! created arc ids into the `outputs` lists of *earlier* nodes (its
+//! external producers). Those side effects are recorded as
+//! [`GraphDelta::ext_sources`] in arc order and replayed on splice.
+
+use crate::graph::{ArcId, Edge, Graph, Node};
+use crate::serialize::{
+    as_arr, as_int, edge_from_json, edge_to_json, node_from_json, node_to_json, want,
+};
+use valpipe_util::Json;
+
+/// The portion of a [`Graph`] appended after a recorded base point, plus
+/// the arc-id pushes made into pre-base nodes' output lists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphDelta {
+    /// Node count of the graph when lowering of the unit began.
+    pub node_base: u32,
+    /// Arc count of the graph when lowering of the unit began.
+    pub arc_base: u32,
+    /// Nodes appended by the unit (absolute ids `node_base..`), with
+    /// provenance (`src`) preserved.
+    pub nodes: Vec<Node>,
+    /// Arcs appended by the unit (absolute ids `arc_base..`).
+    pub arcs: Vec<Edge>,
+    /// `(pre-base node id, new arc id)` pairs: output-list pushes the
+    /// unit made into nodes that existed before it, in push order.
+    pub ext_sources: Vec<(u32, u32)>,
+}
+
+impl GraphDelta {
+    /// Capture everything `g` gained since `(node_base, arc_base)`.
+    ///
+    /// Must be called immediately after the unit finishes lowering —
+    /// before any later unit appends to `g` — so that the appended nodes'
+    /// output lists contain only this unit's arcs.
+    pub fn capture(g: &Graph, node_base: u32, arc_base: u32) -> GraphDelta {
+        let mut ext_sources = Vec::new();
+        for (off, e) in g.arcs[arc_base as usize..].iter().enumerate() {
+            if e.src.0 < node_base {
+                ext_sources.push((e.src.0, arc_base + off as u32));
+            }
+        }
+        GraphDelta {
+            node_base,
+            arc_base,
+            nodes: g.nodes[node_base as usize..].to_vec(),
+            arcs: g.arcs[arc_base as usize..].to_vec(),
+            ext_sources,
+        }
+    }
+
+    /// Splice the delta onto `g`. Fails (without touching `g`) unless
+    /// `g`'s node/arc counts equal the recorded bases and every external
+    /// source node exists; under the cache-key invariant this reproduces
+    /// the graph the delta was captured from exactly.
+    pub fn splice(&self, g: &mut Graph) -> Result<(), String> {
+        if g.nodes.len() != self.node_base as usize || g.arcs.len() != self.arc_base as usize {
+            return Err(format!(
+                "region splice at ({}, {}) onto graph with ({}, {}) nodes/arcs",
+                self.node_base,
+                self.arc_base,
+                g.nodes.len(),
+                g.arcs.len()
+            ));
+        }
+        if let Some((n, _)) = self.ext_sources.iter().find(|(n, _)| *n >= self.node_base) {
+            return Err(format!("region external source {n} is not pre-base"));
+        }
+        g.nodes.extend(self.nodes.iter().cloned());
+        g.arcs.extend(self.arcs.iter().cloned());
+        for &(n, a) in &self.ext_sources {
+            g.nodes[n as usize].outputs.push(ArcId(a));
+        }
+        Ok(())
+    }
+
+    /// JSON encoding for the on-disk incremental cache. Unlike the
+    /// snapshot graph codec, nodes keep their provenance (`src`) — the
+    /// whole point of a cached region is replaying compiler-side state.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("node_base", Json::Int(self.node_base as i64)),
+            ("arc_base", Json::Int(self.arc_base as i64)),
+            (
+                "nodes",
+                Json::Arr(
+                    self.nodes
+                        .iter()
+                        .map(|n| match node_to_json(n) {
+                            Json::Obj(mut m) => {
+                                m.push(("src".into(), Json::Int(n.src as i64)));
+                                Json::Obj(m)
+                            }
+                            other => other,
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "arcs",
+                Json::Arr(self.arcs.iter().map(edge_to_json).collect()),
+            ),
+            (
+                "ext",
+                Json::Arr(
+                    self.ext_sources
+                        .iter()
+                        .flat_map(|&(n, a)| [Json::Int(n as i64), Json::Int(a as i64)])
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decode a delta previously produced by [`GraphDelta::to_json`].
+    pub fn from_json(j: &Json) -> Result<GraphDelta, String> {
+        let nodes = as_arr(want(j, "nodes", "region")?, "region.nodes")?
+            .iter()
+            .map(|nj| {
+                let mut n = node_from_json(nj)?;
+                n.src = as_int(want(nj, "src", "region node")?, "region node.src")? as u32;
+                Ok::<Node, String>(n)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let arcs = as_arr(want(j, "arcs", "region")?, "region.arcs")?
+            .iter()
+            .map(edge_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let ext = as_arr(want(j, "ext", "region")?, "region.ext")?;
+        if ext.len() % 2 != 0 {
+            return Err("region.ext: odd pair list".into());
+        }
+        let ext_sources = ext
+            .chunks(2)
+            .map(|c| {
+                Ok::<(u32, u32), String>((
+                    as_int(&c[0], "region.ext")? as u32,
+                    as_int(&c[1], "region.ext")? as u32,
+                ))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(GraphDelta {
+            node_base: as_int(want(j, "node_base", "region")?, "region.node_base")? as u32,
+            arc_base: as_int(want(j, "arc_base", "region")?, "region.arc_base")? as u32,
+            nodes,
+            arcs,
+            ext_sources,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opcode::Opcode;
+    use crate::value::{BinOp, Value};
+
+    /// Two-stage graph: a "prefix" source node, then a "unit" that adds
+    /// two cells and wires one of them from the prefix node.
+    fn build() -> (Graph, u32, u32) {
+        let mut g = Graph::new();
+        let s = g.add_node(Opcode::Source("in".into()), "in");
+        let node_base = g.nodes.len() as u32;
+        let arc_base = g.arcs.len() as u32;
+        g.set_provenance(7);
+        let a = g.add_node(Opcode::Id, "unit.a");
+        let b = g.add_node(Opcode::Bin(BinOp::Add), "unit.b");
+        g.connect(s, a, 0);
+        g.connect(a, b, 0);
+        g.set_lit(b, 1, Value::Int(1));
+        g.set_provenance(0);
+        (g, node_base, arc_base)
+    }
+
+    #[test]
+    fn capture_then_splice_reproduces_the_graph() {
+        let (g, nb, ab) = build();
+        let delta = GraphDelta::capture(&g, nb, ab);
+        assert_eq!(delta.nodes.len(), 2);
+        assert_eq!(delta.ext_sources.len(), 1);
+        assert_eq!(delta.nodes[0].src, 7, "provenance travels with the delta");
+
+        // Rebuild only the prefix, splice, compare everything.
+        let mut h = Graph::new();
+        h.add_node(Opcode::Source("in".into()), "in");
+        delta.splice(&mut h).unwrap();
+        assert_eq!(h.nodes, g.nodes);
+        assert_eq!(h.arcs, g.arcs);
+    }
+
+    #[test]
+    fn splice_rejects_wrong_bases() {
+        let (g, nb, ab) = build();
+        let delta = GraphDelta::capture(&g, nb, ab);
+        let mut h = Graph::new(); // empty: bases don't match
+        assert!(delta.splice(&mut h).is_err());
+        assert!(h.nodes.is_empty(), "failed splice must not mutate");
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let (g, nb, ab) = build();
+        let delta = GraphDelta::capture(&g, nb, ab);
+        let j = delta.to_json();
+        let text = j.to_string();
+        let back = GraphDelta::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, delta);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_payloads() {
+        for bad in [
+            "{}",
+            r#"{"node_base":1,"arc_base":0,"nodes":[],"arcs":[],"ext":[1]}"#,
+            r#"{"node_base":1,"arc_base":0,"nodes":[{"op":"bogus"}],"arcs":[],"ext":[]}"#,
+        ] {
+            let j = Json::parse(bad).unwrap();
+            assert!(GraphDelta::from_json(&j).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -15,6 +15,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use valpipe_core::QueryEngine;
 use valpipe_util::{Json, Rng};
 
 use crate::hibernate;
@@ -58,6 +59,10 @@ pub struct Registry {
     /// Counters for the `stats` op and the CI gate.
     pub stats: RegistryStats,
     slots: Mutex<HashMap<String, Arc<Slot>>>,
+    /// Shared incremental compile cache: sessions submitting overlapping
+    /// programs recompile only the blocks that differ. Held only while a
+    /// fresh session compiles; never while a slot lock is held.
+    compile_cache: Mutex<QueryEngine>,
 }
 
 impl Registry {
@@ -71,6 +76,7 @@ impl Registry {
             rng: Mutex::new(Rng::seed(seed ^ 0x005e_5510_4e61)),
             stats: RegistryStats::default(),
             slots: Mutex::new(HashMap::new()),
+            compile_cache: Mutex::new(QueryEngine::new()),
         }
     }
 
@@ -153,9 +159,14 @@ impl Registry {
                 ]))
             });
         }
-        // Fresh name: compile outside any lock (compiles can be slow),
-        // then race to insert; losing the race re-checks identity.
-        let core = SessionCore::open(spec.clone())?;
+        // Fresh name: compile outside any slot lock (compiles can be
+        // slow), then race to insert; losing the race re-checks identity.
+        // The shared engine serializes compiles but answers unchanged
+        // blocks from its memo, bit-identically to a cold compile.
+        let core = {
+            let mut engine = self.compile_cache.lock().unwrap();
+            SessionCore::open_with_engine(spec.clone(), &mut engine)?
+        };
         let now = core.now();
         let slot = Arc::new(Slot {
             name: name.clone(),

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use valpipe_core::verify::stream_inputs;
-use valpipe_core::{compile_source_limited, CompileError, CompileLimits, CompileOptions, Compiled};
+use valpipe_core::{CompileError, CompileLimits, CompileOptions, Compiled, QueryEngine};
 use valpipe_ir::graph::Graph;
 use valpipe_machine::{
     render_error, ExecMode, Kernel, RunOutcome, RunSpec, Session, SimConfig, Simulator, Snapshot,
@@ -202,6 +202,18 @@ impl SessionCore {
     /// Compile and stage a new session at instruction time 0. Compile
     /// errors and input-binding errors are permanent failures.
     pub fn open(spec: SessionSpec) -> Result<SessionCore, ErrorBody> {
+        Self::open_with_engine(spec, &mut QueryEngine::new())
+    }
+
+    /// [`SessionCore::open`] through a caller-held [`QueryEngine`]: the
+    /// registry shares one engine across sessions, so tenants submitting
+    /// overlapping programs (re-opens after eviction, fleets of
+    /// near-identical jobs) recompile only the blocks that differ. The
+    /// compiled artifact is bit-identical to a cold compile.
+    pub fn open_with_engine(
+        spec: SessionSpec,
+        engine: &mut QueryEngine,
+    ) -> Result<SessionCore, ErrorBody> {
         if !valid_session_name(&spec.name) {
             return Err(bad_request(format!(
                 "invalid session name '{}': need 1-64 chars of [A-Za-z0-9_-]",
@@ -214,16 +226,19 @@ impl SessionCore {
         // Untrusted wire source compiles under the service resource
         // profile: limit breaches are a distinct, non-retryable kind so
         // clients can tell "your program is too big" from "doesn't compile".
-        let compiled = compile_source_limited(
-            &spec.source,
-            "<session>",
-            &CompileOptions::default(),
-            &CompileLimits::service(),
-        )
-        .map_err(|e| match e {
-            CompileError::Limit(b) => ErrorBody::new(ErrorKind::ResourceLimit, b.to_string()),
-            other => ErrorBody::new(ErrorKind::CompileError, other.to_string()),
-        })?;
+        let compiled = engine
+            .run_source(
+                &CompileOptions::default(),
+                &CompileLimits::service(),
+                &[],
+                &spec.source,
+                "<session>",
+            )
+            .map(|o| o.compiled)
+            .map_err(|e| match e {
+                CompileError::Limit(b) => ErrorBody::new(ErrorKind::ResourceLimit, b.to_string()),
+                other => ErrorBody::new(ErrorKind::CompileError, other.to_string()),
+            })?;
         let arrays = bind_arrays(&compiled, &spec.arrays)?;
         let exe = compiled.executable();
         let inputs = stream_inputs(&compiled, &arrays, spec.waves);

@@ -37,7 +37,11 @@ pub use interp::{ArrayVal, InterpError};
 pub use linear::{companion_g, companion_tree, extract_linear, recurrence_f, LinearForm};
 pub use parser::{
     parse_block_body, parse_expr, parse_program, parse_program_mapped,
-    parse_program_mapped_limited, ParseError, ParseErrorKind, DEFAULT_MAX_NESTING_DEPTH,
+    parse_program_mapped_limited, parse_stmt_mapped, split_statements, ParseError, ParseErrorKind,
+    SplitStmt, StmtId, TopStmt, DEFAULT_MAX_NESTING_DEPTH,
 };
 pub use srcmap::{SourceMap, StmtKey};
-pub use typeck::{check_program, check_program_mapped, TypeError};
+pub use typeck::{
+    attach_loc, check_block, check_program, check_program_mapped, program_prelude_env, TypeEnv,
+    TypeError,
+};

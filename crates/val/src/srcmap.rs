@@ -81,6 +81,11 @@ impl SourceMap {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// All recorded statements (unordered).
+    pub fn entries(&self) -> impl Iterator<Item = (&StmtKey, &Span)> {
+        self.entries.iter()
+    }
 }
 
 #[cfg(test)]

@@ -10,11 +10,9 @@
 //! booleans.
 
 use crate::ast::*;
-use crate::fold::Bindings;
 use crate::srcmap::{SourceMap, StmtKey};
 use std::collections::HashMap;
 use std::fmt;
-use valpipe_ir::value::Value;
 
 /// Type error with context.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +79,23 @@ impl TypeEnv {
     /// Look up a name.
     pub fn get(&self, name: &str) -> Option<&Type> {
         self.vars.get(name)
+    }
+
+    /// Deterministic rendering of the whole environment — bindings sorted
+    /// by name — for content fingerprinting. Two environments with equal
+    /// canonical forms type any expression identically, so this is a
+    /// sound cache key for per-block checking.
+    pub fn canonical(&self) -> String {
+        let mut items: Vec<_> = self.vars.iter().collect();
+        items.sort_by(|a, b| a.0.cmp(b.0));
+        let mut out = String::new();
+        for (name, ty) in items {
+            out.push_str(name);
+            out.push(':');
+            out.push_str(&ty.to_string());
+            out.push(';');
+        }
+        out
     }
 }
 
@@ -333,110 +348,128 @@ fn contains_iter(e: &Expr) -> bool {
     found
 }
 
-/// Type-check a whole program. Returns the rewritten program (with `~`
-/// disambiguated and every definition annotated).
-pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
+/// Build the typing environment a program's blocks are checked under:
+/// every `param` bound at `integer`, every `input` at its array type.
+/// Rejects inputs with non-scalar elements. Block bindings are added by
+/// the caller as blocks are checked in declaration order.
+pub fn program_prelude_env(prog: &Program) -> Result<TypeEnv, TypeError> {
     let mut env = TypeEnv::new();
-    let mut params = Bindings::new();
-    for (name, v) in &prog.params {
+    for (name, _) in &prog.params {
         env.bind(name, Type::Int);
-        params.insert(name.clone(), Value::Int(*v));
     }
-    let mut out = prog.clone();
     for input in &prog.inputs {
         if !input.elem_ty.is_scalar() {
             return err(format!("input '{}' must have scalar elements", input.name));
         }
         env.bind(&input.name, Type::Array(Box::new(input.elem_ty.clone())));
     }
-    for (bi, block) in prog.blocks.iter().enumerate() {
-        let in_block = |mut e: TypeError| {
-            e.block = Some(block.name.clone());
-            e
-        };
-        let Some(elem) = block.ty.elem().cloned() else {
-            return Err(in_block(terr(format!(
-                "block type {} is not an array type",
-                block.ty
-            ))));
-        };
-        match &block.body {
-            BlockBody::Forall(f) => {
-                let mut inner = env.clone();
-                inner.bind(&f.index_var, Type::Int);
-                let mut new_defs = Vec::new();
-                for d in &f.defs {
-                    let in_def = |mut e: TypeError| {
-                        e.def = Some(d.name.clone());
-                        in_block(e)
-                    };
-                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_def)?;
-                    if let Some(declared) = &d.ty {
-                        let ok = declared == &tv || (declared == &Type::Real && tv == Type::Int);
-                        if !ok {
-                            return Err(in_def(terr(format!(
-                                "declared {declared} but has type {tv}"
-                            ))));
-                        }
+    Ok(env)
+}
+
+/// Type-check one block against an environment holding everything
+/// declared before it. Returns the rewritten block (with `~`
+/// disambiguated and every definition annotated); errors carry the
+/// block/def context but no source location — callers attach one via
+/// [`attach_loc`] when they hold a [`SourceMap`].
+///
+/// The result depends only on `block` and the bindings in `env`, which is
+/// what lets the incremental engine cache it keyed by the pair's content.
+pub fn check_block(block: &BlockDecl, env: &TypeEnv) -> Result<BlockDecl, TypeError> {
+    let in_block = |mut e: TypeError| {
+        e.block = Some(block.name.clone());
+        e
+    };
+    let Some(elem) = block.ty.elem().cloned() else {
+        return Err(in_block(terr(format!(
+            "block type {} is not an array type",
+            block.ty
+        ))));
+    };
+    let body = match &block.body {
+        BlockBody::Forall(f) => {
+            let mut inner = env.clone();
+            inner.bind(&f.index_var, Type::Int);
+            let mut new_defs = Vec::new();
+            for d in &f.defs {
+                let in_def = |mut e: TypeError| {
+                    e.def = Some(d.name.clone());
+                    in_block(e)
+                };
+                let (tv, ev) = check_expr(&d.value, &inner).map_err(in_def)?;
+                if let Some(declared) = &d.ty {
+                    let ok = declared == &tv || (declared == &Type::Real && tv == Type::Int);
+                    if !ok {
+                        return Err(in_def(terr(format!(
+                            "declared {declared} but has type {tv}"
+                        ))));
                     }
-                    let bty = d.ty.clone().unwrap_or(tv);
-                    inner.bind(&d.name, bty.clone());
-                    new_defs.push(Def {
-                        name: d.name.clone(),
-                        ty: Some(bty),
-                        value: ev,
-                    });
                 }
-                let (tb, eb) = check_expr(&f.body, &inner).map_err(in_block)?;
-                if tb != elem && !(elem == Type::Real && tb == Type::Int) {
-                    return Err(in_block(terr(format!(
-                        "accumulation has type {tb}, block declares {elem}"
-                    ))));
-                }
-                let BlockBody::Forall(fo) = &mut out.blocks[bi].body else {
-                    return Err(in_block(terr(
-                        "internal: block body changed shape during checking",
-                    )));
-                };
-                fo.defs = new_defs;
-                fo.body = eb;
+                let bty = d.ty.clone().unwrap_or(tv);
+                inner.bind(&d.name, bty.clone());
+                new_defs.push(Def {
+                    name: d.name.clone(),
+                    ty: Some(bty),
+                    value: ev,
+                });
             }
-            BlockBody::ForIter(fi) => {
-                let mut inner = env.clone();
-                let mut loop_vars = HashMap::new();
-                let mut new_inits = Vec::new();
-                for d in &fi.inits {
-                    let in_def = |mut e: TypeError| {
-                        e.def = Some(d.name.clone());
-                        in_block(e)
-                    };
-                    let (tv, ev) = check_expr(&d.value, &inner).map_err(in_def)?;
-                    let bty = d.ty.clone().unwrap_or(tv);
-                    inner.bind(&d.name, bty.clone());
-                    loop_vars.insert(d.name.clone(), bty.clone());
-                    new_inits.push(Def {
-                        name: d.name.clone(),
-                        ty: Some(bty),
-                        value: ev,
-                    });
-                }
-                let (tb, eb) =
-                    check_foriter_body(&fi.body, &inner, &loop_vars).map_err(in_block)?;
-                if tb != block.ty {
-                    return Err(in_block(terr(format!(
-                        "loop result has type {tb}, block declares {}",
-                        block.ty
-                    ))));
-                }
-                let BlockBody::ForIter(fo) = &mut out.blocks[bi].body else {
-                    return Err(in_block(terr(
-                        "internal: block body changed shape during checking",
-                    )));
-                };
-                fo.inits = new_inits;
-                fo.body = eb;
+            let (tb, eb) = check_expr(&f.body, &inner).map_err(in_block)?;
+            if tb != elem && !(elem == Type::Real && tb == Type::Int) {
+                return Err(in_block(terr(format!(
+                    "accumulation has type {tb}, block declares {elem}"
+                ))));
             }
+            BlockBody::Forall(Forall {
+                defs: new_defs,
+                body: eb,
+                ..f.clone()
+            })
         }
+        BlockBody::ForIter(fi) => {
+            let mut inner = env.clone();
+            let mut loop_vars = HashMap::new();
+            let mut new_inits = Vec::new();
+            for d in &fi.inits {
+                let in_def = |mut e: TypeError| {
+                    e.def = Some(d.name.clone());
+                    in_block(e)
+                };
+                let (tv, ev) = check_expr(&d.value, &inner).map_err(in_def)?;
+                let bty = d.ty.clone().unwrap_or(tv);
+                inner.bind(&d.name, bty.clone());
+                loop_vars.insert(d.name.clone(), bty.clone());
+                new_inits.push(Def {
+                    name: d.name.clone(),
+                    ty: Some(bty),
+                    value: ev,
+                });
+            }
+            let (tb, eb) = check_foriter_body(&fi.body, &inner, &loop_vars).map_err(in_block)?;
+            if tb != block.ty {
+                return Err(in_block(terr(format!(
+                    "loop result has type {tb}, block declares {}",
+                    block.ty
+                ))));
+            }
+            BlockBody::ForIter(ForIter {
+                inits: new_inits,
+                body: eb,
+            })
+        }
+    };
+    Ok(BlockDecl {
+        name: block.name.clone(),
+        ty: block.ty.clone(),
+        body,
+    })
+}
+
+/// Type-check a whole program. Returns the rewritten program (with `~`
+/// disambiguated and every definition annotated).
+pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
+    let mut env = program_prelude_env(prog)?;
+    let mut out = prog.clone();
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        out.blocks[bi] = check_block(block, &env)?;
         env.bind(&block.name, block.ty.clone());
     }
     for o in &prog.outputs {
@@ -447,25 +480,32 @@ pub fn check_program(prog: &Program) -> Result<Program, TypeError> {
     Ok(out)
 }
 
+/// Resolve a [`TypeError`]'s source location (`file:line:col`) through
+/// the statement [`SourceMap`] produced by `parse_program_mapped` or
+/// `program_to_source_mapped`. Shared by the whole-program checker and
+/// the incremental engine, which attaches locations to *cached* errors at
+/// use time (locations depend on where a block sits, not on its text, so
+/// they must never be baked into a content-keyed cache entry).
+pub fn attach_loc(mut e: TypeError, map: &SourceMap) -> TypeError {
+    let span = match (&e.block, &e.def) {
+        (Some(b), Some(d)) => map
+            .span(&StmtKey::BlockDef(b.clone(), d.clone()))
+            .or_else(|| map.span(&StmtKey::BlockInit(b.clone(), d.clone()))),
+        (Some(b), None) => map
+            .span(&StmtKey::BlockBody(b.clone()))
+            .or_else(|| map.span(&StmtKey::BlockHeader(b.clone()))),
+        (None, _) => None,
+    };
+    if let Some(span) = span {
+        e.loc = Some(format!("{}:{span}", map.file));
+    }
+    e
+}
+
 /// Type-check a program and, on failure, resolve the error's source
-/// location (`file:line:col`) through the statement [`SourceMap`] produced
-/// by `parse_program_mapped` or `program_to_source_mapped`.
+/// location through the statement [`SourceMap`].
 pub fn check_program_mapped(prog: &Program, map: &SourceMap) -> Result<Program, TypeError> {
-    check_program(prog).map_err(|mut e| {
-        let span = match (&e.block, &e.def) {
-            (Some(b), Some(d)) => map
-                .span(&StmtKey::BlockDef(b.clone(), d.clone()))
-                .or_else(|| map.span(&StmtKey::BlockInit(b.clone(), d.clone()))),
-            (Some(b), None) => map
-                .span(&StmtKey::BlockBody(b.clone()))
-                .or_else(|| map.span(&StmtKey::BlockHeader(b.clone()))),
-            (None, _) => None,
-        };
-        if let Some(span) = span {
-            e.loc = Some(format!("{}:{span}", map.file));
-        }
-        e
-    })
+    check_program(prog).map_err(|e| attach_loc(e, map))
 }
 
 #[cfg(test)]

@@ -20,7 +20,8 @@ use std::process::ExitCode;
 use valpipe::compiler::render_pass_stats;
 use valpipe::compiler::verify::check_against_oracle;
 use valpipe::{
-    ArrayVal, CompileError, CompileLimits, CompileOptions, ForIterScheme, PassManager, Stage,
+    ArrayVal, CompileError, CompileLimits, CompileOptions, ForIterScheme, PassManager, QueryEngine,
+    Stage,
 };
 use valpipe_balance::BalanceMode;
 
@@ -30,6 +31,7 @@ fn usage() -> ExitCode {
          [--todd|--companion] [--synth] [--asap|--no-balance] \
          [--waves N] [--am] [--input NAME=v1,v2,...] \
          [--emit=ast,typed,ir,balanced,machine] [--pass-stats] \
+         [--incremental] \
          [--limits k=v,... (source-bytes,depth,cells,arcs,fifo,millis; 'none' lifts)]"
     );
     ExitCode::from(2)
@@ -47,6 +49,7 @@ fn main() -> ExitCode {
     let mut emit_json = false;
     let mut emit_stages: Vec<Stage> = Vec::new();
     let mut pass_stats = false;
+    let mut incremental = false;
     let mut user_inputs: HashMap<String, Vec<f64>> = HashMap::new();
     let mut limits = CompileLimits::default();
     let mut k = 2;
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
             "--am" => opts.am_boundary = true,
             "--json" => emit_json = true,
             "--pass-stats" => pass_stats = true,
+            "--incremental" => incremental = true,
             s if s.starts_with("--emit=") => match Stage::parse_list(&s["--emit=".len()..]) {
                 Ok(v) => emit_stages = v,
                 Err(e) => {
@@ -119,11 +123,22 @@ fn main() -> ExitCode {
         }
     };
 
-    let out = match PassManager::new(&opts)
-        .limits(limits)
-        .emit_all(&emit_stages)
-        .run_source(&src, path)
-    {
+    // `--incremental` compiles through a disk-backed query engine: per-block
+    // artifacts persist in `.valpipe-cache/` between invocations, so a
+    // recompile after a small edit re-executes only the touched queries.
+    // The output is bit-identical to a cold compile either way.
+    let result = if incremental {
+        let mut engine = QueryEngine::with_disk_cache(".valpipe-cache");
+        let r = engine.run_source(&opts, &limits, &emit_stages, &src, path);
+        eprintln!("{}", engine.stats().render());
+        r
+    } else {
+        PassManager::new(&opts)
+            .limits(limits)
+            .emit_all(&emit_stages)
+            .run_source(&src, path)
+    };
+    let out = match result {
         Ok(o) => o,
         // Limit breaches get a distinct, machine-grepable line and exit
         // code so scripts can tell "program too big" from "won't compile".

@@ -29,7 +29,8 @@ pub use valpipe_val as val;
 
 pub use valpipe_core::{
     compile_source, compile_source_limited, compile_source_named, CompileError, CompileLimits,
-    CompileOptions, Compiled, ForIterScheme, LimitBreach, PassManager, Stage,
+    CompileOptions, Compiled, ForIterScheme, LimitBreach, PassManager, QueryEngine, QueryStats,
+    Stage,
 };
 pub use valpipe_machine::{
     render_error, render_stall, Driven, ExecMode, FastForwardStats, Kernel, ProgramInputs,

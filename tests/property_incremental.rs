@@ -1,0 +1,224 @@
+//! Property suite for the incremental query engine: warm recompiles must
+//! be byte-identical to cold compiles — for arbitrary random programs,
+//! random single-block edits, corrupted mutants (typed errors included),
+//! and in the presence of arbitrary on-disk cache corruption.
+
+use valpipe::compiler::{PipelineOutput, QueryEngine};
+use valpipe::{CompileError, CompileLimits, CompileOptions, Stage};
+use valpipe_fuzz::{generate, mutate};
+use valpipe_util::Rng;
+
+fn compile(
+    engine: &mut QueryEngine,
+    src: &str,
+    opts: &CompileOptions,
+) -> Result<PipelineOutput, CompileError> {
+    engine.run_source(
+        opts,
+        &CompileLimits::default(),
+        &Stage::ALL,
+        src,
+        "prop.val",
+    )
+}
+
+/// Deterministic digest of a compile outcome: stage dumps plus graph
+/// fingerprint on success, rendered diagnostic on failure.
+fn digest(r: &Result<PipelineOutput, CompileError>) -> String {
+    match r {
+        Ok(out) => {
+            let mut s = format!("fingerprint {:016x}\n", out.compiled.graph.fingerprint());
+            for (stage, dump) in &out.dumps {
+                s.push_str(&format!("==== {stage} ====\n{dump}"));
+            }
+            s
+        }
+        Err(e) => format!("error: {e}\n"),
+    }
+}
+
+/// Pass-stat invariants: the warm run must replicate the cold run's pass
+/// sequence and graph sizes exactly (wall times are the only freedom).
+fn assert_stats_match(cold: &PipelineOutput, warm: &PipelineOutput) {
+    let names = |o: &PipelineOutput| o.pass_stats.iter().map(|s| s.name).collect::<Vec<_>>();
+    assert_eq!(names(cold), names(warm));
+    for (c, w) in cold.pass_stats.iter().zip(&warm.pass_stats) {
+        assert_eq!(
+            (c.nodes_before, c.arcs_before, c.nodes_after, c.arcs_after),
+            (w.nodes_before, w.arcs_before, w.nodes_after, w.arcs_after),
+            "pass {} sizes diverge between cold and warm",
+            c.name
+        );
+    }
+}
+
+/// A small chain program with an editable literal per block.
+fn chain(blocks: usize, lits: &[&str]) -> String {
+    let m = 2 * blocks + 8;
+    let mut s = format!("param m = {m};\ninput S0 : array[real] [0, m+1];\n");
+    for k in 1..=blocks {
+        s.push_str(&format!(
+            "S{k} : array[real] := forall i in [{k}, m+1-{k}] construct {} * (S{}[i-1] + S{}[i+1]) endall;\n",
+            lits[(k - 1) % lits.len()],
+            k - 1,
+            k - 1
+        ));
+    }
+    s.push_str(&format!("output S{blocks};\n"));
+    s
+}
+
+#[test]
+fn single_block_edits_recompile_byte_identically_and_sparsely() {
+    let base = chain(8, &["0.5"]);
+    let opts = CompileOptions::paper();
+    let mut engine = QueryEngine::new();
+    compile(&mut engine, &base, &opts).unwrap();
+
+    let mut r = Rng::seed(0x1AC1);
+    for trial in 0..12u64 {
+        // Edit one random block to one random (length-preserving) literal.
+        let k = 1 + r.below(8);
+        let lit = format!("0.{}", 51 + r.below(49));
+        let mut lits = vec!["0.5"; 8];
+        lits[k - 1] = &lit;
+        let edited = chain(8, &lits);
+
+        let warm = compile(&mut engine, &edited, &opts).unwrap();
+        let executed = engine.stats().executed();
+        let total = engine.stats().total();
+        let cold = compile(&mut QueryEngine::new(), &edited, &opts).unwrap();
+        assert_eq!(
+            digest(&Ok(cold.clone())),
+            digest(&Ok(warm.clone())),
+            "trial {trial}: warm artifact diverged from cold"
+        );
+        assert_stats_match(&cold, &warm);
+        assert!(
+            executed * 4 < total,
+            "trial {trial}: edit of 1/8 blocks re-executed {executed}/{total} queries"
+        );
+    }
+}
+
+#[test]
+fn random_programs_and_mutants_match_cold_including_typed_errors() {
+    let mut engine = QueryEngine::new();
+    let mut r = Rng::seed(0x1AC2);
+    let mut errors_seen = 0usize;
+    for seed in 0..25u64 {
+        let case = generate(seed);
+        // Valid program: cold-vs-warm through the shared engine.
+        let cold = compile(&mut QueryEngine::new(), &case.src, &case.opts);
+        let warm = compile(&mut engine, &case.src, &case.opts);
+        assert_eq!(digest(&cold), digest(&warm), "seed {seed} (original)");
+
+        // Corrupted mutant: the shared warm engine must agree with a cold
+        // compile — especially on the diagnostic when the mutant is
+        // rejected (cached type errors must re-resolve locations).
+        let mutant = mutate(&case.src, &mut r);
+        let cold_m = compile(&mut QueryEngine::new(), &mutant, &case.opts);
+        let warm_m = compile(&mut engine, &mutant, &case.opts);
+        assert_eq!(digest(&cold_m), digest(&warm_m), "seed {seed} (mutant)");
+        if cold_m.is_err() {
+            errors_seen += 1;
+        }
+        // And again: the second warm compile of the same mutant answers
+        // from the memo and must still render identically.
+        let warm_m2 = compile(&mut engine, &mutant, &case.opts);
+        assert_eq!(
+            digest(&cold_m),
+            digest(&warm_m2),
+            "seed {seed} (mutant, memoized)"
+        );
+    }
+    assert!(errors_seen > 0, "mutation never produced a rejection");
+}
+
+fn cache_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("valpipe-incr-prop-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn cache_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut v: Vec<_> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|f| f.ok().map(|f| f.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "vpqc"))
+                .collect()
+        })
+        .unwrap_or_default();
+    v.sort();
+    v
+}
+
+#[test]
+fn cache_corruption_always_falls_back_cold_never_panics_never_stale() {
+    let dir = cache_dir("corrupt");
+    let src = chain(5, &["0.5"]);
+    let opts = CompileOptions::paper();
+    let reference = {
+        let mut e = QueryEngine::with_disk_cache(&dir);
+        digest(&compile(&mut e, &src, &opts))
+    };
+    let files = cache_files(&dir);
+    assert!(!files.is_empty(), "disk cache was not written");
+    let path = &files[0];
+    let pristine = std::fs::read(path).unwrap();
+
+    // Bit flips marching through the file, truncations, version skew,
+    // and garbage: every damaged cache must yield the cold answer.
+    let mut variants: Vec<Vec<u8>> = Vec::new();
+    let mut pos = 0usize;
+    while pos < pristine.len() {
+        let mut v = pristine.clone();
+        v[pos] ^= 1 << (pos % 8);
+        variants.push(v);
+        pos += pristine.len() / 13 + 1;
+    }
+    for cut in [0usize, 3, 15, 16, pristine.len().saturating_sub(1)] {
+        variants.push(pristine[..cut.min(pristine.len())].to_vec());
+    }
+    let mut skew = pristine.clone();
+    skew[4] = skew[4].wrapping_add(1);
+    variants.push(skew);
+    variants.push(b"{\"regions\":[],\"balance\":[]}".to_vec());
+
+    for (i, bytes) in variants.iter().enumerate() {
+        std::fs::write(path, bytes).unwrap();
+        let mut e = QueryEngine::with_disk_cache(&dir);
+        let got = digest(&compile(&mut e, &src, &opts));
+        assert_eq!(reference, got, "variant {i} changed the compile output");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_cache_is_never_stale_across_edits() {
+    let dir = cache_dir("stale");
+    let opts = CompileOptions::paper();
+    let a = chain(6, &["0.5"]);
+    let b = chain(6, &["0.5", "0.7", "0.5", "0.5", "0.5", "0.5"]);
+    {
+        let mut e = QueryEngine::with_disk_cache(&dir);
+        compile(&mut e, &a, &opts).unwrap();
+    }
+    // A different process (fresh engine) edits the source: the cached
+    // regions for unchanged blocks may be reused, but the output must be
+    // the cold output of the *edited* source.
+    let cold_b = digest(&compile(&mut QueryEngine::new(), &b, &opts));
+    let mut e2 = QueryEngine::with_disk_cache(&dir);
+    let warm_b = digest(&compile(&mut e2, &b, &opts));
+    assert_eq!(cold_b, warm_b);
+    assert!(
+        e2.stats().disk_entries_loaded > 0,
+        "expected the second process to revive disk artifacts: {}",
+        e2.stats().render()
+    );
+    // And back: recompiling the original source stays byte-stable too.
+    let cold_a = digest(&compile(&mut QueryEngine::new(), &a, &opts));
+    let warm_a = digest(&compile(&mut e2, &a, &opts));
+    assert_eq!(cold_a, warm_a);
+    let _ = std::fs::remove_dir_all(&dir);
+}
