@@ -165,10 +165,12 @@ pub fn sweep_dead(g: &mut Graph) -> usize {
     // a rebuild: cycle analyses count in-degrees over the arc table, so a
     // stale record makes the fused gate look forever-blocked and the
     // validator reports a phantom deadlock. Every live arc is registered
-    // in exactly one `outputs` list, so the difference counts orphans.
+    // in exactly one `outputs` list, so any count mismatch — fewer
+    // registrations (orphans) or more (an arc id registered twice, a
+    // defect the rebuild equally repairs) — forces the rebuild rather
+    // than underflowing a subtraction.
     let registered: usize = g.nodes.iter().map(|n| n.outputs.len()).sum();
-    let orphaned = g.arcs.len() - registered;
-    if removed == 0 && orphaned == 0 {
+    if removed == 0 && registered == g.arcs.len() {
         return 0;
     }
     // Rebuild.
@@ -251,6 +253,27 @@ mod tests {
             vec![false, true, false, true, false],
             "inner T F T over outer-passed positions 1,2,3"
         );
+    }
+
+    #[test]
+    fn sweep_repairs_duplicate_arc_registration_without_panicking() {
+        let mut g = cascade();
+        // Violate the one-owner invariant: register one arc id in a
+        // second node's outputs list (registered > arcs). The sweep must
+        // treat this as a defect and rebuild, not underflow.
+        let (owner, arc) = g
+            .nodes
+            .iter()
+            .enumerate()
+            .find_map(|(i, n)| n.outputs.first().map(|&a| (i, a)))
+            .unwrap();
+        let other = (owner + 1) % g.node_count();
+        g.nodes[other].outputs.push(arc);
+        let registered: usize = g.nodes.iter().map(|n| n.outputs.len()).sum();
+        assert_eq!(registered, g.arcs.len() + 1, "invariant violated for test");
+        sweep_dead(&mut g);
+        let registered: usize = g.nodes.iter().map(|n| n.outputs.len()).sum();
+        assert_eq!(registered, g.arcs.len(), "rebuild restores one-owner");
     }
 
     #[test]

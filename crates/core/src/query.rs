@@ -13,6 +13,19 @@
 //! an upstream re-execution that reproduces the same value leaves the
 //! downstream keys untouched).
 //!
+//! Memo hits are **exact-match**, not hash-match: every memo table is
+//! keyed by the full canonical key string, so a hit proves the inputs
+//! are byte-identical. No 64-bit fingerprint collision — accidental or
+//! adversarially constructed (the engine is shared across tenants in
+//! the serve registry) — can splice one compilation's artifact into
+//! another's. Hashing (`checksum64`) is used only to *name* disk-cache
+//! files, where a collision merely co-locates two files' entries; the
+//! entries themselves still verify by full key.
+//!
+//! Memo tables are bounded: after each run, entries not touched within
+//! the retention cap are swept (generation-based LRU), so a long-lived
+//! shared engine fed arbitrary programs holds bounded memory.
+//!
 //! **Bit-identity is the contract.** A warm [`QueryEngine::run_source`]
 //! must produce exactly the artifacts of a cold one: same graph
 //! fingerprint, same stage dumps byte-for-byte, same pass-stat sequence,
@@ -32,7 +45,7 @@
 //! * balance solutions are keyed by the full constraint-problem
 //!   structure; the solvers are deterministic, so an equal problem has an
 //!   equal solution;
-//! * the machine listing is keyed by the balanced listing's checksum.
+//! * the machine listing is keyed by the full balanced listing.
 //!
 //! Any irregularity (a statement the splitter cannot carve, a corrupt
 //! disk-cache file) falls back to the cold path — never a panic, never a
@@ -73,7 +86,8 @@ use valpipe_val::parser::{
 use valpipe_val::srcmap::{SourceMap, StmtKey};
 use valpipe_val::typeck::{attach_loc, check_block, program_prelude_env, TypeError};
 
-/// Fingerprint of a string (the engine's universal content key).
+/// Fingerprint of a string. Used only to *name* on-disk cache files,
+/// never to answer a memo lookup — memo tables key on the full string.
 fn fp(s: &str) -> u64 {
     checksum64(s.as_bytes())
 }
@@ -163,25 +177,80 @@ struct RegionEntry {
     scheme: Option<UsedScheme>,
 }
 
+/// A memoized value plus the run generation that last touched it (for
+/// the post-run LRU sweep).
+#[derive(Debug, Clone)]
+struct Memo<V> {
+    value: V,
+    gen: u64,
+}
+
+/// A parsed statement with its statement-relative spans.
+type ParsedStmt = (TopStmt, Vec<(StmtKey, Span)>);
+
+/// Default per-table memo retention: generous enough that a 1000-block
+/// program's working set stays resident, small enough to bound a
+/// long-lived shared engine fed arbitrary distinct programs.
+const DEFAULT_MEMO_CAP: usize = 16_384;
+
 /// The incremental compile engine: memo tables for every query kind plus
 /// an optional on-disk cache. One engine instance per logical compilation
 /// session; a fresh engine performs exactly the cold pipeline.
-#[derive(Debug, Default)]
+///
+/// Every memo table is keyed by the full canonical key string — a hit
+/// requires byte-identical inputs, so no hash collision can cross-wire
+/// two compilations (see the module docs).
+#[derive(Debug)]
 pub struct QueryEngine {
-    parse_memo: HashMap<u64, (TopStmt, Vec<(StmtKey, Span)>)>,
-    typed_memo: HashMap<u64, Result<BlockDecl, TypeError>>,
-    region_memo: HashMap<u64, RegionEntry>,
-    balance_memo: HashMap<u64, BalanceSolution>,
-    machine_memo: HashMap<u64, String>,
+    parse_memo: HashMap<String, Memo<ParsedStmt>>,
+    typed_memo: HashMap<String, Memo<Result<BlockDecl, TypeError>>>,
+    region_memo: HashMap<String, Memo<RegionEntry>>,
+    balance_memo: HashMap<String, Memo<BalanceSolution>>,
+    machine_memo: HashMap<String, Memo<String>>,
     stats: QueryStats,
+    /// Current run generation; bumped at every [`QueryEngine::run_source`].
+    gen: u64,
+    /// Per-table entry cap enforced after each run.
+    memo_cap: usize,
+    /// Region/balance memos gained entries since the last disk save.
+    dirty: bool,
     cache_dir: Option<PathBuf>,
     cache_loaded: Option<u64>,
+}
+
+impl Default for QueryEngine {
+    fn default() -> QueryEngine {
+        QueryEngine {
+            parse_memo: HashMap::new(),
+            typed_memo: HashMap::new(),
+            region_memo: HashMap::new(),
+            balance_memo: HashMap::new(),
+            machine_memo: HashMap::new(),
+            stats: QueryStats::default(),
+            gen: 0,
+            memo_cap: DEFAULT_MEMO_CAP,
+            dirty: false,
+            cache_dir: None,
+            cache_loaded: None,
+        }
+    }
 }
 
 impl QueryEngine {
     /// Fresh engine with empty memos and no disk cache.
     pub fn new() -> QueryEngine {
         QueryEngine::default()
+    }
+
+    /// Cap each memo table at roughly `cap` entries. After every run,
+    /// entries least recently touched (by run generation) are swept
+    /// until the table fits; entries touched by the current run are
+    /// never swept, so a single program larger than the cap still
+    /// compiles warm within a run. Long-lived shared engines (the serve
+    /// registry) rely on this to bound memory against arbitrary
+    /// distinct submissions.
+    pub fn set_memo_cap(&mut self, cap: usize) {
+        self.memo_cap = cap.max(1);
     }
 
     /// Fresh engine that persists regions and balance solutions under the
@@ -216,6 +285,7 @@ impl QueryEngine {
         file: &str,
     ) -> Result<PipelineOutput, CompileError> {
         self.stats = QueryStats::default();
+        self.gen += 1;
         if let Some(dir) = self.cache_dir.clone() {
             let key = cache_key(file, opts);
             if self.cache_loaded != Some(key) {
@@ -223,7 +293,30 @@ impl QueryEngine {
                 self.cache_loaded = Some(key);
             }
         }
+        let out = self.run_source_inner(opts, limits, emit, src, file);
+        // Sweep cold memo entries whether the compile succeeded or not —
+        // failed compiles populate memos too.
+        self.evict();
+        if out.is_ok() && self.dirty {
+            if let Some(dir) = self.cache_dir.clone() {
+                // Best-effort persistence; failure to write is not a
+                // compile failure (and leaves `dirty` set for a retry).
+                if self.save_cache(&dir, cache_key(file, opts)).is_ok() {
+                    self.dirty = false;
+                }
+            }
+        }
+        out
+    }
 
+    fn run_source_inner(
+        &mut self,
+        opts: &CompileOptions,
+        limits: &CompileLimits,
+        emit: &[Stage],
+        src: &str,
+        file: &str,
+    ) -> Result<PipelineOutput, CompileError> {
         if src.len() > limits.max_source_bytes {
             return Err(LimitBreach::SourceBytes {
                 got: src.len(),
@@ -232,13 +325,28 @@ impl QueryEngine {
             .into());
         }
         let (prog0, map) = self.parse(src, file, limits.max_nesting_depth)?;
-        let out = self.drive(opts, limits, emit, &prog0, &map)?;
-        if let Some(dir) = self.cache_dir.clone() {
-            // Best-effort persistence; failure to write is not a compile
-            // failure.
-            let _ = self.save_cache(&dir, cache_key(file, opts));
+        self.drive(opts, limits, emit, &prog0, &map)
+    }
+
+    /// Trim each memo table to the retention cap, dropping the entries
+    /// least recently touched. Entries touched this run share the
+    /// current (maximal) generation and always survive.
+    fn evict(&mut self) {
+        fn trim<V>(m: &mut HashMap<String, Memo<V>>, cap: usize) {
+            if m.len() <= cap {
+                return;
+            }
+            let mut gens: Vec<u64> = m.values().map(|e| e.gen).collect();
+            gens.sort_unstable();
+            let cutoff = gens[m.len() - cap];
+            m.retain(|_, e| e.gen >= cutoff);
         }
-        Ok(out)
+        let cap = self.memo_cap;
+        trim(&mut self.parse_memo, cap);
+        trim(&mut self.typed_memo, cap);
+        trim(&mut self.region_memo, cap);
+        trim(&mut self.balance_memo, cap);
+        trim(&mut self.machine_memo, cap);
     }
 
     // ---- parse queries ---------------------------------------------------
@@ -268,17 +376,27 @@ impl QueryEngine {
         };
         let mut prog = Program::default();
         let mut map = SourceMap::new(file, src);
+        let gen = self.gen;
         for s in &stmts {
             let text = &src[s.start..s.end];
-            let key = fp(&format!("parse|{max_depth}|{text}"));
+            let key = format!("parse|{max_depth}|{text}");
             self.stats.parse.0 += 1;
-            let (stmt, rel) = match self.parse_memo.get(&key) {
-                Some(hit) => hit.clone(),
+            let (stmt, rel) = match self.parse_memo.get_mut(&key) {
+                Some(hit) => {
+                    hit.gen = gen;
+                    hit.value.clone()
+                }
                 None => {
                     self.stats.parse.1 += 1;
                     match parse_stmt_mapped(text, max_depth) {
                         Ok(v) => {
-                            self.parse_memo.insert(key, v.clone());
+                            self.parse_memo.insert(
+                                key,
+                                Memo {
+                                    value: v.clone(),
+                                    gen,
+                                },
+                            );
                             v
                         }
                         // A statement that fails in isolation gets its
@@ -504,14 +622,24 @@ impl QueryEngine {
         if emit.contains(&Stage::Machine) {
             self.stats.machine.0 += 1;
             let balanced_listing = dump_graph(&compiled.graph, &compiled.prov);
-            let key = fp(&format!("machine|{balanced_listing}"));
-            let listing = match self.machine_memo.get(&key) {
-                Some(hit) => hit.clone(),
+            let key = format!("machine|{balanced_listing}");
+            let gen = self.gen;
+            let listing = match self.machine_memo.get_mut(&key) {
+                Some(hit) => {
+                    hit.gen = gen;
+                    hit.value.clone()
+                }
                 None => {
                     self.stats.machine.1 += 1;
                     let g = compiled.executable();
                     let text = dump_graph(&g, &compiled.prov);
-                    self.machine_memo.insert(key, text.clone());
+                    self.machine_memo.insert(
+                        key,
+                        Memo {
+                            value: text.clone(),
+                            gen,
+                        },
+                    );
                     text
                 }
             };
@@ -536,15 +664,25 @@ impl QueryEngine {
     fn typecheck(&mut self, prog: &Program, map: &SourceMap) -> Result<Program, CompileError> {
         let mut env = program_prelude_env(prog).map_err(|e| attach_loc(e, map))?;
         let mut out = prog.clone();
+        let gen = self.gen;
         for (bi, block) in prog.blocks.iter().enumerate() {
-            let key = fp(&format!("typed|{:?}|{}", block, env.canonical()));
+            let key = format!("typed|{:?}|{}", block, env.canonical());
             self.stats.typed.0 += 1;
-            let checked = match self.typed_memo.get(&key) {
-                Some(hit) => hit.clone(),
+            let checked = match self.typed_memo.get_mut(&key) {
+                Some(hit) => {
+                    hit.gen = gen;
+                    hit.value.clone()
+                }
                 None => {
                     self.stats.typed.1 += 1;
                     let r = check_block(block, &env);
-                    self.typed_memo.insert(key, r.clone());
+                    self.typed_memo.insert(
+                        key,
+                        Memo {
+                            value: r.clone(),
+                            gen,
+                        },
+                    );
                     r
                 }
             };
@@ -613,11 +751,13 @@ impl QueryEngine {
         for (name, p) in provs {
             let _ = write!(key_src, "|{name}:n{}:{}..{}", p.node.0, p.lo, p.hi);
         }
-        let key = fp(&key_src);
+        let key = key_src;
+        let gen = self.gen;
 
         self.stats.region.0 += 1;
-        if let Some(entry) = self.region_memo.get(&key) {
-            let entry = entry.clone();
+        if let Some(hit) = self.region_memo.get_mut(&key) {
+            hit.gen = gen;
+            let entry = hit.value.clone();
             entry
                 .delta
                 .splice(&mut c.g)
@@ -649,14 +789,18 @@ impl QueryEngine {
         added.sort_by(|a, b| a.0.cmp(&b.0));
         self.region_memo.insert(
             key,
-            RegionEntry {
-                delta: GraphDelta::capture(&c.g, node_base, arc_base),
-                providers: added,
-                anchors: c.anchors[anchors_base..].to_vec(),
-                label_seq: c.label_seq(),
-                scheme: used,
+            Memo {
+                value: RegionEntry {
+                    delta: GraphDelta::capture(&c.g, node_base, arc_base),
+                    providers: added,
+                    anchors: c.anchors[anchors_base..].to_vec(),
+                    label_seq: c.label_seq(),
+                    scheme: used,
+                },
+                gen,
             },
         );
+        self.dirty = true;
         Ok(())
     }
 
@@ -682,10 +826,12 @@ impl QueryEngine {
                 a.arc.map(|x| x.0)
             );
         }
-        let key = fp(&key_src);
+        let key = key_src;
+        let gen = self.gen;
         self.stats.balance.0 += 1;
-        if let Some(sol) = self.balance_memo.get(&key) {
-            return Ok(sol.clone());
+        if let Some(hit) = self.balance_memo.get_mut(&key) {
+            hit.gen = gen;
+            return Ok(hit.value.clone());
         }
         self.stats.balance.1 += 1;
         let sol = match mode {
@@ -698,7 +844,14 @@ impl QueryEngine {
                 ))
             }
         };
-        self.balance_memo.insert(key, sol.clone());
+        self.balance_memo.insert(
+            key,
+            Memo {
+                value: sol.clone(),
+                gen,
+            },
+        );
+        self.dirty = true;
         Ok(sol)
     }
 
@@ -745,25 +898,38 @@ impl QueryEngine {
             solutions.push(entry);
         }
         let n = regions.len() + solutions.len();
-        self.region_memo.extend(regions);
-        self.balance_memo.extend(solutions);
+        let gen = self.gen;
+        self.region_memo.extend(
+            regions
+                .into_iter()
+                .map(|(k, v)| (k, Memo { value: v, gen })),
+        );
+        self.balance_memo.extend(
+            solutions
+                .into_iter()
+                .map(|(k, v)| (k, Memo { value: v, gen })),
+        );
         n
     }
 
     /// Persist regions and balance solutions atomically (tmp + rename).
+    /// Entries carry their full key string, so a reader verifies by
+    /// exact match — a corrupt or colliding entry can only miss, never
+    /// masquerade as another compilation's artifact.
     fn save_cache(&self, dir: &Path, key: u64) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
-        let mut regions: Vec<(&u64, &RegionEntry)> = self.region_memo.iter().collect();
-        regions.sort_by_key(|(k, _)| **k);
-        let mut balance: Vec<(&u64, &BalanceSolution)> = self.balance_memo.iter().collect();
-        balance.sort_by_key(|(k, _)| **k);
+        let mut regions: Vec<(&String, &Memo<RegionEntry>)> = self.region_memo.iter().collect();
+        regions.sort_by(|a, b| a.0.cmp(b.0));
+        let mut balance: Vec<(&String, &Memo<BalanceSolution>)> =
+            self.balance_memo.iter().collect();
+        balance.sort_by(|a, b| a.0.cmp(b.0));
         let j = Json::obj([
             (
                 "regions",
                 Json::Arr(
                     regions
                         .into_iter()
-                        .map(|(k, e)| region_entry_to_json(*k, e))
+                        .map(|(k, e)| region_entry_to_json(k, &e.value))
                         .collect(),
                 ),
             ),
@@ -772,7 +938,7 @@ impl QueryEngine {
                 Json::Arr(
                     balance
                         .into_iter()
-                        .map(|(k, s)| balance_entry_to_json(*k, s))
+                        .map(|(k, s)| balance_entry_to_json(k, &s.value))
                         .collect(),
                 ),
             ),
@@ -814,7 +980,9 @@ fn cache_file(dir: &Path, key: u64) -> PathBuf {
 }
 
 const CACHE_MAGIC: &[u8; 4] = b"VPQC";
-const CACHE_VERSION: u32 = 1;
+/// v2: entries key by full canonical key string (v1 keyed by 64-bit
+/// fingerprint, which cannot be verified on hit).
+const CACHE_VERSION: u32 = 2;
 
 /// Envelope: magic, version, payload checksum, payload.
 fn seal_envelope(payload: &[u8]) -> Vec<u8> {
@@ -861,9 +1029,9 @@ fn scheme_from_name(s: &str) -> Option<UsedScheme> {
     }
 }
 
-fn region_entry_to_json(key: u64, e: &RegionEntry) -> Json {
+fn region_entry_to_json(key: &str, e: &RegionEntry) -> Json {
     Json::obj([
-        ("key", Json::Str(format!("{key:016x}"))),
+        ("key", Json::Str(key.to_string())),
         ("delta", e.delta.to_json()),
         (
             "providers",
@@ -901,8 +1069,8 @@ fn region_entry_to_json(key: u64, e: &RegionEntry) -> Json {
     ])
 }
 
-fn region_entry_from_json(j: &Json) -> Option<(u64, RegionEntry)> {
-    let key = u64::from_str_radix(j.get("key")?.as_str()?, 16).ok()?;
+fn region_entry_from_json(j: &Json) -> Option<(String, RegionEntry)> {
+    let key = j.get("key")?.as_str()?.to_string();
     let delta = GraphDelta::from_json(j.get("delta")?).ok()?;
     let Json::Arr(ps) = j.get("providers")? else {
         return None;
@@ -945,9 +1113,9 @@ fn region_entry_from_json(j: &Json) -> Option<(u64, RegionEntry)> {
     ))
 }
 
-fn balance_entry_to_json(key: u64, s: &BalanceSolution) -> Json {
+fn balance_entry_to_json(key: &str, s: &BalanceSolution) -> Json {
     Json::obj([
-        ("key", Json::Str(format!("{key:016x}"))),
+        ("key", Json::Str(key.to_string())),
         (
             "potential",
             Json::Arr(s.potential.iter().map(|&v| Json::Int(v)).collect()),
@@ -960,8 +1128,8 @@ fn balance_entry_to_json(key: u64, s: &BalanceSolution) -> Json {
     ])
 }
 
-fn balance_entry_from_json(j: &Json) -> Option<(u64, BalanceSolution)> {
-    let key = u64::from_str_radix(j.get("key")?.as_str()?, 16).ok()?;
+fn balance_entry_from_json(j: &Json) -> Option<(String, BalanceSolution)> {
+    let key = j.get("key")?.as_str()?.to_string();
     let Json::Arr(pot) = j.get("potential")? else {
         return None;
     };
@@ -1168,6 +1336,67 @@ mod tests {
             assert_eq!(e.stats().disk_entries_loaded, 0);
             assert_identical(&reference, &out);
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memo_cap_sweeps_entries_untouched_by_recent_runs() {
+        let edited = FIG3_PROGRAM.replace("0.25", "0.75");
+        let mut e = QueryEngine::new();
+        e.set_memo_cap(1);
+        run(&mut e, FIG3_PROGRAM);
+        // Compiling a different program bumps shared entries but leaves
+        // the first program's unique entries at the old generation; the
+        // post-run sweep (cap 1) drops them.
+        run(&mut e, &edited);
+        run(&mut e, FIG3_PROGRAM);
+        assert!(
+            e.stats().executed() > 0,
+            "swept entries must re-execute, not resurrect: {}",
+            e.stats().render()
+        );
+        // Correctness is unaffected: output still matches a cold compile.
+        let mut fresh = QueryEngine::new();
+        assert_identical(&cold(FIG3_PROGRAM), &run(&mut fresh, FIG3_PROGRAM));
+    }
+
+    #[test]
+    fn memo_cap_never_sweeps_the_current_runs_working_set() {
+        let mut e = QueryEngine::new();
+        e.set_memo_cap(1);
+        run(&mut e, FIG3_PROGRAM);
+        let b = run(&mut e, FIG3_PROGRAM);
+        assert_eq!(
+            e.stats().executed(),
+            0,
+            "entries touched by the previous run survive a cap of 1: {}",
+            e.stats().render()
+        );
+        assert_identical(&cold(FIG3_PROGRAM), &b);
+    }
+
+    #[test]
+    fn all_green_warm_run_skips_the_cache_rewrite() {
+        let dir = tmp_dir("noop-save");
+        let mut e = QueryEngine::with_disk_cache(&dir);
+        run(&mut e, FIG3_PROGRAM);
+        let path = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|f| f.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "vpqc"))
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        // Nothing new to persist: every region/balance query hits the
+        // memo, so the engine must not rewrite the file.
+        run(&mut e, FIG3_PROGRAM);
+        assert!(
+            !path.exists(),
+            "a fully-memoized run must not rewrite the disk cache"
+        );
+        // An edit computes a new region and re-persists.
+        let edited = FIG3_PROGRAM.replace("0.25", "0.75");
+        run(&mut e, &edited);
+        assert!(path.exists(), "new artifacts must be persisted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

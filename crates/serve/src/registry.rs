@@ -60,9 +60,15 @@ pub struct Registry {
     pub stats: RegistryStats,
     slots: Mutex<HashMap<String, Arc<Slot>>>,
     /// Shared incremental compile cache: sessions submitting overlapping
-    /// programs recompile only the blocks that differ. Held only while a
-    /// fresh session compiles; never while a slot lock is held.
-    compile_cache: Mutex<QueryEngine>,
+    /// programs recompile only the blocks that differ. Sharing across
+    /// tenants is safe because the engine's memos verify by full key
+    /// (exact-match, collision-proof) and are capped (bounded memory).
+    /// The engine is *swapped out* of the mutex for the duration of a
+    /// compile — the lock is only ever held for the swap itself, so one
+    /// slow compile never serializes other tenants' opens; a contended
+    /// open falls back to a private cold engine (bit-identical output,
+    /// just no warm hits).
+    compile_cache: Mutex<Option<QueryEngine>>,
 }
 
 impl Registry {
@@ -76,7 +82,7 @@ impl Registry {
             rng: Mutex::new(Rng::seed(seed ^ 0x005e_5510_4e61)),
             stats: RegistryStats::default(),
             slots: Mutex::new(HashMap::new()),
-            compile_cache: Mutex::new(QueryEngine::new()),
+            compile_cache: Mutex::new(Some(QueryEngine::new())),
         }
     }
 
@@ -159,14 +165,24 @@ impl Registry {
                 ]))
             });
         }
-        // Fresh name: compile outside any slot lock (compiles can be
-        // slow), then race to insert; losing the race re-checks identity.
-        // The shared engine serializes compiles but answers unchanged
-        // blocks from its memo, bit-identically to a cold compile.
-        let core = {
-            let mut engine = self.compile_cache.lock().unwrap();
-            SessionCore::open_with_engine(spec.clone(), &mut engine)?
-        };
+        // Fresh name: compile outside every lock (compiles can be slow),
+        // then race to insert; losing the race re-checks identity. The
+        // shared warm engine is taken out of its mutex for the compile;
+        // if another open holds it, compile on a private cold engine —
+        // the output is bit-identical either way.
+        let taken = self.compile_cache.lock().unwrap().take();
+        let mut engine = taken.unwrap_or_default();
+        let compiled = SessionCore::open_with_engine(spec.clone(), &mut engine);
+        {
+            // Restore the engine (first finisher wins; a later finisher's
+            // engine is simply dropped — warm state is an optimization,
+            // never a correctness dependency).
+            let mut slot = self.compile_cache.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(engine);
+            }
+        }
+        let core = compiled?;
         let now = core.now();
         let slot = Arc::new(Slot {
             name: name.clone(),
@@ -396,5 +412,68 @@ impl Registry {
         let mut names: Vec<String> = self.slots.lock().unwrap().keys().cloned().collect();
         names.sort();
         names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valpipe_machine::Kernel;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("valpipe-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn spec(name: &str) -> SessionSpec {
+        SessionSpec {
+            name: name.to_string(),
+            source: "param m = 3;\ninput A : array[real] [0, m];\nY : array[real] := forall i in [0, m] construct A[i] + 1. endall;\noutput Y;".to_string(),
+            arrays: Json::parse(r#"{"A":[1.0,2.0,3.0,4.0]}"#).unwrap(),
+            waves: 1,
+            kernel: Kernel::EventDriven,
+            max_steps: 100_000,
+        }
+    }
+
+    #[test]
+    fn sequential_opens_restore_and_reuse_the_shared_engine() {
+        let dir = temp_dir("warm");
+        let reg = Registry::new(dir.clone(), 8, 1);
+        reg.open(spec("a")).unwrap();
+        reg.open(spec("b")).unwrap();
+        let slot = reg.compile_cache.lock().unwrap();
+        let engine = slot.as_ref().expect("engine restored after compiles");
+        assert_eq!(
+            engine.stats().executed(),
+            0,
+            "the second identical program must compile fully warm: {}",
+            engine.stats().render()
+        );
+        drop(slot);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_opens_do_not_serialize_on_the_compile_cache() {
+        let dir = temp_dir("concurrent");
+        let reg = Arc::new(Registry::new(dir.clone(), 16, 1));
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || reg.open(spec(&format!("s{i}"))))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        // Whichever open finished first put an engine back; contended
+        // opens compiled on private cold engines and still succeeded.
+        assert!(reg.compile_cache.lock().unwrap().is_some());
+        assert_eq!(reg.session_count(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
